@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Extension study: thread motion (paper reference [36]) grafted onto
+ * the MPPT&IC concentration policy. Plain IC boosts whichever program
+ * happens to occupy the low-indexed cores; migrating the most
+ * power-efficient programs there first recovers a large share of the
+ * PTP that concentration loses to MPPT&Opt -- at the cost of periodic
+ * migrations.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main()
+{
+    printBanner(std::cout, "thread motion on the concentration policy "
+                           "(AZ-Apr, PTP normalized to MPPT&Opt)");
+    TextTable t;
+    t.header({"workload", "MPPT&IC", "MPPT&IC+TM", "MPPT&RR",
+              "TM recovery"});
+
+    for (auto wl : {workload::WorkloadId::H2, workload::WorkloadId::M2,
+                    workload::WorkloadId::L2, workload::WorkloadId::HM2,
+                    workload::WorkloadId::ML1, workload::WorkloadId::ML2}) {
+        const auto opt = bench::runDay(solar::SiteId::AZ,
+                                       solar::Month::Apr, wl,
+                                       core::PolicyKind::MpptOpt);
+        const auto ic = bench::runDay(solar::SiteId::AZ,
+                                      solar::Month::Apr, wl,
+                                      core::PolicyKind::MpptIc);
+        const auto tm = bench::runDay(solar::SiteId::AZ,
+                                      solar::Month::Apr, wl,
+                                      core::PolicyKind::MpptIcMotion);
+        const auto rr = bench::runDay(solar::SiteId::AZ,
+                                      solar::Month::Apr, wl,
+                                      core::PolicyKind::MpptRr);
+        const double base = opt.solarInstructions;
+        const double gap = base - ic.solarInstructions;
+        const double recovered =
+            gap > 0.0 ? (tm.solarInstructions - ic.solarInstructions) / gap
+                      : 0.0;
+        t.row({workload::workloadName(wl),
+               TextTable::num(ic.solarInstructions / base, 2),
+               TextTable::num(tm.solarInstructions / base, 2),
+               TextTable::num(rr.solarInstructions / base, 2),
+               TextTable::pct(recovered, 0)});
+    }
+    t.print(std::cout);
+    std::cout << "\n'TM recovery' = share of the IC-to-Opt PTP gap that "
+                 "migration closes; homogeneous mixes have nothing to "
+                 "migrate, heterogeneous ones recover a large share.\n";
+    return 0;
+}

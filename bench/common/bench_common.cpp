@@ -1,0 +1,65 @@
+#include "bench_common.hpp"
+
+#include <map>
+
+namespace solarcore::bench {
+
+const pv::PvModule &
+standardModule()
+{
+    static const pv::PvModule module = pv::buildBp3180n();
+    return module;
+}
+
+const solar::SolarTrace &
+standardTrace(solar::SiteId site, solar::Month month)
+{
+    static std::map<std::pair<int, int>, solar::SolarTrace> cache;
+    const auto key = std::make_pair(static_cast<int>(site),
+                                    static_cast<int>(month));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key,
+                          solar::generateDayTrace(site, month, kBenchSeed))
+                 .first;
+    }
+    return it->second;
+}
+
+core::DayResult
+runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
+       core::PolicyKind policy, double fixed_budget_w, bool timeline,
+       double dt_seconds)
+{
+    core::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.fixedBudgetW = fixed_budget_w;
+    cfg.dtSeconds = dt_seconds;
+    cfg.recordTimeline = timeline;
+    cfg.seed = kBenchSeed;
+    return core::simulateDay(standardModule(), standardTrace(site, month),
+                             wl, cfg);
+}
+
+core::BatteryDayResult
+runBatteryDay(solar::SiteId site, solar::Month month,
+              workload::WorkloadId wl, double derating_factor,
+              double dt_seconds)
+{
+    core::SimConfig cfg;
+    cfg.dtSeconds = dt_seconds;
+    cfg.seed = kBenchSeed;
+    return core::simulateBatteryDay(standardModule(),
+                                    standardTrace(site, month), wl,
+                                    derating_factor, cfg);
+}
+
+std::string
+siteMonthLabel(solar::SiteId site, solar::Month month)
+{
+    return std::string(solar::siteName(site)) + "-" +
+        solar::monthName(month);
+}
+
+} // namespace solarcore::bench

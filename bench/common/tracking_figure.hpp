@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Shared implementation of the Figure 13/14 tracking-accuracy plots:
+ * per-minute maximal power budget vs actual consumption for the H1
+ * (high EPI, homogeneous), HM2 (high EPI, heterogeneous) and L1 (low
+ * EPI, homogeneous) workloads at one site-month.
+ */
+
+#ifndef SOLARCORE_BENCH_TRACKING_FIGURE_HPP
+#define SOLARCORE_BENCH_TRACKING_FIGURE_HPP
+
+#include "common/bench_common.hpp"
+
+namespace solarcore::bench {
+
+/**
+ * Print one tracking-accuracy figure for @p site / @p month.
+ * @param csv emit machine-readable CSV instead of the aligned table
+ */
+void printTrackingFigure(solar::SiteId site, solar::Month month,
+                         const char *figure_name, bool csv = false);
+
+} // namespace solarcore::bench
+
+#endif // SOLARCORE_BENCH_TRACKING_FIGURE_HPP

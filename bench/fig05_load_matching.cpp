@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Figure 5 and Table 1: the characteristics of load
+ * matching. On each side of the MPP, sweep (a) the multi-core load w
+ * (its load-line resistance through rising DVFS demand) at fixed
+ * transfer ratio, and (b) the transfer ratio k at fixed load, printing
+ * the operating point's power/voltage/current after every step --
+ * the movement the SolarCore controller exploits.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "power/converter.hpp"
+#include "power/operating_point.hpp"
+#include "pv/mpp.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+void
+sweepLoad(const pv::PvArray &array, double k, double r_from, double r_to,
+          const char *title)
+{
+    printBanner(std::cout, title);
+    TextTable t;
+    t.header({"R_load [ohm]", "P_out [W]", "V_out [V]", "I_out [A]",
+              "panel V [V]"});
+    power::DcDcConverter conv;
+    conv.setRatio(k);
+    for (int i = 0; i <= 6; ++i) {
+        const double r = r_from + (r_to - r_from) * i / 6.0;
+        const auto st = power::solveNetwork(array, conv, r);
+        if (!st.valid)
+            continue;
+        t.row({TextTable::num(r, 2), TextTable::num(st.loadPower(), 1),
+               TextTable::num(st.load.voltage, 2),
+               TextTable::num(st.load.current, 2),
+               TextTable::num(st.panel.voltage, 1)});
+    }
+    t.print(std::cout);
+}
+
+void
+sweepRatio(const pv::PvArray &array, double r_load, double k_from,
+           double k_to, const char *title)
+{
+    printBanner(std::cout, title);
+    TextTable t;
+    t.header({"k", "P_out [W]", "V_out [V]", "I_out [A]", "panel V [V]"});
+    for (int i = 0; i <= 6; ++i) {
+        const double k = k_from + (k_to - k_from) * i / 6.0;
+        power::DcDcConverter conv;
+        conv.setRatio(k);
+        const auto st = power::solveNetwork(array, conv, r_load);
+        if (!st.valid)
+            continue;
+        t.row({TextTable::num(k, 2), TextTable::num(st.loadPower(), 1),
+               TextTable::num(st.load.voltage, 2),
+               TextTable::num(st.load.current, 2),
+               TextTable::num(st.panel.voltage, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &module = bench::standardModule();
+    pv::PvArray array(module, 1, 1, {800.0, 30.0});
+    const auto mpp = pv::findMpp(array);
+    std::cout << "panel at G=800, T=30C: MPP " << TextTable::num(mpp.power, 1)
+              << " W at " << TextTable::num(mpp.voltage, 1) << " V\n";
+
+    // Scenario (a): operating point right of the MPP (panel voltage
+    // above Vmpp). Increasing the load (smaller R) approaches the MPP.
+    const double k_right = mpp.voltage * 1.12 / 12.0;
+    sweepLoad(array, k_right, 4.0, 1.2,
+              "Figure 5(a): right of MPP -- increasing load w "
+              "(R falls) approaches the MPP");
+
+    // Scenario (b): left of the MPP. Decreasing the load approaches it.
+    const double k_left = mpp.voltage * 0.55 / 12.0;
+    sweepLoad(array, k_left, 0.8, 3.2,
+              "Figure 5(b): left of MPP -- decreasing load w "
+              "(R rises) approaches the MPP");
+
+    // Transfer-ratio tuning at fixed load, both directions (Table 1).
+    sweepRatio(array, 2.2, k_right * 1.1, k_right * 0.75,
+               "Table 1, right of MPP: decreasing k approaches the MPP");
+    sweepRatio(array, 2.2, k_left * 0.8, k_left * 1.6,
+               "Table 1, left of MPP: increasing k approaches the MPP");
+
+    std::cout << "\npaper: on the right of the MPP power rises as the "
+                 "load line steepens or k falls; on the left the same "
+                 "moves lose power -- the sign structure the SolarCore "
+                 "controller's step-2 probe detects.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: module I-V and P-V characteristics at
+ * G in {400, 600, 800, 1000} W/m^2 and T = 25 C. Emits the sampled
+ * curves plus the per-irradiance MPP summary; higher irradiance must
+ * generate more photocurrent and move the MPP upward.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main()
+{
+    const auto &module = bench::standardModule();
+
+    printBanner(std::cout, "Figure 6: BP3180N I-V / P-V vs irradiance "
+                           "(T = 25 C)");
+    TextTable curves;
+    curves.header({"V [V]", "I@400", "I@600", "I@800", "I@1000", "P@400",
+                   "P@600", "P@800", "P@1000"});
+
+    const double gs[] = {400.0, 600.0, 800.0, 1000.0};
+    pv::PvArray ref(module, 1, 1, {1000.0, 25.0});
+    const double v_max = ref.openCircuitVoltage();
+    for (int i = 0; i <= 12; ++i) {
+        const double v = v_max * i / 12.0;
+        std::vector<std::string> row{TextTable::num(v, 1)};
+        std::vector<std::string> powers;
+        for (double g : gs) {
+            pv::PvArray array(module, 1, 1, {g, 25.0});
+            const double c = array.currentAt(v);
+            row.push_back(TextTable::num(c, 2));
+            powers.push_back(TextTable::num(v * c, 1));
+        }
+        row.insert(row.end(), powers.begin(), powers.end());
+        curves.row(std::move(row));
+    }
+    curves.print(std::cout);
+
+    printBanner(std::cout, "MPP summary (paper: MPPs move upward with G)");
+    TextTable mpps;
+    mpps.header({"G [W/m^2]", "Voc [V]", "Isc [A]", "Vmpp [V]", "Impp [A]",
+                 "Pmax [W]"});
+    for (double g : gs) {
+        pv::PvArray array(module, 1, 1, {g, 25.0});
+        const auto mpp = pv::findMpp(array);
+        mpps.row({TextTable::num(g, 0),
+                  TextTable::num(array.openCircuitVoltage(), 1),
+                  TextTable::num(array.shortCircuitCurrent(), 2),
+                  TextTable::num(mpp.voltage, 1),
+                  TextTable::num(mpp.current, 2),
+                  TextTable::num(mpp.power, 1)});
+    }
+    mpps.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: module I-V and P-V characteristics at
+ * T in {0, 25, 50, 75} C and G = 1000 W/m^2. Higher temperature must
+ * reduce the open-circuit voltage, slightly raise the short-circuit
+ * current, and shift the MPP left with lower maximum power.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main()
+{
+    const auto &module = bench::standardModule();
+
+    printBanner(std::cout, "Figure 7: BP3180N I-V / P-V vs temperature "
+                           "(G = 1000 W/m^2)");
+    TextTable curves;
+    curves.header({"V [V]", "I@0C", "I@25C", "I@50C", "I@75C", "P@0C",
+                   "P@25C", "P@50C", "P@75C"});
+
+    const double ts[] = {0.0, 25.0, 50.0, 75.0};
+    pv::PvArray cold(module, 1, 1, {1000.0, 0.0});
+    const double v_max = cold.openCircuitVoltage();
+    for (int i = 0; i <= 12; ++i) {
+        const double v = v_max * i / 12.0;
+        std::vector<std::string> row{TextTable::num(v, 1)};
+        std::vector<std::string> powers;
+        for (double t : ts) {
+            pv::PvArray array(module, 1, 1, {1000.0, t});
+            const double c = array.currentAt(v);
+            row.push_back(TextTable::num(c, 2));
+            powers.push_back(TextTable::num(v * c, 1));
+        }
+        row.insert(row.end(), powers.begin(), powers.end());
+        curves.row(std::move(row));
+    }
+    curves.print(std::cout);
+
+    printBanner(std::cout,
+                "MPP summary (paper: MPP shifts left and falls with T)");
+    TextTable mpps;
+    mpps.header({"T [C]", "Voc [V]", "Isc [A]", "Vmpp [V]", "Impp [A]",
+                 "Pmax [W]"});
+    for (double t : ts) {
+        pv::PvArray array(module, 1, 1, {1000.0, t});
+        const auto mpp = pv::findMpp(array);
+        mpps.row({TextTable::num(t, 0),
+                  TextTable::num(array.openCircuitVoltage(), 1),
+                  TextTable::num(array.shortCircuitCurrent(), 2),
+                  TextTable::num(mpp.voltage, 1),
+                  TextTable::num(mpp.current, 2),
+                  TextTable::num(mpp.power, 1)});
+    }
+    mpps.print(std::cout);
+    return 0;
+}

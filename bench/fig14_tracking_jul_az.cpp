@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: MPP tracking accuracy under an irregular
+ * (monsoon) weather pattern (July at the Phoenix AZ station) for the
+ * H1, HM2 and L1 workloads.
+ */
+
+#include <string_view>
+
+#include "common/tracking_figure.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const bool csv =
+        argc > 1 && std::string_view(argv[1]) == "--csv";
+    solarcore::bench::printTrackingFigure(solarcore::solar::SiteId::AZ,
+                                          solarcore::solar::Month::Jul,
+                                          "Figure 14", csv);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: normalized effective operation duration
+ * of a direct-coupled system under fixed power-transfer thresholds of
+ * 25..125 W, for all 16 site-months. The paper groups the curves into
+ * slow / linear / rapid decline classes; we print the full matrix and
+ * an automatic classification of each site-month's decline shape.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "pv/mpp.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+/** Fraction of the daytime the panel MPP meets @p threshold_w. */
+double
+durationAboveThreshold(solar::SiteId site, solar::Month month,
+                       double threshold_w)
+{
+    const auto &module = bench::standardModule();
+    const auto &trace = bench::standardTrace(site, month);
+    pv::PvArray array(module, 1, 1, pv::kStc);
+
+    int above = 0;
+    int total = 0;
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += 1.0) {
+        const double g = trace.irradianceAt(minute);
+        const double amb = trace.ambientAt(minute);
+        array.setEnvironment({g, module.cellTempFromAmbient(amb, g)});
+        above += pv::findMpp(array).power >= threshold_w;
+        ++total;
+    }
+    return static_cast<double>(above) / total;
+}
+
+const char *
+classify(double frac_at_125)
+{
+    // Thresholds scaled to this panel: a single BP3180N only clears
+    // 125 W near its summer peak, so even the sunniest cells keep at
+    // most ~40% of the day above the top budget.
+    if (frac_at_125 >= 0.30)
+        return "slow decline";
+    if (frac_at_125 >= 0.08)
+        return "linear decline";
+    return "rapid decline";
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Figure 15: normalized effective operation "
+                           "duration vs power budget threshold");
+    TextTable t;
+    t.header({"pattern", "25W", "50W", "75W", "100W", "125W", "class"});
+
+    const double budgets[] = {25.0, 50.0, 75.0, 100.0, 125.0};
+    for (auto [site, month] : solar::allSiteMonths()) {
+        std::vector<std::string> row{bench::siteMonthLabel(site, month)};
+        double last = 0.0;
+        double prev = 1.0;
+        bool monotone = true;
+        for (double b : budgets) {
+            const double f = durationAboveThreshold(site, month, b);
+            monotone &= f <= prev + 1e-12;
+            prev = f;
+            last = f;
+            row.push_back(TextTable::num(f, 2));
+        }
+        row.emplace_back(classify(last));
+        t.row(std::move(row));
+        if (!monotone)
+            std::cout << "warning: non-monotone duration curve\n";
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: duration declines slowly for sunny patterns "
+                 "(e.g. Apr@AZ), linearly for most, and rapidly for "
+                 "cloudy autumn/spring cells (e.g. Apr@NC, Oct@TN).\n";
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Reproduces paper Figure 17: performance-time product under fixed
+ * power budgets of 25..125 W, normalized to SolarCore, per site and
+ * month (averaged over a representative workload set).
+ */
+
+#include "common/fixed_budget_sweep.hpp"
+
+int
+main()
+{
+    const auto cells = solarcore::bench::runFixedBudgetSweep();
+    solarcore::bench::printFixedSweep(cells, /*energy=*/false);
+    return 0;
+}

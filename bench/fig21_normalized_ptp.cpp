@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Figure 21: normalized performance-time product of
+ * MPPT&IC / MPPT&RR / MPPT&Opt against the Battery-U / Battery-L
+ * bounds, for all 16 weather patterns and all 10 workloads, normalized
+ * per cell to Battery-L. Paper averages to match in shape:
+ * IC ~0.82, RR ~1.02, Opt ~1.13, Battery-U ~1.14.
+ */
+
+#include <iostream>
+
+#include "common/bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main()
+{
+    const core::PolicyKind policies[] = {core::PolicyKind::MpptIc,
+                                         core::PolicyKind::MpptRr,
+                                         core::PolicyKind::MpptOpt};
+
+    RunningStats avg_ic;
+    RunningStats avg_rr;
+    RunningStats avg_opt;
+    RunningStats avg_bu;
+    RunningStats opt_over_rr;
+    RunningStats opt_over_ic;
+
+    for (auto site : solar::allSites()) {
+        for (auto month : solar::allMonths()) {
+            printBanner(std::cout,
+                        "Figure 21 -- normalized PTP, " +
+                            bench::siteMonthLabel(site, month) +
+                            " (Battery-L = 1.0)");
+            TextTable t;
+            t.header({"workload", "MPPT&IC", "MPPT&RR", "MPPT&Opt",
+                      "Battery-U"});
+            for (auto wl : workload::allWorkloads()) {
+                const auto bl = bench::runBatteryDay(
+                    site, month, wl, power::kBatteryLowerBound);
+                const auto bu = bench::runBatteryDay(
+                    site, month, wl, power::kBatteryUpperBound);
+                const double base = bl.instructions;
+
+                std::vector<std::string> row{workload::workloadName(wl)};
+                double ptp[3] = {0.0, 0.0, 0.0};
+                for (int p = 0; p < 3; ++p) {
+                    const auto r =
+                        bench::runDay(site, month, wl, policies[p]);
+                    ptp[p] = r.solarInstructions / base;
+                    row.push_back(TextTable::num(ptp[p], 2));
+                }
+                row.push_back(TextTable::num(bu.instructions / base, 2));
+                t.row(std::move(row));
+
+                avg_ic.add(ptp[0]);
+                avg_rr.add(ptp[1]);
+                avg_opt.add(ptp[2]);
+                avg_bu.add(bu.instructions / base);
+                opt_over_rr.add(ptp[2] / ptp[1]);
+                opt_over_ic.add(ptp[2] / ptp[0]);
+            }
+            t.print(std::cout);
+        }
+    }
+
+    printBanner(std::cout, "Figure 21 summary (normalized to Battery-L)");
+    TextTable s;
+    s.header({"scheme", "avg normalized PTP", "paper"});
+    s.row({"MPPT&IC", TextTable::num(avg_ic.mean(), 2), "0.82"});
+    s.row({"MPPT&RR", TextTable::num(avg_rr.mean(), 2), "1.02"});
+    s.row({"MPPT&Opt", TextTable::num(avg_opt.mean(), 2), "1.13"});
+    s.row({"Battery-U", TextTable::num(avg_bu.mean(), 2), "1.14"});
+    s.print(std::cout);
+
+    std::cout << "\nMPPT&Opt vs MPPT&RR: +"
+              << TextTable::num((opt_over_rr.mean() - 1.0) * 100.0, 1)
+              << "% (paper: +10.8%)\n"
+              << "MPPT&Opt vs MPPT&IC: +"
+              << TextTable::num((opt_over_ic.mean() - 1.0) * 100.0, 1)
+              << "% (paper: +37.8%)\n";
+    return 0;
+}

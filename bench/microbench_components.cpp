@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot components: the PV I-V
+ * solve, MPP search, network operating-point solve, the performance /
+ * power model evaluations, the DP allocator and a full simulated day.
+ * These guard the simulation's throughput (the Figure 16-21 sweeps run
+ * thousands of simulated days).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_common.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+void
+BM_CellCurrentSolve(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    const pv::Environment env{800.0, 40.0};
+    double v = 20.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(module.currentAt(v, env));
+        v = v < 40.0 ? v + 0.1 : 20.0;
+    }
+}
+BENCHMARK(BM_CellCurrentSolve);
+
+void
+BM_FindMpp(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    pv::PvArray array(module, 1, 1, {800.0, 40.0});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pv::findMpp(array));
+}
+BENCHMARK(BM_FindMpp);
+
+void
+BM_PinRailVoltage(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    pv::PvArray array(module, 1, 1, {800.0, 40.0});
+    power::DcDcConverter conv;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            power::pinRailVoltage(array, conv, 12.0, 60.0));
+}
+BENCHMARK(BM_PinRailVoltage);
+
+void
+BM_PerfModelEvaluate(benchmark::State &state)
+{
+    const cpu::PerfModel model{cpu::CoreConfig{}};
+    const auto profile = workload::benchmark("gcc");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            model.evaluate(profile.phases.front(), 2.5e9));
+}
+BENCHMARK(BM_PerfModelEvaluate);
+
+void
+BM_PowerModelEvaluate(benchmark::State &state)
+{
+    const cpu::PerfModel perf{cpu::CoreConfig{}};
+    const cpu::PowerModel power{cpu::EnergyParams{}};
+    const auto profile = workload::benchmark("gcc");
+    const auto pe = perf.evaluate(profile.phases.front(), 2.5e9);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            power.evaluate(profile.phases.front(), pe, 1.45, 2.5e9));
+}
+BENCHMARK(BM_PowerModelEvaluate);
+
+void
+BM_DpAllocator(benchmark::State &state)
+{
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::HM2),
+                            1);
+    const double budget = static_cast<double>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::optimizeAllocation(chip, budget));
+}
+BENCHMARK(BM_DpAllocator)->Arg(50)->Arg(100)->Arg(200);
+
+void
+BM_ControllerTrack(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    pv::PvArray array(module, 1, 1, {800.0, 40.0});
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::HM2),
+                            1);
+    core::TprOptAdapter adapter;
+    core::SolarCoreController ctl(array, chip, adapter);
+    for (auto _ : state) {
+        chip.gateAll();
+        benchmark::DoNotOptimize(ctl.track());
+    }
+}
+BENCHMARK(BM_ControllerTrack);
+
+void
+BM_SimulatedDay(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0))));
+    }
+}
+BENCHMARK(BM_SimulatedDay)->Arg(60)->Arg(30)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Panel designer: size a PV array for a solar-powered compute node.
+ *
+ * Sweeps the array arrangement (1..3 parallel strings of BP3180N
+ * modules) at a chosen site and reports, per configuration, the green
+ * PTP, utilization and marginal benefit -- the sizing question a
+ * deployment of the paper's system would face: more panel raises the
+ * harvest but saturates once the chip's maximum draw becomes the
+ * bottleneck.
+ *
+ *   $ ./panel_designer [AZ|CO|NC|TN]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/solarcore.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main(int argc, char **argv)
+{
+    solar::SiteId site = solar::SiteId::NC;
+    if (argc > 1) {
+        for (auto s : solar::allSites())
+            if (std::strcmp(argv[1], solar::siteName(s)) == 0)
+                site = s;
+    }
+
+    const pv::PvModule module = pv::buildBp3180n();
+    std::cout << "=== PV array sizing at " << solar::siteInfo(site).location
+              << " (BP3180N modules, workload ML2, 4-month average) ===\n";
+
+    TextTable t;
+    t.header({"array", "nameplate [W]", "avg solar Wh/day", "utilization",
+              "PTP [Tinstr/day]", "marginal PTP per module"});
+
+    double prev_ptp = 0.0;
+    for (int parallel = 1; parallel <= 3; ++parallel) {
+        double wh = 0.0;
+        double util = 0.0;
+        double ptp = 0.0;
+        for (auto month : solar::allMonths()) {
+            const auto trace = solar::generateDayTrace(site, month, 1);
+            core::SimConfig cfg;
+            cfg.policy = core::PolicyKind::MpptOpt;
+            cfg.modulesParallel = parallel;
+            const auto r = core::simulateDay(module, trace,
+                                             workload::WorkloadId::ML2,
+                                             cfg);
+            wh += r.solarEnergyWh / 4.0;
+            util += r.utilization / 4.0;
+            ptp += r.solarInstructions / 4.0;
+        }
+        const double marginal =
+            prev_ptp > 0.0 ? (ptp - prev_ptp) / 1e12 : ptp / 1e12;
+        t.row({std::string("1s x ") + std::to_string(parallel) + "p",
+               TextTable::num(180.0 * parallel, 0), TextTable::num(wh, 0),
+               TextTable::pct(util), TextTable::num(ptp / 1e12, 1),
+               TextTable::num(marginal, 1)});
+        prev_ptp = ptp;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nutilization falls as the array outgrows the chip's "
+                 "maximum draw: past that point extra modules only buy "
+                 "longer effective duration at dawn/dusk.\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Solar farm scenario: geographic diversity across the paper's four
+ * MIDC sites, using the fleet-level API.
+ *
+ * The paper's introduction motivates SolarCore with datacenter-scale
+ * solar deployments (Google/Microsoft/Yahoo farms). This example
+ * simulates one SolarCore node at each of the four stations for the
+ * same calendar day and shows what a geographically distributed fleet
+ * buys: local cloud fronts decorrelate, so the fleet's combined green
+ * output is far steadier than any single node's.
+ *
+ *   $ ./solar_farm [Jan|Apr|Jul|Oct]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/solarcore.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+int
+main(int argc, char **argv)
+{
+    solar::Month month = solar::Month::Apr;
+    if (argc > 1) {
+        for (auto m : solar::allMonths())
+            if (std::strcmp(argv[1], solar::monthName(m)) == 0)
+                month = m;
+    }
+
+    const pv::PvModule module = pv::buildBp3180n();
+    std::cout << "=== four-site SolarCore fleet, mid-"
+              << solar::monthName(month) << " ===\n\n";
+
+    std::vector<core::NodeSpec> specs;
+    for (auto site : solar::allSites()) {
+        core::NodeSpec spec;
+        spec.site = site;
+        spec.month = month;
+        spec.weatherSeed = 11;
+        spec.workload = workload::WorkloadId::ML2;
+        specs.push_back(spec);
+    }
+    const auto fleet = core::simulateFleetDay(module, specs);
+
+    TextTable t;
+    t.header({"site", "solar Wh", "utilization", "effective duration",
+              "green PTP [Tinstr]"});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &r = fleet.nodes[i];
+        t.row({solar::siteInfo(specs[i].site).location,
+               TextTable::num(r.solarEnergyWh, 0),
+               TextTable::pct(r.utilization),
+               TextTable::pct(r.effectiveFraction),
+               TextTable::num(r.solarInstructions / 1e12, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nfleet totals: "
+              << TextTable::num(fleet.totalSolarWh, 0) << " Wh solar, "
+              << TextTable::num(fleet.totalGridWh, 0) << " Wh grid ("
+              << TextTable::pct(fleet.greenFraction)
+              << " green by energy), fleet utilization "
+              << TextTable::pct(fleet.fleetUtilization) << "\n"
+              << "\nper-minute variability (stddev/mean) of green "
+                 "power:\n"
+              << "  single node:             "
+              << TextTable::pct(fleet.singleNodeCov) << "\n"
+              << "  four-site fleet average: "
+              << TextTable::pct(fleet.fleetCov) << "\n"
+              << "geographic diversity smooths the green supply the way "
+                 "a battery would, with zero storage.\n";
+    return 0;
+}

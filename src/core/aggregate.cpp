@@ -1,0 +1,30 @@
+#include "aggregate.hpp"
+
+#include "util/logging.hpp"
+
+namespace solarcore::core {
+
+AggregateResult
+simulateManyDays(const pv::PvModule &module, solar::SiteId site,
+                 solar::Month month, workload::WorkloadId workload,
+                 const SimConfig &cfg, int days, std::uint64_t base_seed)
+{
+    SC_ASSERT(days > 0, "simulateManyDays: non-positive day count");
+    AggregateResult agg;
+    for (int d = 0; d < days; ++d) {
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(d);
+        const auto trace = solar::generateDayTrace(site, month, seed);
+        SimConfig day_cfg = cfg;
+        day_cfg.seed = seed;
+        const auto r = simulateDay(module, trace, workload, day_cfg);
+        agg.utilization.add(r.utilization);
+        agg.effectiveFraction.add(r.effectiveFraction);
+        agg.trackingError.add(r.avgTrackingError);
+        agg.solarEnergyWh.add(r.solarEnergyWh);
+        agg.solarInstructions.add(r.solarInstructions);
+        ++agg.days;
+    }
+    return agg;
+}
+
+} // namespace solarcore::core

@@ -1,0 +1,32 @@
+#include "carbon.hpp"
+
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace solarcore::core {
+
+CarbonReport
+assessDay(const DayResult &day, const GridContext &grid)
+{
+    SC_ASSERT(grid.co2KgPerKwh >= 0.0 && grid.gridUsdPerKwh >= 0.0,
+              "assessDay: negative grid context");
+    CarbonReport report;
+    report.solarKwhPerDay = day.solarEnergyWh / 1000.0;
+    report.gridKwhPerDay = day.gridEnergyWh / 1000.0;
+
+    const double solar_kwh_year = report.solarKwhPerDay * 365.0;
+    report.co2AvoidedKgPerYear = solar_kwh_year * grid.co2KgPerKwh;
+    report.savingsUsdPerYear = solar_kwh_year * grid.gridUsdPerKwh;
+
+    report.panelPaybackYears = report.savingsUsdPerYear > 0.0
+        ? grid.panelUsd / report.savingsUsdPerYear
+        : std::numeric_limits<double>::infinity();
+
+    report.batteryAvoidedUsdPerYear = grid.batteryLifeYears > 0.0
+        ? grid.batteryUsd / grid.batteryLifeYears
+        : 0.0;
+    return report;
+}
+
+} // namespace solarcore::core

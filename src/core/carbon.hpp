@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Carbon and cost accounting: turns the simulation's energy ledgers
+ * into the quantities the paper's introduction argues about — avoided
+ * grid energy, avoided CO2, utility-bill savings, and the payback
+ * horizon of the panel against a battery-equipped alternative whose
+ * storage must be replaced periodically (the paper's Section 1 cost
+ * argument).
+ */
+
+#ifndef SOLARCORE_CORE_CARBON_HPP
+#define SOLARCORE_CORE_CARBON_HPP
+
+#include "core/simulation.hpp"
+
+namespace solarcore::core {
+
+/** Economic/environmental context of a deployment. */
+struct GridContext
+{
+    double co2KgPerKwh = 0.40;   //!< grid carbon intensity
+    double gridUsdPerKwh = 0.12; //!< utility tariff
+    double panelUsd = 450.0;     //!< installed cost of the PV module(s)
+    double batteryUsd = 600.0;   //!< battery bank for the alternative
+    double batteryLifeYears = 4.0; //!< replacement period (paper: short
+                                   //!< battery lifetime is a key cost)
+};
+
+/** Accounting over a repeated-day horizon. */
+struct CarbonReport
+{
+    double solarKwhPerDay = 0.0;
+    double gridKwhPerDay = 0.0;
+    double co2AvoidedKgPerYear = 0.0;
+    double savingsUsdPerYear = 0.0;
+    /** Years for the panel alone to pay for itself; inf if never. */
+    double panelPaybackYears = 0.0;
+    /**
+     * Extra yearly cost of the battery-equipped alternative
+     * (amortized storage replacement), the cost SolarCore avoids.
+     */
+    double batteryAvoidedUsdPerYear = 0.0;
+};
+
+/**
+ * Project one simulated day across a year (365 identical days — a
+ * deliberate simplification; use one report per season for more
+ * fidelity) under @p grid.
+ */
+CarbonReport assessDay(const DayResult &day,
+                       const GridContext &grid = GridContext());
+
+} // namespace solarcore::core
+
+#endif // SOLARCORE_CORE_CARBON_HPP

@@ -1,0 +1,158 @@
+#include "controller.hpp"
+
+#include "util/logging.hpp"
+
+namespace solarcore::core {
+
+SolarCoreController::SolarCoreController(const pv::IvSource &panel,
+                                         cpu::MultiCoreChip &chip,
+                                         LoadAdapter &adapter,
+                                         ControllerConfig config)
+    : panel_(&panel), chip_(&chip), adapter_(&adapter), config_(config),
+      converter_(0.5, 8.0, config.converterEfficiency)
+{
+    SC_ASSERT(config_.railNominalV > 0.0, "controller: bad rail voltage");
+    SC_ASSERT(config_.marginFraction >= 0.0 && config_.marginFraction < 0.5,
+              "controller: bad margin");
+}
+
+bool
+SolarCoreController::sustainable(double demand_w)
+{
+    if (demand_w <= 0.0)
+        return false;
+    const double with_margin = demand_w * (1.0 + config_.marginFraction);
+    const auto st = power::pinRailVoltage(*panel_, converter_,
+                                          config_.railNominalV, with_margin);
+    return st.valid;
+}
+
+void
+SolarCoreController::shedUntilSustainable(TrackResult &result)
+{
+    while (!sustainable(chip_->totalPower())) {
+        const auto step = adapter_->decreaseOneStep(*chip_);
+        if (!step.valid) {
+            result.solarViable = false;
+            return;
+        }
+        ++result.stepsDown;
+        ++totalSteps_;
+    }
+    result.solarViable = true;
+}
+
+SolarCoreController::MppSide
+SolarCoreController::probeMppSide()
+{
+    // Fix the chip's load line at its present demand and rail voltage.
+    const double demand = chip_->totalPower();
+    const double r_load =
+        power::loadResistance(config_.railNominalV, demand);
+
+    const double k0 = converter_.ratio();
+    const auto base = power::solveNetwork(*panel_, converter_, r_load);
+
+    power::DcDcConverter probe = converter_;
+    probe.setRatio(k0 + config_.deltaK);
+    const auto perturbed = power::solveNetwork(*panel_, probe, r_load);
+
+    if (!base.valid || !perturbed.valid)
+        return MppSide::AtMpp;
+
+    // Raising k raises the panel voltage. If the sensed output current
+    // grows, the perturbation approached the MPP from the left
+    // (Figure 5-b); if it falls, the point was right of the MPP.
+    const double di = perturbed.load.current - base.load.current;
+    const double tol = 1e-7 * (1.0 + base.load.current);
+    if (di > tol)
+        return MppSide::Left;
+    if (di < -tol)
+        return MppSide::Right;
+    return MppSide::AtMpp;
+}
+
+TrackResult
+SolarCoreController::track()
+{
+    TrackResult result;
+    adapter_->beginTrackingPeriod(*chip_);
+
+    // Step 1: restore the rail -- shed until the present demand fits.
+    shedUntilSustainable(result);
+    if (!result.solarViable)
+        return result;
+
+    // Steps 2+3: climb toward the MPP one notch at a time, retuning k
+    // (inside pinRailVoltage) after every notch. When the policy's
+    // chosen notch overshoots, revert it and fall through to the fill
+    // stage below -- that notch marks the paper's inflection point.
+    for (int i = 0; i < config_.maxTuneSteps; ++i) {
+        const auto snapshot = chip_->settings();
+        const auto step = adapter_->increaseOneStep(*chip_);
+        if (!step.valid)
+            break; // every core already at the top level
+        if (!sustainable(chip_->totalPower())) {
+            chip_->applySettings(snapshot); // inflection: back off
+            break;
+        }
+        ++result.stepsUp;
+        ++totalSteps_;
+    }
+
+    // Fill stage (paper Figure 12: iterate "until the aggregated
+    // multi-core power approximates the new budget"): after the
+    // policy's preferred notch no longer fits, absorb the remaining
+    // headroom with the smallest-power notches that still fit. This
+    // runs identically for every policy, so it narrows the margin
+    // without disturbing the policies' allocation character.
+    for (int i = 0; i < config_.maxTuneSteps; ++i) {
+        StepCandidate best;
+        for (const auto &s : allUpSteps(*chip_)) {
+            if (s.deltaPowerW <= 0.0)
+                continue;
+            if (!best.valid || s.deltaPowerW < best.deltaPowerW)
+                best = s;
+        }
+        if (!best.valid)
+            break;
+        const auto snapshot = chip_->settings();
+        applyStep(*chip_, best);
+        if (!sustainable(chip_->totalPower())) {
+            chip_->applySettings(snapshot);
+            break;
+        }
+        ++result.stepsUp;
+        ++totalSteps_;
+    }
+
+    // Final settle: pin the rail for the demand we ended at.
+    result.net = power::pinRailVoltage(*panel_, converter_,
+                                       config_.railNominalV,
+                                       chip_->totalPower());
+    result.solarViable = result.net.valid;
+    return result;
+}
+
+TrackResult
+SolarCoreController::enforceRail()
+{
+    TrackResult result;
+    if (sustainable(chip_->totalPower())) {
+        result.solarViable = true;
+        result.net = power::pinRailVoltage(*panel_, converter_,
+                                           config_.railNominalV,
+                                           chip_->totalPower());
+        return result;
+    }
+    shedUntilSustainable(result);
+    if (result.solarViable) {
+        result.net = power::pinRailVoltage(*panel_, converter_,
+                                           config_.railNominalV,
+                                           chip_->totalPower());
+        result.solarViable = result.net.valid;
+    }
+    return result;
+}
+
+} // namespace solarcore::core

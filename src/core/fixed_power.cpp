@@ -1,0 +1,188 @@
+#include "fixed_power.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace solarcore::core {
+
+namespace {
+
+/** One selectable state of a core: gated or a DVFS level. */
+struct Choice
+{
+    cpu::MultiCoreChip::CoreSetting setting;
+    double powerW = 0.0;
+    double throughput = 0.0;
+};
+
+std::vector<Choice>
+coreChoices(const cpu::MultiCoreChip &chip, int index)
+{
+    std::vector<Choice> out;
+    const auto &table = chip.dvfs();
+    const cpu::Core &c = chip.core(index);
+
+    Choice gated;
+    gated.setting = {table.minLevel(), true};
+    gated.powerW = chip.powerModel().gatedPower().totalW();
+    gated.throughput = 0.0;
+    out.push_back(gated);
+
+    for (int l = table.minLevel(); l <= table.maxLevel(); ++l) {
+        Choice ch;
+        ch.setting = {l, false};
+        ch.powerW = c.powerAtLevel(l);
+        ch.throughput = c.throughputAtLevel(l);
+        out.push_back(ch);
+    }
+    return out;
+}
+
+} // namespace
+
+AllocationResult
+optimizeAllocation(const cpu::MultiCoreChip &chip, double budget_w,
+                   double power_res_w)
+{
+    SC_ASSERT(power_res_w > 0.0, "optimizeAllocation: bad resolution");
+    AllocationResult res;
+    if (budget_w <= 0.0)
+        return res;
+
+    const int n = chip.numCores();
+    const int budget_units =
+        static_cast<int>(std::floor(budget_w / power_res_w));
+    if (budget_units <= 0)
+        return res;
+
+    constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+    // dp[u]: best throughput with the cores processed so far consuming
+    // at most u power units; choice[i][u] reconstructs the argmax.
+    std::vector<double> dp(static_cast<std::size_t>(budget_units) + 1,
+                           kNegInf);
+    dp[0] = 0.0;
+    std::vector<std::vector<int>> choice_at(
+        static_cast<std::size_t>(n),
+        std::vector<int>(static_cast<std::size_t>(budget_units) + 1, -1));
+    std::vector<std::vector<Choice>> choices;
+    choices.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        choices.push_back(coreChoices(chip, i));
+
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> next(dp.size(), kNegInf);
+        for (int u = 0; u <= budget_units; ++u) {
+            if (dp[static_cast<std::size_t>(u)] == kNegInf)
+                continue;
+            for (std::size_t c = 0; c < choices[i].size(); ++c) {
+                const auto &ch = choices[static_cast<std::size_t>(i)][c];
+                // Round power up so the grid never under-counts.
+                const int cost = static_cast<int>(
+                    std::ceil(ch.powerW / power_res_w - 1e-12));
+                const int u2 = u + cost;
+                if (u2 > budget_units)
+                    continue;
+                const double t =
+                    dp[static_cast<std::size_t>(u)] + ch.throughput;
+                if (t > next[static_cast<std::size_t>(u2)]) {
+                    next[static_cast<std::size_t>(u2)] = t;
+                    choice_at[static_cast<std::size_t>(i)]
+                             [static_cast<std::size_t>(u2)] =
+                                 static_cast<int>(c);
+                }
+            }
+        }
+        dp.swap(next);
+    }
+
+    // Best end state.
+    int best_u = -1;
+    double best_t = kNegInf;
+    for (int u = 0; u <= budget_units; ++u) {
+        if (dp[static_cast<std::size_t>(u)] > best_t) {
+            best_t = dp[static_cast<std::size_t>(u)];
+            best_u = u;
+        }
+    }
+    if (best_u < 0 || best_t == kNegInf)
+        return res; // even all-gated does not fit
+
+    // Walk the choices backwards. choice_at[i][u] was only recorded for
+    // the u that the dp actually reached, so recompute by re-running
+    // the backward reconstruction.
+    res.settings.resize(static_cast<std::size_t>(n));
+    int u = best_u;
+    for (int i = n - 1; i >= 0; --i) {
+        const int c = choice_at[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(u)];
+        SC_ASSERT(c >= 0, "optimizeAllocation: broken DP path");
+        const auto &ch =
+            choices[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+        res.settings[static_cast<std::size_t>(i)] = ch.setting;
+        res.powerW += ch.powerW;
+        res.throughput += ch.throughput;
+        const int cost =
+            static_cast<int>(std::ceil(ch.powerW / power_res_w - 1e-12));
+        u -= cost;
+    }
+    SC_ASSERT(u >= 0, "optimizeAllocation: negative residual budget");
+    res.feasible = true;
+    return res;
+}
+
+AllocationResult
+bruteForceAllocation(const cpu::MultiCoreChip &chip, double budget_w)
+{
+    AllocationResult best;
+    const int n = chip.numCores();
+    std::vector<std::vector<Choice>> choices;
+    choices.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        choices.push_back(coreChoices(chip, i));
+
+    std::vector<std::size_t> pick(static_cast<std::size_t>(n), 0);
+    while (true) {
+        double p = 0.0;
+        double t = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const auto &ch =
+                choices[static_cast<std::size_t>(i)][pick[
+                    static_cast<std::size_t>(i)]];
+            p += ch.powerW;
+            t += ch.throughput;
+        }
+        if (p <= budget_w && (!best.feasible || t > best.throughput)) {
+            best.feasible = true;
+            best.powerW = p;
+            best.throughput = t;
+            best.settings.clear();
+            for (int i = 0; i < n; ++i)
+                best.settings.push_back(
+                    choices[static_cast<std::size_t>(i)]
+                           [pick[static_cast<std::size_t>(i)]].setting);
+        }
+        // Odometer increment.
+        int i = 0;
+        for (; i < n; ++i) {
+            auto &d = pick[static_cast<std::size_t>(i)];
+            if (++d < choices[static_cast<std::size_t>(i)].size())
+                break;
+            d = 0;
+        }
+        if (i == n)
+            break;
+    }
+    return best;
+}
+
+void
+applyAllocation(cpu::MultiCoreChip &chip, const AllocationResult &alloc)
+{
+    SC_ASSERT(alloc.feasible, "applyAllocation: infeasible allocation");
+    chip.applySettings(alloc.settings);
+}
+
+} // namespace solarcore::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-budget throughput maximization (the paper's Fixed-Power
+ * baseline, Table 6, and the allocator inside the battery baselines).
+ *
+ * The paper solves this with linear programming; our per-core levels
+ * are discrete (gate, or one of six V/F points), so we solve the
+ * problem exactly with dynamic programming over a discretized power
+ * axis -- at least as strong a baseline as the LP relaxation. Tests
+ * cross-check the DP against brute force on small instances.
+ */
+
+#ifndef SOLARCORE_CORE_FIXED_POWER_HPP
+#define SOLARCORE_CORE_FIXED_POWER_HPP
+
+#include <vector>
+
+#include "cpu/chip.hpp"
+
+namespace solarcore::core {
+
+/** Result of a fixed-budget allocation. */
+struct AllocationResult
+{
+    std::vector<cpu::MultiCoreChip::CoreSetting> settings;
+    double powerW = 0.0;       //!< chip power of the allocation
+    double throughput = 0.0;   //!< instruction rate of the allocation
+    bool feasible = false;     //!< false if even all-gated exceeds budget
+};
+
+/**
+ * Choose per-core levels maximizing total throughput subject to total
+ * power <= @p budget_w, using the cores' current phases.
+ *
+ * @param chip        chip whose cores/phases to optimize (not mutated)
+ * @param budget_w    power budget [W]
+ * @param power_res_w DP power resolution [W]; power values are rounded
+ *                    up to the grid so the budget is never exceeded
+ */
+AllocationResult optimizeAllocation(const cpu::MultiCoreChip &chip,
+                                    double budget_w,
+                                    double power_res_w = 0.1);
+
+/**
+ * Exhaustive reference optimizer for testing; cost grows as
+ * (levels+1)^cores, use only for small chips.
+ */
+AllocationResult bruteForceAllocation(const cpu::MultiCoreChip &chip,
+                                      double budget_w);
+
+/** Apply an allocation to the chip. */
+void applyAllocation(cpu::MultiCoreChip &chip, const AllocationResult &alloc);
+
+} // namespace solarcore::core
+
+#endif // SOLARCORE_CORE_FIXED_POWER_HPP

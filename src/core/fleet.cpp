@@ -1,0 +1,59 @@
+#include "fleet.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace solarcore::core {
+
+FleetResult
+simulateFleetDay(const pv::PvModule &module,
+                 const std::vector<NodeSpec> &specs)
+{
+    SC_ASSERT(!specs.empty(), "simulateFleetDay: empty fleet");
+    FleetResult fleet;
+    fleet.nodes.reserve(specs.size());
+
+    double total_mpp_wh = 0.0;
+    for (const auto &spec : specs) {
+        const auto trace = solar::generateDayTrace(spec.site, spec.month,
+                                                   spec.weatherSeed);
+        SimConfig cfg = spec.config;
+        cfg.recordTimeline = true;
+        const auto r = simulateDay(module, trace, spec.workload, cfg);
+
+        fleet.totalSolarWh += r.solarEnergyWh;
+        fleet.totalGridWh += r.gridEnergyWh;
+        fleet.totalGreenInstructions += r.solarInstructions;
+        total_mpp_wh += r.mppEnergyWh;
+        fleet.nodes.push_back(r);
+    }
+
+    fleet.fleetUtilization =
+        total_mpp_wh > 0.0 ? fleet.totalSolarWh / total_mpp_wh : 0.0;
+    const double total = fleet.totalSolarWh + fleet.totalGridWh;
+    fleet.greenFraction = total > 0.0 ? fleet.totalSolarWh / total : 0.0;
+
+    // Smoothing statistics over the common timeline span.
+    std::size_t n = fleet.nodes.front().timeline.size();
+    for (const auto &node : fleet.nodes)
+        n = std::min(n, node.timeline.size());
+    RunningStats single;
+    RunningStats combined;
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = 0.0;
+        for (const auto &node : fleet.nodes)
+            sum += node.timeline[i].consumedW;
+        single.add(fleet.nodes.front().timeline[i].consumedW);
+        combined.add(sum / static_cast<double>(fleet.nodes.size()));
+    }
+    auto cov = [](const RunningStats &s) {
+        return s.mean() > 0.0 ? s.stddev() / s.mean() : 0.0;
+    };
+    fleet.singleNodeCov = cov(single);
+    fleet.fleetCov = cov(combined);
+    return fleet;
+}
+
+} // namespace solarcore::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fleet-level simulation: several SolarCore nodes, each with its own
+ * panel, weather and workload, evaluated over the same day.
+ *
+ * The paper's introduction motivates SolarCore with datacenter-scale
+ * solar deployments; this module provides the datacenter view. Each
+ * node runs the single-node simulation independently (panels do not
+ * share strings across sites), and the fleet result aggregates the
+ * energy ledgers plus the per-minute combined green power, which is
+ * what capacity planning needs: geographic/weather diversity smooths
+ * the aggregate supply.
+ */
+
+#ifndef SOLARCORE_CORE_FLEET_HPP
+#define SOLARCORE_CORE_FLEET_HPP
+
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace solarcore::core {
+
+/** One node of the fleet. */
+struct NodeSpec
+{
+    solar::SiteId site = solar::SiteId::AZ;
+    solar::Month month = solar::Month::Apr;
+    std::uint64_t weatherSeed = 1;
+    workload::WorkloadId workload = workload::WorkloadId::HM2;
+    SimConfig config;
+};
+
+/** Aggregated outcome of a fleet day. */
+struct FleetResult
+{
+    std::vector<DayResult> nodes;  //!< per-node results, spec order
+
+    double totalSolarWh = 0.0;
+    double totalGridWh = 0.0;
+    double totalGreenInstructions = 0.0;
+    double fleetUtilization = 0.0; //!< sum solar / sum MPP energy
+    double greenFraction = 0.0;    //!< solar / (solar + grid) energy
+
+    /**
+     * Coefficient of variation (stddev/mean) of the per-minute green
+     * power, for one representative node and for the fleet average --
+     * the diversity-smoothing measure.
+     */
+    double singleNodeCov = 0.0;
+    double fleetCov = 0.0;
+};
+
+/**
+ * Simulate every node of @p specs over its own trace and aggregate.
+ * Timelines are forced on internally to compute the smoothing
+ * statistics.
+ */
+FleetResult simulateFleetDay(const pv::PvModule &module,
+                             const std::vector<NodeSpec> &specs);
+
+} // namespace solarcore::core
+
+#endif // SOLARCORE_CORE_FLEET_HPP

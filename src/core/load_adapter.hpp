@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-core load-adaptation policies (paper Table 6 and Section 4.3).
+ *
+ * The MPPT controller asks a policy for one DVFS notch at a time while
+ * it walks the panel operating point toward the MPP. The three
+ * tracking policies differ only in which core receives that notch:
+ *
+ *  - MPPT&Opt: the throughput-power-ratio heuristic of Section 4.3 --
+ *    raise the core whose next step has the highest TPR, lower the one
+ *    whose last step had the lowest.
+ *  - MPPT&RR:  round-robin over the cores.
+ *  - MPPT&IC:  individual-core -- drive one core all the way to its
+ *    highest (or lowest) point before touching the next.
+ */
+
+#ifndef SOLARCORE_CORE_LOAD_ADAPTER_HPP
+#define SOLARCORE_CORE_LOAD_ADAPTER_HPP
+
+#include <memory>
+
+#include "core/tpr.hpp"
+#include "cpu/chip.hpp"
+
+namespace solarcore::core {
+
+/** Strategy interface: choose where the next DVFS notch lands. */
+class LoadAdapter
+{
+  public:
+    virtual ~LoadAdapter() = default;
+
+    /** Policy label as used in the paper's tables. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Apply one upward notch to the chip.
+     * @return the applied step; invalid when every core is at the top
+     */
+    virtual StepCandidate increaseOneStep(cpu::MultiCoreChip &chip) = 0;
+
+    /**
+     * Apply one downward notch to the chip.
+     * @return the applied step; invalid when every core is gated
+     */
+    virtual StepCandidate decreaseOneStep(cpu::MultiCoreChip &chip) = 0;
+
+    /** Hook called at the start of each tracking period. */
+    virtual void beginTrackingPeriod(cpu::MultiCoreChip &) {}
+};
+
+/** MPPT&Opt: throughput-power-ratio optimized scheduling. */
+class TprOptAdapter : public LoadAdapter
+{
+  public:
+    const char *name() const override { return "MPPT&Opt"; }
+    StepCandidate increaseOneStep(cpu::MultiCoreChip &chip) override;
+    StepCandidate decreaseOneStep(cpu::MultiCoreChip &chip) override;
+};
+
+/** MPPT&RR: round-robin scheduling. */
+class RoundRobinAdapter : public LoadAdapter
+{
+  public:
+    const char *name() const override { return "MPPT&RR"; }
+    StepCandidate increaseOneStep(cpu::MultiCoreChip &chip) override;
+    StepCandidate decreaseOneStep(cpu::MultiCoreChip &chip) override;
+
+  private:
+    int upCursor_ = 0;
+    int downCursor_ = 0;
+};
+
+/** MPPT&IC: tune one core to its extreme before the next. */
+class IndividualCoreAdapter : public LoadAdapter
+{
+  public:
+    const char *name() const override { return "MPPT&IC"; }
+    StepCandidate increaseOneStep(cpu::MultiCoreChip &chip) override;
+    StepCandidate decreaseOneStep(cpu::MultiCoreChip &chip) override;
+};
+
+/**
+ * MPPT&IC augmented with thread motion (extension; paper reference
+ * [36]): before each tracking period the programs are migrated so the
+ * most power-efficient ones sit on the low-indexed cores that the
+ * individual-core policy boosts first. Recovers part of the PTP the
+ * plain concentration policy loses.
+ */
+class IcMotionAdapter : public IndividualCoreAdapter
+{
+  public:
+    const char *name() const override { return "MPPT&IC+TM"; }
+    void beginTrackingPeriod(cpu::MultiCoreChip &chip) override;
+};
+
+/** Factory for the paper's policy set (plus the motion extension). */
+enum class PolicyKind { FixedPower, MpptIc, MpptRr, MpptOpt,
+                        MpptIcMotion };
+
+/** Paper label for a policy. */
+const char *policyName(PolicyKind kind);
+
+/** Build the adapter for a tracking policy; FixedPower has none. */
+std::unique_ptr<LoadAdapter> makeAdapter(PolicyKind kind);
+
+} // namespace solarcore::core
+
+#endif // SOLARCORE_CORE_LOAD_ADAPTER_HPP

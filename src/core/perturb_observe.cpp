@@ -1,0 +1,79 @@
+#include "perturb_observe.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace solarcore::core {
+
+PerturbObserveTracker::PerturbObserveTracker(const pv::IvSource &panel,
+                                             power::DcDcConverter &converter,
+                                             double load_ohm,
+                                             power::IvSensor sensor,
+                                             PerturbObserveConfig config)
+    : panel_(&panel), converter_(&converter), loadOhm_(load_ohm),
+      sensor_(sensor), config_(config), stepK_(config.deltaK)
+{
+    SC_ASSERT(load_ohm > 0.0, "PerturbObserveTracker: bad load");
+    SC_ASSERT(config_.deltaK > 0.0 && config_.minDeltaK > 0.0,
+              "PerturbObserveTracker: bad step configuration");
+}
+
+void
+PerturbObserveTracker::setLoad(double load_ohm)
+{
+    SC_ASSERT(load_ohm > 0.0, "PerturbObserveTracker: bad load");
+    loadOhm_ = load_ohm;
+    // A load change invalidates the power memory; re-prime next step.
+    lastPower_ = -1.0;
+}
+
+double
+PerturbObserveTracker::step()
+{
+    ++iterations_;
+
+    // Perturb.
+    converter_->adjustRatio(direction_ * stepK_);
+
+    // Observe through the sensor.
+    const auto st = power::solveNetwork(*panel_, *converter_, loadOhm_);
+    if (!st.valid) {
+        // Dark panel or infeasible point: back off and flip.
+        converter_->adjustRatio(-direction_ * stepK_);
+        direction_ = -direction_;
+        return 0.0;
+    }
+    const double p = sensor_.measurePower(st.load);
+
+    // A large power jump means the environment moved, not the
+    // perturbation: re-arm the full step so the tracker can chase the
+    // new MPP instead of crawling at the settled step size.
+    if (config_.adaptiveStep && lastPower_ > 0.0 &&
+        std::abs(p - lastPower_) > 0.2 * lastPower_) {
+        stepK_ = config_.deltaK;
+    }
+
+    // Decide: keep climbing or turn around.
+    if (lastPower_ >= 0.0 && p < lastPower_) {
+        direction_ = -direction_;
+        ++flips_;
+        if (config_.adaptiveStep) {
+            stepK_ = std::max(config_.minDeltaK, 0.5 * stepK_);
+        }
+    }
+    lastPower_ = p;
+    return p;
+}
+
+double
+PerturbObserveTracker::run(int iterations)
+{
+    SC_ASSERT(iterations > 0, "PerturbObserveTracker: bad iterations");
+    double p = 0.0;
+    for (int i = 0; i < iterations; ++i)
+        p = step();
+    return p;
+}
+
+} // namespace solarcore::core

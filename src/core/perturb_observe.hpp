@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Classic perturb-and-observe MPPT on the converter transfer ratio
+ * (paper Section 4.2, references [3, 32]).
+ *
+ * This is the hardware-style tracker SolarCore builds on: hold the
+ * load fixed, nudge the transfer ratio by a step, observe the sensed
+ * output power, keep the direction if power rose and flip it if power
+ * fell. It converges to (and then oscillates around) the MPP of a
+ * unimodal curve without any model knowledge. SolarCore's controller
+ * supersedes it by co-tuning the load; this standalone implementation
+ * exists as the algorithmic baseline, for tests of Table 1's
+ * directional claims, and for users who want a plain MPPT block.
+ */
+
+#ifndef SOLARCORE_CORE_PERTURB_OBSERVE_HPP
+#define SOLARCORE_CORE_PERTURB_OBSERVE_HPP
+
+#include "power/converter.hpp"
+#include "power/operating_point.hpp"
+#include "power/sensors.hpp"
+#include "pv/module.hpp"
+
+namespace solarcore::core {
+
+/** Configuration of the P&O loop. */
+struct PerturbObserveConfig
+{
+    double deltaK = 0.02;    //!< transfer-ratio step per iteration
+    double minDeltaK = 0.0025; //!< floor for the adaptive step
+    bool adaptiveStep = true; //!< halve the step on direction flips
+};
+
+/** A perturb-and-observe tracker bound to a panel/converter/load. */
+class PerturbObserveTracker
+{
+  public:
+    /**
+     * @param panel     PV source (environment rebound by the caller)
+     * @param converter transfer-ratio converter under control
+     * @param load_ohm  fixed resistive load at the converter output
+     * @param sensor    output-side sensor the tracker reads through
+     * @param config    loop parameters
+     */
+    PerturbObserveTracker(const pv::IvSource &panel,
+                          power::DcDcConverter &converter, double load_ohm,
+                          power::IvSensor sensor = power::IvSensor(),
+                          PerturbObserveConfig config =
+                              PerturbObserveConfig());
+
+    /** Change the load (the chip moved its DVFS levels). */
+    void setLoad(double load_ohm);
+
+    /**
+     * Execute one perturb-observe iteration.
+     * @return the sensed output power after the step [W]
+     */
+    double step();
+
+    /** Run @p iterations steps; returns the final sensed power [W]. */
+    double run(int iterations);
+
+    /** Iterations executed so far. */
+    int iterations() const { return iterations_; }
+
+    /** Direction flips observed (a proxy for settling). */
+    int directionFlips() const { return flips_; }
+
+  private:
+    const pv::IvSource *panel_;
+    power::DcDcConverter *converter_;
+    double loadOhm_;
+    power::IvSensor sensor_;
+    PerturbObserveConfig config_;
+
+    double stepK_;
+    double direction_ = 1.0;
+    double lastPower_ = -1.0;
+    int iterations_ = 0;
+    int flips_ = 0;
+};
+
+} // namespace solarcore::core
+
+#endif // SOLARCORE_CORE_PERTURB_OBSERVE_HPP

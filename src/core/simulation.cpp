@@ -1,0 +1,380 @@
+#include "simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "core/fixed_power.hpp"
+#include "cpu/thermal.hpp"
+#include "power/ats.hpp"
+#include "power/battery.hpp"
+#include "pv/mpp.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace solarcore::core {
+
+namespace {
+
+cpu::MultiCoreChip
+buildChip(workload::WorkloadId workload, const SimConfig &cfg)
+{
+    const auto table = cfg.dvfsLevels == 6
+        ? cpu::DvfsTable::paperDefault()
+        : cpu::DvfsTable::interpolated(cfg.dvfsLevels);
+    return cpu::MultiCoreChip(cpu::defaultChipConfig(), table,
+                              cpu::EnergyParams{},
+                              workload::workloadSet(workload), cfg.seed);
+}
+
+void
+setDieTemps(cpu::MultiCoreChip &chip, double ambient_c)
+{
+    // Simple thermal proxy: dies run ~30 K above ambient under load.
+    for (int i = 0; i < chip.numCores(); ++i)
+        chip.core(i).setDieTempC(ambient_c + 30.0);
+}
+
+} // namespace
+
+DayResult
+simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
+            workload::WorkloadId workload, const SimConfig &cfg)
+{
+    SC_ASSERT(!trace.empty(), "simulateDay: empty trace");
+    SC_ASSERT(cfg.dtSeconds > 0.0, "simulateDay: bad step");
+
+    DayResult result;
+
+    auto chip = buildChip(workload, cfg);
+    chip.setGatingAllowed(cfg.pcpg);
+    pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
+                      pv::kStc);
+
+    const bool tracking = cfg.policy != PolicyKind::FixedPower;
+    auto adapter = tracking ? makeAdapter(cfg.policy) : nullptr;
+    std::optional<SolarCoreController> controller;
+    if (tracking)
+        controller.emplace(array, chip, *adapter, cfg.controller);
+
+    const double threshold =
+        tracking ? cfg.thresholdW : cfg.fixedBudgetW;
+    power::TransferSwitch ats(threshold, 0.02 * threshold);
+
+    // Tracking-error accounting (Table 7): per tracking period t the
+    // relative error is |Pb - Pl| / Pb with Pb the mean budget and Pl
+    // the mean consumption over the period; day aggregate is the
+    // geometric mean across periods.
+    GeometricMean period_errors(1e-4);
+    RunningStats period_budget;
+    RunningStats period_consumed;
+    auto close_period = [&]() {
+        if (period_budget.count() > 0 &&
+            period_budget.mean() >= cfg.errorFloorW) {
+            period_errors.add(
+                std::abs(period_budget.mean() - period_consumed.mean()) /
+                period_budget.mean());
+        }
+        period_budget = RunningStats();
+        period_consumed = RunningStats();
+    };
+
+    std::vector<cpu::ThermalModel> thermal(
+        static_cast<std::size_t>(chip.numCores()));
+
+    const double dt_min = cfg.dtSeconds / 60.0;
+    double last_track_minute = -1e9;
+    double last_track_budget = 0.0;
+    double last_track_demand = 0.0;
+    bool was_on_solar = false;
+    double last_timeline_minute = -1e9;
+
+    chip.setAllLevels(chip.dvfs().maxLevel()); // boots on grid, full speed
+
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
+        if (cfg.rcThermal) {
+            // Close the power -> temperature -> leakage loop per core,
+            // and throttle any core past the thermal limit.
+            for (int i = 0; i < chip.numCores(); ++i) {
+                auto &core = chip.core(i);
+                const double t = thermal[static_cast<std::size_t>(i)]
+                                     .step(core.power().totalW(),
+                                           ambient, cfg.dtSeconds);
+                core.setDieTempC(t);
+                if (t > cfg.maxDieTempC && !core.gated() &&
+                    core.level() > chip.dvfs().minLevel()) {
+                    core.setLevel(core.level() - 1);
+                    ++result.thermalThrottles;
+                }
+            }
+        } else {
+            setDieTemps(chip, ambient);
+        }
+
+        const auto mpp = pv::findMpp(array);
+        result.mppEnergyWh += mpp.power * cfg.dtSeconds / 3600.0;
+
+        ats.update(mpp.power, cfg.dtSeconds);
+        bool on_solar = ats.onSolar();
+
+        if (on_solar && tracking) {
+            const bool due =
+                minute - last_track_minute >= cfg.trackingPeriodMinutes;
+            const bool supply_moved = last_track_budget > 0.0 &&
+                std::abs(mpp.power - last_track_budget) >
+                    cfg.retrackSupplyDelta * last_track_budget;
+            const bool demand_moved = last_track_demand > 0.0 &&
+                std::abs(chip.totalPower() - last_track_demand) >
+                    cfg.retrackDemandDelta * last_track_demand;
+            TrackResult tr;
+            if (!was_on_solar || due || supply_moved || demand_moved) {
+                if (due || !was_on_solar)
+                    close_period();
+                tr = controller->track();
+                last_track_minute = minute;
+                last_track_budget = mpp.power;
+                last_track_demand = chip.totalPower();
+            } else {
+                tr = controller->enforceRail();
+            }
+            if (!tr.solarViable) {
+                // Even the minimum sheddable load exceeds what the
+                // panel can carry (possible with PCPG disabled): fail
+                // over to the utility before the rail collapses.
+                ats.force(power::PowerSource::Grid);
+                chip.setAllLevels(chip.dvfs().maxLevel());
+                on_solar = false;
+            }
+        } else if (on_solar && !tracking) {
+            // Fixed-Power: (re)allocate to the fixed budget on entry
+            // and at each period boundary; enforce on phase drift.
+            const bool due =
+                minute - last_track_minute >= cfg.trackingPeriodMinutes;
+            if (!was_on_solar || due ||
+                chip.totalPower() > cfg.fixedBudgetW) {
+                const auto alloc =
+                    optimizeAllocation(chip, cfg.fixedBudgetW);
+                if (alloc.feasible)
+                    applyAllocation(chip, alloc);
+                else
+                    chip.gateAll();
+                last_track_minute = minute;
+            }
+        } else if (!on_solar && was_on_solar) {
+            // Fell back to the utility: run as a traditional CMP.
+            chip.setAllLevels(chip.dvfs().maxLevel());
+        }
+
+        const double consumed = chip.totalPower();
+        if (on_solar) {
+            period_budget.add(mpp.power);
+            period_consumed.add(consumed);
+        }
+
+        const double instr_before = chip.totalInstructions();
+        chip.step(cfg.dtSeconds);
+        const double instr_delta = chip.totalInstructions() - instr_before;
+        result.totalInstructions += instr_delta;
+        if (on_solar)
+            result.solarInstructions += instr_delta;
+        // On solar the panel also supplies the DC/DC conversion loss.
+        const double drawn = on_solar && tracking
+            ? consumed / cfg.controller.converterEfficiency
+            : consumed;
+        ats.accountEnergy(drawn, cfg.dtSeconds);
+
+        if (cfg.recordTimeline && minute - last_timeline_minute >= 1.0) {
+            result.timeline.push_back(
+                {minute, mpp.power, on_solar ? consumed : 0.0, on_solar});
+            last_timeline_minute = minute;
+        }
+        was_on_solar = on_solar;
+    }
+
+    close_period();
+
+    result.solarEnergyWh = ats.solarEnergyWh();
+    result.chipEnergyWh = chip.totalEnergy() / 3600.0;
+    result.gridEnergyWh = ats.gridEnergyWh();
+    result.utilization = result.mppEnergyWh > 0.0
+        ? result.solarEnergyWh / result.mppEnergyWh
+        : 0.0;
+    const double total_sec = ats.solarSeconds() + ats.gridSeconds();
+    result.effectiveFraction =
+        total_sec > 0.0 ? ats.solarSeconds() / total_sec : 0.0;
+    result.avgTrackingError = period_errors.value();
+    result.transferCount = ats.transferCount();
+    result.controllerSteps = tracking ? controller->totalSteps() : 0;
+    return result;
+}
+
+HybridDayResult
+simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
+                  workload::WorkloadId workload,
+                  double battery_capacity_wh, const SimConfig &cfg)
+{
+    SC_ASSERT(battery_capacity_wh >= 0.0,
+              "simulateHybridDay: negative capacity");
+    HybridDayResult result;
+    result.batteryCapacityWh = battery_capacity_wh;
+    if (battery_capacity_wh <= 0.0) {
+        result.day = simulateDay(module, trace, workload, cfg);
+        result.greenEnergyWh = result.day.solarEnergyWh;
+        const double total =
+            result.day.solarEnergyWh + result.day.gridEnergyWh;
+        result.greenFraction =
+            total > 0.0 ? result.greenEnergyWh / total : 0.0;
+        return result;
+    }
+
+    auto chip = buildChip(workload, cfg);
+    pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
+                      pv::kStc);
+    auto adapter = makeAdapter(cfg.policy == PolicyKind::FixedPower
+                                   ? PolicyKind::MpptOpt
+                                   : cfg.policy);
+    SolarCoreController controller(array, chip, *adapter, cfg.controller);
+    power::TransferSwitch ats(cfg.thresholdW, 0.02 * cfg.thresholdW);
+    power::Battery buffer(battery_capacity_wh, 0.95, 0.90);
+    // Charge-path conversion efficiency of the buffer's own MPPT.
+    constexpr double charge_path_eff = 0.95;
+    // Stable discharge level while bridging sub-threshold periods.
+    const double buffer_budget_w = 2.0 * cfg.thresholdW;
+
+    DayResult &day = result.day;
+    const double dt_min = cfg.dtSeconds / 60.0;
+    const double dt_h = cfg.dtSeconds / 3600.0;
+    double last_track_minute = -1e9;
+    bool was_on_solar = false;
+
+    chip.setAllLevels(chip.dvfs().maxLevel());
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
+        setDieTemps(chip, ambient);
+        const auto mpp = pv::findMpp(array);
+        day.mppEnergyWh += mpp.power * dt_h;
+
+        ats.update(mpp.power, cfg.dtSeconds);
+        const bool on_solar = ats.onSolar();
+        bool on_buffer = false;
+
+        if (on_solar) {
+            if (!was_on_solar ||
+                minute - last_track_minute >= cfg.trackingPeriodMinutes) {
+                controller.track();
+                last_track_minute = minute;
+            } else {
+                controller.enforceRail();
+            }
+            const double consumed = chip.totalPower();
+            // The tracking margin charges the buffer through its own
+            // MPPT path instead of being left on the panel.
+            const double headroom = std::max(0.0, mpp.power - consumed);
+            buffer.charge(headroom * charge_path_eff, dt_h);
+            day.solarEnergyWh +=
+                (consumed + headroom * charge_path_eff) * dt_h;
+            ats.accountEnergy(consumed, cfg.dtSeconds);
+        } else {
+            // Sub-threshold supply still trickles into the buffer.
+            buffer.charge(mpp.power * charge_path_eff, dt_h);
+            day.solarEnergyWh += mpp.power * charge_path_eff * dt_h;
+
+            const auto alloc = optimizeAllocation(chip, buffer_budget_w);
+            const double want = alloc.feasible ? alloc.powerW : 0.0;
+            if (want > 0.0 && buffer.storedWh() * 0.9 >= want * dt_h) {
+                applyAllocation(chip, alloc);
+                const double delivered =
+                    buffer.discharge(chip.totalPower(), dt_h);
+                result.bufferedWh += delivered;
+                on_buffer = true;
+            } else {
+                chip.setAllLevels(chip.dvfs().maxLevel());
+                ats.accountEnergy(chip.totalPower(), cfg.dtSeconds);
+            }
+        }
+
+        const double instr_before = chip.totalInstructions();
+        chip.step(cfg.dtSeconds);
+        const double delta = chip.totalInstructions() - instr_before;
+        day.totalInstructions += delta;
+        if (on_solar || on_buffer)
+            day.solarInstructions += delta;
+        was_on_solar = on_solar;
+    }
+
+    day.gridEnergyWh = ats.gridEnergyWh();
+    day.chipEnergyWh = chip.totalEnergy() / 3600.0;
+    day.utilization = day.mppEnergyWh > 0.0
+        ? std::min(1.0, day.solarEnergyWh / day.mppEnergyWh)
+        : 0.0;
+    day.transferCount = ats.transferCount();
+    result.greenEnergyWh = day.chipEnergyWh - day.gridEnergyWh;
+    const double total_energy = day.chipEnergyWh;
+    result.greenFraction =
+        total_energy > 0.0 ? result.greenEnergyWh / total_energy : 0.0;
+    return result;
+}
+
+BatteryDayResult
+simulateBatteryDay(const pv::PvModule &module,
+                   const solar::SolarTrace &trace,
+                   workload::WorkloadId workload, double derating_factor,
+                   const SimConfig &cfg)
+{
+    SC_ASSERT(derating_factor > 0.0 && derating_factor <= 1.0,
+              "simulateBatteryDay: bad de-rating factor");
+    BatteryDayResult result;
+    result.deratingFactor = derating_factor;
+
+    // Pass 1: harvestable energy at the MPP over the day.
+    pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
+                      pv::kStc);
+    const double dt_min = cfg.dtSeconds / 60.0;
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
+        result.mppEnergyWh +=
+            pv::findMpp(array).power * cfg.dtSeconds / 3600.0;
+    }
+
+    // Stable delivery level over the full daytime window.
+    const double day_hours =
+        (trace.endMinute() - trace.startMinute()) / 60.0;
+    result.budgetW = derating_factor * result.mppEnergyWh / day_hours;
+
+    // Pass 2: run the chip at that constant budget, re-allocating at
+    // each tracking period to follow workload phases.
+    auto chip = buildChip(workload, cfg);
+    double last_alloc_minute = -1e9;
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        setDieTemps(chip, trace.ambientAt(minute));
+        if (minute - last_alloc_minute >= cfg.trackingPeriodMinutes ||
+            chip.totalPower() > result.budgetW) {
+            const auto alloc = optimizeAllocation(chip, result.budgetW);
+            if (alloc.feasible)
+                applyAllocation(chip, alloc);
+            else
+                chip.gateAll();
+            last_alloc_minute = minute;
+        }
+        result.consumedWh += chip.totalPower() * cfg.dtSeconds / 3600.0;
+        chip.step(cfg.dtSeconds);
+    }
+    result.instructions = chip.totalInstructions();
+    result.utilization = result.mppEnergyWh > 0.0
+        ? result.consumedWh / result.mppEnergyWh
+        : 0.0;
+    return result;
+}
+
+} // namespace solarcore::core

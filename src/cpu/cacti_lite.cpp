@@ -1,0 +1,164 @@
+#include "cacti_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+namespace {
+
+/*
+ * Fitted first-order constants. These lump cell, wire and peripheral
+ * capacitance into per-cell effective values chosen so that 90 nm
+ * reference points land near published CACTI numbers: a 64 KB 4-way
+ * L1 reads at ~0.6 nJ, a 2 MB 8-way L2 at ~3 nJ, and a ~100-entry
+ * register array at tens of pJ.
+ */
+constexpr double kWordlineFPerCell = 6e-15;   // [F]
+constexpr double kSenseFPerColumn = 25e-15;   // [F]
+constexpr double kBitlineFPerCell = 7e-15;    // [F]
+constexpr double kTreeFPerSqrtBit = 120e-15;  // [F]
+constexpr double kReadSwingFraction = 0.15;   // bitline swing on reads
+constexpr double kDecodeOverhead = 0.10;      // fraction of array energy
+constexpr double kLeakAPerBit = 2e-9;         // [A] at 1.45 V, 90 nm
+constexpr int kMaxBankRows = 64;
+
+} // namespace
+
+SramEnergy
+estimateSram(const SramGeometry &geometry, double feature_nm, double vdd)
+{
+    SC_ASSERT(geometry.sizeBytes > 0 && geometry.lineBytes > 0 &&
+                  geometry.assoc > 0,
+              "estimateSram: bad geometry");
+    SramEnergy out;
+
+    const double bits = geometry.sizeBytes * 8.0;
+    // One access activates the full set: line * ways.
+    const double cols_read = geometry.lineBytes * 8.0 * geometry.assoc;
+    const double rows_total = std::max(1.0, bits / cols_read);
+    const double rows_bank = std::min<double>(kMaxBankRows, rows_total);
+
+    // Feature scaling: capacitance shrinks linearly with feature size.
+    const double tech = feature_nm / 90.0;
+    const double v_sq = vdd * vdd;
+
+    // Extra ports grow the cell and add wire.
+    const double extra_ports =
+        std::max(0, geometry.readPorts + geometry.writePorts - 2);
+    const double port_factor = 1.0 + 0.25 * extra_ports;
+
+    const double c_wl_sense =
+        cols_read * (kWordlineFPerCell + kSenseFPerColumn) * tech;
+    const double c_bl = cols_read * rows_bank * kBitlineFPerCell * tech;
+    const double c_tree = std::sqrt(bits) * kTreeFPerSqrtBit * tech;
+
+    const double read_j = (c_wl_sense + c_bl * kReadSwingFraction +
+                           c_tree) *
+        v_sq * (1.0 + kDecodeOverhead) * port_factor;
+    const double write_j = (c_wl_sense + c_bl + c_tree) * v_sq *
+        (1.0 + kDecodeOverhead) * port_factor;
+
+    out.readNj = read_j * 1e9;
+    out.writeNj = write_j * 1e9;
+    out.leakageW = bits * kLeakAPerBit * vdd * (v_sq / (1.45 * 1.45)) *
+        port_factor;
+    return out;
+}
+
+EnergyParams
+deriveEnergyParams(const CoreConfig &config, double feature_nm, double vdd)
+{
+    EnergyParams ep;
+    ep.nominalVoltage = vdd;
+
+    const double width_scale = config.fetchWidth / 4.0;
+
+    // Instruction cache: one line feeds fetchWidth instructions.
+    SramGeometry icache;
+    icache.sizeBytes = config.l1SizeKb * 1024;
+    icache.assoc = config.l1Assoc;
+    icache.lineBytes = config.l1LineBytes;
+    const auto icache_e = estimateSram(icache, feature_nm, vdd);
+
+    // Branch predictor + BTB: small 2-byte-entry arrays.
+    SramGeometry bpred;
+    bpred.sizeBytes = config.branchPredictorEntries * 2 +
+        config.btbEntries * 8;
+    bpred.assoc = 1;
+    bpred.lineBytes = 8;
+    const auto bpred_e = estimateSram(bpred, feature_nm, vdd);
+
+    // Decode/rename logic: fitted constant per instruction.
+    const double decode_nj = 0.18 * width_scale;
+    ep.frontendNj = icache_e.readNj / config.fetchWidth + bpred_e.readNj +
+        decode_nj;
+
+    // Out-of-order window: issue-queue CAM (wakeup comparators add a
+    // 1.5x energy factor over a plain array) plus ROB write and
+    // commit read.
+    SramGeometry iq;
+    iq.sizeBytes = config.issueQueueEntries * 8;
+    iq.assoc = 1;
+    iq.lineBytes = 8;
+    iq.readPorts = config.issueWidth;
+    iq.writePorts = config.issueWidth;
+    const auto iq_e = estimateSram(iq, feature_nm, vdd);
+
+    SramGeometry rob;
+    rob.sizeBytes = config.robEntries * 16;
+    rob.assoc = 1;
+    rob.lineBytes = 16;
+    rob.readPorts = config.commitWidth;
+    rob.writePorts = config.fetchWidth;
+    const auto rob_e = estimateSram(rob, feature_nm, vdd);
+    ep.windowNj = 1.5 * iq_e.readNj + rob_e.readNj + rob_e.writeNj;
+
+    // Register file: two reads + one write per instruction.
+    SramGeometry regfile;
+    regfile.sizeBytes = 128 * 8;
+    regfile.assoc = 1;
+    regfile.lineBytes = 8;
+    regfile.readPorts = 2 * config.issueWidth;
+    regfile.writePorts = config.issueWidth;
+    const auto rf_e = estimateSram(regfile, feature_nm, vdd);
+    ep.regfileNj = 2.0 * rf_e.readNj + rf_e.writeNj;
+
+    // Function units: fitted logic constants, width-scaled.
+    ep.intAluNj = 0.45 * width_scale;
+    ep.fpAluNj = 1.10 * width_scale;
+
+    // LSQ CAM + data cache access per memory instruction.
+    SramGeometry lsq;
+    lsq.sizeBytes = config.lsqEntries * 8;
+    lsq.assoc = 1;
+    lsq.lineBytes = 8;
+    lsq.readPorts = 2;
+    lsq.writePorts = 2;
+    const auto lsq_e = estimateSram(lsq, feature_nm, vdd);
+
+    SramGeometry dcache = icache; // Table 4: identical I/D L1s
+    const auto dcache_e = estimateSram(dcache, feature_nm, vdd);
+    ep.lsqDcacheNj = 2.0 * lsq_e.readNj + dcache_e.readNj;
+
+    // Unified per-core L2.
+    SramGeometry l2;
+    l2.sizeBytes = config.l2SizeKb * 1024;
+    l2.assoc = config.l2Assoc;
+    l2.lineBytes = config.l2LineBytes;
+    const auto l2_e = estimateSram(l2, feature_nm, vdd);
+    ep.l2AccessNj = l2_e.readNj;
+
+    // Clock tree: fitted constant scaled by machine width.
+    ep.clockTreeNj = 0.95 * width_scale;
+
+    // Leakage: array leakage plus a logic floor.
+    ep.leakageAtNominalW = 1.2 + icache_e.leakageW + dcache_e.leakageW +
+        l2_e.leakageW + iq_e.leakageW + rob_e.leakageW + lsq_e.leakageW +
+        rf_e.leakageW + bpred_e.leakageW;
+    return ep;
+}
+
+} // namespace solarcore::cpu

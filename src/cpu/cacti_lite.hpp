@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CACTI-style analytical energy model for SRAM structures.
+ *
+ * The paper's power methodology is Wattch with CACTI-derived array
+ * energies. This module provides the same derivation path at reduced
+ * fidelity: per-access read/write energy and leakage of a cache or
+ * RAM array are estimated from its geometry (capacity, associativity,
+ * line size, ports) using first-order wordline/bitline capacitance
+ * scaling at a given feature size and supply voltage. The absolute
+ * numbers land in the published CACTI ballpark for 90 nm arrays
+ * (tens of pJ for small register arrays to a few nJ for a 2 MB L2);
+ * deriveEnergyParams() then assembles a full Wattch-like EnergyParams
+ * from the Table 4 machine configuration.
+ */
+
+#ifndef SOLARCORE_CPU_CACTI_LITE_HPP
+#define SOLARCORE_CPU_CACTI_LITE_HPP
+
+#include "cpu/machine_config.hpp"
+#include "cpu/power_model.hpp"
+
+namespace solarcore::cpu {
+
+/** Geometry of one SRAM array. */
+struct SramGeometry
+{
+    int sizeBytes = 65536;  //!< total capacity
+    int assoc = 4;          //!< ways (1 = direct mapped / plain RAM)
+    int lineBytes = 64;     //!< line (row entry) size
+    int readPorts = 1;
+    int writePorts = 1;
+};
+
+/** Estimated electrical characteristics of an array. */
+struct SramEnergy
+{
+    double readNj = 0.0;    //!< energy per read access [nJ]
+    double writeNj = 0.0;   //!< energy per write access [nJ]
+    double leakageW = 0.0;  //!< standby leakage [W]
+};
+
+/**
+ * Estimate array energy at @p feature_nm / @p vdd.
+ *
+ * Model: the array is split into sub-banks of at most 64 rows x
+ * 512 columns; an access charges one wordline (proportional to the
+ * row width), discharges the bitline pairs of one row (proportional
+ * to rows per bank), reads all ways in parallel (associativity
+ * multiplies the dynamic term) and pays a decoder/sense overhead.
+ * Energies scale with C*V^2; leakage with bit count and V^2.
+ */
+SramEnergy estimateSram(const SramGeometry &geometry,
+                        double feature_nm = 90.0, double vdd = 1.45);
+
+/**
+ * Derive the Wattch-like per-event energies of a core from its
+ * configuration: caches via estimateSram, register file / issue queue
+ * / ROB / LSQ as multi-ported RAM/CAM arrays, function units and the
+ * clock tree as fitted constants scaled by width.
+ */
+EnergyParams deriveEnergyParams(const CoreConfig &config,
+                                double feature_nm = 90.0,
+                                double vdd = 1.45);
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_CACTI_LITE_HPP

@@ -1,0 +1,131 @@
+#include "core.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+Core::Core(int id, const DvfsTable &table, const PerfModel &perf,
+           const PowerModel &power, BenchmarkProfile profile,
+           std::uint64_t seed)
+    : id_(id), table_(&table), perfModel_(&perf), powerModel_(&power),
+      profile_(std::move(profile)), level_(table.maxLevel())
+{
+    SC_ASSERT(!profile_.phases.empty(), "Core: benchmark has no phases");
+
+    // Jitter phase durations +-20% and start at a random point of the
+    // playback so co-scheduled copies of one program decorrelate.
+    Rng rng(seed);
+    Rng jitter = rng.fork(static_cast<std::uint64_t>(id) + 17);
+    phaseDur_.reserve(profile_.phases.size());
+    double total = 0.0;
+    for (const auto &ph : profile_.phases) {
+        const double d = ph.durationSec * jitter.uniform(0.8, 1.2);
+        phaseDur_.push_back(d);
+        total += d;
+    }
+    double offset = jitter.uniform(0.0, total);
+    while (offset > phaseDur_[phaseIndex_]) {
+        offset -= phaseDur_[phaseIndex_];
+        phaseIndex_ = (phaseIndex_ + 1) % phaseDur_.size();
+    }
+    phaseElapsed_ = offset;
+}
+
+void
+Core::setLevel(int level)
+{
+    SC_ASSERT(level >= table_->minLevel() && level <= table_->maxLevel(),
+              "Core::setLevel: level out of range: ", level);
+    level_ = level;
+}
+
+const PhaseProfile &
+Core::currentPhase() const
+{
+    return profile_.phases[phaseIndex_];
+}
+
+PerfEstimate
+Core::perfAtLevel(int level) const
+{
+    return perfModel_->evaluate(currentPhase(), table_->frequency(level));
+}
+
+PerfEstimate
+Core::perf() const
+{
+    if (gated_)
+        return PerfEstimate{};
+    return perfAtLevel(level_);
+}
+
+PowerEstimate
+Core::power() const
+{
+    if (gated_)
+        return powerModel_->gatedPower();
+    return powerModel_->evaluate(currentPhase(), perfAtLevel(level_),
+                                 table_->voltage(level_),
+                                 table_->frequency(level_), dieTempC_);
+}
+
+double
+Core::throughput() const
+{
+    if (gated_)
+        return 0.0;
+    return perfAtLevel(level_).throughput(table_->frequency(level_));
+}
+
+double
+Core::powerAtLevel(int level) const
+{
+    return powerModel_
+        ->evaluate(currentPhase(), perfAtLevel(level),
+                   table_->voltage(level), table_->frequency(level),
+                   dieTempC_)
+        .totalW();
+}
+
+double
+Core::throughputAtLevel(int level) const
+{
+    return perfAtLevel(level).throughput(table_->frequency(level));
+}
+
+void
+Core::step(double seconds)
+{
+    SC_ASSERT(seconds >= 0.0, "Core::step: negative time");
+    double remaining = seconds;
+    while (remaining > 0.0) {
+        const double in_phase =
+            std::min(remaining, phaseDur_[phaseIndex_] - phaseElapsed_);
+        if (!gated_) {
+            instructions_ += throughput() * in_phase;
+            energy_ += power().totalW() * in_phase;
+        } else {
+            energy_ += powerModel_->gatedPower().totalW() * in_phase;
+        }
+        phaseElapsed_ += in_phase;
+        remaining -= in_phase;
+        if (phaseElapsed_ >= phaseDur_[phaseIndex_] - 1e-12) {
+            phaseElapsed_ = 0.0;
+            phaseIndex_ = (phaseIndex_ + 1) % phaseDur_.size();
+        }
+    }
+}
+
+void
+Core::swapWorkloads(Core &a, Core &b)
+{
+    std::swap(a.profile_, b.profile_);
+    std::swap(a.phaseDur_, b.phaseDur_);
+    std::swap(a.phaseIndex_, b.phaseIndex_);
+    std::swap(a.phaseElapsed_, b.phaseElapsed_);
+}
+
+} // namespace solarcore::cpu

@@ -1,0 +1,183 @@
+#include "cycle_core.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu::cycle {
+
+namespace {
+
+constexpr std::uint64_t kNotDone = std::numeric_limits<std::uint64_t>::max();
+
+} // namespace
+
+CycleCore::CycleCore(const CoreConfig &config, double frequency_hz)
+    : config_(config), frequencyHz_(frequency_hz)
+{
+    SC_ASSERT(frequency_hz > 0.0, "CycleCore: non-positive frequency");
+    memCycles_ = static_cast<int>(
+        std::lround(config_.memLatencyNs * 1e-9 * frequency_hz));
+}
+
+int
+CycleCore::latencyOf(const TraceInstr &instr) const
+{
+    switch (instr.cls) {
+      case InstrClass::IntAlu:
+        return 1;
+      case InstrClass::FpAlu:
+        return 4;
+      case InstrClass::Branch:
+        return 1;
+      case InstrClass::Store:
+        // Stores retire from the LSQ; the pipeline sees L1 latency.
+        return config_.l1LatencyCycles;
+      case InstrClass::Load:
+        switch (instr.memLevel) {
+          case MemLevel::L1:
+            return config_.l1LatencyCycles;
+          case MemLevel::L2:
+            return config_.l1LatencyCycles + config_.l2LatencyCycles;
+          case MemLevel::Memory:
+            return config_.l1LatencyCycles + config_.l2LatencyCycles +
+                memCycles_;
+        }
+    }
+    return 1;
+}
+
+CycleResult
+CycleCore::run(const Trace &trace) const
+{
+    CycleResult res;
+    if (trace.empty())
+        return res;
+
+    const std::size_t n = trace.size();
+    // Absolute cycle at which each instruction's result is available.
+    std::vector<std::uint64_t> done(n, kNotDone);
+
+    struct RobEntry
+    {
+        std::size_t index;
+        bool issued = false;
+    };
+    std::deque<RobEntry> rob;
+
+    std::size_t next_fetch = 0;     //!< next trace index to fetch
+    std::size_t committed = 0;
+    std::uint64_t now = 0;
+    std::uint64_t fetch_blocked_until = 0; //!< misprediction redirect
+
+    while (committed < n) {
+        // 1. Commit in order.
+        int commits = 0;
+        while (!rob.empty() && commits < config_.commitWidth) {
+            const auto &head = rob.front();
+            if (done[head.index] == kNotDone || done[head.index] > now)
+                break;
+            rob.pop_front();
+            ++committed;
+            ++commits;
+        }
+
+        // 2. Issue oldest-ready-first with unit constraints. Memory
+        // operations additionally need a free LSQ slot: every fetched
+        // but uncommitted load/store occupies one.
+        int lsq_used = 0;
+        for (const auto &entry : rob) {
+            const auto cls = trace[entry.index].cls;
+            if (cls == InstrClass::Load || cls == InstrClass::Store)
+                ++lsq_used;
+        }
+        const bool lsq_full = lsq_used > config_.lsqEntries;
+
+        int issued = 0;
+        int int_units = config_.intAlus;
+        int fp_units = config_.fpAlus;
+        int mem_ports = 2;
+        for (auto &entry : rob) {
+            if (issued >= config_.issueWidth)
+                break;
+            if (entry.issued)
+                continue;
+            const auto &instr = trace[entry.index];
+
+            // Structural hazard check.
+            int *unit = nullptr;
+            switch (instr.cls) {
+              case InstrClass::IntAlu:
+              case InstrClass::Branch:
+                unit = &int_units;
+                break;
+              case InstrClass::FpAlu:
+                unit = &fp_units;
+                break;
+              case InstrClass::Load:
+              case InstrClass::Store:
+                unit = &mem_ports;
+                break;
+            }
+            if (*unit <= 0)
+                continue;
+
+            // Data dependency: the producer must have completed.
+            if (instr.depDistance > 0 &&
+                entry.index >= static_cast<std::size_t>(instr.depDistance)) {
+                const std::size_t producer =
+                    entry.index - static_cast<std::size_t>(instr.depDistance);
+                if (done[producer] == kNotDone || done[producer] > now)
+                    continue;
+            }
+
+            entry.issued = true;
+            --*unit;
+            ++issued;
+            done[entry.index] =
+                now + static_cast<std::uint64_t>(latencyOf(instr));
+        }
+
+        // 3. Fetch into the window; an over-full LSQ stalls the front
+        // end the same way a full ROB does.
+        if (now >= fetch_blocked_until && !lsq_full) {
+            int fetched = 0;
+            while (fetched < config_.fetchWidth && next_fetch < n &&
+                   static_cast<int>(rob.size()) < config_.robEntries) {
+                rob.push_back({next_fetch, false});
+                const auto &instr = trace[next_fetch];
+                ++next_fetch;
+                ++fetched;
+                if (instr.cls == InstrClass::Branch &&
+                    instr.mispredicted) {
+                    // Redirect: the front end refills once the branch
+                    // resolves; charge the pipeline depth from now as
+                    // an approximation of resolve + refill.
+                    fetch_blocked_until = now +
+                        static_cast<std::uint64_t>(config_.pipelineDepth);
+                    break;
+                }
+            }
+            if (fetched == 0 && next_fetch < n &&
+                static_cast<int>(rob.size()) >= config_.robEntries) {
+                ++res.robFullStalls;
+            }
+        } else if (now < fetch_blocked_until) {
+            ++res.mispredictStalls;
+        } else {
+            ++res.robFullStalls; // LSQ back-pressure counts as window full
+        }
+
+        ++now;
+        SC_ASSERT(now < 1ull << 40, "CycleCore: runaway simulation");
+    }
+
+    res.instructions = n;
+    res.cycles = now;
+    return res;
+}
+
+} // namespace solarcore::cpu::cycle

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small trace-driven, cycle-level out-of-order core.
+ *
+ * Models the Table 4 machine at cycle granularity: W-wide fetch into a
+ * ROB, dependency-tracked wakeup, latency-accurate execution (ALUs,
+ * FP units, the L1/L2/memory hierarchy with frequency-dependent
+ * memory cycles), W-wide in-order commit, and front-end refill stalls
+ * after branch mispredictions. Memory-level parallelism emerges from
+ * the window rather than being a parameter.
+ *
+ * The cycle core exists to validate the interval model (cpu/perf_model)
+ * that the day-long simulations use: tests check that both models
+ * agree on IPC within tolerance and, more importantly, on every trend
+ * the power-management results rely on (frequency scaling of
+ * memory-bound code, misprediction sensitivity, width saturation).
+ */
+
+#ifndef SOLARCORE_CPU_CYCLE_CYCLE_CORE_HPP
+#define SOLARCORE_CPU_CYCLE_CYCLE_CORE_HPP
+
+#include <cstdint>
+
+#include "cpu/cycle/trace_gen.hpp"
+#include "cpu/machine_config.hpp"
+
+namespace solarcore::cpu::cycle {
+
+/** Result of one cycle-accurate run. */
+struct CycleResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t mispredictStalls = 0; //!< front-end stall cycles
+    std::uint64_t robFullStalls = 0;    //!< fetch stalls on full window
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Trace-driven cycle-level core simulator. */
+class CycleCore
+{
+  public:
+    /**
+     * @param config        microarchitecture (widths, ROB, latencies)
+     * @param frequency_hz  clock; converts the fixed memory latency in
+     *                      nanoseconds into cycles
+     */
+    CycleCore(const CoreConfig &config, double frequency_hz);
+
+    /** Execute @p trace to completion and return the statistics. */
+    CycleResult run(const Trace &trace) const;
+
+    /** Execution latency in cycles of one instruction. */
+    int latencyOf(const TraceInstr &instr) const;
+
+    /** Memory round-trip latency in cycles at this core's clock. */
+    int memoryCycles() const { return memCycles_; }
+
+  private:
+    CoreConfig config_;
+    double frequencyHz_;
+    int memCycles_;
+};
+
+} // namespace solarcore::cpu::cycle
+
+#endif // SOLARCORE_CPU_CYCLE_CYCLE_CORE_HPP

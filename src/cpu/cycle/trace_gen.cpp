@@ -1,0 +1,138 @@
+#include "trace_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace solarcore::cpu::cycle {
+
+Trace
+generateTrace(const PhaseProfile &phase, int count, std::uint64_t seed)
+{
+    SC_ASSERT(count > 0, "generateTrace: non-positive count");
+    Rng rng(seed);
+    Trace trace;
+    trace.reserve(static_cast<std::size_t>(count));
+
+    const double branch_frac = 0.10;
+    const double mem_frac = phase.memFraction;
+    const double fp_frac = phase.fpFraction;
+
+    // Dependency lattice realizing the dependency-limited IPC: every
+    // instruction consumes a value produced a few slots earlier. With
+    // an average producer latency lambda (ALU 1, FP 4, L1 load 3),
+    // spacing the links ilp*lambda slots apart sustains ~ilp committed
+    // instructions per cycle on a wide machine. The profile's
+    // frequency-invariant stall component maps onto fully serializing
+    // (distance-1) links, each of which adds ~(1 - 1/ilp) cycles over
+    // a regular link.
+    const double lambda = 1.0 + 3.0 * fp_frac + 2.0 * mem_frac * 2.0 / 3.0;
+    const double lattice_mean = std::max(1.0, phase.ilp) * lambda;
+    const double p_stall = std::clamp(
+        phase.stallCpi * phase.ilp / std::max(0.2, phase.ilp - 1.0), 0.0,
+        0.9);
+
+    // Per-memory-instruction miss probabilities from per-KI rates.
+    const double mem_per_ki = std::max(1e-9, mem_frac * 1000.0);
+    const double p_l2 = std::min(1.0, phase.l1MissPerKi / mem_per_ki);
+    const double p_mem = std::min(
+        p_l2, phase.l2MissPerKi / mem_per_ki); // memory misses are the
+                                               // subset that also miss L2
+    const double p_mispredict =
+        std::min(1.0, phase.branchMpki / (branch_frac * 1000.0));
+
+    bool chain_next = false; // next instr consumes a missing load
+    for (int i = 0; i < count; ++i) {
+        TraceInstr instr;
+        const double u = rng.uniform();
+        if (u < branch_frac) {
+            instr.cls = InstrClass::Branch;
+            instr.mispredicted = rng.bernoulli(p_mispredict);
+        } else if (u < branch_frac + mem_frac) {
+            instr.cls = rng.uniform() < 2.0 / 3.0 ? InstrClass::Load
+                                                  : InstrClass::Store;
+            const double m = rng.uniform();
+            if (m < p_mem) {
+                instr.memLevel = MemLevel::Memory;
+                // Pointer-chasing structure: a fraction 1/mlp of
+                // off-chip misses feeds a dependent consumer, which is
+                // what limits the profile's memory-level parallelism.
+                if (instr.cls == InstrClass::Load &&
+                    rng.bernoulli(1.0 / std::max(1.0, phase.mlp))) {
+                    chain_next = true;
+                }
+            } else if (m < p_l2) {
+                instr.memLevel = MemLevel::L2;
+            } else {
+                instr.memLevel = MemLevel::L1;
+            }
+        } else if (u < branch_frac + mem_frac + fp_frac) {
+            instr.cls = InstrClass::FpAlu;
+        } else {
+            instr.cls = InstrClass::IntAlu;
+        }
+
+        if (chain_next && i > 0) {
+            instr.depDistance = 1;
+            chain_next = false;
+        } else if (i > 0 && rng.bernoulli(p_stall)) {
+            instr.depDistance = 1;
+        } else if (i > 0) {
+            const double draw =
+                rng.gaussian(lattice_mean, 0.4 * lattice_mean);
+            const int dist = static_cast<int>(std::lround(draw));
+            instr.depDistance = std::clamp(dist, 1, std::min(i, 32));
+        } else {
+            instr.depDistance = 0;
+        }
+        trace.push_back(instr);
+    }
+    return trace;
+}
+
+TraceStats
+measureTrace(const Trace &trace)
+{
+    TraceStats st;
+    if (trace.empty())
+        return st;
+    double loads_stores = 0.0;
+    double fps = 0.0;
+    double branches = 0.0;
+    double mispredicts = 0.0;
+    double l1_misses = 0.0;
+    double l2_misses = 0.0;
+    for (const auto &i : trace) {
+        switch (i.cls) {
+          case InstrClass::Load:
+          case InstrClass::Store:
+            ++loads_stores;
+            if (i.memLevel != MemLevel::L1)
+                ++l1_misses;
+            if (i.memLevel == MemLevel::Memory)
+                ++l2_misses;
+            break;
+          case InstrClass::FpAlu:
+            ++fps;
+            break;
+          case InstrClass::Branch:
+            ++branches;
+            mispredicts += i.mispredicted;
+            break;
+          case InstrClass::IntAlu:
+            break;
+        }
+    }
+    const double n = static_cast<double>(trace.size());
+    st.loadStoreFraction = loads_stores / n;
+    st.fpFraction = fps / n;
+    st.branchFraction = branches / n;
+    st.mispredictsPerKi = mispredicts / n * 1000.0;
+    st.l1MissesPerKi = l1_misses / n * 1000.0;
+    st.l2MissesPerKi = l2_misses / n * 1000.0;
+    return st;
+}
+
+} // namespace solarcore::cpu::cycle

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic instruction-trace generation for the cycle-level core.
+ *
+ * The interval model (cpu/perf_model) is the workhorse of the day-long
+ * simulations; the cycle-level core in this directory exists to
+ * validate it. Both consume the same PhaseProfile: this generator
+ * expands a profile into a concrete instruction stream whose class
+ * mix, dependency structure, branch-misprediction rate and cache-miss
+ * rates realize the profile's statistics, deterministically per seed.
+ */
+
+#ifndef SOLARCORE_CPU_CYCLE_TRACE_GEN_HPP
+#define SOLARCORE_CPU_CYCLE_TRACE_GEN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/profile.hpp"
+
+namespace solarcore::cpu::cycle {
+
+/** Instruction classes distinguished by the cycle core. */
+enum class InstrClass { IntAlu, FpAlu, Load, Store, Branch };
+
+/** Where in the hierarchy a memory access hits. */
+enum class MemLevel { L1, L2, Memory };
+
+/** One instruction of a synthetic trace. */
+struct TraceInstr
+{
+    InstrClass cls = InstrClass::IntAlu;
+    /**
+     * Dependency distance: this instruction reads the result of the
+     * instruction `depDistance` slots earlier (0 = no register
+     * dependency). Short distances serialize execution; the generator
+     * samples them to realize the profile's ILP.
+     */
+    int depDistance = 0;
+    bool mispredicted = false;    //!< branches only
+    MemLevel memLevel = MemLevel::L1; //!< loads/stores only
+};
+
+/** A generated instruction stream. */
+using Trace = std::vector<TraceInstr>;
+
+/**
+ * Expand @p phase into @p count instructions.
+ *
+ * Class mix: memFraction loads/stores (2:1 loads:stores), fpFraction
+ * FP, ~10% branches, remainder integer ALU. Branch mispredictions are
+ * drawn at branchMpki per kilo-instruction; load/store miss levels at
+ * l1MissPerKi / l2MissPerKi. Dependencies: with probability 1/ilp an
+ * instruction depends on its predecessor, otherwise on a far-back
+ * producer, which reproduces the profile's dependency-limited IPC on
+ * a wide machine.
+ */
+Trace generateTrace(const PhaseProfile &phase, int count,
+                    std::uint64_t seed);
+
+/** Measured statistics of a trace (for tests). */
+struct TraceStats
+{
+    double loadStoreFraction = 0.0;
+    double fpFraction = 0.0;
+    double branchFraction = 0.0;
+    double mispredictsPerKi = 0.0;
+    double l1MissesPerKi = 0.0;
+    double l2MissesPerKi = 0.0;
+};
+
+/** Compute the statistics of @p trace. */
+TraceStats measureTrace(const Trace &trace);
+
+} // namespace solarcore::cpu::cycle
+
+#endif // SOLARCORE_CPU_CYCLE_TRACE_GEN_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulated machine configuration (paper Table 4): an 8-core chip of
+ * Alpha-21264-class 4-wide out-of-order cores at 90 nm, plus the
+ * SpeedStep-style DVFS operating points of paper Section 5.
+ */
+
+#ifndef SOLARCORE_CPU_MACHINE_CONFIG_HPP
+#define SOLARCORE_CPU_MACHINE_CONFIG_HPP
+
+namespace solarcore::cpu {
+
+/** Microarchitectural parameters of one core (paper Table 4). */
+struct CoreConfig
+{
+    // Pipeline
+    int fetchWidth = 4;         //!< 4-wide fetch/issue/commit
+    int issueWidth = 4;
+    int commitWidth = 4;
+    int pipelineDepth = 14;     //!< front-end depth, misprediction cost
+    int robEntries = 98;
+    int issueQueueEntries = 64;
+    int lsqEntries = 48;
+    int intAlus = 4;
+    int intMuls = 2;
+    int fpAlus = 2;
+    int fpMuls = 2;
+
+    // Branch prediction
+    int branchPredictorEntries = 2048; //!< gshare, 10-bit history
+    int btbEntries = 2048;
+    int rasEntries = 32;
+
+    // Memory hierarchy (private L1 + L2 per core, Table 4)
+    int l1SizeKb = 64;
+    int l1Assoc = 4;
+    int l1LineBytes = 64;
+    int l1LatencyCycles = 3;
+    int l2SizeKb = 2048;
+    int l2Assoc = 8;
+    int l2LineBytes = 128;
+    int l2LatencyCycles = 12;
+    double memLatencyNs = 160.0; //!< 400 cycles at the nominal 2.5 GHz
+    int tlbMissCycles = 200;
+};
+
+/** Chip-level configuration. */
+struct ChipConfig
+{
+    int numCores = 8;
+    CoreConfig core;
+    double nominalVddRail = 12.0; //!< PSU rail feeding the per-core VRMs
+};
+
+/** Default paper configuration. */
+ChipConfig defaultChipConfig();
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_MACHINE_CONFIG_HPP

@@ -1,0 +1,47 @@
+#include "perf_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+PerfEstimate
+PerfModel::evaluate(const PhaseProfile &phase, double frequency_hz) const
+{
+    SC_ASSERT(frequency_hz > 0.0, "PerfModel: non-positive frequency");
+    PerfEstimate est;
+
+    // Steady-state issue rate: bounded by machine width and program ILP.
+    const double issue_ipc =
+        std::min(static_cast<double>(config_.issueWidth), phase.ilp);
+    est.cpiBase = 1.0 / issue_ipc;
+
+    // Branch mispredictions: full pipeline refill per event.
+    est.cpiBranch = phase.branchMpki / 1000.0 *
+        static_cast<double>(config_.pipelineDepth);
+
+    // L1 misses served by the L2: partially hidden by the out-of-order
+    // window; the visible fraction shrinks with window size relative to
+    // the latency (simple saturation form).
+    const double l2_lat = static_cast<double>(config_.l2LatencyCycles);
+    const double window_cover =
+        std::min(1.0, static_cast<double>(config_.robEntries) /
+                     (16.0 * l2_lat));
+    est.cpiL2 = phase.l1MissPerKi / 1000.0 * l2_lat * (1.0 - window_cover);
+
+    // Off-chip accesses: latency is fixed in time, so the cycle cost
+    // grows with frequency; MLP overlaps concurrent misses.
+    const double mem_cycles =
+        config_.memLatencyNs * 1e-9 * frequency_hz;
+    est.cpiMemory = phase.l2MissPerKi / 1000.0 * mem_cycles /
+        std::max(1.0, phase.mlp);
+
+    // Frequency-invariant in-core stalls enter the base component.
+    est.cpiBase += phase.stallCpi;
+
+    est.ipc = 1.0 / est.cpi();
+    return est;
+}
+
+} // namespace solarcore::cpu

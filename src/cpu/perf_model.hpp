@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interval-style analytic performance model for a 4-wide out-of-order
+ * core. Substitutes for the paper's cycle-accurate simulator at the
+ * 10-hour timescales the evaluation needs (see DESIGN.md section 3).
+ *
+ * CPI is decomposed into a steady-state issue component plus miss-event
+ * penalties (branch mispredictions, L2 hits, memory accesses). Memory
+ * latency is constant in nanoseconds, so its cycle cost scales with
+ * clock frequency: memory-bound phases lose less IPC when slowed down,
+ * the classic DVFS interaction the paper's load tuning exploits.
+ */
+
+#ifndef SOLARCORE_CPU_PERF_MODEL_HPP
+#define SOLARCORE_CPU_PERF_MODEL_HPP
+
+#include "cpu/machine_config.hpp"
+#include "cpu/profile.hpp"
+
+namespace solarcore::cpu {
+
+/** Output of one performance-model evaluation. */
+struct PerfEstimate
+{
+    double ipc = 0.0;          //!< committed instructions per cycle
+    double cpiBase = 0.0;      //!< issue-limit + in-core stall component
+    double cpiBranch = 0.0;    //!< misprediction stalls
+    double cpiL2 = 0.0;        //!< L1-miss / L2-hit stalls
+    double cpiMemory = 0.0;    //!< off-chip memory stalls
+
+    double cpi() const
+    {
+        return cpiBase + cpiBranch + cpiL2 + cpiMemory;
+    }
+
+    /** Committed instructions per second at @p frequency_hz. */
+    double
+    throughput(double frequency_hz) const
+    {
+        return ipc * frequency_hz;
+    }
+};
+
+/** Analytic interval performance model. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const CoreConfig &config) : config_(config) {}
+
+    const CoreConfig &config() const { return config_; }
+
+    /**
+     * Estimate steady-state performance of @p phase at @p frequency_hz.
+     *
+     * The issue component is the dependency/width bound; branch and L2
+     * penalties are frequency-independent cycle counts; the memory
+     * penalty converts the fixed memory latency (ns) into cycles at
+     * the target frequency and divides by the phase's MLP.
+     */
+    PerfEstimate evaluate(const PhaseProfile &phase,
+                          double frequency_hz) const;
+
+  private:
+    CoreConfig config_;
+};
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_PERF_MODEL_HPP

@@ -1,0 +1,94 @@
+#include "power_model.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+PowerModel::PowerModel(const EnergyParams &params) : params_(params)
+{
+    SC_ASSERT(params_.nominalVoltage > 0.0, "PowerModel: bad Vnom");
+}
+
+double
+PowerModel::dynamicEpiNominalNj(const PhaseProfile &phase) const
+{
+    const double int_fraction = 1.0 - phase.fpFraction;
+    double nj = params_.frontendNj + params_.windowNj + params_.regfileNj;
+    nj += params_.intAluNj * int_fraction;
+    nj += params_.fpAluNj * phase.fpFraction;
+    nj += params_.lsqDcacheNj * phase.memFraction;
+    nj += params_.l2AccessNj * phase.l1MissPerKi / 1000.0;
+    return nj * phase.activityScale;
+}
+
+double
+PowerModel::leakageAt(double vdd, double die_temp_c) const
+{
+    // Subthreshold leakage grows superlinearly with Vdd and roughly
+    // exponentially with temperature; a quadratic voltage term and a
+    // linearized temperature term capture the trend at our fidelity.
+    const double v_ratio = vdd / params_.nominalVoltage;
+    const double temp_term =
+        1.0 + params_.leakageTempCoeff * (die_temp_c - 50.0);
+    return params_.leakageAtNominalW * v_ratio * v_ratio *
+        std::max(0.25, temp_term);
+}
+
+PowerEstimate
+PowerModel::evaluate(const PhaseProfile &phase, const PerfEstimate &perf,
+                     double vdd, double frequency_hz,
+                     double die_temp_c) const
+{
+    SC_ASSERT(vdd > 0.0 && frequency_hz > 0.0,
+              "PowerModel: bad operating point");
+    PowerEstimate out;
+
+    const double v_sq =
+        (vdd / params_.nominalVoltage) * (vdd / params_.nominalVoltage);
+
+    // Instruction-driven dynamic power: per-structure energy times the
+    // instruction rate, V^2-scaled (the Wattch accumulation).
+    const double instr_per_sec = perf.throughput(frequency_hz);
+    const double act = phase.activityScale;
+    const double to_w = act * v_sq * 1e-9 * instr_per_sec;
+    const double int_fraction = 1.0 - phase.fpFraction;
+
+    auto &bd = out.breakdown;
+    bd.frontendW = params_.frontendNj * to_w;
+    bd.windowW = params_.windowNj * to_w;
+    bd.regfileW = params_.regfileNj * to_w;
+    bd.aluW = (params_.intAluNj * int_fraction +
+               params_.fpAluNj * phase.fpFraction) *
+        to_w;
+    bd.lsqDcacheW = params_.lsqDcacheNj * phase.memFraction * to_w;
+    bd.l2W = params_.l2AccessNj * phase.l1MissPerKi / 1000.0 * to_w;
+
+    // Clock tree: busy cycles pay full clock energy, stall cycles pay
+    // the non-gated fraction. Busy fraction ~ IPC / width.
+    constexpr double issue_width = 4.0; // Table 4 machine width
+    const double busy = std::min(1.0, perf.ipc / issue_width);
+    const double clock_nj = params_.clockTreeNj * act * v_sq *
+        (busy + (1.0 - busy) * params_.clockGatedFraction);
+    bd.clockW = clock_nj * 1e-9 * frequency_hz;
+
+    out.dynamicW = bd.total();
+    out.leakageW = leakageAt(vdd, die_temp_c);
+    out.epiNj = instr_per_sec > 0.0
+        ? out.totalW() / instr_per_sec * 1e9
+        : 0.0;
+    return out;
+}
+
+PowerEstimate
+PowerModel::gatedPower() const
+{
+    PowerEstimate out;
+    out.dynamicW = 0.0;
+    out.leakageW = params_.gatedResidualW;
+    out.epiNj = 0.0;
+    return out;
+}
+
+} // namespace solarcore::cpu

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Wattch/CACTI-style core power model (paper Section 5).
+ *
+ * Dynamic energy is accumulated per microarchitectural structure:
+ * front-end (fetch/decode/rename/branch predictor), out-of-order
+ * window (issue queue + ROB), register file, function units, LSQ +
+ * L1D, L2, and the clock tree. Per-access energies are referenced to
+ * the nominal voltage and scale with V^2; clock power additionally
+ * scales with frequency and is partially gated on stall cycles.
+ * Leakage scales with voltage and die temperature and is mostly
+ * removed by per-core power gating (PCPG).
+ */
+
+#ifndef SOLARCORE_CPU_POWER_MODEL_HPP
+#define SOLARCORE_CPU_POWER_MODEL_HPP
+
+#include "cpu/machine_config.hpp"
+#include "cpu/perf_model.hpp"
+#include "cpu/profile.hpp"
+
+namespace solarcore::cpu {
+
+/** Per-access / per-cycle energies at the nominal voltage [nJ]. */
+struct EnergyParams
+{
+    double nominalVoltage = 1.45; //!< reference Vdd for the table below
+    double frontendNj = 0.55;     //!< per instruction
+    double windowNj = 0.50;       //!< per instruction
+    double regfileNj = 0.30;      //!< per instruction
+    double intAluNj = 0.45;       //!< per integer instruction
+    double fpAluNj = 1.10;        //!< per FP instruction
+    double lsqDcacheNj = 0.90;    //!< per load/store
+    double l2AccessNj = 5.00;     //!< per L1 miss
+    double clockTreeNj = 0.95;    //!< per cycle, before gating
+    double clockGatedFraction = 0.45; //!< clock power retained on stalls
+    double leakageAtNominalW = 1.8;   //!< per-core leakage at Vnom, 50 C
+    double leakageTempCoeff = 0.012;  //!< fractional increase per kelvin
+    double gatedResidualW = 0.05;     //!< PCPG residual (rail leakage)
+};
+
+/** Per-structure dynamic power split (the Wattch view). */
+struct PowerBreakdown
+{
+    double frontendW = 0.0;  //!< fetch/decode/rename/branch predictor
+    double windowW = 0.0;    //!< issue queue + ROB
+    double regfileW = 0.0;
+    double aluW = 0.0;       //!< integer + FP units
+    double lsqDcacheW = 0.0;
+    double l2W = 0.0;
+    double clockW = 0.0;
+
+    double
+    total() const
+    {
+        return frontendW + windowW + regfileW + aluW + lsqDcacheW + l2W +
+            clockW;
+    }
+};
+
+/** Result of one power evaluation. */
+struct PowerEstimate
+{
+    double dynamicW = 0.0;
+    double leakageW = 0.0;
+
+    double totalW() const { return dynamicW + leakageW; }
+
+    /** Energy per committed instruction [nJ]; 0 when gated. */
+    double epiNj = 0.0;
+
+    /** Per-structure split of dynamicW. */
+    PowerBreakdown breakdown;
+};
+
+/** Evaluates per-core power for a phase at an operating point. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const EnergyParams &params = EnergyParams());
+
+    const EnergyParams &params() const { return params_; }
+
+    /**
+     * Power of a core running @p phase with performance @p perf at
+     * voltage @p vdd, frequency @p frequency_hz and die temperature
+     * @p die_temp_c.
+     */
+    PowerEstimate evaluate(const PhaseProfile &phase,
+                           const PerfEstimate &perf, double vdd,
+                           double frequency_hz,
+                           double die_temp_c = 50.0) const;
+
+    /** Power of a power-gated core. */
+    PowerEstimate gatedPower() const;
+
+    /** Leakage power at a given voltage/temperature (per core). */
+    double leakageAt(double vdd, double die_temp_c) const;
+
+    /**
+     * Dynamic energy per instruction [nJ] at the nominal voltage for a
+     * phase (activity-scaled, before V^2 scaling), excluding clock.
+     */
+    double dynamicEpiNominalNj(const PhaseProfile &phase) const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_POWER_MODEL_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload characterization structures consumed by the performance and
+ * power models.
+ *
+ * A benchmark is described by a small set of interval-model inputs per
+ * execution phase, calibrated (in src/workload) so that the simulated
+ * IPC and energy-per-instruction of the 12 SPEC2000 programs land in
+ * the paper's EPI categories (Table 5). These profiles substitute for
+ * reference-input cycle simulation; DESIGN.md section 3 records the
+ * substitution rationale.
+ */
+
+#ifndef SOLARCORE_CPU_PROFILE_HPP
+#define SOLARCORE_CPU_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+namespace solarcore::cpu {
+
+/** Interval-model inputs for one execution phase. */
+struct PhaseProfile
+{
+    /** Dependency-limited IPC with perfect caches/branches. */
+    double ilp = 2.0;
+    /** Branch mispredictions per kilo-instruction. */
+    double branchMpki = 4.0;
+    /** L1D misses per kilo-instruction (hit in L2). */
+    double l1MissPerKi = 10.0;
+    /** L2 misses per kilo-instruction (go to memory). */
+    double l2MissPerKi = 1.0;
+    /**
+     * Frequency-invariant stall cycles per instruction: dependency
+     * chains, TLB walks, structural hazards and other in-core stalls
+     * that scale with the clock.
+     */
+    double stallCpi = 0.3;
+    /** Memory-level parallelism: overlapping outstanding misses. */
+    double mlp = 1.5;
+    /** Fraction of instructions that are floating point. */
+    double fpFraction = 0.1;
+    /** Fraction of instructions that are loads/stores. */
+    double memFraction = 0.35;
+    /** Datapath switching-activity scale (calibrated, see workload). */
+    double activityScale = 1.0;
+    /** Phase dwell time at nominal frequency [seconds]. */
+    double durationSec = 60.0;
+};
+
+/** A named benchmark: a repeating sequence of phases. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::vector<PhaseProfile> phases;
+
+    /** The paper's EPI class boundaries [nJ/instruction]. */
+    static constexpr double kHighEpiNj = 15.0;
+    static constexpr double kLowEpiNj = 8.0;
+};
+
+/** Paper Table 5 EPI classes. */
+enum class EpiClass { High, Moderate, Low };
+
+/** Classify a measured EPI [nJ] per the paper's thresholds. */
+constexpr EpiClass
+classifyEpi(double epi_nj)
+{
+    if (epi_nj >= BenchmarkProfile::kHighEpiNj)
+        return EpiClass::High;
+    if (epi_nj <= BenchmarkProfile::kLowEpiNj)
+        return EpiClass::Low;
+    return EpiClass::Moderate;
+}
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_PROFILE_HPP

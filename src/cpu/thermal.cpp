@@ -1,0 +1,33 @@
+#include "thermal.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+ThermalModel::ThermalModel(double r_c_per_w, double c_j_per_c,
+                           double initial_c)
+    : rTh_(r_c_per_w), cTh_(c_j_per_c), tempC_(initial_c)
+{
+    SC_ASSERT(r_c_per_w > 0.0 && c_j_per_c > 0.0,
+              "ThermalModel: non-positive RC");
+}
+
+double
+ThermalModel::steadyState(double power_w, double ambient_c) const
+{
+    return ambient_c + power_w * rTh_;
+}
+
+double
+ThermalModel::step(double power_w, double ambient_c, double dt_sec)
+{
+    SC_ASSERT(dt_sec >= 0.0, "ThermalModel: negative step");
+    const double target = steadyState(power_w, ambient_c);
+    const double alpha = std::exp(-dt_sec / timeConstant());
+    tempC_ = target + (tempC_ - target) * alpha;
+    return tempC_;
+}
+
+} // namespace solarcore::cpu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * First-order RC thermal model of a core's die temperature.
+ *
+ * The paper models temperature's effect on the PANEL in detail but
+ * keeps die temperature implicit; we close the loop: core power heats
+ * the die through a thermal resistance/capacitance pair, and the die
+ * temperature feeds the power model's leakage term. The model is the
+ * standard lumped RC: dT/dt = (P*R - (T - T_amb)) / (R*C), giving a
+ * steady state of T_amb + P*R and an exponential time constant R*C.
+ */
+
+#ifndef SOLARCORE_CPU_THERMAL_HPP
+#define SOLARCORE_CPU_THERMAL_HPP
+
+namespace solarcore::cpu {
+
+/** Lumped-RC die thermal model for one core. */
+class ThermalModel
+{
+  public:
+    /**
+     * @param r_c_per_w  junction-to-ambient thermal resistance [C/W];
+     *                   a 20 W core at 1.2 C/W settles 24 K above
+     *                   ambient, typical for a 90 nm part with a
+     *                   shared heatsink
+     * @param c_j_per_c  thermal capacitance [J/C]; with R it sets the
+     *                   time constant (default ~96 s)
+     * @param initial_c  initial die temperature [C]
+     */
+    explicit ThermalModel(double r_c_per_w = 1.2, double c_j_per_c = 80.0,
+                          double initial_c = 45.0);
+
+    /** Current die temperature [C]. */
+    double temperature() const { return tempC_; }
+
+    /** Steady-state temperature for a constant power/ambient [C]. */
+    double steadyState(double power_w, double ambient_c) const;
+
+    /** Thermal time constant R*C [s]. */
+    double timeConstant() const { return rTh_ * cTh_; }
+
+    /**
+     * Advance the die temperature by @p dt_sec under @p power_w of
+     * dissipation at @p ambient_c, using the exact exponential update
+     * (stable for any step size). Returns the new temperature.
+     */
+    double step(double power_w, double ambient_c, double dt_sec);
+
+    /** Reset to a known temperature. */
+    void reset(double temp_c) { tempC_ = temp_c; }
+
+  private:
+    double rTh_;
+    double cTh_;
+    double tempC_;
+};
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_THERMAL_HPP

@@ -1,0 +1,55 @@
+#include "vrm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace solarcore::cpu {
+
+Vrm::Vrm(const VrmParams &params) : params_(params)
+{
+    SC_ASSERT(params_.peakEfficiency > 0.0 &&
+                  params_.peakEfficiency <= 1.0,
+              "Vrm: bad peak efficiency");
+    SC_ASSERT(params_.ratedPowerW > 0.0 && params_.slewVoltsPerUs > 0.0,
+              "Vrm: bad rating/slew");
+}
+
+double
+Vrm::efficiencyAt(double load_w) const
+{
+    SC_ASSERT(load_w >= 0.0, "Vrm: negative load");
+    const double x = load_w / params_.ratedPowerW;
+    if (x <= 0.0)
+        return params_.peakEfficiency - params_.lightLoadPenalty;
+    // Light-load droop recovers toward the peak by the rated load,
+    // then conduction losses shave a little above rating.
+    const double droop =
+        params_.lightLoadPenalty * std::exp(-3.0 * x);
+    const double overload = x > 1.0 ? 0.02 * (x - 1.0) : 0.0;
+    return std::max(0.5, params_.peakEfficiency - droop - overload);
+}
+
+double
+Vrm::inputPower(double load_w) const
+{
+    if (load_w <= 0.0)
+        return 0.0;
+    return load_w / efficiencyAt(load_w);
+}
+
+double
+Vrm::transitionSeconds(double v_from, double v_to) const
+{
+    return std::abs(v_to - v_from) / (params_.slewVoltsPerUs * 1e6);
+}
+
+double
+Vrm::transitionJoules(double v_from, double v_to) const
+{
+    return std::abs(v_to - v_from) * 1000.0 * params_.transitionNjPerMv *
+        1e-9;
+}
+
+} // namespace solarcore::cpu

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * On-chip per-core voltage regulator module (paper Section 4.1: "we
+ * use an on-chip voltage-regulator module (VRM) for each core",
+ * citing Kim et al.'s fast per-core regulators).
+ *
+ * Models the two properties the power-management loop cares about:
+ *
+ *  - conversion efficiency as a function of load: buck regulators peak
+ *    around mid-load and droop at light load where switching and
+ *    control overheads dominate;
+ *  - voltage transition time and energy: per-core DVFS notches are not
+ *    free, though on-chip regulators make them fast (tens of mV/ns).
+ *
+ * The chip-level input power of a core is its consumed power divided
+ * by the VRM efficiency at that load.
+ */
+
+#ifndef SOLARCORE_CPU_VRM_HPP
+#define SOLARCORE_CPU_VRM_HPP
+
+namespace solarcore::cpu {
+
+/** Electrical characteristics of one per-core regulator. */
+struct VrmParams
+{
+    double peakEfficiency = 0.90;  //!< best-case conversion efficiency
+    double ratedPowerW = 30.0;     //!< load at which efficiency peaks
+    double lightLoadPenalty = 0.12;//!< efficiency droop toward no load
+    double slewVoltsPerUs = 0.02;  //!< output-voltage slew rate
+    double transitionNjPerMv = 1.5;//!< energy per mV of output change
+};
+
+/** A per-core VRM. */
+class Vrm
+{
+  public:
+    explicit Vrm(const VrmParams &params = VrmParams());
+
+    const VrmParams &params() const { return params_; }
+
+    /**
+     * Conversion efficiency at @p load_w of output power: peaks at the
+     * rated load, droops toward light load, and degrades mildly above
+     * rating (conduction losses).
+     */
+    double efficiencyAt(double load_w) const;
+
+    /** Input power required to deliver @p load_w. */
+    double inputPower(double load_w) const;
+
+    /** Time to slew the output from @p v_from to @p v_to [seconds]. */
+    double transitionSeconds(double v_from, double v_to) const;
+
+    /** Energy dissipated by that transition [joules]. */
+    double transitionJoules(double v_from, double v_to) const;
+
+  private:
+    VrmParams params_;
+};
+
+} // namespace solarcore::cpu
+
+#endif // SOLARCORE_CPU_VRM_HPP

@@ -1,0 +1,55 @@
+#include "ats.hpp"
+
+#include "util/logging.hpp"
+
+namespace solarcore::power {
+
+TransferSwitch::TransferSwitch(double threshold_w, double hysteresis_w,
+                               double switch_back_delay_sec)
+    : thresholdW_(threshold_w), hysteresisW_(hysteresis_w),
+      switchBackDelaySec_(switch_back_delay_sec)
+{
+    SC_ASSERT(threshold_w >= 0.0 && hysteresis_w >= 0.0 &&
+                  switch_back_delay_sec >= 0.0,
+              "TransferSwitch: negative thresholds");
+}
+
+PowerSource
+TransferSwitch::update(double available_solar_w, double dt_seconds)
+{
+    if (source_ == PowerSource::Grid) {
+        if (available_solar_w >= thresholdW_ + hysteresisW_) {
+            stableAboveSec_ += dt_seconds;
+            if (stableAboveSec_ >= switchBackDelaySec_) {
+                source_ = PowerSource::Solar;
+                ++transfers_;
+            }
+        } else {
+            stableAboveSec_ = 0.0;
+        }
+    } else {
+        if (available_solar_w < thresholdW_) {
+            source_ = PowerSource::Grid;
+            stableAboveSec_ = 0.0;
+            ++transfers_;
+        }
+    }
+    return source_;
+}
+
+void
+TransferSwitch::accountEnergy(double watts, double seconds)
+{
+    SC_ASSERT(watts >= 0.0 && seconds >= 0.0,
+              "TransferSwitch: negative energy");
+    const double wh = watts * seconds / 3600.0;
+    if (source_ == PowerSource::Solar) {
+        solarWh_ += wh;
+        solarSec_ += seconds;
+    } else {
+        gridWh_ += wh;
+        gridSec_ += seconds;
+    }
+}
+
+} // namespace solarcore::power

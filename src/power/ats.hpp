@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Automatic transfer switch + UPS + energy accounting (paper Figure 8).
+ *
+ * The chip is fed from the solar path when the panel can sustain the
+ * power-transfer threshold, and from grid utility otherwise. Hysteresis
+ * around the threshold avoids chattering near dawn/dusk; the UPS is
+ * assumed ideal so the chip never loses power during transfers. The
+ * switch keeps the solar/grid energy ledgers the evaluation reports.
+ */
+
+#ifndef SOLARCORE_POWER_ATS_HPP
+#define SOLARCORE_POWER_ATS_HPP
+
+namespace solarcore::power {
+
+/** Which source currently powers the load. */
+enum class PowerSource { Solar, Grid };
+
+/** Automatic transfer switch with hysteresis and energy ledgers. */
+class TransferSwitch
+{
+  public:
+    /**
+     * @param threshold_w  power-transfer threshold: the solar path must
+     *                     be able to deliver at least this much
+     * @param hysteresis_w extra margin required to switch back to solar
+     * @param switch_back_delay_sec how long the solar supply must stay
+     *                     above threshold+hysteresis before the switch
+     *                     re-engages it (ATS stabilization time);
+     *                     flickery skies pay this repeatedly
+     */
+    explicit TransferSwitch(double threshold_w = 25.0,
+                            double hysteresis_w = 2.0,
+                            double switch_back_delay_sec = 300.0);
+
+    PowerSource source() const { return source_; }
+    bool onSolar() const { return source_ == PowerSource::Solar; }
+    double thresholdW() const { return thresholdW_; }
+
+    /**
+     * Update the switch given the currently available solar power
+     * (typically the panel MPP) and the elapsed time since the last
+     * update. Returns the selected source.
+     */
+    PowerSource update(double available_solar_w, double dt_seconds);
+
+    /** Force a source (used by non-tracking baselines). */
+    void force(PowerSource src) { source_ = src; }
+
+    /** Account @p watts drawn for @p seconds from the active source. */
+    void accountEnergy(double watts, double seconds);
+
+    double solarEnergyWh() const { return solarWh_; }
+    double gridEnergyWh() const { return gridWh_; }
+
+    /** Seconds spent on each source so far. */
+    double solarSeconds() const { return solarSec_; }
+    double gridSeconds() const { return gridSec_; }
+
+    /** Number of source transfers performed. */
+    int transferCount() const { return transfers_; }
+
+  private:
+    double thresholdW_;
+    double hysteresisW_;
+    double switchBackDelaySec_;
+    double stableAboveSec_ = 0.0;
+    PowerSource source_ = PowerSource::Grid;
+    double solarWh_ = 0.0;
+    double gridWh_ = 0.0;
+    double solarSec_ = 0.0;
+    double gridSec_ = 0.0;
+    int transfers_ = 0;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_ATS_HPP

@@ -1,0 +1,68 @@
+#include "battery.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace solarcore::power {
+
+DeRating
+deRating(BatteryLevel level)
+{
+    // Paper Table 3.
+    switch (level) {
+      case BatteryLevel::High:     return {0.97, 0.95};
+      case BatteryLevel::Moderate: return {0.95, 0.85};
+      case BatteryLevel::Low:      return {0.93, 0.75};
+    }
+    SC_PANIC("deRating: bad level");
+    return {0.0, 0.0};
+}
+
+Battery::Battery(double capacity_wh, double charge_eff, double discharge_eff,
+                 double self_discharge)
+    : capacityWh_(capacity_wh), chargeEff_(charge_eff),
+      dischargeEff_(discharge_eff), selfDischargePerHour_(self_discharge)
+{
+    SC_ASSERT(capacity_wh > 0.0, "Battery: non-positive capacity");
+    SC_ASSERT(charge_eff > 0.0 && charge_eff <= 1.0 && discharge_eff > 0.0 &&
+                  discharge_eff <= 1.0,
+              "Battery: efficiencies out of (0, 1]");
+}
+
+double
+Battery::charge(double power_w, double hours)
+{
+    SC_ASSERT(power_w >= 0.0 && hours >= 0.0, "Battery::charge: negative");
+    const double offered = power_w * hours;
+    const double storable = (capacityWh_ - storedWh_) / chargeEff_;
+    const double absorbed = std::min(offered, storable);
+    storedWh_ += absorbed * chargeEff_;
+    lostWh_ += absorbed * (1.0 - chargeEff_);
+    return absorbed;
+}
+
+double
+Battery::discharge(double power_w, double hours)
+{
+    SC_ASSERT(power_w >= 0.0 && hours >= 0.0,
+              "Battery::discharge: negative");
+    const double wanted = power_w * hours;
+    const double available = storedWh_ * dischargeEff_;
+    const double delivered = std::min(wanted, available);
+    const double removed = delivered / dischargeEff_;
+    storedWh_ -= removed;
+    lostWh_ += removed - delivered;
+    deliveredWh_ += delivered;
+    return delivered;
+}
+
+void
+Battery::idle(double hours)
+{
+    const double lost = storedWh_ * selfDischargePerHour_ * hours;
+    storedWh_ = std::max(0.0, storedWh_ - lost);
+    lostWh_ += lost;
+}
+
+} // namespace solarcore::power

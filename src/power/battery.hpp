@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Battery-equipped PV system models (paper Section 5, Table 3).
+ *
+ * Two layers: the de-rating bookkeeping the paper uses to bound the
+ * utilization of battery-based MPPT systems (MPPT conversion x battery
+ * round-trip efficiency), and a state-of-charge battery model used by
+ * the examples and for failure-injection tests.
+ */
+
+#ifndef SOLARCORE_POWER_BATTERY_HPP
+#define SOLARCORE_POWER_BATTERY_HPP
+
+namespace solarcore::power {
+
+/** Table 3 performance levels of battery-based PV systems. */
+enum class BatteryLevel { High, Moderate, Low };
+
+/** De-rating factors of one performance level (Table 3). */
+struct DeRating
+{
+    double mpptTrackingEff;  //!< MPPT controller conversion efficiency
+    double batteryRoundTrip; //!< battery round-trip efficiency
+
+    /** Overall factor = product of the two. */
+    double overall() const { return mpptTrackingEff * batteryRoundTrip; }
+};
+
+/** Table 3 row for a level: High 97%/95%, Moderate 95%/85%, Low 93%/75%. */
+DeRating deRating(BatteryLevel level);
+
+/**
+ * The paper's Battery-U / Battery-L bounds for high-efficiency
+ * battery-equipped systems: 0.92 and 0.81 overall.
+ */
+inline constexpr double kBatteryUpperBound = 0.92;
+inline constexpr double kBatteryLowerBound = 0.81;
+
+/** A simple state-of-charge battery with asymmetric efficiency. */
+class Battery
+{
+  public:
+    /**
+     * @param capacity_wh    usable capacity [Wh]
+     * @param charge_eff     energy stored / energy offered
+     * @param discharge_eff  energy delivered / energy removed
+     * @param self_discharge fraction of stored energy lost per hour
+     */
+    Battery(double capacity_wh, double charge_eff = 0.95,
+            double discharge_eff = 0.90, double self_discharge = 1e-4);
+
+    double capacityWh() const { return capacityWh_; }
+    double storedWh() const { return storedWh_; }
+    double socFraction() const { return storedWh_ / capacityWh_; }
+
+    /**
+     * Offer @p power_w for @p hours of charging.
+     * @return energy actually absorbed from the source [Wh]
+     */
+    double charge(double power_w, double hours);
+
+    /**
+     * Request @p power_w for @p hours of discharge.
+     * @return energy actually delivered to the load [Wh]
+     */
+    double discharge(double power_w, double hours);
+
+    /** Apply self-discharge over @p hours. */
+    void idle(double hours);
+
+    /** Lifetime energy throughput (delivered) [Wh]. */
+    double deliveredWh() const { return deliveredWh_; }
+
+    /** Cumulative energy lost to inefficiency/self-discharge [Wh]. */
+    double lostWh() const { return lostWh_; }
+
+  private:
+    double capacityWh_;
+    double chargeEff_;
+    double dischargeEff_;
+    double selfDischargePerHour_;
+    double storedWh_ = 0.0;
+    double deliveredWh_ = 0.0;
+    double lostWh_ = 0.0;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_BATTERY_HPP

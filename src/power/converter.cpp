@@ -1,0 +1,31 @@
+#include "converter.hpp"
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::power {
+
+DcDcConverter::DcDcConverter(double k_min, double k_max, double efficiency)
+    : kMin_(k_min), kMax_(k_max), efficiency_(efficiency)
+{
+    SC_ASSERT(k_min > 0.0 && k_max > k_min,
+              "DcDcConverter: bad ratio range");
+    SC_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+              "DcDcConverter: efficiency out of (0, 1]");
+    k_ = clamp(1.0, kMin_, kMax_);
+}
+
+void
+DcDcConverter::setRatio(double k)
+{
+    k_ = clamp(k, kMin_, kMax_);
+}
+
+double
+DcDcConverter::adjustRatio(double delta)
+{
+    setRatio(k_ + delta);
+    return k_;
+}
+
+} // namespace solarcore::power

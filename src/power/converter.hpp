@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tunable power-conservative matching network (paper Sections 2.3 and
+ * 4.1): a PWM-style DC/DC converter described by its transfer ratio k,
+ * with V_in = k * V_out and I_out = k * I_in (lossless by default; an
+ * efficiency factor can model conversion loss on the output side).
+ */
+
+#ifndef SOLARCORE_POWER_CONVERTER_HPP
+#define SOLARCORE_POWER_CONVERTER_HPP
+
+namespace solarcore::power {
+
+/** A transfer-ratio DC/DC converter. */
+class DcDcConverter
+{
+  public:
+    /**
+     * @param k_min      lowest usable transfer ratio
+     * @param k_max      highest usable transfer ratio
+     * @param efficiency output power / input power, (0, 1]
+     */
+    DcDcConverter(double k_min = 0.5, double k_max = 8.0,
+                  double efficiency = 1.0);
+
+    double ratio() const { return k_; }
+
+    /** Set the transfer ratio, clamped into [kMin, kMax]. */
+    void setRatio(double k);
+
+    /** Nudge the ratio by @p delta (clamped); returns the new ratio. */
+    double adjustRatio(double delta);
+
+    double kMin() const { return kMin_; }
+    double kMax() const { return kMax_; }
+    double efficiency() const { return efficiency_; }
+
+    /** Input-side (panel) voltage for an output voltage. */
+    double inputVoltage(double v_out) const { return k_ * v_out; }
+
+    /** Output-side current for an input current, with loss applied. */
+    double outputCurrent(double i_in) const
+    {
+        return k_ * i_in * efficiency_;
+    }
+
+  private:
+    double kMin_;
+    double kMax_;
+    double efficiency_;
+    double k_ = 1.0;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_CONVERTER_HPP

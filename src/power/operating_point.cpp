@@ -1,0 +1,89 @@
+#include "operating_point.hpp"
+
+#include <cmath>
+
+#include "pv/mpp.hpp"
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::power {
+
+double
+loadResistance(double v_rail, double demand_w)
+{
+    SC_ASSERT(v_rail > 0.0 && demand_w > 0.0,
+              "loadResistance: non-positive inputs");
+    return v_rail * v_rail / demand_w;
+}
+
+NetworkState
+solveNetwork(const pv::IvSource &source, const DcDcConverter &conv,
+             double load_ohm)
+{
+    SC_ASSERT(load_ohm > 0.0, "solveNetwork: non-positive load");
+    NetworkState st;
+
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return st; // dark panel: no solution
+
+    const double k = conv.ratio();
+    // Rail current balance: converter output vs load-line draw.
+    auto mismatch = [&](double v_rail) {
+        const double i_in = source.currentAt(conv.inputVoltage(v_rail));
+        return conv.outputCurrent(i_in) - v_rail / load_ohm;
+    };
+    const double v_hi = voc / k;
+    const auto root = bisect(mismatch, 0.0, v_hi, 1e-9 * v_hi + 1e-12);
+    if (!root.converged)
+        return st;
+
+    st.load.voltage = root.x;
+    st.load.current = root.x / load_ohm;
+    st.panel.voltage = conv.inputVoltage(root.x);
+    st.panel.current = source.currentAt(st.panel.voltage);
+    st.valid = true;
+    return st;
+}
+
+NetworkState
+pinRailVoltage(const pv::IvSource &source, DcDcConverter &conv,
+               double v_rail, double demand_w)
+{
+    SC_ASSERT(v_rail > 0.0 && demand_w > 0.0,
+              "pinRailVoltage: non-positive inputs");
+    NetworkState st;
+
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return st;
+
+    // The panel must source the demand plus converter loss.
+    const double p_needed = demand_w / conv.efficiency();
+    const auto mpp = pv::findMpp(source);
+    if (p_needed > mpp.power)
+        return st; // rail would collapse
+
+    // Stable branch: panel voltage in [Vmpp, Voc], where P(v) falls
+    // monotonically from Pmpp to zero.
+    auto mismatch = [&](double v_panel) {
+        return v_panel * source.currentAt(v_panel) - p_needed;
+    };
+    const auto root = bisect(mismatch, mpp.voltage, voc, 1e-10 * voc);
+    if (!root.converged)
+        return st;
+
+    const double k = root.x / v_rail;
+    if (k < conv.kMin() || k > conv.kMax())
+        return st; // ratio out of the converter's range
+
+    conv.setRatio(k);
+    st.panel.voltage = root.x;
+    st.panel.current = source.currentAt(root.x);
+    st.load.voltage = v_rail;
+    st.load.current = demand_w / v_rail;
+    st.valid = true;
+    return st;
+}
+
+} // namespace solarcore::power

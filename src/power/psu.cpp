@@ -1,0 +1,82 @@
+#include "psu.hpp"
+
+#include "util/logging.hpp"
+
+namespace solarcore::power {
+
+Psu
+Psu::paperDefault()
+{
+    Psu psu;
+    // The processor rail rides the solar path; everything else stays
+    // on the utility (paper Section 4.1).
+    psu.addRail({"12V-CPU", 12.0, PowerSource::Solar, 0.0, 250.0});
+    psu.addRail({"12V-peripheral", 12.0, PowerSource::Grid, 0.0, 150.0});
+    psu.addRail({"5V-logic", 5.0, PowerSource::Grid, 0.0, 60.0});
+    return psu;
+}
+
+int
+Psu::addRail(PsuRail rail)
+{
+    SC_ASSERT(rail.voltage > 0.0 && rail.maxW > 0.0, "Psu: bad rail");
+    SC_ASSERT(rail.loadW >= 0.0 && rail.loadW <= rail.maxW,
+              "Psu: initial load outside rating");
+    rails_.push_back(std::move(rail));
+    return static_cast<int>(rails_.size()) - 1;
+}
+
+const PsuRail &
+Psu::rail(int index) const
+{
+    SC_ASSERT(index >= 0 && index < railCount(), "Psu: bad rail index");
+    return rails_[static_cast<std::size_t>(index)];
+}
+
+void
+Psu::setLoad(int index, double watts)
+{
+    SC_ASSERT(index >= 0 && index < railCount(), "Psu: bad rail index");
+    auto &r = rails_[static_cast<std::size_t>(index)];
+    if (watts < 0.0 || watts > r.maxW)
+        SC_FATAL("Psu: load ", watts, " W outside rail '", r.name,
+                 "' rating of ", r.maxW, " W");
+    r.loadW = watts;
+}
+
+void
+Psu::setSource(int index, PowerSource source)
+{
+    SC_ASSERT(index >= 0 && index < railCount(), "Psu: bad rail index");
+    rails_[static_cast<std::size_t>(index)].source = source;
+}
+
+double
+Psu::drawFrom(PowerSource source) const
+{
+    double w = 0.0;
+    for (const auto &r : rails_) {
+        if (r.source == source)
+            w += r.loadW;
+    }
+    return w;
+}
+
+double
+Psu::totalLoad() const
+{
+    double w = 0.0;
+    for (const auto &r : rails_)
+        w += r.loadW;
+    return w;
+}
+
+void
+Psu::accountEnergy(double seconds)
+{
+    SC_ASSERT(seconds >= 0.0, "Psu: negative time");
+    solarWh_ += drawFrom(PowerSource::Solar) * seconds / 3600.0;
+    gridWh_ += drawFrom(PowerSource::Grid) * seconds / 3600.0;
+}
+
+} // namespace solarcore::power

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-rail power supply unit (paper Section 4.1: "today's power
+ * supply unit has multiple output rails which can be leveraged to
+ * power different system components with different power supplies",
+ * citing the ATX12V design guide).
+ *
+ * In the paper's system only the processor rail hangs off the solar
+ * path; memory, disk and the rest stay on the utility. This model
+ * tracks per-rail loads and sources so a full-system study can split
+ * the energy ledgers the same way.
+ */
+
+#ifndef SOLARCORE_POWER_PSU_HPP
+#define SOLARCORE_POWER_PSU_HPP
+
+#include <string>
+#include <vector>
+
+#include "power/ats.hpp"
+
+namespace solarcore::power {
+
+/** One output rail of the PSU. */
+struct PsuRail
+{
+    std::string name;        //!< e.g. "12V-CPU", "12V-peripheral"
+    double voltage = 12.0;   //!< nominal rail voltage
+    PowerSource source = PowerSource::Grid; //!< feeding path
+    double loadW = 0.0;      //!< current load on the rail
+    double maxW = 300.0;     //!< rating
+};
+
+/** A PSU with independently sourced rails. */
+class Psu
+{
+  public:
+    /** Build with the paper's split: CPU rail + peripheral rail. */
+    static Psu paperDefault();
+
+    /** Add a rail; returns its index. */
+    int addRail(PsuRail rail);
+
+    int railCount() const { return static_cast<int>(rails_.size()); }
+    const PsuRail &rail(int index) const;
+
+    /** Set the load on a rail [W]; fatal if above the rating. */
+    void setLoad(int index, double watts);
+
+    /** Re-source a rail (the ATS switching the CPU rail). */
+    void setSource(int index, PowerSource source);
+
+    /** Total load currently drawn from @p source across rails [W]. */
+    double drawFrom(PowerSource source) const;
+
+    /** Total load across all rails [W]. */
+    double totalLoad() const;
+
+    /** Accumulate energy ledgers over @p seconds at current loads. */
+    void accountEnergy(double seconds);
+
+    double solarWh() const { return solarWh_; }
+    double gridWh() const { return gridWh_; }
+
+  private:
+    std::vector<PsuRail> rails_;
+    double solarWh_ = 0.0;
+    double gridWh_ = 0.0;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_PSU_HPP

@@ -1,0 +1,41 @@
+#include "sensors.hpp"
+
+#include <cmath>
+
+namespace solarcore::power {
+
+IvSensor::IvSensor(double voltage_lsb, double current_lsb, double noise_frac,
+                   std::uint64_t seed)
+    : voltageLsb_(voltage_lsb), currentLsb_(current_lsb),
+      noiseFrac_(noise_frac), rng_(seed)
+{
+}
+
+double
+IvSensor::quantize(double value, double lsb) const
+{
+    if (lsb <= 0.0)
+        return value;
+    return std::round(value / lsb) * lsb;
+}
+
+pv::OperatingPoint
+IvSensor::measure(const pv::OperatingPoint &actual)
+{
+    pv::OperatingPoint out = actual;
+    if (noiseFrac_ > 0.0) {
+        out.voltage *= 1.0 + rng_.gaussian(0.0, noiseFrac_);
+        out.current *= 1.0 + rng_.gaussian(0.0, noiseFrac_);
+    }
+    out.voltage = quantize(out.voltage, voltageLsb_);
+    out.current = quantize(out.current, currentLsb_);
+    return out;
+}
+
+double
+IvSensor::measurePower(const pv::OperatingPoint &actual)
+{
+    return measure(actual).power();
+}
+
+} // namespace solarcore::power

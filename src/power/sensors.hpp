@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Front-end I/V sensing (paper Figure 8): the SolarCore controller
+ * observes load current and voltage through sensors with finite
+ * resolution and optional gaussian noise. Quantization models the ADC
+ * in the measurement path; both default to ideal for deterministic
+ * experiments and can be degraded for robustness studies.
+ */
+
+#ifndef SOLARCORE_POWER_SENSORS_HPP
+#define SOLARCORE_POWER_SENSORS_HPP
+
+#include "pv/module.hpp"
+#include "util/random.hpp"
+
+namespace solarcore::power {
+
+/** One current/voltage sensor pair at a network port. */
+class IvSensor
+{
+  public:
+    /**
+     * @param voltage_lsb quantization step for voltage [V]; 0 = ideal
+     * @param current_lsb quantization step for current [A]; 0 = ideal
+     * @param noise_frac  relative gaussian noise sigma; 0 = ideal
+     * @param seed        noise stream seed
+     */
+    explicit IvSensor(double voltage_lsb = 0.0, double current_lsb = 0.0,
+                      double noise_frac = 0.0, std::uint64_t seed = 1);
+
+    /** Measure an operating point through the sensor chain. */
+    pv::OperatingPoint measure(const pv::OperatingPoint &actual);
+
+    /** Measured power (applies the same chain to V and I). */
+    double measurePower(const pv::OperatingPoint &actual);
+
+  private:
+    double quantize(double value, double lsb) const;
+
+    double voltageLsb_;
+    double currentLsb_;
+    double noiseFrac_;
+    Rng rng_;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_SENSORS_HPP

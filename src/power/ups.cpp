@@ -1,0 +1,55 @@
+#include "ups.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace solarcore::power {
+
+Ups::Ups(double capacity_wh, double max_power_w, double recharge_w)
+    : capacityWh_(capacity_wh), maxPowerW_(max_power_w),
+      rechargeW_(recharge_w), storedWh_(capacity_wh)
+{
+    SC_ASSERT(capacity_wh > 0.0 && max_power_w > 0.0 && recharge_w >= 0.0,
+              "Ups: bad parameters");
+}
+
+bool
+Ups::bridge(double load_w, double seconds)
+{
+    SC_ASSERT(load_w >= 0.0 && seconds >= 0.0, "Ups::bridge: negative");
+    if (load_w > maxPowerW_) {
+        ++brownouts_;
+        return false;
+    }
+    const double needed_wh = load_w * seconds / 3600.0;
+    if (needed_wh > storedWh_) {
+        deliveredWh_ += storedWh_;
+        storedWh_ = 0.0;
+        ++brownouts_;
+        return false;
+    }
+    storedWh_ -= needed_wh;
+    deliveredWh_ += needed_wh;
+    return true;
+}
+
+void
+Ups::recharge(double seconds)
+{
+    SC_ASSERT(seconds >= 0.0, "Ups::recharge: negative");
+    storedWh_ = std::min(capacityWh_,
+                         storedWh_ + rechargeW_ * seconds / 3600.0);
+}
+
+double
+Ups::holdupSeconds(double load_w) const
+{
+    if (load_w <= 0.0)
+        return 3600.0 * 24.0; // effectively unlimited at no load
+    if (load_w > maxPowerW_)
+        return 0.0;
+    return storedWh_ / load_w * 3600.0;
+}
+
+} // namespace solarcore::power

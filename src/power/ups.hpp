@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Uninterruptible power supply (paper Figure 8): bridges the load
+ * across automatic-transfer-switch events so the chip never browns
+ * out. The paper assumes the UPS is ideal; this model gives it a
+ * finite energy reservoir and a finite power rating, so a deployment
+ * study can check that transfer frequency and load stay within what a
+ * small UPS can actually bridge.
+ */
+
+#ifndef SOLARCORE_POWER_UPS_HPP
+#define SOLARCORE_POWER_UPS_HPP
+
+namespace solarcore::power {
+
+/** A finite-capacity ride-through UPS. */
+class Ups
+{
+  public:
+    /**
+     * @param capacity_wh usable reservoir energy
+     * @param max_power_w maximum deliverable bridging power
+     * @param recharge_w  recharge power drawn after a bridge event
+     */
+    explicit Ups(double capacity_wh = 5.0, double max_power_w = 250.0,
+                 double recharge_w = 20.0);
+
+    double capacityWh() const { return capacityWh_; }
+    double storedWh() const { return storedWh_; }
+    double maxPowerW() const { return maxPowerW_; }
+
+    /**
+     * Bridge @p load_w for @p seconds during a transfer.
+     * @return true if the UPS fully carried the load; false on a
+     *         brownout (load above rating or reservoir exhausted)
+     */
+    bool bridge(double load_w, double seconds);
+
+    /** Recharge from the active source for @p seconds. */
+    void recharge(double seconds);
+
+    /** Total energy delivered across all bridge events [Wh]. */
+    double deliveredWh() const { return deliveredWh_; }
+
+    /** Number of bridge events that ended in a brownout. */
+    int brownouts() const { return brownouts_; }
+
+    /** Longest continuous bridge sustainable at @p load_w [s]. */
+    double holdupSeconds(double load_w) const;
+
+  private:
+    double capacityWh_;
+    double maxPowerW_;
+    double rechargeW_;
+    double storedWh_;
+    double deliveredWh_ = 0.0;
+    int brownouts_ = 0;
+};
+
+} // namespace solarcore::power
+
+#endif // SOLARCORE_POWER_UPS_HPP

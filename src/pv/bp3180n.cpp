@@ -1,0 +1,75 @@
+#include "bp3180n.hpp"
+
+#include "pv/mpp.hpp"
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::pv {
+
+ModuleDatasheet
+bp3180nDatasheet()
+{
+    return ModuleDatasheet{};
+}
+
+namespace {
+
+/** STC maximum power of a module built with per-cell resistance rs. */
+double
+stcMaxPower(const ModuleDatasheet &sheet, double rs)
+{
+    CellParams cp;
+    cp.iscRef = sheet.iscStc / sheet.stringsParallel;
+    cp.vocRef = sheet.vocStc / sheet.cellsSeries;
+    cp.alphaIsc = sheet.alphaIscPerK;
+    cp.idealityN = sheet.idealityN;
+    cp.seriesRes = rs;
+
+    const SolarCell cell(cp);
+    const PvModule module(cell, sheet.cellsSeries, sheet.stringsParallel,
+                          sheet.noctC);
+    const PvArray array(module, 1, 1, kStc);
+    return findMpp(array).power;
+}
+
+} // namespace
+
+PvModule
+buildCalibratedModule(const ModuleDatasheet &sheet)
+{
+    // Pmax(Rs) is monotone decreasing; bracket Rs between the ideal
+    // cell (upper power bound) and a heavily resistive one.
+    const double rs_lo = 0.0;
+    const double rs_hi = 0.05; // [ohm per cell]
+
+    const double p_ideal = stcMaxPower(sheet, rs_lo);
+    if (p_ideal < sheet.maxPower) {
+        SC_FATAL("module datasheet unreachable: ideal-cell Pmax ", p_ideal,
+                 " W below rated ", sheet.maxPower, " W");
+    }
+
+    auto mismatch = [&](double rs) {
+        return stcMaxPower(sheet, rs) - sheet.maxPower;
+    };
+    const auto fit = bisect(mismatch, rs_lo, rs_hi, 1e-8);
+    if (!fit.converged)
+        SC_WARN("module Rs calibration did not converge; using ", fit.x);
+
+    CellParams cp;
+    cp.iscRef = sheet.iscStc / sheet.stringsParallel;
+    cp.vocRef = sheet.vocStc / sheet.cellsSeries;
+    cp.alphaIsc = sheet.alphaIscPerK;
+    cp.idealityN = sheet.idealityN;
+    cp.seriesRes = fit.x;
+
+    return PvModule(SolarCell(cp), sheet.cellsSeries, sheet.stringsParallel,
+                    sheet.noctC);
+}
+
+PvModule
+buildBp3180n()
+{
+    return buildCalibratedModule(bp3180nDatasheet());
+}
+
+} // namespace solarcore::pv

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Datasheet model of the BP3180N 180 W polycrystalline module used by
+ * the paper (Section 3, reference [11]), plus a generic calibration
+ * routine that fits the cell series resistance to a datasheet maximum
+ * power rating.
+ */
+
+#ifndef SOLARCORE_PV_BP3180N_HPP
+#define SOLARCORE_PV_BP3180N_HPP
+
+#include "pv/module.hpp"
+
+namespace solarcore::pv {
+
+/** Datasheet figures for a module at STC. */
+struct ModuleDatasheet
+{
+    const char *name = "BP3180N";
+    double maxPower = 180.0;      //!< Pmax [W]
+    double vocStc = 44.2;         //!< open-circuit voltage [V]
+    double iscStc = 5.4;          //!< short-circuit current [A]
+    double vmppStc = 35.8;        //!< MPP voltage [V]
+    double imppStc = 5.03;        //!< MPP current [A]
+    int cellsSeries = 72;         //!< series cells per module
+    int stringsParallel = 1;      //!< parallel strings per module
+    double alphaIscPerK = 0.00065;//!< Isc temperature coefficient [1/K]
+    double noctC = 47.0;          //!< nominal operating cell temp [C]
+    double idealityN = 1.30;      //!< diode ideality used for the fit
+};
+
+/** The BP3180N datasheet values. */
+ModuleDatasheet bp3180nDatasheet();
+
+/**
+ * Build a PvModule whose single-diode parameters are calibrated to the
+ * datasheet: Voc and Isc are matched exactly by construction, and the
+ * per-cell series resistance is fitted by bisection so the simulated
+ * STC maximum power equals `maxPower` (Pmax falls monotonically with
+ * Rs, so the fit is exact to the solver tolerance).
+ */
+PvModule buildCalibratedModule(const ModuleDatasheet &sheet);
+
+/** Convenience: the paper's BP3180N module, calibrated. */
+PvModule buildBp3180n();
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_BP3180N_HPP

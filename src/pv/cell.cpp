@@ -1,0 +1,103 @@
+#include "cell.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::pv {
+
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23; // [J/K]
+constexpr double kElectron = 1.602176634e-19; // [C]
+
+} // namespace
+
+SolarCell::SolarCell(const CellParams &params) : params_(params)
+{
+    SC_ASSERT(params_.iscRef > 0 && params_.vocRef > 0,
+              "SolarCell: datasheet reference values must be positive");
+    SC_ASSERT(params_.idealityN >= 1.0 && params_.idealityN <= 2.0,
+              "SolarCell: diode ideality out of physical range");
+    // Calibrate the dark saturation current so that the open-circuit
+    // condition at STC reproduces vocRef exactly:
+    //   Iph = I0 * (exp(Voc / Vt) - 1)   (I = 0, Rs drops out)
+    const double vt = thermalVoltage(kStc.cellTempC);
+    i0Ref_ = params_.iscRef / std::expm1(params_.vocRef / vt);
+    SC_ASSERT(i0Ref_ > 0, "SolarCell: saturation current calibration failed");
+}
+
+double
+SolarCell::thermalVoltage(double cell_temp_c) const
+{
+    return params_.idealityN * kBoltzmann * kelvin(cell_temp_c) / kElectron;
+}
+
+double
+SolarCell::photoCurrent(const Environment &env) const
+{
+    const double temp_term =
+        1.0 + params_.alphaIsc * (env.cellTempC - kStc.cellTempC);
+    return params_.iscRef * (env.irradiance / kStc.irradiance) * temp_term;
+}
+
+double
+SolarCell::saturationCurrent(double cell_temp_c) const
+{
+    // I0(T) = I0_ref (T/Tref)^3 exp( (Eg/(n k/q)) (1/Tref - 1/T) )
+    const double t = kelvin(cell_temp_c);
+    const double t_ref = kelvin(kStc.cellTempC);
+    const double eg_over_nk =
+        params_.bandgapEv * kElectron / (params_.idealityN * kBoltzmann);
+    return i0Ref_ * std::pow(t / t_ref, 3.0) *
+        std::exp(eg_over_nk * (1.0 / t_ref - 1.0 / t));
+}
+
+double
+SolarCell::currentAt(double v, const Environment &env) const
+{
+    if (env.irradiance <= 0.0) {
+        // Dark cell: pure diode characteristic, I = -Id(v).
+        const double vt = thermalVoltage(env.cellTempC);
+        return -saturationCurrent(env.cellTempC) * std::expm1(v / vt);
+    }
+
+    const double iph = photoCurrent(env);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double vt = thermalVoltage(env.cellTempC);
+    const double rs = params_.seriesRes;
+
+    auto f = [&](double i) {
+        return iph - i0 * std::expm1((v + i * rs) / vt) - i;
+    };
+    auto df = [&](double i) {
+        return -i0 * (rs / vt) * std::exp((v + i * rs) / vt) - 1.0;
+    };
+
+    // I is bracketed by the reverse-bias diode floor and Iph.
+    const double lo = -i0 * 10.0 - 1.0;
+    const double hi = iph;
+    const auto res = newton(f, df, iph * 0.9, lo, hi, 1e-12, 100);
+    return res.x;
+}
+
+double
+SolarCell::openCircuitVoltage(const Environment &env) const
+{
+    if (env.irradiance <= 0.0)
+        return 0.0;
+    const double iph = photoCurrent(env);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double vt = thermalVoltage(env.cellTempC);
+    // I = 0 => Voc = Vt * ln(1 + Iph / I0); Rs drops out at zero current.
+    return vt * std::log1p(iph / i0);
+}
+
+double
+SolarCell::shortCircuitCurrent(const Environment &env) const
+{
+    return currentAt(0.0, env);
+}
+
+} // namespace solarcore::pv

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Single-diode equivalent-circuit model of a photovoltaic cell
+ * (paper Section 2.1, Figure 3).
+ *
+ * The cell is a photocurrent source in parallel with one diode plus a
+ * series resistance Rs; shunt resistance is omitted as negligible,
+ * exactly as the paper's "model of moderate complexity". The output
+ * current at terminal voltage V solves the implicit equation
+ *
+ *   I = Iph(G,T) - I0(T) * (exp(q (V + I Rs) / (n k T)) - 1)
+ *
+ * with irradiance-proportional, temperature-corrected photocurrent and
+ * the standard T^3 * exp(-Eg/kT) dark-saturation-current scaling.
+ */
+
+#ifndef SOLARCORE_PV_CELL_HPP
+#define SOLARCORE_PV_CELL_HPP
+
+namespace solarcore::pv {
+
+/** Atmospheric operating condition of a panel. */
+struct Environment
+{
+    double irradiance = 1000.0; //!< plane-of-array irradiance G [W/m^2]
+    double cellTempC = 25.0;    //!< cell temperature [degrees Celsius]
+};
+
+/** Standard test conditions (STC) used for datasheet calibration. */
+inline constexpr Environment kStc{1000.0, 25.0};
+
+/** Electrical parameters of one cell, referenced to STC. */
+struct CellParams
+{
+    double iscRef = 5.4;        //!< short-circuit current at STC [A]
+    double vocRef = 0.6139;     //!< open-circuit voltage at STC [V]
+    double alphaIsc = 0.00065;  //!< relative Isc temperature coeff [1/K]
+    double idealityN = 1.30;    //!< diode ideality factor
+    double seriesRes = 0.0;     //!< series resistance Rs [ohm]
+    double bandgapEv = 1.12;    //!< silicon bandgap [eV]
+};
+
+/**
+ * A single PV cell with the physics above.
+ *
+ * All voltages/currents are per cell; PvModule scales to the
+ * series-parallel arrangement.
+ */
+class SolarCell
+{
+  public:
+    explicit SolarCell(const CellParams &params);
+
+    const CellParams &params() const { return params_; }
+
+    /** Light-generated current Iph at the given condition [A]. */
+    double photoCurrent(const Environment &env) const;
+
+    /** Diode dark saturation current I0 at cell temperature [A]. */
+    double saturationCurrent(double cell_temp_c) const;
+
+    /**
+     * Output current at terminal voltage @p v [V].
+     *
+     * Solves the implicit diode equation by damped Newton iteration;
+     * monotone decreasing in v, so the solve is globally convergent.
+     * Negative results (v beyond Voc) are returned as-is so callers can
+     * detect reverse bias; clamp at the call site when modelling a
+     * blocking diode.
+     */
+    double currentAt(double v, const Environment &env) const;
+
+    /** Open-circuit voltage at the given condition [V]. */
+    double openCircuitVoltage(const Environment &env) const;
+
+    /** Short-circuit current at the given condition [A]. */
+    double shortCircuitCurrent(const Environment &env) const;
+
+    /** Thermal voltage n*k*T/q at the given cell temperature [V]. */
+    double thermalVoltage(double cell_temp_c) const;
+
+  private:
+    CellParams params_;
+    double i0Ref_; //!< saturation current at STC, from Voc/Isc calibration
+};
+
+/** Convert Celsius to Kelvin. */
+constexpr double
+kelvin(double celsius)
+{
+    return celsius + 273.15;
+}
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_CELL_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * PV module and array models (paper Section 3).
+ *
+ * A module is Ns identical cells in series by Np strings in parallel;
+ * an array is a series-parallel arrangement of identical modules. Both
+ * expose the same terminal I-V interface, consumed by the MPP finder
+ * and the power-delivery operating-point solver.
+ */
+
+#ifndef SOLARCORE_PV_MODULE_HPP
+#define SOLARCORE_PV_MODULE_HPP
+
+#include "pv/cell.hpp"
+
+namespace solarcore::pv {
+
+/** One electrical operating point of a source or load. */
+struct OperatingPoint
+{
+    double voltage = 0.0; //!< terminal voltage [V]
+    double current = 0.0; //!< terminal current [A]
+
+    double power() const { return voltage * current; }
+};
+
+/**
+ * Abstract terminal I-V characteristic of a DC source at a fixed
+ * environmental condition. The power network solver only needs this.
+ */
+class IvSource
+{
+  public:
+    virtual ~IvSource() = default;
+
+    /** Terminal current when the terminal voltage is @p v [A]. */
+    virtual double currentAt(double v) const = 0;
+
+    /** Voltage above which the source delivers no current [V]. */
+    virtual double openCircuitVoltage() const = 0;
+};
+
+/** A PV module: Ns series cells x Np parallel strings. */
+class PvModule
+{
+  public:
+    /**
+     * @param cell            electrical model of one cell
+     * @param cells_series    Ns, cells per series string
+     * @param strings_parallel Np, parallel strings
+     * @param noct_c          nominal operating cell temperature [C]
+     */
+    PvModule(const SolarCell &cell, int cells_series, int strings_parallel,
+             double noct_c = 47.0);
+
+    const SolarCell &cell() const { return cell_; }
+    int cellsSeries() const { return cellsSeries_; }
+    int stringsParallel() const { return stringsParallel_; }
+
+    /** Module terminal current at voltage @p v, clamped at 0 reverse. */
+    double currentAt(double v, const Environment &env) const;
+
+    /** Module open-circuit voltage [V]. */
+    double openCircuitVoltage(const Environment &env) const;
+
+    /** Module short-circuit current [A]. */
+    double shortCircuitCurrent(const Environment &env) const;
+
+    /**
+     * Cell temperature from ambient temperature and irradiance via the
+     * standard NOCT relation: Tc = Ta + (NOCT - 20) / 800 * G.
+     */
+    double cellTempFromAmbient(double ambient_c, double irradiance) const;
+
+  private:
+    SolarCell cell_;
+    int cellsSeries_;
+    int stringsParallel_;
+    double noctC_;
+};
+
+/** A PV array: identical modules in series-parallel, as one IvSource. */
+class PvArray : public IvSource
+{
+  public:
+    PvArray(const PvModule &module, int modules_series, int modules_parallel,
+            const Environment &env);
+
+    /** Rebind the array to a new environmental condition. */
+    void setEnvironment(const Environment &env) { env_ = env; }
+    const Environment &environment() const { return env_; }
+
+    const PvModule &module() const { return module_; }
+    int modulesSeries() const { return modulesSeries_; }
+    int modulesParallel() const { return modulesParallel_; }
+
+    double currentAt(double v) const override;
+    double openCircuitVoltage() const override;
+    double shortCircuitCurrent() const;
+
+  private:
+    PvModule module_;
+    int modulesSeries_;
+    int modulesParallel_;
+    Environment env_;
+};
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_MODULE_HPP

@@ -1,0 +1,58 @@
+#include "mpp.hpp"
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::pv {
+
+MppResult
+findMpp(const IvSource &source, double v_tol)
+{
+    MppResult res;
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return res; // dark panel: zero power everywhere
+
+    auto power = [&](double v) { return v * source.currentAt(v); };
+    const auto opt = goldenMax(power, 0.0, voc, v_tol);
+    res.voltage = opt.x;
+    res.current = source.currentAt(opt.x);
+    res.power = opt.fx;
+    return res;
+}
+
+std::vector<IvSample>
+sampleIvCurve(const IvSource &source, int points)
+{
+    SC_ASSERT(points >= 2, "sampleIvCurve: need at least two points");
+    std::vector<IvSample> samples;
+    samples.reserve(static_cast<std::size_t>(points));
+    const double voc = source.openCircuitVoltage();
+    for (int i = 0; i < points; ++i) {
+        const double v = voc * static_cast<double>(i) /
+            static_cast<double>(points - 1);
+        const double c = source.currentAt(v);
+        samples.push_back({v, c, v * c});
+    }
+    return samples;
+}
+
+OperatingPoint
+resistiveOperatingPoint(const IvSource &source, double load_ohm)
+{
+    SC_ASSERT(load_ohm > 0.0, "resistiveOperatingPoint: non-positive load");
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return {0.0, 0.0};
+
+    // Source current falls with V while load current rises, so the
+    // difference is monotone and bisection is exact.
+    auto mismatch = [&](double v) {
+        return source.currentAt(v) - v / load_ohm;
+    };
+    const auto root = bisect(mismatch, 0.0, voc, 1e-9 * voc + 1e-12);
+    const double v = root.x;
+    return {v, v / load_ohm};
+}
+
+} // namespace solarcore::pv

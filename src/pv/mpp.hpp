@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Maximum power point computation and I-V curve sampling
+ * (paper Section 2.2, Figures 4, 6, 7).
+ */
+
+#ifndef SOLARCORE_PV_MPP_HPP
+#define SOLARCORE_PV_MPP_HPP
+
+#include <vector>
+
+#include "pv/module.hpp"
+
+namespace solarcore::pv {
+
+/** The maximum power point of an I-V characteristic. */
+struct MppResult
+{
+    double voltage = 0.0; //!< Vmpp [V]
+    double current = 0.0; //!< Impp [A]
+    double power = 0.0;   //!< Pmax [W]
+};
+
+/**
+ * Locate the MPP of @p source by golden-section search on P(V) over
+ * [0, Voc]. P(V) = V * I(V) is unimodal for a single-diode source.
+ */
+MppResult findMpp(const IvSource &source, double v_tol = 1e-4);
+
+/** One sample of an I-V / P-V sweep. */
+struct IvSample
+{
+    double voltage = 0.0;
+    double current = 0.0;
+    double power = 0.0;
+};
+
+/**
+ * Sample the characteristic of @p source at @p points evenly spaced
+ * voltages in [0, Voc]; used by the Figure 6/7 reproductions.
+ */
+std::vector<IvSample> sampleIvCurve(const IvSource &source, int points);
+
+/**
+ * Operating point of @p source when directly loaded by a fixed
+ * resistance @p load_ohm (the Figure 1 / Figure 4 "load line" case):
+ * the intersection of I = V / R with the source characteristic.
+ */
+OperatingPoint resistiveOperatingPoint(const IvSource &source,
+                                       double load_ohm);
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_MPP_HPP

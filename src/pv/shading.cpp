@@ -1,0 +1,161 @@
+#include "shading.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::pv {
+
+ShadedString::ShadedString(const PvModule &module,
+                           std::vector<Environment> environments,
+                           double bypass_drop_v)
+    : module_(module), environments_(std::move(environments)),
+      bypassDropV_(bypass_drop_v)
+{
+    SC_ASSERT(!environments_.empty(), "ShadedString: no modules");
+    SC_ASSERT(bypass_drop_v >= 0.0, "ShadedString: negative diode drop");
+}
+
+void
+ShadedString::setEnvironment(int position, const Environment &env)
+{
+    SC_ASSERT(position >= 0 && position < moduleCount(),
+              "ShadedString: bad position");
+    environments_[static_cast<std::size_t>(position)] = env;
+}
+
+double
+ShadedString::maxShortCircuitCurrent() const
+{
+    double isc = 0.0;
+    for (const auto &env : environments_)
+        isc = std::max(isc, module_.shortCircuitCurrent(env));
+    return isc;
+}
+
+double
+ShadedString::moduleVoltageAt(int position, double i) const
+{
+    const auto &env = environments_[static_cast<std::size_t>(position)];
+    const double isc = module_.shortCircuitCurrent(env);
+    if (i >= isc) {
+        // The module cannot source this current: its bypass diode
+        // conducts and the position costs one diode drop.
+        return -bypassDropV_;
+    }
+    if (i <= 0.0)
+        return module_.openCircuitVoltage(env);
+
+    // Invert the monotone I(V) characteristic on [0, Voc].
+    const double voc = module_.openCircuitVoltage(env);
+    auto mismatch = [&](double v) { return module_.currentAt(v, env) - i; };
+    const auto root = bisect(mismatch, 0.0, voc, 1e-9 * voc + 1e-12);
+    return root.x;
+}
+
+double
+ShadedString::voltageAt(double i) const
+{
+    double v = 0.0;
+    for (int p = 0; p < moduleCount(); ++p)
+        v += moduleVoltageAt(p, i);
+    return v;
+}
+
+double
+ShadedString::openCircuitVoltage() const
+{
+    return voltageAt(0.0);
+}
+
+double
+ShadedString::currentAt(double v) const
+{
+    const double isc = maxShortCircuitCurrent();
+    if (isc <= 0.0)
+        return 0.0;
+    if (v >= openCircuitVoltage())
+        return 0.0;
+
+    // voltageAt is monotone non-increasing in i; bisect V(i) = v.
+    auto mismatch = [&](double i) { return voltageAt(i) - v; };
+    const auto root = bisect(mismatch, 0.0, isc, 1e-10 * isc + 1e-14);
+    if (!root.converged)
+        return 0.0;
+    return root.x;
+}
+
+MppResult
+findGlobalMpp(const IvSource &source, int coarse_samples)
+{
+    SC_ASSERT(coarse_samples >= 4, "findGlobalMpp: too few samples");
+    MppResult best;
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return best;
+
+    auto power = [&](double v) { return v * source.currentAt(v); };
+
+    // Coarse scan to find the winning hill.
+    int best_idx = 0;
+    double best_p = 0.0;
+    for (int i = 0; i <= coarse_samples; ++i) {
+        const double v = voc * i / coarse_samples;
+        const double p = power(v);
+        if (p > best_p) {
+            best_p = p;
+            best_idx = i;
+        }
+    }
+
+    // Refine within the neighbouring samples.
+    const double lo = voc * std::max(0, best_idx - 1) / coarse_samples;
+    const double hi = voc * std::min(coarse_samples, best_idx + 1) /
+        coarse_samples;
+    const auto opt = goldenMax(power, lo, hi, 1e-5 * voc);
+    best.voltage = opt.x;
+    best.current = source.currentAt(opt.x);
+    best.power = opt.fx;
+    return best;
+}
+
+std::vector<MppResult>
+findLocalMaxima(const IvSource &source, int samples)
+{
+    std::vector<MppResult> maxima;
+    const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0)
+        return maxima;
+
+    auto power = [&](double v) { return v * source.currentAt(v); };
+
+    std::vector<double> p(static_cast<std::size_t>(samples) + 1);
+    for (int i = 0; i <= samples; ++i)
+        p[static_cast<std::size_t>(i)] = power(voc * i / samples);
+
+    for (int i = 1; i < samples; ++i) {
+        if (p[static_cast<std::size_t>(i)] <=
+                p[static_cast<std::size_t>(i - 1)] ||
+            p[static_cast<std::size_t>(i)] <
+                p[static_cast<std::size_t>(i + 1)])
+            continue;
+        // Interior local max: refine on the bracketing interval.
+        const double lo = voc * (i - 1) / samples;
+        const double hi = voc * (i + 1) / samples;
+        const auto opt = goldenMax(power, lo, hi, 1e-5 * voc);
+        // Deduplicate plateau hits.
+        if (!maxima.empty() &&
+            std::abs(maxima.back().voltage - opt.x) < 1e-3 * voc)
+            continue;
+        MppResult m;
+        m.voltage = opt.x;
+        m.current = source.currentAt(opt.x);
+        m.power = opt.fx;
+        maxima.push_back(m);
+    }
+    return maxima;
+}
+
+} // namespace solarcore::pv

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Partial shading support: series strings with per-module irradiance
+ * and bypass diodes, plus a global MPP search.
+ *
+ * The paper assumes uniform irradiance across the panel ("under
+ * uniform irradiance ... a unique maximum power point"); real arrays
+ * see passing shadows that cover some modules only. A bypass diode
+ * across each module lets string current flow around a shaded module
+ * at the cost of a diode drop, which splits the P-V curve into
+ * multiple local maxima -- exactly the condition under which naive
+ * perturb-and-observe tracking (and unimodal golden-section search)
+ * parks on the wrong hill. This extension models the electrical
+ * behaviour and provides the global search a tracker needs.
+ */
+
+#ifndef SOLARCORE_PV_SHADING_HPP
+#define SOLARCORE_PV_SHADING_HPP
+
+#include <vector>
+
+#include "pv/module.hpp"
+#include "pv/mpp.hpp"
+
+namespace solarcore::pv {
+
+/**
+ * A series string of identical modules, each under its own
+ * environmental condition, with one bypass diode per module.
+ */
+class ShadedString : public IvSource
+{
+  public:
+    /**
+     * @param module        electrical model shared by every position
+     * @param environments  one condition per series position
+     * @param bypass_drop_v forward drop of a conducting bypass diode
+     */
+    ShadedString(const PvModule &module,
+                 std::vector<Environment> environments,
+                 double bypass_drop_v = 0.5);
+
+    int moduleCount() const
+    {
+        return static_cast<int>(environments_.size());
+    }
+
+    /** Replace one position's condition (a shadow moving). */
+    void setEnvironment(int position, const Environment &env);
+
+    /**
+     * String voltage at string current @p i: each module contributes
+     * its operating voltage if it can carry the current, or minus the
+     * bypass drop if the current exceeds its photo-current.
+     */
+    double voltageAt(double i) const;
+
+    /** Largest short-circuit current of any position [A]. */
+    double maxShortCircuitCurrent() const;
+
+    // IvSource interface (numeric inversion of voltageAt).
+    double currentAt(double v) const override;
+    double openCircuitVoltage() const override;
+
+  private:
+    /** One module's voltage when forced to carry current @p i. */
+    double moduleVoltageAt(int position, double i) const;
+
+    PvModule module_;
+    std::vector<Environment> environments_;
+    double bypassDropV_;
+};
+
+/**
+ * Global maximum power point of a possibly multi-peaked source:
+ * coarse scan over [0, Voc] followed by golden-section refinement
+ * around the best coarse sample. For unimodal curves this returns the
+ * same point as findMpp.
+ */
+MppResult findGlobalMpp(const IvSource &source, int coarse_samples = 64);
+
+/**
+ * The local maxima of the P-V curve (for diagnostics and tests):
+ * sampled at @p samples points, refined, deduplicated.
+ */
+std::vector<MppResult> findLocalMaxima(const IvSource &source,
+                                       int samples = 128);
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_SHADING_HPP

@@ -1,0 +1,28 @@
+#include "clearsky.hpp"
+
+#include <cmath>
+
+#include "solar/geometry.hpp"
+
+namespace solarcore::solar {
+
+double
+clearSkyGhi(double sin_elevation, double site_factor)
+{
+    if (sin_elevation <= 0.0)
+        return 0.0;
+    // Haurwitz (1945): GHI = 1098 cos(Z) exp(-0.057 / cos(Z)),
+    // with cos(Z) = sin(elevation).
+    const double cos_z = sin_elevation;
+    return site_factor * 1098.0 * cos_z * std::exp(-0.057 / cos_z);
+}
+
+double
+clearSkyGhiAt(double latitude_deg, int day_of_year, double solar_hour,
+              double site_factor)
+{
+    return clearSkyGhi(sinElevation(latitude_deg, day_of_year, solar_hour),
+                       site_factor);
+}
+
+} // namespace solarcore::solar

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Clear-sky global horizontal irradiance via the Haurwitz model,
+ * GHI = 1098 * cos(Z) * exp(-0.057 / cos(Z)), optionally scaled by a
+ * per-site clearness factor (altitude / aerosol proxy). This anchors
+ * the synthetic traces that substitute for the paper's measured MIDC
+ * recordings (see DESIGN.md section 3).
+ */
+
+#ifndef SOLARCORE_SOLAR_CLEARSKY_HPP
+#define SOLARCORE_SOLAR_CLEARSKY_HPP
+
+namespace solarcore::solar {
+
+/**
+ * Clear-sky GHI [W/m^2] for a given sine of solar elevation.
+ *
+ * @param sin_elevation sin of the solar elevation angle; values <= 0
+ *                      (sun below horizon) yield 0
+ * @param site_factor   multiplicative clearness factor (1.0 = Haurwitz)
+ */
+double clearSkyGhi(double sin_elevation, double site_factor = 1.0);
+
+/**
+ * Clear-sky GHI for a site latitude / day / solar hour, convenience
+ * wrapper over the geometry module.
+ */
+double clearSkyGhiAt(double latitude_deg, int day_of_year,
+                     double solar_hour, double site_factor = 1.0);
+
+} // namespace solarcore::solar
+
+#endif // SOLARCORE_SOLAR_CLEARSKY_HPP

@@ -1,0 +1,69 @@
+#include "geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace solarcore::solar {
+
+int
+dayOfYear(int month, int day)
+{
+    static const int days_before[12] = {0,   31,  59,  90,  120, 151,
+                                        181, 212, 243, 273, 304, 334};
+    SC_ASSERT(month >= 1 && month <= 12, "dayOfYear: bad month ", month);
+    SC_ASSERT(day >= 1 && day <= 31, "dayOfYear: bad day ", day);
+    return days_before[month - 1] + day;
+}
+
+double
+declination(int day_of_year)
+{
+    const double two_pi = 6.283185307179586;
+    return radians(23.45) *
+        std::sin(two_pi * (284.0 + day_of_year) / 365.0);
+}
+
+double
+hourAngle(double solar_hour)
+{
+    return radians(15.0 * (solar_hour - 12.0));
+}
+
+double
+sinElevation(double latitude_deg, int day_of_year, double solar_hour)
+{
+    const double lat = radians(latitude_deg);
+    const double dec = declination(day_of_year);
+    const double h = hourAngle(solar_hour);
+    return std::sin(lat) * std::sin(dec) +
+        std::cos(lat) * std::cos(dec) * std::cos(h);
+}
+
+double
+daylightHours(double latitude_deg, int day_of_year)
+{
+    const double lat = radians(latitude_deg);
+    const double dec = declination(day_of_year);
+    const double cos_sunset = -std::tan(lat) * std::tan(dec);
+    if (cos_sunset >= 1.0)
+        return 0.0; // polar night
+    if (cos_sunset <= -1.0)
+        return 24.0; // midnight sun
+    return 2.0 * degrees(std::acos(cos_sunset)) / 15.0;
+}
+
+double
+sunriseHour(double latitude_deg, int day_of_year)
+{
+    return 12.0 - 0.5 * daylightHours(latitude_deg, day_of_year);
+}
+
+double
+sunsetHour(double latitude_deg, int day_of_year)
+{
+    return 12.0 + 0.5 * daylightHours(latitude_deg, day_of_year);
+}
+
+} // namespace solarcore::solar

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Solar position geometry: declination, hour angle and elevation for a
+ * site latitude, day of year and local solar time. Feeds the clear-sky
+ * irradiance model that anchors the synthetic MIDC-style traces.
+ */
+
+#ifndef SOLARCORE_SOLAR_GEOMETRY_HPP
+#define SOLARCORE_SOLAR_GEOMETRY_HPP
+
+namespace solarcore::solar {
+
+/** Degrees-to-radians. */
+constexpr double
+radians(double degrees)
+{
+    return degrees * 3.14159265358979323846 / 180.0;
+}
+
+/** Radians-to-degrees. */
+constexpr double
+degrees(double rad)
+{
+    return rad * 180.0 / 3.14159265358979323846;
+}
+
+/**
+ * Day of year (1..365) for a month/day pair in a non-leap year.
+ *
+ * @param month 1..12
+ * @param day   1..31
+ */
+int dayOfYear(int month, int day);
+
+/**
+ * Solar declination angle [radians] via the Cooper formula
+ * delta = 23.45 deg * sin(2 pi (284 + N) / 365).
+ */
+double declination(int day_of_year);
+
+/** Hour angle [radians] for local solar time in hours (12.0 = noon). */
+double hourAngle(double solar_hour);
+
+/**
+ * Sine of the solar elevation angle for a site.
+ *
+ * @param latitude_deg site latitude [degrees, +N]
+ * @param day_of_year  1..365
+ * @param solar_hour   local solar time [hours]
+ * @return sin(elevation); negative when the sun is below the horizon
+ */
+double sinElevation(double latitude_deg, int day_of_year, double solar_hour);
+
+/** Daylight duration [hours] between sunrise and sunset. */
+double daylightHours(double latitude_deg, int day_of_year);
+
+/** Local solar time of sunrise [hours]; 12.0 under polar night. */
+double sunriseHour(double latitude_deg, int day_of_year);
+
+/** Local solar time of sunset [hours]; 12.0 under polar night. */
+double sunsetHour(double latitude_deg, int day_of_year);
+
+} // namespace solarcore::solar
+
+#endif // SOLARCORE_SOLAR_GEOMETRY_HPP

@@ -1,0 +1,158 @@
+#include "midc.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace solarcore::solar {
+
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+bool
+containsAny(const std::string &hay,
+            std::initializer_list<const char *> needles)
+{
+    for (const char *n : needles) {
+        if (hay.find(n) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Parse "HH:MM" (or "H:MM") into minutes since midnight; -1 on error. */
+double
+parseClock(const std::string &cell)
+{
+    const auto colon = cell.find(':');
+    if (colon == std::string::npos)
+        return -1.0;
+    try {
+        const int h = std::stoi(cell.substr(0, colon));
+        const int m = std::stoi(cell.substr(colon + 1));
+        if (h < 0 || h > 23 || m < 0 || m > 59)
+            return -1.0;
+        return h * 60.0 + m;
+    } catch (...) {
+        return -1.0;
+    }
+}
+
+} // namespace
+
+MidcParseResult
+parseMidcCsv(std::istream &is, bool clip_to_window)
+{
+    MidcParseResult res;
+
+    std::string header_line;
+    if (!std::getline(is, header_line)) {
+        res.error = "empty input";
+        return res;
+    }
+    const auto headers = splitCsvLine(header_line);
+
+    int time_col = -1;
+    int ghi_col = -1;
+    int temp_col = -1;
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+        const std::string h = lowered(headers[i]);
+        if (time_col < 0 &&
+            containsAny(h, {"mst", "lst", "time", "hh:mm"})) {
+            time_col = static_cast<int>(i);
+        } else if (ghi_col < 0 &&
+                   containsAny(h, {"global horizontal", "ghi",
+                                   "global [w", "global cmp"})) {
+            ghi_col = static_cast<int>(i);
+            res.irradianceColumn = headers[i];
+        } else if (temp_col < 0 &&
+                   containsAny(h, {"temp", "deg c", "air temperature"})) {
+            temp_col = static_cast<int>(i);
+            res.temperatureColumn = headers[i];
+        }
+    }
+    if (time_col < 0 || ghi_col < 0) {
+        res.error = "could not locate time and irradiance columns";
+        return res;
+    }
+
+    std::vector<TracePoint> points;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        const auto cells = splitCsvLine(line);
+        const auto need = static_cast<std::size_t>(
+            std::max({time_col, ghi_col, temp_col}));
+        if (cells.size() <= need) {
+            ++res.rowsSkipped;
+            continue;
+        }
+        const double minute =
+            parseClock(cells[static_cast<std::size_t>(time_col)]);
+        double ghi = 0.0;
+        double temp = 20.0;
+        try {
+            ghi = std::stod(cells[static_cast<std::size_t>(ghi_col)]);
+            if (temp_col >= 0)
+                temp =
+                    std::stod(cells[static_cast<std::size_t>(temp_col)]);
+        } catch (...) {
+            ++res.rowsSkipped;
+            continue;
+        }
+        if (minute < 0.0) {
+            ++res.rowsSkipped;
+            continue;
+        }
+        if (clip_to_window &&
+            (minute < kDayStartMinute || minute > kDayEndMinute)) {
+            ++res.rowsSkipped;
+            continue;
+        }
+        // Night-time sensor offsets can be slightly negative.
+        TracePoint p;
+        p.minuteOfDay = minute;
+        p.irradiance = std::max(0.0, ghi);
+        p.ambientC = temp;
+        // Enforce ascending order: drop out-of-order rows.
+        if (!points.empty() && minute <= points.back().minuteOfDay) {
+            ++res.rowsSkipped;
+            continue;
+        }
+        points.push_back(p);
+        ++res.rowsParsed;
+    }
+
+    if (points.size() < 2) {
+        res.error = "fewer than two usable rows";
+        return res;
+    }
+    const double dt = points[1].minuteOfDay - points[0].minuteOfDay;
+    res.trace = SolarTrace(std::move(points), dt);
+    res.ok = true;
+    return res;
+}
+
+} // namespace solarcore::solar

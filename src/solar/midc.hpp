@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MIDC-format ingestion: parse the CSV layout served by NREL's
+ * Measurement and Instrumentation Data Center (paper Section 5,
+ * reference [18]) into a SolarTrace, so the synthetic generator can be
+ * swapped for real recordings when the data is available.
+ *
+ * The MIDC daily export is a comma-separated table whose first row
+ * names the columns, e.g.
+ *
+ *   DATE (MM/DD/YYYY),MST,Global Horizontal [W/m^2],Temperature [deg C]
+ *   01/15/2009,07:30,12.3,2.1
+ *
+ * Column names vary slightly per station ("Global Horizontal",
+ * "GHI", "Air Temperature", ...); the parser locates the time, one
+ * irradiance column and one temperature column by keyword, tolerates
+ * extra columns, and clips the record to the paper's 7:30..17:30
+ * evaluation window.
+ */
+
+#ifndef SOLARCORE_SOLAR_MIDC_HPP
+#define SOLARCORE_SOLAR_MIDC_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "solar/trace.hpp"
+
+namespace solarcore::solar {
+
+/** Outcome of a MIDC parse. */
+struct MidcParseResult
+{
+    SolarTrace trace;
+    int rowsParsed = 0;
+    int rowsSkipped = 0;     //!< malformed or out-of-window rows
+    std::string irradianceColumn; //!< the header actually matched
+    std::string temperatureColumn;
+    bool ok = false;
+    std::string error;       //!< populated when ok is false
+};
+
+/**
+ * Parse one day of MIDC-format CSV from @p is.
+ *
+ * @param clip_to_window keep only samples inside the paper's
+ *                       7:30..17:30 evaluation window
+ */
+MidcParseResult parseMidcCsv(std::istream &is, bool clip_to_window = true);
+
+} // namespace solarcore::solar
+
+#endif // SOLARCORE_SOLAR_MIDC_HPP

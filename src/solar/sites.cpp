@@ -1,0 +1,174 @@
+#include "sites.hpp"
+
+#include "util/logging.hpp"
+
+namespace solarcore::solar {
+
+std::array<SiteId, kNumSites>
+allSites()
+{
+    return {SiteId::AZ, SiteId::CO, SiteId::NC, SiteId::TN};
+}
+
+std::array<Month, kNumMonths>
+allMonths()
+{
+    return {Month::Jan, Month::Apr, Month::Jul, Month::Oct};
+}
+
+const char *
+siteName(SiteId site)
+{
+    switch (site) {
+      case SiteId::AZ: return "AZ";
+      case SiteId::CO: return "CO";
+      case SiteId::NC: return "NC";
+      case SiteId::TN: return "TN";
+    }
+    SC_PANIC("siteName: bad site");
+    return "?";
+}
+
+const char *
+monthName(Month month)
+{
+    switch (month) {
+      case Month::Jan: return "Jan";
+      case Month::Apr: return "Apr";
+      case Month::Jul: return "Jul";
+      case Month::Oct: return "Oct";
+    }
+    SC_PANIC("monthName: bad month");
+    return "?";
+}
+
+int
+monthNumber(Month month)
+{
+    switch (month) {
+      case Month::Jan: return 1;
+      case Month::Apr: return 4;
+      case Month::Jul: return 7;
+      case Month::Oct: return 10;
+    }
+    SC_PANIC("monthNumber: bad month");
+    return 0;
+}
+
+namespace {
+
+const Site kSites[kNumSites] = {
+    {SiteId::AZ, "PFCI", "Phoenix, AZ", 33.45, 1.00, "Excellent", 6.2},
+    {SiteId::CO, "BMS", "Golden, CO", 39.74, 1.02, "Good", 5.5},
+    {SiteId::NC, "ECSU", "Elizabeth City, NC", 36.30, 0.95, "Moderate", 4.5},
+    {SiteId::TN, "ORNL", "Oak Ridge, TN", 35.93, 0.85, "Low", 3.8},
+};
+
+/*
+ * Cloud-regime mixes calibrated against the paper's qualitative record:
+ *  - AZ Jan is "regular" (Fig 13) and AZ Jul "irregular" monsoon (Fig 14);
+ *  - Table 7 tracking errors peak for NC/TN in April and bottom out for
+ *    NC in July, so those months get the extreme gustiness values;
+ *  - overall cloudiness rises AZ -> CO -> NC -> TN to reproduce the
+ *    Table 2 resource ordering.
+ * Index: [site][month] with months Jan, Apr, Jul, Oct.
+ */
+const WeatherParams kWeather[kNumSites][kNumMonths] = {
+    // AZ (PFCI)
+    {
+        {0.93, 0.05, 0.02, 0.25, 7.0, 19.0},  // Jan: regular, clear
+        {0.80, 0.15, 0.05, 0.50, 15.0, 29.0}, // Apr
+        {0.50, 0.40, 0.10, 0.85, 29.0, 41.0}, // Jul: monsoon, irregular
+        {0.80, 0.15, 0.05, 0.40, 18.0, 31.0}, // Oct
+    },
+    // CO (BMS)
+    {
+        {0.68, 0.22, 0.10, 0.60, -8.0, 6.0},  // Jan
+        {0.60, 0.28, 0.12, 0.60, 1.0, 16.0},  // Apr
+        {0.70, 0.24, 0.06, 0.45, 13.0, 30.0}, // Jul
+        {0.62, 0.26, 0.12, 0.55, 1.0, 18.0},  // Oct
+    },
+    // NC (ECSU)
+    {
+        {0.44, 0.30, 0.26, 0.58, 1.0, 11.0},  // Jan
+        {0.30, 0.46, 0.24, 0.95, 9.0, 21.0},  // Apr: most volatile
+        {0.52, 0.34, 0.14, 0.25, 22.0, 32.0}, // Jul: calmest
+        {0.36, 0.34, 0.30, 0.75, 11.0, 22.0}, // Oct
+    },
+    // TN (ORNL)
+    {
+        {0.32, 0.30, 0.38, 0.52, -2.0, 8.0},  // Jan
+        {0.28, 0.38, 0.34, 0.85, 8.0, 21.0},  // Apr
+        {0.36, 0.36, 0.28, 0.62, 20.0, 32.0}, // Jul
+        {0.28, 0.32, 0.40, 0.80, 8.0, 21.0},  // Oct
+    },
+};
+
+} // namespace
+
+const Site &
+siteInfo(SiteId site)
+{
+    return kSites[static_cast<int>(site)];
+}
+
+const WeatherParams &
+weatherParams(SiteId site, Month month)
+{
+    return kWeather[static_cast<int>(site)][static_cast<int>(month)];
+}
+
+WeatherParams
+weatherParamsForDay(SiteId site, int day_of_year)
+{
+    SC_ASSERT(day_of_year >= 1 && day_of_year <= 365,
+              "weatherParamsForDay: bad day of year");
+    // Anchor days: the paper's evaluation days (the 15th of each
+    // anchor month).
+    static const int anchors[kNumMonths] = {15, 105, 196, 288};
+
+    // Locate the bracketing anchors, wrapping across New Year.
+    int lo = kNumMonths - 1;
+    for (int i = 0; i < kNumMonths; ++i) {
+        if (day_of_year >= anchors[i])
+            lo = i;
+    }
+    const int hi = (lo + 1) % kNumMonths;
+    const double lo_day = anchors[lo];
+    double hi_day = anchors[hi];
+    double d = day_of_year;
+    if (hi == 0) { // wrap: Oct anchor -> next Jan anchor
+        hi_day += 365.0;
+        if (d < lo_day)
+            d += 365.0;
+    }
+    const double t = (d - lo_day) / (hi_day - lo_day);
+
+    const WeatherParams &a =
+        weatherParams(site, static_cast<Month>(lo));
+    const WeatherParams &b =
+        weatherParams(site, static_cast<Month>(hi));
+    auto mix = [t](double x, double y) { return x + (y - x) * t; };
+
+    WeatherParams out;
+    out.clearFrac = mix(a.clearFrac, b.clearFrac);
+    out.partlyFrac = mix(a.partlyFrac, b.partlyFrac);
+    out.overcastFrac = mix(a.overcastFrac, b.overcastFrac);
+    out.gustiness = mix(a.gustiness, b.gustiness);
+    out.tMinC = mix(a.tMinC, b.tMinC);
+    out.tMaxC = mix(a.tMaxC, b.tMaxC);
+    return out;
+}
+
+std::vector<std::pair<SiteId, Month>>
+allSiteMonths()
+{
+    std::vector<std::pair<SiteId, Month>> out;
+    out.reserve(kNumSites * kNumMonths);
+    for (auto site : allSites())
+        for (auto month : allMonths())
+            out.emplace_back(site, month);
+    return out;
+}
+
+} // namespace solarcore::solar

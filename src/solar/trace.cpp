@@ -1,0 +1,224 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "solar/clearsky.hpp"
+#include "solar/geometry.hpp"
+#include "solar/weather.hpp"
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace solarcore::solar {
+
+SolarTrace::SolarTrace(std::vector<TracePoint> points, double dt_minutes)
+    : points_(std::move(points)), dtMinutes_(dt_minutes)
+{
+    SC_ASSERT(dtMinutes_ > 0.0, "SolarTrace: non-positive dt");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        SC_ASSERT(points_[i].minuteOfDay > points_[i - 1].minuteOfDay,
+                  "SolarTrace: samples must be ascending");
+    }
+}
+
+double
+SolarTrace::startMinute() const
+{
+    return points_.empty() ? 0.0 : points_.front().minuteOfDay;
+}
+
+double
+SolarTrace::endMinute() const
+{
+    return points_.empty() ? 0.0 : points_.back().minuteOfDay;
+}
+
+namespace {
+
+double
+interpolate(const std::vector<TracePoint> &pts, double minute,
+            double TracePoint::*field)
+{
+    if (pts.empty())
+        return 0.0;
+    if (minute <= pts.front().minuteOfDay)
+        return pts.front().*field;
+    if (minute >= pts.back().minuteOfDay)
+        return pts.back().*field;
+
+    const auto it = std::lower_bound(
+        pts.begin(), pts.end(), minute,
+        [](const TracePoint &p, double m) { return p.minuteOfDay < m; });
+    const auto hi = it;
+    const auto lo = it - 1;
+    const double t = (minute - lo->minuteOfDay) /
+        (hi->minuteOfDay - lo->minuteOfDay);
+    return lerp((*lo).*field, (*hi).*field, t);
+}
+
+} // namespace
+
+double
+SolarTrace::irradianceAt(double minute) const
+{
+    return interpolate(points_, minute, &TracePoint::irradiance);
+}
+
+double
+SolarTrace::ambientAt(double minute) const
+{
+    return interpolate(points_, minute, &TracePoint::ambientC);
+}
+
+double
+SolarTrace::insolationKwhPerM2() const
+{
+    if (points_.size() < 2)
+        return 0.0;
+    double wh = 0.0; // trapezoid integration in watt-minutes
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const double dt = points_[i].minuteOfDay - points_[i - 1].minuteOfDay;
+        wh += 0.5 * (points_[i].irradiance + points_[i - 1].irradiance) * dt;
+    }
+    return wh / 60.0 / 1000.0;
+}
+
+double
+SolarTrace::peakIrradiance() const
+{
+    double peak = 0.0;
+    for (const auto &p : points_)
+        peak = std::max(peak, p.irradiance);
+    return peak;
+}
+
+void
+SolarTrace::saveCsv(std::ostream &os) const
+{
+    os << std::setprecision(12);
+    os << "minute,irradiance_wm2,ambient_c\n";
+    for (const auto &p : points_) {
+        os << p.minuteOfDay << ',' << p.irradiance << ',' << p.ambientC
+           << '\n';
+    }
+}
+
+SolarTrace
+SolarTrace::loadCsv(std::istream &is)
+{
+    std::vector<TracePoint> points;
+    std::string line;
+    std::getline(is, line); // header
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        TracePoint p;
+        char c1 = 0;
+        char c2 = 0;
+        if (!(ls >> p.minuteOfDay >> c1 >> p.irradiance >> c2 >> p.ambientC)
+            || c1 != ',' || c2 != ',') {
+            SC_FATAL("SolarTrace::loadCsv: malformed line '", line, "'");
+        }
+        points.push_back(p);
+    }
+    const double dt = points.size() >= 2
+        ? points[1].minuteOfDay - points[0].minuteOfDay
+        : 1.0;
+    return SolarTrace(std::move(points), dt);
+}
+
+namespace {
+
+/**
+ * Diurnal ambient temperature: sinusoidal ramp from tMin before dawn
+ * to tMax at ~14:30, damped on heavily clouded minutes.
+ */
+double
+ambientTemperature(const WeatherParams &wx, double hour, double transmittance)
+{
+    const double phase = clamp((hour - 5.0) / 19.0, 0.0, 1.0);
+    double diurnal = std::sin(phase * 3.14159265358979323846);
+    // Peak alignment: sin peaks at hour 14.5 with the 5..24 span.
+    const double cloud_damp = 0.7 + 0.3 * transmittance;
+    return wx.tMinC + (wx.tMaxC - wx.tMinC) * diurnal * cloud_damp;
+}
+
+} // namespace
+
+namespace detail {
+
+/** Shared trace-construction kernel of the two public generators. */
+SolarTrace
+generateTraceImpl(double latitude_deg, int doy, const WeatherParams &wx,
+                  double clearness, Rng &stream, double dt_minutes)
+{
+    SC_ASSERT(dt_minutes > 0.0 && dt_minutes <= 10.0,
+              "generateTrace: dt out of range");
+    CloudModel clouds(wx, stream.fork(1));
+    Rng temp_noise = stream.fork(2);
+
+    // Warm the cloud process up so 7:30 starts in a mixed state.
+    for (int i = 0; i < 120; ++i)
+        clouds.step(dt_minutes);
+
+    std::vector<TracePoint> points;
+    const int n = static_cast<int>(
+        std::floor((kDayEndMinute - kDayStartMinute) / dt_minutes)) + 1;
+    points.reserve(static_cast<std::size_t>(n));
+
+    for (int i = 0; i < n; ++i) {
+        const double minute = kDayStartMinute + i * dt_minutes;
+        const double hour = minute / 60.0;
+        const double trans = clouds.step(dt_minutes);
+        const double ghi = clearSkyGhiAt(latitude_deg, doy, hour, clearness);
+
+        TracePoint p;
+        p.minuteOfDay = minute;
+        p.irradiance = std::max(0.0, ghi * trans);
+        p.ambientC = ambientTemperature(wx, hour, trans) +
+            temp_noise.gaussian(0.0, 0.3);
+        points.push_back(p);
+    }
+    return SolarTrace(std::move(points), dt_minutes);
+}
+
+} // namespace detail
+
+SolarTrace
+generateDayTrace(SiteId site, Month month, std::uint64_t seed,
+                 double dt_minutes)
+{
+    const Site &info = siteInfo(site);
+    const WeatherParams &wx = weatherParams(site, month);
+    const int doy = dayOfYear(monthNumber(month), 15);
+
+    // Independent deterministic stream per (seed, site, month).
+    Rng root(seed);
+    Rng stream = root.fork(
+        (static_cast<std::uint64_t>(site) << 8) ^
+        (static_cast<std::uint64_t>(month) << 4) ^ 0xa5u);
+    return detail::generateTraceImpl(info.latitudeDeg, doy, wx,
+                                     info.clearnessFactor, stream,
+                                     dt_minutes);
+}
+
+SolarTrace
+generateCustomTrace(double latitude_deg, int day_of_year,
+                    const WeatherParams &weather, double clearness_factor,
+                    std::uint64_t seed, double dt_minutes)
+{
+    SC_ASSERT(day_of_year >= 1 && day_of_year <= 365,
+              "generateCustomTrace: bad day of year");
+    Rng root(seed);
+    Rng stream = root.fork(0xc05717a1u);
+    return detail::generateTraceImpl(latitude_deg, day_of_year, weather,
+                                     clearness_factor, stream,
+                                     dt_minutes);
+}
+
+} // namespace solarcore::solar

@@ -1,0 +1,133 @@
+#include "weather.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace solarcore::solar {
+
+CloudModel::CloudModel(const WeatherParams &params, Rng rng)
+    : params_(params), rng_(rng)
+{
+    // Start in the most likely regime with its target transmittance so
+    // short traces are not biased by a transient.
+    regime_ = CloudRegime::Clear;
+    double best = params_.clearFrac;
+    if (params_.partlyFrac > best) {
+        regime_ = CloudRegime::Partly;
+        best = params_.partlyFrac;
+    }
+    if (params_.overcastFrac > best)
+        regime_ = CloudRegime::Overcast;
+    value_ = regimeTarget(regime_);
+}
+
+double
+CloudModel::regimeFraction(CloudRegime r) const
+{
+    switch (r) {
+      case CloudRegime::Clear:    return params_.clearFrac;
+      case CloudRegime::Partly:   return params_.partlyFrac;
+      case CloudRegime::Overcast: return params_.overcastFrac;
+    }
+    return 0.0;
+}
+
+double
+CloudModel::regimeDwell(CloudRegime r) const
+{
+    // Mean dwell [minutes]: a resample event every tau minutes leaves
+    // regime r with probability (1 - f_r), so prevalent regimes
+    // naturally persist. Gustiness shortens the resample interval.
+    const double tau = 28.0 / (0.5 + 1.5 * params_.gustiness);
+    const double leave = std::max(0.02, 1.0 - regimeFraction(r));
+    return tau / leave;
+}
+
+double
+CloudModel::regimeTarget(CloudRegime r) const
+{
+    switch (r) {
+      case CloudRegime::Clear:    return 0.98;
+      case CloudRegime::Partly:   return 0.62;
+      case CloudRegime::Overcast: return 0.22;
+    }
+    return 0.5;
+}
+
+void
+CloudModel::maybeSwitchRegime(double dt_minutes)
+{
+    // Resample the regime from the configured long-run mix at a
+    // gustiness-scaled rate. Because the resample target is the mix
+    // itself (and may re-select the current regime), the chain's
+    // stationary distribution equals the configured fractions exactly,
+    // and prevalent regimes get proportionally longer dwells.
+    const double tau = 28.0 / (0.5 + 1.5 * params_.gustiness);
+    const double p_resample = clamp(dt_minutes / tau, 0.0, 1.0);
+    if (!rng_.bernoulli(p_resample))
+        return;
+
+    const double total = params_.clearFrac + params_.partlyFrac +
+        params_.overcastFrac;
+    if (total <= 0.0)
+        return;
+    const double pick = rng_.uniform(0.0, total);
+    if (pick <= params_.clearFrac)
+        regime_ = CloudRegime::Clear;
+    else if (pick <= params_.clearFrac + params_.partlyFrac)
+        regime_ = CloudRegime::Partly;
+    else
+        regime_ = CloudRegime::Overcast;
+}
+
+void
+CloudModel::maybeStartShadow(double dt_minutes)
+{
+    if (shadowLeft_ > 0.0 || regime_ != CloudRegime::Partly)
+        return;
+    // Passing cumulus shadows: frequent when gusty.
+    const double rate_per_min = 0.05 * (0.3 + params_.gustiness);
+    if (rng_.bernoulli(clamp(rate_per_min * dt_minutes, 0.0, 1.0))) {
+        shadowLeft_ = rng_.uniform(1.0, 4.5);
+        shadowDepth_ = rng_.uniform(0.30, 0.70);
+    }
+}
+
+double
+CloudModel::step(double dt_minutes)
+{
+    maybeSwitchRegime(dt_minutes);
+    maybeStartShadow(dt_minutes);
+
+    // Mean-reverting AR(1) toward the regime target.
+    double tau = 0.0;     // reversion time constant [minutes]
+    double sigma = 0.0;   // diffusion per sqrt(minute)
+    switch (regime_) {
+      case CloudRegime::Clear:
+        tau = 10.0;
+        sigma = 0.004 + 0.01 * params_.gustiness;
+        break;
+      case CloudRegime::Partly:
+        tau = 4.0;
+        sigma = 0.05 + 0.13 * params_.gustiness;
+        break;
+      case CloudRegime::Overcast:
+        tau = 15.0;
+        sigma = 0.02 + 0.03 * params_.gustiness;
+        break;
+    }
+    const double pull = clamp(dt_minutes / tau, 0.0, 1.0);
+    value_ += (regimeTarget(regime_) - value_) * pull;
+    value_ += sigma * std::sqrt(dt_minutes) * rng_.gaussian();
+    value_ = clamp(value_, 0.05, 1.0);
+
+    double out = value_;
+    if (shadowLeft_ > 0.0) {
+        out *= shadowDepth_;
+        shadowLeft_ -= dt_minutes;
+    }
+    return clamp(out, 0.02, 1.0);
+}
+
+} // namespace solarcore::solar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stochastic cloud-transmittance model.
+ *
+ * A three-regime Markov chain (clear / broken clouds / overcast) with
+ * per-regime mean-reverting transmittance noise and transient cloud
+ * shadow dips in the broken regime. Regime dwell times shrink with the
+ * site-month "gustiness" knob, which is how volatile months (e.g. NC
+ * April) produce the ragged irradiance the paper's Table 7 reflects.
+ */
+
+#ifndef SOLARCORE_SOLAR_WEATHER_HPP
+#define SOLARCORE_SOLAR_WEATHER_HPP
+
+#include "solar/sites.hpp"
+#include "util/random.hpp"
+
+namespace solarcore::solar {
+
+/** Sky condition regimes. */
+enum class CloudRegime { Clear = 0, Partly = 1, Overcast = 2 };
+
+/**
+ * Evolves a cloud transmittance multiplier in (0, 1] minute by minute.
+ *
+ * Transmittance multiplies clear-sky GHI to give the actual plane-of-
+ * array irradiance. The process is a regime-switching AR(1); all draws
+ * come from the owned Rng so traces are reproducible per seed.
+ */
+class CloudModel
+{
+  public:
+    CloudModel(const WeatherParams &params, Rng rng);
+
+    /**
+     * Advance @p dt_minutes and return the new transmittance.
+     * @param dt_minutes step length; the model is calibrated for steps
+     *                   in the 0.25..5 minute range
+     */
+    double step(double dt_minutes);
+
+    /** Current regime (after the last step). */
+    CloudRegime regime() const { return regime_; }
+
+    /** Current transmittance without advancing. */
+    double transmittance() const { return value_; }
+
+  private:
+    /** Long-run fraction for a regime from the parameter mix. */
+    double regimeFraction(CloudRegime r) const;
+
+    /** Mean dwell time [minutes] for a regime, gustiness-scaled. */
+    double regimeDwell(CloudRegime r) const;
+
+    /** Mean transmittance the AR(1) reverts to inside a regime. */
+    double regimeTarget(CloudRegime r) const;
+
+    void maybeSwitchRegime(double dt_minutes);
+    void maybeStartShadow(double dt_minutes);
+
+    WeatherParams params_;
+    Rng rng_;
+    CloudRegime regime_ = CloudRegime::Clear;
+    double value_ = 0.98;     //!< smoothed AR(1) state
+    double shadowLeft_ = 0.0; //!< remaining minutes of a shadow dip
+    double shadowDepth_ = 1.0;//!< multiplier applied while shadowed
+};
+
+} // namespace solarcore::solar
+
+#endif // SOLARCORE_SOLAR_WEATHER_HPP

@@ -1,0 +1,40 @@
+#include "logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace solarcore {
+namespace detail {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::cerr << levelName(level) << ": " << msg;
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        std::cerr << " (" << file << ":" << line << ")";
+    std::cerr << std::endl;
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+} // namespace detail
+} // namespace solarcore

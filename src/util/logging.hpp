@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal logging and error-reporting helpers in the gem5 spirit.
+ *
+ * `panic` flags internal invariant violations (a bug in this library),
+ * `fatal` flags unrecoverable user/configuration errors, and `warn` /
+ * `inform` emit non-fatal diagnostics. All printing goes through
+ * std::cerr so bench output on std::cout stays machine-parsable.
+ */
+
+#ifndef SOLARCORE_UTIL_LOGGING_HPP
+#define SOLARCORE_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace solarcore {
+
+/** Severity classes understood by detail::logMessage. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/**
+ * Emit a formatted log record and, for Fatal/Panic, terminate.
+ *
+ * @param level  severity class
+ * @param file   originating source file (use __FILE__)
+ * @param line   originating line (use __LINE__)
+ * @param msg    fully formatted message body
+ */
+[[gnu::cold]] void logMessage(LogLevel level, const char *file, int line,
+                              const std::string &msg);
+
+/** Concatenate a heterogeneous argument pack into one string. */
+template <typename... Args>
+std::string
+concat([[maybe_unused]] Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << std::forward<Args>(args));
+        return os.str();
+    }
+}
+
+} // namespace detail
+
+} // namespace solarcore
+
+/** Report an internal library bug and abort(). */
+#define SC_PANIC(...)                                                        \
+    ::solarcore::detail::logMessage(::solarcore::LogLevel::Panic, __FILE__, \
+                                    __LINE__,                               \
+                                    ::solarcore::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user error and exit(1). */
+#define SC_FATAL(...)                                                        \
+    ::solarcore::detail::logMessage(::solarcore::LogLevel::Fatal, __FILE__, \
+                                    __LINE__,                               \
+                                    ::solarcore::detail::concat(__VA_ARGS__))
+
+/** Emit a non-fatal warning. */
+#define SC_WARN(...)                                                         \
+    ::solarcore::detail::logMessage(::solarcore::LogLevel::Warn, __FILE__,  \
+                                    __LINE__,                               \
+                                    ::solarcore::detail::concat(__VA_ARGS__))
+
+/** Emit an informational message. */
+#define SC_INFORM(...)                                                       \
+    ::solarcore::detail::logMessage(::solarcore::LogLevel::Inform, __FILE__,\
+                                    __LINE__,                               \
+                                    ::solarcore::detail::concat(__VA_ARGS__))
+
+/** Assert an invariant that indicates a library bug when violated. */
+#define SC_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            SC_PANIC("assertion failed: " #cond " ",                        \
+                     ::solarcore::detail::concat(__VA_ARGS__));             \
+        }                                                                    \
+    } while (false)
+
+#endif // SOLARCORE_UTIL_LOGGING_HPP

@@ -1,0 +1,159 @@
+#include "math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace solarcore {
+
+SolveResult
+bisect(const std::function<double(double)> &f, double lo, double hi,
+       double x_tol, int max_iter)
+{
+    SolveResult res;
+    double flo = f(lo);
+    double fhi = f(hi);
+
+    if (flo == 0.0) {
+        res = {lo, 0.0, 0, true};
+        return res;
+    }
+    if (fhi == 0.0) {
+        res = {hi, 0.0, 0, true};
+        return res;
+    }
+    if (std::signbit(flo) == std::signbit(fhi)) {
+        // No sign change: report the closer-to-zero endpoint, unconverged.
+        res.converged = false;
+        if (std::abs(flo) < std::abs(fhi)) {
+            res.x = lo;
+            res.fx = flo;
+        } else {
+            res.x = hi;
+            res.fx = fhi;
+        }
+        return res;
+    }
+
+    double mid = lo;
+    double fmid = flo;
+    for (int i = 0; i < max_iter; ++i) {
+        mid = 0.5 * (lo + hi);
+        fmid = f(mid);
+        res.iterations = i + 1;
+        if (std::abs(hi - lo) < x_tol || fmid == 0.0) {
+            res.converged = true;
+            break;
+        }
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    res.x = mid;
+    res.fx = fmid;
+    if (std::abs(hi - lo) < x_tol)
+        res.converged = true;
+    return res;
+}
+
+SolveResult
+newton(const std::function<double(double)> &f,
+       const std::function<double(double)> &df, double x0, double lo,
+       double hi, double f_tol, int max_iter)
+{
+    SolveResult res;
+    double x = clamp(x0, lo, hi);
+
+    for (int i = 0; i < max_iter; ++i) {
+        double fx = f(x);
+        res.iterations = i + 1;
+        if (std::abs(fx) < f_tol) {
+            res.x = x;
+            res.fx = fx;
+            res.converged = true;
+            return res;
+        }
+        double d = df(x);
+        double next;
+        if (d == 0.0 || !std::isfinite(d)) {
+            next = 0.5 * (lo + hi); // derivative degenerate: bisect bracket
+        } else {
+            next = x - fx / d;
+        }
+        if (next < lo || next > hi || !std::isfinite(next)) {
+            // Newton escaped the safety bracket: shrink the bracket on the
+            // side indicated by the sign of f and bisect.
+            if ((fx > 0.0) == (f(hi) > 0.0))
+                hi = x;
+            else
+                lo = x;
+            next = 0.5 * (lo + hi);
+        }
+        x = next;
+    }
+    res.x = x;
+    res.fx = f(x);
+    res.converged = std::abs(res.fx) < f_tol;
+    return res;
+}
+
+SolveResult
+goldenMax(const std::function<double(double)> &f, double lo, double hi,
+          double x_tol, int max_iter)
+{
+    SC_ASSERT(lo <= hi, "goldenMax: inverted interval");
+    static const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+
+    SolveResult res;
+    double a = lo;
+    double b = hi;
+    double c = b - inv_phi * (b - a);
+    double d = a + inv_phi * (b - a);
+    double fc = f(c);
+    double fd = f(d);
+
+    int i = 0;
+    for (; i < max_iter && (b - a) > x_tol; ++i) {
+        if (fc > fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    res.iterations = i;
+    res.converged = (b - a) <= x_tol;
+    res.x = 0.5 * (a + b);
+    res.fx = f(res.x);
+    // Guard against a flat-topped function where an interior sample beat
+    // the midpoint.
+    if (fc > res.fx) {
+        res.x = c;
+        res.fx = fc;
+    }
+    if (fd > res.fx) {
+        res.x = d;
+        res.fx = fd;
+    }
+    return res;
+}
+
+bool
+approxEqual(double a, double b, double tol)
+{
+    double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= tol * scale;
+}
+
+} // namespace solarcore

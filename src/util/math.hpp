@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scalar numerical routines shared across the library: bracketing and
+ * Newton root finders, golden-section maximization, interpolation and
+ * clamping helpers. All routines are deterministic and allocation-free.
+ */
+
+#ifndef SOLARCORE_UTIL_MATH_HPP
+#define SOLARCORE_UTIL_MATH_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace solarcore {
+
+/** Result of an iterative scalar solve. */
+struct SolveResult
+{
+    double x = 0.0;         //!< abscissa of the root / optimum
+    double fx = 0.0;        //!< function value at x
+    int iterations = 0;     //!< iterations consumed
+    bool converged = false; //!< true if the tolerance was met
+};
+
+/**
+ * Find a root of @p f on the bracket [lo, hi] by bisection.
+ *
+ * Requires f(lo) and f(hi) to have opposite signs (or one of them to be
+ * zero). The bracket is halved until its width falls below @p x_tol or
+ * @p max_iter iterations elapse.
+ *
+ * @param f        continuous function of one variable
+ * @param lo       lower bracket end
+ * @param hi       upper bracket end
+ * @param x_tol    absolute tolerance on the bracket width
+ * @param max_iter iteration cap
+ * @return         the root estimate; `converged` false if the bracket
+ *                 does not straddle a sign change
+ */
+SolveResult bisect(const std::function<double(double)> &f, double lo,
+                   double hi, double x_tol = 1e-9, int max_iter = 200);
+
+/**
+ * Find a root of @p f by damped Newton iteration with numeric fallback.
+ *
+ * Uses the supplied analytic derivative @p df. When a step escapes the
+ * [lo, hi] safety bracket the step is bisected against the bracket,
+ * making the routine globally convergent for monotone f.
+ */
+SolveResult newton(const std::function<double(double)> &f,
+                   const std::function<double(double)> &df, double x0,
+                   double lo, double hi, double f_tol = 1e-10,
+                   int max_iter = 100);
+
+/**
+ * Maximize a unimodal function on [lo, hi] by golden-section search.
+ *
+ * @return SolveResult with `x` the argmax and `fx` the maximum value.
+ */
+SolveResult goldenMax(const std::function<double(double)> &f, double lo,
+                      double hi, double x_tol = 1e-6, int max_iter = 200);
+
+/** Linear interpolation: value at t in [0,1] between a and b. */
+constexpr double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+/** Clamp x into [lo, hi]. */
+constexpr double
+clamp(double x, double lo, double hi)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/** True if |a - b| <= tol * max(1, |a|, |b|). */
+bool approxEqual(double a, double b, double tol = 1e-9);
+
+} // namespace solarcore
+
+#endif // SOLARCORE_UTIL_MATH_HPP

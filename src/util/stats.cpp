@@ -1,0 +1,107 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace solarcore {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_tot = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / n_tot;
+    mean_ = (na * mean_ + nb * other.mean_) / n_tot;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+GeometricMean::add(double x)
+{
+    logSum_ += std::log(std::max(x, floor_));
+    ++n_;
+}
+
+double
+GeometricMean::value() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return std::exp(logSum_ / static_cast<double>(n_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    SC_ASSERT(hi > lo && bins > 0, "Histogram: bad layout");
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(bins());
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+        static_cast<double>(bins());
+}
+
+} // namespace solarcore

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the simulation metrics and
+ * the benchmark harness: arithmetic mean/variance (Welford), geometric
+ * mean (the paper's Table 7 aggregates tracking error geometrically),
+ * min/max, and a simple fixed-bin histogram.
+ */
+
+#ifndef SOLARCORE_UTIL_STATS_HPP
+#define SOLARCORE_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace solarcore {
+
+/** Streaming mean / variance / extrema accumulator (Welford's method). */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Streaming geometric mean over strictly positive samples.
+ *
+ * Zero or negative samples are clamped to @p floor first (the paper's
+ * relative-error metric can legitimately be 0 when the margin closes,
+ * and geomean of a set containing 0 would collapse to 0).
+ */
+class GeometricMean
+{
+  public:
+    explicit GeometricMean(double floor = 1e-12) : floor_(floor) {}
+
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double value() const;
+
+  private:
+    double floor_;
+    double logSum_ = 0.0;
+    std::size_t n_ = 0;
+};
+
+/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t bin(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace solarcore
+
+#endif // SOLARCORE_UTIL_STATS_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Column-aligned plain-text tables and CSV emission for the benchmark
+ * harness. Every experiment binary prints a human-readable table that
+ * mirrors the paper's rows/series, and can optionally emit the same
+ * data as CSV for plotting.
+ */
+
+#ifndef SOLARCORE_UTIL_TABLE_HPP
+#define SOLARCORE_UTIL_TABLE_HPP
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace solarcore {
+
+/** A simple row-major text table with aligned console rendering. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row (cells are pre-formatted strings). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 3);
+
+    /** Convenience: format a ratio as a percentage string, e.g. 82.3%. */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner (used between sub-tables in bench output). */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace solarcore
+
+#endif // SOLARCORE_UTIL_TABLE_HPP

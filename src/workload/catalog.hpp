@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The benchmark catalog: 12 SPEC2000 programs characterized for the
+ * interval performance model and calibrated so their simulated
+ * energy-per-instruction at the top DVFS level lands in the paper's
+ * Table 5 EPI classes:
+ *
+ *   high     (EPI >= 15 nJ): art, apsi, bzip2, gzip
+ *   moderate (8..15 nJ):     gcc, mcf, gap, vpr
+ *   low      (EPI <= 8 nJ):  mesa, equake, lucas, swim
+ *
+ * The profiles are synthetic stand-ins for reference-input runs (see
+ * DESIGN.md section 3): interval-model inputs were chosen to give each
+ * program a plausible IPC/memory-boundness mix, then the datapath
+ * activity scale is solved in closed form so the max-V/F EPI equals
+ * the class target. Phase sequences modulate ILP and activity around
+ * the base point; high-EPI programs swing harder, producing the larger
+ * power ripple the paper reports for H1.
+ */
+
+#ifndef SOLARCORE_WORKLOAD_CATALOG_HPP
+#define SOLARCORE_WORKLOAD_CATALOG_HPP
+
+#include <string>
+#include <vector>
+
+#include "cpu/profile.hpp"
+
+namespace solarcore::workload {
+
+/** Names of all 12 catalogued benchmarks. */
+std::vector<std::string> allBenchmarkNames();
+
+/** Fetch a calibrated benchmark profile by name; fatal on unknown. */
+cpu::BenchmarkProfile benchmark(const std::string &name);
+
+/** The EPI class a benchmark is calibrated to. */
+cpu::EpiClass expectedClass(const std::string &name);
+
+/** The calibration EPI target [nJ] of a benchmark at max V/F. */
+double epiTargetNj(const std::string &name);
+
+/**
+ * Measure the EPI [nJ] of a profile's base (first) phase at the top
+ * DVFS level with the default machine; the catalog guarantees this
+ * matches epiTargetNj to solver precision.
+ */
+double measureEpiNj(const cpu::BenchmarkProfile &profile);
+
+} // namespace solarcore::workload
+
+#endif // SOLARCORE_WORKLOAD_CATALOG_HPP

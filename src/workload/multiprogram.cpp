@@ -1,0 +1,87 @@
+#include "multiprogram.hpp"
+
+#include "util/logging.hpp"
+#include "workload/catalog.hpp"
+
+namespace solarcore::workload {
+
+std::array<WorkloadId, kNumWorkloads>
+allWorkloads()
+{
+    return {WorkloadId::H1, WorkloadId::H2, WorkloadId::M1, WorkloadId::M2,
+            WorkloadId::L1, WorkloadId::L2, WorkloadId::HM1, WorkloadId::HM2,
+            WorkloadId::ML1, WorkloadId::ML2};
+}
+
+const char *
+workloadName(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::H1:  return "H1";
+      case WorkloadId::H2:  return "H2";
+      case WorkloadId::M1:  return "M1";
+      case WorkloadId::M2:  return "M2";
+      case WorkloadId::L1:  return "L1";
+      case WorkloadId::L2:  return "L2";
+      case WorkloadId::HM1: return "HM1";
+      case WorkloadId::HM2: return "HM2";
+      case WorkloadId::ML1: return "ML1";
+      case WorkloadId::ML2: return "ML2";
+    }
+    SC_PANIC("workloadName: bad id");
+    return "?";
+}
+
+std::vector<std::string>
+workloadBenchmarks(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::H1:
+        return {"art", "art", "art", "art", "art", "art", "art", "art"};
+      case WorkloadId::H2:
+        return {"art", "art", "apsi", "apsi",
+                "bzip2", "bzip2", "gzip", "gzip"};
+      case WorkloadId::M1:
+        return {"gcc", "gcc", "gcc", "gcc", "gcc", "gcc", "gcc", "gcc"};
+      case WorkloadId::M2:
+        return {"gcc", "gcc", "mcf", "mcf", "gap", "gap", "vpr", "vpr"};
+      case WorkloadId::L1:
+        return {"mesa", "mesa", "mesa", "mesa",
+                "mesa", "mesa", "mesa", "mesa"};
+      case WorkloadId::L2:
+        return {"mesa", "mesa", "equake", "equake",
+                "lucas", "lucas", "swim", "swim"};
+      case WorkloadId::HM1:
+        return {"bzip2", "bzip2", "bzip2", "bzip2",
+                "gcc", "gcc", "gcc", "gcc"};
+      case WorkloadId::HM2:
+        return {"bzip2", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"};
+      case WorkloadId::ML1:
+        return {"gcc", "gcc", "gcc", "gcc",
+                "mesa", "mesa", "mesa", "mesa"};
+      case WorkloadId::ML2:
+        return {"gcc", "mcf", "gap", "vpr",
+                "mesa", "equake", "lucas", "swim"};
+    }
+    SC_PANIC("workloadBenchmarks: bad id");
+    return {};
+}
+
+std::vector<cpu::BenchmarkProfile>
+workloadSet(WorkloadId id)
+{
+    std::vector<cpu::BenchmarkProfile> out;
+    out.reserve(8);
+    for (const auto &name : workloadBenchmarks(id))
+        out.push_back(benchmark(name));
+    return out;
+}
+
+bool
+isHomogeneous(WorkloadId id)
+{
+    return id == WorkloadId::H1 || id == WorkloadId::M1 ||
+        id == WorkloadId::L1;
+}
+
+} // namespace solarcore::workload

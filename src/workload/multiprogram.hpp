@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The multiprogrammed workload sets of paper Table 5: homogeneous and
+ * heterogeneous 8-program mixes drawn from the high / moderate / low
+ * EPI classes.
+ */
+
+#ifndef SOLARCORE_WORKLOAD_MULTIPROGRAM_HPP
+#define SOLARCORE_WORKLOAD_MULTIPROGRAM_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cpu/profile.hpp"
+
+namespace solarcore::workload {
+
+/** The ten evaluated workload sets (Table 5). */
+enum class WorkloadId
+{
+    H1 = 0, //!< art x8
+    H2,     //!< art x2, apsi x2, bzip2 x2, gzip x2
+    M1,     //!< gcc x8
+    M2,     //!< gcc x2, mcf x2, gap x2, vpr x2
+    L1,     //!< mesa x8
+    L2,     //!< mesa x2, equake x2, lucas x2, swim x2
+    HM1,    //!< bzip2 x4, gcc x4
+    HM2,    //!< bzip2, gzip, art, apsi, gcc, mcf, gap, vpr
+    ML1,    //!< gcc x4, mesa x4
+    ML2,    //!< gcc, mcf, gap, vpr, mesa, equake, lucas, swim
+};
+
+inline constexpr int kNumWorkloads = 10;
+
+/** All workload ids in paper order. */
+std::array<WorkloadId, kNumWorkloads> allWorkloads();
+
+/** Short label, e.g. "HM2". */
+const char *workloadName(WorkloadId id);
+
+/** Benchmark names composing a workload, one per core (8 entries). */
+std::vector<std::string> workloadBenchmarks(WorkloadId id);
+
+/** Calibrated profiles for a workload, one per core (8 entries). */
+std::vector<cpu::BenchmarkProfile> workloadSet(WorkloadId id);
+
+/** True for the single-program mixes (H1, M1, L1). */
+bool isHomogeneous(WorkloadId id);
+
+} // namespace solarcore::workload
+
+#endif // SOLARCORE_WORKLOAD_MULTIPROGRAM_HPP

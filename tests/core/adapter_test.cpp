@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the three load-adaptation policies (paper Table 6).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/load_adapter.hpp"
+#include "workload/multiprogram.hpp"
+
+namespace solarcore::core {
+namespace {
+
+cpu::MultiCoreChip
+makeChip(workload::WorkloadId id = workload::WorkloadId::ML2)
+{
+    return cpu::MultiCoreChip(cpu::defaultChipConfig(),
+                              cpu::DvfsTable::paperDefault(),
+                              cpu::EnergyParams{},
+                              workload::workloadSet(id), 42);
+}
+
+int
+levelSpread(const cpu::MultiCoreChip &chip)
+{
+    int lo = 99;
+    int hi = -1;
+    for (int i = 0; i < chip.numCores(); ++i) {
+        const auto &c = chip.core(i);
+        const int l = c.gated() ? -1 : c.level();
+        lo = std::min(lo, l);
+        hi = std::max(hi, l);
+    }
+    return hi - lo;
+}
+
+TEST(Adapters, FactoryProducesPaperPolicies)
+{
+    EXPECT_STREQ(makeAdapter(PolicyKind::MpptOpt)->name(), "MPPT&Opt");
+    EXPECT_STREQ(makeAdapter(PolicyKind::MpptRr)->name(), "MPPT&RR");
+    EXPECT_STREQ(makeAdapter(PolicyKind::MpptIc)->name(), "MPPT&IC");
+    EXPECT_STREQ(makeAdapter(PolicyKind::MpptIcMotion)->name(),
+                 "MPPT&IC+TM");
+    EXPECT_EQ(makeAdapter(PolicyKind::FixedPower), nullptr);
+    EXPECT_STREQ(policyName(PolicyKind::FixedPower), "Fixed-Power");
+}
+
+TEST(Adapters, RoundRobinSpreadsEvenly)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(0);
+    RoundRobinAdapter rr;
+    // 16 up-notches over 8 cores: every core must sit at level 2.
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(rr.increaseOneStep(chip).valid);
+    for (int i = 0; i < chip.numCores(); ++i)
+        EXPECT_EQ(chip.core(i).level(), 2) << "core " << i;
+    EXPECT_EQ(levelSpread(chip), 0);
+}
+
+TEST(Adapters, IndividualCoreConcentrates)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(0);
+    IndividualCoreAdapter ic;
+    // 5 notches: all must land on core 0.
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ic.increaseOneStep(chip).valid);
+    EXPECT_EQ(chip.core(0).level(), 5);
+    for (int i = 1; i < chip.numCores(); ++i)
+        EXPECT_EQ(chip.core(i).level(), 0);
+}
+
+TEST(Adapters, IndividualCoreGatesOnlyAsLastResort)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(1);
+    IndividualCoreAdapter ic;
+    // 8 down-notches bring everyone to the bottom level first.
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(ic.decreaseOneStep(chip).valid);
+    for (int i = 0; i < chip.numCores(); ++i) {
+        EXPECT_FALSE(chip.core(i).gated()) << "core " << i;
+        EXPECT_EQ(chip.core(i).level(), 0) << "core " << i;
+    }
+    // The next notch has nowhere to go but gating.
+    ASSERT_TRUE(ic.decreaseOneStep(chip).valid);
+    int gated = 0;
+    for (int i = 0; i < chip.numCores(); ++i)
+        gated += chip.core(i).gated();
+    EXPECT_EQ(gated, 1);
+}
+
+TEST(Adapters, OptPicksHighestTprStep)
+{
+    auto chip = makeChip(workload::WorkloadId::ML2);
+    chip.setAllLevels(2);
+    // Compute the best TPR by hand, then check Opt applied exactly it.
+    double best_tpr = -1.0;
+    int best_core = -1;
+    for (const auto &s : allUpSteps(chip)) {
+        if (s.tpr() > best_tpr) {
+            best_tpr = s.tpr();
+            best_core = s.coreIndex;
+        }
+    }
+    TprOptAdapter opt;
+    const auto applied = opt.increaseOneStep(chip);
+    ASSERT_TRUE(applied.valid);
+    EXPECT_EQ(applied.coreIndex, best_core);
+}
+
+TEST(Adapters, OptShedsCheapestThroughput)
+{
+    auto chip = makeChip(workload::WorkloadId::ML2);
+    chip.setAllLevels(4);
+    double best_cost = 1e300;
+    int best_core = -1;
+    for (const auto &s : allDownSteps(chip)) {
+        const double cost = (-s.deltaThroughput) / (-s.deltaPowerW);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_core = s.coreIndex;
+        }
+    }
+    TprOptAdapter opt;
+    const auto applied = opt.decreaseOneStep(chip);
+    ASSERT_TRUE(applied.valid);
+    EXPECT_EQ(applied.coreIndex, best_core);
+}
+
+TEST(Adapters, IncreaseSaturatesAtAllMax)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(chip.dvfs().maxLevel());
+    for (auto kind : {PolicyKind::MpptOpt, PolicyKind::MpptRr,
+                      PolicyKind::MpptIc}) {
+        auto adapter = makeAdapter(kind);
+        EXPECT_FALSE(adapter->increaseOneStep(chip).valid)
+            << adapter->name();
+    }
+}
+
+TEST(Adapters, DecreaseSaturatesAtAllGated)
+{
+    auto chip = makeChip();
+    chip.gateAll();
+    for (auto kind : {PolicyKind::MpptOpt, PolicyKind::MpptRr,
+                      PolicyKind::MpptIc}) {
+        auto adapter = makeAdapter(kind);
+        EXPECT_FALSE(adapter->decreaseOneStep(chip).valid)
+            << adapter->name();
+    }
+}
+
+TEST(Adapters, EveryPolicyClimbsFromGatedToMax)
+{
+    // 8 cores x (1 ungate + 5 level notches) = 48 notches to the top.
+    for (auto kind : {PolicyKind::MpptOpt, PolicyKind::MpptRr,
+                      PolicyKind::MpptIc}) {
+        auto chip = makeChip();
+        chip.gateAll();
+        auto adapter = makeAdapter(kind);
+        int steps = 0;
+        while (adapter->increaseOneStep(chip).valid)
+            ++steps;
+        EXPECT_EQ(steps, 48) << adapter->name();
+        for (int i = 0; i < chip.numCores(); ++i) {
+            EXPECT_FALSE(chip.core(i).gated());
+            EXPECT_EQ(chip.core(i).level(), chip.dvfs().maxLevel());
+        }
+    }
+}
+
+TEST(Adapters, MotionPlacesEfficientProgramsFirst)
+{
+    // ML2 puts gcc/mcf/gap/vpr on cores 0..3 and the low-EPI programs
+    // on 4..7; after the motion hook, a low-EPI program must sit on
+    // core 0.
+    auto chip = makeChip(workload::WorkloadId::ML2);
+    chip.setAllLevels(2);
+    IcMotionAdapter motion;
+    motion.beginTrackingPeriod(chip);
+    EXPECT_EQ(chip.core(0).benchmarkName(), "mesa");
+    // And the scores must now be non-increasing across cores.
+    const int mid = chip.dvfs().numLevels() / 2;
+    double prev = 1e300;
+    for (int i = 0; i < chip.numCores(); ++i) {
+        const double s = chip.core(i).throughputAtLevel(mid) /
+            chip.core(i).powerAtLevel(mid);
+        EXPECT_LE(s, prev * 1.0001) << i;
+        prev = s;
+    }
+}
+
+TEST(Adapters, MotionPreservesLedgersAndLevels)
+{
+    auto chip = makeChip(workload::WorkloadId::ML2);
+    chip.setAllLevels(3);
+    chip.step(100.0);
+    const double instr_before = chip.totalInstructions();
+    const auto levels_before = chip.settings();
+    IcMotionAdapter motion;
+    motion.beginTrackingPeriod(chip);
+    EXPECT_DOUBLE_EQ(chip.totalInstructions(), instr_before);
+    const auto levels_after = chip.settings();
+    for (std::size_t i = 0; i < levels_before.size(); ++i)
+        EXPECT_EQ(levels_before[i].level, levels_after[i].level);
+}
+
+TEST(Adapters, OptBeatsRoundRobinAtEqualPower)
+{
+    // Climb a heterogeneous chip to (approximately) the same power with
+    // both policies; Opt's allocation must deliver at least RR's
+    // throughput.
+    const double budget = 80.0;
+    double thr[2] = {0.0, 0.0};
+    int idx = 0;
+    for (auto kind : {PolicyKind::MpptOpt, PolicyKind::MpptRr}) {
+        auto chip = makeChip(workload::WorkloadId::ML2);
+        chip.gateAll();
+        auto adapter = makeAdapter(kind);
+        while (true) {
+            const auto snapshot = chip.settings();
+            if (!adapter->increaseOneStep(chip).valid)
+                break;
+            if (chip.totalPower() > budget) {
+                chip.applySettings(snapshot);
+                break;
+            }
+        }
+        EXPECT_LE(chip.totalPower(), budget);
+        thr[idx++] = chip.totalThroughput();
+    }
+    EXPECT_GE(thr[0], thr[1] * 0.999);
+}
+
+} // namespace
+} // namespace solarcore::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the multi-day aggregation helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.hpp"
+
+namespace solarcore::core {
+namespace {
+
+SimConfig
+fastConfig()
+{
+    SimConfig cfg;
+    cfg.dtSeconds = 60.0;
+    return cfg;
+}
+
+TEST(Aggregate, CountsRequestedDays)
+{
+    const auto module = pv::buildBp3180n();
+    const auto agg = simulateManyDays(module, solar::SiteId::AZ,
+                                      solar::Month::Apr,
+                                      workload::WorkloadId::L1,
+                                      fastConfig(), 3);
+    EXPECT_EQ(agg.days, 3);
+    EXPECT_EQ(agg.utilization.count(), 3u);
+    EXPECT_EQ(agg.solarInstructions.count(), 3u);
+}
+
+TEST(Aggregate, Deterministic)
+{
+    const auto module = pv::buildBp3180n();
+    const auto a = simulateManyDays(module, solar::SiteId::NC,
+                                    solar::Month::Oct,
+                                    workload::WorkloadId::M2,
+                                    fastConfig(), 3, 11);
+    const auto b = simulateManyDays(module, solar::SiteId::NC,
+                                    solar::Month::Oct,
+                                    workload::WorkloadId::M2,
+                                    fastConfig(), 3, 11);
+    EXPECT_DOUBLE_EQ(a.utilization.mean(), b.utilization.mean());
+    EXPECT_DOUBLE_EQ(a.solarEnergyWh.sum(), b.solarEnergyWh.sum());
+}
+
+TEST(Aggregate, SeedsActuallyVaryWeather)
+{
+    const auto module = pv::buildBp3180n();
+    const auto agg = simulateManyDays(module, solar::SiteId::NC,
+                                      solar::Month::Apr,
+                                      workload::WorkloadId::HM2,
+                                      fastConfig(), 4);
+    // Volatile-site days must differ in harvested energy.
+    EXPECT_GT(agg.solarEnergyWh.max(), agg.solarEnergyWh.min());
+}
+
+TEST(Aggregate, MetricsWithinPhysicalBounds)
+{
+    const auto module = pv::buildBp3180n();
+    const auto agg = simulateManyDays(module, solar::SiteId::TN,
+                                      solar::Month::Jan,
+                                      workload::WorkloadId::ML2,
+                                      fastConfig(), 3);
+    EXPECT_GT(agg.utilization.min(), 0.3);
+    EXPECT_LE(agg.utilization.max(), 1.0);
+    EXPECT_GE(agg.effectiveFraction.min(), 0.0);
+    EXPECT_LE(agg.effectiveFraction.max(), 1.0);
+}
+
+} // namespace
+} // namespace solarcore::core

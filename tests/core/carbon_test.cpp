@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the carbon/cost accounting and the year-round weather
+ * interpolation that backs annual studies.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/carbon.hpp"
+#include "solar/sites.hpp"
+#include "solar/trace.hpp"
+
+namespace solarcore::core {
+namespace {
+
+DayResult
+syntheticDay(double solar_wh, double grid_wh)
+{
+    DayResult day;
+    day.solarEnergyWh = solar_wh;
+    day.gridEnergyWh = grid_wh;
+    return day;
+}
+
+TEST(Carbon, BasicAccounting)
+{
+    const auto report = assessDay(syntheticDay(500.0, 250.0));
+    EXPECT_DOUBLE_EQ(report.solarKwhPerDay, 0.5);
+    EXPECT_DOUBLE_EQ(report.gridKwhPerDay, 0.25);
+    // 0.5 kWh * 365 * 0.4 kg = 73 kg.
+    EXPECT_NEAR(report.co2AvoidedKgPerYear, 73.0, 1e-9);
+    // 0.5 kWh * 365 * 0.12 $ = 21.9 $.
+    EXPECT_NEAR(report.savingsUsdPerYear, 21.9, 1e-9);
+    EXPECT_NEAR(report.panelPaybackYears, 450.0 / 21.9, 1e-9);
+    EXPECT_NEAR(report.batteryAvoidedUsdPerYear, 150.0, 1e-9);
+}
+
+TEST(Carbon, NoSunNeverPaysBack)
+{
+    const auto report = assessDay(syntheticDay(0.0, 800.0));
+    EXPECT_TRUE(std::isinf(report.panelPaybackYears));
+    EXPECT_DOUBLE_EQ(report.co2AvoidedKgPerYear, 0.0);
+}
+
+TEST(Carbon, ContextScalesLinearly)
+{
+    GridContext dirty;
+    dirty.co2KgPerKwh = 0.8;
+    const auto clean = assessDay(syntheticDay(500.0, 0.0));
+    const auto coal = assessDay(syntheticDay(500.0, 0.0), dirty);
+    EXPECT_NEAR(coal.co2AvoidedKgPerYear,
+                2.0 * clean.co2AvoidedKgPerYear, 1e-9);
+}
+
+TEST(YearRound, AnchorsReproduceExactly)
+{
+    using solar::Month;
+    using solar::SiteId;
+    for (auto site : solar::allSites()) {
+        const auto jan = solar::weatherParamsForDay(site, 15);
+        const auto &anchor = solar::weatherParams(site, Month::Jan);
+        EXPECT_NEAR(jan.clearFrac, anchor.clearFrac, 1e-12);
+        EXPECT_NEAR(jan.tMaxC, anchor.tMaxC, 1e-12);
+
+        const auto jul = solar::weatherParamsForDay(site, 196);
+        const auto &a_jul = solar::weatherParams(site, Month::Jul);
+        EXPECT_NEAR(jul.gustiness, a_jul.gustiness, 1e-12);
+    }
+}
+
+TEST(YearRound, MidpointsBlend)
+{
+    using solar::Month;
+    using solar::SiteId;
+    // Day 60 sits between the Jan (15) and Apr (105) anchors.
+    const auto mid = solar::weatherParamsForDay(SiteId::AZ, 60);
+    const auto &jan = solar::weatherParams(SiteId::AZ, Month::Jan);
+    const auto &apr = solar::weatherParams(SiteId::AZ, Month::Apr);
+    const double t = (60.0 - 15.0) / (105.0 - 15.0);
+    EXPECT_NEAR(mid.tMaxC, jan.tMaxC + t * (apr.tMaxC - jan.tMaxC),
+                1e-12);
+    EXPECT_GT(mid.clearFrac + mid.partlyFrac + mid.overcastFrac, 0.999);
+    EXPECT_LT(mid.clearFrac + mid.partlyFrac + mid.overcastFrac, 1.001);
+}
+
+TEST(YearRound, WrapsAcrossNewYear)
+{
+    using solar::Month;
+    using solar::SiteId;
+    // Day 350 sits between the Oct (288) and next Jan (15+365) anchors.
+    const auto dec = solar::weatherParamsForDay(SiteId::TN, 350);
+    const auto &oct = solar::weatherParams(SiteId::TN, Month::Oct);
+    const auto &jan = solar::weatherParams(SiteId::TN, Month::Jan);
+    const double lo = std::min(oct.tMaxC, jan.tMaxC);
+    const double hi = std::max(oct.tMaxC, jan.tMaxC);
+    EXPECT_GE(dec.tMaxC, lo - 1e-12);
+    EXPECT_LE(dec.tMaxC, hi + 1e-12);
+
+    // Day 1 (early January, before the Jan-15 anchor) also blends
+    // Oct -> Jan and must stay in range.
+    const auto new_year = solar::weatherParamsForDay(SiteId::TN, 1);
+    EXPECT_GE(new_year.tMaxC, lo - 1e-12);
+    EXPECT_LE(new_year.tMaxC, hi + 1e-12);
+}
+
+TEST(YearRound, UsableByCustomTraceGenerator)
+{
+    // A December day generated from interpolated statistics.
+    const auto wx = solar::weatherParamsForDay(solar::SiteId::AZ, 340);
+    const auto trace =
+        solar::generateCustomTrace(33.45, 340, wx, 1.0, 21);
+    EXPECT_EQ(trace.size(), 601u);
+    EXPECT_GT(trace.insolationKwhPerM2(), 0.5);
+}
+
+} // namespace
+} // namespace solarcore::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Edge-case tests for the controller and simulation configuration
+ * surface: converter-ratio limits, saturation behaviour, and the
+ * interaction matrix of the optional model knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/solarcore.hpp"
+
+namespace solarcore::core {
+namespace {
+
+TEST(ControllerEdge, ConverterRatioStaysInRange)
+{
+    // Across a supply ramp the rail-pinning ratio must stay inside the
+    // converter's [kMin, kMax] window.
+    const auto module = pv::buildBp3180n();
+    pv::PvArray array(module, 1, 1, {300.0, 25.0});
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::L2),
+                            1);
+    TprOptAdapter adapter;
+    SolarCoreController ctl(array, chip, adapter);
+    chip.gateAll();
+    for (double g = 300.0; g <= 1000.0; g += 175.0) {
+        array.setEnvironment({g, 30.0});
+        ASSERT_TRUE(ctl.track().solarViable);
+        EXPECT_GE(ctl.converter().ratio(), ctl.converter().kMin());
+        EXPECT_LE(ctl.converter().ratio(), ctl.converter().kMax());
+    }
+}
+
+TEST(ControllerEdge, OversuppliedChipSaturatesAtMax)
+{
+    // Three parallel strings under full sun exceed any chip demand:
+    // the climb must stop with every core flat out, not spin.
+    const auto module = pv::buildBp3180n();
+    pv::PvArray array(module, 1, 3, {1000.0, 25.0});
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::M2),
+                            1);
+    TprOptAdapter adapter;
+    SolarCoreController ctl(array, chip, adapter);
+    chip.gateAll();
+    const auto res = ctl.track();
+    ASSERT_TRUE(res.solarViable);
+    for (int i = 0; i < chip.numCores(); ++i) {
+        EXPECT_FALSE(chip.core(i).gated()) << i;
+        EXPECT_EQ(chip.core(i).level(), chip.dvfs().maxLevel()) << i;
+    }
+    EXPECT_EQ(res.stepsUp, 48);
+}
+
+TEST(ControllerEdge, TrackIdempotentUnderStaticConditions)
+{
+    // A second track under unchanged conditions must not move the
+    // chip by more than one notch worth of power.
+    const auto module = pv::buildBp3180n();
+    pv::PvArray array(module, 1, 1, {750.0, 30.0});
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::L1),
+                            1);
+    TprOptAdapter adapter;
+    SolarCoreController ctl(array, chip, adapter);
+    chip.gateAll();
+    ASSERT_TRUE(ctl.track().solarViable);
+    const double first = chip.totalPower();
+    ASSERT_TRUE(ctl.track().solarViable);
+    EXPECT_NEAR(chip.totalPower(), first, 5.0);
+}
+
+/** The optional model knobs must compose without breaking invariants. */
+class KnobMatrix
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>>
+{
+};
+
+TEST_P(KnobMatrix, DayInvariantsHoldUnderAllKnobs)
+{
+    const auto [pcpg, rc_thermal, dvfs_levels] = GetParam();
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(solar::SiteId::CO,
+                                               solar::Month::Jul, 2);
+    SimConfig cfg;
+    cfg.dtSeconds = 60.0;
+    cfg.pcpg = pcpg;
+    cfg.rcThermal = rc_thermal;
+    cfg.dvfsLevels = dvfs_levels;
+    cfg.recordTimeline = true;
+    const auto r = simulateDay(module, trace, workload::WorkloadId::HM2,
+                               cfg);
+    EXPECT_LE(r.utilization, 1.0);
+    EXPECT_GT(r.solarEnergyWh, 0.0);
+    EXPECT_GT(r.solarInstructions, 0.0);
+    for (const auto &p : r.timeline) {
+        if (p.onSolar) {
+            ASSERT_LE(p.consumedW, p.budgetW * 1.001);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, KnobMatrix,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Values(3, 6, 21)));
+
+} // namespace
+} // namespace solarcore::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the fixed-budget allocation optimizer, including a
+ * cross-check of the DP against exhaustive search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_power.hpp"
+#include "workload/multiprogram.hpp"
+
+namespace solarcore::core {
+namespace {
+
+cpu::MultiCoreChip
+makeChip(workload::WorkloadId id, int cores = 8)
+{
+    auto cfg = cpu::defaultChipConfig();
+    cfg.numCores = cores;
+    auto profiles = workload::workloadSet(id);
+    profiles.resize(static_cast<std::size_t>(cores),
+                    profiles.empty() ? cpu::BenchmarkProfile{} : profiles[0]);
+    return cpu::MultiCoreChip(cfg, cpu::DvfsTable::paperDefault(),
+                              cpu::EnergyParams{}, std::move(profiles), 42);
+}
+
+TEST(FixedPower, RespectsBudget)
+{
+    auto chip = makeChip(workload::WorkloadId::HM2);
+    for (double budget : {10.0, 30.0, 60.0, 100.0, 150.0, 300.0}) {
+        const auto alloc = optimizeAllocation(chip, budget);
+        ASSERT_TRUE(alloc.feasible) << budget;
+        EXPECT_LE(alloc.powerW, budget + 1e-9) << budget;
+    }
+}
+
+TEST(FixedPower, ThroughputMonotoneInBudget)
+{
+    auto chip = makeChip(workload::WorkloadId::M2);
+    double prev = -1.0;
+    for (double budget : {10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 250.0}) {
+        const auto alloc = optimizeAllocation(chip, budget);
+        ASSERT_TRUE(alloc.feasible);
+        EXPECT_GE(alloc.throughput, prev - 1e-6) << budget;
+        prev = alloc.throughput;
+    }
+}
+
+TEST(FixedPower, HugeBudgetRunsEverythingFlatOut)
+{
+    auto chip = makeChip(workload::WorkloadId::L1);
+    const auto alloc = optimizeAllocation(chip, 1000.0);
+    ASSERT_TRUE(alloc.feasible);
+    for (const auto &s : alloc.settings) {
+        EXPECT_FALSE(s.gated);
+        EXPECT_EQ(s.level, chip.dvfs().maxLevel());
+    }
+}
+
+TEST(FixedPower, TinyBudgetGatesEverything)
+{
+    auto chip = makeChip(workload::WorkloadId::H1);
+    const auto alloc = optimizeAllocation(chip, 1.0);
+    ASSERT_TRUE(alloc.feasible);
+    for (const auto &s : alloc.settings)
+        EXPECT_TRUE(s.gated);
+    EXPECT_DOUBLE_EQ(alloc.throughput, 0.0);
+}
+
+TEST(FixedPower, ZeroBudgetInfeasible)
+{
+    auto chip = makeChip(workload::WorkloadId::H1);
+    EXPECT_FALSE(optimizeAllocation(chip, 0.0).feasible);
+    EXPECT_FALSE(optimizeAllocation(chip, -5.0).feasible);
+}
+
+TEST(FixedPower, ApplyAllocationSetsChipState)
+{
+    auto chip = makeChip(workload::WorkloadId::HM1);
+    const auto alloc = optimizeAllocation(chip, 70.0);
+    ASSERT_TRUE(alloc.feasible);
+    applyAllocation(chip, alloc);
+    EXPECT_NEAR(chip.totalPower(), alloc.powerW, 1e-9);
+    EXPECT_NEAR(chip.totalThroughput(), alloc.throughput,
+                alloc.throughput * 1e-12);
+}
+
+TEST(FixedPower, DpMatchesBruteForceSmallChip)
+{
+    // 4 cores, 7 choices each: 2401 combinations -- exact comparison.
+    auto chip = makeChip(workload::WorkloadId::ML2, 4);
+    for (double budget : {15.0, 30.0, 45.0, 70.0, 120.0}) {
+        const auto dp = optimizeAllocation(chip, budget, 0.01);
+        const auto bf = bruteForceAllocation(chip, budget);
+        ASSERT_EQ(dp.feasible, bf.feasible) << budget;
+        if (!dp.feasible)
+            continue;
+        // The DP rounds power up to its grid, so it may forgo a
+        // combination the exact search finds; with a fine grid the
+        // throughput gap is bounded by one notch.
+        EXPECT_LE(dp.throughput, bf.throughput + 1e-6) << budget;
+        EXPECT_GE(dp.throughput, bf.throughput * 0.98) << budget;
+    }
+}
+
+TEST(FixedPower, DpMatchesBruteForceHeterogeneous)
+{
+    auto chip = makeChip(workload::WorkloadId::HM2, 4);
+    const auto dp = optimizeAllocation(chip, 55.0, 0.01);
+    const auto bf = bruteForceAllocation(chip, 55.0);
+    ASSERT_TRUE(dp.feasible && bf.feasible);
+    EXPECT_GE(dp.throughput, bf.throughput * 0.98);
+}
+
+TEST(FixedPower, PrefersEfficientCoresUnderTightBudget)
+{
+    // ML1 = 4x gcc (moderate EPI) + 4x mesa (low EPI). With a budget
+    // that cannot raise everyone, the optimizer must give mesa cores
+    // at least as much frequency as gcc cores on average.
+    auto chip = makeChip(workload::WorkloadId::ML1);
+    const auto alloc = optimizeAllocation(chip, 60.0);
+    ASSERT_TRUE(alloc.feasible);
+    double gcc_levels = 0.0;
+    double mesa_levels = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        gcc_levels += alloc.settings[static_cast<std::size_t>(i)].gated
+            ? -1
+            : alloc.settings[static_cast<std::size_t>(i)].level;
+        mesa_levels += alloc.settings[static_cast<std::size_t>(i + 4)].gated
+            ? -1
+            : alloc.settings[static_cast<std::size_t>(i + 4)].level;
+    }
+    EXPECT_GE(mesa_levels, gcc_levels);
+}
+
+} // namespace
+} // namespace solarcore::core

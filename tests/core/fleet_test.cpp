@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the fleet-level simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fleet.hpp"
+
+namespace solarcore::core {
+namespace {
+
+NodeSpec
+node(solar::SiteId site, std::uint64_t seed = 1)
+{
+    NodeSpec spec;
+    spec.site = site;
+    spec.month = solar::Month::Apr;
+    spec.weatherSeed = seed;
+    spec.workload = workload::WorkloadId::ML2;
+    spec.config.dtSeconds = 60.0;
+    return spec;
+}
+
+TEST(Fleet, AggregatesMatchNodeSums)
+{
+    const auto module = pv::buildBp3180n();
+    const std::vector<NodeSpec> specs = {node(solar::SiteId::AZ),
+                                         node(solar::SiteId::NC)};
+    const auto fleet = simulateFleetDay(module, specs);
+
+    ASSERT_EQ(fleet.nodes.size(), 2u);
+    double solar = 0.0;
+    double grid = 0.0;
+    double instr = 0.0;
+    for (const auto &r : fleet.nodes) {
+        solar += r.solarEnergyWh;
+        grid += r.gridEnergyWh;
+        instr += r.solarInstructions;
+    }
+    EXPECT_NEAR(fleet.totalSolarWh, solar, 1e-9);
+    EXPECT_NEAR(fleet.totalGridWh, grid, 1e-9);
+    EXPECT_NEAR(fleet.totalGreenInstructions, instr, 1e-3);
+    EXPECT_GT(fleet.greenFraction, 0.0);
+    EXPECT_LE(fleet.greenFraction, 1.0);
+    EXPECT_LE(fleet.fleetUtilization, 1.0);
+}
+
+TEST(Fleet, DiversitySmoothsGreenSupply)
+{
+    const auto module = pv::buildBp3180n();
+    const std::vector<NodeSpec> specs = {
+        node(solar::SiteId::AZ, 1), node(solar::SiteId::CO, 2),
+        node(solar::SiteId::NC, 3), node(solar::SiteId::TN, 4)};
+    const auto fleet = simulateFleetDay(module, specs);
+    // The fleet average must fluctuate less than a single node.
+    EXPECT_LT(fleet.fleetCov, fleet.singleNodeCov);
+}
+
+TEST(Fleet, SingleNodeFleetDegeneratesToDay)
+{
+    const auto module = pv::buildBp3180n();
+    const auto spec = node(solar::SiteId::AZ);
+    const auto fleet = simulateFleetDay(module, {spec});
+    EXPECT_NEAR(fleet.singleNodeCov, fleet.fleetCov, 1e-12);
+    EXPECT_NEAR(fleet.totalSolarWh, fleet.nodes[0].solarEnergyWh, 1e-12);
+
+    const auto trace = solar::generateDayTrace(spec.site, spec.month,
+                                               spec.weatherSeed);
+    SimConfig cfg = spec.config;
+    const auto day = simulateDay(module, trace, spec.workload, cfg);
+    EXPECT_NEAR(fleet.nodes[0].solarEnergyWh, day.solarEnergyWh, 1e-9);
+}
+
+TEST(Fleet, MixedPoliciesPerNode)
+{
+    const auto module = pv::buildBp3180n();
+    auto opt = node(solar::SiteId::AZ);
+    auto fixed = node(solar::SiteId::AZ);
+    fixed.config.policy = PolicyKind::FixedPower;
+    fixed.config.fixedBudgetW = 50.0;
+    const auto fleet = simulateFleetDay(module, {opt, fixed});
+    // The tracking node must out-harvest the fixed one.
+    EXPECT_GT(fleet.nodes[0].solarEnergyWh, fleet.nodes[1].solarEnergyWh);
+}
+
+} // namespace
+} // namespace solarcore::core

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the hybrid direct-coupled + storage-buffer extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace solarcore::core {
+namespace {
+
+SimConfig
+fastConfig()
+{
+    SimConfig cfg;
+    cfg.dtSeconds = 60.0;
+    return cfg;
+}
+
+HybridDayResult
+runHybrid(double capacity_wh,
+          solar::SiteId site = solar::SiteId::NC,
+          solar::Month month = solar::Month::Apr)
+{
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(site, month, 1);
+    return simulateHybridDay(module, trace, workload::WorkloadId::HM2,
+                             capacity_wh, fastConfig());
+}
+
+TEST(Hybrid, ZeroCapacityDegeneratesToPlainDay)
+{
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(solar::SiteId::NC,
+                                               solar::Month::Apr, 1);
+    const auto plain = simulateDay(module, trace,
+                                   workload::WorkloadId::HM2,
+                                   fastConfig());
+    const auto hybrid = runHybrid(0.0);
+    EXPECT_DOUBLE_EQ(hybrid.day.solarEnergyWh, plain.solarEnergyWh);
+    EXPECT_DOUBLE_EQ(hybrid.bufferedWh, 0.0);
+    EXPECT_DOUBLE_EQ(hybrid.greenEnergyWh, plain.solarEnergyWh);
+}
+
+TEST(Hybrid, GreenFractionGrowsWithCapacity)
+{
+    double prev = -1.0;
+    for (double cap : {0.0, 10.0, 50.0}) {
+        const auto r = runHybrid(cap);
+        EXPECT_GE(r.greenFraction, prev - 1e-9) << cap;
+        prev = r.greenFraction;
+    }
+}
+
+TEST(Hybrid, BufferReducesGridEnergy)
+{
+    const auto without = runHybrid(0.0);
+    const auto with = runHybrid(25.0);
+    EXPECT_LT(with.day.gridEnergyWh, without.day.gridEnergyWh);
+    EXPECT_GT(with.bufferedWh, 0.0);
+}
+
+TEST(Hybrid, MetricsWellFormed)
+{
+    const auto r = runHybrid(25.0);
+    EXPECT_GE(r.greenFraction, 0.0);
+    EXPECT_LE(r.greenFraction, 1.0);
+    EXPECT_LE(r.day.utilization, 1.0);
+    EXPECT_GE(r.bufferedWh, 0.0);
+    EXPECT_GT(r.day.solarInstructions, 0.0);
+    EXPECT_GE(r.day.totalInstructions, r.day.solarInstructions);
+    EXPECT_DOUBLE_EQ(r.batteryCapacityWh, 25.0);
+}
+
+TEST(Hybrid, Deterministic)
+{
+    const auto a = runHybrid(25.0);
+    const auto b = runHybrid(25.0);
+    EXPECT_DOUBLE_EQ(a.day.solarInstructions, b.day.solarInstructions);
+    EXPECT_DOUBLE_EQ(a.bufferedWh, b.bufferedWh);
+}
+
+TEST(Hybrid, SteadySiteBenefitsLessThanVolatileSite)
+{
+    // AZ July is nearly always above threshold: the buffer has little
+    // grid time to displace compared to a volatile NC April.
+    const auto volatile_gain =
+        runHybrid(25.0, solar::SiteId::NC, solar::Month::Apr)
+            .greenFraction -
+        runHybrid(0.0, solar::SiteId::NC, solar::Month::Apr)
+            .greenFraction;
+    const auto steady_gain =
+        runHybrid(25.0, solar::SiteId::AZ, solar::Month::Jul)
+            .greenFraction -
+        runHybrid(0.0, solar::SiteId::AZ, solar::Month::Jul)
+            .greenFraction;
+    EXPECT_GT(volatile_gain, steady_gain);
+}
+
+} // namespace
+} // namespace solarcore::core

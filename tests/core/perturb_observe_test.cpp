@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the classic perturb-and-observe tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/perturb_observe.hpp"
+#include "pv/bp3180n.hpp"
+#include "pv/mpp.hpp"
+
+namespace solarcore::core {
+namespace {
+
+struct Rig
+{
+    pv::PvModule module = pv::buildBp3180n();
+    pv::PvArray array{module, 1, 1, {800.0, 30.0}};
+    power::DcDcConverter converter{0.5, 8.0, 1.0};
+};
+
+/** A load whose line crosses the panel curve comfortably. */
+double
+midLoad(const pv::PvArray &array)
+{
+    const auto mpp = pv::findMpp(array);
+    // Rail at ~12 V when drawing around 60% of MPP power.
+    return 12.0 * 12.0 / (0.6 * mpp.power);
+}
+
+TEST(PerturbObserve, ConvergesToMppFromBelow)
+{
+    Rig rig;
+    rig.converter.setRatio(0.8); // panel parked far left of the MPP
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array));
+    const double p = tracker.run(200);
+    const double pmpp = pv::findMpp(rig.array).power;
+    EXPECT_GT(p, 0.93 * pmpp);
+    EXPECT_LE(p, pmpp + 1e-6);
+}
+
+TEST(PerturbObserve, ConvergesToMppFromAbove)
+{
+    Rig rig;
+    rig.converter.setRatio(3.6); // panel parked near open circuit
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array));
+    const double p = tracker.run(200);
+    EXPECT_GT(p, 0.93 * pv::findMpp(rig.array).power);
+}
+
+TEST(PerturbObserve, AdaptiveStepSettlesTighterThanFixed)
+{
+    double final_power[2];
+    int idx = 0;
+    for (bool adaptive : {true, false}) {
+        Rig rig;
+        rig.converter.setRatio(1.0);
+        PerturbObserveConfig cfg;
+        cfg.adaptiveStep = adaptive;
+        cfg.deltaK = 0.08; // deliberately coarse
+        PerturbObserveTracker tracker(rig.array, rig.converter,
+                                      midLoad(rig.array),
+                                      power::IvSensor(), cfg);
+        final_power[idx++] = tracker.run(300);
+    }
+    EXPECT_GE(final_power[0], final_power[1] - 1e-9);
+}
+
+TEST(PerturbObserve, TracksMovingIrradiance)
+{
+    Rig rig;
+    rig.converter.setRatio(2.0);
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array));
+    tracker.run(150);
+    // Clouds roll in.
+    rig.array.setEnvironment({400.0, 28.0});
+    const double p = tracker.run(150);
+    const double pmpp = pv::findMpp(rig.array).power;
+    EXPECT_GT(p, 0.85 * pmpp);
+    EXPECT_LE(p, pmpp + 1e-6);
+}
+
+TEST(PerturbObserve, DarkPanelReportsZero)
+{
+    Rig rig;
+    rig.array.setEnvironment({0.0, 25.0});
+    PerturbObserveTracker tracker(rig.array, rig.converter, 2.0);
+    EXPECT_DOUBLE_EQ(tracker.run(20), 0.0);
+}
+
+TEST(PerturbObserve, CountsFlipsWhileHunting)
+{
+    Rig rig;
+    rig.converter.setRatio(2.0);
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array));
+    tracker.run(200);
+    // Once settled, the tracker oscillates: flips must accumulate.
+    EXPECT_GT(tracker.directionFlips(), 3);
+    EXPECT_EQ(tracker.iterations(), 200);
+}
+
+TEST(PerturbObserve, LoadChangeReprimesTracking)
+{
+    Rig rig;
+    rig.converter.setRatio(2.0);
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array));
+    tracker.run(150);
+    tracker.setLoad(midLoad(rig.array) * 0.6); // chip sped up
+    const double p = tracker.run(150);
+    EXPECT_GT(p, 0.85 * pv::findMpp(rig.array).power);
+}
+
+TEST(PerturbObserve, SurvivesSensorNoise)
+{
+    Rig rig;
+    rig.converter.setRatio(1.2);
+    power::IvSensor noisy(0.0, 0.0, 0.005, 11);
+    PerturbObserveTracker tracker(rig.array, rig.converter,
+                                  midLoad(rig.array), noisy);
+    const double p = tracker.run(400);
+    EXPECT_GT(p, 0.85 * pv::findMpp(rig.array).power);
+}
+
+} // namespace
+} // namespace solarcore::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the CACTI-style SRAM energy estimator and the derivation
+ * of the Wattch-like energy parameters from the machine config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cacti_lite.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+SramGeometry
+l1Geometry()
+{
+    return {64 * 1024, 4, 64, 1, 1};
+}
+
+TEST(CactiLite, ReferencePointsInBallpark)
+{
+    // Published CACTI 90 nm anchors: 64 KB L1 ~0.5..1 nJ per read,
+    // 2 MB L2 a handful of nJ, small register arrays tens of pJ.
+    const auto l1 = estimateSram(l1Geometry());
+    EXPECT_GT(l1.readNj, 0.3);
+    EXPECT_LT(l1.readNj, 1.2);
+
+    const auto l2 = estimateSram({2048 * 1024, 8, 128, 1, 1});
+    EXPECT_GT(l2.readNj, 1.5);
+    EXPECT_LT(l2.readNj, 6.0);
+
+    const auto rf = estimateSram({128 * 8, 1, 8, 2, 1});
+    EXPECT_GT(rf.readNj, 0.005);
+    EXPECT_LT(rf.readNj, 0.10);
+}
+
+TEST(CactiLite, EnergyMonotoneInCapacity)
+{
+    double prev = 0.0;
+    for (int kb : {16, 32, 64, 128, 256}) {
+        const auto e = estimateSram({kb * 1024, 4, 64, 1, 1});
+        EXPECT_GT(e.readNj, prev) << kb;
+        prev = e.readNj;
+    }
+}
+
+TEST(CactiLite, WritesCostMoreThanReads)
+{
+    // Full bitline swings on writes vs sense-limited swings on reads.
+    const auto e = estimateSram(l1Geometry());
+    EXPECT_GT(e.writeNj, e.readNj);
+}
+
+TEST(CactiLite, HigherAssociativityCostsEnergy)
+{
+    const auto a2 = estimateSram({64 * 1024, 2, 64, 1, 1});
+    const auto a8 = estimateSram({64 * 1024, 8, 64, 1, 1});
+    EXPECT_GT(a8.readNj, a2.readNj);
+}
+
+TEST(CactiLite, PortsScaleEnergyAndLeakage)
+{
+    const auto p1 = estimateSram({1024, 1, 8, 1, 1});
+    const auto p8 = estimateSram({1024, 1, 8, 8, 4});
+    EXPECT_GT(p8.readNj, p1.readNj);
+    EXPECT_GT(p8.leakageW, p1.leakageW);
+}
+
+TEST(CactiLite, SmallerFeatureSizeCheaper)
+{
+    const auto n90 = estimateSram(l1Geometry(), 90.0);
+    const auto n45 = estimateSram(l1Geometry(), 45.0);
+    EXPECT_LT(n45.readNj, n90.readNj);
+}
+
+TEST(CactiLite, VoltageSquaredScaling)
+{
+    const auto hi = estimateSram(l1Geometry(), 90.0, 1.4);
+    const auto lo = estimateSram(l1Geometry(), 90.0, 0.7);
+    EXPECT_NEAR(hi.readNj / lo.readNj, 4.0, 1e-9);
+}
+
+TEST(CactiLite, LeakageScalesWithBits)
+{
+    const auto small = estimateSram({64 * 1024, 4, 64, 1, 1});
+    const auto big = estimateSram({256 * 1024, 4, 64, 1, 1});
+    EXPECT_NEAR(big.leakageW / small.leakageW, 4.0, 0.01);
+}
+
+TEST(DeriveEnergyParams, NearHandTunedDefaults)
+{
+    // The hand-set defaults in EnergyParams were chosen to reproduce
+    // the paper's power envelope; the first-order derivation must land
+    // within a small factor of each of them.
+    const auto derived = deriveEnergyParams(CoreConfig{});
+    const EnergyParams def;
+    auto within = [](double a, double b, double factor) {
+        return a > b / factor && a < b * factor;
+    };
+    EXPECT_TRUE(within(derived.frontendNj, def.frontendNj, 2.5));
+    EXPECT_TRUE(within(derived.windowNj, def.windowNj, 2.5));
+    EXPECT_TRUE(within(derived.regfileNj, def.regfileNj, 3.0));
+    EXPECT_TRUE(within(derived.lsqDcacheNj, def.lsqDcacheNj, 2.5));
+    EXPECT_TRUE(within(derived.l2AccessNj, def.l2AccessNj, 2.5));
+    EXPECT_TRUE(within(derived.leakageAtNominalW, def.leakageAtNominalW,
+                       2.5));
+}
+
+TEST(DeriveEnergyParams, BiggerCachesRaiseDerivedEnergies)
+{
+    CoreConfig small;
+    CoreConfig big;
+    big.l1SizeKb = 4 * small.l1SizeKb;
+    big.l2SizeKb = 4 * small.l2SizeKb;
+    const auto es = deriveEnergyParams(small);
+    const auto eb = deriveEnergyParams(big);
+    EXPECT_GT(eb.lsqDcacheNj, es.lsqDcacheNj);
+    EXPECT_GT(eb.l2AccessNj, es.l2AccessNj);
+    EXPECT_GT(eb.leakageAtNominalW, es.leakageAtNominalW);
+}
+
+TEST(DeriveEnergyParams, WiderMachineCostsMore)
+{
+    CoreConfig narrow;
+    narrow.fetchWidth = narrow.issueWidth = narrow.commitWidth = 2;
+    CoreConfig wide;
+    const auto en = deriveEnergyParams(narrow);
+    const auto ew = deriveEnergyParams(wide);
+    EXPECT_GT(ew.windowNj, en.windowNj);
+    EXPECT_GT(ew.clockTreeNj, en.clockTreeNj);
+    EXPECT_GT(ew.intAluNj, en.intAluNj);
+}
+
+TEST(DeriveEnergyParams, UsableByPowerModel)
+{
+    // A chip built with the derived parameters must produce power in
+    // the same envelope as the default one.
+    const auto derived = deriveEnergyParams(CoreConfig{});
+    const PowerModel pm(derived);
+    PhaseProfile phase;
+    phase.activityScale = 3.0;
+    const PerfModel perf{CoreConfig{}};
+    const auto pe = perf.evaluate(phase, 2.5e9);
+    const double w = pm.evaluate(phase, pe, 1.45, 2.5e9).totalW();
+    EXPECT_GT(w, 5.0);
+    EXPECT_LT(w, 50.0);
+}
+
+} // namespace
+} // namespace solarcore::cpu

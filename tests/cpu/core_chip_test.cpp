@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the Core and MultiCoreChip wrappers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/chip.hpp"
+#include "workload/catalog.hpp"
+#include "workload/multiprogram.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+MultiCoreChip
+makeChip(workload::WorkloadId id = workload::WorkloadId::HM2,
+         std::uint64_t seed = 42)
+{
+    return MultiCoreChip(defaultChipConfig(), DvfsTable::paperDefault(),
+                         EnergyParams{}, workload::workloadSet(id), seed);
+}
+
+TEST(Core, LevelChangesPowerAndThroughput)
+{
+    auto chip = makeChip();
+    Core &c = chip.core(0);
+    c.setLevel(0);
+    const double p_low = c.power().totalW();
+    const double t_low = c.throughput();
+    c.setLevel(5);
+    EXPECT_GT(c.power().totalW(), p_low);
+    EXPECT_GT(c.throughput(), t_low);
+}
+
+TEST(Core, GatingZeroesThroughput)
+{
+    auto chip = makeChip();
+    Core &c = chip.core(0);
+    c.setGated(true);
+    EXPECT_DOUBLE_EQ(c.throughput(), 0.0);
+    EXPECT_LT(c.power().totalW(), 0.1);
+    c.setGated(false);
+    EXPECT_GT(c.throughput(), 0.0);
+}
+
+TEST(Core, WhatIfQueriesMatchActualState)
+{
+    auto chip = makeChip();
+    Core &c = chip.core(3);
+    for (int l = 0; l < chip.dvfs().numLevels(); ++l) {
+        c.setLevel(l);
+        EXPECT_NEAR(c.powerAtLevel(l), c.power().totalW(), 1e-9);
+        EXPECT_NEAR(c.throughputAtLevel(l), c.throughput(), 1e-6);
+    }
+}
+
+TEST(Core, StepAccumulatesInstructionsAndEnergy)
+{
+    auto chip = makeChip();
+    Core &c = chip.core(0);
+    c.setLevel(5);
+    const double thr = c.throughput();
+    const double pw = c.power().totalW();
+    c.step(1.0);
+    // One second within one phase: exact accumulation.
+    EXPECT_NEAR(c.instructionsRetired(), thr, thr * 1e-9);
+    EXPECT_NEAR(c.energyJoules(), pw, pw * 1e-9);
+}
+
+TEST(Core, PhasePlaybackChangesOperatingPoint)
+{
+    auto chip = makeChip(workload::WorkloadId::H1);
+    Core &c = chip.core(0);
+    c.setLevel(5);
+    // Walk through several phases and record the power trajectory;
+    // art's phase swing must show up as distinct power values.
+    double lo = 1e18;
+    double hi = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        c.step(30.0);
+        const double p = c.power().totalW();
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    EXPECT_GT(hi - lo, 2.0); // watts of phase-driven ripple
+}
+
+TEST(Core, GatedStepConsumesResidualEnergyOnly)
+{
+    auto chip = makeChip();
+    Core &c = chip.core(0);
+    c.setGated(true);
+    c.step(10.0);
+    EXPECT_DOUBLE_EQ(c.instructionsRetired(), 0.0);
+    EXPECT_NEAR(c.energyJoules(), 0.05 * 10.0, 1e-9);
+}
+
+TEST(Chip, AggregatesMatchCoreSums)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(3);
+    double p = 0.0;
+    double t = 0.0;
+    for (int i = 0; i < chip.numCores(); ++i) {
+        p += chip.core(i).power().totalW();
+        t += chip.core(i).throughput();
+    }
+    EXPECT_NEAR(chip.totalPower(), p, 1e-9);
+    EXPECT_NEAR(chip.totalThroughput(), t, 1e-6);
+}
+
+TEST(Chip, EightCoresByDefault)
+{
+    auto chip = makeChip();
+    EXPECT_EQ(chip.numCores(), 8);
+}
+
+TEST(Chip, PowerEnvelope)
+{
+    // Chip max power must exceed any realistic solar budget and the
+    // ungated min must stay in the tens of watts (PCPG goes lower).
+    for (auto id : workload::allWorkloads()) {
+        auto chip = makeChip(id);
+        chip.setAllLevels(chip.dvfs().maxLevel());
+        const double pmax = chip.totalPower();
+        EXPECT_GT(pmax, 140.0) << workload::workloadName(id);
+        EXPECT_LT(pmax, 260.0) << workload::workloadName(id);
+
+        chip.setAllLevels(0);
+        const double pmin = chip.totalPower();
+        EXPECT_LT(pmin, 50.0) << workload::workloadName(id);
+
+        chip.gateAll();
+        EXPECT_LT(chip.totalPower(), 1.0) << workload::workloadName(id);
+    }
+}
+
+TEST(Chip, SameSeedReproducesTrajectories)
+{
+    auto a = makeChip(workload::WorkloadId::ML2, 7);
+    auto b = makeChip(workload::WorkloadId::ML2, 7);
+    a.setAllLevels(4);
+    b.setAllLevels(4);
+    for (int i = 0; i < 50; ++i) {
+        a.step(13.0);
+        b.step(13.0);
+    }
+    EXPECT_DOUBLE_EQ(a.totalInstructions(), b.totalInstructions());
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+}
+
+TEST(Chip, DifferentSeedsDecorrelatePhases)
+{
+    auto a = makeChip(workload::WorkloadId::H1, 1);
+    auto b = makeChip(workload::WorkloadId::H1, 2);
+    a.setAllLevels(5);
+    b.setAllLevels(5);
+    a.step(100.0);
+    b.step(100.0);
+    EXPECT_NE(a.totalInstructions(), b.totalInstructions());
+}
+
+TEST(Chip, IdealRegulatorsByDefault)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(3);
+    EXPECT_FALSE(chip.hasVrmModel());
+    EXPECT_DOUBLE_EQ(chip.inputPower(), chip.totalPower());
+}
+
+TEST(Chip, VrmModelAddsConversionLoss)
+{
+    auto chip = makeChip();
+    chip.setAllLevels(3);
+    chip.setVrmModel(VrmParams{});
+    EXPECT_TRUE(chip.hasVrmModel());
+    EXPECT_GT(chip.inputPower(), chip.totalPower());
+    // ~10% regulator loss at typical operating points.
+    EXPECT_LT(chip.inputPower(), 1.25 * chip.totalPower());
+    chip.clearVrmModel();
+    EXPECT_DOUBLE_EQ(chip.inputPower(), chip.totalPower());
+}
+
+TEST(Chip, VrmLossWorseAtLightLoad)
+{
+    // Light-load droop: the relative loss at the bottom level exceeds
+    // the relative loss near the regulators' rated point.
+    auto chip = makeChip();
+    chip.setVrmModel(VrmParams{});
+    chip.setAllLevels(0);
+    const double light =
+        chip.inputPower() / chip.totalPower();
+    chip.setAllLevels(chip.dvfs().maxLevel());
+    const double heavy =
+        chip.inputPower() / chip.totalPower();
+    EXPECT_GT(light, heavy);
+}
+
+TEST(Chip, HomogeneousWorkloadCoresDesynchronized)
+{
+    // Eight copies of art must not be phase-locked: per-core power at a
+    // random instant should differ across cores.
+    auto chip = makeChip(workload::WorkloadId::H1, 9);
+    chip.setAllLevels(5);
+    chip.step(200.0);
+    double lo = 1e18;
+    double hi = 0.0;
+    for (int i = 0; i < chip.numCores(); ++i) {
+        const double p = chip.core(i).power().totalW();
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    EXPECT_GT(hi - lo, 1.0);
+}
+
+} // namespace
+} // namespace solarcore::cpu

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the cycle-level validation core and its synthetic trace
+ * generator, including the cross-validation against the interval
+ * model that the day-long simulations use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cycle/cycle_core.hpp"
+#include "cpu/perf_model.hpp"
+#include "workload/catalog.hpp"
+
+namespace solarcore::cpu::cycle {
+namespace {
+
+PhaseProfile
+simplePhase()
+{
+    PhaseProfile p;
+    p.ilp = 2.0;
+    p.branchMpki = 5.0;
+    p.l1MissPerKi = 20.0;
+    p.l2MissPerKi = 2.0;
+    p.stallCpi = 0.2;
+    p.mlp = 2.0;
+    p.fpFraction = 0.1;
+    p.memFraction = 0.35;
+    return p;
+}
+
+TEST(TraceGen, Deterministic)
+{
+    const auto a = generateTrace(simplePhase(), 5000, 3);
+    const auto b = generateTrace(simplePhase(), 5000, 3);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].cls, b[i].cls);
+        ASSERT_EQ(a[i].depDistance, b[i].depDistance);
+    }
+}
+
+TEST(TraceGen, StatisticsMatchProfile)
+{
+    const auto phase = simplePhase();
+    const auto trace = generateTrace(phase, 200000, 5);
+    const auto st = measureTrace(trace);
+    EXPECT_NEAR(st.loadStoreFraction, phase.memFraction, 0.01);
+    EXPECT_NEAR(st.fpFraction, phase.fpFraction, 0.01);
+    EXPECT_NEAR(st.branchFraction, 0.10, 0.01);
+    EXPECT_NEAR(st.mispredictsPerKi, phase.branchMpki, 1.0);
+    EXPECT_NEAR(st.l1MissesPerKi, phase.l1MissPerKi, 3.0);
+    EXPECT_NEAR(st.l2MissesPerKi, phase.l2MissPerKi, 1.0);
+}
+
+TEST(TraceGen, DependencyDistancesValid)
+{
+    const auto trace = generateTrace(simplePhase(), 10000, 9);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_GE(trace[i].depDistance, 0);
+        ASSERT_LE(static_cast<std::size_t>(trace[i].depDistance), i);
+    }
+}
+
+TEST(CycleCore, MemoryLatencyScalesWithClock)
+{
+    const CoreConfig cfg;
+    const CycleCore fast(cfg, 2.5e9);
+    const CycleCore slow(cfg, 1.0e9);
+    EXPECT_EQ(fast.memoryCycles(), 400); // 160 ns at 2.5 GHz (Table 4)
+    EXPECT_EQ(slow.memoryCycles(), 160);
+}
+
+TEST(CycleCore, LatencyTable)
+{
+    const CoreConfig cfg;
+    const CycleCore core(cfg, 2.5e9);
+    TraceInstr alu{InstrClass::IntAlu, 0, false, MemLevel::L1};
+    TraceInstr fp{InstrClass::FpAlu, 0, false, MemLevel::L1};
+    TraceInstr l1{InstrClass::Load, 0, false, MemLevel::L1};
+    TraceInstr l2{InstrClass::Load, 0, false, MemLevel::L2};
+    TraceInstr mem{InstrClass::Load, 0, false, MemLevel::Memory};
+    EXPECT_EQ(core.latencyOf(alu), 1);
+    EXPECT_EQ(core.latencyOf(fp), 4);
+    EXPECT_EQ(core.latencyOf(l1), 3);
+    EXPECT_EQ(core.latencyOf(l2), 15);
+    EXPECT_EQ(core.latencyOf(mem), 415);
+}
+
+TEST(CycleCore, IpcNeverExceedsWidth)
+{
+    // A fully parallel ALU-only trace saturates the 4-wide machine.
+    PhaseProfile p = simplePhase();
+    p.ilp = 32.0;
+    p.branchMpki = 0.0;
+    p.l1MissPerKi = 0.0;
+    p.l2MissPerKi = 0.0;
+    p.stallCpi = 0.0;
+    p.memFraction = 0.0;
+    p.fpFraction = 0.0;
+    const auto trace = generateTrace(p, 20000, 1);
+    const CycleCore core(CoreConfig{}, 2.5e9);
+    const auto r = core.run(trace);
+    EXPECT_LE(r.ipc(), 4.0);
+    EXPECT_GT(r.ipc(), 3.0);
+}
+
+TEST(CycleCore, MispredictionsCostCycles)
+{
+    PhaseProfile clean = simplePhase();
+    clean.branchMpki = 0.0;
+    PhaseProfile dirty = simplePhase();
+    dirty.branchMpki = 20.0;
+    const CycleCore core(CoreConfig{}, 2.5e9);
+    const auto rc = core.run(generateTrace(clean, 30000, 2));
+    const auto rd = core.run(generateTrace(dirty, 30000, 2));
+    EXPECT_GT(rc.ipc(), rd.ipc());
+    EXPECT_GT(rd.mispredictStalls, rc.mispredictStalls);
+}
+
+TEST(CycleCore, MemoryBoundGainsIpcWhenSlowed)
+{
+    PhaseProfile p = simplePhase();
+    p.l2MissPerKi = 8.0;
+    const auto trace = generateTrace(p, 30000, 4);
+    const CycleCore fast(CoreConfig{}, 2.5e9);
+    const CycleCore slow(CoreConfig{}, 1.0e9);
+    EXPECT_GT(slow.run(trace).ipc(), fast.run(trace).ipc());
+}
+
+TEST(CycleCore, BiggerRobHelpsMemoryBoundCode)
+{
+    PhaseProfile p = simplePhase();
+    p.l2MissPerKi = 6.0;
+    p.mlp = 4.0;
+    const auto trace = generateTrace(p, 30000, 6);
+    CoreConfig small;
+    small.robEntries = 32;
+    CoreConfig big;
+    big.robEntries = 192;
+    const auto rs = CycleCore(small, 2.5e9).run(trace);
+    const auto rb = CycleCore(big, 2.5e9).run(trace);
+    EXPECT_GT(rb.ipc(), rs.ipc());
+    EXPECT_GT(rs.robFullStalls, rb.robFullStalls);
+}
+
+TEST(CycleCore, TinyLsqThrottlesMemoryCode)
+{
+    PhaseProfile p = simplePhase();
+    p.memFraction = 0.5;
+    p.l2MissPerKi = 5.0;
+    const auto trace = generateTrace(p, 30000, 12);
+    CoreConfig small;
+    small.lsqEntries = 4;
+    const auto rs = CycleCore(small, 2.5e9).run(trace);
+    const auto rb = CycleCore(CoreConfig{}, 2.5e9).run(trace);
+    EXPECT_LT(rs.ipc(), rb.ipc());
+}
+
+TEST(CycleCore, NarrowMachineSlower)
+{
+    CoreConfig narrow;
+    narrow.fetchWidth = narrow.issueWidth = narrow.commitWidth = 1;
+    const auto trace = generateTrace(simplePhase(), 20000, 8);
+    const auto r1 = CycleCore(narrow, 2.5e9).run(trace);
+    const auto r4 = CycleCore(CoreConfig{}, 2.5e9).run(trace);
+    EXPECT_GT(r4.ipc(), r1.ipc());
+    EXPECT_LE(r1.ipc(), 1.0);
+}
+
+/**
+ * Cross-validation: for every catalogued benchmark and both clock
+ * extremes, the cycle core and the interval model must agree on IPC
+ * within a factor band, and on the direction of frequency scaling.
+ */
+class ModelCrossValidation
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelCrossValidation, IpcWithinBandAndTrendsAgree)
+{
+    const auto profile = workload::benchmark(GetParam());
+    const auto &phase = profile.phases.front();
+    const CoreConfig cfg;
+    const PerfModel interval(cfg);
+    const auto trace = generateTrace(phase, 40000, 7);
+
+    double cycle_ipc[2];
+    double interval_ipc[2];
+    const double freqs[2] = {2.5e9, 1.0e9};
+    for (int i = 0; i < 2; ++i) {
+        cycle_ipc[i] = CycleCore(cfg, freqs[i]).run(trace).ipc();
+        interval_ipc[i] = interval.evaluate(phase, freqs[i]).ipc;
+        const double ratio = cycle_ipc[i] / interval_ipc[i];
+        EXPECT_GT(ratio, 0.55) << GetParam() << " @ " << freqs[i];
+        EXPECT_LT(ratio, 1.45) << GetParam() << " @ " << freqs[i];
+    }
+    // Both models agree that a slower clock never lowers IPC.
+    EXPECT_GE(cycle_ipc[1], cycle_ipc[0] * 0.98);
+    EXPECT_GE(interval_ipc[1], interval_ipc[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ModelCrossValidation,
+                         ::testing::ValuesIn(
+                             workload::allBenchmarkNames()));
+
+TEST(ModelCrossValidation, EpiClassOrderingPreserved)
+{
+    // The cycle core must reproduce the class structure the catalog
+    // encodes: low-EPI programs run at higher IPC than high-EPI ones.
+    const CoreConfig cfg;
+    auto ipc_of = [&](const char *name) {
+        const auto profile = workload::benchmark(name);
+        const auto trace =
+            generateTrace(profile.phases.front(), 40000, 11);
+        return CycleCore(cfg, 2.5e9).run(trace).ipc();
+    };
+    EXPECT_GT(ipc_of("mesa"), ipc_of("gcc"));
+    EXPECT_GT(ipc_of("gcc"), ipc_of("art"));
+    EXPECT_GT(ipc_of("mesa"), ipc_of("mcf"));
+}
+
+} // namespace
+} // namespace solarcore::cpu::cycle

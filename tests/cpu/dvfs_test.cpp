@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the DVFS table and VID encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+TEST(DvfsTable, PaperDefaultMatchesTable4)
+{
+    const auto t = DvfsTable::paperDefault();
+    ASSERT_EQ(t.numLevels(), 6);
+    EXPECT_DOUBLE_EQ(t.frequency(0), 1.0e9);
+    EXPECT_DOUBLE_EQ(t.voltage(0), 0.95);
+    EXPECT_DOUBLE_EQ(t.frequency(5), 2.5e9);
+    EXPECT_DOUBLE_EQ(t.voltage(5), 1.45);
+    // 300 MHz / 0.1 V steps.
+    for (int l = 1; l < 6; ++l) {
+        EXPECT_NEAR(t.frequency(l) - t.frequency(l - 1), 0.3e9, 1.0);
+        EXPECT_NEAR(t.voltage(l) - t.voltage(l - 1), 0.10, 1e-12);
+    }
+}
+
+TEST(DvfsTable, LevelBounds)
+{
+    const auto t = DvfsTable::paperDefault();
+    EXPECT_EQ(t.minLevel(), 0);
+    EXPECT_EQ(t.maxLevel(), 5);
+    EXPECT_DOUBLE_EQ(t.maxVoltage(), 1.45);
+}
+
+TEST(DvfsTable, VidRoundTrip)
+{
+    const auto t = DvfsTable::paperDefault();
+    for (int l = 0; l < t.numLevels(); ++l)
+        EXPECT_EQ(t.levelFromVid(t.vid(l)), l) << "level " << l;
+}
+
+TEST(DvfsTable, VidEncodesNearestQuarterStep)
+{
+    const auto t = DvfsTable::paperDefault();
+    // 0.95 V = 0.8375 + 4.5 * 0.025 -> code 4 or 5.
+    const auto code = t.vid(0);
+    const double decoded = 0.8375 + 0.025 * code;
+    EXPECT_NEAR(decoded, 0.95, 0.013);
+}
+
+TEST(DvfsTable, CustomTableValidation)
+{
+    std::vector<DvfsPoint> pts = {{1.0e9, 1.0}, {2.0e9, 1.2}};
+    const DvfsTable t(pts);
+    EXPECT_EQ(t.numLevels(), 2);
+    EXPECT_DOUBLE_EQ(t.frequency(1), 2.0e9);
+}
+
+using DvfsDeathTest = ::testing::Test;
+
+TEST(DvfsDeathTest, RejectsDescendingFrequencies)
+{
+    std::vector<DvfsPoint> pts = {{2.0e9, 1.2}, {1.0e9, 1.0}};
+    EXPECT_DEATH({ DvfsTable t(pts); }, "ascend");
+}
+
+TEST(DvfsDeathTest, RejectsOutOfRangeLevel)
+{
+    const auto t = DvfsTable::paperDefault();
+    EXPECT_DEATH(t.frequency(6), "out of range");
+    EXPECT_DEATH(t.frequency(-1), "out of range");
+}
+
+} // namespace
+} // namespace solarcore::cpu

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Property sweeps of the energy-per-instruction surface across the
+ * DVFS table, for every catalogued benchmark: the scaling relations
+ * the TPR heuristic exploits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs.hpp"
+#include "cpu/perf_model.hpp"
+#include "cpu/power_model.hpp"
+#include "workload/catalog.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+struct LevelPoint
+{
+    double power = 0.0;
+    double throughput = 0.0;
+    double epi = 0.0;
+};
+
+LevelPoint
+evaluateAt(const PhaseProfile &phase, int level)
+{
+    const auto table = DvfsTable::paperDefault();
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    const auto pe = perf.evaluate(phase, table.frequency(level));
+    const auto po = power.evaluate(phase, pe, table.voltage(level),
+                                   table.frequency(level));
+    return {po.totalW(), pe.throughput(table.frequency(level)), po.epiNj};
+}
+
+class BenchmarkScaling : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    PhaseProfile
+    phase() const
+    {
+        return workload::benchmark(GetParam()).phases.front();
+    }
+};
+
+TEST_P(BenchmarkScaling, PowerAndThroughputMonotoneInLevel)
+{
+    const auto table = DvfsTable::paperDefault();
+    LevelPoint prev = evaluateAt(phase(), 0);
+    for (int l = 1; l < table.numLevels(); ++l) {
+        const auto here = evaluateAt(phase(), l);
+        EXPECT_GT(here.power, prev.power) << l;
+        EXPECT_GT(here.throughput, prev.throughput) << l;
+        prev = here;
+    }
+}
+
+TEST_P(BenchmarkScaling, DynamicEpiFallsWithVoltage)
+{
+    // EPI at the bottom level must be lower than at the top: the V^2
+    // dynamic term dominates the leakage-per-instruction term at our
+    // 90 nm leakage share. This is why spreading power across many
+    // slow cores (MPPT&RR/Opt) beats concentrating it (MPPT&IC).
+    const auto lo = evaluateAt(phase(), 0);
+    const auto hi = evaluateAt(phase(), 5);
+    EXPECT_LT(lo.epi, hi.epi);
+}
+
+TEST_P(BenchmarkScaling, MarginalWattBuysLessAtHigherLevels)
+{
+    // Concavity of throughput(power): delta-T per delta-W shrinks as
+    // the level rises, the monotonicity the TPR table sorts by.
+    const auto table = DvfsTable::paperDefault();
+    double prev_ratio = 1e300;
+    for (int l = 0; l + 1 < table.numLevels(); ++l) {
+        const auto a = evaluateAt(phase(), l);
+        const auto b = evaluateAt(phase(), l + 1);
+        const double ratio =
+            (b.throughput - a.throughput) / (b.power - a.power);
+        EXPECT_LT(ratio, prev_ratio) << "level " << l;
+        prev_ratio = ratio;
+    }
+}
+
+TEST_P(BenchmarkScaling, PerfPerWattPeaksAtBottomLevel)
+{
+    const auto table = DvfsTable::paperDefault();
+    double best_level0 = evaluateAt(phase(), 0).throughput /
+        evaluateAt(phase(), 0).power;
+    for (int l = 1; l < table.numLevels(); ++l) {
+        const auto p = evaluateAt(phase(), l);
+        EXPECT_LE(p.throughput / p.power, best_level0 * 1.001) << l;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkScaling,
+                         ::testing::ValuesIn(
+                             workload::allBenchmarkNames()));
+
+TEST(EpiSurface, ClassSeparationHoldsAtEveryLevel)
+{
+    // art (high EPI) must cost more energy per instruction than mesa
+    // (low EPI) at every operating point, not just the calibration
+    // point.
+    const auto art = workload::benchmark("art").phases.front();
+    const auto mesa = workload::benchmark("mesa").phases.front();
+    const auto table = DvfsTable::paperDefault();
+    for (int l = 0; l < table.numLevels(); ++l) {
+        EXPECT_GT(evaluateAt(art, l).epi, evaluateAt(mesa, l).epi)
+            << "level " << l;
+    }
+}
+
+} // namespace
+} // namespace solarcore::cpu

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the interval performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/perf_model.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+PhaseProfile
+computePhase()
+{
+    PhaseProfile p;
+    p.ilp = 3.5;
+    p.branchMpki = 1.0;
+    p.l1MissPerKi = 2.0;
+    p.l2MissPerKi = 0.1;
+    p.stallCpi = 0.05;
+    p.mlp = 2.0;
+    return p;
+}
+
+PhaseProfile
+memoryPhase()
+{
+    PhaseProfile p;
+    p.ilp = 2.0;
+    p.branchMpki = 5.0;
+    p.l1MissPerKi = 60.0;
+    p.l2MissPerKi = 8.0;
+    p.stallCpi = 0.3;
+    p.mlp = 2.0;
+    return p;
+}
+
+TEST(PerfModel, IpcNeverExceedsWidth)
+{
+    const PerfModel model{CoreConfig{}};
+    PhaseProfile p = computePhase();
+    p.ilp = 100.0; // absurd ILP still capped by the 4-wide machine
+    p.branchMpki = 0.0;
+    p.l1MissPerKi = 0.0;
+    p.l2MissPerKi = 0.0;
+    p.stallCpi = 0.0;
+    const auto est = model.evaluate(p, 2.5e9);
+    EXPECT_LE(est.ipc, 4.0 + 1e-12);
+    EXPECT_NEAR(est.ipc, 4.0, 1e-9);
+}
+
+TEST(PerfModel, CpiComponentsSum)
+{
+    const PerfModel model{CoreConfig{}};
+    const auto est = model.evaluate(memoryPhase(), 2.5e9);
+    EXPECT_NEAR(est.cpi(),
+                est.cpiBase + est.cpiBranch + est.cpiL2 + est.cpiMemory,
+                1e-12);
+    EXPECT_NEAR(est.ipc, 1.0 / est.cpi(), 1e-12);
+}
+
+TEST(PerfModel, MemoryBoundGainsIpcWhenSlowed)
+{
+    // Memory latency is fixed in ns, so lower clocks waste fewer cycles.
+    const PerfModel model{CoreConfig{}};
+    const auto fast = model.evaluate(memoryPhase(), 2.5e9);
+    const auto slow = model.evaluate(memoryPhase(), 1.0e9);
+    EXPECT_GT(slow.ipc, fast.ipc);
+    // But throughput still falls with frequency.
+    EXPECT_GT(fast.throughput(2.5e9), slow.throughput(1.0e9));
+}
+
+TEST(PerfModel, ComputeBoundIpcAlmostFrequencyInvariant)
+{
+    const PerfModel model{CoreConfig{}};
+    const auto fast = model.evaluate(computePhase(), 2.5e9);
+    const auto slow = model.evaluate(computePhase(), 1.0e9);
+    EXPECT_NEAR(slow.ipc / fast.ipc, 1.0, 0.04);
+}
+
+TEST(PerfModel, BranchPenaltyScalesWithMpki)
+{
+    const PerfModel model{CoreConfig{}};
+    PhaseProfile a = computePhase();
+    PhaseProfile b = computePhase();
+    b.branchMpki = 2.0 * a.branchMpki;
+    const auto ea = model.evaluate(a, 2.5e9);
+    const auto eb = model.evaluate(b, 2.5e9);
+    EXPECT_NEAR(eb.cpiBranch, 2.0 * ea.cpiBranch, 1e-12);
+    EXPECT_LT(eb.ipc, ea.ipc);
+}
+
+TEST(PerfModel, MlpHidesMemoryLatency)
+{
+    const PerfModel model{CoreConfig{}};
+    PhaseProfile a = memoryPhase();
+    PhaseProfile b = memoryPhase();
+    b.mlp = 2.0 * a.mlp;
+    const auto ea = model.evaluate(a, 2.5e9);
+    const auto eb = model.evaluate(b, 2.5e9);
+    EXPECT_NEAR(eb.cpiMemory, 0.5 * ea.cpiMemory, 1e-12);
+}
+
+TEST(PerfModel, MemLatencyCyclesTrackFrequency)
+{
+    const PerfModel model{CoreConfig{}};
+    const auto e25 = model.evaluate(memoryPhase(), 2.5e9);
+    const auto e10 = model.evaluate(memoryPhase(), 1.0e9);
+    EXPECT_NEAR(e25.cpiMemory / e10.cpiMemory, 2.5, 1e-9);
+}
+
+TEST(PerfModel, BiggerRobHidesMoreL2Latency)
+{
+    CoreConfig small;
+    small.robEntries = 32;
+    CoreConfig big;
+    big.robEntries = 192;
+    const PerfModel ms(small);
+    const PerfModel mb(big);
+    const auto es = ms.evaluate(memoryPhase(), 2.5e9);
+    const auto eb = mb.evaluate(memoryPhase(), 2.5e9);
+    EXPECT_GT(es.cpiL2, eb.cpiL2);
+}
+
+/** Frequency sweep: throughput increases monotonically with clock. */
+class FrequencySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FrequencySweep, ThroughputMonotone)
+{
+    const PerfModel model{CoreConfig{}};
+    const double f = GetParam();
+    const auto here = model.evaluate(memoryPhase(), f);
+    const auto faster = model.evaluate(memoryPhase(), f + 0.3e9);
+    EXPECT_GT(faster.throughput(f + 0.3e9), here.throughput(f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, FrequencySweep,
+                         ::testing::Values(1.0e9, 1.3e9, 1.6e9, 1.9e9,
+                                           2.2e9));
+
+} // namespace
+} // namespace solarcore::cpu

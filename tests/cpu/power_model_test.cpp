@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Wattch-style power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs.hpp"
+#include "cpu/perf_model.hpp"
+#include "cpu/power_model.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+PhaseProfile
+typicalPhase()
+{
+    PhaseProfile p;
+    p.ilp = 2.4;
+    p.branchMpki = 5.0;
+    p.l1MissPerKi = 18.0;
+    p.l2MissPerKi = 1.2;
+    p.stallCpi = 0.22;
+    p.mlp = 2.0;
+    p.fpFraction = 0.1;
+    p.memFraction = 0.35;
+    p.activityScale = 3.0;
+    return p;
+}
+
+TEST(PowerModel, PowerRisesWithVoltageAndFrequency)
+{
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    const auto table = DvfsTable::paperDefault();
+    const auto phase = typicalPhase();
+
+    double prev = 0.0;
+    for (int l = 0; l < table.numLevels(); ++l) {
+        const auto pe = perf.evaluate(phase, table.frequency(l));
+        const double w = power
+            .evaluate(phase, pe, table.voltage(l), table.frequency(l))
+            .totalW();
+        ASSERT_GT(w, prev) << "level " << l;
+        prev = w;
+    }
+}
+
+TEST(PowerModel, DynamicScalesWithVoltageSquared)
+{
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    const auto phase = typicalPhase();
+    const double f = 2.0e9;
+    const auto pe = perf.evaluate(phase, f);
+
+    const double d1 = power.evaluate(phase, pe, 1.0, f).dynamicW;
+    const double d2 = power.evaluate(phase, pe, 1.4, f).dynamicW;
+    EXPECT_NEAR(d2 / d1, 1.4 * 1.4, 1e-9);
+}
+
+TEST(PowerModel, LeakageGrowsWithTemperature)
+{
+    const PowerModel power{EnergyParams{}};
+    EXPECT_GT(power.leakageAt(1.45, 80.0), power.leakageAt(1.45, 50.0));
+    EXPECT_GT(power.leakageAt(1.45, 50.0), power.leakageAt(0.95, 50.0));
+}
+
+TEST(PowerModel, LeakageAtNominalMatchesParameter)
+{
+    EnergyParams ep;
+    const PowerModel power(ep);
+    EXPECT_NEAR(power.leakageAt(ep.nominalVoltage, 50.0),
+                ep.leakageAtNominalW, 1e-12);
+}
+
+TEST(PowerModel, GatedCoreDrawsOnlyResidual)
+{
+    EnergyParams ep;
+    const PowerModel power(ep);
+    const auto g = power.gatedPower();
+    EXPECT_DOUBLE_EQ(g.dynamicW, 0.0);
+    EXPECT_DOUBLE_EQ(g.leakageW, ep.gatedResidualW);
+    EXPECT_DOUBLE_EQ(g.epiNj, 0.0);
+}
+
+TEST(PowerModel, EpiConsistentWithPowerAndThroughput)
+{
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    const auto phase = typicalPhase();
+    const double f = 2.5e9;
+    const auto pe = perf.evaluate(phase, f);
+    const auto po = power.evaluate(phase, pe, 1.45, f);
+    EXPECT_NEAR(po.epiNj, po.totalW() / pe.throughput(f) * 1e9, 1e-9);
+}
+
+TEST(PowerModel, ActivityScaleIsLinearInDynamicEnergy)
+{
+    const PowerModel power{EnergyParams{}};
+    PhaseProfile a = typicalPhase();
+    PhaseProfile b = typicalPhase();
+    a.activityScale = 1.0;
+    b.activityScale = 2.0;
+    EXPECT_NEAR(power.dynamicEpiNominalNj(b),
+                2.0 * power.dynamicEpiNominalNj(a), 1e-12);
+}
+
+TEST(PowerModel, FpHeavyPhaseCostsMore)
+{
+    const PowerModel power{EnergyParams{}};
+    PhaseProfile intp = typicalPhase();
+    PhaseProfile fpp = typicalPhase();
+    intp.fpFraction = 0.0;
+    fpp.fpFraction = 0.6;
+    EXPECT_GT(power.dynamicEpiNominalNj(fpp),
+              power.dynamicEpiNominalNj(intp));
+}
+
+TEST(PowerModel, BreakdownSumsToDynamic)
+{
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    const auto phase = typicalPhase();
+    const auto pe = perf.evaluate(phase, 2.5e9);
+    const auto po = power.evaluate(phase, pe, 1.45, 2.5e9);
+    EXPECT_NEAR(po.breakdown.total(), po.dynamicW, 1e-12);
+    EXPECT_GT(po.breakdown.clockW, 0.0);
+    EXPECT_GT(po.breakdown.frontendW, 0.0);
+}
+
+TEST(PowerModel, BreakdownReflectsWorkloadCharacter)
+{
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    PhaseProfile fp_heavy = typicalPhase();
+    fp_heavy.fpFraction = 0.6;
+    PhaseProfile miss_heavy = typicalPhase();
+    miss_heavy.l1MissPerKi = 80.0;
+
+    const auto base = power.evaluate(typicalPhase(),
+                                     perf.evaluate(typicalPhase(), 2.5e9),
+                                     1.45, 2.5e9);
+    const auto fp = power.evaluate(fp_heavy,
+                                   perf.evaluate(fp_heavy, 2.5e9), 1.45,
+                                   2.5e9);
+    const auto miss = power.evaluate(miss_heavy,
+                                     perf.evaluate(miss_heavy, 2.5e9),
+                                     1.45, 2.5e9);
+    // Per unit of throughput, the character shows in the right bucket.
+    auto share = [](double part, const PowerBreakdown &bd) {
+        return part / bd.total();
+    };
+    EXPECT_GT(share(fp.breakdown.aluW, fp.breakdown),
+              share(base.breakdown.aluW, base.breakdown));
+    EXPECT_GT(share(miss.breakdown.l2W, miss.breakdown),
+              share(base.breakdown.l2W, base.breakdown));
+}
+
+TEST(PowerModel, StalledCoreStillPaysPartialClock)
+{
+    // A core with near-zero IPC keeps burning the non-gated clock
+    // fraction plus leakage.
+    const PerfModel perf{CoreConfig{}};
+    const PowerModel power{EnergyParams{}};
+    PhaseProfile p = typicalPhase();
+    p.l2MissPerKi = 100.0;
+    p.mlp = 1.0;
+    const auto pe = perf.evaluate(p, 2.5e9);
+    EXPECT_LT(pe.ipc, 0.1);
+    const auto po = power.evaluate(p, pe, 1.45, 2.5e9);
+    EXPECT_GT(po.dynamicW, 0.5); // clock tree floor
+}
+
+} // namespace
+} // namespace solarcore::cpu

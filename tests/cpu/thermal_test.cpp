@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the RC die-thermal model and its leakage feedback loop.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "cpu/power_model.hpp"
+#include "cpu/thermal.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+TEST(Thermal, SteadyStateIsAmbientPlusPR)
+{
+    ThermalModel t(1.2, 80.0, 25.0);
+    EXPECT_DOUBLE_EQ(t.steadyState(20.0, 25.0), 49.0);
+    EXPECT_DOUBLE_EQ(t.steadyState(0.0, 30.0), 30.0);
+}
+
+TEST(Thermal, ConvergesToSteadyState)
+{
+    ThermalModel t(1.2, 80.0, 25.0);
+    for (int i = 0; i < 100; ++i)
+        t.step(20.0, 25.0, 30.0);
+    EXPECT_NEAR(t.temperature(), 49.0, 0.01);
+}
+
+TEST(Thermal, TimeConstantGovernsApproach)
+{
+    // After exactly one time constant, 63.2% of the gap is closed.
+    ThermalModel t(1.0, 100.0, 20.0);
+    t.step(30.0, 20.0, t.timeConstant());
+    const double target = 50.0;
+    const double expected = target + (20.0 - target) * std::exp(-1.0);
+    EXPECT_NEAR(t.temperature(), expected, 1e-9);
+}
+
+TEST(Thermal, ExactUpdateStableForHugeSteps)
+{
+    ThermalModel t(1.2, 80.0, 25.0);
+    t.step(25.0, 30.0, 1e6); // a week in one step
+    EXPECT_NEAR(t.temperature(), t.steadyState(25.0, 30.0), 1e-6);
+}
+
+TEST(Thermal, CoolsWhenPowerDrops)
+{
+    ThermalModel t(1.2, 80.0, 70.0);
+    const double before = t.temperature();
+    t.step(2.0, 20.0, 60.0);
+    EXPECT_LT(t.temperature(), before);
+    EXPECT_GT(t.temperature(), t.steadyState(2.0, 20.0));
+}
+
+TEST(Thermal, ZeroStepIsIdentity)
+{
+    ThermalModel t(1.2, 80.0, 42.0);
+    t.step(50.0, 10.0, 0.0);
+    EXPECT_DOUBLE_EQ(t.temperature(), 42.0);
+}
+
+TEST(Thermal, HotterDieLeaksMore)
+{
+    // Closing the loop raises leakage: verify the coupling direction
+    // through the power model.
+    const PowerModel power{EnergyParams{}};
+    EXPECT_GT(power.leakageAt(1.45, 75.0), power.leakageAt(1.45, 45.0));
+}
+
+TEST(Thermal, FeedbackLoopSettles)
+{
+    // P(T) = dyn + leak(T), T(P) via RC: iterate to a fixed point and
+    // verify it is finite and stable (no thermal runaway at our
+    // leakage coefficients).
+    const PowerModel power{EnergyParams{}};
+    ThermalModel t(1.2, 80.0, 45.0);
+    const double dyn = 15.0;
+    double p = dyn + power.leakageAt(1.45, t.temperature());
+    for (int i = 0; i < 200; ++i) {
+        t.step(p, 35.0, 30.0);
+        p = dyn + power.leakageAt(1.45, t.temperature());
+    }
+    EXPECT_LT(t.temperature(), 70.0);
+    EXPECT_GT(t.temperature(), 45.0);
+    // Fixed point: T == steadyState(P(T)).
+    EXPECT_NEAR(t.temperature(), t.steadyState(p, 35.0), 0.1);
+}
+
+TEST(Thermal, ThrottleEngagesUnderTightLimit)
+{
+    // An artificially low thermal limit must trigger throttling
+    // events while keeping the day simulation well-formed.
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(solar::SiteId::AZ,
+                                               solar::Month::Jul, 1);
+    core::SimConfig cfg;
+    cfg.dtSeconds = 60.0;
+    cfg.rcThermal = true;
+    cfg.maxDieTempC = 55.0; // far below normal operating temperature
+    const auto r = core::simulateDay(module, trace,
+                                     workload::WorkloadId::H1, cfg);
+    EXPECT_GT(r.thermalThrottles, 0);
+    EXPECT_LE(r.utilization, 1.0);
+
+    core::SimConfig relaxed = cfg;
+    relaxed.maxDieTempC = 95.0;
+    const auto r2 = core::simulateDay(module, trace,
+                                      workload::WorkloadId::H1, relaxed);
+    EXPECT_LT(r2.thermalThrottles, r.thermalThrottles);
+}
+
+TEST(Thermal, RcSimulationCloseToProxy)
+{
+    // The RC-thermal day must land near the fixed-offset proxy (the
+    // proxy was chosen as a typical operating point) while remaining
+    // deterministic.
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(solar::SiteId::AZ,
+                                               solar::Month::Apr, 1);
+    core::SimConfig proxy;
+    proxy.dtSeconds = 60.0;
+    core::SimConfig rc = proxy;
+    rc.rcThermal = true;
+    const auto a = core::simulateDay(module, trace,
+                                     workload::WorkloadId::HM2, proxy);
+    const auto b = core::simulateDay(module, trace,
+                                     workload::WorkloadId::HM2, rc);
+    EXPECT_NEAR(b.utilization, a.utilization, 0.05);
+    EXPECT_NEAR(b.solarInstructions / a.solarInstructions, 1.0, 0.05);
+
+    const auto b2 = core::simulateDay(module, trace,
+                                      workload::WorkloadId::HM2, rc);
+    EXPECT_DOUBLE_EQ(b.solarInstructions, b2.solarInstructions);
+}
+
+} // namespace
+} // namespace solarcore::cpu

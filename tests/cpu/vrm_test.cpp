@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the per-core VRM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs.hpp"
+#include "cpu/vrm.hpp"
+
+namespace solarcore::cpu {
+namespace {
+
+TEST(Vrm, EfficiencyPeaksNearRatedLoad)
+{
+    const Vrm vrm;
+    const double at_rated = vrm.efficiencyAt(30.0);
+    EXPECT_GT(at_rated, vrm.efficiencyAt(1.0));   // light-load droop
+    EXPECT_GT(at_rated, vrm.efficiencyAt(90.0));  // overload losses
+    EXPECT_NEAR(at_rated, 0.90, 0.01);
+}
+
+TEST(Vrm, EfficiencyBounded)
+{
+    const Vrm vrm;
+    for (double w : {0.0, 0.5, 2.0, 10.0, 30.0, 60.0, 200.0}) {
+        const double e = vrm.efficiencyAt(w);
+        EXPECT_GE(e, 0.5) << w;
+        EXPECT_LE(e, 1.0) << w;
+    }
+}
+
+TEST(Vrm, InputPowerExceedsLoad)
+{
+    const Vrm vrm;
+    for (double w : {2.0, 10.0, 25.0}) {
+        EXPECT_GT(vrm.inputPower(w), w);
+        EXPECT_NEAR(vrm.inputPower(w) * vrm.efficiencyAt(w), w, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(vrm.inputPower(0.0), 0.0);
+}
+
+TEST(Vrm, TransitionTimeMatchesSlewRate)
+{
+    // One DVFS notch of the paper's table is 100 mV; at 20 mV/us that
+    // is a 5 us transition -- far below the 5 ms tracking events.
+    const Vrm vrm;
+    const auto table = DvfsTable::paperDefault();
+    const double dt =
+        vrm.transitionSeconds(table.voltage(2), table.voltage(3));
+    EXPECT_NEAR(dt, 5e-6, 1e-9);
+    EXPECT_LT(dt, 5e-3);
+}
+
+TEST(Vrm, TransitionEnergyNegligiblePerNotch)
+{
+    // 100 mV * 1.5 nJ/mV = 150 nJ: microscopic next to the joules a
+    // tracking period moves, which justifies ignoring it in the
+    // day-level energy ledgers.
+    const Vrm vrm;
+    const double j = vrm.transitionJoules(1.05, 1.15);
+    EXPECT_NEAR(j, 150e-9, 1e-12);
+}
+
+TEST(Vrm, FullDvfsLadderTransitionBudget)
+{
+    // Even sweeping a core across the entire ladder costs < 1 uJ and
+    // < 30 us, so a 96-notch tracking event stays well under the
+    // paper's 5 ms figure.
+    const Vrm vrm;
+    const auto table = DvfsTable::paperDefault();
+    double joules = 0.0;
+    double seconds = 0.0;
+    for (int l = 0; l + 1 < table.numLevels(); ++l) {
+        joules += vrm.transitionJoules(table.voltage(l),
+                                       table.voltage(l + 1));
+        seconds += vrm.transitionSeconds(table.voltage(l),
+                                         table.voltage(l + 1));
+    }
+    EXPECT_LT(joules, 1e-6);
+    EXPECT_LT(seconds * 96.0 / 5.0, 5e-3);
+}
+
+} // namespace
+} // namespace solarcore::cpu

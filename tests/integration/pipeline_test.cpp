@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Cross-module integration tests: day-long simulations across sites,
+ * months, workloads and policies, asserting the paper's qualitative
+ * results end to end. Sims run with a coarse 60 s step to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/solarcore.hpp"
+#include "util/stats.hpp"
+
+namespace solarcore {
+namespace {
+
+core::SimConfig
+fastConfig(core::PolicyKind policy)
+{
+    core::SimConfig cfg;
+    cfg.policy = policy;
+    cfg.dtSeconds = 60.0;
+    return cfg;
+}
+
+/** Parameterized over all 16 site-months with the default policy. */
+class SiteMonthPipeline
+    : public ::testing::TestWithParam<std::tuple<solar::SiteId,
+                                                 solar::Month>>
+{
+};
+
+TEST_P(SiteMonthPipeline, InvariantsHold)
+{
+    const auto [site, month] = GetParam();
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(site, month, 1);
+    const auto r = core::simulateDay(module, trace,
+                                     workload::WorkloadId::HM2,
+                                     fastConfig(core::PolicyKind::MpptOpt));
+
+    EXPECT_GT(r.mppEnergyWh, 50.0);
+    EXPECT_LT(r.mppEnergyWh, 1200.0);
+    EXPECT_GE(r.utilization, 0.4) << solar::siteName(site);
+    EXPECT_LE(r.utilization, 1.0);
+    EXPECT_GE(r.effectiveFraction, 0.5);
+    EXPECT_LE(r.effectiveFraction, 1.0);
+    EXPECT_GT(r.avgTrackingError, 0.0);
+    EXPECT_LT(r.avgTrackingError, 0.35);
+    EXPECT_GT(r.solarInstructions, 1e12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSiteMonths, SiteMonthPipeline,
+    ::testing::Combine(::testing::Values(solar::SiteId::AZ, solar::SiteId::CO,
+                                         solar::SiteId::NC,
+                                         solar::SiteId::TN),
+                       ::testing::Values(solar::Month::Jan, solar::Month::Apr,
+                                         solar::Month::Jul,
+                                         solar::Month::Oct)));
+
+TEST(Headline, AverageUtilizationNearPaper)
+{
+    // Paper abstract: ~82% average green-energy utilization. Average
+    // MPPT&Opt across the 16 site-months (one workload, one seed) and
+    // require the 75%..95% band.
+    const auto module = pv::buildBp3180n();
+    RunningStats util;
+    for (auto [site, month] : solar::allSiteMonths()) {
+        const auto trace = solar::generateDayTrace(site, month, 1);
+        const auto r =
+            core::simulateDay(module, trace, workload::WorkloadId::ML2,
+                              fastConfig(core::PolicyKind::MpptOpt));
+        util.add(r.utilization);
+    }
+    EXPECT_GT(util.mean(), 0.75);
+    EXPECT_LT(util.mean(), 0.95);
+}
+
+TEST(Headline, OptBeatsRoundRobinOnAverage)
+{
+    // Paper: +10.8% PTP vs round-robin on average. Require a positive
+    // gap on the heterogeneous mixes where the TPR heuristic can act.
+    const auto module = pv::buildBp3180n();
+    RunningStats ratio;
+    for (auto wl : {workload::WorkloadId::H2, workload::WorkloadId::M2,
+                    workload::WorkloadId::HM2, workload::WorkloadId::ML2}) {
+        const auto trace = solar::generateDayTrace(solar::SiteId::AZ,
+                                                   solar::Month::Apr, 1);
+        const auto opt = core::simulateDay(
+            module, trace, wl, fastConfig(core::PolicyKind::MpptOpt));
+        const auto rr = core::simulateDay(
+            module, trace, wl, fastConfig(core::PolicyKind::MpptRr));
+        ratio.add(opt.solarInstructions / rr.solarInstructions);
+    }
+    EXPECT_GT(ratio.mean(), 1.03);
+    EXPECT_LT(ratio.mean(), 1.35);
+}
+
+TEST(Headline, IcTrailsRoundRobin)
+{
+    // Paper: MPPT&IC ~0.82 vs MPPT&RR ~1.02 normalized PTP.
+    const auto module = pv::buildBp3180n();
+    const auto trace = solar::generateDayTrace(solar::SiteId::CO,
+                                               solar::Month::Jul, 1);
+    const auto rr = core::simulateDay(module, trace,
+                                      workload::WorkloadId::HM2,
+                                      fastConfig(core::PolicyKind::MpptRr));
+    const auto ic = core::simulateDay(module, trace,
+                                      workload::WorkloadId::HM2,
+                                      fastConfig(core::PolicyKind::MpptIc));
+    EXPECT_LT(ic.solarInstructions, 0.95 * rr.solarInstructions);
+}
+
+TEST(Headline, GustyMonthsTrackWorseThanCalmOnes)
+{
+    // Table 7's weather effect: cells with volatile skies err more.
+    // Aggregate the high-gust site-months (>= 0.75) against the calm
+    // ones (<= 0.30), several weather seeds each.
+    const auto module = pv::buildBp3180n();
+    RunningStats gusty;
+    RunningStats calm;
+    for (auto [site, month] : solar::allSiteMonths()) {
+        const auto &wx = solar::weatherParams(site, month);
+        RunningStats *bucket = nullptr;
+        if (wx.gustiness >= 0.75)
+            bucket = &gusty;
+        else if (wx.gustiness <= 0.30)
+            bucket = &calm;
+        if (!bucket)
+            continue;
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            auto cfg = fastConfig(core::PolicyKind::MpptOpt);
+            cfg.seed = seed;
+            bucket->add(core::simulateDay(
+                            module,
+                            solar::generateDayTrace(site, month, seed),
+                            workload::WorkloadId::M1, cfg)
+                            .avgTrackingError);
+        }
+    }
+    ASSERT_GT(gusty.count(), 0u);
+    ASSERT_GT(calm.count(), 0u);
+    EXPECT_GT(gusty.mean(), calm.mean());
+}
+
+TEST(Headline, HighEpiTracksWorseThanLowEpi)
+{
+    // Table 7 rows: H1 shows larger errors than L1 in nearly every
+    // cell (larger load-power ripple).
+    const auto module = pv::buildBp3180n();
+    RunningStats h1;
+    RunningStats l1;
+    for (auto month : solar::allMonths()) {
+        const auto trace =
+            solar::generateDayTrace(solar::SiteId::AZ, month, 1);
+        h1.add(core::simulateDay(module, trace, workload::WorkloadId::H1,
+                                 fastConfig(core::PolicyKind::MpptOpt))
+                   .avgTrackingError);
+        l1.add(core::simulateDay(module, trace, workload::WorkloadId::L1,
+                                 fastConfig(core::PolicyKind::MpptOpt))
+                   .avgTrackingError);
+    }
+    EXPECT_GT(h1.mean(), l1.mean());
+}
+
+TEST(Headline, UmbrellaHeaderExposesFullApi)
+{
+    // Compile-time integration: build every major object through the
+    // single public include.
+    const auto module = pv::buildBp3180n();
+    pv::PvArray array(module, 1, 1, pv::kStc);
+    const auto mpp = pv::findMpp(array);
+    EXPECT_NEAR(mpp.power, 180.0, 1.0);
+
+    power::DcDcConverter conv;
+    auto st = power::pinRailVoltage(array, conv, 12.0, 100.0);
+    EXPECT_TRUE(st.valid);
+
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workload::workloadSet(workload::WorkloadId::L2),
+                            1);
+    core::TprOptAdapter adapter;
+    core::SolarCoreController ctl(array, chip, adapter);
+    chip.gateAll();
+    EXPECT_TRUE(ctl.track().solarViable);
+}
+
+} // namespace
+} // namespace solarcore

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the DC/DC converter and the network operating-point
+ * solver (paper Section 2.3, Figure 5, Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/converter.hpp"
+#include "power/operating_point.hpp"
+#include "pv/bp3180n.hpp"
+#include "pv/mpp.hpp"
+
+namespace solarcore::power {
+namespace {
+
+pv::PvArray
+stdArray(double g = 1000.0, double t = 25.0)
+{
+    static const pv::PvModule module = pv::buildBp3180n();
+    return pv::PvArray(module, 1, 1, {g, t});
+}
+
+TEST(Converter, RatioClamping)
+{
+    DcDcConverter conv(0.5, 4.0);
+    conv.setRatio(10.0);
+    EXPECT_DOUBLE_EQ(conv.ratio(), 4.0);
+    conv.setRatio(0.1);
+    EXPECT_DOUBLE_EQ(conv.ratio(), 0.5);
+    conv.adjustRatio(0.25);
+    EXPECT_DOUBLE_EQ(conv.ratio(), 0.75);
+}
+
+TEST(Converter, TransferRelations)
+{
+    DcDcConverter conv;
+    conv.setRatio(3.0);
+    // Vin = k Vout; Iout = k Iin (lossless).
+    EXPECT_DOUBLE_EQ(conv.inputVoltage(12.0), 36.0);
+    EXPECT_DOUBLE_EQ(conv.outputCurrent(2.0), 6.0);
+}
+
+TEST(Converter, EfficiencyAppliedOnOutput)
+{
+    DcDcConverter conv(0.5, 8.0, 0.9);
+    conv.setRatio(2.0);
+    EXPECT_DOUBLE_EQ(conv.outputCurrent(1.0), 1.8);
+}
+
+TEST(Converter, PowerConservedWhenLossless)
+{
+    const auto array = stdArray();
+    DcDcConverter conv;
+    conv.setRatio(3.0);
+    const auto st = solveNetwork(array, conv, 2.0);
+    ASSERT_TRUE(st.valid);
+    EXPECT_NEAR(st.panelPower(), st.loadPower(), 1e-6);
+}
+
+TEST(OperatingPoint, LoadResistanceFormula)
+{
+    EXPECT_DOUBLE_EQ(loadResistance(12.0, 144.0), 1.0);
+    EXPECT_DOUBLE_EQ(loadResistance(12.0, 72.0), 2.0);
+}
+
+TEST(OperatingPoint, SolutionLiesOnBothCurves)
+{
+    const auto array = stdArray(800.0, 30.0);
+    DcDcConverter conv;
+    conv.setRatio(2.8);
+    const double r_load = 1.8;
+    const auto st = solveNetwork(array, conv, r_load);
+    ASSERT_TRUE(st.valid);
+    // Panel side on the I-V curve.
+    EXPECT_NEAR(st.panel.current, array.currentAt(st.panel.voltage), 1e-6);
+    // Rail side on the load line.
+    EXPECT_NEAR(st.load.current, st.load.voltage / r_load, 1e-9);
+    // Converter relations.
+    EXPECT_NEAR(st.panel.voltage, conv.inputVoltage(st.load.voltage), 1e-9);
+}
+
+TEST(OperatingPoint, DarkPanelHasNoSolution)
+{
+    const auto array = stdArray(0.0, 25.0);
+    DcDcConverter conv;
+    EXPECT_FALSE(solveNetwork(array, conv, 2.0).valid);
+    EXPECT_FALSE(pinRailVoltage(array, conv, 12.0, 50.0).valid);
+}
+
+TEST(OperatingPoint, HeavierLoadLowersRailVoltage)
+{
+    // Table 1: increasing the load (smaller R) moves the operating
+    // point and lowers the output voltage.
+    const auto array = stdArray();
+    DcDcConverter conv;
+    conv.setRatio(3.0);
+    const auto light = solveNetwork(array, conv, 4.0);
+    const auto heavy = solveNetwork(array, conv, 2.0);
+    ASSERT_TRUE(light.valid && heavy.valid);
+    EXPECT_LT(heavy.load.voltage, light.load.voltage);
+    EXPECT_GT(heavy.load.current, light.load.current);
+}
+
+TEST(PinRail, HoldsRailAtNominal)
+{
+    const auto array = stdArray(900.0, 35.0);
+    DcDcConverter conv;
+    const auto st = pinRailVoltage(array, conv, 12.0, 80.0);
+    ASSERT_TRUE(st.valid);
+    EXPECT_DOUBLE_EQ(st.load.voltage, 12.0);
+    EXPECT_NEAR(st.load.current, 80.0 / 12.0, 1e-9);
+    // The chosen panel point delivers exactly the demand.
+    EXPECT_NEAR(st.panelPower(), 80.0, 1e-6);
+}
+
+TEST(PinRail, SettlesOnStableBranch)
+{
+    const auto array = stdArray(900.0, 35.0);
+    DcDcConverter conv;
+    const auto mpp = pv::findMpp(array);
+    const auto st = pinRailVoltage(array, conv, 12.0, mpp.power * 0.6);
+    ASSERT_TRUE(st.valid);
+    EXPECT_GE(st.panel.voltage, mpp.voltage - 1e-6);
+}
+
+TEST(PinRail, RejectsDemandAboveMpp)
+{
+    const auto array = stdArray(500.0, 25.0);
+    DcDcConverter conv;
+    const double pmpp = pv::findMpp(array).power;
+    EXPECT_FALSE(pinRailVoltage(array, conv, 12.0, pmpp * 1.05).valid);
+    EXPECT_TRUE(pinRailVoltage(array, conv, 12.0, pmpp * 0.95).valid);
+}
+
+TEST(PinRail, UpdatesConverterRatio)
+{
+    const auto array = stdArray();
+    DcDcConverter conv;
+    const auto st = pinRailVoltage(array, conv, 12.0, 100.0);
+    ASSERT_TRUE(st.valid);
+    EXPECT_NEAR(conv.ratio(), st.panel.voltage / 12.0, 1e-9);
+}
+
+TEST(PinRail, DemandNearMppStillSolvable)
+{
+    const auto array = stdArray(700.0, 40.0);
+    DcDcConverter conv;
+    const double pmpp = pv::findMpp(array).power;
+    const auto st = pinRailVoltage(array, conv, 12.0, pmpp * 0.999);
+    EXPECT_TRUE(st.valid);
+}
+
+/** Efficiency sweep: demand is met at the rail, loss on the panel. */
+class EfficiencySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EfficiencySweep, PanelSuppliesDemandPlusLoss)
+{
+    const double eta = GetParam();
+    const auto array = stdArray();
+    DcDcConverter conv(0.5, 8.0, eta);
+    const double demand = 60.0;
+    const auto st = pinRailVoltage(array, conv, 12.0, demand);
+    ASSERT_TRUE(st.valid);
+    EXPECT_NEAR(st.panelPower(), demand / eta, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, EfficiencySweep,
+                         ::testing::Values(1.0, 0.97, 0.93, 0.85));
+
+} // namespace
+} // namespace solarcore::power

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the multi-rail PSU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/psu.hpp"
+
+namespace solarcore::power {
+namespace {
+
+TEST(Psu, PaperDefaultSplitsRails)
+{
+    auto psu = Psu::paperDefault();
+    ASSERT_EQ(psu.railCount(), 3);
+    EXPECT_EQ(psu.rail(0).source, PowerSource::Solar);
+    EXPECT_EQ(psu.rail(1).source, PowerSource::Grid);
+    EXPECT_EQ(psu.rail(0).name, "12V-CPU");
+}
+
+TEST(Psu, DrawSplitsBySource)
+{
+    auto psu = Psu::paperDefault();
+    psu.setLoad(0, 80.0);  // CPU on solar
+    psu.setLoad(1, 40.0);  // peripherals on grid
+    psu.setLoad(2, 10.0);  // logic on grid
+    EXPECT_DOUBLE_EQ(psu.drawFrom(PowerSource::Solar), 80.0);
+    EXPECT_DOUBLE_EQ(psu.drawFrom(PowerSource::Grid), 50.0);
+    EXPECT_DOUBLE_EQ(psu.totalLoad(), 130.0);
+}
+
+TEST(Psu, AtsFailoverMovesCpuRail)
+{
+    auto psu = Psu::paperDefault();
+    psu.setLoad(0, 80.0);
+    psu.setSource(0, PowerSource::Grid); // clouds: ATS to utility
+    EXPECT_DOUBLE_EQ(psu.drawFrom(PowerSource::Solar), 0.0);
+    EXPECT_DOUBLE_EQ(psu.drawFrom(PowerSource::Grid), 80.0);
+}
+
+TEST(Psu, EnergyLedgersAccumulate)
+{
+    auto psu = Psu::paperDefault();
+    psu.setLoad(0, 100.0);
+    psu.setLoad(1, 50.0);
+    psu.accountEnergy(3600.0);
+    EXPECT_DOUBLE_EQ(psu.solarWh(), 100.0);
+    EXPECT_DOUBLE_EQ(psu.gridWh(), 50.0);
+    psu.setSource(0, PowerSource::Grid);
+    psu.accountEnergy(1800.0);
+    EXPECT_DOUBLE_EQ(psu.solarWh(), 100.0);
+    EXPECT_DOUBLE_EQ(psu.gridWh(), 125.0);
+}
+
+TEST(Psu, OverloadIsFatal)
+{
+    auto psu = Psu::paperDefault();
+    EXPECT_DEATH(psu.setLoad(0, 1000.0), "rating");
+}
+
+TEST(Psu, CustomRails)
+{
+    Psu psu;
+    const int idx = psu.addRail({"3.3V", 3.3, PowerSource::Grid, 0.0,
+                                 20.0});
+    EXPECT_EQ(idx, 0);
+    psu.setLoad(idx, 15.0);
+    EXPECT_DOUBLE_EQ(psu.rail(idx).loadW, 15.0);
+}
+
+} // namespace
+} // namespace solarcore::power

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the finite-capacity UPS ride-through model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/ups.hpp"
+
+namespace solarcore::power {
+namespace {
+
+TEST(Ups, StartsFull)
+{
+    Ups ups(5.0, 250.0, 20.0);
+    EXPECT_DOUBLE_EQ(ups.storedWh(), 5.0);
+    EXPECT_EQ(ups.brownouts(), 0);
+}
+
+TEST(Ups, BridgesShortTransfer)
+{
+    Ups ups(5.0, 250.0, 20.0);
+    // 100 W for 30 s = 0.83 Wh, well within the reservoir.
+    EXPECT_TRUE(ups.bridge(100.0, 30.0));
+    EXPECT_NEAR(ups.storedWh(), 5.0 - 100.0 * 30.0 / 3600.0, 1e-12);
+    EXPECT_NEAR(ups.deliveredWh(), 100.0 * 30.0 / 3600.0, 1e-12);
+}
+
+TEST(Ups, BrownoutOnOverPowerLoad)
+{
+    Ups ups(5.0, 250.0, 20.0);
+    EXPECT_FALSE(ups.bridge(300.0, 1.0));
+    EXPECT_EQ(ups.brownouts(), 1);
+    EXPECT_DOUBLE_EQ(ups.storedWh(), 5.0); // nothing delivered
+}
+
+TEST(Ups, BrownoutOnExhaustedReservoir)
+{
+    Ups ups(1.0, 250.0, 20.0);
+    // 200 W for 60 s needs 3.33 Wh > 1 Wh stored.
+    EXPECT_FALSE(ups.bridge(200.0, 60.0));
+    EXPECT_EQ(ups.brownouts(), 1);
+    EXPECT_DOUBLE_EQ(ups.storedWh(), 0.0);
+    EXPECT_DOUBLE_EQ(ups.deliveredWh(), 1.0);
+}
+
+TEST(Ups, RechargeRefillsToCapacity)
+{
+    Ups ups(2.0, 250.0, 60.0);
+    ASSERT_TRUE(ups.bridge(120.0, 30.0)); // use 1 Wh
+    ups.recharge(30.0);                   // +0.5 Wh
+    EXPECT_NEAR(ups.storedWh(), 1.5, 1e-12);
+    ups.recharge(3600.0); // far more than needed: clamps at capacity
+    EXPECT_DOUBLE_EQ(ups.storedWh(), 2.0);
+}
+
+TEST(Ups, HoldupTimeMatchesEnergyBudget)
+{
+    Ups ups(5.0, 250.0, 20.0);
+    // 5 Wh at 100 W = 180 s.
+    EXPECT_NEAR(ups.holdupSeconds(100.0), 180.0, 1e-9);
+    EXPECT_DOUBLE_EQ(ups.holdupSeconds(300.0), 0.0);
+    EXPECT_GT(ups.holdupSeconds(0.0), 3600.0);
+}
+
+TEST(Ups, TypicalSolarCoreDayWithinRating)
+{
+    // A paper-scale day sees ~10 transfers bridged for ~2 s each at
+    // chip power: a small 5 Wh UPS must carry that comfortably.
+    Ups ups(5.0, 250.0, 20.0);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(ups.bridge(150.0, 2.0));
+        ups.recharge(600.0);
+    }
+    EXPECT_EQ(ups.brownouts(), 0);
+}
+
+} // namespace
+} // namespace solarcore::power

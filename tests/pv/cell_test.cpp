@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for the single-diode PV cell model,
+ * covering the physics claims of paper Section 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pv/cell.hpp"
+
+namespace solarcore::pv {
+namespace {
+
+CellParams
+referenceCell()
+{
+    CellParams p;
+    p.iscRef = 5.4;
+    p.vocRef = 44.2 / 72.0;
+    p.seriesRes = 0.005;
+    return p;
+}
+
+TEST(SolarCell, CalibrationMatchesDatasheetAtStc)
+{
+    const SolarCell cell(referenceCell());
+    // Isc at STC: Rs shifts it infinitesimally below iscRef.
+    EXPECT_NEAR(cell.shortCircuitCurrent(kStc), 5.4, 0.01);
+    // Voc at STC is matched exactly by construction.
+    EXPECT_NEAR(cell.openCircuitVoltage(kStc), 44.2 / 72.0, 1e-9);
+}
+
+TEST(SolarCell, CurrentMonotoneDecreasingInVoltage)
+{
+    const SolarCell cell(referenceCell());
+    double prev = cell.currentAt(0.0, kStc);
+    for (double v = 0.02; v <= cell.openCircuitVoltage(kStc); v += 0.02) {
+        const double i = cell.currentAt(v, kStc);
+        ASSERT_LT(i, prev) << "at v=" << v;
+        prev = i;
+    }
+}
+
+TEST(SolarCell, PhotocurrentProportionalToIrradiance)
+{
+    const SolarCell cell(referenceCell());
+    const double i1000 = cell.photoCurrent({1000.0, 25.0});
+    const double i500 = cell.photoCurrent({500.0, 25.0});
+    EXPECT_NEAR(i500, 0.5 * i1000, 1e-12);
+}
+
+TEST(SolarCell, HigherIrradianceRaisesVocLogarithmically)
+{
+    const SolarCell cell(referenceCell());
+    const double voc_400 = cell.openCircuitVoltage({400.0, 25.0});
+    const double voc_1000 = cell.openCircuitVoltage({1000.0, 25.0});
+    EXPECT_GT(voc_1000, voc_400);
+    // Logarithmic: the gain is small relative to the irradiance ratio.
+    EXPECT_LT(voc_1000 / voc_400, 1.15);
+}
+
+TEST(SolarCell, HigherTemperatureLowersVocAndRaisesIsc)
+{
+    // Paper Section 3: "when the environment temperature rises, the open
+    // circuit voltage is reduced and the short circuit current increases".
+    const SolarCell cell(referenceCell());
+    const double voc_cold = cell.openCircuitVoltage({1000.0, 0.0});
+    const double voc_hot = cell.openCircuitVoltage({1000.0, 75.0});
+    EXPECT_GT(voc_cold, voc_hot);
+
+    const double isc_cold = cell.shortCircuitCurrent({1000.0, 0.0});
+    const double isc_hot = cell.shortCircuitCurrent({1000.0, 75.0});
+    EXPECT_LT(isc_cold, isc_hot);
+}
+
+TEST(SolarCell, DarkCellBehavesLikeDiode)
+{
+    const SolarCell cell(referenceCell());
+    const Environment dark{0.0, 25.0};
+    // Dark forward bias draws (negative) diode current.
+    EXPECT_LT(cell.currentAt(0.5, dark), 0.0);
+    // Dark at zero bias carries no current.
+    EXPECT_NEAR(cell.currentAt(0.0, dark), 0.0, 1e-15);
+    EXPECT_DOUBLE_EQ(cell.openCircuitVoltage(dark), 0.0);
+}
+
+TEST(SolarCell, ReverseOfVocGivesZeroCurrent)
+{
+    const SolarCell cell(referenceCell());
+    const double voc = cell.openCircuitVoltage(kStc);
+    EXPECT_NEAR(cell.currentAt(voc, kStc), 0.0, 1e-6);
+}
+
+TEST(SolarCell, SeriesResistanceReducesMidCurveCurrent)
+{
+    CellParams ideal = referenceCell();
+    ideal.seriesRes = 0.0;
+    CellParams lossy = referenceCell();
+    lossy.seriesRes = 0.01;
+
+    const SolarCell a(ideal);
+    const SolarCell b(lossy);
+    const double v = 0.5; // mid-curve, near the knee
+    EXPECT_GT(a.currentAt(v, kStc), b.currentAt(v, kStc));
+}
+
+TEST(SolarCell, ThermalVoltageScalesWithTemperature)
+{
+    const SolarCell cell(referenceCell());
+    const double vt25 = cell.thermalVoltage(25.0);
+    const double vt75 = cell.thermalVoltage(75.0);
+    EXPECT_NEAR(vt75 / vt25, kelvin(75.0) / kelvin(25.0), 1e-12);
+}
+
+/** Property sweep over a grid of conditions: physical sanity bounds. */
+class CellConditionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(CellConditionSweep, PhysicalBounds)
+{
+    const auto [g, t] = GetParam();
+    const SolarCell cell(referenceCell());
+    const Environment env{g, t};
+
+    const double isc = cell.shortCircuitCurrent(env);
+    const double voc = cell.openCircuitVoltage(env);
+    EXPECT_GE(isc, 0.0);
+    EXPECT_GE(voc, 0.0);
+    EXPECT_LT(isc, 10.0);
+    EXPECT_LT(voc, 1.0);
+
+    // Current anywhere on [0, Voc] is within [0, Isc].
+    for (double frac : {0.25, 0.5, 0.75}) {
+        const double i = cell.currentAt(frac * voc, env);
+        EXPECT_LE(i, isc + 1e-9);
+        EXPECT_GE(i, -1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CellConditionSweep,
+    ::testing::Combine(::testing::Values(100.0, 400.0, 700.0, 1000.0),
+                       ::testing::Values(0.0, 25.0, 50.0, 75.0)));
+
+} // namespace
+} // namespace solarcore::pv

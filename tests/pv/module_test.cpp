@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for PV module/array scaling and the BP3180N calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pv/bp3180n.hpp"
+#include "pv/module.hpp"
+#include "pv/mpp.hpp"
+
+namespace solarcore::pv {
+namespace {
+
+TEST(PvModule, SeriesScalesVoltageParallelScalesCurrent)
+{
+    const auto sheet = bp3180nDatasheet();
+    const PvModule mod = buildCalibratedModule(sheet);
+
+    EXPECT_NEAR(mod.openCircuitVoltage(kStc), sheet.vocStc, 1e-6);
+    EXPECT_NEAR(mod.shortCircuitCurrent(kStc), sheet.iscStc, 0.02);
+}
+
+TEST(PvModule, Bp3180nCalibrationHitsRatedPower)
+{
+    const PvModule mod = buildBp3180n();
+    const PvArray array(mod, 1, 1, kStc);
+    const auto mpp = findMpp(array);
+    EXPECT_NEAR(mpp.power, 180.0, 0.05);
+    // MPP voltage/current land near the datasheet operating point.
+    EXPECT_NEAR(mpp.voltage, 35.8, 2.0);
+    EXPECT_NEAR(mpp.current, 5.03, 0.3);
+}
+
+TEST(PvModule, BlockingDiodePreventsReverseCurrent)
+{
+    const PvModule mod = buildBp3180n();
+    const double voc = mod.openCircuitVoltage(kStc);
+    EXPECT_DOUBLE_EQ(mod.currentAt(voc * 1.2, kStc), 0.0);
+}
+
+TEST(PvModule, CellTempFollowsNoctRelation)
+{
+    const PvModule mod = buildBp3180n();
+    // At 800 W/m^2 and 20 C ambient the cell sits at NOCT.
+    EXPECT_NEAR(mod.cellTempFromAmbient(20.0, 800.0), 47.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mod.cellTempFromAmbient(20.0, 0.0), 20.0);
+    // Negative irradiance (sensor noise) never cools the cell.
+    EXPECT_DOUBLE_EQ(mod.cellTempFromAmbient(20.0, -50.0), 20.0);
+}
+
+TEST(PvArray, SeriesParallelComposition)
+{
+    const PvModule mod = buildBp3180n();
+    const PvArray single(mod, 1, 1, kStc);
+    const PvArray grid(mod, 2, 3, kStc);
+
+    EXPECT_NEAR(grid.openCircuitVoltage(),
+                2.0 * single.openCircuitVoltage(), 1e-9);
+    EXPECT_NEAR(grid.shortCircuitCurrent(),
+                3.0 * single.shortCircuitCurrent(), 1e-9);
+
+    const auto mpp1 = findMpp(single);
+    const auto mpp6 = findMpp(grid);
+    EXPECT_NEAR(mpp6.power, 6.0 * mpp1.power, 0.1);
+}
+
+TEST(PvArray, EnvironmentRebindChangesOutput)
+{
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, kStc);
+    const double p_full = findMpp(array).power;
+
+    array.setEnvironment({400.0, 25.0});
+    const double p_dim = findMpp(array).power;
+    EXPECT_LT(p_dim, 0.5 * p_full);
+    EXPECT_GT(p_dim, 0.2 * p_full);
+}
+
+TEST(Mpp, PowerRisesWithIrradiance)
+{
+    // Paper Figure 6: MPPs move upward with G.
+    const PvModule mod = buildBp3180n();
+    double prev = 0.0;
+    for (double g : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+        PvArray array(mod, 1, 1, {g, 25.0});
+        const double p = findMpp(array).power;
+        ASSERT_GT(p, prev) << "at G=" << g;
+        prev = p;
+    }
+}
+
+TEST(Mpp, PowerFallsWithTemperature)
+{
+    // Paper Figure 7: higher temperature shifts MPP left and reduces P.
+    const PvModule mod = buildBp3180n();
+    double prev_p = 1e9;
+    double prev_v = 1e9;
+    for (double t : {0.0, 25.0, 50.0, 75.0}) {
+        PvArray array(mod, 1, 1, {1000.0, t});
+        const auto mpp = findMpp(array);
+        ASSERT_LT(mpp.power, prev_p) << "at T=" << t;
+        ASSERT_LT(mpp.voltage, prev_v) << "at T=" << t;
+        prev_p = mpp.power;
+        prev_v = mpp.voltage;
+    }
+}
+
+TEST(Mpp, DarkArrayHasZeroMpp)
+{
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, {0.0, 25.0});
+    const auto mpp = findMpp(array);
+    EXPECT_DOUBLE_EQ(mpp.power, 0.0);
+}
+
+TEST(Mpp, SampledCurveBracketsMppPower)
+{
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, kStc);
+    const auto mpp = findMpp(array);
+    const auto curve = sampleIvCurve(array, 200);
+
+    double best = 0.0;
+    for (const auto &s : curve)
+        best = std::max(best, s.power);
+    EXPECT_LE(best, mpp.power + 1e-6);
+    EXPECT_GT(best, 0.99 * mpp.power);
+    EXPECT_EQ(curve.size(), 200u);
+    // Endpoints: V=0 carries Isc, V=Voc carries ~no current.
+    EXPECT_NEAR(curve.front().voltage, 0.0, 1e-12);
+    EXPECT_NEAR(curve.back().current, 0.0, 1e-5);
+}
+
+TEST(Mpp, ResistiveOperatingPointOnCurve)
+{
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, kStc);
+    const auto op = resistiveOperatingPoint(array, 7.0);
+    EXPECT_NEAR(op.current, op.voltage / 7.0, 1e-6);
+    EXPECT_NEAR(op.current, array.currentAt(op.voltage), 1e-6);
+    EXPECT_GT(op.power(), 0.0);
+}
+
+TEST(Mpp, MatchedResistiveLoadNearMpp)
+{
+    // A resistance chosen as Vmpp/Impp places the panel at the MPP.
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, kStc);
+    const auto mpp = findMpp(array);
+    const auto op = resistiveOperatingPoint(array, mpp.voltage / mpp.current);
+    EXPECT_NEAR(op.power(), mpp.power, 0.01);
+}
+
+/**
+ * Paper Figure 1's premise: a load matched at 1000 W/m^2 wastes more
+ * than half the available energy at 400 W/m^2.
+ */
+TEST(Mpp, FixedLoadLosesPowerAtLowIrradiance)
+{
+    const PvModule mod = buildBp3180n();
+    PvArray array(mod, 1, 1, kStc);
+    const auto mpp_stc = findMpp(array);
+    const double r_matched = mpp_stc.voltage / mpp_stc.current;
+
+    array.setEnvironment({400.0, 25.0});
+    const auto op = resistiveOperatingPoint(array, r_matched);
+    const auto mpp_dim = findMpp(array);
+    const double utilization = op.power() / mpp_dim.power;
+    EXPECT_LT(utilization, 0.5);
+}
+
+} // namespace
+} // namespace solarcore::pv

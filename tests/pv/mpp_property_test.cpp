@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Property sweep of the MPP across the full environmental grid: the
+ * physical regularities every (G, T) condition must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/operating_point.hpp"
+#include "pv/bp3180n.hpp"
+#include "pv/mpp.hpp"
+
+namespace solarcore::pv {
+namespace {
+
+class MppGridSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+  protected:
+    static const PvModule &
+    module()
+    {
+        static const PvModule m = buildBp3180n();
+        return m;
+    }
+};
+
+TEST_P(MppGridSweep, MppLiesOnTheKnee)
+{
+    const auto [g, t] = GetParam();
+    PvArray array(module(), 1, 1, {g, t});
+    const auto mpp = findMpp(array);
+    const double voc = array.openCircuitVoltage();
+    const double isc = array.shortCircuitCurrent();
+
+    // Silicon fill-factor regularities: Vmpp sits at 70..90% of Voc,
+    // Impp at 85..99% of Isc, and the fill factor in 0.65..0.85.
+    EXPECT_GT(mpp.voltage, 0.70 * voc);
+    EXPECT_LT(mpp.voltage, 0.92 * voc);
+    EXPECT_GT(mpp.current, 0.85 * isc);
+    EXPECT_LE(mpp.current, isc + 1e-9);
+    const double ff = mpp.power / (voc * isc);
+    EXPECT_GT(ff, 0.65);
+    EXPECT_LT(ff, 0.85);
+}
+
+TEST_P(MppGridSweep, MppIsAStationaryPoint)
+{
+    const auto [g, t] = GetParam();
+    PvArray array(module(), 1, 1, {g, t});
+    const auto mpp = findMpp(array);
+    // Power at +-0.5% voltage offsets must not exceed the MPP.
+    for (double eps : {-0.005, 0.005}) {
+        const double v = mpp.voltage * (1.0 + eps);
+        EXPECT_LE(v * array.currentAt(v), mpp.power + 1e-9)
+            << "G=" << g << " T=" << t << " eps=" << eps;
+    }
+}
+
+TEST_P(MppGridSweep, PinRailConsistentWithMpp)
+{
+    const auto [g, t] = GetParam();
+    PvArray array(module(), 1, 1, {g, t});
+    const auto mpp = findMpp(array);
+    power::DcDcConverter conv;
+    // Demand just under the MPP must be satisfiable, just over must
+    // not.
+    EXPECT_TRUE(
+        power::pinRailVoltage(array, conv, 12.0, 0.98 * mpp.power).valid);
+    EXPECT_FALSE(
+        power::pinRailVoltage(array, conv, 12.0, 1.02 * mpp.power).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MppGridSweep,
+    ::testing::Combine(::testing::Values(200.0, 500.0, 800.0, 1100.0),
+                       ::testing::Values(-5.0, 20.0, 45.0, 70.0)));
+
+} // namespace
+} // namespace solarcore::pv

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the partial-shading extension: bypass-diode strings,
+ * multi-peak P-V curves and the global MPP search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pv/bp3180n.hpp"
+#include "pv/shading.hpp"
+
+namespace solarcore::pv {
+namespace {
+
+PvModule
+mod()
+{
+    static const PvModule m = buildBp3180n();
+    return m;
+}
+
+TEST(ShadedString, UniformStringMatchesSeriesArray)
+{
+    const Environment env{800.0, 30.0};
+    ShadedString string(mod(), {env, env, env});
+    const PvArray array(mod(), 3, 1, env);
+
+    EXPECT_NEAR(string.openCircuitVoltage(), array.openCircuitVoltage(),
+                0.05);
+    const auto s_mpp = findGlobalMpp(string);
+    const auto a_mpp = findMpp(array);
+    EXPECT_NEAR(s_mpp.power, a_mpp.power, 0.5);
+}
+
+TEST(ShadedString, VoltageMonotoneInCurrent)
+{
+    ShadedString string(mod(), {{1000.0, 25.0}, {400.0, 25.0}});
+    double prev = 1e9;
+    for (double i = 0.0; i <= string.maxShortCircuitCurrent();
+         i += 0.25) {
+        const double v = string.voltageAt(i);
+        ASSERT_LE(v, prev + 1e-9) << "i=" << i;
+        prev = v;
+    }
+}
+
+TEST(ShadedString, BypassDiodeCarriesExcessCurrent)
+{
+    // At a current above the shaded module's Isc, the shaded position
+    // must contribute exactly minus the diode drop.
+    ShadedString string(mod(), {{1000.0, 25.0}, {200.0, 25.0}}, 0.5);
+    const double shaded_isc =
+        mod().shortCircuitCurrent({200.0, 25.0});
+    const double v = string.voltageAt(shaded_isc + 1.0);
+    const Environment full{1000.0, 25.0};
+    // Full module voltage at that current, minus one diode drop.
+    PvArray single(mod(), 1, 1, full);
+    // The full module carries the current at some positive voltage.
+    EXPECT_LT(v, single.openCircuitVoltage());
+    ShadedString full_only(mod(), {full});
+    EXPECT_NEAR(v, full_only.voltageAt(shaded_isc + 1.0) - 0.5, 1e-6);
+}
+
+TEST(ShadedString, PartialShadeCreatesTwoMaxima)
+{
+    ShadedString string(mod(), {{1000.0, 25.0}, {1000.0, 25.0},
+                                {300.0, 25.0}});
+    const auto maxima = findLocalMaxima(string);
+    EXPECT_GE(maxima.size(), 2u);
+}
+
+TEST(ShadedString, GlobalMppBeatsOrMatchesEveryLocalMax)
+{
+    ShadedString string(mod(), {{1000.0, 25.0}, {600.0, 25.0},
+                                {250.0, 25.0}});
+    const auto global = findGlobalMpp(string);
+    for (const auto &m : findLocalMaxima(string))
+        EXPECT_GE(global.power, m.power - 1e-6);
+    EXPECT_GT(global.power, 0.0);
+}
+
+TEST(ShadedString, UnimodalGoldenSearchCanMissGlobalPeak)
+{
+    // The motivating failure: for a two-hill curve, plain golden
+    // section (which assumes unimodality) may converge to the lower
+    // hill; the global search must never be worse.
+    ShadedString string(mod(), {{1000.0, 25.0}, {1000.0, 25.0},
+                                {250.0, 25.0}});
+    const auto unimodal = findMpp(string);
+    const auto global = findGlobalMpp(string);
+    EXPECT_GE(global.power, unimodal.power - 1e-6);
+}
+
+TEST(ShadedString, ShadeOneOfThreeLosesAboutOneThirdNotAll)
+{
+    // Bypass diodes confine the loss to roughly the shaded module.
+    const Environment sun{1000.0, 25.0};
+    ShadedString clear(mod(), {sun, sun, sun});
+    ShadedString shaded(mod(), {sun, sun, {100.0, 25.0}});
+    const double p_clear = findGlobalMpp(clear).power;
+    const double p_shaded = findGlobalMpp(shaded).power;
+    EXPECT_LT(p_shaded, p_clear);
+    EXPECT_GT(p_shaded, 0.55 * p_clear); // far better than total loss
+}
+
+TEST(ShadedString, MovingShadowViaSetEnvironment)
+{
+    const Environment sun{1000.0, 25.0};
+    ShadedString string(mod(), {sun, sun, sun});
+    const double before = findGlobalMpp(string).power;
+    string.setEnvironment(1, {300.0, 25.0});
+    const double during = findGlobalMpp(string).power;
+    string.setEnvironment(1, sun);
+    const double after = findGlobalMpp(string).power;
+    EXPECT_LT(during, before);
+    EXPECT_NEAR(after, before, 1e-6);
+}
+
+TEST(GlobalMpp, AgreesWithFindMppOnUnimodalSource)
+{
+    PvArray array(mod(), 1, 1, {850.0, 40.0});
+    const auto a = findMpp(array);
+    const auto b = findGlobalMpp(array);
+    EXPECT_NEAR(a.power, b.power, 0.05);
+    EXPECT_NEAR(a.voltage, b.voltage, 0.3);
+}
+
+TEST(GlobalMpp, DarkStringYieldsZero)
+{
+    ShadedString string(mod(), {{0.0, 25.0}, {0.0, 25.0}});
+    EXPECT_DOUBLE_EQ(findGlobalMpp(string).power, 0.0);
+    EXPECT_TRUE(findLocalMaxima(string).empty());
+}
+
+} // namespace
+} // namespace solarcore::pv

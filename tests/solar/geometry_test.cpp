@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for solar position geometry and the clear-sky model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solar/clearsky.hpp"
+#include "solar/geometry.hpp"
+
+namespace solarcore::solar {
+namespace {
+
+TEST(Geometry, DayOfYearAnchors)
+{
+    EXPECT_EQ(dayOfYear(1, 1), 1);
+    EXPECT_EQ(dayOfYear(1, 15), 15);
+    EXPECT_EQ(dayOfYear(4, 15), 105);
+    EXPECT_EQ(dayOfYear(7, 15), 196);
+    EXPECT_EQ(dayOfYear(10, 15), 288);
+    EXPECT_EQ(dayOfYear(12, 31), 365);
+}
+
+TEST(Geometry, DeclinationExtremes)
+{
+    // Summer solstice (~Jun 21, N=172): +23.45 deg.
+    EXPECT_NEAR(degrees(declination(172)), 23.45, 0.1);
+    // Winter solstice (~Dec 21, N=355): -23.45 deg.
+    EXPECT_NEAR(degrees(declination(355)), -23.45, 0.1);
+    // Equinoxes: near zero.
+    EXPECT_NEAR(degrees(declination(81)), 0.0, 1.0);
+    EXPECT_NEAR(degrees(declination(265)), 0.0, 1.0);
+}
+
+TEST(Geometry, HourAngleZeroAtNoon)
+{
+    EXPECT_DOUBLE_EQ(hourAngle(12.0), 0.0);
+    EXPECT_NEAR(degrees(hourAngle(13.0)), 15.0, 1e-9);
+    EXPECT_NEAR(degrees(hourAngle(6.0)), -90.0, 1e-9);
+}
+
+TEST(Geometry, ElevationPeaksAtNoon)
+{
+    const double lat = 35.0;
+    const int doy = 172;
+    const double e9 = sinElevation(lat, doy, 9.0);
+    const double e12 = sinElevation(lat, doy, 12.0);
+    const double e15 = sinElevation(lat, doy, 15.0);
+    EXPECT_GT(e12, e9);
+    EXPECT_GT(e12, e15);
+}
+
+TEST(Geometry, NoonElevationMatchesAnalytic)
+{
+    // At solar noon, elevation = 90 - |lat - decl|.
+    const double lat = 33.45;
+    const int doy = 196;
+    const double expected =
+        std::sin(radians(90.0 - std::abs(lat - degrees(declination(doy)))));
+    EXPECT_NEAR(sinElevation(lat, doy, 12.0), expected, 1e-9);
+}
+
+TEST(Geometry, SunBelowHorizonAtMidnight)
+{
+    EXPECT_LT(sinElevation(35.0, 172, 0.0), 0.0);
+}
+
+TEST(Geometry, SummerDaysLongerThanWinter)
+{
+    const double lat = 39.74;
+    EXPECT_GT(daylightHours(lat, 172), 14.0);
+    EXPECT_LT(daylightHours(lat, 355), 10.0);
+    // Equinox day is ~12 h everywhere.
+    EXPECT_NEAR(daylightHours(lat, 81), 12.0, 0.3);
+}
+
+TEST(Geometry, SunriseSunsetSymmetricAroundNoon)
+{
+    const double lat = 33.45;
+    const int doy = dayOfYear(7, 15);
+    const double rise = sunriseHour(lat, doy);
+    const double set = sunsetHour(lat, doy);
+    EXPECT_NEAR(rise + set, 24.0, 1e-9);
+    EXPECT_LT(rise, 6.0);  // summer sunrise before 6 solar time
+    EXPECT_GT(set, 18.0);
+    EXPECT_NEAR(set - rise, daylightHours(lat, doy), 1e-9);
+}
+
+TEST(Geometry, WinterSunriseAfterSevenThirtyAtHighLatitude)
+{
+    // The CO station's January days start after the paper's 7:30
+    // window opens, which is why those mornings run on the grid.
+    const double rise = sunriseHour(39.74, dayOfYear(1, 15));
+    EXPECT_GT(rise, 7.0);
+}
+
+TEST(Geometry, PolarCases)
+{
+    // North pole in winter: no daylight. In summer: 24 h.
+    EXPECT_DOUBLE_EQ(daylightHours(89.9, 355), 0.0);
+    EXPECT_DOUBLE_EQ(daylightHours(89.9, 172), 24.0);
+}
+
+TEST(ClearSky, ZeroBelowHorizon)
+{
+    EXPECT_DOUBLE_EQ(clearSkyGhi(-0.1), 0.0);
+    EXPECT_DOUBLE_EQ(clearSkyGhi(0.0), 0.0);
+}
+
+TEST(ClearSky, OverheadSunNearSolarConstantFraction)
+{
+    // Haurwitz at cos(Z)=1: 1098 * exp(-0.057) ~ 1037 W/m^2.
+    EXPECT_NEAR(clearSkyGhi(1.0), 1037.0, 2.0);
+}
+
+TEST(ClearSky, MonotoneInElevation)
+{
+    double prev = 0.0;
+    for (double s = 0.05; s <= 1.0; s += 0.05) {
+        const double g = clearSkyGhi(s);
+        ASSERT_GT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(ClearSky, SiteFactorScalesLinearly)
+{
+    const double g1 = clearSkyGhi(0.8, 1.0);
+    const double g2 = clearSkyGhi(0.8, 0.9);
+    EXPECT_NEAR(g2, 0.9 * g1, 1e-9);
+}
+
+TEST(ClearSky, PhoenixSummerNoonPlausible)
+{
+    // Phoenix mid-July noon clear-sky GHI is ~1000 W/m^2.
+    const double g = clearSkyGhiAt(33.45, dayOfYear(7, 15), 12.0);
+    EXPECT_GT(g, 950.0);
+    EXPECT_LT(g, 1100.0);
+}
+
+} // namespace
+} // namespace solarcore::solar

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the weather model, site database and trace generation.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "solar/trace.hpp"
+#include "solar/weather.hpp"
+#include "util/stats.hpp"
+
+namespace solarcore::solar {
+namespace {
+
+TEST(Sites, TableTwoOrdering)
+{
+    // Paper Table 2: resource potential AZ > CO > NC > TN.
+    double prev = 1e9;
+    for (auto site : allSites()) {
+        const auto &info = siteInfo(site);
+        EXPECT_LT(info.paperKwhPerM2Day, prev);
+        prev = info.paperKwhPerM2Day;
+    }
+    EXPECT_EQ(siteInfo(SiteId::AZ).station, "PFCI");
+    EXPECT_EQ(siteInfo(SiteId::CO).station, "BMS");
+    EXPECT_EQ(siteInfo(SiteId::NC).station, "ECSU");
+    EXPECT_EQ(siteInfo(SiteId::TN).station, "ORNL");
+}
+
+TEST(Sites, WeatherMixesSumToOne)
+{
+    for (auto [site, month] : allSiteMonths()) {
+        const auto &wx = weatherParams(site, month);
+        EXPECT_NEAR(wx.clearFrac + wx.partlyFrac + wx.overcastFrac, 1.0,
+                    1e-9)
+            << siteName(site) << "-" << monthName(month);
+        EXPECT_GT(wx.tMaxC, wx.tMinC);
+        EXPECT_GE(wx.gustiness, 0.0);
+        EXPECT_LE(wx.gustiness, 1.0);
+    }
+}
+
+TEST(Sites, SiteMonthEnumerationComplete)
+{
+    const auto pairs = allSiteMonths();
+    EXPECT_EQ(pairs.size(), 16u);
+    EXPECT_EQ(pairs.front().first, SiteId::AZ);
+    EXPECT_EQ(pairs.back().first, SiteId::TN);
+}
+
+TEST(CloudModel, TransmittanceWithinBounds)
+{
+    CloudModel model(weatherParams(SiteId::NC, Month::Apr), Rng(5));
+    for (int i = 0; i < 5000; ++i) {
+        const double t = model.step(1.0);
+        ASSERT_GT(t, 0.0);
+        ASSERT_LE(t, 1.0);
+    }
+}
+
+TEST(CloudModel, ClearSiteBrighterThanCloudySite)
+{
+    CloudModel az(weatherParams(SiteId::AZ, Month::Jan), Rng(7));
+    CloudModel tn(weatherParams(SiteId::TN, Month::Jan), Rng(7));
+    RunningStats s_az;
+    RunningStats s_tn;
+    for (int i = 0; i < 20000; ++i) {
+        s_az.add(az.step(1.0));
+        s_tn.add(tn.step(1.0));
+    }
+    EXPECT_GT(s_az.mean(), s_tn.mean() + 0.1);
+}
+
+TEST(CloudModel, GustyMonthMoreVolatile)
+{
+    // NC April (gustiness 0.95) must fluctuate more than NC July (0.25).
+    CloudModel apr(weatherParams(SiteId::NC, Month::Apr), Rng(11));
+    CloudModel jul(weatherParams(SiteId::NC, Month::Jul), Rng(11));
+    RunningStats d_apr;
+    RunningStats d_jul;
+    double prev_a = apr.step(1.0);
+    double prev_j = jul.step(1.0);
+    for (int i = 0; i < 20000; ++i) {
+        const double a = apr.step(1.0);
+        const double j = jul.step(1.0);
+        d_apr.add(std::abs(a - prev_a));
+        d_jul.add(std::abs(j - prev_j));
+        prev_a = a;
+        prev_j = j;
+    }
+    EXPECT_GT(d_apr.mean(), 1.5 * d_jul.mean());
+}
+
+TEST(Trace, WindowAndShape)
+{
+    const auto trace = generateDayTrace(SiteId::AZ, Month::Jan, 1);
+    EXPECT_DOUBLE_EQ(trace.startMinute(), kDayStartMinute);
+    EXPECT_DOUBLE_EQ(trace.endMinute(), kDayEndMinute);
+    EXPECT_EQ(trace.size(), 601u);
+    for (const auto &p : trace.points()) {
+        ASSERT_GE(p.irradiance, 0.0);
+        ASSERT_LT(p.irradiance, 1250.0);
+        ASSERT_GT(p.ambientC, -30.0);
+        ASSERT_LT(p.ambientC, 55.0);
+    }
+}
+
+TEST(Trace, Deterministic)
+{
+    const auto a = generateDayTrace(SiteId::CO, Month::Apr, 99);
+    const auto b = generateDayTrace(SiteId::CO, Month::Apr, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_DOUBLE_EQ(a.point(i).irradiance, b.point(i).irradiance);
+        ASSERT_DOUBLE_EQ(a.point(i).ambientC, b.point(i).ambientC);
+    }
+}
+
+TEST(Trace, SeedChangesWeather)
+{
+    const auto a = generateDayTrace(SiteId::CO, Month::Apr, 1);
+    const auto b = generateDayTrace(SiteId::CO, Month::Apr, 2);
+    int diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff += a.point(i).irradiance != b.point(i).irradiance;
+    EXPECT_GT(diff, 100);
+}
+
+TEST(Trace, InsolationOrderingAcrossSites)
+{
+    // Averaged over the four evaluation months and several weather
+    // seeds, the daytime insolation must follow Table 2's ordering.
+    double avg[kNumSites] = {};
+    for (auto site : allSites()) {
+        RunningStats st;
+        for (auto month : allMonths())
+            for (std::uint64_t seed = 1; seed <= 5; ++seed)
+                st.add(generateDayTrace(site, month, seed)
+                           .insolationKwhPerM2());
+        avg[static_cast<int>(site)] = st.mean();
+    }
+    EXPECT_GT(avg[0], avg[1]); // AZ > CO
+    EXPECT_GT(avg[1], avg[2]); // CO > NC
+    EXPECT_GT(avg[2], avg[3]); // NC > TN
+}
+
+TEST(Trace, SummerBeatsWinter)
+{
+    RunningStats jul;
+    RunningStats jan;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        jul.add(generateDayTrace(SiteId::CO, Month::Jul, seed)
+                    .insolationKwhPerM2());
+        jan.add(generateDayTrace(SiteId::CO, Month::Jan, seed)
+                    .insolationKwhPerM2());
+    }
+    EXPECT_GT(jul.mean(), jan.mean());
+}
+
+TEST(Trace, InterpolationBetweenSamples)
+{
+    std::vector<TracePoint> pts = {
+        {450.0, 100.0, 10.0},
+        {451.0, 200.0, 12.0},
+    };
+    SolarTrace trace(std::move(pts), 1.0);
+    EXPECT_DOUBLE_EQ(trace.irradianceAt(450.5), 150.0);
+    EXPECT_DOUBLE_EQ(trace.ambientAt(450.5), 11.0);
+    // Clamped outside the record.
+    EXPECT_DOUBLE_EQ(trace.irradianceAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(trace.irradianceAt(9999.0), 200.0);
+}
+
+TEST(Trace, InsolationOfConstantTrace)
+{
+    // 600 minutes at 600 W/m^2 = 6 kWh/m^2.
+    std::vector<TracePoint> pts;
+    for (int i = 0; i <= 600; ++i)
+        pts.push_back({450.0 + i, 600.0, 20.0});
+    SolarTrace trace(std::move(pts), 1.0);
+    EXPECT_NEAR(trace.insolationKwhPerM2(), 6.0, 1e-9);
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    const auto trace = generateDayTrace(SiteId::NC, Month::Oct, 3);
+    std::stringstream ss;
+    trace.saveCsv(ss);
+    const auto loaded = SolarTrace::loadCsv(ss);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); i += 37) {
+        EXPECT_NEAR(loaded.point(i).irradiance, trace.point(i).irradiance,
+                    1e-6);
+    }
+}
+
+TEST(Trace, PeakIrradianceMatchesMax)
+{
+    const auto trace = generateDayTrace(SiteId::AZ, Month::Jul, 4);
+    double max_seen = 0.0;
+    for (const auto &p : trace.points())
+        max_seen = std::max(max_seen, p.irradiance);
+    EXPECT_DOUBLE_EQ(trace.peakIrradiance(), max_seen);
+    EXPECT_GT(max_seen, 400.0);
+}
+
+TEST(Trace, JanuaryAzRegularJulyAzIrregular)
+{
+    // Paper Figures 13/14: Jan@AZ is the regular pattern, Jul@AZ the
+    // irregular (monsoon) one. Count disturbed minutes (>10% relative
+    // irradiance change minute to minute) around midday, across seeds.
+    int jan_disturbed = 0;
+    int jul_disturbed = 0;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        for (auto [month, counter] :
+             {std::pair{Month::Jan, &jan_disturbed},
+              std::pair{Month::Jul, &jul_disturbed}}) {
+            const auto tr = generateDayTrace(SiteId::AZ, month, seed);
+            for (double m = 600.0; m < 900.0; m += 1.0) {
+                const double a = tr.irradianceAt(m);
+                const double b = tr.irradianceAt(m + 1.0);
+                if (a > 50.0 && std::abs(b - a) / a > 0.10)
+                    ++*counter;
+            }
+        }
+    }
+    EXPECT_GT(jul_disturbed, 2 * jan_disturbed);
+}
+
+using TraceDeathTest = ::testing::Test;
+
+TEST(TraceDeathTest, RejectsBadDt)
+{
+    EXPECT_DEATH(generateDayTrace(SiteId::AZ, Month::Jan, 1, 0.0),
+                 "dt out of range");
+    EXPECT_DEATH(generateDayTrace(SiteId::AZ, Month::Jan, 1, 60.0),
+                 "dt out of range");
+}
+
+TEST(TraceDeathTest, RejectsNonAscendingSamples)
+{
+    std::vector<TracePoint> pts = {{451.0, 1.0, 1.0}, {450.0, 1.0, 1.0}};
+    EXPECT_DEATH(SolarTrace(std::move(pts), 1.0), "ascending");
+}
+
+TEST(CustomTrace, MatchesWindowAndDeterminism)
+{
+    solar::WeatherParams wx;
+    wx.clearFrac = 0.7;
+    wx.partlyFrac = 0.2;
+    wx.overcastFrac = 0.1;
+    wx.gustiness = 0.4;
+    wx.tMinC = 5.0;
+    wx.tMaxC = 18.0;
+    const auto a = generateCustomTrace(48.1, 100, wx, 0.95, 7);
+    const auto b = generateCustomTrace(48.1, 100, wx, 0.95, 7);
+    EXPECT_EQ(a.size(), 601u);
+    EXPECT_DOUBLE_EQ(a.point(300).irradiance, b.point(300).irradiance);
+}
+
+TEST(CustomTrace, LatitudeChangesInsolation)
+{
+    solar::WeatherParams wx; // all defaults, calm sky
+    wx.gustiness = 0.1;
+    const auto equatorial = generateCustomTrace(10.0, 15, wx, 1.0, 3);
+    const auto northern = generateCustomTrace(60.0, 15, wx, 1.0, 3);
+    // Mid-January: the high-latitude site must collect far less.
+    EXPECT_GT(equatorial.insolationKwhPerM2(),
+              2.0 * northern.insolationKwhPerM2());
+}
+
+TEST(CustomTrace, OvercastSkyDimsEverything)
+{
+    solar::WeatherParams clear;
+    clear.clearFrac = 1.0;
+    clear.partlyFrac = 0.0;
+    clear.overcastFrac = 0.0;
+    clear.gustiness = 0.0;
+    solar::WeatherParams murk;
+    murk.clearFrac = 0.0;
+    murk.partlyFrac = 0.0;
+    murk.overcastFrac = 1.0;
+    murk.gustiness = 0.0;
+    const auto sunny = generateCustomTrace(35.0, 196, clear, 1.0, 5);
+    const auto gloomy = generateCustomTrace(35.0, 196, murk, 1.0, 5);
+    EXPECT_LT(gloomy.insolationKwhPerM2(),
+              0.4 * sunny.insolationKwhPerM2());
+}
+
+/** Parameterized determinism sweep across all site-months. */
+class TraceSiteMonthSweep
+    : public ::testing::TestWithParam<std::tuple<SiteId, Month>>
+{
+};
+
+TEST_P(TraceSiteMonthSweep, PlausibleDailyEnergy)
+{
+    const auto [site, month] = GetParam();
+    RunningStats st;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        st.add(generateDayTrace(site, month, seed).insolationKwhPerM2());
+    // Daytime-window insolation for the continental US falls between
+    // roughly 1 and 9 kWh/m^2 for any month.
+    EXPECT_GT(st.mean(), 0.8) << siteName(site) << monthName(month);
+    EXPECT_LT(st.mean(), 9.5) << siteName(site) << monthName(month);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSiteMonths, TraceSiteMonthSweep,
+    ::testing::Combine(::testing::Values(SiteId::AZ, SiteId::CO, SiteId::NC,
+                                         SiteId::TN),
+                       ::testing::Values(Month::Jan, Month::Apr, Month::Jul,
+                                         Month::Oct)));
+
+} // namespace
+} // namespace solarcore::solar

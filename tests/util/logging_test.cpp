@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace solarcore {
+namespace {
+
+TEST(Logging, ConcatFormatsMixedArguments)
+{
+    EXPECT_EQ(detail::concat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+    EXPECT_EQ(detail::concat("solo"), "solo");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    SC_WARN("test warning, ", 1);
+    SC_INFORM("test info");
+    SUCCEED();
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    SC_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(SC_PANIC("intentional panic: ", 7),
+                 "intentional panic: 7");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithError)
+{
+    EXPECT_EXIT(SC_FATAL("intentional fatal"),
+                ::testing::ExitedWithCode(1), "intentional fatal");
+}
+
+TEST(LoggingDeathTest, AssertFailureReportsCondition)
+{
+    EXPECT_DEATH(SC_ASSERT(false, "broken invariant"),
+                 "assertion failed");
+}
+
+} // namespace
+} // namespace solarcore

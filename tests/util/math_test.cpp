@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the scalar numerical routines in util/math.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+
+namespace solarcore {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot)
+{
+    auto f = [](double x) { return x * x - 2.0; };
+    const auto res = bisect(f, 0.0, 2.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, std::sqrt(2.0), 1e-8);
+}
+
+TEST(Bisect, HandlesRootAtEndpoint)
+{
+    auto f = [](double x) { return x - 1.0; };
+    const auto lo = bisect(f, 1.0, 2.0);
+    EXPECT_TRUE(lo.converged);
+    EXPECT_DOUBLE_EQ(lo.x, 1.0);
+
+    const auto hi = bisect(f, 0.0, 1.0);
+    EXPECT_TRUE(hi.converged);
+    EXPECT_DOUBLE_EQ(hi.x, 1.0);
+}
+
+TEST(Bisect, ReportsNoSignChange)
+{
+    auto f = [](double x) { return x * x + 1.0; };
+    const auto res = bisect(f, -1.0, 1.0);
+    EXPECT_FALSE(res.converged);
+}
+
+TEST(Bisect, DecreasingFunction)
+{
+    auto f = [](double x) { return 5.0 - x; };
+    const auto res = bisect(f, 0.0, 10.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, 5.0, 1e-7);
+}
+
+TEST(Newton, ConvergesQuadratically)
+{
+    auto f = [](double x) { return std::exp(x) - 3.0; };
+    auto df = [](double x) { return std::exp(x); };
+    const auto res = newton(f, df, 0.0, -5.0, 5.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, std::log(3.0), 1e-9);
+    EXPECT_LT(res.iterations, 20);
+}
+
+TEST(Newton, SurvivesEscapingSteps)
+{
+    // f has a nearly flat region that throws raw Newton far away.
+    auto f = [](double x) { return std::tanh(x - 2.0); };
+    auto df = [](double x) {
+        const double t = std::tanh(x - 2.0);
+        return 1.0 - t * t;
+    };
+    const auto res = newton(f, df, -10.0, -10.0, 10.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, 2.0, 1e-6);
+}
+
+TEST(GoldenMax, FindsParabolaPeak)
+{
+    auto f = [](double x) { return -(x - 1.5) * (x - 1.5) + 4.0; };
+    const auto res = goldenMax(f, -10.0, 10.0);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, 1.5, 1e-4);
+    EXPECT_NEAR(res.fx, 4.0, 1e-8);
+}
+
+TEST(GoldenMax, PeakAtBoundary)
+{
+    auto f = [](double x) { return x; };
+    const auto res = goldenMax(f, 0.0, 3.0);
+    EXPECT_NEAR(res.x, 3.0, 1e-4);
+}
+
+TEST(GoldenMax, DegenerateInterval)
+{
+    auto f = [](double x) { return -x * x; };
+    const auto res = goldenMax(f, 2.0, 2.0);
+    EXPECT_DOUBLE_EQ(res.x, 2.0);
+}
+
+TEST(Lerp, Endpoints)
+{
+    EXPECT_DOUBLE_EQ(lerp(1.0, 3.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(lerp(1.0, 3.0, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(lerp(1.0, 3.0, 0.5), 2.0);
+}
+
+TEST(Clamp, Behaviour)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ApproxEqual, RelativeScale)
+{
+    EXPECT_TRUE(approxEqual(1e12, 1e12 + 1.0, 1e-9));
+    EXPECT_FALSE(approxEqual(1.0, 1.1, 1e-9));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+/** Property sweep: bisection root matches analytic root of x^3 - c. */
+class CubeRootSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CubeRootSweep, MatchesAnalytic)
+{
+    const double c = GetParam();
+    auto f = [c](double x) { return x * x * x - c; };
+    const auto res = bisect(f, 0.0, 10.0, 1e-11);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x, std::cbrt(c), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Roots, CubeRootSweep,
+                         ::testing::Values(0.001, 0.5, 1.0, 8.0, 27.0, 729.0));
+
+} // namespace
+} // namespace solarcore

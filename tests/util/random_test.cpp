@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace solarcore {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    RunningStats st;
+    for (int i = 0; i < 100000; ++i)
+        st.add(rng.uniform());
+    EXPECT_NEAR(st.mean(), 0.5, 0.01);
+    EXPECT_NEAR(st.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively)
+{
+    Rng rng(13);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 8);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 8);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(19);
+    RunningStats st;
+    for (int i = 0; i < 200000; ++i)
+        st.add(rng.gaussian(2.0, 3.0));
+    EXPECT_NEAR(st.mean(), 2.0, 0.05);
+    EXPECT_NEAR(st.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.bernoulli(0.0));
+        ASSERT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkedStreamsIndependent)
+{
+    Rng parent(31);
+    Rng a = parent.fork(1);
+    Rng b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng p1(37);
+    Rng p2(37);
+    Rng a = p1.fork(99);
+    Rng b = p2.fork(99);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+} // namespace
+} // namespace solarcore

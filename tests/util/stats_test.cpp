@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for streaming statistics accumulators.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace solarcore {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats st;
+    EXPECT_EQ(st.count(), 0u);
+    EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(st.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats st;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        st.add(x);
+    EXPECT_EQ(st.count(), 8u);
+    EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+    EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(st.min(), 2.0);
+    EXPECT_DOUBLE_EQ(st.max(), 9.0);
+    EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero)
+{
+    RunningStats st;
+    st.add(3.0);
+    EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(st.min(), 3.0);
+    EXPECT_DOUBLE_EQ(st.max(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats whole;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i * 0.7) * 10.0 + i * 0.01;
+        whole.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(2.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+
+    RunningStats target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    GeometricMean gm;
+    gm.add(2.0);
+    gm.add(8.0);
+    EXPECT_NEAR(gm.value(), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, EmptyIsZero)
+{
+    GeometricMean gm;
+    EXPECT_DOUBLE_EQ(gm.value(), 0.0);
+}
+
+TEST(GeometricMean, FloorsNonPositiveSamples)
+{
+    GeometricMean gm(1e-3);
+    gm.add(0.0);   // clamped to 1e-3
+    gm.add(1e-3);
+    EXPECT_NEAR(gm.value(), 1e-3, 1e-15);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);  // clamps into bin 0
+    h.add(0.5);
+    h.add(3.0);
+    h.add(9.99);
+    h.add(42.0);  // clamps into last bin
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(4), 2u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+} // namespace
+} // namespace solarcore

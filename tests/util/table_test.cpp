@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the table/CSV rendering helpers.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace solarcore {
+namespace {
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+    EXPECT_EQ(TextTable::pct(0.823, 1), "82.3%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, AlignedPrint)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"bb", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Separator line present after the header.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"plain", "has,comma"});
+    t.row({"has\"quote", "x"});
+    std::ostringstream os;
+    t.printCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, ColumnCountFromWidestRow)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"1", "2", "3"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, EmptyTablePrintsNothing)
+{
+    TextTable t;
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
+} // namespace solarcore

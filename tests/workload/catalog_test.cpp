@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the benchmark catalog: EPI calibration and class bands
+ * (paper Table 5), phase construction, and the workload mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/chip.hpp"
+#include "workload/catalog.hpp"
+#include "workload/multiprogram.hpp"
+
+namespace solarcore::workload {
+namespace {
+
+TEST(Catalog, TwelveBenchmarks)
+{
+    const auto names = allBenchmarkNames();
+    EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Catalog, EpiClassesMatchPaperTable5)
+{
+    using cpu::EpiClass;
+    const char *high[] = {"art", "apsi", "bzip2", "gzip"};
+    const char *moderate[] = {"gcc", "mcf", "gap", "vpr"};
+    const char *low[] = {"mesa", "equake", "lucas", "swim"};
+    for (const char *n : high)
+        EXPECT_EQ(expectedClass(n), EpiClass::High) << n;
+    for (const char *n : moderate)
+        EXPECT_EQ(expectedClass(n), EpiClass::Moderate) << n;
+    for (const char *n : low)
+        EXPECT_EQ(expectedClass(n), EpiClass::Low) << n;
+}
+
+TEST(Catalog, MeasuredEpiHitsTarget)
+{
+    for (const auto &name : allBenchmarkNames()) {
+        const auto profile = benchmark(name);
+        EXPECT_NEAR(measureEpiNj(profile), epiTargetNj(name), 0.01)
+            << name;
+    }
+}
+
+TEST(Catalog, MeasuredEpiFallsInDeclaredBand)
+{
+    using cpu::classifyEpi;
+    for (const auto &name : allBenchmarkNames()) {
+        const auto profile = benchmark(name);
+        EXPECT_EQ(classifyEpi(measureEpiNj(profile)), expectedClass(name))
+            << name;
+    }
+}
+
+TEST(Catalog, SixPhasesWithPositiveDurations)
+{
+    for (const auto &name : allBenchmarkNames()) {
+        const auto profile = benchmark(name);
+        EXPECT_EQ(profile.phases.size(), 6u) << name;
+        for (const auto &ph : profile.phases) {
+            EXPECT_GT(ph.durationSec, 0.0) << name;
+            EXPECT_GT(ph.activityScale, 0.0) << name;
+            EXPECT_GT(ph.ilp, 0.0) << name;
+            EXPECT_GE(ph.l2MissPerKi, 0.0) << name;
+        }
+    }
+}
+
+TEST(Catalog, HighEpiSwingsHarderThanLowEpi)
+{
+    // Paper Section 6.1: high EPI workloads produce large power
+    // ripples. The phase activity spread encodes that.
+    auto spread = [](const cpu::BenchmarkProfile &p) {
+        double lo = 1e18;
+        double hi = 0.0;
+        for (const auto &ph : p.phases) {
+            lo = std::min(lo, ph.activityScale);
+            hi = std::max(hi, ph.activityScale);
+        }
+        return (hi - lo) / ((hi + lo) / 2.0);
+    };
+    EXPECT_GT(spread(benchmark("art")), spread(benchmark("mesa")) * 1.5);
+}
+
+TEST(Catalog, UnknownBenchmarkIsFatal)
+{
+    EXPECT_DEATH(benchmark("quake3"), "unknown benchmark");
+}
+
+TEST(Multiprogram, TenWorkloads)
+{
+    EXPECT_EQ(allWorkloads().size(), 10u);
+}
+
+TEST(Multiprogram, EveryWorkloadHasEightSlots)
+{
+    for (auto id : allWorkloads()) {
+        EXPECT_EQ(workloadBenchmarks(id).size(), 8u) << workloadName(id);
+        EXPECT_EQ(workloadSet(id).size(), 8u) << workloadName(id);
+    }
+}
+
+TEST(Multiprogram, Table5Composition)
+{
+    // Spot-check the exact Table 5 mixes.
+    const auto h1 = workloadBenchmarks(WorkloadId::H1);
+    for (const auto &n : h1)
+        EXPECT_EQ(n, "art");
+
+    const auto h2 = workloadBenchmarks(WorkloadId::H2);
+    EXPECT_EQ(std::count(h2.begin(), h2.end(), "art"), 2);
+    EXPECT_EQ(std::count(h2.begin(), h2.end(), "apsi"), 2);
+    EXPECT_EQ(std::count(h2.begin(), h2.end(), "bzip2"), 2);
+    EXPECT_EQ(std::count(h2.begin(), h2.end(), "gzip"), 2);
+
+    const auto hm1 = workloadBenchmarks(WorkloadId::HM1);
+    EXPECT_EQ(std::count(hm1.begin(), hm1.end(), "bzip2"), 4);
+    EXPECT_EQ(std::count(hm1.begin(), hm1.end(), "gcc"), 4);
+
+    const auto ml2 = workloadBenchmarks(WorkloadId::ML2);
+    const char *expect_ml2[] = {"gcc", "mcf", "gap", "vpr",
+                                "mesa", "equake", "lucas", "swim"};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ml2[static_cast<std::size_t>(i)], expect_ml2[i]);
+}
+
+TEST(Multiprogram, HomogeneityFlags)
+{
+    EXPECT_TRUE(isHomogeneous(WorkloadId::H1));
+    EXPECT_TRUE(isHomogeneous(WorkloadId::M1));
+    EXPECT_TRUE(isHomogeneous(WorkloadId::L1));
+    EXPECT_FALSE(isHomogeneous(WorkloadId::H2));
+    EXPECT_FALSE(isHomogeneous(WorkloadId::HM2));
+    EXPECT_FALSE(isHomogeneous(WorkloadId::ML1));
+}
+
+TEST(Catalog, LongRunEpiStaysInClassBand)
+{
+    // Playing a benchmark through many phase cycles, the time-weighted
+    // EPI must stay inside (or within a whisker of) the calibrated
+    // class band -- phases swing around the base point symmetrically.
+    const auto table = cpu::DvfsTable::paperDefault();
+    for (const auto &name : {"art", "gcc", "mesa"}) {
+        cpu::MultiCoreChip chip(
+            cpu::defaultChipConfig(), table, cpu::EnergyParams{},
+            std::vector<cpu::BenchmarkProfile>(8, benchmark(name)), 3);
+        chip.setAllLevels(table.maxLevel());
+        chip.step(3600.0); // one hour: ~10 full phase cycles
+        const double joules = chip.totalEnergy();
+        const double instrs = chip.totalInstructions();
+        const double epi_nj = joules / instrs * 1e9;
+        const double target = epiTargetNj(name);
+        EXPECT_NEAR(epi_nj, target, 0.35 * target) << name;
+    }
+}
+
+TEST(Catalog, DayScalePtpMagnitudePlausible)
+{
+    // The paper measures PTP as instructions per day: an 8-core chip
+    // at full tilt must land in the 10^14..10^15 range over 10 h.
+    cpu::MultiCoreChip chip(cpu::defaultChipConfig(),
+                            cpu::DvfsTable::paperDefault(),
+                            cpu::EnergyParams{},
+                            workloadSet(WorkloadId::ML2), 3);
+    chip.setAllLevels(chip.dvfs().maxLevel());
+    chip.step(10.0 * 3600.0);
+    EXPECT_GT(chip.totalInstructions(), 1e14);
+    EXPECT_LT(chip.totalInstructions(), 2e15);
+}
+
+TEST(Multiprogram, NamesRoundTrip)
+{
+    for (auto id : allWorkloads()) {
+        const std::string n = workloadName(id);
+        EXPECT_FALSE(n.empty());
+    }
+    EXPECT_STREQ(workloadName(WorkloadId::HM2), "HM2");
+}
+
+/** Every mix member must come from the classes its name advertises. */
+class WorkloadClassSweep : public ::testing::TestWithParam<WorkloadId>
+{
+};
+
+TEST_P(WorkloadClassSweep, MembersDrawnFromAdvertisedClasses)
+{
+    using cpu::EpiClass;
+    const auto id = GetParam();
+    const std::string name = workloadName(id);
+    for (const auto &bench : workloadBenchmarks(id)) {
+        const auto cls = expectedClass(bench);
+        bool ok = false;
+        if (name[0] == 'H')
+            ok |= cls == EpiClass::High;
+        if (name[0] == 'M' || name.find('M') != std::string::npos)
+            ok |= cls == EpiClass::Moderate;
+        if (name[0] == 'L' || name.find('L') != std::string::npos)
+            ok |= cls == EpiClass::Low;
+        EXPECT_TRUE(ok) << name << " contains " << bench;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadClassSweep,
+                         ::testing::ValuesIn(allWorkloads()));
+
+} // namespace
+} // namespace solarcore::workload

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * solarcore_cli: command-line front end to the simulation library.
+ *
+ * Runs one simulated day (or a multi-day aggregate) for any
+ * site/month/workload/policy combination and emits either a summary,
+ * a per-minute CSV timeline (for plotting), or the weather trace
+ * itself.
+ *
+ *   solarcore_cli summary  --site AZ --month Apr --workload HM2
+ *   solarcore_cli timeline --site NC --month Oct --policy rr > day.csv
+ *   solarcore_cli trace    --site TN --month Jan --seed 9 > trace.csv
+ *   solarcore_cli sweep    --workload L1 --days 5
+ *
+ * Options: --site AZ|CO|NC|TN   --month Jan|Apr|Jul|Oct
+ *          --workload H1..ML2   --policy opt|rr|ic|icm|fixed
+ *          --budget <W>         --seed <n>   --days <n>
+ *          --dt <seconds>       --threshold <W>
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/aggregate.hpp"
+#include "core/solarcore.hpp"
+#include "util/table.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+struct Options
+{
+    std::string command = "summary";
+    solar::SiteId site = solar::SiteId::AZ;
+    solar::Month month = solar::Month::Apr;
+    workload::WorkloadId workload = workload::WorkloadId::HM2;
+    core::PolicyKind policy = core::PolicyKind::MpptOpt;
+    double budgetW = 75.0;
+    std::uint64_t seed = 1;
+    int days = 5;
+    double dtSeconds = 15.0;
+    double thresholdW = 25.0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: solarcore_cli <summary|timeline|trace|sweep> "
+           "[options]\n"
+           "  --site AZ|CO|NC|TN      --month Jan|Apr|Jul|Oct\n"
+           "  --workload H1|H2|M1|M2|L1|L2|HM1|HM2|ML1|ML2\n"
+           "  --policy opt|rr|ic|icm|fixed  --budget <W> (fixed policy)\n"
+           "  --seed <n>  --days <n> (sweep)  --dt <s>  --threshold <W>\n";
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    if (argc < 2)
+        usage();
+    opt.command = argv[1];
+    if (opt.command != "summary" && opt.command != "timeline" &&
+        opt.command != "trace" && opt.command != "sweep")
+        usage();
+
+    auto need = [&](int i) {
+        if (i + 1 >= argc)
+            usage();
+        return std::string(argv[i + 1]);
+    };
+    for (int i = 2; i < argc; i += 2) {
+        const std::string key = argv[i];
+        const std::string val = need(i);
+        if (key == "--site") {
+            bool found = false;
+            for (auto s : solar::allSites())
+                if (val == solar::siteName(s)) {
+                    opt.site = s;
+                    found = true;
+                }
+            if (!found)
+                usage();
+        } else if (key == "--month") {
+            bool found = false;
+            for (auto m : solar::allMonths())
+                if (val == solar::monthName(m)) {
+                    opt.month = m;
+                    found = true;
+                }
+            if (!found)
+                usage();
+        } else if (key == "--workload") {
+            bool found = false;
+            for (auto w : workload::allWorkloads())
+                if (val == workload::workloadName(w)) {
+                    opt.workload = w;
+                    found = true;
+                }
+            if (!found)
+                usage();
+        } else if (key == "--policy") {
+            if (val == "opt")
+                opt.policy = core::PolicyKind::MpptOpt;
+            else if (val == "rr")
+                opt.policy = core::PolicyKind::MpptRr;
+            else if (val == "ic")
+                opt.policy = core::PolicyKind::MpptIc;
+            else if (val == "icm")
+                opt.policy = core::PolicyKind::MpptIcMotion;
+            else if (val == "fixed")
+                opt.policy = core::PolicyKind::FixedPower;
+            else
+                usage();
+        } else if (key == "--budget") {
+            opt.budgetW = std::stod(val);
+        } else if (key == "--seed") {
+            opt.seed = std::stoull(val);
+        } else if (key == "--days") {
+            opt.days = std::stoi(val);
+        } else if (key == "--dt") {
+            opt.dtSeconds = std::stod(val);
+        } else if (key == "--threshold") {
+            opt.thresholdW = std::stod(val);
+        } else {
+            usage();
+        }
+    }
+    return opt;
+}
+
+core::SimConfig
+toSimConfig(const Options &opt, bool timeline)
+{
+    core::SimConfig cfg;
+    cfg.policy = opt.policy;
+    cfg.fixedBudgetW = opt.budgetW;
+    cfg.seed = opt.seed;
+    cfg.dtSeconds = opt.dtSeconds;
+    cfg.thresholdW = opt.thresholdW;
+    cfg.recordTimeline = timeline;
+    return cfg;
+}
+
+int
+runSummary(const Options &opt)
+{
+    const auto module = pv::buildBp3180n();
+    const auto trace =
+        solar::generateDayTrace(opt.site, opt.month, opt.seed);
+    const auto r = core::simulateDay(module, trace, opt.workload,
+                                     toSimConfig(opt, false));
+    TextTable t;
+    t.header({"metric", "value"});
+    t.row({"pattern", std::string(solar::siteName(opt.site)) + "-" +
+                          solar::monthName(opt.month)});
+    t.row({"workload", workload::workloadName(opt.workload)});
+    t.row({"policy", core::policyName(opt.policy)});
+    t.row({"MPP energy [Wh]", TextTable::num(r.mppEnergyWh, 1)});
+    t.row({"solar energy [Wh]", TextTable::num(r.solarEnergyWh, 1)});
+    t.row({"grid energy [Wh]", TextTable::num(r.gridEnergyWh, 1)});
+    t.row({"utilization", TextTable::pct(r.utilization)});
+    t.row({"effective duration", TextTable::pct(r.effectiveFraction)});
+    t.row({"tracking error", TextTable::pct(r.avgTrackingError)});
+    t.row({"solar PTP [Tinstr]",
+           TextTable::num(r.solarInstructions / 1e12, 2)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+runTimeline(const Options &opt)
+{
+    const auto module = pv::buildBp3180n();
+    const auto trace =
+        solar::generateDayTrace(opt.site, opt.month, opt.seed);
+    const auto r = core::simulateDay(module, trace, opt.workload,
+                                     toSimConfig(opt, true));
+    std::cout << "minute,budget_w,consumed_w,on_solar\n";
+    for (const auto &p : r.timeline) {
+        std::cout << p.minute << ',' << p.budgetW << ',' << p.consumedW
+                  << ',' << (p.onSolar ? 1 : 0) << '\n';
+    }
+    return 0;
+}
+
+int
+runTrace(const Options &opt)
+{
+    const auto trace =
+        solar::generateDayTrace(opt.site, opt.month, opt.seed);
+    trace.saveCsv(std::cout);
+    return 0;
+}
+
+int
+runSweep(const Options &opt)
+{
+    const auto module = pv::buildBp3180n();
+    const auto agg = core::simulateManyDays(module, opt.site, opt.month,
+                                            opt.workload,
+                                            toSimConfig(opt, false),
+                                            opt.days, opt.seed);
+    TextTable t;
+    t.header({"metric", "mean", "min", "max", "stddev"});
+    auto row = [&](const char *name, const RunningStats &st,
+                   bool pct) {
+        auto fmt = [&](double v) {
+            return pct ? TextTable::pct(v) : TextTable::num(v, 1);
+        };
+        t.row({name, fmt(st.mean()), fmt(st.min()), fmt(st.max()),
+               fmt(st.stddev())});
+    };
+    row("utilization", agg.utilization, true);
+    row("effective duration", agg.effectiveFraction, true);
+    row("tracking error", agg.trackingError, true);
+    row("solar energy [Wh]", agg.solarEnergyWh, false);
+    t.print(std::cout);
+    std::cout << agg.days << " simulated days\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+    if (opt.command == "summary")
+        return runSummary(opt);
+    if (opt.command == "timeline")
+        return runTimeline(opt);
+    if (opt.command == "trace")
+        return runTrace(opt);
+    return runSweep(opt);
+}
