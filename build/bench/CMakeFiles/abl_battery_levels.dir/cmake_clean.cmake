@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_battery_levels.dir/abl_battery_levels.cpp.o"
+  "CMakeFiles/abl_battery_levels.dir/abl_battery_levels.cpp.o.d"
+  "abl_battery_levels"
+  "abl_battery_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_battery_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

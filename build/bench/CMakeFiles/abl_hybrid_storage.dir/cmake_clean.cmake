@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid_storage.dir/abl_hybrid_storage.cpp.o"
+  "CMakeFiles/abl_hybrid_storage.dir/abl_hybrid_storage.cpp.o.d"
+  "abl_hybrid_storage"
+  "abl_hybrid_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

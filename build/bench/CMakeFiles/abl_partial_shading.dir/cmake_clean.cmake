@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_shading.dir/abl_partial_shading.cpp.o"
+  "CMakeFiles/abl_partial_shading.dir/abl_partial_shading.cpp.o.d"
+  "abl_partial_shading"
+  "abl_partial_shading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_shading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

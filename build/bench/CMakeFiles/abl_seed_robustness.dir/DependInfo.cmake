@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_seed_robustness.cpp" "bench/CMakeFiles/abl_seed_robustness.dir/abl_seed_robustness.cpp.o" "gcc" "bench/CMakeFiles/abl_seed_robustness.dir/abl_seed_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/sc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sc_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/sc_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

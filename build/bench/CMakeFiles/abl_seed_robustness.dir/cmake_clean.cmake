@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seed_robustness.dir/abl_seed_robustness.cpp.o"
+  "CMakeFiles/abl_seed_robustness.dir/abl_seed_robustness.cpp.o.d"
+  "abl_seed_robustness"
+  "abl_seed_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seed_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

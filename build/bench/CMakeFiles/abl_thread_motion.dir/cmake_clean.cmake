@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thread_motion.dir/abl_thread_motion.cpp.o"
+  "CMakeFiles/abl_thread_motion.dir/abl_thread_motion.cpp.o.d"
+  "abl_thread_motion"
+  "abl_thread_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thread_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_thread_motion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tracking_knobs.dir/abl_tracking_knobs.cpp.o"
+  "CMakeFiles/abl_tracking_knobs.dir/abl_tracking_knobs.cpp.o.d"
+  "abl_tracking_knobs"
+  "abl_tracking_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tracking_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_fixed_load_utilization.dir/fig01_fixed_load_utilization.cpp.o"
+  "CMakeFiles/fig01_fixed_load_utilization.dir/fig01_fixed_load_utilization.cpp.o.d"
+  "fig01_fixed_load_utilization"
+  "fig01_fixed_load_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fixed_load_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_load_matching.dir/fig05_load_matching.cpp.o"
+  "CMakeFiles/fig05_load_matching.dir/fig05_load_matching.cpp.o.d"
+  "fig05_load_matching"
+  "fig05_load_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_load_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_iv_pv_irradiance.dir/fig06_iv_pv_irradiance.cpp.o"
+  "CMakeFiles/fig06_iv_pv_irradiance.dir/fig06_iv_pv_irradiance.cpp.o.d"
+  "fig06_iv_pv_irradiance"
+  "fig06_iv_pv_irradiance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_iv_pv_irradiance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

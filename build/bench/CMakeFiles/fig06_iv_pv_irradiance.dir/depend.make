@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_iv_pv_irradiance.
+# This may be replaced when dependencies are built.

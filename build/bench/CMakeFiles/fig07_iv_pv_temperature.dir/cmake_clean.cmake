@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_iv_pv_temperature.dir/fig07_iv_pv_temperature.cpp.o"
+  "CMakeFiles/fig07_iv_pv_temperature.dir/fig07_iv_pv_temperature.cpp.o.d"
+  "fig07_iv_pv_temperature"
+  "fig07_iv_pv_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_iv_pv_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

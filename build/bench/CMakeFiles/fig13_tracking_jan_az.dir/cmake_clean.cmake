@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tracking_jan_az.dir/fig13_tracking_jan_az.cpp.o"
+  "CMakeFiles/fig13_tracking_jan_az.dir/fig13_tracking_jan_az.cpp.o.d"
+  "fig13_tracking_jan_az"
+  "fig13_tracking_jan_az.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tracking_jan_az.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_tracking_jan_az.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_tracking_jul_az.dir/fig14_tracking_jul_az.cpp.o"
+  "CMakeFiles/fig14_tracking_jul_az.dir/fig14_tracking_jul_az.cpp.o.d"
+  "fig14_tracking_jul_az"
+  "fig14_tracking_jul_az.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_tracking_jul_az.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_tracking_jul_az.
+# This may be replaced when dependencies are built.

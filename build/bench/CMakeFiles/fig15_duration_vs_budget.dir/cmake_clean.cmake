@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_duration_vs_budget.dir/fig15_duration_vs_budget.cpp.o"
+  "CMakeFiles/fig15_duration_vs_budget.dir/fig15_duration_vs_budget.cpp.o.d"
+  "fig15_duration_vs_budget"
+  "fig15_duration_vs_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_duration_vs_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_energy_fixed_budget.dir/fig16_energy_fixed_budget.cpp.o"
+  "CMakeFiles/fig16_energy_fixed_budget.dir/fig16_energy_fixed_budget.cpp.o.d"
+  "fig16_energy_fixed_budget"
+  "fig16_energy_fixed_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_energy_fixed_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

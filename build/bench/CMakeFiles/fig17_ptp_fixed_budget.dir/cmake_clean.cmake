@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_ptp_fixed_budget.dir/fig17_ptp_fixed_budget.cpp.o"
+  "CMakeFiles/fig17_ptp_fixed_budget.dir/fig17_ptp_fixed_budget.cpp.o.d"
+  "fig17_ptp_fixed_budget"
+  "fig17_ptp_fixed_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_ptp_fixed_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_ptp_fixed_budget.
+# This may be replaced when dependencies are built.

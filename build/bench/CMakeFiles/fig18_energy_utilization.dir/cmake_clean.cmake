@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_energy_utilization.dir/fig18_energy_utilization.cpp.o"
+  "CMakeFiles/fig18_energy_utilization.dir/fig18_energy_utilization.cpp.o.d"
+  "fig18_energy_utilization"
+  "fig18_energy_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_energy_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

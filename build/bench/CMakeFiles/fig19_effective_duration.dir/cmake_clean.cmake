@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_effective_duration.dir/fig19_effective_duration.cpp.o"
+  "CMakeFiles/fig19_effective_duration.dir/fig19_effective_duration.cpp.o.d"
+  "fig19_effective_duration"
+  "fig19_effective_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_effective_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

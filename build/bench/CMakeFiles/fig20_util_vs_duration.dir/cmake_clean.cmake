@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_util_vs_duration.dir/fig20_util_vs_duration.cpp.o"
+  "CMakeFiles/fig20_util_vs_duration.dir/fig20_util_vs_duration.cpp.o.d"
+  "fig20_util_vs_duration"
+  "fig20_util_vs_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_util_vs_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

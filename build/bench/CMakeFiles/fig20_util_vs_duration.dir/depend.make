@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_util_vs_duration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_normalized_ptp.dir/fig21_normalized_ptp.cpp.o"
+  "CMakeFiles/fig21_normalized_ptp.dir/fig21_normalized_ptp.cpp.o.d"
+  "fig21_normalized_ptp"
+  "fig21_normalized_ptp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_normalized_ptp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

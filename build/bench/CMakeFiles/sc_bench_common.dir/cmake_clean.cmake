@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/sc_bench_common.dir/common/bench_common.cpp.o.d"
+  "CMakeFiles/sc_bench_common.dir/common/fixed_budget_sweep.cpp.o"
+  "CMakeFiles/sc_bench_common.dir/common/fixed_budget_sweep.cpp.o.d"
+  "CMakeFiles/sc_bench_common.dir/common/tracking_figure.cpp.o"
+  "CMakeFiles/sc_bench_common.dir/common/tracking_figure.cpp.o.d"
+  "libsc_bench_common.a"
+  "libsc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_tracking_error.dir/tab07_tracking_error.cpp.o"
+  "CMakeFiles/tab07_tracking_error.dir/tab07_tracking_error.cpp.o.d"
+  "tab07_tracking_error"
+  "tab07_tracking_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_tracking_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

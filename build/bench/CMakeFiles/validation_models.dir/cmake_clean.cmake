@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_models.dir/validation_models.cpp.o"
+  "CMakeFiles/validation_models.dir/validation_models.cpp.o.d"
+  "validation_models"
+  "validation_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panel_designer.dir/panel_designer.cpp.o"
+  "CMakeFiles/panel_designer.dir/panel_designer.cpp.o.d"
+  "panel_designer"
+  "panel_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panel_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

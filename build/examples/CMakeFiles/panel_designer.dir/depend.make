@@ -1,0 +1,2 @@
+# Empty dependencies file for panel_designer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_farm.dir/solar_farm.cpp.o"
+  "CMakeFiles/solar_farm.dir/solar_farm.cpp.o.d"
+  "solar_farm"
+  "solar_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for solar_farm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/core/CMakeFiles/sc_core.dir/aggregate.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/aggregate.cpp.o.d"
+  "/root/repo/src/core/carbon.cpp" "src/core/CMakeFiles/sc_core.dir/carbon.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/carbon.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/sc_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/fixed_power.cpp" "src/core/CMakeFiles/sc_core.dir/fixed_power.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/fixed_power.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "src/core/CMakeFiles/sc_core.dir/fleet.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/fleet.cpp.o.d"
+  "/root/repo/src/core/load_adapter.cpp" "src/core/CMakeFiles/sc_core.dir/load_adapter.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/load_adapter.cpp.o.d"
+  "/root/repo/src/core/perturb_observe.cpp" "src/core/CMakeFiles/sc_core.dir/perturb_observe.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/perturb_observe.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/sc_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/tpr.cpp" "src/core/CMakeFiles/sc_core.dir/tpr.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/tpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sc_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/sc_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_core.dir/aggregate.cpp.o"
+  "CMakeFiles/sc_core.dir/aggregate.cpp.o.d"
+  "CMakeFiles/sc_core.dir/carbon.cpp.o"
+  "CMakeFiles/sc_core.dir/carbon.cpp.o.d"
+  "CMakeFiles/sc_core.dir/controller.cpp.o"
+  "CMakeFiles/sc_core.dir/controller.cpp.o.d"
+  "CMakeFiles/sc_core.dir/fixed_power.cpp.o"
+  "CMakeFiles/sc_core.dir/fixed_power.cpp.o.d"
+  "CMakeFiles/sc_core.dir/fleet.cpp.o"
+  "CMakeFiles/sc_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/sc_core.dir/load_adapter.cpp.o"
+  "CMakeFiles/sc_core.dir/load_adapter.cpp.o.d"
+  "CMakeFiles/sc_core.dir/perturb_observe.cpp.o"
+  "CMakeFiles/sc_core.dir/perturb_observe.cpp.o.d"
+  "CMakeFiles/sc_core.dir/simulation.cpp.o"
+  "CMakeFiles/sc_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/sc_core.dir/tpr.cpp.o"
+  "CMakeFiles/sc_core.dir/tpr.cpp.o.d"
+  "libsc_core.a"
+  "libsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

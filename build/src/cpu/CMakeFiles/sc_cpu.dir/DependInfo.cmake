@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cacti_lite.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/cacti_lite.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/cacti_lite.cpp.o.d"
+  "/root/repo/src/cpu/chip.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/chip.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/chip.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/cycle/cycle_core.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/cycle/cycle_core.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/cycle/cycle_core.cpp.o.d"
+  "/root/repo/src/cpu/cycle/trace_gen.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/cycle/trace_gen.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/cycle/trace_gen.cpp.o.d"
+  "/root/repo/src/cpu/dvfs.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/dvfs.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/dvfs.cpp.o.d"
+  "/root/repo/src/cpu/perf_model.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/perf_model.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/perf_model.cpp.o.d"
+  "/root/repo/src/cpu/power_model.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/power_model.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/power_model.cpp.o.d"
+  "/root/repo/src/cpu/thermal.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/thermal.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/thermal.cpp.o.d"
+  "/root/repo/src/cpu/vrm.cpp" "src/cpu/CMakeFiles/sc_cpu.dir/vrm.cpp.o" "gcc" "src/cpu/CMakeFiles/sc_cpu.dir/vrm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_cpu.dir/cacti_lite.cpp.o"
+  "CMakeFiles/sc_cpu.dir/cacti_lite.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/chip.cpp.o"
+  "CMakeFiles/sc_cpu.dir/chip.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/core.cpp.o"
+  "CMakeFiles/sc_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/cycle/cycle_core.cpp.o"
+  "CMakeFiles/sc_cpu.dir/cycle/cycle_core.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/cycle/trace_gen.cpp.o"
+  "CMakeFiles/sc_cpu.dir/cycle/trace_gen.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/dvfs.cpp.o"
+  "CMakeFiles/sc_cpu.dir/dvfs.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/perf_model.cpp.o"
+  "CMakeFiles/sc_cpu.dir/perf_model.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/power_model.cpp.o"
+  "CMakeFiles/sc_cpu.dir/power_model.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/thermal.cpp.o"
+  "CMakeFiles/sc_cpu.dir/thermal.cpp.o.d"
+  "CMakeFiles/sc_cpu.dir/vrm.cpp.o"
+  "CMakeFiles/sc_cpu.dir/vrm.cpp.o.d"
+  "libsc_cpu.a"
+  "libsc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

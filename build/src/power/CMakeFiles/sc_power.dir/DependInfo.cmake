@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/ats.cpp" "src/power/CMakeFiles/sc_power.dir/ats.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/ats.cpp.o.d"
+  "/root/repo/src/power/battery.cpp" "src/power/CMakeFiles/sc_power.dir/battery.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/battery.cpp.o.d"
+  "/root/repo/src/power/converter.cpp" "src/power/CMakeFiles/sc_power.dir/converter.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/converter.cpp.o.d"
+  "/root/repo/src/power/operating_point.cpp" "src/power/CMakeFiles/sc_power.dir/operating_point.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/operating_point.cpp.o.d"
+  "/root/repo/src/power/psu.cpp" "src/power/CMakeFiles/sc_power.dir/psu.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/psu.cpp.o.d"
+  "/root/repo/src/power/sensors.cpp" "src/power/CMakeFiles/sc_power.dir/sensors.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/sensors.cpp.o.d"
+  "/root/repo/src/power/ups.cpp" "src/power/CMakeFiles/sc_power.dir/ups.cpp.o" "gcc" "src/power/CMakeFiles/sc_power.dir/ups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pv/CMakeFiles/sc_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

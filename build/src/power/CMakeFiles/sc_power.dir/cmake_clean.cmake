@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_power.dir/ats.cpp.o"
+  "CMakeFiles/sc_power.dir/ats.cpp.o.d"
+  "CMakeFiles/sc_power.dir/battery.cpp.o"
+  "CMakeFiles/sc_power.dir/battery.cpp.o.d"
+  "CMakeFiles/sc_power.dir/converter.cpp.o"
+  "CMakeFiles/sc_power.dir/converter.cpp.o.d"
+  "CMakeFiles/sc_power.dir/operating_point.cpp.o"
+  "CMakeFiles/sc_power.dir/operating_point.cpp.o.d"
+  "CMakeFiles/sc_power.dir/psu.cpp.o"
+  "CMakeFiles/sc_power.dir/psu.cpp.o.d"
+  "CMakeFiles/sc_power.dir/sensors.cpp.o"
+  "CMakeFiles/sc_power.dir/sensors.cpp.o.d"
+  "CMakeFiles/sc_power.dir/ups.cpp.o"
+  "CMakeFiles/sc_power.dir/ups.cpp.o.d"
+  "libsc_power.a"
+  "libsc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

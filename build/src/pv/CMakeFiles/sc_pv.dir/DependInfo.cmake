@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pv/bp3180n.cpp" "src/pv/CMakeFiles/sc_pv.dir/bp3180n.cpp.o" "gcc" "src/pv/CMakeFiles/sc_pv.dir/bp3180n.cpp.o.d"
+  "/root/repo/src/pv/cell.cpp" "src/pv/CMakeFiles/sc_pv.dir/cell.cpp.o" "gcc" "src/pv/CMakeFiles/sc_pv.dir/cell.cpp.o.d"
+  "/root/repo/src/pv/module.cpp" "src/pv/CMakeFiles/sc_pv.dir/module.cpp.o" "gcc" "src/pv/CMakeFiles/sc_pv.dir/module.cpp.o.d"
+  "/root/repo/src/pv/mpp.cpp" "src/pv/CMakeFiles/sc_pv.dir/mpp.cpp.o" "gcc" "src/pv/CMakeFiles/sc_pv.dir/mpp.cpp.o.d"
+  "/root/repo/src/pv/shading.cpp" "src/pv/CMakeFiles/sc_pv.dir/shading.cpp.o" "gcc" "src/pv/CMakeFiles/sc_pv.dir/shading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_pv.dir/bp3180n.cpp.o"
+  "CMakeFiles/sc_pv.dir/bp3180n.cpp.o.d"
+  "CMakeFiles/sc_pv.dir/cell.cpp.o"
+  "CMakeFiles/sc_pv.dir/cell.cpp.o.d"
+  "CMakeFiles/sc_pv.dir/module.cpp.o"
+  "CMakeFiles/sc_pv.dir/module.cpp.o.d"
+  "CMakeFiles/sc_pv.dir/mpp.cpp.o"
+  "CMakeFiles/sc_pv.dir/mpp.cpp.o.d"
+  "CMakeFiles/sc_pv.dir/shading.cpp.o"
+  "CMakeFiles/sc_pv.dir/shading.cpp.o.d"
+  "libsc_pv.a"
+  "libsc_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

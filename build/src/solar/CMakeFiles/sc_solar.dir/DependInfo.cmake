@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solar/clearsky.cpp" "src/solar/CMakeFiles/sc_solar.dir/clearsky.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/clearsky.cpp.o.d"
+  "/root/repo/src/solar/geometry.cpp" "src/solar/CMakeFiles/sc_solar.dir/geometry.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/geometry.cpp.o.d"
+  "/root/repo/src/solar/midc.cpp" "src/solar/CMakeFiles/sc_solar.dir/midc.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/midc.cpp.o.d"
+  "/root/repo/src/solar/sites.cpp" "src/solar/CMakeFiles/sc_solar.dir/sites.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/sites.cpp.o.d"
+  "/root/repo/src/solar/trace.cpp" "src/solar/CMakeFiles/sc_solar.dir/trace.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/trace.cpp.o.d"
+  "/root/repo/src/solar/weather.cpp" "src/solar/CMakeFiles/sc_solar.dir/weather.cpp.o" "gcc" "src/solar/CMakeFiles/sc_solar.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_solar.dir/clearsky.cpp.o"
+  "CMakeFiles/sc_solar.dir/clearsky.cpp.o.d"
+  "CMakeFiles/sc_solar.dir/geometry.cpp.o"
+  "CMakeFiles/sc_solar.dir/geometry.cpp.o.d"
+  "CMakeFiles/sc_solar.dir/midc.cpp.o"
+  "CMakeFiles/sc_solar.dir/midc.cpp.o.d"
+  "CMakeFiles/sc_solar.dir/sites.cpp.o"
+  "CMakeFiles/sc_solar.dir/sites.cpp.o.d"
+  "CMakeFiles/sc_solar.dir/trace.cpp.o"
+  "CMakeFiles/sc_solar.dir/trace.cpp.o.d"
+  "CMakeFiles/sc_solar.dir/weather.cpp.o"
+  "CMakeFiles/sc_solar.dir/weather.cpp.o.d"
+  "libsc_solar.a"
+  "libsc_solar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_solar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_util.dir/logging.cpp.o"
+  "CMakeFiles/sc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sc_util.dir/math.cpp.o"
+  "CMakeFiles/sc_util.dir/math.cpp.o.d"
+  "CMakeFiles/sc_util.dir/random.cpp.o"
+  "CMakeFiles/sc_util.dir/random.cpp.o.d"
+  "CMakeFiles/sc_util.dir/stats.cpp.o"
+  "CMakeFiles/sc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sc_util.dir/table.cpp.o"
+  "CMakeFiles/sc_util.dir/table.cpp.o.d"
+  "libsc_util.a"
+  "libsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/sc_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/sc_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/multiprogram.cpp" "src/workload/CMakeFiles/sc_workload.dir/multiprogram.cpp.o" "gcc" "src/workload/CMakeFiles/sc_workload.dir/multiprogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/sc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

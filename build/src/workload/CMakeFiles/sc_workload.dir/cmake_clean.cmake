@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_workload.dir/catalog.cpp.o"
+  "CMakeFiles/sc_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/sc_workload.dir/multiprogram.cpp.o"
+  "CMakeFiles/sc_workload.dir/multiprogram.cpp.o.d"
+  "libsc_workload.a"
+  "libsc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

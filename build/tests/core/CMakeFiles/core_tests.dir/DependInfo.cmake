@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adapter_test.cpp" "tests/core/CMakeFiles/core_tests.dir/adapter_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/adapter_test.cpp.o.d"
+  "/root/repo/tests/core/aggregate_test.cpp" "tests/core/CMakeFiles/core_tests.dir/aggregate_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/aggregate_test.cpp.o.d"
+  "/root/repo/tests/core/carbon_test.cpp" "tests/core/CMakeFiles/core_tests.dir/carbon_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/carbon_test.cpp.o.d"
+  "/root/repo/tests/core/controller_edge_test.cpp" "tests/core/CMakeFiles/core_tests.dir/controller_edge_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/controller_edge_test.cpp.o.d"
+  "/root/repo/tests/core/controller_test.cpp" "tests/core/CMakeFiles/core_tests.dir/controller_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/controller_test.cpp.o.d"
+  "/root/repo/tests/core/fixed_power_test.cpp" "tests/core/CMakeFiles/core_tests.dir/fixed_power_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/fixed_power_test.cpp.o.d"
+  "/root/repo/tests/core/fleet_test.cpp" "tests/core/CMakeFiles/core_tests.dir/fleet_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/fleet_test.cpp.o.d"
+  "/root/repo/tests/core/hybrid_test.cpp" "tests/core/CMakeFiles/core_tests.dir/hybrid_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/hybrid_test.cpp.o.d"
+  "/root/repo/tests/core/perturb_observe_test.cpp" "tests/core/CMakeFiles/core_tests.dir/perturb_observe_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/perturb_observe_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/core/CMakeFiles/core_tests.dir/property_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/core/simulation_test.cpp" "tests/core/CMakeFiles/core_tests.dir/simulation_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/simulation_test.cpp.o.d"
+  "/root/repo/tests/core/tpr_test.cpp" "tests/core/CMakeFiles/core_tests.dir/tpr_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_tests.dir/tpr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sc_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/sc_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/adapter_test.cpp.o"
+  "CMakeFiles/core_tests.dir/adapter_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/aggregate_test.cpp.o"
+  "CMakeFiles/core_tests.dir/aggregate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/carbon_test.cpp.o"
+  "CMakeFiles/core_tests.dir/carbon_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/controller_edge_test.cpp.o"
+  "CMakeFiles/core_tests.dir/controller_edge_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/fixed_power_test.cpp.o"
+  "CMakeFiles/core_tests.dir/fixed_power_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/fleet_test.cpp.o"
+  "CMakeFiles/core_tests.dir/fleet_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/hybrid_test.cpp.o"
+  "CMakeFiles/core_tests.dir/hybrid_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/perturb_observe_test.cpp.o"
+  "CMakeFiles/core_tests.dir/perturb_observe_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/simulation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/simulation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/tpr_test.cpp.o"
+  "CMakeFiles/core_tests.dir/tpr_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

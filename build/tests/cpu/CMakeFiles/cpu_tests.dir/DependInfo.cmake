@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/cacti_lite_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/cacti_lite_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/cacti_lite_test.cpp.o.d"
+  "/root/repo/tests/cpu/core_chip_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/core_chip_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/core_chip_test.cpp.o.d"
+  "/root/repo/tests/cpu/cycle_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/cycle_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/cycle_test.cpp.o.d"
+  "/root/repo/tests/cpu/dvfs_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/dvfs_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/dvfs_test.cpp.o.d"
+  "/root/repo/tests/cpu/epi_scaling_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/epi_scaling_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/epi_scaling_test.cpp.o.d"
+  "/root/repo/tests/cpu/perf_model_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/perf_model_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/perf_model_test.cpp.o.d"
+  "/root/repo/tests/cpu/power_model_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/power_model_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/power_model_test.cpp.o.d"
+  "/root/repo/tests/cpu/thermal_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/thermal_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/thermal_test.cpp.o.d"
+  "/root/repo/tests/cpu/vrm_test.cpp" "tests/cpu/CMakeFiles/cpu_tests.dir/vrm_test.cpp.o" "gcc" "tests/cpu/CMakeFiles/cpu_tests.dir/vrm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/solar/CMakeFiles/sc_solar.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/sc_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_tests.dir/cacti_lite_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cacti_lite_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/core_chip_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/core_chip_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/cycle_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/cycle_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/dvfs_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/dvfs_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/epi_scaling_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/epi_scaling_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/perf_model_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/perf_model_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/power_model_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/power_model_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/thermal_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/thermal_test.cpp.o.d"
+  "CMakeFiles/cpu_tests.dir/vrm_test.cpp.o"
+  "CMakeFiles/cpu_tests.dir/vrm_test.cpp.o.d"
+  "cpu_tests"
+  "cpu_tests.pdb"
+  "cpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

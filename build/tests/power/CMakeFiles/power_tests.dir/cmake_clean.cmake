@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tests.dir/battery_ats_test.cpp.o"
+  "CMakeFiles/power_tests.dir/battery_ats_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/converter_test.cpp.o"
+  "CMakeFiles/power_tests.dir/converter_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/psu_test.cpp.o"
+  "CMakeFiles/power_tests.dir/psu_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/ups_test.cpp.o"
+  "CMakeFiles/power_tests.dir/ups_test.cpp.o.d"
+  "power_tests"
+  "power_tests.pdb"
+  "power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_tests.dir/cell_test.cpp.o"
+  "CMakeFiles/pv_tests.dir/cell_test.cpp.o.d"
+  "CMakeFiles/pv_tests.dir/module_test.cpp.o"
+  "CMakeFiles/pv_tests.dir/module_test.cpp.o.d"
+  "CMakeFiles/pv_tests.dir/mpp_property_test.cpp.o"
+  "CMakeFiles/pv_tests.dir/mpp_property_test.cpp.o.d"
+  "CMakeFiles/pv_tests.dir/shading_test.cpp.o"
+  "CMakeFiles/pv_tests.dir/shading_test.cpp.o.d"
+  "pv_tests"
+  "pv_tests.pdb"
+  "pv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_tests.dir/geometry_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/geometry_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/midc_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/midc_test.cpp.o.d"
+  "CMakeFiles/solar_tests.dir/trace_test.cpp.o"
+  "CMakeFiles/solar_tests.dir/trace_test.cpp.o.d"
+  "solar_tests"
+  "solar_tests.pdb"
+  "solar_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

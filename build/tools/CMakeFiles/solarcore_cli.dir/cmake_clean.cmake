@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solarcore_cli.dir/solarcore_cli.cpp.o"
+  "CMakeFiles/solarcore_cli.dir/solarcore_cli.cpp.o.d"
+  "solarcore_cli"
+  "solarcore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solarcore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
