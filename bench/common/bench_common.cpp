@@ -1,6 +1,11 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
 #include <map>
+#include <mutex>
+#include <string_view>
+
+#include "util/thread_pool.hpp"
 
 namespace solarcore::bench {
 
@@ -14,7 +19,12 @@ standardModule()
 const solar::SolarTrace &
 standardTrace(solar::SiteId site, solar::Month month)
 {
+    // Guarded: the parallel sweeps fault traces in from worker
+    // threads. Entries are node-stable, so returned references stay
+    // valid across later insertions.
+    static std::mutex mutex;
     static std::map<std::pair<int, int>, solar::SolarTrace> cache;
+    std::lock_guard<std::mutex> lock(mutex);
     const auto key = std::make_pair(static_cast<int>(site),
                                     static_cast<int>(month));
     auto it = cache.find(key);
@@ -30,7 +40,7 @@ standardTrace(solar::SiteId site, solar::Month month)
 core::DayResult
 runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
        core::PolicyKind policy, double fixed_budget_w, bool timeline,
-       double dt_seconds)
+       double dt_seconds, pv::MppCache *mpp_cache)
 {
     core::SimConfig cfg;
     cfg.policy = policy;
@@ -38,8 +48,22 @@ runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
     cfg.dtSeconds = dt_seconds;
     cfg.recordTimeline = timeline;
     cfg.seed = kBenchSeed;
+    cfg.mppCache = mpp_cache;
     return core::simulateDay(standardModule(), standardTrace(site, month),
                              wl, cfg);
+}
+
+int
+threadsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg.rfind("--threads=", 0) == 0) {
+            const int n = std::atoi(arg.data() + 10);
+            return n > 0 ? n : ThreadPool::hardwareThreads();
+        }
+    }
+    return ThreadPool::hardwareThreads();
 }
 
 core::BatteryDayResult

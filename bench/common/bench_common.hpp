@@ -39,11 +39,22 @@ inline constexpr double kBenchDtSeconds = 30.0;
  * @param fixed_budget_w Fixed-Power budget (ignored for MPPT policies)
  * @param timeline     record the per-minute trace
  * @param dt_seconds   simulation step
+ * @param mpp_cache    optional cross-day MPP memo (one per worker);
+ *                     sweeps replaying one trace for many workloads
+ *                     and budgets solve each environment only once
  */
 core::DayResult runDay(solar::SiteId site, solar::Month month,
                        workload::WorkloadId wl, core::PolicyKind policy,
                        double fixed_budget_w = 75.0, bool timeline = false,
-                       double dt_seconds = kBenchDtSeconds);
+                       double dt_seconds = kBenchDtSeconds,
+                       pv::MppCache *mpp_cache = nullptr);
+
+/**
+ * Parse a `--threads=N` argument (0 or omitted: all hardware threads).
+ * Shared by the sweep binaries so every figure can be reproduced
+ * single-threaded (byte-identical output) or fanned across cores.
+ */
+int threadsFromArgs(int argc, char **argv);
 
 /** Run the battery baseline for a site-month/workload. */
 core::BatteryDayResult runBatteryDay(solar::SiteId site, solar::Month month,

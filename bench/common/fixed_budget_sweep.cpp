@@ -4,6 +4,7 @@
 
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solarcore::bench {
 
@@ -17,18 +18,27 @@ sweepWorkloads()
 }
 
 std::vector<FixedSweepCell>
-runFixedBudgetSweep()
+runFixedBudgetSweep(int threads)
 {
-    std::vector<FixedSweepCell> cells;
     const auto wls = sweepWorkloads();
+    const auto site_months = solar::allSiteMonths();
 
-    for (auto [site, month] : solar::allSiteMonths()) {
+    // One task per site-month: tasks only write their own result slot,
+    // and within a task every day replays the same trace, so a single
+    // per-task MPP memo serves all (workloads + budgets) x days runs.
+    std::vector<std::vector<FixedSweepCell>> per_task(site_months.size());
+    ThreadPool pool(threads);
+    pool.parallelFor(site_months.size(), [&](std::size_t task) {
+        const auto [site, month] = site_months[task];
+        pv::MppCache mpp_cache(standardModule(), 1, 1);
+
         // SolarCore reference per workload.
         std::vector<core::DayResult> refs;
         refs.reserve(wls.size());
         for (auto wl : wls)
             refs.push_back(runDay(site, month, wl,
-                                  core::PolicyKind::MpptOpt));
+                                  core::PolicyKind::MpptOpt, 75.0, false,
+                                  kBenchDtSeconds, &mpp_cache));
 
         for (double budget : kFixedBudgets) {
             FixedSweepCell cell;
@@ -39,7 +49,8 @@ runFixedBudgetSweep()
             RunningStats p;
             for (std::size_t i = 0; i < wls.size(); ++i) {
                 const auto r = runDay(site, month, wls[i],
-                                      core::PolicyKind::FixedPower, budget);
+                                      core::PolicyKind::FixedPower, budget,
+                                      false, kBenchDtSeconds, &mpp_cache);
                 e.add(refs[i].solarEnergyWh > 0.0
                           ? r.solarEnergyWh / refs[i].solarEnergyWh
                           : 0.0);
@@ -49,9 +60,15 @@ runFixedBudgetSweep()
             }
             cell.normalizedEnergy = e.mean();
             cell.normalizedPtp = p.mean();
-            cells.push_back(cell);
+            per_task[task].push_back(cell);
         }
-    }
+    });
+
+    // Deterministic aggregation: flatten in task-index order.
+    std::vector<FixedSweepCell> cells;
+    cells.reserve(site_months.size() * kFixedBudgets.size());
+    for (const auto &task_cells : per_task)
+        cells.insert(cells.end(), task_cells.begin(), task_cells.end());
     return cells;
 }
 

@@ -34,8 +34,13 @@ struct FixedSweepCell
     double normalizedPtp = 0.0;    //!< vs SolarCore, same cell
 };
 
-/** Run the full sweep (cached nothing; ~1 minute of simulation). */
-std::vector<FixedSweepCell> runFixedBudgetSweep();
+/**
+ * Run the full sweep. Site-month cells are independent, so they fan
+ * across @p threads pool workers; each worker reuses one MPP memo for
+ * every run of its trace, and cells are assembled in index order so
+ * the output is byte-identical for any thread count.
+ */
+std::vector<FixedSweepCell> runFixedBudgetSweep(int threads = 1);
 
 /**
  * Print the sweep as one table per site with months as row groups,

@@ -3,12 +3,13 @@
 #include <iostream>
 
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace solarcore::bench {
 
 void
 printTrackingFigure(solar::SiteId site, solar::Month month,
-                    const char *figure_name, bool csv)
+                    const char *figure_name, bool csv, int threads)
 {
     const workload::WorkloadId wls[] = {workload::WorkloadId::H1,
                                         workload::WorkloadId::HM2,
@@ -22,11 +23,17 @@ printTrackingFigure(solar::SiteId site, solar::Month month,
                         "), budget vs consumption [W]");
     }
 
+    // Warm the shared trace cache before fanning out, then give each
+    // worker its own MPP memo; results land in index-addressed slots.
+    standardTrace(site, month);
     core::DayResult results[3];
-    for (int i = 0; i < 3; ++i) {
+    ThreadPool pool(threads);
+    pool.parallelFor(3, [&](std::size_t i) {
+        pv::MppCache mpp_cache(standardModule(), 1, 1);
         results[i] = runDay(site, month, wls[i], core::PolicyKind::MpptOpt,
-                            75.0, /*timeline=*/true, /*dt=*/15.0);
-    }
+                            75.0, /*timeline=*/true, /*dt=*/15.0,
+                            &mpp_cache);
+    });
 
     TextTable t;
     t.header({"minute", "budget", "H1 drawn", "HM2 drawn", "L1 drawn"});

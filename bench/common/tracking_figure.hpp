@@ -15,10 +15,14 @@ namespace solarcore::bench {
 
 /**
  * Print one tracking-accuracy figure for @p site / @p month.
- * @param csv emit machine-readable CSV instead of the aligned table
+ * @param csv     emit machine-readable CSV instead of the aligned table
+ * @param threads fan the per-workload days across a pool; the table is
+ *                assembled in workload order, so the output is
+ *                byte-identical for any thread count
  */
 void printTrackingFigure(solar::SiteId site, solar::Month month,
-                         const char *figure_name, bool csv = false);
+                         const char *figure_name, bool csv = false,
+                         int threads = 1);
 
 } // namespace solarcore::bench
 

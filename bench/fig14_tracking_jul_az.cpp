@@ -12,10 +12,11 @@
 int
 main(int argc, char **argv)
 {
-    const bool csv =
-        argc > 1 && std::string_view(argv[1]) == "--csv";
-    solarcore::bench::printTrackingFigure(solarcore::solar::SiteId::AZ,
-                                          solarcore::solar::Month::Jul,
-                                          "Figure 14", csv);
+    bool csv = false;
+    for (int i = 1; i < argc; ++i)
+        csv = csv || std::string_view(argv[i]) == "--csv";
+    solarcore::bench::printTrackingFigure(
+        solarcore::solar::SiteId::AZ, solarcore::solar::Month::Jul,
+        "Figure 14", csv, solarcore::bench::threadsFromArgs(argc, argv));
     return 0;
 }

@@ -8,9 +8,10 @@
 #include "common/fixed_budget_sweep.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const auto cells = solarcore::bench::runFixedBudgetSweep();
+    const auto cells = solarcore::bench::runFixedBudgetSweep(
+        solarcore::bench::threadsFromArgs(argc, argv));
     solarcore::bench::printFixedSweep(cells, /*energy=*/true);
     return 0;
 }

@@ -7,6 +7,10 @@
  * thousands of simulated days).
  */
 
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "common/bench_common.hpp"
@@ -29,6 +33,21 @@ BM_CellCurrentSolve(benchmark::State &state)
 BENCHMARK(BM_CellCurrentSolve);
 
 void
+BM_CellCurrentSolveNewton(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    const pv::Environment env{800.0, 40.0};
+    pv::setNewtonIvSolve(true);
+    double v = 20.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(module.currentAt(v, env));
+        v = v < 40.0 ? v + 0.1 : 20.0;
+    }
+    pv::setNewtonIvSolve(false);
+}
+BENCHMARK(BM_CellCurrentSolveNewton);
+
+void
 BM_FindMpp(benchmark::State &state)
 {
     const auto &module = bench::standardModule();
@@ -37,6 +56,54 @@ BM_FindMpp(benchmark::State &state)
         benchmark::DoNotOptimize(pv::findMpp(array));
 }
 BENCHMARK(BM_FindMpp);
+
+void
+BM_FindMppNewton(benchmark::State &state)
+{
+    // The seed implementation: golden-section over the Newton-solved
+    // I-V curve, via the generic IvSource overload.
+    const auto &module = bench::standardModule();
+    pv::PvArray array(module, 1, 1, {800.0, 40.0});
+    const auto &source = static_cast<const pv::IvSource &>(array);
+    pv::setNewtonIvSolve(true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pv::findMpp(source));
+    pv::setNewtonIvSolve(false);
+}
+BENCHMARK(BM_FindMppNewton);
+
+void
+BM_FindMppCached(benchmark::State &state)
+{
+    // Replayed trace: the fixed-budget sweep re-solves the same
+    // environment sequence once per workload x budget combination.
+    const auto &module = bench::standardModule();
+    pv::MppCache cache(module, 1, 1);
+    const pv::Environment envs[] = {
+        {200.0, 28.0}, {450.0, 34.0}, {700.0, 41.0}, {850.0, 46.0},
+        {920.0, 49.0}, {700.0, 44.0}, {400.0, 36.0},
+    };
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.mpp(envs[i]));
+        i = (i + 1) % std::size(envs);
+    }
+}
+BENCHMARK(BM_FindMppCached);
+
+void
+BM_MppGridRefined(benchmark::State &state)
+{
+    const auto &module = bench::standardModule();
+    const pv::MppGrid grid(module, 1, 1, 50.0, 1000.0, 20, -10.0, 75.0,
+                           18);
+    double g = 100.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(grid.refined({g, 25.0 + g * 0.02}));
+        g = g < 950.0 ? g + 37.0 : 100.0;
+    }
+}
+BENCHMARK(BM_MppGridRefined);
 
 void
 BM_PinRailVoltage(benchmark::State &state)
@@ -119,6 +186,73 @@ BM_SimulatedDay(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedDay)->Arg(60)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayNewton(benchmark::State &state)
+{
+    // Seed-equivalent end-to-end path: Newton I-V solves everywhere.
+    pv::setNewtonIvSolve(true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0))));
+    }
+    pv::setNewtonIvSolve(false);
+}
+BENCHMARK(BM_SimulatedDayNewton)
+    ->Arg(60)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayCached(benchmark::State &state)
+{
+    // Cross-day memo shared across repetitions, as in the sweeps.
+    pv::MppCache cache(bench::standardModule(), 1, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0)), &cache));
+    }
+}
+BENCHMARK(BM_SimulatedDayCached)
+    ->Arg(60)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TrackingSweepParallel(benchmark::State &state)
+{
+    // The fig13/fig14 policy sweep body: three tracked days dispatched
+    // through the worker pool (thread count = benchmark argument).
+    const int threads = static_cast<int>(state.range(0));
+    const auto policies = {core::PolicyKind::MpptOpt,
+                           core::PolicyKind::MpptIc,
+                           core::PolicyKind::MpptRr};
+    for (auto _ : state) {
+        ThreadPool pool(threads);
+        std::vector<core::DayResult> results(policies.size());
+        std::vector<pv::MppCache> caches;
+        caches.reserve(policies.size());
+        for (std::size_t i = 0; i < policies.size(); ++i)
+            caches.emplace_back(bench::standardModule(), 1, 1);
+        pool.parallelFor(policies.size(), [&](std::size_t i) {
+            results[i] = bench::runDay(
+                solar::SiteId::AZ, solar::Month::Jan,
+                workload::WorkloadId::HM2, *(policies.begin() + i), 75.0,
+                false, 60.0, &caches[i]);
+        });
+        benchmark::DoNotOptimize(results.data());
+    }
+}
+BENCHMARK(BM_TrackingSweepParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the component microbenchmarks and records the results as JSON at
+# the repo root (BENCH_pv.json). The suite carries its own before/after
+# pairs: BM_CellCurrentSolveNewton / BM_FindMppNewton /
+# BM_SimulatedDayNewton force the retained damped-Newton I-V path (the
+# seed implementation), so one run captures both sides of the
+# Lambert-W / MPP-cache comparison.
+#
+# Usage: bench/run_microbench.sh [build-dir] [extra benchmark args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+shift || true
+
+bench_bin="${build_dir}/bench/microbench_components"
+if [[ ! -x "${bench_bin}" ]]; then
+    echo "error: ${bench_bin} not found; configure and build first:" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+    exit 1
+fi
+
+out="${repo_root}/BENCH_pv.json"
+"${bench_bin}" \
+    --benchmark_format=json \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json \
+    "$@"
+echo "wrote ${out}"

@@ -35,6 +35,48 @@ setDieTemps(cpu::MultiCoreChip &chip, double ambient_c)
         chip.core(i).setDieTempC(ambient_c + 30.0);
 }
 
+/**
+ * One step of the per-core RC thermal loop: integrate each die's
+ * temperature, feed it back into the leakage model, and throttle any
+ * core past the limit. Returns the number of forced notch-downs.
+ */
+int
+stepRcThermal(cpu::MultiCoreChip &chip,
+              std::vector<cpu::ThermalModel> &thermal, double ambient_c,
+              const SimConfig &cfg)
+{
+    int throttles = 0;
+    for (int i = 0; i < chip.numCores(); ++i) {
+        auto &core = chip.core(i);
+        const double t = thermal[static_cast<std::size_t>(i)].step(
+            core.power().totalW(), ambient_c, cfg.dtSeconds);
+        core.setDieTempC(t);
+        if (t > cfg.maxDieTempC && !core.gated() &&
+            core.level() > chip.dvfs().minLevel()) {
+            core.setLevel(core.level() - 1);
+            ++throttles;
+        }
+    }
+    return throttles;
+}
+
+/**
+ * Select the day's MPP memo: the caller-provided cross-day cache when
+ * it matches this simulation's array, else a fresh per-day one (still
+ * collapses repeated trace conditions, e.g. the overcast plateaus).
+ */
+pv::MppCache &
+selectMppCache(std::optional<pv::MppCache> &local,
+               const pv::PvModule &module, const SimConfig &cfg)
+{
+    if (cfg.mppCache &&
+        cfg.mppCache->compatibleWith(module, cfg.modulesSeries,
+                                     cfg.modulesParallel))
+        return *cfg.mppCache;
+    local.emplace(module, cfg.modulesSeries, cfg.modulesParallel);
+    return *local;
+}
+
 } // namespace
 
 DayResult
@@ -50,6 +92,8 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     chip.setGatingAllowed(cfg.pcpg);
     pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
                       pv::kStc);
+    std::optional<pv::MppCache> local_cache;
+    pv::MppCache &mpp_cache = selectMppCache(local_cache, module, cfg);
 
     const bool tracking = cfg.policy != PolicyKind::FixedPower;
     auto adapter = tracking ? makeAdapter(cfg.policy) : nullptr;
@@ -99,23 +143,13 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         if (cfg.rcThermal) {
             // Close the power -> temperature -> leakage loop per core,
             // and throttle any core past the thermal limit.
-            for (int i = 0; i < chip.numCores(); ++i) {
-                auto &core = chip.core(i);
-                const double t = thermal[static_cast<std::size_t>(i)]
-                                     .step(core.power().totalW(),
-                                           ambient, cfg.dtSeconds);
-                core.setDieTempC(t);
-                if (t > cfg.maxDieTempC && !core.gated() &&
-                    core.level() > chip.dvfs().minLevel()) {
-                    core.setLevel(core.level() - 1);
-                    ++result.thermalThrottles;
-                }
-            }
+            result.thermalThrottles +=
+                stepRcThermal(chip, thermal, ambient, cfg);
         } else {
             setDieTemps(chip, ambient);
         }
 
-        const auto mpp = pv::findMpp(array);
+        const auto mpp = mpp_cache.mpp(array.environment());
         result.mppEnergyWh += mpp.power * cfg.dtSeconds / 3600.0;
 
         ats.update(mpp.power, cfg.dtSeconds);
@@ -232,8 +266,11 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     }
 
     auto chip = buildChip(workload, cfg);
+    chip.setGatingAllowed(cfg.pcpg);
     pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
                       pv::kStc);
+    std::optional<pv::MppCache> local_cache;
+    pv::MppCache &mpp_cache = selectMppCache(local_cache, module, cfg);
     auto adapter = makeAdapter(cfg.policy == PolicyKind::FixedPower
                                    ? PolicyKind::MpptOpt
                                    : cfg.policy);
@@ -250,6 +287,8 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     const double dt_h = cfg.dtSeconds / 3600.0;
     double last_track_minute = -1e9;
     bool was_on_solar = false;
+    std::vector<cpu::ThermalModel> thermal(
+        static_cast<std::size_t>(chip.numCores()));
 
     chip.setAllLevels(chip.dvfs().maxLevel());
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
@@ -257,8 +296,15 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
         array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
-        setDieTemps(chip, ambient);
-        const auto mpp = pv::findMpp(array);
+        // Mirror simulateDay's thermal handling instead of always using
+        // the ambient proxy, so the rcThermal/pcpg ablations act on the
+        // hybrid extension too.
+        if (cfg.rcThermal)
+            day.thermalThrottles +=
+                stepRcThermal(chip, thermal, ambient, cfg);
+        else
+            setDieTemps(chip, ambient);
+        const auto mpp = mpp_cache.mpp(array.environment());
         day.mppEnergyWh += mpp.power * dt_h;
 
         ats.update(mpp.power, cfg.dtSeconds);
@@ -333,17 +379,20 @@ simulateBatteryDay(const pv::PvModule &module,
     BatteryDayResult result;
     result.deratingFactor = derating_factor;
 
-    // Pass 1: harvestable energy at the MPP over the day.
-    pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
-                      pv::kStc);
+    // Pass 1: harvestable energy at the MPP over the day. The memo
+    // makes repeated passes over one trace (the de-rating sweeps rerun
+    // this identical sequence per factor) near-free after the first.
+    std::optional<pv::MppCache> local_cache;
+    pv::MppCache &mpp_cache = selectMppCache(local_cache, module, cfg);
     const double dt_min = cfg.dtSeconds / 60.0;
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
-        array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
         result.mppEnergyWh +=
-            pv::findMpp(array).power * cfg.dtSeconds / 3600.0;
+            mpp_cache.mpp({g, module.cellTempFromAmbient(ambient, g)})
+                .power *
+            cfg.dtSeconds / 3600.0;
     }
 
     // Stable delivery level over the full daytime window.

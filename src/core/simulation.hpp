@@ -18,6 +18,7 @@
 #include "core/controller.hpp"
 #include "core/load_adapter.hpp"
 #include "pv/bp3180n.hpp"
+#include "pv/mpp_cache.hpp"
 #include "solar/trace.hpp"
 #include "workload/multiprogram.hpp"
 
@@ -71,6 +72,16 @@ struct SimConfig
                                        //!< this temperature are forced
                                        //!< down one DVFS notch per step
     bool recordTimeline = false;       //!< keep the per-minute trace
+    pv::MppCache *mppCache = nullptr;  //!< borrowed cross-day MPP memo;
+                                       //!< sweep drivers replaying one
+                                       //!< trace for many workloads /
+                                       //!< budgets share one so each
+                                       //!< environment is solved once.
+                                       //!< Must match the module and
+                                       //!< arrangement; a per-day cache
+                                       //!< is used when null or
+                                       //!< incompatible. Not
+                                       //!< thread-safe: one per worker.
 };
 
 /** One per-minute sample for the tracking-accuracy figures. */

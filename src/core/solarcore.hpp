@@ -41,9 +41,11 @@
 #include "power/ups.hpp"
 #include "pv/bp3180n.hpp"
 #include "pv/mpp.hpp"
+#include "pv/mpp_cache.hpp"
 #include "pv/shading.hpp"
 #include "solar/midc.hpp"
 #include "solar/trace.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/catalog.hpp"
 #include "workload/multiprogram.hpp"
 

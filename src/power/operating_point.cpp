@@ -58,9 +58,12 @@ pinRailVoltage(const pv::IvSource &source, DcDcConverter &conv,
     if (voc <= 0.0)
         return st;
 
-    // The panel must source the demand plus converter loss.
+    // The panel must source the demand plus converter loss. A uniform
+    // array takes the analytic MPP fast path; this solve dominates the
+    // controller's sustainable() probes, the simulation's hottest loop.
     const double p_needed = demand_w / conv.efficiency();
-    const auto mpp = pv::findMpp(source);
+    const auto *array = dynamic_cast<const pv::PvArray *>(&source);
+    const auto mpp = array ? pv::findMpp(*array) : pv::findMpp(source);
     if (p_needed > mpp.power)
         return st; // rail would collapse
 

@@ -1,5 +1,6 @@
 #include "cell.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/logging.hpp"
@@ -12,7 +13,21 @@ namespace {
 constexpr double kBoltzmann = 1.380649e-23; // [J/K]
 constexpr double kElectron = 1.602176634e-19; // [C]
 
+std::atomic<bool> g_newton_iv_solve{false};
+
 } // namespace
+
+void
+setNewtonIvSolve(bool enabled)
+{
+    g_newton_iv_solve.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+newtonIvSolve()
+{
+    return g_newton_iv_solve.load(std::memory_order_relaxed);
+}
 
 SolarCell::SolarCell(const CellParams &params) : params_(params)
 {
@@ -62,6 +77,35 @@ SolarCell::currentAt(double v, const Environment &env) const
         const double vt = thermalVoltage(env.cellTempC);
         return -saturationCurrent(env.cellTempC) * std::expm1(v / vt);
     }
+    if (newtonIvSolve())
+        return currentAtNewton(v, env);
+
+    const double iph = photoCurrent(env);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double vt = thermalVoltage(env.cellTempC);
+    const double rs = params_.seriesRes;
+    if (rs <= 0.0)
+        return iph - i0 * std::expm1(v / vt); // explicit without Rs
+
+    // Closed form: with A = Iph + I0 and
+    //   theta = (I0 Rs / Vt) exp((V + A Rs) / Vt),
+    // the implicit equation collapses to I = A - (Vt/Rs) W(theta).
+    // theta overflows double for large forward bias, so W is evaluated
+    // from log(theta) directly.
+    const double a = iph + i0;
+    const double log_theta =
+        std::log(i0 * rs / vt) + (v + a * rs) / vt;
+    const double w = lambertW0exp(log_theta);
+    return a - w * vt / rs;
+}
+
+double
+SolarCell::currentAtNewton(double v, const Environment &env) const
+{
+    if (env.irradiance <= 0.0) {
+        const double vt = thermalVoltage(env.cellTempC);
+        return -saturationCurrent(env.cellTempC) * std::expm1(v / vt);
+    }
 
     const double iph = photoCurrent(env);
     const double i0 = saturationCurrent(env.cellTempC);
@@ -80,6 +124,101 @@ SolarCell::currentAt(double v, const Environment &env) const
     const double hi = iph;
     const auto res = newton(f, df, iph * 0.9, lo, hi, 1e-12, 100);
     return res.x;
+}
+
+double
+SolarCell::currentSlopeAt(double v, const Environment &env) const
+{
+    const double vt = thermalVoltage(env.cellTempC);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double rs = params_.seriesRes;
+    if (env.irradiance <= 0.0 || rs <= 0.0) {
+        // dI/dV = -(I0/Vt) exp(V/Vt), the bare diode slope.
+        return -i0 / vt * std::exp(v / vt);
+    }
+    const double a = photoCurrent(env) + i0;
+    const double log_theta =
+        std::log(i0 * rs / vt) + (v + a * rs) / vt;
+    const double w = lambertW0exp(log_theta);
+    return -w / (rs * (1.0 + w));
+}
+
+double
+SolarCell::mppVoltage(const Environment &env) const
+{
+    if (env.irradiance <= 0.0)
+        return 0.0;
+
+    const double iph = photoCurrent(env);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double vt = thermalVoltage(env.cellTempC);
+
+    // Exact for Rs = 0: dP/dV = 0 gives (1 + V/Vt) e^(1 + V/Vt)
+    // = e (1 + Iph/I0), i.e. Vmp = Vt (W(e (1 + Iph/I0)) - 1).
+    const double v0 = vt * (lambertW0exp(1.0 + std::log1p(iph / i0)) - 1.0);
+    if (params_.seriesRes <= 0.0)
+        return v0;
+
+    // Rs > 0 shifts the terminal-voltage optimum left by roughly
+    // Imp * Rs; the seed lands close enough that a handful of
+    // safeguarded Newton steps on dP/dV reach machine precision.
+    return refineMppVoltage(v0 - iph * params_.seriesRes, env, 20);
+}
+
+double
+SolarCell::refineMppVoltage(double v_seed, const Environment &env,
+                            int iters) const
+{
+    if (env.irradiance <= 0.0)
+        return 0.0;
+
+    double lo = 0.0;
+    double hi = openCircuitVoltage(env);
+    double v = clamp(v_seed, lo, hi);
+    const double vt = thermalVoltage(env.cellTempC);
+    const double i0 = saturationCurrent(env.cellTempC);
+    const double rs = params_.seriesRes;
+    const double a = photoCurrent(env) + i0;
+
+    for (int it = 0; it < iters; ++it) {
+        // g(V) = dP/dV = I + V I' and g'(V) = 2 I' + V I'', all in
+        // closed form; g is strictly decreasing on [0, Voc].
+        double i, di, d2i;
+        if (rs <= 0.0) {
+            const double e = i0 * std::exp(v / vt);
+            i = a - e; // == Iph - I0 expm1(v/vt)
+            di = -e / vt;
+            d2i = -e / (vt * vt);
+        } else {
+            const double log_theta =
+                std::log(i0 * rs / vt) + (v + a * rs) / vt;
+            const double w = lambertW0exp(log_theta);
+            i = a - w * vt / rs;
+            di = -w / (rs * (1.0 + w));
+            const double opw = 1.0 + w;
+            d2i = -w / (rs * vt * opw * opw * opw);
+        }
+        const double g = i + v * di;
+        const double dg = 2.0 * di + v * d2i;
+
+        // Maintain the bracket: g > 0 left of the MPP, < 0 right of it.
+        if (g > 0.0)
+            lo = v;
+        else
+            hi = v;
+
+        double next = dg != 0.0 ? v - g / dg : 0.5 * (lo + hi);
+        // Converged: a vanishing Newton step means v is the root. Check
+        // before the bracket rejection below, which would otherwise
+        // mistake the on-the-boundary step for an escape and bisect
+        // away from the already-converged point.
+        if (std::abs(next - v) <= 1e-15 * (1.0 + std::abs(v)))
+            return v;
+        if (next <= lo || next >= hi)
+            next = 0.5 * (lo + hi);
+        v = next;
+    }
+    return v;
 }
 
 double

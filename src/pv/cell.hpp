@@ -12,6 +12,14 @@
  *
  * with irradiance-proportional, temperature-corrected photocurrent and
  * the standard T^3 * exp(-Eg/kT) dark-saturation-current scaling.
+ *
+ * The implicit equation has a closed-form solution via the Lambert W
+ * function,
+ *
+ *   I = Iph + I0 - (Vt / Rs) * W( (I0 Rs / Vt) exp((V + (Iph+I0) Rs)/Vt) )
+ *
+ * which is the default evaluation path; the original damped-Newton
+ * solve is retained behind setNewtonIvSolve() as a cross-check oracle.
  */
 
 #ifndef SOLARCORE_PV_CELL_HPP
@@ -38,6 +46,8 @@ struct CellParams
     double idealityN = 1.30;    //!< diode ideality factor
     double seriesRes = 0.0;     //!< series resistance Rs [ohm]
     double bandgapEv = 1.12;    //!< silicon bandgap [eV]
+
+    bool operator==(const CellParams &) const = default;
 };
 
 /**
@@ -62,13 +72,40 @@ class SolarCell
     /**
      * Output current at terminal voltage @p v [V].
      *
-     * Solves the implicit diode equation by damped Newton iteration;
-     * monotone decreasing in v, so the solve is globally convergent.
-     * Negative results (v beyond Voc) are returned as-is so callers can
-     * detect reverse bias; clamp at the call site when modelling a
-     * blocking diode.
+     * Evaluated in closed form via the Lambert W function (one
+     * transcendental solve, no inner iteration); monotone decreasing
+     * in v. Negative results (v beyond Voc) are returned as-is so
+     * callers can detect reverse bias; clamp at the call site when
+     * modelling a blocking diode. When the Newton oracle flag is set
+     * (setNewtonIvSolve) the original damped-Newton solve runs instead.
      */
     double currentAt(double v, const Environment &env) const;
+
+    /**
+     * The original damped-Newton solve of the implicit diode equation,
+     * kept as a cross-check oracle for the closed-form path (parity is
+     * asserted to <= 1e-9 relative across the environmental grid).
+     */
+    double currentAtNewton(double v, const Environment &env) const;
+
+    /** dI/dV at terminal voltage @p v [A/V]; analytic, always <= 0. */
+    double currentSlopeAt(double v, const Environment &env) const;
+
+    /**
+     * Cell voltage of the maximum power point [V], solved analytically:
+     * the exact Rs = 0 closed form Vmp = Vt (W(e (1 + Iph/I0)) - 1)
+     * seeds a safeguarded Newton on dP/dV = I + V dI/dV with both terms
+     * from the Lambert-W evaluation. Returns 0 for a dark cell.
+     */
+    double mppVoltage(const Environment &env) const;
+
+    /**
+     * Polish an MPP voltage estimate @p v_seed with @p iters Newton
+     * steps on dP/dV (bracketed in [0, Voc]). Used by the (G, T) grid
+     * cache to turn a bilinear interpolant into a near-exact MPP.
+     */
+    double refineMppVoltage(double v_seed, const Environment &env,
+                            int iters = 2) const;
 
     /** Open-circuit voltage at the given condition [V]. */
     double openCircuitVoltage(const Environment &env) const;
@@ -83,6 +120,16 @@ class SolarCell
     CellParams params_;
     double i0Ref_; //!< saturation current at STC, from Voc/Isc calibration
 };
+
+/**
+ * Route SolarCell::currentAt through the legacy damped-Newton solve
+ * (true) instead of the closed-form Lambert-W path (false, default).
+ * Global and atomic; intended for parity tests and benchmarks only.
+ */
+void setNewtonIvSolve(bool enabled);
+
+/** Current state of the Newton-oracle flag. */
+bool newtonIvSolve();
 
 /** Convert Celsius to Kelvin. */
 constexpr double

@@ -1,5 +1,7 @@
 #include "mpp.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 #include "util/math.hpp"
 
@@ -8,11 +10,11 @@ namespace solarcore::pv {
 MppResult
 findMpp(const IvSource &source, double v_tol)
 {
-    MppResult res;
     const double voc = source.openCircuitVoltage();
     if (voc <= 0.0)
-        return res; // dark panel: zero power everywhere
+        return MppResult{}; // dark panel: explicitly all-zero MPP
 
+    MppResult res;
     auto power = [&](double v) { return v * source.currentAt(v); };
     const auto opt = goldenMax(power, 0.0, voc, v_tol);
     res.voltage = opt.x;
@@ -21,13 +23,47 @@ findMpp(const IvSource &source, double v_tol)
     return res;
 }
 
+MppResult
+findMpp(const PvArray &array)
+{
+    const Environment &env = array.environment();
+    if (env.irradiance <= 0.0)
+        return MppResult{};
+
+    // Oracle mode: route through the generic golden-section search so
+    // the flag switches the complete seed solve, not just the I-V
+    // kernel (the parity tests and BM_*Newton baselines rely on this).
+    if (newtonIvSolve())
+        return findMpp(static_cast<const IvSource &>(array));
+
+    const PvModule &module = array.module();
+    const SolarCell &cell = module.cell();
+    const double v_cell = cell.mppVoltage(env);
+    const double i_cell = std::max(0.0, cell.currentAt(v_cell, env));
+
+    MppResult res;
+    res.voltage = v_cell *
+        static_cast<double>(module.cellsSeries() * array.modulesSeries());
+    res.current = i_cell *
+        static_cast<double>(module.stringsParallel() *
+                            array.modulesParallel());
+    res.power = res.voltage * res.current;
+    return res;
+}
+
 std::vector<IvSample>
 sampleIvCurve(const IvSource &source, int points)
 {
     SC_ASSERT(points >= 2, "sampleIvCurve: need at least two points");
     std::vector<IvSample> samples;
-    samples.reserve(static_cast<std::size_t>(points));
     const double voc = source.openCircuitVoltage();
+    if (voc <= 0.0) {
+        // Dark source: the whole curve degenerates to the origin; one
+        // zero sample instead of `points` duplicates of it.
+        samples.push_back({0.0, 0.0, 0.0});
+        return samples;
+    }
+    samples.reserve(static_cast<std::size_t>(points));
     for (int i = 0; i < points; ++i) {
         const double v = voc * static_cast<double>(i) /
             static_cast<double>(points - 1);

@@ -24,8 +24,20 @@ struct MppResult
 /**
  * Locate the MPP of @p source by golden-section search on P(V) over
  * [0, Voc]. P(V) = V * I(V) is unimodal for a single-diode source.
+ * Generic fallback for arbitrary characteristics (partial shading,
+ * composite strings); uniform arrays take the analytic overload below.
  */
 MppResult findMpp(const IvSource &source, double v_tol = 1e-4);
+
+/**
+ * Fast path for a uniform series-parallel array: the cell-level MPP is
+ * solved analytically (closed-form Lambert-W seed plus a bracketed
+ * Newton polish on dP/dV) and scaled by the arrangement -- no
+ * golden-section probing, no inner I-V iteration. Exact to machine
+ * precision; parity with the golden/Newton path is tested across the
+ * full (G, T) grid.
+ */
+MppResult findMpp(const PvArray &array);
 
 /** One sample of an I-V / P-V sweep. */
 struct IvSample

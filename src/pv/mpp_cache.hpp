@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Environment-keyed memoization of maximum-power-point solves.
+ *
+ * The figure sweeps replay the same irradiance/temperature trace for
+ * many workloads and budgets, so the per-timestep findMpp calls repeat
+ * identical (G, T) environments tens of times. MppCache memoizes the
+ * analytic MPP per (optionally quantized) environment key; MppGrid
+ * additionally precomputes a small bilinear (G, T) grid whose
+ * interpolant, polished by the cell's analytic Newton refinement,
+ * answers arbitrary conditions without a full solve.
+ */
+
+#ifndef SOLARCORE_PV_MPP_CACHE_HPP
+#define SOLARCORE_PV_MPP_CACHE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pv/mpp.hpp"
+
+namespace solarcore::pv {
+
+/**
+ * Memoized MPP solver for one fixed array arrangement.
+ *
+ * Keys are the raw bit patterns of (G, T) by default (hits only on
+ * exactly repeated environments -- no accuracy change whatsoever), or
+ * quantized to (g_quantum, t_quantum) buckets when a controlled
+ * accuracy/hit-rate trade is wanted. Not thread-safe; use one cache
+ * per worker (the sweep driver does).
+ */
+class MppCache
+{
+  public:
+    /** Hit/miss counters for tests and benchmarks. */
+    struct Stats
+    {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+    };
+
+    MppCache(const PvModule &module, int modules_series,
+             int modules_parallel, double g_quantum = 0.0,
+             double t_quantum = 0.0);
+
+    /** The MPP at @p env: memo lookup, analytic solve on miss. */
+    MppResult mpp(const Environment &env);
+
+    /** True if the cache was built for this module and arrangement. */
+    bool compatibleWith(const PvModule &module, int modules_series,
+                        int modules_parallel) const;
+
+    void clear();
+    std::size_t size() const { return memo_.size(); }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Key
+    {
+        std::int64_t g = 0;
+        std::int64_t t = 0;
+
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            // splitmix-style mix of both halves; equality is exact, so
+            // collisions only cost a probe, never a wrong result.
+            std::uint64_t h = static_cast<std::uint64_t>(k.g);
+            h ^= static_cast<std::uint64_t>(k.t) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2);
+            return static_cast<std::size_t>(h * 0xbf58476d1ce4e5b9ULL);
+        }
+    };
+
+    Key keyFor(const Environment &env) const;
+
+    PvArray array_;
+    double gQuantum_;
+    double tQuantum_;
+    std::unordered_map<Key, MppResult, KeyHash> memo_;
+    Stats stats_;
+};
+
+/**
+ * Precomputed bilinear MPP surface over a (G, T) rectangle.
+ *
+ * interpolate() answers in a handful of flops with the bilinear error
+ * of the grid pitch; refined() polishes the interpolated voltage with
+ * the cell's analytic Newton steps, recovering the exact MPP at about
+ * a third of the cost of a cold solve. Immutable after construction,
+ * hence freely shared across threads.
+ */
+class MppGrid
+{
+  public:
+    MppGrid(const PvModule &module, int modules_series,
+            int modules_parallel, double g_min, double g_max, int g_steps,
+            double t_min, double t_max, int t_steps);
+
+    /** Bilinear interpolation of the precomputed MPP surface. */
+    MppResult interpolate(const Environment &env) const;
+
+    /** Interpolated voltage polished to the exact MPP analytically. */
+    MppResult refined(const Environment &env) const;
+
+    int gSteps() const { return gSteps_; }
+    int tSteps() const { return tSteps_; }
+
+  private:
+    MppResult at(int gi, int ti) const;
+
+    PvModule module_;
+    int modulesSeries_;
+    int modulesParallel_;
+    double gMin_, gMax_;
+    double tMin_, tMax_;
+    int gSteps_, tSteps_;
+    std::vector<MppResult> table_; //!< row-major [g][t]
+};
+
+} // namespace solarcore::pv
+
+#endif // SOLARCORE_PV_MPP_CACHE_HPP

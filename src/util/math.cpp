@@ -149,6 +149,69 @@ goldenMax(const std::function<double(double)> &f, double lo, double hi,
     return res;
 }
 
+double
+lambertW0(double x)
+{
+    SC_ASSERT(x >= -1.0 / std::exp(1.0) - 1e-300,
+              "lambertW0: argument below the branch point -1/e");
+    if (x == 0.0)
+        return 0.0;
+
+    // Seed. Near the branch point the series in p = sqrt(2(e x + 1))
+    // is accurate; elsewhere a log asymptote (large x) or the argument
+    // itself (small x) lands within Halley's basin.
+    double w;
+    if (x < -0.25) {
+        const double p = std::sqrt(2.0 * (std::exp(1.0) * x + 1.0));
+        w = -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p;
+    } else if (x < 3.0) {
+        // W(x) ~ x (1 - x + 3/2 x^2) for |x| < 1; crude beyond, but the
+        // iteration below converges from it throughout [-0.25, 3).
+        w = x < 1.0 ? x * (1.0 - x + 1.5 * x * x) : std::log1p(x);
+    } else {
+        const double l1 = std::log(x);
+        const double l2 = std::log(l1);
+        w = l1 - l2 + l2 / l1;
+    }
+
+    // Halley iteration on f(w) = w e^w - x.
+    for (int i = 0; i < 20; ++i) {
+        const double ew = std::exp(w);
+        const double f = w * ew - x;
+        const double denom =
+            ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        const double step = f / denom;
+        if (!std::isfinite(step))
+            break; // at the branch point the series seed is the answer
+        w -= step;
+        if (std::abs(step) <= 1e-16 * (1.0 + std::abs(w)))
+            break;
+    }
+    return w;
+}
+
+double
+lambertW0exp(double y)
+{
+    // For modest y the direct evaluation is exact and handles the
+    // w <= 0 half of the range (exp(y) < e never overflows).
+    if (y < 1.0)
+        return lambertW0(std::exp(y));
+
+    // Solve w + log(w) = y, w > 1: Newton with the asymptotic seed
+    // w ~ y - log(y). g(w) = w + log w - y is increasing and concave,
+    // so Newton from either side converges monotonically.
+    double w = y - std::log(y);
+    for (int i = 0; i < 20; ++i) {
+        const double step =
+            (w + std::log(w) - y) * w / (w + 1.0);
+        w -= step;
+        if (std::abs(step) <= 1e-16 * (1.0 + std::abs(w)))
+            break;
+    }
+    return w;
+}
+
 bool
 approxEqual(double a, double b, double tol)
 {

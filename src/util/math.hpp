@@ -60,6 +60,28 @@ SolveResult newton(const std::function<double(double)> &f,
 SolveResult goldenMax(const std::function<double(double)> &f, double lo,
                       double hi, double x_tol = 1e-6, int max_iter = 200);
 
+/**
+ * Principal branch of the Lambert W function: the solution w >= -1 of
+ * w * exp(w) = x, defined for x >= -1/e.
+ *
+ * Seeded by the branch-point series near -1/e and the log asymptote
+ * for large x, then polished by Halley iteration; accurate to machine
+ * precision in 3-4 iterations. Used by the closed-form single-diode
+ * I-V solve (pv/cell.cpp), which replaces a nested Newton loop on the
+ * simulation's hottest path.
+ */
+double lambertW0(double x);
+
+/**
+ * Overflow-safe W0(exp(y)): the solution w > 0 of w + log(w) = y.
+ *
+ * Equivalent to lambertW0(std::exp(y)) but valid for any y, including
+ * y > 709 where exp(y) itself overflows. The diode solve needs this
+ * because its W argument is exp((V + Iph*Rs)/Vt) scaled by a tiny
+ * prefactor -- representable only in log space.
+ */
+double lambertW0exp(double y);
+
 /** Linear interpolation: value at t in [0,1] between a and b. */
 constexpr double
 lerp(double a, double b, double t)

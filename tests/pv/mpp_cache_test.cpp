@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the environment-keyed MPP memo and the bilinear (G, T)
+ * grid with analytic refinement.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pv/bp3180n.hpp"
+#include "pv/mpp_cache.hpp"
+
+namespace solarcore::pv {
+namespace {
+
+const PvModule &
+testModule()
+{
+    static const PvModule m = buildBp3180n();
+    return m;
+}
+
+TEST(MppCache, ExactModeIsBitIdenticalToDirectSolve)
+{
+    MppCache cache(testModule(), 1, 1);
+    PvArray array(testModule(), 1, 1, kStc);
+    for (double g : {150.0, 480.0, 725.0, 1000.0}) {
+        for (double t : {-5.0, 22.0, 61.0}) {
+            array.setEnvironment({g, t});
+            const auto direct = findMpp(array);
+            const auto cached = cache.mpp({g, t});
+            EXPECT_EQ(cached.voltage, direct.voltage) << g << " " << t;
+            EXPECT_EQ(cached.current, direct.current) << g << " " << t;
+            EXPECT_EQ(cached.power, direct.power) << g << " " << t;
+        }
+    }
+}
+
+TEST(MppCache, RepeatedEnvironmentHitsTheMemo)
+{
+    MppCache cache(testModule(), 1, 1);
+    const Environment env{800.0, 40.0};
+    const auto first = cache.mpp(env);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    for (int i = 0; i < 5; ++i) {
+        const auto again = cache.mpp(env);
+        EXPECT_EQ(again.power, first.power);
+    }
+    EXPECT_EQ(cache.stats().hits, 5u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MppCache, EnvironmentChangeInvalidatesNothingButMissesCorrectly)
+{
+    // The memo is keyed, not stateful: after an environment change the
+    // new condition resolves to its own fresh entry and going back to
+    // the first one still returns the original result.
+    MppCache cache(testModule(), 1, 1);
+    const Environment a{900.0, 30.0};
+    const Environment b{300.0, 10.0};
+
+    const auto mpp_a = cache.mpp(a);
+    const auto mpp_b = cache.mpp(b);
+    EXPECT_NE(mpp_a.power, mpp_b.power);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    PvArray oracle(testModule(), 1, 1, a);
+    const auto direct_a = findMpp(oracle);
+    oracle.setEnvironment(b);
+    const auto direct_b = findMpp(oracle);
+    EXPECT_EQ(cache.mpp(a).power, direct_a.power);
+    EXPECT_EQ(cache.mpp(b).power, direct_b.power);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(MppCache, DarkEnvironmentBypassesTheMemo)
+{
+    MppCache cache(testModule(), 1, 1);
+    const auto mpp = cache.mpp({0.0, 25.0});
+    EXPECT_EQ(mpp.power, 0.0);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(MppCache, QuantizedModeCollapsesNearbyEnvironments)
+{
+    MppCache cache(testModule(), 1, 1, /*g_quantum=*/1.0,
+                   /*t_quantum=*/0.1);
+    const auto a = cache.mpp({800.2, 40.02});
+    const auto b = cache.mpp({799.9, 39.98});
+    EXPECT_EQ(a.power, b.power);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // A full bucket away resolves separately.
+    const auto c = cache.mpp({805.0, 40.0});
+    EXPECT_NE(c.power, a.power);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MppCache, CompatibilityChecksModuleAndArrangement)
+{
+    MppCache cache(testModule(), 2, 3);
+    EXPECT_TRUE(cache.compatibleWith(testModule(), 2, 3));
+    EXPECT_FALSE(cache.compatibleWith(testModule(), 1, 1));
+
+    CellParams other;
+    other.seriesRes = 0.02;
+    const PvModule different(SolarCell(other), 36, 1);
+    EXPECT_FALSE(cache.compatibleWith(different, 2, 3));
+}
+
+TEST(MppCache, ClearResetsEntriesAndCounters)
+{
+    MppCache cache(testModule(), 1, 1);
+    cache.mpp({500.0, 25.0});
+    cache.mpp({500.0, 25.0});
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(MppGrid, InterpolationIsExactOnGridNodes)
+{
+    MppGrid grid(testModule(), 1, 1, 100.0, 1000.0, 10, -10.0, 75.0, 9);
+    PvArray array(testModule(), 1, 1, {100.0, -10.0});
+    const auto direct = findMpp(array);
+    const auto interp = grid.interpolate({100.0, -10.0});
+    EXPECT_NEAR(interp.power, direct.power, 1e-9 * direct.power);
+}
+
+TEST(MppGrid, InterpolationErrorIsSmallBetweenNodes)
+{
+    MppGrid grid(testModule(), 1, 1, 100.0, 1000.0, 19, -10.0, 75.0, 18);
+    PvArray array(testModule(), 1, 1, kStc);
+    for (double g : {130.0, 475.0, 910.0}) {
+        for (double t : {-3.0, 33.0, 68.0}) {
+            array.setEnvironment({g, t});
+            const auto direct = findMpp(array);
+            const auto interp = grid.interpolate({g, t});
+            // Bilinear on a ~50 W/m^2 x 5 C pitch: sub-percent power.
+            EXPECT_NEAR(interp.power, direct.power, 0.01 * direct.power)
+                << g << " " << t;
+        }
+    }
+}
+
+TEST(MppGrid, RefinementRecoversTheExactMpp)
+{
+    MppGrid grid(testModule(), 1, 1, 100.0, 1000.0, 10, -10.0, 75.0, 9);
+    PvArray array(testModule(), 1, 1, kStc);
+    for (double g : {130.0, 475.0, 910.0}) {
+        for (double t : {-3.0, 33.0, 68.0}) {
+            array.setEnvironment({g, t});
+            const auto direct = findMpp(array);
+            const auto refined = grid.refined({g, t});
+            EXPECT_NEAR(refined.power, direct.power,
+                        1e-9 * (1.0 + direct.power))
+                << g << " " << t;
+            EXPECT_NEAR(refined.voltage, direct.voltage,
+                        1e-6 * (1.0 + direct.voltage))
+                << g << " " << t;
+        }
+    }
+}
+
+TEST(MppGrid, DarkEnvironmentIsZero)
+{
+    MppGrid grid(testModule(), 1, 1, 100.0, 1000.0, 4, -10.0, 75.0, 4);
+    const auto mpp = grid.refined({0.0, 25.0});
+    EXPECT_EQ(mpp.power, 0.0);
+}
+
+} // namespace
+} // namespace solarcore::pv

@@ -114,6 +114,48 @@ TEST(ApproxEqual, RelativeScale)
     EXPECT_TRUE(approxEqual(0.0, 0.0));
 }
 
+TEST(LambertW0, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(lambertW0(0.0), 0.0);
+    EXPECT_NEAR(lambertW0(1.0), 0.5671432904097838, 1e-15);
+    EXPECT_NEAR(lambertW0(std::exp(1.0)), 1.0, 1e-15);
+    EXPECT_NEAR(lambertW0(2.0 * std::exp(2.0)), 2.0, 1e-14);
+    // Branch point: W(-1/e) = -1.
+    EXPECT_NEAR(lambertW0(-std::exp(-1.0)), -1.0, 1e-7);
+    EXPECT_NEAR(lambertW0(-0.3), -0.4894022271802149, 1e-12);
+}
+
+TEST(LambertW0, DefiningIdentityAcrossMagnitudes)
+{
+    for (double x : {-0.35, -0.1, 1e-12, 1e-6, 0.1, 1.0, 10.0, 1e3, 1e8,
+                     1e150, 1e300}) {
+        const double w = lambertW0(x);
+        EXPECT_NEAR(w * std::exp(w), x, 1e-12 * std::abs(x) + 1e-15)
+            << "x=" << x;
+    }
+}
+
+TEST(LambertW0Exp, SolvesLogFormBeyondExpRange)
+{
+    // lambertW0exp(y) solves w + ln w = y, i.e. w = W(e^y), including
+    // y far past the exp() overflow threshold.
+    for (double y : {-5.0, 0.0, 1.0, 50.0, 709.0, 1000.0, 1e4, 1e6}) {
+        const double w = lambertW0exp(y);
+        EXPECT_GT(w, 0.0);
+        EXPECT_NEAR(w + std::log(w), y, 1e-12 * (1.0 + std::abs(y)))
+            << "y=" << y;
+    }
+}
+
+TEST(LambertW0Exp, MatchesDirectFormInOverlap)
+{
+    for (double y : {-2.0, 0.0, 0.5, 3.0, 20.0, 100.0}) {
+        EXPECT_NEAR(lambertW0exp(y), lambertW0(std::exp(y)),
+                    1e-13 * (1.0 + lambertW0(std::exp(y))))
+            << "y=" << y;
+    }
+}
+
 /** Property sweep: bisection root matches analytic root of x^3 - c. */
 class CubeRootSweep : public ::testing::TestWithParam<double>
 {

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the fixed-size worker pool: coverage, determinism across
+ * thread counts, reuse, and exception propagation.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace solarcore {
+namespace {
+
+/** A task-indexed pseudo-simulation: order-sensitive float pipeline. */
+std::vector<double>
+runPipeline(int threads, std::size_t n)
+{
+    std::vector<double> out(n);
+    ThreadPool pool(threads);
+    pool.parallelFor(n, [&](std::size_t i) {
+        // Result depends only on the index, never on thread identity.
+        double acc = static_cast<double>(i) + 1.0;
+        for (int k = 0; k < 100; ++k)
+            acc = std::fma(acc, 1.0000001, std::sin(acc) * 1e-3);
+        out[i] = acc;
+    });
+    return out;
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    for (int threads : {1, 2, 4}) {
+        std::vector<std::atomic<int>> counts(257);
+        ThreadPool pool(threads);
+        pool.parallelFor(counts.size(),
+                         [&](std::size_t i) { ++counts[i]; });
+        for (const auto &c : counts)
+            EXPECT_EQ(c.load(), 1) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, ResultsAreBitIdenticalAcrossThreadCounts)
+{
+    const auto seq = runPipeline(1, 301);
+    for (int threads : {2, 3, 8}) {
+        const auto par = runPipeline(threads, 301);
+        ASSERT_EQ(par.size(), seq.size());
+        for (std::size_t i = 0; i < seq.size(); ++i)
+            EXPECT_EQ(par[i], seq[i])
+                << "threads=" << threads << " i=" << i;
+    }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossJobs)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<int> out(round + 1, 0);
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = static_cast<int>(i) + round;
+        });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out[i], static_cast<int>(i) + round);
+    }
+}
+
+TEST(ThreadPool, ZeroAndSingleCountsAreHandled)
+{
+    ThreadPool pool(4);
+    int runs = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++runs; });
+    EXPECT_EQ(runs, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheCaller)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(64,
+                                      [&](std::size_t i) {
+                                          if (i == 13)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+        // The pool survives a throwing job.
+        std::atomic<int> ok{0};
+        pool.parallelFor(8, [&](std::size_t) { ++ok; });
+        EXPECT_EQ(ok.load(), 8);
+    }
+}
+
+TEST(ThreadPool, HardwareThreadsHasAFloorOfOne)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+} // namespace
+} // namespace solarcore
