@@ -40,7 +40,8 @@ standardTrace(solar::SiteId site, solar::Month month)
 core::DayResult
 runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
        core::PolicyKind policy, double fixed_budget_w, bool timeline,
-       double dt_seconds, pv::MppCache *mpp_cache)
+       double dt_seconds, pv::MppCache *mpp_cache,
+       obs::StatsRegistry *stats, obs::TraceBuffer *trace)
 {
     core::SimConfig cfg;
     cfg.policy = policy;
@@ -49,6 +50,8 @@ runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
     cfg.recordTimeline = timeline;
     cfg.seed = kBenchSeed;
     cfg.mppCache = mpp_cache;
+    cfg.stats = stats;
+    cfg.trace = trace;
     return core::simulateDay(standardModule(), standardTrace(site, month),
                              wl, cfg);
 }
@@ -64,6 +67,15 @@ threadsFromArgs(int argc, char **argv)
         }
     }
     return ThreadPool::hardwareThreads();
+}
+
+obs::ObsOptions
+obsOptionsFromArgs(int argc, char **argv)
+{
+    obs::ObsOptions opts;
+    for (int i = 1; i < argc; ++i)
+        opts.consume(argv[i]);
+    return opts;
 }
 
 core::BatteryDayResult

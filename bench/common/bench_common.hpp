@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/solarcore.hpp"
+#include "obs/obs_options.hpp"
 
 namespace solarcore::bench {
 
@@ -42,12 +43,16 @@ inline constexpr double kBenchDtSeconds = 30.0;
  * @param mpp_cache    optional cross-day MPP memo (one per worker);
  *                     sweeps replaying one trace for many workloads
  *                     and budgets solve each environment only once
+ * @param stats        optional stats registry (one per worker)
+ * @param trace        optional event-trace sink (one per worker)
  */
 core::DayResult runDay(solar::SiteId site, solar::Month month,
                        workload::WorkloadId wl, core::PolicyKind policy,
                        double fixed_budget_w = 75.0, bool timeline = false,
                        double dt_seconds = kBenchDtSeconds,
-                       pv::MppCache *mpp_cache = nullptr);
+                       pv::MppCache *mpp_cache = nullptr,
+                       obs::StatsRegistry *stats = nullptr,
+                       obs::TraceBuffer *trace = nullptr);
 
 /**
  * Parse a `--threads=N` argument (0 or omitted: all hardware threads).
@@ -55,6 +60,13 @@ core::DayResult runDay(solar::SiteId site, solar::Month month,
  * single-threaded (byte-identical output) or fanned across cores.
  */
 int threadsFromArgs(int argc, char **argv);
+
+/**
+ * Collect the shared observability flags (--stats-out=, --trace-out=,
+ * --trace-buffer=, --manifest-out=) from argv; unrecognized arguments
+ * are left for the binary's own parser.
+ */
+obs::ObsOptions obsOptionsFromArgs(int argc, char **argv);
 
 /** Run the battery baseline for a site-month/workload. */
 core::BatteryDayResult runBatteryDay(solar::SiteId site, solar::Month month,

@@ -1,7 +1,11 @@
 #include "tracking_figure.hpp"
 
 #include <iostream>
+#include <memory>
 
+#include "obs/manifest.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -9,11 +13,14 @@ namespace solarcore::bench {
 
 void
 printTrackingFigure(solar::SiteId site, solar::Month month,
-                    const char *figure_name, bool csv, int threads)
+                    const char *figure_name, bool csv, int threads,
+                    const obs::ObsOptions *obs)
 {
     const workload::WorkloadId wls[] = {workload::WorkloadId::H1,
                                         workload::WorkloadId::HM2,
                                         workload::WorkloadId::L1};
+
+    obs::RunManifest manifest(figure_name);
 
     if (!csv) {
         printBanner(std::cout,
@@ -25,15 +32,50 @@ printTrackingFigure(solar::SiteId site, solar::Month month,
 
     // Warm the shared trace cache before fanning out, then give each
     // worker its own MPP memo; results land in index-addressed slots.
+    // Observability follows the same pattern: per-worker registries
+    // and trace buffers, merged below in task-index order, keep every
+    // output byte-identical at any thread count.
     standardTrace(site, month);
+    const bool want_stats = obs && obs->statsRequested();
+    const bool want_trace = obs && obs->traceRequested();
     core::DayResult results[3];
+    std::unique_ptr<obs::StatsRegistry> regs[3];
+    std::unique_ptr<obs::TraceBuffer> tbufs[3];
     ThreadPool pool(threads);
     pool.parallelFor(3, [&](std::size_t i) {
         pv::MppCache mpp_cache(standardModule(), 1, 1);
+        if (want_stats)
+            regs[i] = std::make_unique<obs::StatsRegistry>();
+        if (want_trace)
+            tbufs[i] =
+                std::make_unique<obs::TraceBuffer>(obs->traceBufferCap);
         results[i] = runDay(site, month, wls[i], core::PolicyKind::MpptOpt,
                             75.0, /*timeline=*/true, /*dt=*/15.0,
-                            &mpp_cache);
+                            &mpp_cache, regs[i].get(), tbufs[i].get());
     });
+
+    if (obs && obs->anyRequested()) {
+        if (want_stats) {
+            obs::StatsRegistry merged;
+            for (const auto &r : regs)
+                merged.merge(*r);
+            obs->writeStats(merged);
+        }
+        if (want_trace) {
+            obs->writeTrace(
+                obs::mergeBuffers(
+                    {tbufs[0].get(), tbufs[1].get(), tbufs[2].get()}),
+                {"H1", "HM2", "L1"});
+        }
+        manifest.set("site", std::string(solar::siteName(site)));
+        manifest.set("month", std::string(solar::monthName(month)));
+        manifest.set("threads", static_cast<std::uint64_t>(threads));
+        manifest.set("policy",
+                     std::string(core::policyName(
+                         core::PolicyKind::MpptOpt)));
+        manifest.setSeed(kBenchSeed);
+        obs->writeManifest(manifest);
+    }
 
     TextTable t;
     t.header({"minute", "budget", "H1 drawn", "HM2 drawn", "L1 drawn"});

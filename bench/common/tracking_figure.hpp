@@ -19,10 +19,15 @@ namespace solarcore::bench {
  * @param threads fan the per-workload days across a pool; the table is
  *                assembled in workload order, so the output is
  *                byte-identical for any thread count
+ * @param obs     optional observability outputs: each worker records
+ *                into its own registry/buffer and the streams are
+ *                merged in task-index order, so stats dumps and traces
+ *                are also byte-identical for any thread count
  */
 void printTrackingFigure(solar::SiteId site, solar::Month month,
                          const char *figure_name, bool csv = false,
-                         int threads = 1);
+                         int threads = 1,
+                         const obs::ObsOptions *obs = nullptr);
 
 } // namespace solarcore::bench
 

@@ -15,8 +15,10 @@ main(int argc, char **argv)
     bool csv = false;
     for (int i = 1; i < argc; ++i)
         csv = csv || std::string_view(argv[i]) == "--csv";
+    const auto obs = solarcore::bench::obsOptionsFromArgs(argc, argv);
     solarcore::bench::printTrackingFigure(
         solarcore::solar::SiteId::AZ, solarcore::solar::Month::Jan,
-        "Figure 13", csv, solarcore::bench::threadsFromArgs(argc, argv));
+        "Figure 13", csv, solarcore::bench::threadsFromArgs(argc, argv),
+        &obs);
     return 0;
 }

@@ -14,6 +14,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/bench_common.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
 
 using namespace solarcore;
 
@@ -222,6 +224,98 @@ BM_SimulatedDayCached(benchmark::State &state)
 BENCHMARK(BM_SimulatedDayCached)
     ->Arg(60)
     ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_StatScalarIncrement(benchmark::State &state)
+{
+    // The registry hot path: a double add on a reference obtained once
+    // at registration time (the registry map is never touched again).
+    obs::StatsRegistry reg;
+    auto &counter = reg.scalar("chip.core0.dvfsTransitions");
+    for (auto _ : state) {
+        ++counter;
+        benchmark::DoNotOptimize(&counter);
+    }
+}
+BENCHMARK(BM_StatScalarIncrement);
+
+void
+BM_TraceAppendEnabled(benchmark::State &state)
+{
+    // One ring-buffer append: stamp, store, advance.
+    obs::TraceBuffer buf(1 << 16);
+    buf.setNow(720.0);
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::DvfsChange;
+    e.core = 3;
+    e.i0 = 4;
+    e.i1 = 5;
+    e.v0 = 5.2;
+    for (auto _ : state) {
+        buf.emit(e);
+        benchmark::DoNotOptimize(&buf);
+    }
+}
+BENCHMARK(BM_TraceAppendEnabled);
+
+void
+BM_TraceAppendDisabled(benchmark::State &state)
+{
+    // The disabled-sink pattern every emitter uses: a null check and
+    // nothing else. This is the cost tracing adds when off.
+    obs::TraceBuffer *trace = nullptr;
+    benchmark::DoNotOptimize(trace);
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::DvfsChange;
+    for (auto _ : state) {
+        if (trace)
+            trace->emit(e);
+        benchmark::DoNotOptimize(&e);
+    }
+}
+BENCHMARK(BM_TraceAppendDisabled);
+
+void
+BM_SimulatedDayObsOff(benchmark::State &state)
+{
+    // Observability compiled in and constructed but not attached: the
+    // simulation sees null sinks. run_microbench.sh asserts this stays
+    // within 1% of BM_SimulatedDay (no obs objects at all).
+    obs::StatsRegistry reg;
+    obs::TraceBuffer buf(1 << 16);
+    benchmark::DoNotOptimize(&reg);
+    benchmark::DoNotOptimize(&buf);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0))));
+    }
+}
+BENCHMARK(BM_SimulatedDayObsOff)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayTraced(benchmark::State &state)
+{
+    // Full observability: stats registry plus event trace attached.
+    obs::StatsRegistry reg;
+    obs::TraceBuffer buf(1 << 16);
+    for (auto _ : state) {
+        buf.clear();
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0)), nullptr,
+                          &reg, &buf));
+    }
+}
+BENCHMARK(BM_SimulatedDayTraced)
+    ->Arg(60)
     ->Unit(benchmark::kMillisecond);
 
 void

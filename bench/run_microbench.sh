@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the component microbenchmarks and records the results as JSON at
-# the repo root (BENCH_pv.json). The suite carries its own before/after
+# the repo root (BENCH_pv.json, plus BENCH_obs.json for the
+# observability-layer rows). The suite carries its own before/after
 # pairs: BM_CellCurrentSolveNewton / BM_FindMppNewton /
 # BM_SimulatedDayNewton force the retained damped-Newton I-V path (the
 # seed implementation), so one run captures both sides of the
-# Lambert-W / MPP-cache comparison.
+# Lambert-W / MPP-cache comparison, and BM_SimulatedDayObsOff /
+# BM_SimulatedDayTraced bracket the instrumentation layer's overhead.
 #
 # Usage: bench/run_microbench.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
@@ -27,3 +29,56 @@ out="${repo_root}/BENCH_pv.json"
     --benchmark_out_format=json \
     "$@"
 echo "wrote ${out}"
+
+# Observability rows into their own file: the stat/trace primitive
+# costs and the simulated-day overhead bracket.
+obs_out="${repo_root}/BENCH_obs.json"
+"${bench_bin}" \
+    --benchmark_filter='BM_(StatScalarIncrement|TraceAppend|SimulatedDay(/|Traced|ObsOff))' \
+    --benchmark_format=json \
+    --benchmark_out="${obs_out}" \
+    --benchmark_out_format=json \
+    "$@" > /dev/null
+echo "wrote ${obs_out}"
+
+# Tracing-off overhead gate: a simulated day with observability
+# compiled in but detached (BM_SimulatedDayObsOff/60) must stay within
+# 1% of the uninstrumented day (BM_SimulatedDay/60). A small negative
+# delta is normal timer noise.
+python3 - "${obs_out}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    rows = json.load(f)["benchmarks"]
+times = {r["name"]: r["real_time"] for r in rows}
+base = times.get("BM_SimulatedDay/60")
+off = times.get("BM_SimulatedDayObsOff/60")
+if not base or not off:
+    sys.exit("missing BM_SimulatedDay/60 or BM_SimulatedDayObsOff/60 row")
+overhead = (off - base) / base
+print(f"tracing-off overhead: {overhead * 100.0:+.2f}% "
+      f"(off {off:.3f} ms vs base {base:.3f} ms)")
+if overhead > 0.01:
+    sys.exit(f"FAIL: tracing-off overhead {overhead * 100.0:.2f}% > 1%")
+EOF
+
+# One-line MPP-cache summary from an instrumented CLI day (the sweep
+# binaries share caches across runs; a single day is all misses).
+cli_bin="${build_dir}/tools/solarcore_cli"
+if [[ -x "${cli_bin}" ]]; then
+    stats_tmp="$(mktemp)"
+    "${cli_bin}" summary --site AZ --month Apr \
+        --stats-out="${stats_tmp}" > /dev/null
+    python3 - "${stats_tmp}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    s = json.load(f)
+hits = s.get("pv.mppCache.hits", 0)
+misses = s.get("pv.mppCache.misses", 0)
+rate = s.get("pv.mppCache.hitRate", 0.0)
+print(f"mpp cache: {int(hits)} hits / {int(misses)} misses "
+      f"(hit rate {rate * 100.0:.1f}%)")
+EOF
+    rm -f "${stats_tmp}" "${stats_tmp}.manifest.json"
+fi

@@ -1,5 +1,8 @@
 #include "controller.hpp"
 
+#include <algorithm>
+
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::core {
@@ -27,15 +30,54 @@ SolarCoreController::sustainable(double demand_w)
     return st.valid;
 }
 
+int
+SolarCoreController::rankOf(const StepCandidate &step,
+                            const std::vector<StepCandidate> &candidates,
+                            bool upward)
+{
+    int rank = 1;
+    for (const auto &c : candidates) {
+        if (c.coreIndex == step.coreIndex)
+            continue;
+        if (upward ? c.tpr() > step.tpr() : c.tpr() < step.tpr())
+            ++rank;
+    }
+    return rank;
+}
+
+void
+SolarCoreController::traceStep(const StepCandidate &step, int rank)
+{
+    obs::TraceEvent e;
+    e.core = static_cast<std::int16_t>(step.coreIndex);
+    e.v0 = step.deltaPowerW;
+    if (step.fromGated != step.toGated) {
+        e.kind = obs::EventKind::Pcpg;
+        e.arg0 = step.toGated ? 1 : 0;
+    } else {
+        e.kind = obs::EventKind::DvfsChange;
+        e.i0 = step.fromLevel;
+        e.i1 = step.toLevel;
+        e.arg0 = static_cast<std::uint8_t>(std::min(rank, 255));
+        e.v1 = step.tpr();
+    }
+    trace_->emit(e);
+}
+
 void
 SolarCoreController::shedUntilSustainable(TrackResult &result)
 {
     while (!sustainable(chip_->totalPower())) {
+        std::vector<StepCandidate> candidates;
+        if (trace_)
+            candidates = allDownSteps(*chip_);
         const auto step = adapter_->decreaseOneStep(*chip_);
         if (!step.valid) {
             result.solarViable = false;
             return;
         }
+        if (trace_)
+            traceStep(step, rankOf(step, candidates, false));
         ++result.stepsDown;
         ++totalSteps_;
     }
@@ -80,8 +122,18 @@ SolarCoreController::track()
 
     // Step 1: restore the rail -- shed until the present demand fits.
     shedUntilSustainable(result);
-    if (!result.solarViable)
+    if (!result.solarViable) {
+        if (trace_) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::MpptTrack;
+            e.i0 = result.stepsUp;
+            e.i1 = result.stepsDown;
+            e.v0 = chip_->totalPower();
+            e.arg0 = 0;
+            trace_->emit(e);
+        }
         return result;
+    }
 
     // Steps 2+3: climb toward the MPP one notch at a time, retuning k
     // (inside pinRailVoltage) after every notch. When the policy's
@@ -89,6 +141,9 @@ SolarCoreController::track()
     // stage below -- that notch marks the paper's inflection point.
     for (int i = 0; i < config_.maxTuneSteps; ++i) {
         const auto snapshot = chip_->settings();
+        std::vector<StepCandidate> candidates;
+        if (trace_)
+            candidates = allUpSteps(*chip_);
         const auto step = adapter_->increaseOneStep(*chip_);
         if (!step.valid)
             break; // every core already at the top level
@@ -96,6 +151,8 @@ SolarCoreController::track()
             chip_->applySettings(snapshot); // inflection: back off
             break;
         }
+        if (trace_)
+            traceStep(step, rankOf(step, candidates, true));
         ++result.stepsUp;
         ++totalSteps_;
     }
@@ -108,7 +165,8 @@ SolarCoreController::track()
     // without disturbing the policies' allocation character.
     for (int i = 0; i < config_.maxTuneSteps; ++i) {
         StepCandidate best;
-        for (const auto &s : allUpSteps(*chip_)) {
+        const auto ups = allUpSteps(*chip_);
+        for (const auto &s : ups) {
             if (s.deltaPowerW <= 0.0)
                 continue;
             if (!best.valid || s.deltaPowerW < best.deltaPowerW)
@@ -122,6 +180,8 @@ SolarCoreController::track()
             chip_->applySettings(snapshot);
             break;
         }
+        if (trace_)
+            traceStep(best, rankOf(best, ups, true));
         ++result.stepsUp;
         ++totalSteps_;
     }
@@ -131,6 +191,16 @@ SolarCoreController::track()
                                        config_.railNominalV,
                                        chip_->totalPower());
     result.solarViable = result.net.valid;
+
+    if (trace_) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::MpptTrack;
+        e.i0 = result.stepsUp;
+        e.i1 = result.stepsDown;
+        e.v0 = chip_->totalPower();
+        e.arg0 = result.solarViable ? 1 : 0;
+        trace_->emit(e);
+    }
     return result;
 }
 

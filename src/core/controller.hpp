@@ -33,6 +33,10 @@
 #include "power/sensors.hpp"
 #include "pv/module.hpp"
 
+namespace solarcore::obs {
+class TraceBuffer;
+} // namespace solarcore::obs
+
 namespace solarcore::core {
 
 /** Tuning knobs of the controller. */
@@ -100,6 +104,22 @@ class SolarCoreController
     /** Total notches moved since construction (controller activity). */
     long totalSteps() const { return totalSteps_; }
 
+    /**
+     * Attach a trace sink (nullptr detaches; also attaches the policy).
+     * Every applied notch emits a DvfsChange event carrying the step's
+     * TPR rank among the candidates the policy chose from (1 = best),
+     * or a Pcpg event when the notch gates/ungates a core; each
+     * tracking event additionally emits an MpptTrack summary. Rank
+     * computation only runs while a sink is attached, so detached
+     * tracing leaves the controller's hot loops untouched.
+     */
+    void
+    setTrace(obs::TraceBuffer *trace)
+    {
+        trace_ = trace;
+        adapter_->setTrace(trace);
+    }
+
   private:
     /** Can the panel carry @p demand_w with the configured margin? */
     bool sustainable(double demand_w);
@@ -107,11 +127,24 @@ class SolarCoreController
     /** Shed load until sustainable; fills @p result. */
     void shedUntilSustainable(TrackResult &result);
 
+    /**
+     * TPR rank of @p step among @p candidates (1 = best): descending
+     * TPR for upward steps, ascending for downward ones, matching the
+     * preference order of the Section 4.3 heuristic.
+     */
+    static int rankOf(const StepCandidate &step,
+                      const std::vector<StepCandidate> &candidates,
+                      bool upward);
+
+    /** Emit a DvfsChange (or Pcpg) event for an applied step. */
+    void traceStep(const StepCandidate &step, int rank);
+
     const pv::IvSource *panel_;
     cpu::MultiCoreChip *chip_;
     LoadAdapter *adapter_;
     ControllerConfig config_;
     power::DcDcConverter converter_;
+    obs::TraceBuffer *trace_ = nullptr;
     long totalSteps_ = 0;
 };
 

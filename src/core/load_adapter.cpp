@@ -1,5 +1,6 @@
 #include "load_adapter.hpp"
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::core {
@@ -142,6 +143,13 @@ IcMotionAdapter::beginTrackingPeriod(cpu::MultiCoreChip &chip)
                 best = i;
         }
         chip.swapWorkloads(pos, best);
+        if (trace_ && best != pos) {
+            obs::TraceEvent e;
+            e.kind = obs::EventKind::ThreadMotion;
+            e.core = static_cast<std::int16_t>(pos);
+            e.i0 = best;
+            trace_->emit(e);
+        }
     }
 }
 

@@ -22,6 +22,10 @@
 #include "core/tpr.hpp"
 #include "cpu/chip.hpp"
 
+namespace solarcore::obs {
+class TraceBuffer;
+} // namespace solarcore::obs
+
 namespace solarcore::core {
 
 /** Strategy interface: choose where the next DVFS notch lands. */
@@ -47,6 +51,16 @@ class LoadAdapter
 
     /** Hook called at the start of each tracking period. */
     virtual void beginTrackingPeriod(cpu::MultiCoreChip &) {}
+
+    /**
+     * Attach a trace sink (nullptr detaches). The base policies emit
+     * nothing themselves -- the controller narrates their steps -- but
+     * policies with internal actions (thread motion) report them here.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
+  protected:
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 /** MPPT&Opt: throughput-power-ratio optimized scheduling. */

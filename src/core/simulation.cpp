@@ -6,6 +6,8 @@
 
 #include "core/fixed_power.hpp"
 #include "cpu/thermal.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
 #include "power/ats.hpp"
 #include "power/battery.hpp"
 #include "pv/mpp.hpp"
@@ -55,9 +57,103 @@ stepRcThermal(cpu::MultiCoreChip &chip,
             core.level() > chip.dvfs().minLevel()) {
             core.setLevel(core.level() - 1);
             ++throttles;
+            if (cfg.trace) {
+                obs::TraceEvent e;
+                e.kind = obs::EventKind::ThermalThrottle;
+                e.core = static_cast<std::int16_t>(i);
+                e.v0 = t;
+                cfg.trace->emit(e);
+            }
         }
     }
     return throttles;
+}
+
+/** Emit a Retrack trigger event (tracing only). */
+void
+emitRetrack(obs::TraceBuffer *trace, obs::RetrackCause cause,
+            double budget_w, double demand_w)
+{
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::Retrack;
+    e.arg0 = static_cast<std::uint8_t>(cause);
+    e.v0 = budget_w;
+    e.v1 = demand_w;
+    trace->emit(e);
+}
+
+/**
+ * Fold one simulated day's counters into the caller's registry. The
+ * MPP-cache numbers are deltas against the counts at day start so a
+ * shared cross-day cache is not double-counted; the hit rate is a
+ * formula over the accumulated operands, so it stays correct when
+ * per-worker registries are merged.
+ */
+void
+foldDayStats(obs::StatsRegistry &reg, const DayResult &day,
+             const cpu::MultiCoreChip &chip,
+             const pv::MppCache::Stats &cache_now,
+             const pv::MppCache::Stats &cache_start)
+{
+    ++reg.scalar("sim.days", "simulated days folded into this registry");
+    reg.scalar("sim.mppEnergyWh", "theoretical MPP energy [Wh]") +=
+        day.mppEnergyWh;
+    reg.scalar("sim.solarEnergyWh", "energy drawn from the panel [Wh]") +=
+        day.solarEnergyWh;
+    reg.scalar("sim.gridEnergyWh", "energy drawn from the utility [Wh]") +=
+        day.gridEnergyWh;
+    reg.scalar("sim.chipEnergyWh", "energy the chip consumed [Wh]") +=
+        day.chipEnergyWh;
+    reg.scalar("sim.solarInstructions",
+               "instructions retired on solar power") +=
+        day.solarInstructions;
+    reg.scalar("sim.totalInstructions", "instructions retired in total") +=
+        day.totalInstructions;
+    reg.scalar("sim.thermalThrottles",
+               "forced notch-downs from overheating") +=
+        day.thermalThrottles;
+    reg.scalar("ats.transfers", "automatic transfer switchovers") +=
+        day.transferCount;
+    reg.scalar("controller.steps",
+               "DVFS notches moved by the controller") +=
+        static_cast<double>(day.controllerSteps);
+    reg.formula("sim.solarUtilization",
+                [](const obs::StatsRegistry &r) {
+                    const double mpp = r.value("sim.mppEnergyWh");
+                    return mpp > 0.0
+                        ? r.value("sim.solarEnergyWh") / mpp
+                        : 0.0;
+                },
+                "solar energy / MPP energy over all folded days");
+
+    const auto cores = static_cast<std::size_t>(chip.numCores());
+    auto &dvfs = reg.vector("chip.core.dvfsTransitions", cores,
+                            "per-core DVFS level changes");
+    auto &gates = reg.vector("chip.core.gateTransitions", cores,
+                             "per-core PCPG gate/ungate transitions");
+    dvfs.ensureLanes(cores);
+    gates.ensureLanes(cores);
+    for (std::size_t i = 0; i < cores; ++i) {
+        const auto &core = chip.core(static_cast<int>(i));
+        dvfs.lane(i) += static_cast<double>(core.dvfsTransitions());
+        gates.lane(i) += static_cast<double>(core.gateTransitions());
+    }
+    reg.scalar("chip.dvfsTransitions", "DVFS level changes, all cores") +=
+        static_cast<double>(chip.totalDvfsTransitions());
+    reg.scalar("chip.gateTransitions", "PCPG transitions, all cores") +=
+        static_cast<double>(chip.totalGateTransitions());
+
+    reg.scalar("pv.mppCache.hits", "MPP memo hits") +=
+        static_cast<double>(cache_now.hits - cache_start.hits);
+    reg.scalar("pv.mppCache.misses", "MPP memo misses (full solves)") +=
+        static_cast<double>(cache_now.misses - cache_start.misses);
+    reg.formula("pv.mppCache.hitRate",
+                [](const obs::StatsRegistry &r) {
+                    const double hits = r.value("pv.mppCache.hits");
+                    const double n = hits + r.value("pv.mppCache.misses");
+                    return n > 0.0 ? hits / n : 0.0;
+                },
+                "hit fraction of MPP memo lookups");
 }
 
 /**
@@ -105,6 +201,16 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         tracking ? cfg.thresholdW : cfg.fixedBudgetW;
     power::TransferSwitch ats(threshold, 0.02 * threshold);
 
+    obs::TraceBuffer *const tbuf = cfg.trace;
+    ats.setTrace(tbuf);
+    if (tracking)
+        controller->setTrace(tbuf);
+    const pv::MppCache::Stats cache_start = mpp_cache.stats();
+    obs::HistogramStat *const err_hist = cfg.stats
+        ? &cfg.stats->histogram("sim.periodErrorPct", 0.0, 50.0, 25,
+                                "per-period relative tracking error [%]")
+        : nullptr;
+
     // Tracking-error accounting (Table 7): per tracking period t the
     // relative error is |Pb - Pl| / Pb with Pb the mean budget and Pl
     // the mean consumption over the period; day aggregate is the
@@ -115,9 +221,19 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     auto close_period = [&]() {
         if (period_budget.count() > 0 &&
             period_budget.mean() >= cfg.errorFloorW) {
-            period_errors.add(
+            const double rel_err =
                 std::abs(period_budget.mean() - period_consumed.mean()) /
-                period_budget.mean());
+                period_budget.mean();
+            period_errors.add(rel_err);
+            if (err_hist)
+                err_hist->add(rel_err * 100.0);
+            if (tbuf) {
+                obs::TraceEvent e;
+                e.kind = obs::EventKind::PeriodClose;
+                e.v0 = period_budget.mean();
+                e.v1 = period_consumed.mean();
+                tbuf->emit(e);
+            }
         }
         period_budget = RunningStats();
         period_consumed = RunningStats();
@@ -137,6 +253,8 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
 
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        if (cfg.trace)
+            cfg.trace->setNow(minute);
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
         array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
@@ -166,6 +284,16 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                     cfg.retrackDemandDelta * last_track_demand;
             TrackResult tr;
             if (!was_on_solar || due || supply_moved || demand_moved) {
+                if (tbuf) {
+                    const auto cause = !was_on_solar
+                        ? obs::RetrackCause::SolarEntry
+                        : due ? obs::RetrackCause::Periodic
+                              : supply_moved
+                            ? obs::RetrackCause::SupplyDelta
+                            : obs::RetrackCause::DemandDelta;
+                    emitRetrack(tbuf, cause, mpp.power,
+                                chip.totalPower());
+                }
                 if (due || !was_on_solar)
                     close_period();
                 tr = controller->track();
@@ -190,6 +318,14 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                 minute - last_track_minute >= cfg.trackingPeriodMinutes;
             if (!was_on_solar || due ||
                 chip.totalPower() > cfg.fixedBudgetW) {
+                if (tbuf) {
+                    const auto cause = !was_on_solar
+                        ? obs::RetrackCause::SolarEntry
+                        : due ? obs::RetrackCause::Periodic
+                              : obs::RetrackCause::DemandDelta;
+                    emitRetrack(tbuf, cause, cfg.fixedBudgetW,
+                                chip.totalPower());
+                }
                 const auto alloc =
                     optimizeAllocation(chip, cfg.fixedBudgetW);
                 if (alloc.feasible)
@@ -243,6 +379,9 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     result.avgTrackingError = period_errors.value();
     result.transferCount = ats.transferCount();
     result.controllerSteps = tracking ? controller->totalSteps() : 0;
+    if (cfg.stats)
+        foldDayStats(*cfg.stats, result, chip, mpp_cache.stats(),
+                     cache_start);
     return result;
 }
 
@@ -277,6 +416,11 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     SolarCoreController controller(array, chip, *adapter, cfg.controller);
     power::TransferSwitch ats(cfg.thresholdW, 0.02 * cfg.thresholdW);
     power::Battery buffer(battery_capacity_wh, 0.95, 0.90);
+    obs::TraceBuffer *const tbuf = cfg.trace;
+    ats.setTrace(tbuf);
+    buffer.setTrace(tbuf);
+    controller.setTrace(tbuf);
+    const pv::MppCache::Stats cache_start = mpp_cache.stats();
     // Charge-path conversion efficiency of the buffer's own MPPT.
     constexpr double charge_path_eff = 0.95;
     // Stable discharge level while bridging sub-threshold periods.
@@ -293,6 +437,8 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     chip.setAllLevels(chip.dvfs().maxLevel());
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        if (tbuf)
+            tbuf->setNow(minute);
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
         array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
@@ -314,6 +460,13 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         if (on_solar) {
             if (!was_on_solar ||
                 minute - last_track_minute >= cfg.trackingPeriodMinutes) {
+                if (tbuf) {
+                    emitRetrack(tbuf,
+                                was_on_solar
+                                    ? obs::RetrackCause::Periodic
+                                    : obs::RetrackCause::SolarEntry,
+                                mpp.power, chip.totalPower());
+                }
                 controller.track();
                 last_track_minute = minute;
             } else {
@@ -365,6 +518,16 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     const double total_energy = day.chipEnergyWh;
     result.greenFraction =
         total_energy > 0.0 ? result.greenEnergyWh / total_energy : 0.0;
+    if (cfg.stats) {
+        foldDayStats(*cfg.stats, day, chip, mpp_cache.stats(),
+                     cache_start);
+        cfg.stats->scalar("battery.deliveredWh",
+                          "energy delivered from the buffer [Wh]") +=
+            buffer.deliveredWh();
+        cfg.stats->scalar("battery.lostWh",
+                          "buffer conversion/self-discharge losses "
+                          "[Wh]") += buffer.lostWh();
+    }
     return result;
 }
 
@@ -384,6 +547,7 @@ simulateBatteryDay(const pv::PvModule &module,
     // this identical sequence per factor) near-free after the first.
     std::optional<pv::MppCache> local_cache;
     pv::MppCache &mpp_cache = selectMppCache(local_cache, module, cfg);
+    const pv::MppCache::Stats cache_start = mpp_cache.stats();
     const double dt_min = cfg.dtSeconds / 60.0;
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
@@ -406,9 +570,19 @@ simulateBatteryDay(const pv::PvModule &module,
     double last_alloc_minute = -1e9;
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        if (cfg.trace)
+            cfg.trace->setNow(minute);
         setDieTemps(chip, trace.ambientAt(minute));
         if (minute - last_alloc_minute >= cfg.trackingPeriodMinutes ||
             chip.totalPower() > result.budgetW) {
+            if (cfg.trace) {
+                emitRetrack(cfg.trace,
+                            minute - last_alloc_minute >=
+                                    cfg.trackingPeriodMinutes
+                                ? obs::RetrackCause::Periodic
+                                : obs::RetrackCause::DemandDelta,
+                            result.budgetW, chip.totalPower());
+            }
             const auto alloc = optimizeAllocation(chip, result.budgetW);
             if (alloc.feasible)
                 applyAllocation(chip, alloc);
@@ -423,6 +597,31 @@ simulateBatteryDay(const pv::PvModule &module,
     result.utilization = result.mppEnergyWh > 0.0
         ? result.consumedWh / result.mppEnergyWh
         : 0.0;
+    if (cfg.stats) {
+        auto &reg = *cfg.stats;
+        ++reg.scalar("sim.batteryDays",
+                     "battery-baseline days folded into this registry");
+        reg.scalar("sim.mppEnergyWh", "theoretical MPP energy [Wh]") +=
+            result.mppEnergyWh;
+        reg.scalar("sim.chipEnergyWh", "energy the chip consumed [Wh]") +=
+            result.consumedWh;
+        reg.scalar("sim.totalInstructions",
+                   "instructions retired in total") += result.instructions;
+        const auto cache_now = mpp_cache.stats();
+        reg.scalar("pv.mppCache.hits", "MPP memo hits") +=
+            static_cast<double>(cache_now.hits - cache_start.hits);
+        reg.scalar("pv.mppCache.misses",
+                   "MPP memo misses (full solves)") +=
+            static_cast<double>(cache_now.misses - cache_start.misses);
+        reg.formula("pv.mppCache.hitRate",
+                    [](const obs::StatsRegistry &r) {
+                        const double hits = r.value("pv.mppCache.hits");
+                        const double n =
+                            hits + r.value("pv.mppCache.misses");
+                        return n > 0.0 ? hits / n : 0.0;
+                    },
+                    "hit fraction of MPP memo lookups");
+    }
     return result;
 }
 

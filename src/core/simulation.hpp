@@ -22,6 +22,11 @@
 #include "solar/trace.hpp"
 #include "workload/multiprogram.hpp"
 
+namespace solarcore::obs {
+class StatsRegistry;
+class TraceBuffer;
+} // namespace solarcore::obs
+
 namespace solarcore::core {
 
 /** Configuration of one simulated day. */
@@ -82,6 +87,21 @@ struct SimConfig
                                        //!< is used when null or
                                        //!< incompatible. Not
                                        //!< thread-safe: one per worker.
+    obs::StatsRegistry *stats = nullptr; //!< borrowed; when set, the
+                                       //!< day's counters (energies,
+                                       //!< per-core DVFS/gate
+                                       //!< transitions, MPP-cache hit
+                                       //!< rate, per-period tracking
+                                       //!< error histogram) accumulate
+                                       //!< into it. Not thread-safe:
+                                       //!< one per worker, merge()d.
+    obs::TraceBuffer *trace = nullptr; //!< borrowed event sink; when
+                                       //!< set, re-tracks (with cause),
+                                       //!< DVFS/PCPG steps, ATS
+                                       //!< switchovers, battery modes
+                                       //!< and period boundaries are
+                                       //!< recorded. Null = tracing
+                                       //!< off at near-zero cost.
 };
 
 /** One per-minute sample for the tracking-accuracy figures. */

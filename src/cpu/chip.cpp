@@ -108,6 +108,24 @@ MultiCoreChip::totalEnergy() const
     return j;
 }
 
+std::uint64_t
+MultiCoreChip::totalDvfsTransitions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c.dvfsTransitions();
+    return n;
+}
+
+std::uint64_t
+MultiCoreChip::totalGateTransitions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : cores_)
+        n += c.gateTransitions();
+    return n;
+}
+
 std::vector<MultiCoreChip::CoreSetting>
 MultiCoreChip::settings() const
 {

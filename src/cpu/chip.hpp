@@ -76,6 +76,12 @@ class MultiCoreChip
     /** Sum of energy consumed by all cores since construction [J]. */
     double totalEnergy() const;
 
+    /** Chip-wide DVFS level changes since construction (all cores). */
+    std::uint64_t totalDvfsTransitions() const;
+
+    /** Chip-wide gate/ungate events since construction (all cores). */
+    std::uint64_t totalGateTransitions() const;
+
     /** Snapshot of one core's power-management state. */
     struct CoreSetting
     {

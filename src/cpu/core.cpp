@@ -39,6 +39,8 @@ Core::setLevel(int level)
 {
     SC_ASSERT(level >= table_->minLevel() && level <= table_->maxLevel(),
               "Core::setLevel: level out of range: ", level);
+    if (level != level_)
+        ++dvfsTransitions_;
     level_ = level;
 }
 

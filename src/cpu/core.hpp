@@ -47,7 +47,24 @@ class Core
     void setLevel(int level);
 
     bool gated() const { return gated_; }
-    void setGated(bool gated) { gated_ = gated; }
+
+    void
+    setGated(bool gated)
+    {
+        if (gated != gated_)
+            ++gateTransitions_;
+        gated_ = gated;
+    }
+
+    /**
+     * Lifetime state-change ledgers (the observability layer surfaces
+     * them as chip.core.dvfsTransitions / .gateTransitions): every
+     * effective level change and every gate/ungate, including steps a
+     * tracking event applies and then reverts -- on hardware those are
+     * real VID transitions too.
+     */
+    std::uint64_t dvfsTransitions() const { return dvfsTransitions_; }
+    std::uint64_t gateTransitions() const { return gateTransitions_; }
 
     void setDieTempC(double t) { dieTempC_ = t; }
     double dieTempC() const { return dieTempC_; }
@@ -98,6 +115,8 @@ class Core
     int level_ = 0;
     bool gated_ = false;
     double dieTempC_ = 50.0;
+    std::uint64_t dvfsTransitions_ = 0;
+    std::uint64_t gateTransitions_ = 0;
 
     std::size_t phaseIndex_ = 0;
     double phaseElapsed_ = 0.0;      //!< seconds into the current phase

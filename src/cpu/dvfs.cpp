@@ -1,6 +1,7 @@
 #include "dvfs.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "util/logging.hpp"
 
@@ -80,6 +81,19 @@ DvfsTable::levelFromVid(std::uint8_t vid_code) const
         }
     }
     return best;
+}
+
+std::string
+DvfsTable::describe() const
+{
+    auto point_label = [&](int level) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fGHz@%.2fV",
+                      frequency(level) / 1e9, voltage(level));
+        return std::string(buf);
+    };
+    return std::to_string(numLevels()) + " levels: " +
+        point_label(minLevel()) + " .. " + point_label(maxLevel());
 }
 
 } // namespace solarcore::cpu

@@ -10,6 +10,7 @@
 #define SOLARCORE_CPU_DVFS_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace solarcore::cpu {
@@ -62,6 +63,12 @@ class DvfsTable
 
     /** Level whose VID code is @p vid (nearest voltage match). */
     int levelFromVid(std::uint8_t vid) const;
+
+    /**
+     * Compact human-readable table summary for run manifests and
+     * trace metadata, e.g. "6 levels: 1.00GHz@0.95V .. 2.50GHz@1.45V".
+     */
+    std::string describe() const;
 
   private:
     std::vector<DvfsPoint> points_;

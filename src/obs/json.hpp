@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Minimal JSON emission helpers shared by the observability exporters
+ * (stats dumps, trace files, run manifests). Writing only -- the
+ * library never parses JSON. Numbers use std::to_chars shortest
+ * round-trip formatting so exports are byte-stable across platforms
+ * and thread counts; non-finite values degrade to null, which every
+ * JSON consumer (and Perfetto) accepts.
+ */
+
+#ifndef SOLARCORE_OBS_JSON_HPP
+#define SOLARCORE_OBS_JSON_HPP
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace solarcore::obs {
+
+/** Shortest round-trip decimal form of @p v ("null" if not finite). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, r.ptr);
+}
+
+/** Decimal form of an unsigned integer. */
+inline std::string
+jsonNumber(std::uint64_t v)
+{
+    char buf[24];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, r.ptr);
+}
+
+/** Decimal form of a signed integer. */
+inline std::string
+jsonNumber(std::int64_t v)
+{
+    char buf[24];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, r.ptr);
+}
+
+/** Append @p s to @p out with JSON string escaping (no quotes). */
+inline void
+jsonEscapeTo(std::string &out, std::string_view s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** @p s as a quoted, escaped JSON string literal. */
+inline std::string
+jsonString(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    jsonEscapeTo(out, s);
+    out += '"';
+    return out;
+}
+
+/**
+ * Incremental writer for one JSON object: emits `"key":value` pairs
+ * with the separating commas handled. Values passed via the typed
+ * overloads; raw() embeds a pre-rendered JSON fragment (for nesting).
+ */
+class JsonObjectWriter
+{
+  public:
+    explicit JsonObjectWriter(std::ostream &os) : os_(&os) { *os_ << '{'; }
+    ~JsonObjectWriter() { close(); }
+
+    JsonObjectWriter(const JsonObjectWriter &) = delete;
+    JsonObjectWriter &operator=(const JsonObjectWriter &) = delete;
+
+    void
+    field(std::string_view key, std::string_view value)
+    {
+        raw(key, jsonString(value));
+    }
+
+    // A char* literal would otherwise prefer the bool overload (a
+    // standard conversion beats the string_view constructor).
+    void
+    field(std::string_view key, const char *value)
+    {
+        raw(key, jsonString(value));
+    }
+
+    void
+    field(std::string_view key, double value)
+    {
+        raw(key, jsonNumber(value));
+    }
+
+    void
+    field(std::string_view key, std::uint64_t value)
+    {
+        raw(key, jsonNumber(value));
+    }
+
+    void
+    field(std::string_view key, std::int64_t value)
+    {
+        raw(key, jsonNumber(value));
+    }
+
+    void
+    field(std::string_view key, int value)
+    {
+        raw(key, jsonNumber(static_cast<std::int64_t>(value)));
+    }
+
+    void
+    field(std::string_view key, bool value)
+    {
+        raw(key, value ? "true" : "false");
+    }
+
+    /** Emit `"key":` followed by @p fragment verbatim. */
+    void
+    raw(std::string_view key, std::string_view fragment)
+    {
+        if (!first_)
+            *os_ << ',';
+        first_ = false;
+        *os_ << jsonString(key) << ':' << fragment;
+    }
+
+    void
+    close()
+    {
+        if (!closed_) {
+            *os_ << '}';
+            closed_ = true;
+        }
+    }
+
+  private:
+    std::ostream *os_;
+    bool first_ = true;
+    bool closed_ = false;
+};
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_JSON_HPP

@@ -1,0 +1,131 @@
+#include "manifest.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+#ifndef SC_GIT_DESCRIBE
+#define SC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace solarcore::obs {
+
+namespace {
+
+std::int64_t
+wallNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::int64_t
+cpuNowNs()
+{
+    // CLOCK_PROCESS_CPUTIME_ID covers all threads of the process.
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+} // namespace
+
+const char *
+buildGitDescribe()
+{
+    return SC_GIT_DESCRIBE;
+}
+
+RunManifest::RunManifest(std::string tool)
+    : tool_(std::move(tool)), startWallNs_(wallNowNs()),
+      startCpuNs_(cpuNowNs())
+{}
+
+RunManifest::RunManifest(int argc, char **argv)
+    : RunManifest(argc > 0 ? argv[0] : "?")
+{
+    for (int i = 1; i < argc; ++i)
+        args_.emplace_back(argv[i]);
+}
+
+void
+RunManifest::set(const std::string &key, const std::string &value)
+{
+    config_[key] = jsonString(value);
+}
+
+void
+RunManifest::set(const std::string &key, double value)
+{
+    config_[key] = jsonNumber(value);
+}
+
+void
+RunManifest::set(const std::string &key, std::uint64_t value)
+{
+    config_[key] = jsonNumber(value);
+}
+
+void
+RunManifest::finish()
+{
+    if (wallSeconds_ >= 0.0)
+        return;
+    wallSeconds_ = static_cast<double>(wallNowNs() - startWallNs_) * 1e-9;
+    cpuSeconds_ = static_cast<double>(cpuNowNs() - startCpuNs_) * 1e-9;
+}
+
+void
+RunManifest::writeJson(std::ostream &os)
+{
+    finish();
+    JsonObjectWriter w(os);
+    w.field("tool", tool_);
+    {
+        std::string args = "[";
+        for (std::size_t i = 0; i < args_.size(); ++i) {
+            if (i)
+                args += ',';
+            args += jsonString(args_[i]);
+        }
+        args += ']';
+        w.raw("args", args);
+    }
+    w.field("git_describe", std::string_view(buildGitDescribe()));
+    w.field("seed", seed_);
+    {
+        std::string cfg = "{";
+        bool first = true;
+        for (const auto &[key, value] : config_) {
+            if (!first)
+                cfg += ',';
+            first = false;
+            cfg += jsonString(key) + ":" + value;
+        }
+        cfg += '}';
+        w.raw("config", cfg);
+    }
+    w.field("wall_seconds", wallSeconds_);
+    w.field("cpu_seconds", cpuSeconds_);
+    w.close();
+    os << '\n';
+}
+
+bool
+RunManifest::writeFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        SC_WARN("manifest: cannot open '", path, "'");
+        return false;
+    }
+    writeJson(os);
+    return true;
+}
+
+} // namespace solarcore::obs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run manifests: a sidecar JSON record of what an invocation actually
+ * ran -- tool name, argv, flattened configuration, seed, the build's
+ * `git describe`, and wall/CPU time -- so every stats dump or trace
+ * file can be tied back to the exact binary and knobs that produced
+ * it. The describe string is baked in at configure time (SC_GIT_
+ * DESCRIBE); "unknown" outside a git checkout.
+ */
+
+#ifndef SOLARCORE_OBS_MANIFEST_HPP
+#define SOLARCORE_OBS_MANIFEST_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace solarcore::obs {
+
+/** The `git describe` of the tree this binary was built from. */
+const char *buildGitDescribe();
+
+/** One invocation's provenance record. */
+class RunManifest
+{
+  public:
+    /** Starts the wall/CPU clocks. */
+    explicit RunManifest(std::string tool);
+
+    /** Convenience: tool from argv[0], args from argv[1..]. */
+    RunManifest(int argc, char **argv);
+
+    /** Record one flattened configuration key. */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, std::uint64_t value);
+
+    void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+    /** Stop the clocks (idempotent; also called by writeJson). */
+    void finish();
+
+    double wallSeconds() const { return wallSeconds_; }
+    double cpuSeconds() const { return cpuSeconds_; }
+
+    /** Render the manifest as one JSON object. */
+    void writeJson(std::ostream &os);
+
+    /**
+     * Write to @p path (conventionally `<output>.manifest.json`).
+     * @return false (with a warning) when the file cannot be opened.
+     */
+    bool writeFile(const std::string &path);
+
+  private:
+    std::string tool_;
+    std::vector<std::string> args_;
+    std::map<std::string, std::string> config_; //!< pre-rendered JSON
+    std::uint64_t seed_ = 0;
+    std::int64_t startWallNs_ = 0;
+    std::int64_t startCpuNs_ = 0;
+    double wallSeconds_ = -1.0;
+    double cpuSeconds_ = -1.0;
+};
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_MANIFEST_HPP

@@ -1,0 +1,102 @@
+#include "obs_options.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/manifest.hpp"
+#include "obs/stats_registry.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+namespace {
+
+bool
+takeValue(std::string_view arg, std::string_view key, std::string &out)
+{
+    if (arg.rfind(key, 0) != 0)
+        return false;
+    out = std::string(arg.substr(key.size()));
+    return true;
+}
+
+bool
+hasSuffix(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        SC_WARN("obs: cannot open output file '", path, "'");
+    return os;
+}
+
+} // namespace
+
+bool
+ObsOptions::consume(std::string_view arg)
+{
+    std::string buf;
+    if (takeValue(arg, "--stats-out=", statsOut) ||
+        takeValue(arg, "--trace-out=", traceOut) ||
+        takeValue(arg, "--manifest-out=", manifestOut))
+        return true;
+    if (takeValue(arg, "--trace-buffer=", buf)) {
+        const long n = std::strtol(buf.c_str(), nullptr, 10);
+        if (n <= 0)
+            SC_FATAL("--trace-buffer: expected a positive event count, "
+                     "got '", buf, "'");
+        traceBufferCap = static_cast<std::size_t>(n);
+        return true;
+    }
+    return false;
+}
+
+void
+ObsOptions::writeStats(const StatsRegistry &reg) const
+{
+    if (statsOut.empty())
+        return;
+    auto os = openOut(statsOut);
+    if (!os)
+        return;
+    if (hasSuffix(statsOut, ".csv"))
+        reg.dumpCsv(os);
+    else
+        reg.dumpJson(os);
+}
+
+void
+ObsOptions::writeTrace(const std::vector<TraceEvent> &events,
+                       const std::vector<std::string> &trackNames) const
+{
+    if (traceOut.empty())
+        return;
+    auto os = openOut(traceOut);
+    if (!os)
+        return;
+    if (hasSuffix(traceOut, ".jsonl"))
+        exportJsonl(events, os);
+    else
+        exportChromeTrace(events, os, trackNames);
+}
+
+void
+ObsOptions::writeManifest(RunManifest &manifest) const
+{
+    std::string path = manifestOut;
+    if (path.empty() && !statsOut.empty())
+        path = statsOut + ".manifest.json";
+    if (path.empty() && !traceOut.empty())
+        path = traceOut + ".manifest.json";
+    if (path.empty())
+        return;
+    manifest.writeFile(path);
+}
+
+} // namespace solarcore::obs

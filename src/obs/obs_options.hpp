@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared command-line wiring for the observability layer: every tool
+ * that simulates days (solarcore_cli, the bench binaries) accepts
+ *
+ *   --stats-out=FILE    stats registry dump (.json or .csv by extension)
+ *   --trace-out=FILE    event trace (.jsonl, or Chrome trace JSON
+ *                       otherwise -- load the latter in Perfetto)
+ *   --trace-buffer=N    ring-buffer capacity in events (default 64k)
+ *   --manifest-out=FILE run manifest; when omitted but another output
+ *                       is requested, a `<output>.manifest.json`
+ *                       sidecar is written next to it
+ *
+ * consume() recognizes one argv token at a time so callers can weave
+ * it into their existing parsers.
+ */
+
+#ifndef SOLARCORE_OBS_OBS_OPTIONS_HPP
+#define SOLARCORE_OBS_OBS_OPTIONS_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace solarcore::obs {
+
+class RunManifest;
+class StatsRegistry;
+
+/** Parsed observability flags plus the output helpers. */
+struct ObsOptions
+{
+    std::string statsOut;
+    std::string traceOut;
+    std::string manifestOut;
+    std::size_t traceBufferCap = 1 << 16;
+
+    /** @return true when @p arg was an observability flag (consumed). */
+    bool consume(std::string_view arg);
+
+    bool statsRequested() const { return !statsOut.empty(); }
+    bool traceRequested() const { return !traceOut.empty(); }
+    bool anyRequested() const
+    {
+        return statsRequested() || traceRequested() ||
+            !manifestOut.empty();
+    }
+
+    /** Write @p reg to statsOut (CSV for .csv, JSON otherwise). */
+    void writeStats(const StatsRegistry &reg) const;
+
+    /**
+     * Write @p events to traceOut (JSONL for .jsonl, Chrome trace JSON
+     * otherwise). @p trackNames labels the Chrome lanes.
+     */
+    void writeTrace(const std::vector<TraceEvent> &events,
+                    const std::vector<std::string> &trackNames = {}) const;
+
+    /**
+     * Write @p manifest to manifestOut, or to a sidecar named after
+     * the first requested output ("<out>.manifest.json"); no-op when
+     * nothing was requested.
+     */
+    void writeManifest(RunManifest &manifest) const;
+};
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_OBS_OPTIONS_HPP

@@ -1,0 +1,303 @@
+#include "stats_registry.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+// ---------------------------------------------------------------- scalar
+
+std::string
+ScalarStat::jsonValue(const StatsRegistry &) const
+{
+    return jsonNumber(value_);
+}
+
+void
+ScalarStat::flatten(const StatsRegistry &,
+                    std::vector<std::pair<std::string, double>> &out) const
+{
+    out.emplace_back(name(), value_);
+}
+
+// ---------------------------------------------------------------- vector
+
+double
+VectorStat::total() const
+{
+    double t = 0.0;
+    for (const double v : lanes_)
+        t += v;
+    return t;
+}
+
+void
+VectorStat::ensureLanes(std::size_t lanes)
+{
+    if (lanes > lanes_.size())
+        lanes_.resize(lanes, 0.0);
+}
+
+void
+VectorStat::reset()
+{
+    std::fill(lanes_.begin(), lanes_.end(), 0.0);
+}
+
+std::string
+VectorStat::jsonValue(const StatsRegistry &) const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += jsonNumber(lanes_[i]);
+    }
+    out += ']';
+    return out;
+}
+
+void
+VectorStat::flatten(const StatsRegistry &,
+                    std::vector<std::pair<std::string, double>> &out) const
+{
+    for (std::size_t i = 0; i < lanes_.size(); ++i)
+        out.emplace_back(name() + "." + std::to_string(i), lanes_[i]);
+}
+
+// ------------------------------------------------------------- histogram
+
+HistogramStat::HistogramStat(std::string name, std::string desc, double lo,
+                             double hi, std::size_t bins)
+    : StatBase(std::move(name), std::move(desc)), lo_(lo), hi_(hi),
+      counts_(bins, 0)
+{
+    SC_ASSERT(hi > lo && bins > 0, "HistogramStat: bad range");
+}
+
+void
+HistogramStat::add(double x)
+{
+    const double t = (x - lo_) / (hi_ - lo_) *
+        static_cast<double>(counts_.size());
+    const auto last = static_cast<double>(counts_.size() - 1);
+    const auto i = static_cast<std::size_t>(std::clamp(t, 0.0, last));
+    ++counts_[i];
+    ++total_;
+}
+
+void
+HistogramStat::addBinCount(std::size_t i, std::uint64_t n)
+{
+    counts_.at(i) += n;
+    total_ += n;
+}
+
+double
+HistogramStat::binLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(counts_.size());
+}
+
+void
+HistogramStat::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+std::string
+HistogramStat::jsonValue(const StatsRegistry &) const
+{
+    std::string out = "{\"lo\":" + jsonNumber(lo_) +
+        ",\"hi\":" + jsonNumber(hi_) + ",\"total\":" + jsonNumber(total_) +
+        ",\"bins\":[";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += jsonNumber(counts_[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+void
+HistogramStat::flatten(const StatsRegistry &,
+                       std::vector<std::pair<std::string, double>> &out)
+    const
+{
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        out.emplace_back(name() + ".bin" + std::to_string(i),
+                         static_cast<double>(counts_[i]));
+    }
+}
+
+// --------------------------------------------------------------- formula
+
+std::string
+FormulaStat::jsonValue(const StatsRegistry &reg) const
+{
+    return jsonNumber(fn_(reg));
+}
+
+void
+FormulaStat::flatten(const StatsRegistry &reg,
+                     std::vector<std::pair<std::string, double>> &out) const
+{
+    out.emplace_back(name(), fn_(reg));
+}
+
+// -------------------------------------------------------------- registry
+
+template <typename T, typename... Args>
+T &
+StatsRegistry::findOrCreate(const std::string &name,
+                            const std::string &desc, Args &&...args)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        it = stats_
+                 .emplace(name, std::make_unique<T>(
+                                    name, desc,
+                                    std::forward<Args>(args)...))
+                 .first;
+    }
+    T *typed = dynamic_cast<T *>(it->second.get());
+    if (!typed)
+        SC_PANIC("stat '", name, "' already registered with another type");
+    return *typed;
+}
+
+ScalarStat &
+StatsRegistry::scalar(const std::string &name, const std::string &desc)
+{
+    return findOrCreate<ScalarStat>(name, desc);
+}
+
+VectorStat &
+StatsRegistry::vector(const std::string &name, std::size_t lanes,
+                      const std::string &desc)
+{
+    auto &v = findOrCreate<VectorStat>(name, desc, lanes);
+    v.ensureLanes(lanes);
+    return v;
+}
+
+HistogramStat &
+StatsRegistry::histogram(const std::string &name, double lo, double hi,
+                         std::size_t bins, const std::string &desc)
+{
+    return findOrCreate<HistogramStat>(name, desc, lo, hi, bins);
+}
+
+FormulaStat &
+StatsRegistry::formula(const std::string &name, FormulaStat::Fn fn,
+                       const std::string &desc)
+{
+    return findOrCreate<FormulaStat>(name, desc, std::move(fn));
+}
+
+const StatBase *
+StatsRegistry::find(std::string_view name) const
+{
+    const auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second.get();
+}
+
+double
+StatsRegistry::value(std::string_view name) const
+{
+    const StatBase *s = find(name);
+    if (!s)
+        return 0.0;
+    if (const auto *sc = dynamic_cast<const ScalarStat *>(s))
+        return sc->value();
+    if (const auto *v = dynamic_cast<const VectorStat *>(s))
+        return v->total();
+    if (const auto *h = dynamic_cast<const HistogramStat *>(s))
+        return static_cast<double>(h->total());
+    if (const auto *f = dynamic_cast<const FormulaStat *>(s))
+        return f->value(*this);
+    return 0.0;
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats_)
+        stat->reset();
+}
+
+std::vector<std::pair<std::string, double>>
+StatsRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto &[name, stat] : stats_)
+        stat->flatten(*this, out);
+    return out;
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    for (const auto &[name, stat] : other.stats_) {
+        if (const auto *sc = dynamic_cast<const ScalarStat *>(stat.get())) {
+            scalar(name, sc->desc()) += sc->value();
+        } else if (const auto *v =
+                       dynamic_cast<const VectorStat *>(stat.get())) {
+            auto &dst = vector(name, v->lanes(), v->desc());
+            for (std::size_t i = 0; i < v->lanes(); ++i)
+                dst.lane(i) += v->lane(i);
+        } else if (const auto *h =
+                       dynamic_cast<const HistogramStat *>(stat.get())) {
+            auto &dst =
+                histogram(name, h->lo(), h->hi(), h->bins(), h->desc());
+            SC_ASSERT(dst.bins() == h->bins() && dst.lo() == h->lo() &&
+                          dst.hi() == h->hi(),
+                      "merge: histogram '", name, "' shape mismatch");
+            for (std::size_t i = 0; i < h->bins(); ++i)
+                dst.addBinCount(i, h->bin(i));
+        } else if (const auto *f =
+                       dynamic_cast<const FormulaStat *>(stat.get())) {
+            formula(name, f->fn(), f->desc());
+        }
+    }
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    JsonObjectWriter w(os);
+    for (const auto &[name, stat] : stats_)
+        w.raw(name, stat->jsonValue(*this));
+    w.close();
+    os << '\n';
+}
+
+void
+StatsRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &[name, value] : snapshot())
+        os << name << ',' << jsonNumber(value) << '\n';
+}
+
+// ----------------------------------------------------------------- scope
+
+StatScope
+StatScope::sub(const std::string &name) const
+{
+    return StatScope(*reg_, qualify(name));
+}
+
+std::string
+StatScope::qualify(const std::string &name) const
+{
+    return prefix_.empty() ? name : prefix_ + "." + name;
+}
+
+} // namespace solarcore::obs

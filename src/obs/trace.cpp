@@ -1,0 +1,253 @@
+#include "trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::MpptTrack:       return "mppt_track";
+      case EventKind::Retrack:         return "retrack";
+      case EventKind::DvfsChange:      return "dvfs_change";
+      case EventKind::Pcpg:            return "pcpg";
+      case EventKind::AtsTransfer:     return "ats_transfer";
+      case EventKind::BatteryMode:     return "battery_mode";
+      case EventKind::ThermalThrottle: return "thermal_throttle";
+      case EventKind::ThreadMotion:    return "thread_motion";
+      case EventKind::PeriodClose:     return "period_close";
+    }
+    return "?";
+}
+
+const char *
+retrackCauseName(RetrackCause cause)
+{
+    switch (cause) {
+      case RetrackCause::Periodic:    return "periodic";
+      case RetrackCause::SolarEntry:  return "solar_entry";
+      case RetrackCause::SupplyDelta: return "supply_delta";
+      case RetrackCause::DemandDelta: return "demand_delta";
+    }
+    return "?";
+}
+
+const char *
+batteryModeName(BatteryMode mode)
+{
+    switch (mode) {
+      case BatteryMode::Idle:      return "idle";
+      case BatteryMode::Charge:    return "charge";
+      case BatteryMode::Discharge: return "discharge";
+    }
+    return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity))
+{}
+
+const TraceEvent &
+TraceBuffer::at(std::size_t i) const
+{
+    SC_ASSERT(i < size_, "TraceBuffer::at: out of range");
+    // Oldest event: head_ when the ring has wrapped, slot 0 otherwise.
+    const std::size_t start = size_ == ring_.size() ? head_ : 0;
+    return ring_[(start + i) % ring_.size()];
+}
+
+std::vector<TraceEvent>
+TraceBuffer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    nextSeq_ = 0;
+}
+
+std::vector<TraceEvent>
+mergeBuffers(const std::vector<const TraceBuffer *> &buffers)
+{
+    std::vector<TraceEvent> out;
+    std::size_t total = 0;
+    for (const TraceBuffer *b : buffers)
+        total += b ? b->size() : 0;
+    out.reserve(total);
+    for (std::size_t t = 0; t < buffers.size(); ++t) {
+        if (!buffers[t])
+            continue;
+        for (std::size_t i = 0; i < buffers[t]->size(); ++i) {
+            TraceEvent e = buffers[t]->at(i);
+            e.track = static_cast<std::int16_t>(t);
+            out.push_back(e);
+        }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.timeMin != b.timeMin)
+                             return a.timeMin < b.timeMin;
+                         if (a.track != b.track)
+                             return a.track < b.track;
+                         return a.seq < b.seq;
+                     });
+    return out;
+}
+
+namespace {
+
+/** The per-kind payload fields as JSON object members. */
+void
+writePayload(JsonObjectWriter &w, const TraceEvent &e)
+{
+    switch (e.kind) {
+      case EventKind::MpptTrack:
+        w.field("steps_up", e.i0);
+        w.field("steps_down", e.i1);
+        w.field("demand_w", e.v0);
+        w.field("solar_viable", e.arg0 != 0);
+        break;
+      case EventKind::Retrack:
+        w.field("cause",
+                retrackCauseName(static_cast<RetrackCause>(e.arg0)));
+        w.field("budget_w", e.v0);
+        w.field("demand_w", e.v1);
+        break;
+      case EventKind::DvfsChange:
+        w.field("core", e.core);
+        w.field("from_level", e.i0);
+        w.field("to_level", e.i1);
+        w.field("tpr_rank", static_cast<int>(e.arg0));
+        w.field("delta_power_w", e.v0);
+        w.field("tpr", e.v1);
+        break;
+      case EventKind::Pcpg:
+        w.field("core", e.core);
+        w.field("gated", e.arg0 != 0);
+        w.field("delta_power_w", e.v0);
+        break;
+      case EventKind::AtsTransfer:
+        w.field("to_solar", e.arg0 != 0);
+        w.field("available_w", e.v0);
+        w.field("transfers", e.i0);
+        break;
+      case EventKind::BatteryMode:
+        w.field("mode", batteryModeName(static_cast<BatteryMode>(e.arg0)));
+        w.field("soc", e.v0);
+        break;
+      case EventKind::ThermalThrottle:
+        w.field("core", e.core);
+        w.field("die_temp_c", e.v0);
+        break;
+      case EventKind::ThreadMotion:
+        w.field("core_a", e.core);
+        w.field("core_b", e.i0);
+        break;
+      case EventKind::PeriodClose:
+        w.field("budget_w", e.v0);
+        w.field("consumed_w", e.v1);
+        break;
+    }
+}
+
+/** Simulated minutes -> Chrome trace microseconds. */
+std::string
+chromeTs(double minute)
+{
+    return jsonNumber(minute * 60e6);
+}
+
+} // namespace
+
+void
+exportJsonl(const std::vector<TraceEvent> &events, std::ostream &os)
+{
+    for (const TraceEvent &e : events) {
+        JsonObjectWriter w(os);
+        w.field("t_min", e.timeMin);
+        w.field("track", static_cast<int>(e.track));
+        w.field("kind", eventKindName(e.kind));
+        writePayload(w, e);
+        w.close();
+        os << '\n';
+    }
+}
+
+void
+exportChromeTrace(const std::vector<TraceEvent> &events, std::ostream &os,
+                  const std::vector<std::string> &trackNames)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: process plus one named thread lane per track.
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"solarcore\"}}";
+    std::int16_t max_track = 0;
+    for (const TraceEvent &e : events)
+        max_track = std::max(max_track, e.track);
+    for (std::int16_t t = 0; t <= max_track; ++t) {
+        const std::string name = t < static_cast<std::int16_t>(
+                                         trackNames.size())
+            ? trackNames[static_cast<std::size_t>(t)]
+            : "track " + std::to_string(t);
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << t << ",\"args\":{\"name\":" << jsonString(name) << "}}";
+    }
+
+    for (const TraceEvent &e : events) {
+        // The instant record itself.
+        sep();
+        os << "{\"name\":" << jsonString(eventKindName(e.kind))
+           << ",\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+           << chromeTs(e.timeMin) << ",\"pid\":1,\"tid\":" << e.track
+           << ",\"args\":";
+        {
+            JsonObjectWriter w(os);
+            writePayload(w, e);
+            w.close();
+        }
+        os << "}";
+
+        // Derived counter tracks, viewable as graphs in Perfetto.
+        if (e.kind == EventKind::DvfsChange || e.kind == EventKind::Pcpg) {
+            const int level = e.kind == EventKind::Pcpg
+                ? (e.arg0 ? -1 : 0)
+                : e.i1;
+            sep();
+            os << "{\"name\":\"core" << e.core
+               << ".level\",\"ph\":\"C\",\"ts\":" << chromeTs(e.timeMin)
+               << ",\"pid\":1,\"tid\":" << e.track
+               << ",\"args\":{\"level\":" << level << "}}";
+        } else if (e.kind == EventKind::PeriodClose) {
+            sep();
+            os << "{\"name\":\"power\",\"ph\":\"C\",\"ts\":"
+               << chromeTs(e.timeMin) << ",\"pid\":1,\"tid\":" << e.track
+               << ",\"args\":{\"budget_w\":" << jsonNumber(e.v0)
+               << ",\"consumed_w\":" << jsonNumber(e.v1) << "}}";
+        }
+    }
+    os << "\n]}\n";
+}
+
+} // namespace solarcore::obs

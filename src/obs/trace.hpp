@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Structured event tracing for the simulation stack.
+ *
+ * Components append fixed-size typed records (re-track triggers with
+ * cause, per-core DVFS changes with TPR rank, PCPG gate/ungate, ATS
+ * grid switchovers, battery mode changes, MPPT tracking events) to a
+ * preallocated ring buffer. Timestamps are simulated minutes since
+ * local midnight, set once per step by the day driver (setNow), so
+ * emitting an event is a couple of stores -- cheap enough to leave in
+ * the controller's notch loop. Disabled tracing is a nullable-pointer
+ * branch at every call site and costs nothing else.
+ *
+ * Exporters render merged event streams as JSONL (one object per
+ * line) or as Chrome trace_event JSON loadable in Perfetto / about:
+ * tracing, with per-core DVFS counter tracks derived from the change
+ * events. Parallel sweeps give each worker its own buffer; merge()
+ * orders events by (simulated time, track, sequence), which is
+ * byte-identical at any thread count because track = task index.
+ */
+
+#ifndef SOLARCORE_OBS_TRACE_HPP
+#define SOLARCORE_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace solarcore::obs {
+
+/** What happened. Payload field meaning is per-kind (see emitters). */
+enum class EventKind : std::uint8_t {
+    MpptTrack,       //!< one tracking event: i0=stepsUp, i1=stepsDown,
+                     //!< v0=chip demand W, arg0=solarViable
+    Retrack,         //!< tracking trigger: arg0=RetrackCause,
+                     //!< v0=budget W, v1=chip demand W
+    DvfsChange,      //!< per-core notch: core, i0=from level,
+                     //!< i1=to level, arg0=TPR rank (1 = best),
+                     //!< v0=delta power W, v1=step TPR
+    Pcpg,            //!< core power gating: core, arg0=1 gate/0 ungate,
+                     //!< v0=delta power W
+    AtsTransfer,     //!< arg0=1 to solar / 0 to grid, v0=available W,
+                     //!< i0=transfer count so far
+    BatteryMode,     //!< arg0=BatteryMode, v0=state of charge [0..1]
+    ThermalThrottle, //!< core, v0=die temp C
+    ThreadMotion,    //!< workload swap: core=first, i0=second
+    PeriodClose,     //!< tracking-period boundary: v0=mean budget W,
+                     //!< v1=mean consumed W
+};
+
+/** Why a re-track fired (Retrack arg0). */
+enum class RetrackCause : std::uint8_t {
+    Periodic,    //!< tracking period expired
+    SolarEntry,  //!< ATS just switched the chip onto the panel
+    SupplyDelta, //!< panel budget moved past the re-track threshold
+    DemandDelta, //!< chip demand drifted past the re-track threshold
+};
+
+/** Battery operating mode (BatteryMode arg0). */
+enum class BatteryMode : std::uint8_t { Idle, Charge, Discharge };
+
+/** Human-readable names used by both exporters. */
+const char *eventKindName(EventKind kind);
+const char *retrackCauseName(RetrackCause cause);
+const char *batteryModeName(BatteryMode mode);
+
+/** One fixed-size trace record. */
+struct TraceEvent
+{
+    double timeMin = 0.0;    //!< simulated minutes since midnight
+    double v0 = 0.0;         //!< per-kind payload (see EventKind)
+    double v1 = 0.0;
+    std::uint64_t seq = 0;   //!< per-buffer emission order
+    std::int32_t i0 = 0;
+    std::int32_t i1 = 0;
+    std::int16_t core = -1;  //!< core index, -1 when chip-level
+    std::int16_t track = 0;  //!< merge lane (task index in sweeps)
+    EventKind kind = EventKind::MpptTrack;
+    std::uint8_t arg0 = 0;
+};
+
+/**
+ * Preallocated ring buffer of trace events. When full, the oldest
+ * records are overwritten and counted as dropped -- tracing never
+ * allocates on the simulation path after construction.
+ */
+class TraceBuffer
+{
+  public:
+    /** @param capacity ring size in events (>= 1). */
+    explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+    /** Stamp for subsequent events [simulated minutes]. */
+    void setNow(double minute) { nowMin_ = minute; }
+    double now() const { return nowMin_; }
+
+    /** Append @p e, stamping time and sequence number. */
+    void
+    emit(TraceEvent e)
+    {
+        e.timeMin = nowMin_;
+        e.seq = nextSeq_++;
+        ring_[head_] = e;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+    std::size_t size() const { return size_; }
+    std::uint64_t dropped() const { return dropped_; }
+    bool empty() const { return size_ == 0; }
+
+    /** The @p i-th retained event, oldest first. */
+    const TraceEvent &at(std::size_t i) const;
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    void clear();
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;   //!< next write slot
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    double nowMin_ = 0.0;
+};
+
+/**
+ * Merge per-worker buffers into one stream ordered by simulated time
+ * (ties: track, then sequence). Each buffer's events are tagged with
+ * its index as the track id, so the result is independent of which
+ * thread produced which buffer.
+ */
+std::vector<TraceEvent>
+mergeBuffers(const std::vector<const TraceBuffer *> &buffers);
+
+/** Export one event stream as JSONL (one JSON object per line). */
+void exportJsonl(const std::vector<TraceEvent> &events, std::ostream &os);
+
+/**
+ * Export as Chrome trace_event JSON (the Perfetto / about:tracing
+ * format): instant events per record plus derived per-core DVFS-level
+ * counter tracks. @p trackNames labels the tid lanes (defaults to
+ * "track N"). Simulated time maps to trace microseconds.
+ */
+void exportChromeTrace(const std::vector<TraceEvent> &events,
+                       std::ostream &os,
+                       const std::vector<std::string> &trackNames = {});
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_TRACE_HPP

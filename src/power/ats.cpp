@@ -1,5 +1,6 @@
 #include "ats.hpp"
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::power {
@@ -23,6 +24,8 @@ TransferSwitch::update(double available_solar_w, double dt_seconds)
             if (stableAboveSec_ >= switchBackDelaySec_) {
                 source_ = PowerSource::Solar;
                 ++transfers_;
+                if (trace_)
+                    traceTransfer(available_solar_w);
             }
         } else {
             stableAboveSec_ = 0.0;
@@ -32,9 +35,33 @@ TransferSwitch::update(double available_solar_w, double dt_seconds)
             source_ = PowerSource::Grid;
             stableAboveSec_ = 0.0;
             ++transfers_;
+            if (trace_)
+                traceTransfer(available_solar_w);
         }
     }
     return source_;
+}
+
+void
+TransferSwitch::force(PowerSource src)
+{
+    if (src != source_ && trace_) {
+        source_ = src;
+        traceTransfer(0.0);
+        return;
+    }
+    source_ = src;
+}
+
+void
+TransferSwitch::traceTransfer(double available_solar_w)
+{
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::AtsTransfer;
+    e.arg0 = source_ == PowerSource::Solar ? 1 : 0;
+    e.v0 = available_solar_w;
+    e.i0 = transfers_;
+    trace_->emit(e);
 }
 
 void

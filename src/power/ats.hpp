@@ -12,6 +12,10 @@
 #ifndef SOLARCORE_POWER_ATS_HPP
 #define SOLARCORE_POWER_ATS_HPP
 
+namespace solarcore::obs {
+class TraceBuffer;
+} // namespace solarcore::obs
+
 namespace solarcore::power {
 
 /** Which source currently powers the load. */
@@ -46,7 +50,14 @@ class TransferSwitch
     PowerSource update(double available_solar_w, double dt_seconds);
 
     /** Force a source (used by non-tracking baselines). */
-    void force(PowerSource src) { source_ = src; }
+    void force(PowerSource src);
+
+    /**
+     * Attach a trace sink (nullptr detaches): every switchover emits
+     * an AtsTransfer event stamped with the sink's current simulated
+     * time. Borrowed pointer; must outlive the switch or be detached.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
 
     /** Account @p watts drawn for @p seconds from the active source. */
     void accountEnergy(double watts, double seconds);
@@ -62,6 +73,10 @@ class TransferSwitch
     int transferCount() const { return transfers_; }
 
   private:
+    /** Emit an AtsTransfer trace event (trace_ checked by caller). */
+    void traceTransfer(double available_solar_w);
+
+    obs::TraceBuffer *trace_ = nullptr;
     double thresholdW_;
     double hysteresisW_;
     double switchBackDelaySec_;

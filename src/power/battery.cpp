@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::power {
@@ -39,6 +40,11 @@ Battery::charge(double power_w, double hours)
     const double absorbed = std::min(offered, storable);
     storedWh_ += absorbed * chargeEff_;
     lostWh_ += absorbed * (1.0 - chargeEff_);
+    if (trace_) {
+        traceMode(static_cast<int>(absorbed > 0.0
+                                       ? obs::BatteryMode::Charge
+                                       : obs::BatteryMode::Idle));
+    }
     return absorbed;
 }
 
@@ -54,7 +60,25 @@ Battery::discharge(double power_w, double hours)
     storedWh_ -= removed;
     lostWh_ += removed - delivered;
     deliveredWh_ += delivered;
+    if (trace_) {
+        traceMode(static_cast<int>(delivered > 0.0
+                                       ? obs::BatteryMode::Discharge
+                                       : obs::BatteryMode::Idle));
+    }
     return delivered;
+}
+
+void
+Battery::traceMode(int mode)
+{
+    if (mode == lastMode_)
+        return;
+    lastMode_ = mode;
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::BatteryMode;
+    e.arg0 = static_cast<std::uint8_t>(mode);
+    e.v0 = socFraction();
+    trace_->emit(e);
 }
 
 void

@@ -11,6 +11,10 @@
 #ifndef SOLARCORE_POWER_BATTERY_HPP
 #define SOLARCORE_POWER_BATTERY_HPP
 
+namespace solarcore::obs {
+class TraceBuffer;
+} // namespace solarcore::obs
+
 namespace solarcore::power {
 
 /** Table 3 performance levels of battery-based PV systems. */
@@ -68,6 +72,13 @@ class Battery
     /** Apply self-discharge over @p hours. */
     void idle(double hours);
 
+    /**
+     * Attach a trace sink (nullptr detaches): transitions between
+     * idle/charge/discharge operation emit BatteryMode events with the
+     * state of charge, stamped with the sink's simulated time.
+     */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
     /** Lifetime energy throughput (delivered) [Wh]. */
     double deliveredWh() const { return deliveredWh_; }
 
@@ -75,6 +86,11 @@ class Battery
     double lostWh() const { return lostWh_; }
 
   private:
+    /** Emit a BatteryMode event when the operating mode changed. */
+    void traceMode(int mode);
+
+    obs::TraceBuffer *trace_ = nullptr;
+    int lastMode_ = 0; //!< obs::BatteryMode as int (Idle)
     double capacityWh_;
     double chargeEff_;
     double dischargeEff_;

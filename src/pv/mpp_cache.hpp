@@ -34,11 +34,23 @@ namespace solarcore::pv {
 class MppCache
 {
   public:
-    /** Hit/miss counters for tests and benchmarks. */
+    /** Hit/miss counters for tests, benchmarks and the stats registry. */
     struct Stats
     {
         std::size_t hits = 0;
         std::size_t misses = 0;
+
+        std::size_t lookups() const { return hits + misses; }
+
+        /** Hit fraction in [0, 1]; 0 before the first lookup. */
+        double
+        hitRate() const
+        {
+            const std::size_t n = lookups();
+            return n ? static_cast<double>(hits) /
+                    static_cast<double>(n)
+                     : 0.0;
+        }
     };
 
     MppCache(const PvModule &module, int modules_series,

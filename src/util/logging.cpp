@@ -1,10 +1,10 @@
 #include "logging.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
 namespace solarcore {
-namespace detail {
 
 namespace {
 
@@ -20,13 +20,57 @@ levelName(LogLevel level)
     return "?";
 }
 
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("SC_LOG_LEVEL");
+    return env ? parseLogLevel(env) : LogLevel::Inform;
+}
+
+std::atomic<LogLevel> &
+thresholdRef()
+{
+    static std::atomic<LogLevel> threshold{initialLogLevel()};
+    return threshold;
+}
+
 } // namespace
+
+LogLevel
+logLevel()
+{
+    return thresholdRef().load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    thresholdRef().store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name, LogLevel fallback)
+{
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "fatal" || name == "quiet")
+        return LogLevel::Fatal;
+    return fallback;
+}
+
+namespace detail {
 
 void
 logMessage(LogLevel level, const char *file, int line, const std::string &msg)
 {
+    const bool terminal = level == LogLevel::Fatal || level == LogLevel::Panic;
+    if (!terminal && level < logLevel())
+        return;
+
     std::cerr << levelName(level) << ": " << msg;
-    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+    if (terminal)
         std::cerr << " (" << file << ":" << line << ")";
     std::cerr << std::endl;
 

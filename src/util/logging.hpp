@@ -6,11 +6,19 @@
  * `fatal` flags unrecoverable user/configuration errors, and `warn` /
  * `inform` emit non-fatal diagnostics. All printing goes through
  * std::cerr so bench output on std::cout stays machine-parsable.
+ *
+ * A runtime threshold gates the non-fatal classes: messages below
+ * `logLevel()` are dropped (Fatal/Panic always print and terminate).
+ * The initial threshold comes from the SC_LOG_LEVEL environment
+ * variable ("inform", "warn", "fatal"); setLogLevel() overrides it.
+ * SC_WARN_ONCE emits at most once per call site -- per-step warnings
+ * inside a 10-hour simulated day would otherwise flood stderr.
  */
 
 #ifndef SOLARCORE_UTIL_LOGGING_HPP
 #define SOLARCORE_UTIL_LOGGING_HPP
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -19,10 +27,24 @@ namespace solarcore {
 /** Severity classes understood by detail::logMessage. */
 enum class LogLevel { Inform, Warn, Fatal, Panic };
 
+/** Current threshold: messages below it are suppressed. */
+LogLevel logLevel();
+
+/** Set the threshold at runtime (overrides SC_LOG_LEVEL). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse a threshold name ("inform"/"info", "warn", "fatal"/"quiet").
+ * @return the parsed level, or @p fallback for unknown names
+ */
+LogLevel parseLogLevel(const std::string &name,
+                       LogLevel fallback = LogLevel::Inform);
+
 namespace detail {
 
 /**
  * Emit a formatted log record and, for Fatal/Panic, terminate.
+ * Inform/Warn records below the runtime threshold are dropped.
  *
  * @param level  severity class
  * @param file   originating source file (use __FILE__)
@@ -67,6 +89,19 @@ concat([[maybe_unused]] Args &&...args)
     ::solarcore::detail::logMessage(::solarcore::LogLevel::Warn, __FILE__,  \
                                     __LINE__,                               \
                                     ::solarcore::detail::concat(__VA_ARGS__))
+
+/**
+ * Emit a non-fatal warning at most once per call site (thread-safe;
+ * repeated per-step warnings in long simulated days stay readable).
+ */
+#define SC_WARN_ONCE(...)                                                    \
+    do {                                                                     \
+        static std::atomic<bool> sc_warned_once_{false};                     \
+        if (!sc_warned_once_.exchange(true, std::memory_order_relaxed)) {   \
+            SC_WARN(__VA_ARGS__,                                            \
+                    " (further occurrences of this warning suppressed)");   \
+        }                                                                    \
+    } while (false)
 
 /** Emit an informational message. */
 #define SC_INFORM(...)                                                       \

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the run-manifest sidecar records.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/manifest.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TEST(RunManifest, WriteJsonCarriesToolArgsConfigAndSeed)
+{
+    char a0[] = "solarcore_cli";
+    char a1[] = "summary";
+    char a2[] = "--site";
+    char a3[] = "AZ";
+    char *argv[] = {a0, a1, a2, a3};
+    RunManifest m(4, argv);
+    m.set("site", std::string("AZ"));
+    m.set("budget_w", 40.5);
+    m.set("days", std::uint64_t{31});
+    m.setSeed(1234);
+
+    std::ostringstream os;
+    m.writeJson(os);
+    const std::string out = os.str();
+
+    EXPECT_EQ(out.rfind("{\"tool\":\"solarcore_cli\","
+                        "\"args\":[\"summary\",\"--site\",\"AZ\"],",
+                        0),
+              0u);
+    EXPECT_NE(out.find("\"seed\":1234"), std::string::npos);
+    // Config keys render sorted, with typed JSON values.
+    EXPECT_NE(out.find("\"config\":{\"budget_w\":40.5,\"days\":31,"
+                       "\"site\":\"AZ\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"git_describe\":"), std::string::npos);
+    EXPECT_NE(out.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(out.find("\"cpu_seconds\":"), std::string::npos);
+    EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(RunManifest, FinishIsIdempotent)
+{
+    RunManifest m("tool");
+    m.finish();
+    const double wall = m.wallSeconds();
+    const double cpu = m.cpuSeconds();
+    EXPECT_GE(wall, 0.0);
+    EXPECT_GE(cpu, 0.0);
+    // A later finish (or writeJson) must not restart the clocks.
+    m.finish();
+    EXPECT_EQ(m.wallSeconds(), wall);
+    EXPECT_EQ(m.cpuSeconds(), cpu);
+}
+
+TEST(RunManifest, SetOverwritesExistingKey)
+{
+    RunManifest m("tool");
+    m.set("month", std::string("Jan"));
+    m.set("month", std::string("Jul"));
+    std::ostringstream os;
+    m.writeJson(os);
+    EXPECT_NE(os.str().find("\"month\":\"Jul\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"month\":\"Jan\""), std::string::npos);
+}
+
+TEST(RunManifest, WriteFileRoundTripsAndRejectsBadPath)
+{
+    RunManifest m("tool");
+    const std::string path = ::testing::TempDir() + "manifest_test.json";
+    ASSERT_TRUE(m.writeFile(path));
+    std::ifstream is(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("{\"tool\":\"tool\"", 0), 0u);
+    is.close();
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(m.writeFile("/nonexistent-dir/manifest.json"));
+}
+
+TEST(RunManifest, BuildGitDescribeIsNonEmpty)
+{
+    EXPECT_NE(std::string(buildGitDescribe()), "");
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tests for the shared observability command-line flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/obs_options.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TEST(ObsOptions, ConsumeRecognizesObservabilityFlags)
+{
+    ObsOptions o;
+    EXPECT_FALSE(o.anyRequested());
+
+    EXPECT_TRUE(o.consume("--stats-out=stats.json"));
+    EXPECT_TRUE(o.consume("--trace-out=day.jsonl"));
+    EXPECT_TRUE(o.consume("--trace-buffer=1024"));
+    EXPECT_TRUE(o.consume("--manifest-out=run.json"));
+
+    EXPECT_EQ(o.statsOut, "stats.json");
+    EXPECT_EQ(o.traceOut, "day.jsonl");
+    EXPECT_EQ(o.traceBufferCap, 1024u);
+    EXPECT_EQ(o.manifestOut, "run.json");
+    EXPECT_TRUE(o.statsRequested());
+    EXPECT_TRUE(o.traceRequested());
+    EXPECT_TRUE(o.anyRequested());
+}
+
+TEST(ObsOptions, ConsumeLeavesForeignFlagsAlone)
+{
+    ObsOptions o;
+    EXPECT_FALSE(o.consume("--site"));
+    EXPECT_FALSE(o.consume("AZ"));
+    EXPECT_FALSE(o.consume("--threads=3"));
+    EXPECT_FALSE(o.consume("--stats-out")); // value-less form unsupported
+    EXPECT_FALSE(o.anyRequested());
+}
+
+} // namespace
+} // namespace solarcore::obs

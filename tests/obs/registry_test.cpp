@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the hierarchical stats registry: scoping, find-or-create
+ * semantics, histogram binning, formula evaluation by operand lookup,
+ * snapshot/reset, merge, and the JSON/CSV dumps.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/stats_registry.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TEST(StatsRegistry, ScalarFindOrCreateAccumulates)
+{
+    StatsRegistry reg;
+    auto &a = reg.scalar("chip.steps", "notches moved");
+    a += 3.0;
+    ++a;
+    // Second lookup under the same name returns the same stat.
+    auto &b = reg.scalar("chip.steps");
+    EXPECT_EQ(&a, &b);
+    EXPECT_DOUBLE_EQ(b.value(), 4.0);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.value("chip.steps"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.value("no.such.stat"), 0.0);
+}
+
+TEST(StatsRegistry, TypeMismatchPanics)
+{
+    StatsRegistry reg;
+    reg.scalar("x");
+    EXPECT_DEATH(reg.vector("x", 4), "another type");
+}
+
+TEST(StatsRegistry, ScopeQualifiesHierarchicalNames)
+{
+    StatsRegistry reg;
+    StatScope root(reg);
+    StatScope chip = root.sub("chip");
+    StatScope core3 = chip.sub("core3");
+    EXPECT_EQ(core3.prefix(), "chip.core3");
+
+    ++core3.scalar("dvfsTransitions");
+    EXPECT_NE(reg.find("chip.core3.dvfsTransitions"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.value("chip.core3.dvfsTransitions"), 1.0);
+}
+
+TEST(StatsRegistry, VectorLanesAndTotal)
+{
+    StatsRegistry reg;
+    auto &v = reg.vector("chip.core.dvfsTransitions", 4);
+    v.lane(0) += 2.0;
+    v.lane(3) += 5.0;
+    EXPECT_DOUBLE_EQ(v.total(), 7.0);
+    // value() of a vector is its total.
+    EXPECT_DOUBLE_EQ(reg.value("chip.core.dvfsTransitions"), 7.0);
+    // Re-registration with more lanes grows, never shrinks.
+    auto &v2 = reg.vector("chip.core.dvfsTransitions", 6);
+    EXPECT_EQ(&v, &v2);
+    EXPECT_EQ(v2.lanes(), 6u);
+    EXPECT_DOUBLE_EQ(v2.lane(3), 5.0);
+}
+
+TEST(StatsRegistry, HistogramBinsAndClamps)
+{
+    StatsRegistry reg;
+    auto &h = reg.histogram("err", 0.0, 10.0, 5);
+    h.add(0.0);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(-5.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 4
+    EXPECT_EQ(h.bin(0), 3u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(2), 0u);
+    EXPECT_EQ(h.bin(4), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(StatsRegistry, FormulaEvaluatesAgainstOwningRegistry)
+{
+    StatsRegistry reg;
+    reg.scalar("hits") += 3.0;
+    reg.scalar("misses") += 1.0;
+    reg.formula("hitRate", [](const StatsRegistry &r) {
+        const double n = r.value("hits") + r.value("misses");
+        return n > 0.0 ? r.value("hits") / n : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(reg.value("hitRate"), 0.75);
+    // Operands are looked up at evaluation time, not captured.
+    reg.scalar("misses") += 5.0;
+    EXPECT_DOUBLE_EQ(reg.value("hitRate"), 3.0 / 9.0);
+}
+
+TEST(StatsRegistry, SnapshotFlattensAndResetZeroes)
+{
+    StatsRegistry reg;
+    reg.scalar("a") += 2.0;
+    auto &v = reg.vector("v", 2);
+    v.lane(1) = 4.0;
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u); // a, v.0, v.1
+    EXPECT_EQ(snap[0].first, "a");
+    EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+    EXPECT_EQ(snap[2].first, "v.1");
+    EXPECT_DOUBLE_EQ(snap[2].second, 4.0);
+
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(reg.value("a"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("v"), 0.0);
+}
+
+TEST(StatsRegistry, MergeAddsAndCopiesFormulas)
+{
+    StatsRegistry a;
+    a.scalar("hits") += 2.0;
+    a.vector("lanes", 2).lane(0) += 1.0;
+    a.histogram("h", 0.0, 4.0, 2).add(1.0);
+
+    StatsRegistry b;
+    b.scalar("hits") += 3.0;
+    b.scalar("onlyInB") += 7.0;
+    b.vector("lanes", 2).lane(1) += 2.0;
+    b.histogram("h", 0.0, 4.0, 2).add(3.0);
+    b.formula("rate", [](const StatsRegistry &r) {
+        return r.value("hits") / 10.0;
+    });
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value("hits"), 5.0);
+    EXPECT_DOUBLE_EQ(a.value("onlyInB"), 7.0);
+    EXPECT_DOUBLE_EQ(a.value("lanes"), 3.0);
+    EXPECT_EQ(a.histogram("h", 0.0, 4.0, 2).bin(0), 1u);
+    EXPECT_EQ(a.histogram("h", 0.0, 4.0, 2).bin(1), 1u);
+    // The copied formula computes against the merged operands.
+    EXPECT_DOUBLE_EQ(a.value("rate"), 0.5);
+}
+
+TEST(StatsRegistry, DumpJsonIsSortedAndStable)
+{
+    StatsRegistry reg;
+    reg.scalar("b.scalar") += 1.5;
+    reg.scalar("a.scalar") += 2.0;
+    reg.vector("c.vector", 2).lane(0) = 1.0;
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"a.scalar\":2,\"b.scalar\":1.5,"
+              "\"c.vector\":[1,0]}\n");
+}
+
+TEST(StatsRegistry, DumpCsvFlattensRows)
+{
+    StatsRegistry reg;
+    reg.scalar("a") += 2.0;
+    reg.vector("v", 2).lane(1) = 3.0;
+
+    std::ostringstream os;
+    reg.dumpCsv(os);
+    EXPECT_EQ(os.str(), "stat,value\na,2\nv.0,0\nv.1,3\n");
+}
+
+} // namespace
+} // namespace solarcore::obs

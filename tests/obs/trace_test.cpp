@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the event trace ring buffer, the multi-buffer merge, and
+ * the JSONL / Chrome trace_event exporters.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TraceEvent
+retrackEvent(RetrackCause cause, double budget_w, double demand_w)
+{
+    TraceEvent e;
+    e.kind = EventKind::Retrack;
+    e.arg0 = static_cast<std::uint8_t>(cause);
+    e.v0 = budget_w;
+    e.v1 = demand_w;
+    return e;
+}
+
+TEST(TraceBuffer, StampsTimeAndSequence)
+{
+    TraceBuffer buf(8);
+    buf.setNow(12.5);
+    buf.emit(retrackEvent(RetrackCause::Periodic, 40.0, 35.0));
+    buf.setNow(13.0);
+    buf.emit(retrackEvent(RetrackCause::DemandDelta, 41.0, 36.0));
+
+    ASSERT_EQ(buf.size(), 2u);
+    EXPECT_DOUBLE_EQ(buf.at(0).timeMin, 12.5);
+    EXPECT_EQ(buf.at(0).seq, 0u);
+    EXPECT_DOUBLE_EQ(buf.at(1).timeMin, 13.0);
+    EXPECT_EQ(buf.at(1).seq, 1u);
+    EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, RingWrapsOldestFirstAndCountsDropped)
+{
+    TraceBuffer buf(4);
+    for (int i = 0; i < 7; ++i) {
+        buf.setNow(i);
+        TraceEvent e;
+        e.kind = EventKind::DvfsChange;
+        e.i0 = i;
+        buf.emit(e);
+    }
+    // Capacity 4, 7 emitted: events 0..2 were overwritten.
+    EXPECT_EQ(buf.capacity(), 4u);
+    EXPECT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf.dropped(), 3u);
+    const auto evs = buf.events();
+    ASSERT_EQ(evs.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(evs[i].i0, i + 3);
+        EXPECT_DOUBLE_EQ(evs[i].timeMin, i + 3.0);
+    }
+
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(TraceBuffer, MinimumCapacityIsOne)
+{
+    TraceBuffer buf(0);
+    EXPECT_EQ(buf.capacity(), 1u);
+    buf.emit(TraceEvent{});
+    buf.emit(TraceEvent{});
+    EXPECT_EQ(buf.size(), 1u);
+    EXPECT_EQ(buf.dropped(), 1u);
+}
+
+TEST(MergeBuffers, OrdersByTimeThenTrackThenSeq)
+{
+    TraceBuffer a(8), b(8);
+    a.setNow(10.0);
+    a.emit(retrackEvent(RetrackCause::Periodic, 1.0, 0.0)); // t=10 trk0
+    a.setNow(30.0);
+    a.emit(retrackEvent(RetrackCause::Periodic, 2.0, 0.0)); // t=30 trk0
+    b.setNow(10.0);
+    b.emit(retrackEvent(RetrackCause::Periodic, 3.0, 0.0)); // t=10 trk1
+    b.setNow(20.0);
+    b.emit(retrackEvent(RetrackCause::Periodic, 4.0, 0.0)); // t=20 trk1
+
+    const auto merged = mergeBuffers({&a, &b});
+    ASSERT_EQ(merged.size(), 4u);
+    EXPECT_DOUBLE_EQ(merged[0].v0, 1.0); // t=10, track 0 before track 1
+    EXPECT_EQ(merged[0].track, 0);
+    EXPECT_DOUBLE_EQ(merged[1].v0, 3.0);
+    EXPECT_EQ(merged[1].track, 1);
+    EXPECT_DOUBLE_EQ(merged[2].v0, 4.0); // t=20
+    EXPECT_DOUBLE_EQ(merged[3].v0, 2.0); // t=30
+
+    // Null buffers are skipped, and track ids follow slot positions.
+    const auto sparse = mergeBuffers({nullptr, &b});
+    ASSERT_EQ(sparse.size(), 2u);
+    EXPECT_EQ(sparse[0].track, 1);
+}
+
+TEST(ExportJsonl, GoldenLines)
+{
+    TraceBuffer buf(8);
+    buf.setNow(421.0);
+    buf.emit(retrackEvent(RetrackCause::SolarEntry, 38.25, 30.0));
+    TraceEvent d;
+    d.kind = EventKind::DvfsChange;
+    d.core = 2;
+    d.i0 = 4;
+    d.i1 = 5;
+    d.arg0 = 1;
+    d.v0 = 1.5;
+    d.v1 = 0.25;
+    buf.emit(d);
+
+    std::ostringstream os;
+    exportJsonl(buf.events(), os);
+    EXPECT_EQ(os.str(),
+              "{\"t_min\":421,\"track\":0,\"kind\":\"retrack\","
+              "\"cause\":\"solar_entry\",\"budget_w\":38.25,"
+              "\"demand_w\":30}\n"
+              "{\"t_min\":421,\"track\":0,\"kind\":\"dvfs_change\","
+              "\"core\":2,\"from_level\":4,\"to_level\":5,"
+              "\"tpr_rank\":1,\"delta_power_w\":1.5,\"tpr\":0.25}\n");
+}
+
+TEST(ExportChromeTrace, EmitsMetadataInstantsAndCounters)
+{
+    TraceBuffer buf(8);
+    buf.setNow(1.0);
+    TraceEvent d;
+    d.kind = EventKind::DvfsChange;
+    d.core = 0;
+    d.i0 = 3;
+    d.i1 = 4;
+    d.arg0 = 2;
+    buf.emit(d);
+    TraceEvent p;
+    p.kind = EventKind::PeriodClose;
+    p.v0 = 40.0;
+    p.v1 = 38.5;
+    buf.emit(p);
+
+    std::ostringstream os;
+    exportChromeTrace(buf.events(), os, {"day"});
+    const std::string out = os.str();
+
+    // A valid trace_event document with our metadata...
+    EXPECT_EQ(out.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+              0u);
+    EXPECT_NE(out.find("\"name\":\"process_name\""), std::string::npos);
+    EXPECT_NE(out.find("\"args\":{\"name\":\"day\"}"), std::string::npos);
+    // ...the instant record (minute 1 -> 6e7 us, shortest-form number)...
+    EXPECT_NE(out.find("{\"name\":\"dvfs_change\",\"cat\":\"sim\","
+                       "\"ph\":\"i\",\"s\":\"t\",\"ts\":6e+07,"
+                       "\"pid\":1,\"tid\":0,\"args\":{\"core\":0,"
+                       "\"from_level\":3,\"to_level\":4,\"tpr_rank\":2,"
+                       "\"delta_power_w\":0,\"tpr\":0}}"),
+              std::string::npos);
+    // ...and the derived counter tracks.
+    EXPECT_NE(out.find("{\"name\":\"core0.level\",\"ph\":\"C\","
+                       "\"ts\":6e+07,\"pid\":1,\"tid\":0,"
+                       "\"args\":{\"level\":4}}"),
+              std::string::npos);
+    EXPECT_NE(out.find("{\"name\":\"power\",\"ph\":\"C\",\"ts\":6e+07,"
+                       "\"pid\":1,\"tid\":0,\"args\":{\"budget_w\":40,"
+                       "\"consumed_w\":38.5}}"),
+              std::string::npos);
+    EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+}
+
+TEST(EventNames, AreStableStrings)
+{
+    EXPECT_STREQ(eventKindName(EventKind::AtsTransfer), "ats_transfer");
+    EXPECT_STREQ(eventKindName(EventKind::ThermalThrottle),
+                 "thermal_throttle");
+    EXPECT_STREQ(retrackCauseName(RetrackCause::SupplyDelta),
+                 "supply_delta");
+    EXPECT_STREQ(batteryModeName(BatteryMode::Discharge), "discharge");
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -16,15 +16,24 @@
  *          --workload H1..ML2   --policy opt|rr|ic|icm|fixed
  *          --budget <W>         --seed <n>   --days <n>
  *          --dt <seconds>       --threshold <W>
+ *
+ * Observability (see src/obs/): --stats-out=FILE --trace-out=FILE
+ * --trace-buffer=N --manifest-out=FILE. The trace is Chrome
+ * trace_event JSON (Perfetto-loadable) unless FILE ends in .jsonl.
  */
 
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/aggregate.hpp"
 #include "core/solarcore.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs_options.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 using namespace solarcore;
@@ -43,6 +52,9 @@ struct Options
     int days = 5;
     double dtSeconds = 15.0;
     double thresholdW = 25.0;
+    obs::ObsOptions obs;
+    obs::StatsRegistry *stats = nullptr; //!< set by main when requested
+    obs::TraceBuffer *trace = nullptr;   //!< set by main when requested
 };
 
 [[noreturn]] void
@@ -54,7 +66,10 @@ usage()
            "  --site AZ|CO|NC|TN      --month Jan|Apr|Jul|Oct\n"
            "  --workload H1|H2|M1|M2|L1|L2|HM1|HM2|ML1|ML2\n"
            "  --policy opt|rr|ic|icm|fixed  --budget <W> (fixed policy)\n"
-           "  --seed <n>  --days <n> (sweep)  --dt <s>  --threshold <W>\n";
+           "  --seed <n>  --days <n> (sweep)  --dt <s>  --threshold <W>\n"
+           "  --stats-out=FILE (.json|.csv)  --trace-out=FILE (Chrome "
+           "JSON, or JSONL for .jsonl)\n"
+           "  --trace-buffer=<events>  --manifest-out=FILE\n";
     std::exit(2);
 }
 
@@ -74,9 +89,14 @@ parse(int argc, char **argv)
             usage();
         return std::string(argv[i + 1]);
     };
-    for (int i = 2; i < argc; i += 2) {
+    for (int i = 2; i < argc;) {
+        if (opt.obs.consume(argv[i])) {
+            ++i;
+            continue;
+        }
         const std::string key = argv[i];
         const std::string val = need(i);
+        i += 2;
         if (key == "--site") {
             bool found = false;
             for (auto s : solar::allSites())
@@ -144,6 +164,8 @@ toSimConfig(const Options &opt, bool timeline)
     cfg.dtSeconds = opt.dtSeconds;
     cfg.thresholdW = opt.thresholdW;
     cfg.recordTimeline = timeline;
+    cfg.stats = opt.stats;
+    cfg.trace = opt.trace;
     return cfg;
 }
 
@@ -230,12 +252,46 @@ runSweep(const Options &opt)
 int
 main(int argc, char **argv)
 {
-    const Options opt = parse(argc, argv);
+    Options opt = parse(argc, argv);
+
+    obs::RunManifest manifest(argc, argv);
+    std::optional<obs::StatsRegistry> stats;
+    std::optional<obs::TraceBuffer> trace;
+    if (opt.obs.statsRequested())
+        opt.stats = &stats.emplace();
+    if (opt.obs.traceRequested())
+        opt.trace = &trace.emplace(opt.obs.traceBufferCap);
+
+    int rc;
     if (opt.command == "summary")
-        return runSummary(opt);
-    if (opt.command == "timeline")
-        return runTimeline(opt);
-    if (opt.command == "trace")
-        return runTrace(opt);
-    return runSweep(opt);
+        rc = runSummary(opt);
+    else if (opt.command == "timeline")
+        rc = runTimeline(opt);
+    else if (opt.command == "trace")
+        rc = runTrace(opt);
+    else
+        rc = runSweep(opt);
+
+    if (opt.obs.anyRequested()) {
+        if (stats)
+            opt.obs.writeStats(*stats);
+        if (trace)
+            opt.obs.writeTrace(obs::mergeBuffers({&*trace}), {"day"});
+        manifest.set("command", opt.command);
+        manifest.set("site", std::string(solar::siteName(opt.site)));
+        manifest.set("month", std::string(solar::monthName(opt.month)));
+        manifest.set("workload",
+                     std::string(workload::workloadName(opt.workload)));
+        manifest.set("policy", std::string(core::policyName(opt.policy)));
+        manifest.set("budget_w", opt.budgetW);
+        manifest.set("threshold_w", opt.thresholdW);
+        manifest.set("dt_seconds", opt.dtSeconds);
+        manifest.set("days",
+                     static_cast<std::uint64_t>(opt.days));
+        manifest.setSeed(opt.seed);
+        if (trace && trace->dropped() > 0)
+            manifest.set("trace_dropped_events", trace->dropped());
+        opt.obs.writeManifest(manifest);
+    }
+    return rc;
 }
