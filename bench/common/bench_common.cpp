@@ -62,11 +62,11 @@ threadsFromArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg.rfind("--threads=", 0) == 0) {
-            const int n = std::atoi(arg.data() + 10);
-            return n > 0 ? n : ThreadPool::hardwareThreads();
+            // 0 / garbage fall through to ThreadPool's auto-detect.
+            return std::atoi(arg.data() + 10);
         }
     }
-    return ThreadPool::hardwareThreads();
+    return 0;
 }
 
 obs::ObsOptions

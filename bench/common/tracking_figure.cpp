@@ -69,7 +69,8 @@ printTrackingFigure(solar::SiteId site, solar::Month month,
         }
         manifest.set("site", std::string(solar::siteName(site)));
         manifest.set("month", std::string(solar::monthName(month)));
-        manifest.set("threads", static_cast<std::uint64_t>(threads));
+        manifest.set("threads",
+                     static_cast<std::uint64_t>(pool.threadCount()));
         manifest.set("policy",
                      std::string(core::policyName(
                          core::PolicyKind::MpptOpt)));

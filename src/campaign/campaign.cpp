@@ -1,0 +1,305 @@
+#include "campaign.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "campaign/journal.hpp"
+#include "core/simulation.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
+#include "pv/bp3180n.hpp"
+#include "pv/mpp_cache.hpp"
+#include "solar/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace solarcore::campaign {
+
+namespace {
+
+const MetricField (&kFields)[kNumMetricFields] = metricFields();
+
+UnitMetrics
+fromDayResult(const core::DayResult &day)
+{
+    UnitMetrics m;
+    m.mppEnergyWh = day.mppEnergyWh;
+    m.solarEnergyWh = day.solarEnergyWh;
+    m.gridEnergyWh = day.gridEnergyWh;
+    m.chipEnergyWh = day.chipEnergyWh;
+    m.utilization = day.utilization;
+    m.effectiveFraction = day.effectiveFraction;
+    m.trackingError = day.avgTrackingError;
+    m.solarInstructions = day.solarInstructions;
+    m.totalInstructions = day.totalInstructions;
+    m.retracks = day.retracks;
+    m.transfers = day.transferCount;
+    m.controllerSteps = static_cast<double>(day.controllerSteps);
+    m.thermalThrottles = day.thermalThrottles;
+    return m;
+}
+
+UnitMetrics
+fromBatteryResult(const core::BatteryDayResult &day)
+{
+    // The battery baseline buffers everything: the chip runs the whole
+    // window on stored solar energy, so the effective fraction is 1
+    // and the direct-coupled tracking metrics do not apply.
+    UnitMetrics m;
+    m.mppEnergyWh = day.mppEnergyWh;
+    m.solarEnergyWh = day.consumedWh;
+    m.chipEnergyWh = day.consumedWh;
+    m.utilization = day.utilization;
+    m.effectiveFraction = 1.0;
+    m.solarInstructions = day.instructions;
+    m.totalInstructions = day.instructions;
+    return m;
+}
+
+} // namespace
+
+const MetricField (&metricFields())[kNumMetricFields]
+{
+    static constexpr MetricField fields[kNumMetricFields] = {
+        {"mppEnergyWh", &UnitMetrics::mppEnergyWh},
+        {"solarEnergyWh", &UnitMetrics::solarEnergyWh},
+        {"gridEnergyWh", &UnitMetrics::gridEnergyWh},
+        {"chipEnergyWh", &UnitMetrics::chipEnergyWh},
+        {"utilization", &UnitMetrics::utilization},
+        {"effectiveFraction", &UnitMetrics::effectiveFraction},
+        {"trackingError", &UnitMetrics::trackingError},
+        {"solarInstructions", &UnitMetrics::solarInstructions},
+        {"totalInstructions", &UnitMetrics::totalInstructions},
+        {"retracks", &UnitMetrics::retracks},
+        {"transfers", &UnitMetrics::transfers},
+        {"controllerSteps", &UnitMetrics::controllerSteps},
+        {"thermalThrottles", &UnitMetrics::thermalThrottles},
+    };
+    return fields;
+}
+
+UnitMetrics
+runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
+        obs::StatsRegistry *stats, obs::TraceBuffer *trace)
+{
+    static const pv::PvModule module = pv::buildBp3180n();
+    const auto day_trace =
+        solar::generateDayTrace(unit.site, unit.month, unit.seed);
+
+    core::SimConfig cfg;
+    cfg.dtSeconds = grid.dtSeconds;
+    cfg.fixedBudgetW = grid.fixedBudgetW;
+    cfg.trackingPeriodMinutes = grid.trackingPeriodMinutes;
+    cfg.seed = unit.seed;
+    cfg.stats = stats;
+    cfg.trace = trace;
+
+    if (unit.policy == CampaignPolicy::Battery) {
+        return fromBatteryResult(core::simulateBatteryDay(
+            module, day_trace, unit.workload, grid.batteryDerating, cfg));
+    }
+    cfg.policy = toSimPolicy(unit.policy);
+    pv::MppCache mpp_cache(module, cfg.modulesSeries, cfg.modulesParallel);
+    cfg.mppCache = &mpp_cache;
+    return fromDayResult(
+        core::simulateDay(module, day_trace, unit.workload, cfg));
+}
+
+CampaignOutcome
+runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
+{
+    CampaignOutcome outcome;
+    outcome.units = expandGrid(grid);
+    const std::string signature = gridSignature(grid);
+    const std::size_t n = outcome.units.size();
+    outcome.results.resize(n);
+
+    obs::RunManifest manifest("solarcore_campaign");
+
+    // Resume: restore completed units from the journal, then execute
+    // only the rest. The summary below is assembled from the full
+    // index-ordered result vector, so a resumed run and an
+    // uninterrupted one emit the same bytes.
+    std::vector<char> done(n, 0);
+    JournalRecovery recovery;
+    if (options.resume && !options.journalPath.empty()) {
+        recovery = loadJournal(options.journalPath, signature);
+        for (const auto &[index, metrics] : recovery.completed) {
+            if (index >= 0 && static_cast<std::size_t>(index) < n &&
+                !done[static_cast<std::size_t>(index)]) {
+                outcome.results[static_cast<std::size_t>(index)] = metrics;
+                done[static_cast<std::size_t>(index)] = 1;
+                ++outcome.unitsResumed;
+            }
+        }
+    }
+    std::vector<std::size_t> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (!done[i])
+            pending.push_back(i);
+
+    std::optional<JournalWriter> journal;
+    if (!options.journalPath.empty())
+        journal.emplace(options.journalPath, signature,
+                        /*fresh=*/!recovery.headerValid);
+
+    const bool want_stats = options.obs.statsRequested();
+    const bool want_trace = options.obs.traceRequested();
+    std::vector<std::unique_ptr<obs::StatsRegistry>> regs(pending.size());
+    std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs(pending.size());
+
+    ThreadPool pool(options.threads);
+    pool.parallelFor(pending.size(), [&](std::size_t t) {
+        const std::size_t i = pending[t];
+        if (want_stats)
+            regs[t] = std::make_unique<obs::StatsRegistry>();
+        if (want_trace)
+            tbufs[t] = std::make_unique<obs::TraceBuffer>(
+                options.obs.traceBufferCap);
+        outcome.results[i] = runUnit(outcome.units[i], grid, regs[t].get(),
+                                     tbufs[t].get());
+        if (journal)
+            journal->append(static_cast<int>(i), outcome.results[i]);
+        if (options.verbose) {
+            // One preformatted string per line so concurrent progress
+            // reports interleave whole, never mid-line.
+            std::cerr << (unitKey(outcome.units[i]) + " done\n");
+        }
+    });
+    outcome.unitsRun = static_cast<int>(pending.size());
+
+    if (options.obs.anyRequested()) {
+        if (want_stats) {
+            obs::StatsRegistry merged;
+            for (const auto &reg : regs)
+                if (reg)
+                    merged.merge(*reg);
+            options.obs.writeStats(merged);
+        }
+        if (want_trace) {
+            std::vector<const obs::TraceBuffer *> raw;
+            std::vector<std::string> names;
+            raw.reserve(tbufs.size());
+            for (std::size_t t = 0; t < tbufs.size(); ++t) {
+                if (tbufs[t]) {
+                    raw.push_back(tbufs[t].get());
+                    names.push_back(unitKey(outcome.units[pending[t]]));
+                }
+            }
+            options.obs.writeTrace(obs::mergeBuffers(raw), names);
+        }
+        manifest.set("grid", signature);
+        manifest.set("threads",
+                     static_cast<std::uint64_t>(pool.threadCount()));
+        manifest.set("units", static_cast<std::uint64_t>(n));
+        manifest.set("units_resumed",
+                     static_cast<std::uint64_t>(outcome.unitsResumed));
+        manifest.set("units_run",
+                     static_cast<std::uint64_t>(outcome.unitsRun));
+        if (!options.journalPath.empty())
+            manifest.set("journal", options.journalPath);
+        options.obs.writeManifest(manifest);
+    }
+    return outcome;
+}
+
+void
+writeSummaryJson(std::ostream &os, const ScenarioGrid &grid,
+                 const CampaignOutcome &outcome)
+{
+    using obs::jsonNumber;
+    using obs::jsonString;
+
+    auto list = [](auto &&values, auto &&name) {
+        std::string s;
+        for (const auto v : values) {
+            if (!s.empty())
+                s += ',';
+            s += name(v);
+        }
+        return s;
+    };
+
+    os << "{\n";
+    os << "  \"schema\": \"solarcore-campaign-summary-v1\",\n";
+    os << "  \"grid\": {\n";
+    os << "    \"sites\": " << jsonString(list(grid.sites, solar::siteName))
+       << ",\n";
+    os << "    \"months\": "
+       << jsonString(list(grid.months, solar::monthName)) << ",\n";
+    os << "    \"policies\": "
+       << jsonString(list(grid.policies, campaignPolicyToken)) << ",\n";
+    os << "    \"workloads\": "
+       << jsonString(list(grid.workloads, workload::workloadName))
+       << ",\n";
+    os << "    \"seeds\": "
+       << jsonString(list(grid.seeds,
+                          [](std::uint64_t s) { return std::to_string(s); }))
+       << ",\n";
+    os << "    \"dt_seconds\": " << jsonNumber(grid.dtSeconds) << ",\n";
+    os << "    \"fixed_budget_w\": " << jsonNumber(grid.fixedBudgetW)
+       << ",\n";
+    os << "    \"battery_derating\": " << jsonNumber(grid.batteryDerating)
+       << ",\n";
+    os << "    \"tracking_period_minutes\": "
+       << jsonNumber(grid.trackingPeriodMinutes) << "\n";
+    os << "  },\n";
+
+    os << "  \"units\": [\n";
+    for (std::size_t i = 0; i < outcome.units.size(); ++i) {
+        const auto &unit = outcome.units[i];
+        const auto &m = outcome.results[i];
+        os << "    {\"key\": " << jsonString(unitKey(unit))
+           << ", \"site\": " << jsonString(solar::siteName(unit.site))
+           << ", \"month\": " << jsonString(solar::monthName(unit.month))
+           << ", \"policy\": "
+           << jsonString(campaignPolicyToken(unit.policy))
+           << ", \"workload\": "
+           << jsonString(workload::workloadName(unit.workload))
+           << ", \"seed\": " << jsonNumber(unit.seed);
+        for (const auto &field : kFields)
+            os << ", \"" << field.name
+               << "\": " << jsonNumber(m.*(field.member));
+        os << '}' << (i + 1 < outcome.units.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n";
+
+    // Aggregates: energies/instructions/counters sum; the ratio-like
+    // metrics are reported as unweighted means across units.
+    UnitMetrics sum;
+    for (const auto &m : outcome.results)
+        for (const auto &field : kFields)
+            sum.*(field.member) += m.*(field.member);
+    const double n = outcome.results.empty()
+        ? 1.0
+        : static_cast<double>(outcome.results.size());
+    os << "  \"aggregate\": {\n";
+    os << "    \"units\": "
+       << jsonNumber(static_cast<std::uint64_t>(outcome.results.size()))
+       << ",\n";
+    for (const auto &field : kFields) {
+        const bool ratio = std::string_view(field.name) == "utilization" ||
+            std::string_view(field.name) == "effectiveFraction" ||
+            std::string_view(field.name) == "trackingError";
+        if (ratio)
+            os << "    \"mean_" << field.name
+               << "\": " << jsonNumber(sum.*(field.member) / n) << ",\n";
+        else
+            os << "    \"" << field.name
+               << "\": " << jsonNumber(sum.*(field.member)) << ",\n";
+    }
+    os << "    \"solar_ptp_share\": "
+       << jsonNumber(sum.totalInstructions > 0.0
+                         ? sum.solarInstructions / sum.totalInstructions
+                         : 0.0)
+       << "\n";
+    os << "  }\n";
+    os << "}\n";
+}
+
+} // namespace solarcore::campaign

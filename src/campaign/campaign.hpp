@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The sharded scenario-campaign runner.
+ *
+ * runCampaign() expands a ScenarioGrid into work units, shards them
+ * over util/thread_pool (the caller participates; --threads=0
+ * auto-detects), and aggregates per-unit metrics into one summary.
+ * Determinism contract: every unit writes into its index-addressed
+ * result slot, per-worker stats registries and the summary are merged
+ * /emitted in task-index order, and all numbers are rendered with
+ * shortest-round-trip formatting -- so the summary JSON is
+ * byte-identical at any thread count, and a resumed campaign (progress
+ * journal) reproduces the uninterrupted summary exactly.
+ */
+
+#ifndef SOLARCORE_CAMPAIGN_CAMPAIGN_HPP
+#define SOLARCORE_CAMPAIGN_CAMPAIGN_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "campaign/unit_metrics.hpp"
+#include "obs/obs_options.hpp"
+
+namespace solarcore::campaign {
+
+/** Execution knobs of one campaign invocation. */
+struct CampaignOptions
+{
+    int threads = 0;          //!< worker count; 0 auto-detects
+    std::string journalPath;  //!< progress journal; empty disables
+    bool resume = false;      //!< reuse completed units from the journal
+    obs::ObsOptions obs;      //!< --stats-out / --trace-out / manifest
+    bool verbose = false;     //!< per-unit progress lines on stderr
+};
+
+/** What one campaign run produced. */
+struct CampaignOutcome
+{
+    std::vector<ScenarioUnit> units;   //!< the expanded grid
+    std::vector<UnitMetrics> results;  //!< parallel to units
+    int unitsResumed = 0;              //!< restored from the journal
+    int unitsRun = 0;                  //!< simulated in this invocation
+};
+
+/**
+ * Simulate one unit of @p grid. Exposed for tests; the runner calls
+ * this from worker threads. @p stats and @p trace may be null.
+ */
+UnitMetrics runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
+                    obs::StatsRegistry *stats = nullptr,
+                    obs::TraceBuffer *trace = nullptr);
+
+/** Expand, shard, execute (resuming if asked) and aggregate @p grid. */
+CampaignOutcome runCampaign(const ScenarioGrid &grid,
+                            const CampaignOptions &options);
+
+/**
+ * Render the deterministic summary JSON: schema tag, the grid axes,
+ * one object per unit in index order, and grid-wide aggregates.
+ */
+void writeSummaryJson(std::ostream &os, const ScenarioGrid &grid,
+                      const CampaignOutcome &outcome);
+
+} // namespace solarcore::campaign
+
+#endif // SOLARCORE_CAMPAIGN_CAMPAIGN_HPP

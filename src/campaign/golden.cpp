@@ -1,0 +1,367 @@
+#include "golden.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace solarcore::campaign {
+
+namespace {
+
+/** Recursive-descent JSON reader flattening leaves into dotted paths. */
+class FlatParser
+{
+  public:
+    FlatParser(std::string_view text, FlatJson &out)
+        : text_(text), out_(&out)
+    {}
+
+    bool
+    run(std::string &error)
+    {
+        skipSpace();
+        if (!parseValue(""))
+            return fail(error);
+        skipSpace();
+        if (pos_ != text_.size()) {
+            error_ = "trailing content";
+            return fail(error);
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(std::string &error)
+    {
+        std::ostringstream os;
+        os << (error_.empty() ? "malformed JSON" : error_)
+           << " at offset " << pos_;
+        error = os.str();
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    static std::string
+    joined(const std::string &path, const std::string &segment)
+    {
+        return path.empty() ? segment : path + "." + segment;
+    }
+
+    bool
+    parseValue(const std::string &path)
+    {
+        skipSpace();
+        if (pos_ >= text_.size()) {
+            error_ = "unexpected end of input";
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(path);
+        if (c == '[')
+            return parseArray(path);
+        if (c == '"')
+            return parseStringLeaf(path);
+        if (c == 't' || c == 'f')
+            return parseBool(path);
+        if (c == 'n')
+            return parseNull(path);
+        return parseNumber(path);
+    }
+
+    bool
+    parseObject(const std::string &path)
+    {
+        ++pos_; // '{'
+        skipSpace();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key)) {
+                error_ = "expected object key";
+                return false;
+            }
+            skipSpace();
+            if (!consume(':')) {
+                error_ = "expected ':'";
+                return false;
+            }
+            if (!parseValue(joined(path, key)))
+                return false;
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            error_ = "expected ',' or '}'";
+            return false;
+        }
+    }
+
+    bool
+    parseArray(const std::string &path)
+    {
+        ++pos_; // '['
+        skipSpace();
+        if (consume(']'))
+            return true;
+        for (std::size_t i = 0;; ++i) {
+            if (!parseValue(joined(path, std::to_string(i))))
+                return false;
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            error_ = "expected ',' or ']'";
+            return false;
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':  out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/':  out += '/'; break;
+                  case 'n':  out += '\n'; break;
+                  case 'r':  out += '\r'; break;
+                  case 't':  out += '\t'; break;
+                  case 'b':  out += '\b'; break;
+                  case 'f':  out += '\f'; break;
+                  case 'u': {
+                    // Keep it simple: decode Latin-1 range, pass the
+                    // escape through verbatim otherwise.
+                    if (pos_ + 4 > text_.size()) {
+                        error_ = "truncated \\u escape";
+                        return false;
+                    }
+                    const std::string hex(text_.substr(pos_, 4));
+                    pos_ += 4;
+                    const long code = std::strtol(hex.c_str(), nullptr, 16);
+                    if (code >= 0 && code < 256)
+                        out += static_cast<char>(code);
+                    else
+                        out += "\\u" + hex;
+                    break;
+                  }
+                  default:
+                    error_ = "bad escape";
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        error_ = "unterminated string";
+        return false;
+    }
+
+    bool
+    parseStringLeaf(const std::string &path)
+    {
+        JsonLeaf leaf;
+        leaf.kind = JsonLeaf::Kind::String;
+        if (!parseString(leaf.text))
+            return false;
+        (*out_)[path] = std::move(leaf);
+        return true;
+    }
+
+    bool
+    parseBool(const std::string &path)
+    {
+        JsonLeaf leaf;
+        leaf.kind = JsonLeaf::Kind::Bool;
+        if (text_.substr(pos_, 4) == "true") {
+            leaf.boolean = true;
+            pos_ += 4;
+        } else if (text_.substr(pos_, 5) == "false") {
+            leaf.boolean = false;
+            pos_ += 5;
+        } else {
+            error_ = "bad literal";
+            return false;
+        }
+        (*out_)[path] = leaf;
+        return true;
+    }
+
+    bool
+    parseNull(const std::string &path)
+    {
+        if (text_.substr(pos_, 4) != "null") {
+            error_ = "bad literal";
+            return false;
+        }
+        pos_ += 4;
+        (*out_)[path] = JsonLeaf{};
+        return true;
+    }
+
+    bool
+    parseNumber(const std::string &path)
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) {
+            error_ = "expected a value";
+            return false;
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        try {
+            std::size_t used = 0;
+            JsonLeaf leaf;
+            leaf.kind = JsonLeaf::Kind::Number;
+            leaf.number = std::stod(token, &used);
+            if (used != token.size()) {
+                error_ = "bad number";
+                return false;
+            }
+            (*out_)[path] = leaf;
+            return true;
+        } catch (...) {
+            error_ = "bad number";
+            return false;
+        }
+    }
+
+    std::string_view text_;
+    FlatJson *out_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+std::string
+JsonLeaf::describe() const
+{
+    switch (kind) {
+      case Kind::Null:   return "null";
+      case Kind::Bool:   return boolean ? "true" : "false";
+      case Kind::Number: return obs::jsonNumber(number);
+      case Kind::String: return "\"" + text + "\"";
+    }
+    return "?";
+}
+
+bool
+parseJsonFlat(std::string_view text, FlatJson &out, std::string &error)
+{
+    out.clear();
+    FlatParser parser(text, out);
+    if (parser.run(error))
+        return true;
+    out.clear();
+    return false;
+}
+
+Tolerance
+ToleranceSpec::lookup(const std::string &path) const
+{
+    for (const auto &[pattern, tol] : overrides) {
+        if (path.find(pattern) != std::string::npos)
+            return tol;
+    }
+    return fallback;
+}
+
+bool
+ToleranceSpec::isIgnored(const std::string &path) const
+{
+    for (const auto &pattern : ignored) {
+        if (path.find(pattern) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+std::vector<GoldenDiff>
+compareFlat(const FlatJson &golden, const FlatJson &candidate,
+            const ToleranceSpec &tolerances)
+{
+    std::vector<GoldenDiff> diffs;
+    for (const auto &[path, gold] : golden) {
+        if (tolerances.isIgnored(path))
+            continue;
+        const auto it = candidate.find(path);
+        if (it == candidate.end()) {
+            diffs.push_back({GoldenDiff::Kind::MissingInCandidate, path,
+                             gold.describe(), "", 0.0, 0.0});
+            continue;
+        }
+        const JsonLeaf &cand = it->second;
+        if (gold.kind != cand.kind) {
+            diffs.push_back({GoldenDiff::Kind::Mismatch, path,
+                             gold.describe(), cand.describe(), 0.0, 0.0});
+            continue;
+        }
+        if (gold.kind == JsonLeaf::Kind::Number) {
+            const double abs_err = std::abs(gold.number - cand.number);
+            const double rel_err = gold.number != 0.0
+                ? abs_err / std::abs(gold.number)
+                : (cand.number != 0.0 ? 1.0 : 0.0);
+            const Tolerance tol = tolerances.lookup(path);
+            if (abs_err > tol.atol + tol.rtol * std::abs(gold.number)) {
+                diffs.push_back({GoldenDiff::Kind::Mismatch, path,
+                                 gold.describe(), cand.describe(),
+                                 abs_err, rel_err});
+            }
+        } else if (gold.kind == JsonLeaf::Kind::Bool
+                       ? gold.boolean != cand.boolean
+                       : gold.text != cand.text) {
+            diffs.push_back({GoldenDiff::Kind::Mismatch, path,
+                             gold.describe(), cand.describe(), 0.0, 0.0});
+        }
+    }
+    for (const auto &[path, cand] : candidate) {
+        if (!tolerances.isIgnored(path) && !golden.count(path)) {
+            diffs.push_back({GoldenDiff::Kind::ExtraInCandidate, path, "",
+                             cand.describe(), 0.0, 0.0});
+        }
+    }
+    return diffs;
+}
+
+} // namespace solarcore::campaign

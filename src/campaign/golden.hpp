@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden-baseline comparison: parse two summary JSON files into
+ * flattened (dotted-path -> value) maps and diff them under per-field
+ * absolute/relative tolerances. This is the regression oracle behind
+ * tools/golden_check -- the library layer is exposed so tests can
+ * exercise the tolerance logic without spawning processes.
+ *
+ * The parser is a minimal recursive-descent reader of the JSON the
+ * repo's own exporters emit (objects, arrays, strings, numbers, bools,
+ * null). Arrays flatten with numeric path segments: the third unit's
+ * utilization in a campaign summary is "units.2.utilization".
+ */
+
+#ifndef SOLARCORE_CAMPAIGN_GOLDEN_HPP
+#define SOLARCORE_CAMPAIGN_GOLDEN_HPP
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace solarcore::campaign {
+
+/** A flattened JSON leaf. */
+struct JsonLeaf
+{
+    enum class Kind { Null, Bool, Number, String };
+    Kind kind = Kind::Null;
+    double number = 0.0;
+    bool boolean = false;
+    std::string text;
+
+    /** Rendering for diff reports. */
+    std::string describe() const;
+};
+
+using FlatJson = std::map<std::string, JsonLeaf>;
+
+/**
+ * Parse @p text into @p out. @return false with @p error set on
+ * malformed input (position included).
+ */
+bool parseJsonFlat(std::string_view text, FlatJson &out,
+                   std::string &error);
+
+/** Absolute/relative tolerance pair; a field passes when
+ *  |g - c| <= atol + rtol * |g|. */
+struct Tolerance
+{
+    double rtol = 5e-4;
+    double atol = 1e-9;
+};
+
+/**
+ * Tolerance policy: a default pair plus substring-matched per-field
+ * overrides (first match wins) and ignored path patterns.
+ */
+struct ToleranceSpec
+{
+    Tolerance fallback;
+    std::vector<std::pair<std::string, Tolerance>> overrides;
+    std::vector<std::string> ignored;
+
+    Tolerance lookup(const std::string &path) const;
+    bool isIgnored(const std::string &path) const;
+};
+
+/** One field-level discrepancy. */
+struct GoldenDiff
+{
+    enum class Kind { Mismatch, MissingInCandidate, ExtraInCandidate };
+    Kind kind = Kind::Mismatch;
+    std::string path;
+    std::string golden;     //!< rendered golden value ("" when extra)
+    std::string candidate;  //!< rendered candidate value ("" if missing)
+    double absError = 0.0;  //!< numeric mismatches only
+    double relError = 0.0;
+};
+
+/**
+ * Diff @p candidate against @p golden. Numbers compare under the
+ * tolerance for their path; strings/bools/null compare exactly; a
+ * kind change (number -> string) is always a mismatch. Missing and
+ * extra paths are reported unless ignored.
+ */
+std::vector<GoldenDiff> compareFlat(const FlatJson &golden,
+                                    const FlatJson &candidate,
+                                    const ToleranceSpec &tolerances);
+
+} // namespace solarcore::campaign
+
+#endif // SOLARCORE_CAMPAIGN_GOLDEN_HPP

@@ -1,0 +1,125 @@
+#include "journal.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::campaign {
+
+namespace {
+
+const MetricField (&kFields)[kNumMetricFields] = metricFields();
+
+constexpr const char *kMagic = "# solarcore-campaign-journal";
+
+std::string
+headerLine(const std::string &grid_signature)
+{
+    return std::string(kMagic) + " " + journalHash(grid_signature);
+}
+
+} // namespace
+
+std::string
+journalHash(const std::string &grid_signature)
+{
+    // FNV-1a over the signature plus the metric schema, so a metric
+    // added or renamed invalidates old journals too.
+    std::uint64_t h = 1469598103934665603ull;
+    auto fold = [&h](const char c) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    };
+    for (const char c : grid_signature)
+        fold(c);
+    for (const auto &field : kFields) {
+        for (const char *p = field.name; *p; ++p)
+            fold(*p);
+        fold(';');
+    }
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+JournalRecovery
+loadJournal(const std::string &path, const std::string &grid_signature)
+{
+    JournalRecovery rec;
+    std::ifstream in(path);
+    if (!in)
+        return rec;
+
+    std::string line;
+    if (!std::getline(in, line) || line != headerLine(grid_signature))
+        return rec;
+    rec.headerValid = true;
+
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        int index = -1;
+        UnitMetrics m;
+        bool good = static_cast<bool>(ls >> index) && index >= 0;
+        for (const auto &field : kFields) {
+            if (!good)
+                break;
+            good = static_cast<bool>(ls >> m.*(field.member));
+        }
+        std::string extra;
+        if (good && !(ls >> extra))
+            rec.completed[index] = m;
+        else
+            ++rec.linesDropped;
+    }
+    return rec;
+}
+
+JournalWriter::JournalWriter(const std::string &path,
+                             const std::string &grid_signature, bool fresh)
+{
+    // A crash can leave the file without a trailing newline (a torn
+    // final record). Appending right after it would glue the next
+    // record onto the fragment, losing both; terminate it first.
+    bool needs_newline = false;
+    if (!fresh) {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            in.seekg(0, std::ios::end);
+            const auto size = in.tellg();
+            if (size > 0) {
+                in.seekg(-1, std::ios::end);
+                needs_newline = in.get() != '\n';
+            }
+        }
+    }
+    out_.open(path, fresh ? std::ios::trunc : std::ios::app);
+    if (!out_) {
+        SC_WARN("campaign: cannot open journal '", path, "'");
+        return;
+    }
+    if (fresh)
+        out_ << headerLine(grid_signature) << '\n' << std::flush;
+    else if (needs_newline)
+        out_ << '\n' << std::flush;
+    ok_ = true;
+}
+
+void
+JournalWriter::append(int index, const UnitMetrics &metrics)
+{
+    if (!ok_)
+        return;
+    // Shortest-round-trip formatting: the reload parses back the exact
+    // double, keeping resumed summaries byte-identical.
+    std::string line = std::to_string(index);
+    for (const auto &field : kFields) {
+        line += ' ';
+        line += obs::jsonNumber(metrics.*(field.member));
+    }
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << std::flush;
+}
+
+} // namespace solarcore::campaign

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Campaign progress journal: an append-only text file recording one
+ * line per completed work unit, so an interrupted campaign can resume
+ * at the first incomplete unit instead of recomputing the whole grid.
+ *
+ * Format (whitespace-separated):
+ *
+ *   # solarcore-campaign-journal <signature-hash>
+ *   <unit-index> <metric-0> <metric-1> ... <metric-N-1>
+ *
+ * Metric values are written with shortest-round-trip formatting, so a
+ * reloaded metric is bit-identical to the recorded one and a resumed
+ * campaign's summary matches an uninterrupted run byte for byte. The
+ * header carries a hash of the grid signature; a journal written for a
+ * different grid (or metric schema) is rejected on load. Lines are
+ * flushed per unit; a torn final line (the process died mid-write) is
+ * ignored on reload.
+ */
+
+#ifndef SOLARCORE_CAMPAIGN_JOURNAL_HPP
+#define SOLARCORE_CAMPAIGN_JOURNAL_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "campaign/unit_metrics.hpp"
+
+namespace solarcore::campaign {
+
+/** FNV-1a hash of the grid signature + metric schema, as hex. */
+std::string journalHash(const std::string &grid_signature);
+
+/** Completed units recovered from a journal file. */
+struct JournalRecovery
+{
+    std::map<int, UnitMetrics> completed; //!< by unit index
+    bool headerValid = false; //!< file existed with a matching header
+    int linesDropped = 0;     //!< torn/malformed lines ignored
+};
+
+/**
+ * Load @p path, accepting only entries written for @p grid_signature.
+ * A missing file or a header mismatch yields an empty recovery with
+ * headerValid=false (the caller starts fresh).
+ */
+JournalRecovery loadJournal(const std::string &path,
+                            const std::string &grid_signature);
+
+/** Append-only writer; thread-safe, one line per completed unit. */
+class JournalWriter
+{
+  public:
+    /**
+     * Open @p path for appending. When @p fresh, the file is truncated
+     * and a new header written; otherwise entries are appended after
+     * the existing, already-validated content.
+     */
+    JournalWriter(const std::string &path,
+                  const std::string &grid_signature, bool fresh);
+
+    bool ok() const { return ok_; }
+
+    /** Record one completed unit (locked, flushed). */
+    void append(int index, const UnitMetrics &metrics);
+
+  private:
+    std::mutex mutex_;
+    std::ofstream out_;
+    bool ok_ = false;
+};
+
+} // namespace solarcore::campaign
+
+#endif // SOLARCORE_CAMPAIGN_JOURNAL_HPP

@@ -114,6 +114,8 @@ foldDayStats(obs::StatsRegistry &reg, const DayResult &day,
         day.thermalThrottles;
     reg.scalar("ats.transfers", "automatic transfer switchovers") +=
         day.transferCount;
+    reg.scalar("controller.retracks",
+               "tracking events (all trigger causes)") += day.retracks;
     reg.scalar("controller.steps",
                "DVFS notches moved by the controller") +=
         static_cast<double>(day.controllerSteps);
@@ -296,6 +298,7 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                 }
                 if (due || !was_on_solar)
                     close_period();
+                ++result.retracks;
                 tr = controller->track();
                 last_track_minute = minute;
                 last_track_budget = mpp.power;
@@ -326,6 +329,7 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                     emitRetrack(tbuf, cause, cfg.fixedBudgetW,
                                 chip.totalPower());
                 }
+                ++result.retracks;
                 const auto alloc =
                     optimizeAllocation(chip, cfg.fixedBudgetW);
                 if (alloc.feasible)
@@ -467,6 +471,7 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                                     : obs::RetrackCause::SolarEntry,
                                 mpp.power, chip.totalPower());
                 }
+                ++day.retracks;
                 controller.track();
                 last_track_minute = minute;
             } else {

@@ -127,6 +127,9 @@ struct DayResult
     double avgTrackingError = 0.0;  //!< geomean of per-period rel. error
     int transferCount = 0;      //!< ATS transfers over the day
     int thermalThrottles = 0;   //!< forced notch-downs from overheating
+    int retracks = 0;           //!< tracking events (periodic, entry,
+                                //!< supply/demand-triggered; for
+                                //!< Fixed-Power: re-allocations)
     long controllerSteps = 0;   //!< DVFS notches moved by the controller
     std::vector<TimelinePoint> timeline;
 };

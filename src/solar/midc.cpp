@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <istream>
 #include <sstream>
 #include <vector>
@@ -39,6 +40,30 @@ containsAny(const std::string &hay,
             return true;
     }
     return false;
+}
+
+/**
+ * Parse a numeric cell strictly: surrounding whitespace is fine, but
+ * trailing garbage ("12.3abc") and non-finite spellings ("nan", "inf"
+ * -- which std::stod would happily accept) are rejected, so a corrupt
+ * export can never smuggle a NaN into the trace.
+ */
+bool
+parseCell(const std::string &cell, double &out)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(cell, &used);
+        while (used < cell.size() &&
+               std::isspace(static_cast<unsigned char>(cell[used])))
+            ++used;
+        if (used != cell.size() || !std::isfinite(v))
+            return false;
+        out = v;
+        return true;
+    } catch (...) {
+        return false;
+    }
 }
 
 /** Parse "HH:MM" (or "H:MM") into minutes since midnight; -1 on error. */
@@ -113,12 +138,10 @@ parseMidcCsv(std::istream &is, bool clip_to_window)
             parseClock(cells[static_cast<std::size_t>(time_col)]);
         double ghi = 0.0;
         double temp = 20.0;
-        try {
-            ghi = std::stod(cells[static_cast<std::size_t>(ghi_col)]);
-            if (temp_col >= 0)
-                temp =
-                    std::stod(cells[static_cast<std::size_t>(temp_col)]);
-        } catch (...) {
+        if (!parseCell(cells[static_cast<std::size_t>(ghi_col)], ghi) ||
+            (temp_col >= 0 &&
+             !parseCell(cells[static_cast<std::size_t>(temp_col)],
+                        temp))) {
             ++res.rowsSkipped;
             continue;
         }
@@ -131,11 +154,15 @@ parseMidcCsv(std::istream &is, bool clip_to_window)
             ++res.rowsSkipped;
             continue;
         }
-        // Night-time sensor offsets can be slightly negative.
+        // Clamp to the physically plausible envelope: night-time sensor
+        // offsets dip slightly negative, and spikes above the
+        // terrestrial ceiling (~1.5 kW/m^2 with cloud-edge focusing)
+        // are instrument glitches, not sunshine. Same for temperature.
         TracePoint p;
         p.minuteOfDay = minute;
-        p.irradiance = std::max(0.0, ghi);
-        p.ambientC = temp;
+        p.irradiance = std::clamp(ghi, 0.0, kMaxPlausibleIrradiance);
+        p.ambientC = std::clamp(temp, kMinPlausibleAmbientC,
+                                kMaxPlausibleAmbientC);
         // Enforce ascending order: drop out-of-order rows.
         if (!points.empty() && minute <= points.back().minuteOfDay) {
             ++res.rowsSkipped;

@@ -28,6 +28,17 @@
 
 namespace solarcore::solar {
 
+/**
+ * Plausibility envelope applied per sample: irradiance clamps into
+ * [0, kMaxPlausibleIrradiance] (night-time sensor offsets are slightly
+ * negative; cloud-edge focusing tops out near 1.5 kW/m^2), ambient
+ * temperature into [kMinPlausibleAmbientC, kMaxPlausibleAmbientC].
+ * Non-numeric or non-finite cells skip the whole row instead.
+ */
+inline constexpr double kMaxPlausibleIrradiance = 1500.0;
+inline constexpr double kMinPlausibleAmbientC = -60.0;
+inline constexpr double kMaxPlausibleAmbientC = 60.0;
+
 /** Outcome of a MIDC parse. */
 struct MidcParseResult
 {

@@ -6,12 +6,12 @@
 
 namespace solarcore {
 
-ThreadPool::ThreadPool(int threads) : threads_(threads)
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads >= 1 ? threads : hardwareThreads())
 {
-    SC_ASSERT(threads >= 1, "ThreadPool: need at least one thread");
     // The caller is thread 0; only the extras are spawned.
-    workers_.reserve(static_cast<std::size_t>(threads - 1));
-    for (int i = 1; i < threads; ++i)
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 1; i < threads_; ++i)
         workers_.emplace_back([this] { workerLoop(); });
 }
 

@@ -36,7 +36,10 @@ namespace solarcore {
 class ThreadPool
 {
   public:
-    /** @param threads total worker count including the caller; >= 1. */
+    /**
+     * @param threads total worker count including the caller; 0 (or
+     * any negative value) auto-detects via hardwareThreads().
+     */
     explicit ThreadPool(int threads);
     ~ThreadPool();
 

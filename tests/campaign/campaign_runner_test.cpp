@@ -1,0 +1,207 @@
+/**
+ * @file
+ * End-to-end tests for the sharded campaign runner: summary JSON is
+ * byte-identical at any thread count, an interrupted campaign resumes
+ * from its journal to the exact same bytes, and the emitted document
+ * is well-formed against the golden parser.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+#include "campaign/golden.hpp"
+#include "campaign/journal.hpp"
+
+namespace solarcore::campaign {
+namespace {
+
+/** A cheap grid: coarse steps, but every policy family represented. */
+ScenarioGrid
+testGrid()
+{
+    ScenarioGrid grid;
+    grid.sites = {solar::SiteId::AZ, solar::SiteId::NC};
+    grid.months = {solar::Month::Jan};
+    grid.policies = {CampaignPolicy::MpptOpt, CampaignPolicy::FixedPower,
+                     CampaignPolicy::Battery};
+    grid.workloads = {workload::WorkloadId::HM2};
+    grid.seeds = {1};
+    grid.dtSeconds = 120.0;
+    return grid;
+}
+
+std::string
+summaryFor(const ScenarioGrid &grid, const CampaignOptions &options)
+{
+    const auto outcome = runCampaign(grid, options);
+    std::ostringstream os;
+    writeSummaryJson(os, grid, outcome);
+    return os.str();
+}
+
+std::string
+tempPath(const char *tag)
+{
+    return ::testing::TempDir() + "campaign_runner_" + tag + "_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".journal";
+}
+
+TEST(CampaignRunner, SummaryIsByteIdenticalAcrossThreadCounts)
+{
+    const auto grid = testGrid();
+    CampaignOptions one;
+    one.threads = 1;
+    const std::string seq = summaryFor(grid, one);
+    ASSERT_FALSE(seq.empty());
+
+    for (int threads : {2, 4, 8}) {
+        CampaignOptions opt;
+        opt.threads = threads;
+        EXPECT_EQ(summaryFor(grid, opt), seq) << "threads=" << threads;
+    }
+    // And the auto-detected pool too.
+    CampaignOptions autodetect;
+    autodetect.threads = 0;
+    EXPECT_EQ(summaryFor(grid, autodetect), seq);
+}
+
+TEST(CampaignRunner, RunUnitIsDeterministicPerUnit)
+{
+    const auto grid = testGrid();
+    const auto units = expandGrid(grid);
+    for (const auto &unit : units) {
+        const UnitMetrics a = runUnit(unit, grid);
+        const UnitMetrics b = runUnit(unit, grid);
+        for (const auto &field : metricFields())
+            EXPECT_EQ(a.*(field.member), b.*(field.member))
+                << unitKey(unit) << "." << field.name;
+    }
+}
+
+TEST(CampaignRunner, ResumedCampaignReproducesUninterruptedSummary)
+{
+    const auto grid = testGrid();
+    const std::string journal_path = tempPath("resume");
+    std::remove(journal_path.c_str());
+
+    CampaignOptions options;
+    options.threads = 2;
+    options.journalPath = journal_path;
+    const std::string full = summaryFor(grid, options);
+
+    // "Kill" the campaign after four units: keep the header plus four
+    // journal lines and drop the rest, leaving a torn half-line at the
+    // end as a crash would.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(journal_path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 1u + grid.unitCount());
+    {
+        std::ofstream out(journal_path, std::ios::trunc);
+        for (std::size_t i = 0; i < 5; ++i)
+            out << lines[i] << '\n';
+        out << lines[5].substr(0, lines[5].size() / 2); // torn write
+    }
+
+    CampaignOptions resume = options;
+    resume.resume = true;
+    const auto outcome = runCampaign(grid, resume);
+    EXPECT_EQ(outcome.unitsResumed, 4);
+    EXPECT_EQ(outcome.unitsRun,
+              static_cast<int>(grid.unitCount()) - 4);
+    std::ostringstream os;
+    writeSummaryJson(os, grid, outcome);
+    EXPECT_EQ(os.str(), full);
+
+    // After the resumed run the journal is complete: a second resume
+    // recomputes nothing.
+    CampaignOptions again = options;
+    again.resume = true;
+    const auto noop = runCampaign(grid, again);
+    EXPECT_EQ(noop.unitsResumed, static_cast<int>(grid.unitCount()));
+    EXPECT_EQ(noop.unitsRun, 0);
+    std::remove(journal_path.c_str());
+}
+
+TEST(CampaignRunner, JournalFromDifferentGridIsIgnored)
+{
+    const auto grid = testGrid();
+    const std::string journal_path = tempPath("mismatch");
+    std::remove(journal_path.c_str());
+
+    CampaignOptions options;
+    options.threads = 1;
+    options.journalPath = journal_path;
+    summaryFor(grid, options);
+
+    // Same journal path, different grid: nothing may be resumed.
+    auto other = grid;
+    other.dtSeconds = 240.0;
+    CampaignOptions resume = options;
+    resume.resume = true;
+    const auto outcome = runCampaign(other, resume);
+    EXPECT_EQ(outcome.unitsResumed, 0);
+    EXPECT_EQ(outcome.unitsRun, static_cast<int>(other.unitCount()));
+    std::remove(journal_path.c_str());
+}
+
+TEST(CampaignRunner, SummaryParsesAndCarriesTheGridAndAggregates)
+{
+    const auto grid = testGrid();
+    CampaignOptions options;
+    options.threads = 1;
+    const std::string text = summaryFor(grid, options);
+
+    FlatJson flat;
+    std::string error;
+    ASSERT_TRUE(parseJsonFlat(text, flat, error)) << error;
+    EXPECT_EQ(flat.at("schema").text, "solarcore-campaign-summary-v1");
+    EXPECT_EQ(flat.at("grid.sites").text, "AZ,NC");
+    EXPECT_EQ(flat.at("grid.policies").text, "opt,fixed,battery");
+    EXPECT_EQ(flat.at("grid.dt_seconds").number, 120.0);
+    EXPECT_EQ(flat.at("aggregate.units").number,
+              static_cast<double>(grid.unitCount()));
+    EXPECT_EQ(flat.at("units.0.key").text, "AZ-Jan-opt-HM2-s1");
+
+    // Physical sanity of what the gate will freeze: energy flows and
+    // the MPPT-efficiency ratio must be positive and bounded.
+    for (std::size_t i = 0; i < grid.unitCount(); ++i) {
+        const std::string prefix = "units." + std::to_string(i) + ".";
+        EXPECT_GT(flat.at(prefix + "mppEnergyWh").number, 0.0) << i;
+        EXPECT_GT(flat.at(prefix + "solarEnergyWh").number, 0.0) << i;
+        const double util = flat.at(prefix + "utilization").number;
+        EXPECT_GT(util, 0.0) << i;
+        EXPECT_LE(util, 1.0 + 1e-9) << i;
+    }
+    EXPECT_GT(flat.at("aggregate.solarEnergyWh").number, 0.0);
+    EXPECT_GT(flat.at("aggregate.solar_ptp_share").number, 0.0);
+    EXPECT_LE(flat.at("aggregate.solar_ptp_share").number, 1.0);
+}
+
+TEST(CampaignRunner, BatteryUnitsReportBufferedSemantics)
+{
+    auto grid = testGrid();
+    grid.sites = {solar::SiteId::AZ};
+    grid.policies = {CampaignPolicy::Battery};
+    const auto units = expandGrid(grid);
+    ASSERT_EQ(units.size(), 1u);
+    const auto m = runUnit(units[0], grid);
+    EXPECT_EQ(m.effectiveFraction, 1.0); // everything runs on storage
+    EXPECT_EQ(m.solarEnergyWh, m.chipEnergyWh);
+    EXPECT_EQ(m.gridEnergyWh, 0.0);
+    EXPECT_EQ(m.solarInstructions, m.totalInstructions);
+    EXPECT_GT(m.totalInstructions, 0.0);
+}
+
+} // namespace
+} // namespace solarcore::campaign

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the golden-baseline oracle: flat JSON parsing and the
+ * tolerance-aware diff, including the "a 1% drift must fail under the
+ * default tolerance" guarantee the CI gate depends on.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/golden.hpp"
+
+namespace solarcore::campaign {
+namespace {
+
+FlatJson
+parsed(const std::string &text)
+{
+    FlatJson out;
+    std::string error;
+    EXPECT_TRUE(parseJsonFlat(text, out, error)) << error;
+    return out;
+}
+
+TEST(GoldenParse, FlattensNestedObjectsAndArrays)
+{
+    const auto flat = parsed(R"({
+        "schema": "v1",
+        "grid": {"dt_seconds": 30, "sites": "AZ,CO"},
+        "units": [
+            {"key": "a", "utilization": 0.75},
+            {"key": "b", "utilization": 0.5}
+        ],
+        "empty_obj": {},
+        "empty_arr": [],
+        "flags": [true, false, null]
+    })");
+    ASSERT_EQ(flat.count("schema"), 1u);
+    EXPECT_EQ(flat.at("schema").kind, JsonLeaf::Kind::String);
+    EXPECT_EQ(flat.at("schema").text, "v1");
+    EXPECT_EQ(flat.at("grid.dt_seconds").number, 30.0);
+    EXPECT_EQ(flat.at("units.0.key").text, "a");
+    EXPECT_EQ(flat.at("units.1.utilization").number, 0.5);
+    EXPECT_TRUE(flat.at("flags.0").boolean);
+    EXPECT_EQ(flat.at("flags.2").kind, JsonLeaf::Kind::Null);
+    // Empty containers contribute no leaves.
+    EXPECT_EQ(flat.count("empty_obj"), 0u);
+    EXPECT_EQ(flat.count("empty_arr"), 0u);
+}
+
+TEST(GoldenParse, HandlesEscapesAndScientificNumbers)
+{
+    const auto flat = parsed(
+        R"({"s": "a\"b\\c\nd", "tiny": 1.23e-7, "neg": -4.5E+2})");
+    EXPECT_EQ(flat.at("s").text, "a\"b\\c\nd");
+    EXPECT_DOUBLE_EQ(flat.at("tiny").number, 1.23e-7);
+    EXPECT_DOUBLE_EQ(flat.at("neg").number, -450.0);
+}
+
+TEST(GoldenParse, RejectsMalformedInput)
+{
+    FlatJson out;
+    std::string error;
+    for (const char *bad :
+         {"", "{", "{\"a\":}", "{\"a\" 1}", "[1,]", "{\"a\":1} trailing",
+          "{\"a\":+-3}", "{'a':1}"}) {
+        EXPECT_FALSE(parseJsonFlat(bad, out, error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+        EXPECT_TRUE(out.empty()) << bad;
+    }
+}
+
+TEST(GoldenDiffTest, IdenticalDocumentsMatch)
+{
+    const auto doc = parsed(R"({"a": 1.5, "b": {"c": "x"}})");
+    EXPECT_TRUE(compareFlat(doc, doc, {}).empty());
+}
+
+TEST(GoldenDiffTest, OnePercentDriftFailsDefaultTolerance)
+{
+    // The CI acceptance rule: perturbing any summary field by 1% must
+    // trip the default tolerance (rtol 5e-4).
+    const auto golden = parsed(R"({"aggregate": {"solarEnergyWh": 250}})");
+    const auto candidate =
+        parsed(R"({"aggregate": {"solarEnergyWh": 252.5}})");
+    const auto diffs = compareFlat(golden, candidate, {});
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].path, "aggregate.solarEnergyWh");
+    EXPECT_EQ(diffs[0].kind, GoldenDiff::Kind::Mismatch);
+    EXPECT_NEAR(diffs[0].relError, 0.01, 1e-12);
+}
+
+TEST(GoldenDiffTest, TinyFloatNoiseIsTolerated)
+{
+    const auto golden = parsed(R"({"x": 250.0, "zero": 0.0})");
+    const auto candidate =
+        parsed(R"({"x": 250.00000001, "zero": 0.0})");
+    EXPECT_TRUE(compareFlat(golden, candidate, {}).empty());
+}
+
+TEST(GoldenDiffTest, ZeroGoldenRequiresAtolToPass)
+{
+    const auto golden = parsed(R"({"x": 0})");
+    const auto candidate = parsed(R"({"x": 0.5})");
+    // rtol alone cannot pass a nonzero candidate against a zero golden.
+    EXPECT_EQ(compareFlat(golden, candidate, {}).size(), 1u);
+    ToleranceSpec loose;
+    loose.fallback.atol = 1.0;
+    EXPECT_TRUE(compareFlat(golden, candidate, loose).empty());
+}
+
+TEST(GoldenDiffTest, OverridesMatchBySubstringFirstWins)
+{
+    const auto golden = parsed(R"({"units": {"retracks": 100}})");
+    const auto candidate = parsed(R"({"units": {"retracks": 104}})");
+    EXPECT_EQ(compareFlat(golden, candidate, {}).size(), 1u);
+
+    ToleranceSpec spec;
+    spec.overrides.push_back({"retracks", {0.05, 2.0}});
+    EXPECT_TRUE(compareFlat(golden, candidate, spec).empty());
+
+    // A more specific earlier override shadows the later one.
+    ToleranceSpec strict;
+    strict.overrides.push_back({"units.retracks", {0.0, 0.0}});
+    strict.overrides.push_back({"retracks", {0.05, 2.0}});
+    EXPECT_EQ(compareFlat(golden, candidate, strict).size(), 1u);
+}
+
+TEST(GoldenDiffTest, MissingExtraAndKindChangesAreReported)
+{
+    const auto golden = parsed(R"({"a": 1, "b": 2, "s": "x"})");
+    const auto candidate = parsed(R"({"a": 1, "c": 3, "s": 7})");
+    const auto diffs = compareFlat(golden, candidate, {});
+    ASSERT_EQ(diffs.size(), 3u);
+
+    int missing = 0, extra = 0, mismatch = 0;
+    for (const auto &d : diffs) {
+        if (d.kind == GoldenDiff::Kind::MissingInCandidate) {
+            ++missing;
+            EXPECT_EQ(d.path, "b");
+        } else if (d.kind == GoldenDiff::Kind::ExtraInCandidate) {
+            ++extra;
+            EXPECT_EQ(d.path, "c");
+        } else {
+            ++mismatch;
+            EXPECT_EQ(d.path, "s"); // string -> number kind change
+        }
+    }
+    EXPECT_EQ(missing, 1);
+    EXPECT_EQ(extra, 1);
+    EXPECT_EQ(mismatch, 1);
+}
+
+TEST(GoldenDiffTest, IgnoredPathsAreSkippedEntirely)
+{
+    const auto golden = parsed(R"({"a": 1, "meta": {"host": "x"}})");
+    const auto candidate = parsed(R"({"a": 1, "meta": {"host": "y"}})");
+    ToleranceSpec spec;
+    spec.ignored.push_back("meta.");
+    EXPECT_TRUE(compareFlat(golden, candidate, spec).empty());
+}
+
+TEST(GoldenDiffTest, StringAndBoolCompareExactly)
+{
+    const auto golden = parsed(R"({"s": "opt", "b": true})");
+    const auto candidate = parsed(R"({"s": "rr", "b": false})");
+    EXPECT_EQ(compareFlat(golden, candidate, {}).size(), 2u);
+    EXPECT_TRUE(compareFlat(golden, golden, {}).empty());
+}
+
+} // namespace
+} // namespace solarcore::campaign

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the campaign progress journal: bit-exact round-trips,
+ * header validation against the grid signature, torn-line tolerance
+ * and append-after-resume.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/journal.hpp"
+
+namespace solarcore::campaign {
+namespace {
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "journal_test_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name() +
+            ".txt";
+        std::remove(path_.c_str());
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static UnitMetrics
+    sampleMetrics(double scale)
+    {
+        UnitMetrics m;
+        // Awkward doubles on purpose: the round-trip must be bit-exact.
+        m.mppEnergyWh = 123.456789012345 * scale;
+        m.solarEnergyWh = 0.1 + 0.2 * scale;
+        m.gridEnergyWh = 1.0 / 3.0 * scale;
+        m.chipEnergyWh = 98.7654321 * scale;
+        m.utilization = 0.987654321098765 * scale;
+        m.effectiveFraction = 2.0 / 7.0;
+        m.trackingError = 1.23e-7 * scale;
+        m.solarInstructions = 4.56e12 * scale;
+        m.totalInstructions = 4.8e12 * scale;
+        m.retracks = 37.0;
+        m.transfers = 5.0;
+        m.controllerSteps = 411.0;
+        m.thermalThrottles = 2.0;
+        return m;
+    }
+
+    std::string path_;
+    const std::string signature_ = "v1 test-grid dt=30";
+};
+
+TEST_F(JournalTest, RoundTripIsBitExact)
+{
+    {
+        JournalWriter writer(path_, signature_, /*fresh=*/true);
+        ASSERT_TRUE(writer.ok());
+        writer.append(0, sampleMetrics(1.0));
+        writer.append(2, sampleMetrics(0.3));
+    }
+    const auto rec = loadJournal(path_, signature_);
+    EXPECT_TRUE(rec.headerValid);
+    EXPECT_EQ(rec.linesDropped, 0);
+    ASSERT_EQ(rec.completed.size(), 2u);
+
+    const auto expect0 = sampleMetrics(1.0);
+    const auto expect2 = sampleMetrics(0.3);
+    for (const auto &field : metricFields()) {
+        EXPECT_EQ(rec.completed.at(0).*(field.member),
+                  expect0.*(field.member))
+            << field.name;
+        EXPECT_EQ(rec.completed.at(2).*(field.member),
+                  expect2.*(field.member))
+            << field.name;
+    }
+}
+
+TEST_F(JournalTest, MissingFileYieldsEmptyRecovery)
+{
+    const auto rec = loadJournal(path_, signature_);
+    EXPECT_FALSE(rec.headerValid);
+    EXPECT_TRUE(rec.completed.empty());
+}
+
+TEST_F(JournalTest, MismatchedSignatureIsRejected)
+{
+    {
+        JournalWriter writer(path_, signature_, /*fresh=*/true);
+        writer.append(0, sampleMetrics(1.0));
+    }
+    const auto rec = loadJournal(path_, "v1 some-other-grid dt=15");
+    EXPECT_FALSE(rec.headerValid);
+    EXPECT_TRUE(rec.completed.empty());
+}
+
+TEST_F(JournalTest, TornAndMalformedLinesAreDropped)
+{
+    {
+        JournalWriter writer(path_, signature_, /*fresh=*/true);
+        writer.append(0, sampleMetrics(1.0));
+        writer.append(1, sampleMetrics(2.0));
+    }
+    {
+        // Simulate a crash mid-write: a truncated record, a line with
+        // trailing garbage, and a negative index.
+        std::ofstream out(path_, std::ios::app);
+        out << "2 1.0 2.0 3.0\n";
+        out << "3";
+        for (std::size_t i = 0; i < kNumMetricFields; ++i)
+            out << " 1.5";
+        out << " surplus\n";
+        out << "-1";
+        for (std::size_t i = 0; i < kNumMetricFields; ++i)
+            out << " 1.5";
+        out << "\n";
+        out << "4 0.25 0.5"; // torn final line, no newline
+    }
+    const auto rec = loadJournal(path_, signature_);
+    EXPECT_TRUE(rec.headerValid);
+    EXPECT_EQ(rec.linesDropped, 4);
+    ASSERT_EQ(rec.completed.size(), 2u);
+    EXPECT_TRUE(rec.completed.count(0));
+    EXPECT_TRUE(rec.completed.count(1));
+}
+
+TEST_F(JournalTest, AppendModePreservesEarlierEntries)
+{
+    {
+        JournalWriter writer(path_, signature_, /*fresh=*/true);
+        writer.append(0, sampleMetrics(1.0));
+    }
+    {
+        // Resumed run: reopen without truncating, add the missing unit.
+        JournalWriter writer(path_, signature_, /*fresh=*/false);
+        ASSERT_TRUE(writer.ok());
+        writer.append(1, sampleMetrics(2.0));
+    }
+    const auto rec = loadJournal(path_, signature_);
+    EXPECT_TRUE(rec.headerValid);
+    ASSERT_EQ(rec.completed.size(), 2u);
+    EXPECT_TRUE(rec.completed.count(0));
+    EXPECT_TRUE(rec.completed.count(1));
+}
+
+TEST_F(JournalTest, HashChangesWithSignature)
+{
+    const auto h1 = journalHash("grid-a");
+    const auto h2 = journalHash("grid-b");
+    EXPECT_NE(h1, h2);
+    EXPECT_EQ(h1, journalHash("grid-a"));
+    EXPECT_FALSE(h1.empty());
+}
+
+} // namespace
+} // namespace solarcore::campaign

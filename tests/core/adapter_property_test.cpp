@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Property tests for the load-adaptation layer: randomized budgets and
+ * TPR profiles. The fixed-budget allocator must never exceed its
+ * budget, and the TPR-opt adapter must always spend the next notch on
+ * the best (greedy-dominant) candidate -- with the level-only climb
+ * applying steps in non-increasing TPR order.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_power.hpp"
+#include "core/load_adapter.hpp"
+#include "core/tpr.hpp"
+#include "cpu/chip.hpp"
+#include "util/random.hpp"
+#include "workload/multiprogram.hpp"
+
+namespace solarcore::core {
+namespace {
+
+cpu::MultiCoreChip
+makeChip(workload::WorkloadId wl, std::uint64_t seed)
+{
+    return cpu::MultiCoreChip(cpu::defaultChipConfig(),
+                              cpu::DvfsTable::paperDefault(),
+                              cpu::EnergyParams{},
+                              workload::workloadSet(wl), seed);
+}
+
+TEST(AllocatorProperty, RandomBudgetsNeverExceeded)
+{
+    Rng rng(20260806);
+    const auto workloads = workload::allWorkloads();
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto wl = workloads[static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(workloads.size()) -
+                                  1))];
+        auto chip = makeChip(wl, static_cast<std::uint64_t>(trial) + 1);
+        // Advance the cores a random amount so every trial samples a
+        // different point of the phase-dependent TPR profiles.
+        chip.setAllLevels(2);
+        chip.step(rng.uniform(0.0, 300.0));
+
+        // Gated cores still leak, so the all-gated configuration is
+        // the cheapest one the allocator can pick.
+        const double floor_w =
+            chip.powerModel().gatedPower().totalW() * chip.numCores();
+        const double budget = rng.uniform(0.0, 1.2 * chip.maxPower());
+        const auto alloc = optimizeAllocation(chip, budget, 0.25);
+        if (!alloc.feasible) {
+            // Only budgets below the all-gated floor (plus one DP
+            // quantum of rounding) may be rejected.
+            EXPECT_LT(budget, floor_w + 0.25) << "budget=" << budget;
+            continue;
+        }
+        EXPECT_LE(alloc.powerW, budget + 1e-9)
+            << workload::workloadName(wl) << " budget=" << budget;
+
+        applyAllocation(chip, alloc);
+        EXPECT_NEAR(chip.totalPower(), alloc.powerW, 1e-9);
+        EXPECT_LE(chip.totalPower(), budget + 1e-9)
+            << workload::workloadName(wl) << " budget=" << budget;
+        EXPECT_NEAR(chip.totalThroughput(), alloc.throughput,
+                    1e-6 * alloc.throughput + 1e-9);
+    }
+}
+
+TEST(AllocatorProperty, LargerBudgetNeverLosesThroughput)
+{
+    Rng rng(7);
+    auto chip = makeChip(workload::WorkloadId::HM1, 3);
+    for (int trial = 0; trial < 15; ++trial) {
+        const double lo = rng.uniform(0.0, chip.maxPower());
+        const double hi = lo + rng.uniform(0.0, 40.0);
+        const auto small = optimizeAllocation(chip, lo, 0.25);
+        const auto large = optimizeAllocation(chip, hi, 0.25);
+        ASSERT_TRUE(small.feasible && large.feasible);
+        EXPECT_GE(large.throughput, small.throughput - 1e-9)
+            << lo << " -> " << hi;
+    }
+}
+
+TEST(TprOptProperty, EveryUpStepIsGreedyDominant)
+{
+    for (std::uint64_t seed : {1ull, 9ull, 42ull}) {
+        auto chip = makeChip(workload::WorkloadId::ML1, seed);
+        chip.gateAll();
+        TprOptAdapter adapter;
+        for (;;) {
+            // The adapter must pick the argmax-TPR candidate among the
+            // steps available right now.
+            const auto candidates = allUpSteps(chip);
+            const auto step = adapter.increaseOneStep(chip);
+            if (!step.valid) {
+                EXPECT_TRUE(candidates.empty());
+                break;
+            }
+            for (const auto &c : candidates)
+                EXPECT_GE(step.tpr(), c.tpr() - 1e-12)
+                    << "core " << step.coreIndex << " vs " << c.coreIndex;
+        }
+        EXPECT_NEAR(chip.totalPower(), chip.maxPower(), 1e-9);
+    }
+}
+
+TEST(TprOptProperty, EveryDownStepShedsCheapestThroughput)
+{
+    for (std::uint64_t seed : {2ull, 11ull}) {
+        auto chip = makeChip(workload::WorkloadId::H2, seed);
+        chip.setAllLevels(chip.dvfs().numLevels() - 1);
+        TprOptAdapter adapter;
+        for (;;) {
+            const auto candidates = allDownSteps(chip);
+            const auto step = adapter.decreaseOneStep(chip);
+            if (!step.valid) {
+                EXPECT_TRUE(candidates.empty());
+                break;
+            }
+            // Downward, the best step loses the least throughput per
+            // watt shed: the argmin-TPR candidate.
+            for (const auto &c : candidates)
+                EXPECT_LE(step.tpr(), c.tpr() + 1e-12)
+                    << "core " << step.coreIndex << " vs " << c.coreIndex;
+        }
+        // Fully descended, every core is gated -- which still leaks
+        // static power, so the floor is gatedPower per core, not zero.
+        EXPECT_NEAR(chip.totalPower(),
+                    chip.powerModel().gatedPower().totalW() *
+                        chip.numCores(),
+                    1e-9);
+    }
+}
+
+TEST(TprOptProperty, LevelOnlyClimbAppliesStepsInNonIncreasingTprOrder)
+{
+    // With gating out of the picture (ungating mixes static power into
+    // the ratio), the per-level TPR profiles are concave, so the
+    // greedy climb consumes steps in globally non-increasing TPR order.
+    for (std::uint64_t seed : {1ull, 5ull}) {
+        auto chip = makeChip(workload::WorkloadId::M1, seed);
+        chip.setGatingAllowed(false);
+        chip.setAllLevels(0);
+        TprOptAdapter adapter;
+        double prev_tpr = 0.0;
+        bool first = true;
+        int applied = 0;
+        for (;;) {
+            const auto step = adapter.increaseOneStep(chip);
+            if (!step.valid)
+                break;
+            ++applied;
+            if (!first) {
+                EXPECT_LE(step.tpr(), prev_tpr + 1e-12)
+                    << "step " << applied << " seed " << seed;
+            }
+            prev_tpr = step.tpr();
+            first = false;
+        }
+        EXPECT_EQ(applied,
+                  chip.numCores() * (chip.dvfs().numLevels() - 1));
+    }
+}
+
+} // namespace
+} // namespace solarcore::core

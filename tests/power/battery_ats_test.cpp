@@ -70,6 +70,32 @@ TEST(Battery, DischargeLimitedByStore)
     EXPECT_DOUBLE_EQ(b.storedWh(), 0.0);
 }
 
+TEST(Battery, StartsEmptyAndEmptyDeliversNothing)
+{
+    Battery b(100.0);
+    EXPECT_DOUBLE_EQ(b.storedWh(), 0.0);
+    EXPECT_DOUBLE_EQ(b.socFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(b.discharge(50.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.deliveredWh(), 0.0);
+    // Idling an empty battery must not drive the store negative.
+    b.idle(24.0);
+    EXPECT_DOUBLE_EQ(b.storedWh(), 0.0);
+}
+
+TEST(Battery, FullBatteryRejectsChargeButDischargesCleanly)
+{
+    Battery b(50.0, 1.0, 1.0, 0.0);
+    b.charge(1000.0, 1.0);
+    EXPECT_DOUBLE_EQ(b.socFraction(), 1.0);
+    // At capacity, further offers are refused in full.
+    EXPECT_DOUBLE_EQ(b.charge(10.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.storedWh(), 50.0);
+    // The full store then drains to exactly empty, never below.
+    EXPECT_DOUBLE_EQ(b.discharge(50.0, 1.0), 50.0);
+    EXPECT_DOUBLE_EQ(b.discharge(50.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.storedWh(), 0.0);
+}
+
 TEST(Battery, SelfDischargeDrains)
 {
     Battery b(100.0, 1.0, 1.0, 0.01);

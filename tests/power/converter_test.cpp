@@ -32,6 +32,35 @@ TEST(Converter, RatioClamping)
     EXPECT_DOUBLE_EQ(conv.ratio(), 0.75);
 }
 
+TEST(Converter, AdjustRatioClampsAtMinimumTransferRatio)
+{
+    DcDcConverter conv(0.5, 8.0);
+    conv.setRatio(0.6);
+    // A large downward nudge pins the ratio at kMin, and further
+    // nudges stay pinned instead of going below the usable range.
+    EXPECT_DOUBLE_EQ(conv.adjustRatio(-5.0), conv.kMin());
+    EXPECT_DOUBLE_EQ(conv.adjustRatio(-0.1), conv.kMin());
+    EXPECT_DOUBLE_EQ(conv.ratio(), 0.5);
+    // Symmetric pin at the top of the range.
+    EXPECT_DOUBLE_EQ(conv.adjustRatio(100.0), conv.kMax());
+    EXPECT_DOUBLE_EQ(conv.adjustRatio(0.1), conv.kMax());
+}
+
+TEST(Converter, MinimumRatioStillTransfersPower)
+{
+    // Pinned at kMin the converter remains a valid (lossless) network
+    // element: the operating point solves and conserves power.
+    const auto array = stdArray();
+    DcDcConverter conv(0.5, 8.0);
+    conv.setRatio(0.0); // clamps to kMin
+    ASSERT_DOUBLE_EQ(conv.ratio(), conv.kMin());
+    const auto st = solveNetwork(array, conv, 2.0);
+    ASSERT_TRUE(st.valid);
+    EXPECT_NEAR(st.panelPower(), st.loadPower(), 1e-6);
+    EXPECT_NEAR(st.panel.voltage, conv.inputVoltage(st.load.voltage),
+                1e-9);
+}
+
 TEST(Converter, TransferRelations)
 {
     DcDcConverter conv;

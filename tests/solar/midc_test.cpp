@@ -94,6 +94,110 @@ TEST(Midc, ClampsNegativeNightOffsets)
     EXPECT_DOUBLE_EQ(res.trace.point(0).irradiance, 0.0);
 }
 
+TEST(Midc, ClampsImplausibleIrradianceSpikes)
+{
+    std::istringstream is("DATE,MST,GHI,Temp\n"
+                          "x,08:00,5000.0,5.0\n"   // glitch spike
+                          "x,08:01,800.0,5.0\n");
+    const auto res = parseMidcCsv(is);
+    ASSERT_TRUE(res.ok);
+    EXPECT_DOUBLE_EQ(res.trace.point(0).irradiance,
+                     kMaxPlausibleIrradiance);
+    EXPECT_DOUBLE_EQ(res.trace.point(1).irradiance, 800.0);
+}
+
+TEST(Midc, ClampsImplausibleTemperatures)
+{
+    std::istringstream is("DATE,MST,GHI,Temp\n"
+                          "x,08:00,100.0,999.0\n"
+                          "x,08:01,100.0,-300.0\n"
+                          "x,08:02,100.0,21.5\n");
+    const auto res = parseMidcCsv(is);
+    ASSERT_TRUE(res.ok);
+    EXPECT_DOUBLE_EQ(res.trace.point(0).ambientC, kMaxPlausibleAmbientC);
+    EXPECT_DOUBLE_EQ(res.trace.point(1).ambientC, kMinPlausibleAmbientC);
+    EXPECT_DOUBLE_EQ(res.trace.point(2).ambientC, 21.5);
+}
+
+TEST(Midc, RejectsNonFiniteCells)
+{
+    // std::stod happily parses "nan"/"inf"; the row filter must not.
+    std::istringstream is("DATE,MST,GHI,Temp\n"
+                          "x,08:00,nan,5.0\n"
+                          "x,08:01,inf,5.0\n"
+                          "x,08:02,100.0,-inf\n"
+                          "x,08:03,100.0,5.0\n"
+                          "x,08:04,110.0,5.1\n");
+    const auto res = parseMidcCsv(is);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.rowsParsed, 2);
+    EXPECT_EQ(res.rowsSkipped, 3);
+    for (std::size_t i = 0; i < res.trace.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(res.trace.point(i).irradiance));
+        EXPECT_TRUE(std::isfinite(res.trace.point(i).ambientC));
+    }
+}
+
+TEST(Midc, RejectsTrailingGarbageInNumericCells)
+{
+    std::istringstream is("DATE,MST,GHI,Temp\n"
+                          "x,08:00,100.0abc,5.0\n" // stod would eat "100.0"
+                          "x,08:01,100.0,5.0 \n"   // trailing space is fine
+                          "x,08:02,110.0,5.1\n");
+    const auto res = parseMidcCsv(is);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.rowsParsed, 2);
+    EXPECT_EQ(res.rowsSkipped, 1);
+}
+
+TEST(Midc, MissingIrradianceColumnIsAnError)
+{
+    std::istringstream is("DATE,MST,Temperature [deg C]\n"
+                          "x,08:00,5.0\n"
+                          "x,08:01,5.1\n");
+    const auto res = parseMidcCsv(is);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.error.empty());
+}
+
+TEST(Midc, MissingTimeColumnIsAnError)
+{
+    std::istringstream is("DATE,GHI,Temp\n"
+                          "x,100.0,5.0\n");
+    EXPECT_FALSE(parseMidcCsv(is).ok);
+}
+
+TEST(Midc, MissingTemperatureColumnDefaultsDeterministically)
+{
+    std::istringstream is("DATE,MST,GHI\n"
+                          "x,08:00,100.0\n"
+                          "x,08:01,110.0\n");
+    const auto res = parseMidcCsv(is);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.temperatureColumn.empty());
+    EXPECT_DOUBLE_EQ(res.trace.point(0).ambientC, 20.0);
+    EXPECT_DOUBLE_EQ(res.trace.point(1).ambientC, 20.0);
+}
+
+TEST(Midc, SingleUsableRowIsAnError)
+{
+    std::istringstream is("DATE,MST,GHI,Temp\n"
+                          "x,08:00,100.0,5.0\n"
+                          "x,borked,100.0,5.0\n");
+    const auto res = parseMidcCsv(is);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.rowsParsed, 1);
+    EXPECT_FALSE(res.error.empty());
+}
+
+TEST(Midc, HeaderOnlyInputIsAnError)
+{
+    std::istringstream is("DATE,MST,GHI,Temp\n");
+    const auto res = parseMidcCsv(is);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.rowsParsed, 0);
+}
+
 TEST(Midc, RejectsHeaderlessInput)
 {
     std::istringstream empty("");

@@ -103,5 +103,18 @@ TEST(ThreadPool, HardwareThreadsHasAFloorOfOne)
     EXPECT_GE(ThreadPool::hardwareThreads(), 1);
 }
 
+TEST(ThreadPool, ZeroThreadsAutoDetectsHardwareConcurrency)
+{
+    for (int request : {0, -1, -8}) {
+        ThreadPool pool(request);
+        EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads())
+            << "request=" << request;
+        // And the auto-sized pool actually runs work.
+        std::atomic<int> runs{0};
+        pool.parallelFor(33, [&](std::size_t) { ++runs; });
+        EXPECT_EQ(runs.load(), 33);
+    }
+}
+
 } // namespace
 } // namespace solarcore

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * solarcore_campaign: run a scenario campaign over the full
+ * site x month x policy x workload x seed grid (or any slice of it),
+ * sharded across a thread pool, and emit one deterministic summary
+ * JSON -- the input side of the golden-baseline regression gate.
+ *
+ *   solarcore_campaign --preset=smoke --threads=4 --out=smoke.json
+ *   solarcore_campaign --sites=AZ,CO --months=Jan,Jul \
+ *       --policies=opt,fixed,battery --workloads=H1,HM2 --seeds=1,2 \
+ *       --dt=30 --journal=run.journal --out=summary.json
+ *   solarcore_campaign ... --journal=run.journal --resume   # continue
+ *
+ * The summary is byte-identical for any --threads value, and a
+ * resumed campaign reproduces the uninterrupted summary exactly; see
+ * DESIGN.md section "Campaigns and golden baselines".
+ *
+ * Options:
+ *   --preset=smoke|fig13|fig14|full   start from a named grid
+ *   --sites= --months= --policies= --workloads= --seeds=  (comma lists)
+ *   --dt=SECONDS --budget=W --derating=F --period=MINUTES
+ *   --threads=N (0 = all hardware threads)
+ *   --out=FILE (default stdout)  --journal=FILE  --resume  --verbose
+ *   --stats-out= --trace-out= --trace-buffer= --manifest-out=
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *complaint = nullptr)
+{
+    if (complaint)
+        std::cerr << "solarcore_campaign: " << complaint << "\n";
+    std::cerr
+        << "usage: solarcore_campaign [--preset=smoke|fig13|fig14|full]\n"
+           "  [--sites=AZ,CO,NC,TN] [--months=Jan,Apr,Jul,Oct]\n"
+           "  [--policies=opt,rr,ic,icm,fixed,battery]\n"
+           "  [--workloads=H1,...] [--seeds=1,2,...]\n"
+           "  [--dt=SECONDS] [--budget=W] [--derating=F] "
+           "[--period=MIN]\n"
+           "  [--threads=N] [--out=FILE] [--journal=FILE] [--resume]\n"
+           "  [--verbose] [--stats-out=F] [--trace-out=F] "
+           "[--trace-buffer=N] [--manifest-out=F]\n";
+    std::exit(2);
+}
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used == value.size())
+            return v;
+    } catch (...) {
+    }
+    usage(("bad value for " + flag).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    campaign::ScenarioGrid grid;
+    // Default slice: the paper's headline grid at the bench step size.
+    campaign::applyPreset("full", grid);
+
+    campaign::CampaignOptions options;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (options.obs.consume(arg))
+            continue;
+        const auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--preset") {
+            if (!campaign::applyPreset(value, grid))
+                usage("unknown preset");
+        } else if (key == "--sites") {
+            if (!campaign::parseSiteList(value, grid.sites))
+                usage("bad --sites list");
+        } else if (key == "--months") {
+            if (!campaign::parseMonthList(value, grid.months))
+                usage("bad --months list");
+        } else if (key == "--policies") {
+            if (!campaign::parsePolicyList(value, grid.policies))
+                usage("bad --policies list");
+        } else if (key == "--workloads") {
+            if (!campaign::parseWorkloadList(value, grid.workloads))
+                usage("bad --workloads list");
+        } else if (key == "--seeds") {
+            if (!campaign::parseSeedList(value, grid.seeds))
+                usage("bad --seeds list");
+        } else if (key == "--dt") {
+            grid.dtSeconds = parseDouble(key, value);
+        } else if (key == "--budget") {
+            grid.fixedBudgetW = parseDouble(key, value);
+        } else if (key == "--derating") {
+            grid.batteryDerating = parseDouble(key, value);
+        } else if (key == "--period") {
+            grid.trackingPeriodMinutes = parseDouble(key, value);
+        } else if (key == "--threads") {
+            options.threads =
+                static_cast<int>(parseDouble(key, value));
+        } else if (key == "--out") {
+            out_path = value;
+        } else if (key == "--journal") {
+            options.journalPath = value;
+        } else if (key == "--resume") {
+            options.resume = true;
+        } else if (key == "--verbose") {
+            options.verbose = true;
+        } else {
+            usage(("unknown option " + key).c_str());
+        }
+    }
+    if (grid.unitCount() == 0)
+        usage("empty grid");
+    if (grid.dtSeconds <= 0.0)
+        usage("--dt must be positive");
+
+    std::cerr << "campaign: " << grid.unitCount() << " units\n";
+    const auto outcome = campaign::runCampaign(grid, options);
+    std::cerr << "campaign: " << outcome.unitsRun << " run, "
+              << outcome.unitsResumed << " resumed from journal\n";
+
+    if (out_path.empty()) {
+        campaign::writeSummaryJson(std::cout, grid, outcome);
+        return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "solarcore_campaign: cannot open '" << out_path
+                  << "'\n";
+        return 1;
+    }
+    campaign::writeSummaryJson(out, grid, outcome);
+    std::cerr << "campaign: summary written to " << out_path << "\n";
+    return 0;
+}
