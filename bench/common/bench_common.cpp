@@ -41,7 +41,8 @@ core::DayResult
 runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
        core::PolicyKind policy, double fixed_budget_w, bool timeline,
        double dt_seconds, pv::MppCache *mpp_cache,
-       obs::StatsRegistry *stats, obs::TraceBuffer *trace)
+       obs::StatsRegistry *stats, obs::TraceBuffer *trace,
+       obs::TelemetryRecorder *telemetry, obs::Auditor *audit)
 {
     core::SimConfig cfg;
     cfg.policy = policy;
@@ -52,6 +53,8 @@ runDay(solar::SiteId site, solar::Month month, workload::WorkloadId wl,
     cfg.mppCache = mpp_cache;
     cfg.stats = stats;
     cfg.trace = trace;
+    cfg.telemetry = telemetry;
+    cfg.audit = audit;
     return core::simulateDay(standardModule(), standardTrace(site, month),
                              wl, cfg);
 }

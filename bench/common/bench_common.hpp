@@ -45,6 +45,8 @@ inline constexpr double kBenchDtSeconds = 30.0;
  *                     and budgets solve each environment only once
  * @param stats        optional stats registry (one per worker)
  * @param trace        optional event-trace sink (one per worker)
+ * @param telemetry    optional per-step waveform recorder
+ * @param audit        optional invariant auditor
  */
 core::DayResult runDay(solar::SiteId site, solar::Month month,
                        workload::WorkloadId wl, core::PolicyKind policy,
@@ -52,7 +54,9 @@ core::DayResult runDay(solar::SiteId site, solar::Month month,
                        double dt_seconds = kBenchDtSeconds,
                        pv::MppCache *mpp_cache = nullptr,
                        obs::StatsRegistry *stats = nullptr,
-                       obs::TraceBuffer *trace = nullptr);
+                       obs::TraceBuffer *trace = nullptr,
+                       obs::TelemetryRecorder *telemetry = nullptr,
+                       obs::Auditor *audit = nullptr);
 
 /**
  * Parse a `--threads=N` argument (0 or omitted: all hardware threads).

@@ -14,7 +14,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/bench_common.hpp"
+#include "obs/auditor.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 using namespace solarcore;
@@ -277,6 +280,73 @@ BM_TraceAppendDisabled(benchmark::State &state)
 BENCHMARK(BM_TraceAppendDisabled);
 
 void
+BM_TelemetrySampleStep(benchmark::State &state)
+{
+    // One recorded waveform step of a representative channel set:
+    // begin, ten sets, commit. The per-step cost of --telemetry-out.
+    obs::TelemetryRecorder rec;
+    obs::TelemetryRecorder::ChannelId ids[10];
+    for (int c = 0; c < 10; ++c)
+        ids[c] = rec.channel("ch" + std::to_string(c), "W");
+    double minute = 0.0;
+    for (auto _ : state) {
+        rec.beginStep(minute);
+        for (int c = 0; c < 10; ++c)
+            rec.set(ids[c], minute + c);
+        rec.endStep();
+        minute += 0.25;
+        if (rec.rowCount() >= (1u << 16))
+            rec.clear(); // bound memory; channels stay registered
+    }
+}
+BENCHMARK(BM_TelemetrySampleStep);
+
+void
+BM_ProfileScopeDetached(benchmark::State &state)
+{
+    // SC_PROFILE_SCOPE with no profiler attached: one thread-local
+    // load and a branch. This is what the scopes embedded in the I-V
+    // solve / MPP cache / TPR allocator cost in every normal run.
+    for (auto _ : state) {
+        SC_PROFILE_SCOPE("detached");
+        benchmark::DoNotOptimize(&state);
+    }
+}
+BENCHMARK(BM_ProfileScopeDetached);
+
+void
+BM_ProfileScopeAttached(benchmark::State &state)
+{
+    // The attached cost: two clock reads plus a map walk on the first
+    // visit (amortized to a pointer chase afterwards).
+    obs::Profiler profiler;
+    obs::Profiler::Attach attach(&profiler);
+    for (auto _ : state) {
+        SC_PROFILE_SCOPE("attached");
+        benchmark::DoNotOptimize(&state);
+    }
+}
+BENCHMARK(BM_ProfileScopeAttached);
+
+void
+BM_AuditorCheckStep(benchmark::State &state)
+{
+    // One audited step's worth of passing checks in counting mode.
+    obs::Auditor audit;
+    double drawn = 60.0;
+    for (auto _ : state) {
+        audit.setNow(720.0);
+        audit.countStep();
+        audit.checkBudget(drawn, 75.0, "bench");
+        audit.checkRailVoltage(12.0, 12.0, "bench");
+        audit.checkSocRange(0.5, "bench");
+        benchmark::DoNotOptimize(&audit);
+        drawn = drawn > 70.0 ? 60.0 : drawn + 0.01;
+    }
+}
+BENCHMARK(BM_AuditorCheckStep);
+
+void
 BM_SimulatedDayObsOff(benchmark::State &state)
 {
     // Observability compiled in and constructed but not attached: the
@@ -315,6 +385,64 @@ BM_SimulatedDayTraced(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedDayTraced)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayTelemetry(benchmark::State &state)
+{
+    // Waveform recording attached: every step samples the full
+    // channel superset (panel, converter, rail, chip, per-core).
+    obs::TelemetryRecorder rec;
+    for (auto _ : state) {
+        rec.clear();
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0)), nullptr,
+                          nullptr, nullptr, &rec));
+    }
+}
+BENCHMARK(BM_SimulatedDayTelemetry)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayProfiled(benchmark::State &state)
+{
+    // Self-profiler attached: every embedded scope takes two clock
+    // reads instead of the detached null-check.
+    obs::Profiler profiler;
+    obs::Profiler::Attach attach(&profiler);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0))));
+    }
+}
+BENCHMARK(BM_SimulatedDayProfiled)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayAudited(benchmark::State &state)
+{
+    // Invariant auditor in counting mode: the per-step physics checks
+    // (budget, rail, panel point, per-core DVFS legality).
+    for (auto _ : state) {
+        obs::Auditor audit;
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0)), nullptr,
+                          nullptr, nullptr, nullptr, &audit));
+    }
+}
+BENCHMARK(BM_SimulatedDayAudited)
     ->Arg(60)
     ->Unit(benchmark::kMillisecond);
 

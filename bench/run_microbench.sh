@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs the component microbenchmarks and records the results as JSON at
 # the repo root (BENCH_pv.json, plus BENCH_obs.json for the
-# observability-layer rows). The suite carries its own before/after
+# observability-layer rows and BENCH_telemetry.json for the deep-
+# telemetry rows: waveform recorder, self-profiler, invariant
+# auditor). The suite carries its own before/after
 # pairs: BM_CellCurrentSolveNewton / BM_FindMppNewton /
 # BM_SimulatedDayNewton force the retained damped-Newton I-V path (the
 # seed implementation), so one run captures both sides of the
@@ -43,23 +45,69 @@ echo "wrote ${obs_out}"
 
 # Tracing-off overhead gate: a simulated day with observability
 # compiled in but detached (BM_SimulatedDayObsOff/60) must stay within
-# 1% of the uninstrumented day (BM_SimulatedDay/60). A small negative
-# delta is normal timer noise.
-python3 - "${obs_out}" <<'EOF'
+# 1% of the uninstrumented day (BM_SimulatedDay/60). A single sample
+# of a ~15 ms benchmark jitters by several percent on a shared
+# machine, so the gate compares medians over repeated runs; a small
+# negative delta is normal timer noise.
+gate_tmp="$(mktemp)"
+"${bench_bin}" \
+    --benchmark_filter='BM_SimulatedDay(/|ObsOff/)60$' \
+    --benchmark_repetitions=7 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json \
+    --benchmark_out="${gate_tmp}" \
+    --benchmark_out_format=json > /dev/null
+python3 - "${gate_tmp}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    rows = json.load(f)["benchmarks"]
+times = {r["name"]: r["real_time"] for r in rows}
+base = times.get("BM_SimulatedDay/60_median")
+off = times.get("BM_SimulatedDayObsOff/60_median")
+if not base or not off:
+    sys.exit("missing BM_SimulatedDay/60 or BM_SimulatedDayObsOff/60 "
+             "median row")
+overhead = (off - base) / base
+print(f"tracing-off overhead: {overhead * 100.0:+.2f}% "
+      f"(off median {off:.3f} ms vs base median {base:.3f} ms)")
+if overhead > 0.01:
+    sys.exit(f"FAIL: tracing-off overhead {overhead * 100.0:.2f}% > 1%")
+EOF
+rm -f "${gate_tmp}"
+
+# Deep-telemetry rows into their own file: the waveform/profiler/
+# auditor primitive costs plus the attached simulated-day brackets.
+telemetry_out="${repo_root}/BENCH_telemetry.json"
+"${bench_bin}" \
+    --benchmark_filter='BM_(TelemetrySampleStep|ProfileScope(Detached|Attached)|AuditorCheckStep|SimulatedDay(/|Telemetry|Profiled|Audited))' \
+    --benchmark_format=json \
+    --benchmark_out="${telemetry_out}" \
+    --benchmark_out_format=json \
+    "$@" > /dev/null
+echo "wrote ${telemetry_out}"
+
+# Attached-instrumentation overhead report. The off path is gated above
+# (BM_SimulatedDayObsOff, which now also carries the detached profiler
+# scopes); the attached deltas are informational -- they are the price
+# the user opted into with --telemetry-out / --profile-out / --audit.
+python3 - "${telemetry_out}" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     rows = json.load(f)["benchmarks"]
 times = {r["name"]: r["real_time"] for r in rows}
 base = times.get("BM_SimulatedDay/60")
-off = times.get("BM_SimulatedDayObsOff/60")
-if not base or not off:
-    sys.exit("missing BM_SimulatedDay/60 or BM_SimulatedDayObsOff/60 row")
-overhead = (off - base) / base
-print(f"tracing-off overhead: {overhead * 100.0:+.2f}% "
-      f"(off {off:.3f} ms vs base {base:.3f} ms)")
-if overhead > 0.01:
-    sys.exit(f"FAIL: tracing-off overhead {overhead * 100.0:.2f}% > 1%")
+if not base:
+    sys.exit("missing BM_SimulatedDay/60 row")
+for name, label in (("BM_SimulatedDayTelemetry/60", "telemetry"),
+                    ("BM_SimulatedDayProfiled/60", "profiler"),
+                    ("BM_SimulatedDayAudited/60", "auditor")):
+    t = times.get(name)
+    if not t:
+        sys.exit(f"missing {name} row")
+    print(f"{label} attached overhead: {(t - base) / base * 100.0:+.2f}% "
+          f"({t:.3f} ms vs base {base:.3f} ms)")
 EOF
 
 # One-line MPP-cache summary from an instrumented CLI day (the sweep

@@ -1,6 +1,9 @@
 #include "campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -8,9 +11,12 @@
 
 #include "campaign/journal.hpp"
 #include "core/simulation.hpp"
+#include "obs/auditor.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "pv/bp3180n.hpp"
 #include "pv/mpp_cache.hpp"
@@ -78,13 +84,15 @@ const MetricField (&metricFields())[kNumMetricFields]
         {"transfers", &UnitMetrics::transfers},
         {"controllerSteps", &UnitMetrics::controllerSteps},
         {"thermalThrottles", &UnitMetrics::thermalThrottles},
+        {"auditViolations", &UnitMetrics::auditViolations},
     };
     return fields;
 }
 
 UnitMetrics
 runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
-        obs::StatsRegistry *stats, obs::TraceBuffer *trace)
+        obs::StatsRegistry *stats, obs::TraceBuffer *trace,
+        obs::TelemetryRecorder *telemetry, obs::Auditor *audit)
 {
     static const pv::PvModule module = pv::buildBp3180n();
     const auto day_trace =
@@ -97,16 +105,27 @@ runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
     cfg.seed = unit.seed;
     cfg.stats = stats;
     cfg.trace = trace;
+    cfg.telemetry = telemetry;
+    cfg.audit = audit;
 
+    UnitMetrics m;
     if (unit.policy == CampaignPolicy::Battery) {
-        return fromBatteryResult(core::simulateBatteryDay(
+        m = fromBatteryResult(core::simulateBatteryDay(
             module, day_trace, unit.workload, grid.batteryDerating, cfg));
+    } else {
+        cfg.policy = toSimPolicy(unit.policy);
+        pv::MppCache mpp_cache(module, cfg.modulesSeries,
+                               cfg.modulesParallel);
+        cfg.mppCache = &mpp_cache;
+        m = fromDayResult(
+            core::simulateDay(module, day_trace, unit.workload, cfg));
     }
-    cfg.policy = toSimPolicy(unit.policy);
-    pv::MppCache mpp_cache(module, cfg.modulesSeries, cfg.modulesParallel);
-    cfg.mppCache = &mpp_cache;
-    return fromDayResult(
-        core::simulateDay(module, day_trace, unit.workload, cfg));
+    if (audit) {
+        m.auditViolations = static_cast<double>(audit->violationCount());
+        if (stats)
+            audit->foldInto(*stats);
+    }
+    return m;
 }
 
 CampaignOutcome
@@ -150,8 +169,25 @@ runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
 
     const bool want_stats = options.obs.statsRequested();
     const bool want_trace = options.obs.traceRequested();
+    const bool want_telem = options.obs.telemetryRequested();
+    const bool want_profile = options.obs.profileRequested();
+    const bool want_audit = options.obs.auditRequested();
+    obs::AuditorConfig audit_cfg;
+    if (options.obs.audit != obs::AuditMode::Off)
+        audit_cfg.mode = options.obs.audit;
     std::vector<std::unique_ptr<obs::StatsRegistry>> regs(pending.size());
     std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs(pending.size());
+    std::vector<std::unique_ptr<obs::TelemetryRecorder>> telems(
+        pending.size());
+    std::vector<std::unique_ptr<obs::Profiler>> profs(pending.size());
+    std::vector<std::unique_ptr<obs::Auditor>> audits(pending.size());
+
+    // Progress heartbeat state: the counter orders the "k/n" stamps,
+    // the clock feeds the --verbose ETA estimate. Heartbeats go to
+    // stderr and journal comment lines only, so the summary stays
+    // byte-identical at any thread count.
+    std::atomic<std::size_t> done_units{0};
+    const auto wall_start = std::chrono::steady_clock::now();
 
     ThreadPool pool(options.threads);
     pool.parallelFor(pending.size(), [&](std::size_t t) {
@@ -161,14 +197,48 @@ runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
         if (want_trace)
             tbufs[t] = std::make_unique<obs::TraceBuffer>(
                 options.obs.traceBufferCap);
-        outcome.results[i] = runUnit(outcome.units[i], grid, regs[t].get(),
-                                     tbufs[t].get());
+        if (want_telem)
+            telems[t] = std::make_unique<obs::TelemetryRecorder>(
+                options.obs.telemetryEvery, options.obs.telemetryMode);
+        if (want_profile)
+            profs[t] = std::make_unique<obs::Profiler>();
+        if (want_audit)
+            audits[t] = std::make_unique<obs::Auditor>(audit_cfg);
+        {
+            std::optional<obs::Profiler::Attach> attach;
+            if (profs[t])
+                attach.emplace(profs[t].get());
+            SC_PROFILE_SCOPE("campaign.unit");
+            outcome.results[i] =
+                runUnit(outcome.units[i], grid, regs[t].get(),
+                        tbufs[t].get(), telems[t].get(), audits[t].get());
+        }
         if (journal)
             journal->append(static_cast<int>(i), outcome.results[i]);
+
+        const std::size_t finished = 1 + done_units.fetch_add(1);
+        const std::string key = unitKey(outcome.units[i]);
+        if (journal)
+            journal->appendComment(
+                "heartbeat " + std::to_string(finished) + "/" +
+                std::to_string(pending.size()) + " " + key);
         if (options.verbose) {
             // One preformatted string per line so concurrent progress
             // reports interleave whole, never mid-line.
-            std::cerr << (unitKey(outcome.units[i]) + " done\n");
+            const double secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            const double rate =
+                static_cast<double>(finished) / std::max(secs, 1e-9);
+            const double eta_s =
+                static_cast<double>(pending.size() - finished) /
+                std::max(rate, 1e-9);
+            char suffix[96];
+            std::snprintf(suffix, sizeof(suffix),
+                          " done [%zu/%zu, %.1f u/s, eta %.0fs]\n",
+                          finished, pending.size(), rate, eta_s);
+            std::cerr << (key + suffix);
         }
     });
     outcome.unitsRun = static_cast<int>(pending.size());
@@ -193,6 +263,38 @@ runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
             }
             options.obs.writeTrace(obs::mergeBuffers(raw), names);
         }
+        obs::Profiler merged_prof;
+        obs::Auditor merged_audit(audit_cfg);
+        if (want_profile) {
+            for (const auto &prof : profs)
+                if (prof)
+                    merged_prof.merge(*prof);
+            options.obs.writeProfile(merged_prof);
+        }
+        if (want_audit) {
+            for (const auto &audit : audits)
+                if (audit)
+                    merged_audit.merge(*audit);
+            options.obs.writeAudit(merged_audit);
+        }
+        if (want_telem) {
+            // Index the concat vector by grid unit, not by task, so
+            // the CSV "unit" column names the unit even on resumed
+            // campaigns (restored units contribute no rows).
+            std::vector<obs::TelemetryRecorder *> by_unit(n, nullptr);
+            for (std::size_t t = 0; t < pending.size(); ++t)
+                by_unit[pending[t]] = telems[t].get();
+            options.obs.writeTelemetryConcat(by_unit);
+            std::uint64_t rows = 0;
+            for (const auto &telem : telems)
+                if (telem)
+                    rows += telem->rowCount();
+            manifest.set("telemetry_out", options.obs.telemetryOut);
+            manifest.set("telemetry_rows", rows);
+        }
+        options.obs.recordSidecars(manifest, nullptr,
+                                   want_profile ? &merged_prof : nullptr,
+                                   want_audit ? &merged_audit : nullptr);
         manifest.set("grid", signature);
         manifest.set("threads",
                      static_cast<std::uint64_t>(pool.threadCount()));

@@ -47,11 +47,15 @@ struct CampaignOutcome
 
 /**
  * Simulate one unit of @p grid. Exposed for tests; the runner calls
- * this from worker threads. @p stats and @p trace may be null.
+ * this from worker threads. All sinks may be null. A non-null
+ * @p audit contributes the unit's violation count to the returned
+ * metrics and folds audit.* counters into @p stats.
  */
 UnitMetrics runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
                     obs::StatsRegistry *stats = nullptr,
-                    obs::TraceBuffer *trace = nullptr);
+                    obs::TraceBuffer *trace = nullptr,
+                    obs::TelemetryRecorder *telemetry = nullptr,
+                    obs::Auditor *audit = nullptr);
 
 /** Expand, shard, execute (resuming if asked) and aggregate @p grid. */
 CampaignOutcome runCampaign(const ScenarioGrid &grid,

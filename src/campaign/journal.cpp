@@ -57,6 +57,8 @@ loadJournal(const std::string &path, const std::string &grid_signature)
     rec.headerValid = true;
 
     while (std::getline(in, line)) {
+        if (!line.empty() && line[0] == '#')
+            continue; // comment/heartbeat line
         std::istringstream ls(line);
         int index = -1;
         UnitMetrics m;
@@ -118,6 +120,16 @@ JournalWriter::append(int index, const UnitMetrics &metrics)
         line += obs::jsonNumber(metrics.*(field.member));
     }
     line += '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << std::flush;
+}
+
+void
+JournalWriter::appendComment(const std::string &text)
+{
+    if (!ok_)
+        return;
+    const std::string line = "# " + text + '\n';
     std::lock_guard<std::mutex> lock(mutex_);
     out_ << line << std::flush;
 }

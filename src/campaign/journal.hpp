@@ -67,6 +67,13 @@ class JournalWriter
     /** Record one completed unit (locked, flushed). */
     void append(int index, const UnitMetrics &metrics);
 
+    /**
+     * Append a comment line ("# <text>"; progress heartbeats). Loaders
+     * skip comments, so heartbeats never perturb resume or count as
+     * dropped lines.
+     */
+    void appendComment(const std::string &text);
+
   private:
     std::mutex mutex_;
     std::ofstream out_;

@@ -32,6 +32,8 @@ struct UnitMetrics
     double transfers = 0.0;       //!< ATS source switchovers
     double controllerSteps = 0.0; //!< DVFS notches the controller moved
     double thermalThrottles = 0.0; //!< forced notch-downs (RC model)
+    double auditViolations = 0.0; //!< invariant-auditor violations (0
+                                  //!< when auditing was off)
 };
 
 /** One row of the serialization schema. */
@@ -41,7 +43,7 @@ struct MetricField
     double UnitMetrics::*member;
 };
 
-inline constexpr std::size_t kNumMetricFields = 13;
+inline constexpr std::size_t kNumMetricFields = 14;
 
 /** The fixed field table, in struct order. */
 const MetricField (&metricFields())[kNumMetricFields];

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -117,6 +118,7 @@ SolarCoreController::probeMppSide()
 TrackResult
 SolarCoreController::track()
 {
+    SC_PROFILE_SCOPE("controller.track");
     TrackResult result;
     adapter_->beginTrackingPeriod(*chip_);
 
@@ -207,6 +209,7 @@ SolarCoreController::track()
 TrackResult
 SolarCoreController::enforceRail()
 {
+    SC_PROFILE_SCOPE("controller.enforce");
     TrackResult result;
     if (sustainable(chip_->totalPower())) {
         result.solarViable = true;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::core {
@@ -47,6 +48,7 @@ optimizeAllocation(const cpu::MultiCoreChip &chip, double budget_w,
                    double power_res_w)
 {
     SC_ASSERT(power_res_w > 0.0, "optimizeAllocation: bad resolution");
+    SC_PROFILE_SCOPE("alloc.optimize");
     AllocationResult res;
     if (budget_w <= 0.0)
         return res;

@@ -1,5 +1,6 @@
 #include "load_adapter.hpp"
 
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -20,6 +21,7 @@ applyIfValid(cpu::MultiCoreChip &chip, const StepCandidate &step)
 StepCandidate
 TprOptAdapter::increaseOneStep(cpu::MultiCoreChip &chip)
 {
+    SC_PROFILE_SCOPE("tpr.step");
     // Highest throughput gain per added watt wins the new power.
     StepCandidate best;
     double best_tpr = -1.0;
@@ -38,6 +40,7 @@ TprOptAdapter::increaseOneStep(cpu::MultiCoreChip &chip)
 StepCandidate
 TprOptAdapter::decreaseOneStep(cpu::MultiCoreChip &chip)
 {
+    SC_PROFILE_SCOPE("tpr.step");
     // Shed the step that loses the least throughput per saved watt.
     StepCandidate best;
     double best_cost = 1e301;

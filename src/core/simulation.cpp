@@ -5,8 +5,12 @@
 #include <optional>
 
 #include "core/fixed_power.hpp"
+#include "core/tpr.hpp"
 #include "cpu/thermal.hpp"
+#include "obs/auditor.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "power/ats.hpp"
 #include "power/battery.hpp"
@@ -175,6 +179,116 @@ selectMppCache(std::optional<pv::MppCache> &local,
     return *local;
 }
 
+/**
+ * Per-step waveform sampling shared by all three day drivers. Every
+ * driver registers the identical channel superset (channels a driver
+ * never sets stay NaN / empty CSV cells), which is what lets a
+ * campaign concatenate per-unit recorders into one columnar file.
+ */
+class DayTelemetry
+{
+  public:
+    DayTelemetry(obs::TelemetryRecorder *rec,
+                 const cpu::MultiCoreChip &chip)
+        : rec_(rec)
+    {
+        if (!rec_)
+            return;
+        panelP_ = rec_->channel("panel.power_w", "W");
+        panelV_ = rec_->channel("panel.voltage_v", "V");
+        panelI_ = rec_->channel("panel.current_a", "A");
+        mppP_ = rec_->channel("mpp.power_w", "W");
+        convK_ = rec_->channel("converter.ratio");
+        railV_ = rec_->channel("rail.voltage_v", "V");
+        chipP_ = rec_->channel("chip.power_w", "W");
+        budgetP_ = rec_->channel("budget.power_w", "W");
+        onSolar_ = rec_->channel("on_solar", "bool");
+        soc_ = rec_->channel("battery.soc", "frac");
+        for (int i = 0; i < chip.numCores(); ++i) {
+            const std::string p = "core" + std::to_string(i);
+            cores_.push_back({rec_->channel(p + ".freq_ghz", "GHz"),
+                              rec_->channel(p + ".voltage_v", "V"),
+                              rec_->channel(p + ".power_w", "W"),
+                              rec_->channel(p + ".ipc"),
+                              rec_->channel(p + ".tpr", "ips/W")});
+        }
+    }
+
+    explicit operator bool() const { return rec_ != nullptr; }
+
+    /**
+     * Sample one step. @p net may be null (no solved electrical state
+     * this step); pass NaN for @p converter_k / @p battery_soc when
+     * the driver has no converter / battery.
+     */
+    void
+    sample(double minute, const cpu::MultiCoreChip &chip, double mpp_w,
+           double budget_w, bool on_solar,
+           const power::NetworkState *net, double converter_k,
+           double battery_soc)
+    {
+        if (!rec_)
+            return;
+        SC_PROFILE_SCOPE("telemetry");
+        rec_->beginStep(minute);
+        if (!std::isnan(mpp_w))
+            rec_->set(mppP_, mpp_w);
+        rec_->set(budgetP_, budget_w);
+        rec_->set(chipP_, chip.totalPower());
+        rec_->set(onSolar_, on_solar ? 1.0 : 0.0);
+        if (net && net->valid) {
+            rec_->set(panelP_, net->panelPower());
+            rec_->set(panelV_, net->panel.voltage);
+            rec_->set(panelI_, net->panel.current);
+            rec_->set(railV_, net->load.voltage);
+        }
+        if (!std::isnan(converter_k))
+            rec_->set(convK_, converter_k);
+        if (!std::isnan(battery_soc))
+            rec_->set(soc_, battery_soc);
+        for (int i = 0; i < chip.numCores(); ++i) {
+            const auto &core = chip.core(i);
+            const auto &ch = cores_[static_cast<std::size_t>(i)];
+            rec_->set(ch.power, core.power().totalW());
+            if (!core.gated()) {
+                rec_->set(ch.freq,
+                          chip.dvfs().frequency(core.level()) / 1e9);
+                rec_->set(ch.volt, chip.dvfs().voltage(core.level()));
+                rec_->set(ch.ipc, core.perf().ipc);
+            }
+            const auto up = upStep(chip, i);
+            if (up.valid)
+                rec_->set(ch.tpr, up.tpr());
+        }
+        rec_->endStep();
+    }
+
+  private:
+    struct CoreChannels
+    {
+        obs::TelemetryRecorder::ChannelId freq, volt, power, ipc, tpr;
+    };
+
+    obs::TelemetryRecorder *rec_;
+    obs::TelemetryRecorder::ChannelId panelP_ = 0, panelV_ = 0,
+        panelI_ = 0, mppP_ = 0, convK_ = 0, railV_ = 0, chipP_ = 0,
+        budgetP_ = 0, onSolar_ = 0, soc_ = 0;
+    std::vector<CoreChannels> cores_;
+};
+
+/** The per-core DVFS/gating legality sweep shared by the drivers. */
+void
+auditChipState(obs::Auditor &audit, const cpu::MultiCoreChip &chip)
+{
+    for (int i = 0; i < chip.numCores(); ++i) {
+        const auto &core = chip.core(i);
+        audit.checkDvfsLegality(i, core.level(), chip.dvfs().minLevel(),
+                                chip.dvfs().maxLevel(), core.gated(),
+                                chip.gatingAllowed(),
+                                "core DVFS/gating state");
+    }
+}
+
 } // namespace
 
 DayResult
@@ -183,6 +297,7 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
 {
     SC_ASSERT(!trace.empty(), "simulateDay: empty trace");
     SC_ASSERT(cfg.dtSeconds > 0.0, "simulateDay: bad step");
+    SC_PROFILE_SCOPE("day");
 
     DayResult result;
 
@@ -207,6 +322,10 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     ats.setTrace(tbuf);
     if (tracking)
         controller->setTrace(tbuf);
+    DayTelemetry telem(cfg.telemetry, chip);
+    obs::Auditor *const audit = cfg.audit;
+    if (audit)
+        audit->setTrace(tbuf);
     const pv::MppCache::Stats cache_start = mpp_cache.stats();
     obs::HistogramStat *const err_hist = cfg.stats
         ? &cfg.stats->histogram("sim.periodErrorPct", 0.0, 50.0, 25,
@@ -255,8 +374,10 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
 
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        SC_PROFILE_SCOPE("step");
         if (cfg.trace)
             cfg.trace->setNow(minute);
+        power::NetworkState step_net; //!< solved state, when tracking
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
         array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
@@ -306,6 +427,7 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
             } else {
                 tr = controller->enforceRail();
             }
+            step_net = tr.net;
             if (!tr.solarViable) {
                 // Even the minimum sheddable load exceeds what the
                 // panel can carry (possible with PCPG disabled): fail
@@ -349,8 +471,20 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
             period_consumed.add(consumed);
         }
 
+        const double budget_w = tracking ? mpp.power : cfg.fixedBudgetW;
+        if (telem) {
+            telem.sample(minute, chip, mpp.power, budget_w, on_solar,
+                         step_net.valid ? &step_net : nullptr,
+                         tracking ? controller->converter().ratio()
+                                  : std::nan(""),
+                         std::nan(""));
+        }
+
         const double instr_before = chip.totalInstructions();
-        chip.step(cfg.dtSeconds);
+        {
+            SC_PROFILE_SCOPE("chip.step");
+            chip.step(cfg.dtSeconds);
+        }
         const double instr_delta = chip.totalInstructions() - instr_before;
         result.totalInstructions += instr_delta;
         if (on_solar)
@@ -360,6 +494,28 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
             ? consumed / cfg.controller.converterEfficiency
             : consumed;
         ats.accountEnergy(drawn, cfg.dtSeconds);
+
+        if (audit) {
+            SC_PROFILE_SCOPE("audit");
+            audit->setNow(minute);
+            audit->countStep();
+            if (on_solar)
+                audit->checkBudget(drawn, budget_w,
+                                   tracking
+                                       ? "solar draw vs MPP budget"
+                                       : "solar draw vs fixed budget");
+            if (step_net.valid) {
+                audit->checkRailVoltage(step_net.load.voltage,
+                                        cfg.controller.railNominalV,
+                                        "converter rail vs nominal");
+                audit->checkPanelPoint(
+                    step_net.panel.current,
+                    array.currentAt(step_net.panel.voltage),
+                    array.currentAt(0.0),
+                    "solved panel point vs I-V curve");
+            }
+            auditChipState(*audit, chip);
+        }
 
         if (cfg.recordTimeline && minute - last_timeline_minute >= 1.0) {
             result.timeline.push_back(
@@ -408,6 +564,7 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         return result;
     }
 
+    SC_PROFILE_SCOPE("day");
     auto chip = buildChip(workload, cfg);
     chip.setGatingAllowed(cfg.pcpg);
     pv::PvArray array(module, cfg.modulesSeries, cfg.modulesParallel,
@@ -424,6 +581,10 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     ats.setTrace(tbuf);
     buffer.setTrace(tbuf);
     controller.setTrace(tbuf);
+    DayTelemetry telem(cfg.telemetry, chip);
+    obs::Auditor *const audit = cfg.audit;
+    if (audit)
+        audit->setTrace(tbuf);
     const pv::MppCache::Stats cache_start = mpp_cache.stats();
     // Charge-path conversion efficiency of the buffer's own MPPT.
     constexpr double charge_path_eff = 0.95;
@@ -441,8 +602,10 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     chip.setAllLevels(chip.dvfs().maxLevel());
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        SC_PROFILE_SCOPE("step");
         if (tbuf)
             tbuf->setNow(minute);
+        power::NetworkState step_net;
         const double g = trace.irradianceAt(minute);
         const double ambient = trace.ambientAt(minute);
         array.setEnvironment({g, module.cellTempFromAmbient(ambient, g)});
@@ -462,6 +625,7 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         bool on_buffer = false;
 
         if (on_solar) {
+            TrackResult tr;
             if (!was_on_solar ||
                 minute - last_track_minute >= cfg.trackingPeriodMinutes) {
                 if (tbuf) {
@@ -472,11 +636,12 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                                 mpp.power, chip.totalPower());
                 }
                 ++day.retracks;
-                controller.track();
+                tr = controller.track();
                 last_track_minute = minute;
             } else {
-                controller.enforceRail();
+                tr = controller.enforceRail();
             }
+            step_net = tr.net;
             const double consumed = chip.totalPower();
             // The tracking margin charges the buffer through its own
             // MPPT path instead of being left on the panel.
@@ -504,13 +669,56 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
             }
         }
 
+        if (telem) {
+            telem.sample(minute, chip, mpp.power,
+                         on_buffer ? buffer_budget_w : mpp.power,
+                         on_solar, step_net.valid ? &step_net : nullptr,
+                         controller.converter().ratio(),
+                         buffer.socFraction());
+        }
+
         const double instr_before = chip.totalInstructions();
-        chip.step(cfg.dtSeconds);
+        {
+            SC_PROFILE_SCOPE("chip.step");
+            chip.step(cfg.dtSeconds);
+        }
         const double delta = chip.totalInstructions() - instr_before;
         day.totalInstructions += delta;
         if (on_solar || on_buffer)
             day.solarInstructions += delta;
+
+        if (audit) {
+            SC_PROFILE_SCOPE("audit");
+            audit->setNow(minute);
+            audit->countStep();
+            if (on_solar)
+                audit->checkBudget(chip.totalPower(), mpp.power,
+                                   "hybrid solar draw vs MPP budget");
+            else if (on_buffer)
+                audit->checkBudget(chip.totalPower(), buffer_budget_w,
+                                   "buffer draw vs discharge budget");
+            if (step_net.valid) {
+                audit->checkRailVoltage(step_net.load.voltage,
+                                        cfg.controller.railNominalV,
+                                        "converter rail vs nominal");
+                audit->checkPanelPoint(
+                    step_net.panel.current,
+                    array.currentAt(step_net.panel.voltage),
+                    array.currentAt(0.0),
+                    "solved panel point vs I-V curve");
+            }
+            audit->checkSocRange(buffer.socFraction(),
+                                 "buffer state of charge");
+            auditChipState(*audit, chip);
+        }
         was_on_solar = on_solar;
+    }
+
+    if (audit) {
+        audit->setNow(trace.endMinute());
+        audit->checkEnergyBalance(buffer.absorbedWh(), buffer.storedWh(),
+                                  buffer.deliveredWh(), buffer.lostWh(),
+                                  "battery ledger closure");
     }
 
     day.gridEnergyWh = ats.gridEnergyWh();
@@ -544,6 +752,7 @@ simulateBatteryDay(const pv::PvModule &module,
 {
     SC_ASSERT(derating_factor > 0.0 && derating_factor <= 1.0,
               "simulateBatteryDay: bad de-rating factor");
+    SC_PROFILE_SCOPE("day");
     BatteryDayResult result;
     result.deratingFactor = derating_factor;
 
@@ -572,9 +781,14 @@ simulateBatteryDay(const pv::PvModule &module,
     // Pass 2: run the chip at that constant budget, re-allocating at
     // each tracking period to follow workload phases.
     auto chip = buildChip(workload, cfg);
+    DayTelemetry telem(cfg.telemetry, chip);
+    obs::Auditor *const audit = cfg.audit;
+    if (audit)
+        audit->setTrace(cfg.trace);
     double last_alloc_minute = -1e9;
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
+        SC_PROFILE_SCOPE("step");
         if (cfg.trace)
             cfg.trace->setNow(minute);
         setDieTemps(chip, trace.ambientAt(minute));
@@ -595,8 +809,23 @@ simulateBatteryDay(const pv::PvModule &module,
                 chip.gateAll();
             last_alloc_minute = minute;
         }
+        if (telem) {
+            telem.sample(minute, chip, std::nan(""), result.budgetW,
+                         true, nullptr, std::nan(""), std::nan(""));
+        }
+        if (audit) {
+            SC_PROFILE_SCOPE("audit");
+            audit->setNow(minute);
+            audit->countStep();
+            audit->checkBudget(chip.totalPower(), result.budgetW,
+                               "battery baseline draw vs stable budget");
+            auditChipState(*audit, chip);
+        }
         result.consumedWh += chip.totalPower() * cfg.dtSeconds / 3600.0;
-        chip.step(cfg.dtSeconds);
+        {
+            SC_PROFILE_SCOPE("chip.step");
+            chip.step(cfg.dtSeconds);
+        }
     }
     result.instructions = chip.totalInstructions();
     result.utilization = result.mppEnergyWh > 0.0

@@ -23,7 +23,9 @@
 #include "workload/multiprogram.hpp"
 
 namespace solarcore::obs {
+class Auditor;
 class StatsRegistry;
+class TelemetryRecorder;
 class TraceBuffer;
 } // namespace solarcore::obs
 
@@ -102,6 +104,26 @@ struct SimConfig
                                        //!< and period boundaries are
                                        //!< recorded. Null = tracing
                                        //!< off at near-zero cost.
+    obs::TelemetryRecorder *telemetry = nullptr; //!< borrowed waveform
+                                       //!< sink; when set, every step
+                                       //!< samples the shared channel
+                                       //!< superset (panel P/V/I, MPP
+                                       //!< reference, converter ratio,
+                                       //!< rail voltage, chip power vs
+                                       //!< budget, battery SoC, per-
+                                       //!< core f/V/P/IPC/TPR); all
+                                       //!< three day drivers register
+                                       //!< the same schema so per-unit
+                                       //!< recorders concatenate.
+    obs::Auditor *audit = nullptr;     //!< borrowed invariant auditor;
+                                       //!< when set, every step checks
+                                       //!< budget overshoot, rail
+                                       //!< voltage, panel operating
+                                       //!< point, DVFS legality and
+                                       //!< (hybrid) battery SoC plus
+                                       //!< day-end energy closure. The
+                                       //!< caller folds its counters
+                                       //!< into stats.
 };
 
 /** One per-minute sample for the tracking-accuracy figures. */

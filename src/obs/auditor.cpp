@@ -1,0 +1,214 @@
+#include "auditor.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+const char *
+auditCheckName(AuditCheck check)
+{
+    switch (check) {
+      case AuditCheck::BudgetOvershoot:     return "budgetOvershoot";
+      case AuditCheck::RailVoltage:         return "railVoltage";
+      case AuditCheck::SocRange:            return "socRange";
+      case AuditCheck::EnergyBalance:       return "energyBalance";
+      case AuditCheck::PanelOperatingPoint: return "panelOperatingPoint";
+      case AuditCheck::DvfsLegality:        return "dvfsLegality";
+    }
+    return "?";
+}
+
+bool
+parseAuditMode(const std::string &token, AuditMode &out)
+{
+    if (token == "off") {
+        out = AuditMode::Off;
+        return true;
+    }
+    if (token == "count") {
+        out = AuditMode::Count;
+        return true;
+    }
+    if (token == "strict") {
+        out = AuditMode::Strict;
+        return true;
+    }
+    return false;
+}
+
+Auditor::Auditor(AuditorConfig config) : config_(config) {}
+
+std::uint64_t
+Auditor::count(AuditCheck check) const
+{
+    return counts_[static_cast<std::size_t>(check)];
+}
+
+void
+Auditor::violation(AuditCheck check, double measured, double limit,
+                   int core, const char *context)
+{
+    ++counts_[static_cast<std::size_t>(check)];
+    ++totalViolations_;
+    if (details_.size() < config_.maxDetails) {
+        details_.push_back({check, nowMin_, measured, limit, core,
+                            std::string(context ? context : "")});
+    }
+    if (trace_) {
+        TraceEvent e;
+        e.kind = EventKind::AuditViolation;
+        e.arg0 = static_cast<std::uint8_t>(check);
+        e.v0 = measured;
+        e.v1 = limit;
+        e.core = static_cast<std::int16_t>(core);
+        trace_->emit(e);
+    }
+    if (config_.mode == AuditMode::Strict) {
+        SC_FATAL("audit[strict]: ", auditCheckName(check), " at minute ",
+                 nowMin_, ": measured ", measured, " vs limit ", limit,
+                 core >= 0 ? " (core " + std::to_string(core) + ")" : "",
+                 context ? std::string(" -- ") + context : "");
+    }
+}
+
+bool
+Auditor::checkBudget(double drawn_w, double budget_w, const char *context)
+{
+    const double limit = budget_w * (1.0 + config_.budgetToleranceFrac) +
+        config_.budgetToleranceW;
+    if (drawn_w <= limit)
+        return true;
+    violation(AuditCheck::BudgetOvershoot, drawn_w, limit, -1, context);
+    return false;
+}
+
+bool
+Auditor::checkRailVoltage(double rail_v, double nominal_v,
+                          const char *context)
+{
+    const double dev = std::abs(rail_v - nominal_v);
+    if (dev <= config_.railToleranceFrac * nominal_v)
+        return true;
+    violation(AuditCheck::RailVoltage, rail_v, nominal_v, -1, context);
+    return false;
+}
+
+bool
+Auditor::checkSocRange(double soc, const char *context)
+{
+    if (soc >= -config_.socTolerance &&
+        soc <= 1.0 + config_.socTolerance)
+        return true;
+    violation(AuditCheck::SocRange, soc, 1.0, -1, context);
+    return false;
+}
+
+bool
+Auditor::checkEnergyBalance(double absorbed_wh, double stored_wh,
+                            double delivered_wh, double lost_wh,
+                            const char *context)
+{
+    const double accounted = stored_wh + delivered_wh + lost_wh;
+    const double scale = std::max(absorbed_wh, 1e-6);
+    if (std::abs(absorbed_wh - accounted) <=
+        config_.balanceToleranceFrac * scale)
+        return true;
+    violation(AuditCheck::EnergyBalance, accounted, absorbed_wh, -1,
+              context);
+    return false;
+}
+
+bool
+Auditor::checkPanelPoint(double solved_a, double curve_a, double scale_a,
+                         const char *context)
+{
+    const double scale = std::max(std::abs(scale_a), 1e-6);
+    if (std::abs(solved_a - curve_a) <=
+        config_.curveToleranceFrac * scale)
+        return true;
+    violation(AuditCheck::PanelOperatingPoint, solved_a, curve_a, -1,
+              context);
+    return false;
+}
+
+bool
+Auditor::checkDvfsLegality(int core, int level, int min_level,
+                           int max_level, bool gated, bool gating_allowed,
+                           const char *context)
+{
+    if (gated && !gating_allowed) {
+        violation(AuditCheck::DvfsLegality, 1.0, 0.0, core, context);
+        return false;
+    }
+    if (!gated && (level < min_level || level > max_level)) {
+        violation(AuditCheck::DvfsLegality, static_cast<double>(level),
+                  static_cast<double>(max_level), core, context);
+        return false;
+    }
+    return true;
+}
+
+void
+Auditor::foldInto(StatsRegistry &reg) const
+{
+    reg.scalar("audit.violations", "invariant violations, all checks") +=
+        static_cast<double>(totalViolations_);
+    reg.scalar("audit.stepsAudited", "simulation steps audited") +=
+        static_cast<double>(stepsAudited_);
+    for (std::size_t i = 0; i < kNumAuditChecks; ++i) {
+        reg.scalar(std::string("audit.") +
+                       auditCheckName(static_cast<AuditCheck>(i)),
+                   "violations of this invariant") +=
+            static_cast<double>(counts_[i]);
+    }
+}
+
+void
+Auditor::merge(const Auditor &other)
+{
+    totalViolations_ += other.totalViolations_;
+    stepsAudited_ += other.stepsAudited_;
+    for (std::size_t i = 0; i < kNumAuditChecks; ++i)
+        counts_[i] += other.counts_[i];
+    for (const auto &d : other.details_) {
+        if (details_.size() >= config_.maxDetails)
+            break;
+        details_.push_back(d);
+    }
+}
+
+void
+Auditor::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"schema\": \"solarcore-audit-v1\",\n  \"mode\": "
+       << jsonString(config_.mode == AuditMode::Strict ? "strict"
+                                                       : "count")
+       << ",\n  \"steps_audited\": " << jsonNumber(stepsAudited_)
+       << ",\n  \"violations\": " << jsonNumber(totalViolations_)
+       << ",\n  \"by_check\": {";
+    for (std::size_t i = 0; i < kNumAuditChecks; ++i) {
+        os << (i ? ", " : "") << "\""
+           << auditCheckName(static_cast<AuditCheck>(i))
+           << "\": " << jsonNumber(counts_[i]);
+    }
+    os << "},\n  \"details\": [\n";
+    for (std::size_t i = 0; i < details_.size(); ++i) {
+        const auto &d = details_[i];
+        os << "    {\"check\": " << jsonString(auditCheckName(d.check))
+           << ", \"time_min\": " << jsonNumber(d.timeMin)
+           << ", \"measured\": " << jsonNumber(d.measured)
+           << ", \"limit\": " << jsonNumber(d.limit)
+           << ", \"core\": "
+           << jsonNumber(static_cast<double>(d.core))
+           << ", \"context\": " << jsonString(d.context) << '}'
+           << (i + 1 < details_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace solarcore::obs

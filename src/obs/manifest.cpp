@@ -4,6 +4,8 @@
 #include <ctime>
 #include <fstream>
 
+#include <sys/resource.h>
+
 #include "obs/json.hpp"
 #include "util/logging.hpp"
 
@@ -39,6 +41,19 @@ const char *
 buildGitDescribe()
 {
     return SC_GIT_DESCRIBE;
+}
+
+std::uint64_t
+peakRssBytes()
+{
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+#ifdef __APPLE__
+    return static_cast<std::uint64_t>(ru.ru_maxrss); // already bytes
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024; // KiB
+#endif
 }
 
 RunManifest::RunManifest(std::string tool)
@@ -112,6 +127,7 @@ RunManifest::writeJson(std::ostream &os)
     }
     w.field("wall_seconds", wallSeconds_);
     w.field("cpu_seconds", cpuSeconds_);
+    w.field("peak_rss_bytes", peakRssBytes());
     w.close();
     os << '\n';
 }

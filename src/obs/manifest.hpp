@@ -22,6 +22,9 @@ namespace solarcore::obs {
 /** The `git describe` of the tree this binary was built from. */
 const char *buildGitDescribe();
 
+/** The process peak resident set size [bytes]; 0 when unavailable. */
+std::uint64_t peakRssBytes();
+
 /** One invocation's provenance record. */
 class RunManifest
 {

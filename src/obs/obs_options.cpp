@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "obs/manifest.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
 #include "util/logging.hpp"
 
@@ -44,7 +45,10 @@ ObsOptions::consume(std::string_view arg)
     std::string buf;
     if (takeValue(arg, "--stats-out=", statsOut) ||
         takeValue(arg, "--trace-out=", traceOut) ||
-        takeValue(arg, "--manifest-out=", manifestOut))
+        takeValue(arg, "--manifest-out=", manifestOut) ||
+        takeValue(arg, "--telemetry-out=", telemetryOut) ||
+        takeValue(arg, "--profile-out=", profileOut) ||
+        takeValue(arg, "--audit-out=", auditOut))
         return true;
     if (takeValue(arg, "--trace-buffer=", buf)) {
         const long n = std::strtol(buf.c_str(), nullptr, 10);
@@ -52,6 +56,26 @@ ObsOptions::consume(std::string_view arg)
             SC_FATAL("--trace-buffer: expected a positive event count, "
                      "got '", buf, "'");
         traceBufferCap = static_cast<std::size_t>(n);
+        return true;
+    }
+    if (takeValue(arg, "--telemetry-every=", buf)) {
+        const long n = std::strtol(buf.c_str(), nullptr, 10);
+        if (n <= 0)
+            SC_FATAL("--telemetry-every: expected a positive step count, "
+                     "got '", buf, "'");
+        telemetryEvery = static_cast<std::size_t>(n);
+        return true;
+    }
+    if (takeValue(arg, "--telemetry-mode=", buf)) {
+        if (!parseTelemetryMode(buf, telemetryMode))
+            SC_FATAL("--telemetry-mode: expected 'every' or 'minmax', "
+                     "got '", buf, "'");
+        return true;
+    }
+    if (takeValue(arg, "--audit=", buf)) {
+        if (!parseAuditMode(buf, audit))
+            SC_FATAL("--audit: expected 'off', 'count' or 'strict', "
+                     "got '", buf, "'");
         return true;
     }
     return false;
@@ -73,7 +97,8 @@ ObsOptions::writeStats(const StatsRegistry &reg) const
 
 void
 ObsOptions::writeTrace(const std::vector<TraceEvent> &events,
-                       const std::vector<std::string> &trackNames) const
+                       const std::vector<std::string> &trackNames,
+                       TelemetryRecorder *telemetry) const
 {
     if (traceOut.empty())
         return;
@@ -83,20 +108,92 @@ ObsOptions::writeTrace(const std::vector<TraceEvent> &events,
     if (hasSuffix(traceOut, ".jsonl"))
         exportJsonl(events, os);
     else
-        exportChromeTrace(events, os, trackNames);
+        exportChromeTrace(events, os, trackNames, telemetry);
+}
+
+void
+ObsOptions::writeTelemetry(TelemetryRecorder &recorder) const
+{
+    if (telemetryOut.empty())
+        return;
+    auto os = openOut(telemetryOut);
+    if (!os)
+        return;
+    recorder.writeCsv(os);
+}
+
+void
+ObsOptions::writeTelemetryConcat(
+    const std::vector<TelemetryRecorder *> &recs) const
+{
+    if (telemetryOut.empty())
+        return;
+    auto os = openOut(telemetryOut);
+    if (!os)
+        return;
+    TelemetryRecorder::writeCsvConcat(recs, os);
+}
+
+void
+ObsOptions::writeProfile(const Profiler &profiler) const
+{
+    if (profileOut.empty())
+        return;
+    if (auto os = openOut(profileOut))
+        profiler.writeJson(os);
+    if (auto os = openOut(profileOut + ".folded"))
+        profiler.writeCollapsed(os);
+}
+
+void
+ObsOptions::writeAudit(const Auditor &auditor) const
+{
+    if (auditOut.empty())
+        return;
+    if (auto os = openOut(auditOut))
+        auditor.writeJson(os);
 }
 
 void
 ObsOptions::writeManifest(RunManifest &manifest) const
 {
     std::string path = manifestOut;
-    if (path.empty() && !statsOut.empty())
-        path = statsOut + ".manifest.json";
-    if (path.empty() && !traceOut.empty())
-        path = traceOut + ".manifest.json";
+    for (const std::string *out :
+         {&statsOut, &traceOut, &telemetryOut, &profileOut, &auditOut}) {
+        if (path.empty() && !out->empty())
+            path = *out + ".manifest.json";
+    }
     if (path.empty())
         return;
     manifest.writeFile(path);
+}
+
+void
+ObsOptions::recordSidecars(RunManifest &manifest,
+                           TelemetryRecorder *telemetry,
+                           const Profiler *profiler,
+                           const Auditor *auditor) const
+{
+    manifest.set("peak_rss_bytes", peakRssBytes());
+    if (telemetry && !telemetryOut.empty()) {
+        telemetry->flush();
+        manifest.set("telemetry_out", telemetryOut);
+        manifest.set("telemetry_rows",
+                     static_cast<std::uint64_t>(telemetry->rowCount()));
+        manifest.set("telemetry_steps",
+                     static_cast<std::uint64_t>(telemetry->stepCount()));
+    }
+    if (profiler && !profileOut.empty()) {
+        manifest.set("profile_out", profileOut);
+        manifest.set("profile_total_us",
+                     static_cast<double>(profiler->totalNs()) * 1e-3);
+    }
+    if (auditor) {
+        if (!auditOut.empty())
+            manifest.set("audit_out", auditOut);
+        manifest.set("audit_violations", auditor->violationCount());
+        manifest.set("audit_steps", auditor->stepsAudited());
+    }
 }
 
 } // namespace solarcore::obs

@@ -10,6 +10,13 @@
  *   --manifest-out=FILE run manifest; when omitted but another output
  *                       is requested, a `<output>.manifest.json`
  *                       sidecar is written next to it
+ *   --telemetry-out=FILE per-step waveform channels as columnar CSV
+ *   --telemetry-every=N  telemetry decimation factor (default 1)
+ *   --telemetry-mode=M   "every" or "minmax" decimation (default every)
+ *   --profile-out=FILE   scoped self-profiler tree as JSON, plus a
+ *                        `FILE.folded` flamegraph collapsed-stack dump
+ *   --audit=MODE         invariant auditor: off / count / strict
+ *   --audit-out=FILE     auditor JSON report (counts + contexts)
  *
  * consume() recognizes one argv token at a time so callers can weave
  * it into their existing parsers.
@@ -23,10 +30,13 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/auditor.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace solarcore::obs {
 
+class Profiler;
 class RunManifest;
 class StatsRegistry;
 
@@ -38,15 +48,29 @@ struct ObsOptions
     std::string manifestOut;
     std::size_t traceBufferCap = 1 << 16;
 
+    std::string telemetryOut;
+    std::size_t telemetryEvery = 1;
+    TelemetryMode telemetryMode = TelemetryMode::EveryN;
+    std::string profileOut;
+    std::string auditOut;
+    AuditMode audit = AuditMode::Off;
+
     /** @return true when @p arg was an observability flag (consumed). */
     bool consume(std::string_view arg);
 
     bool statsRequested() const { return !statsOut.empty(); }
     bool traceRequested() const { return !traceOut.empty(); }
+    bool telemetryRequested() const { return !telemetryOut.empty(); }
+    bool profileRequested() const { return !profileOut.empty(); }
+    bool auditRequested() const
+    {
+        return audit != AuditMode::Off || !auditOut.empty();
+    }
     bool anyRequested() const
     {
         return statsRequested() || traceRequested() ||
-            !manifestOut.empty();
+            telemetryRequested() || profileRequested() ||
+            auditRequested() || !manifestOut.empty();
     }
 
     /** Write @p reg to statsOut (CSV for .csv, JSON otherwise). */
@@ -54,10 +78,26 @@ struct ObsOptions
 
     /**
      * Write @p events to traceOut (JSONL for .jsonl, Chrome trace JSON
-     * otherwise). @p trackNames labels the Chrome lanes.
+     * otherwise). @p trackNames labels the Chrome lanes; @p telemetry
+     * (optional) adds per-channel Perfetto counter tracks.
      */
     void writeTrace(const std::vector<TraceEvent> &events,
-                    const std::vector<std::string> &trackNames = {}) const;
+                    const std::vector<std::string> &trackNames = {},
+                    TelemetryRecorder *telemetry = nullptr) const;
+
+    /** Write @p recorder to telemetryOut as columnar CSV. */
+    void writeTelemetry(TelemetryRecorder &recorder) const;
+
+    /** As writeTelemetry, but concatenating per-unit recorders. */
+    void
+    writeTelemetryConcat(const std::vector<TelemetryRecorder *> &recs) const;
+
+    /** Write @p profiler to profileOut as JSON plus a sibling
+     *  `<profileOut>.folded` collapsed-stack dump. */
+    void writeProfile(const Profiler &profiler) const;
+
+    /** Write @p auditor's JSON report to auditOut. */
+    void writeAudit(const Auditor &auditor) const;
 
     /**
      * Write @p manifest to manifestOut, or to a sidecar named after
@@ -65,6 +105,16 @@ struct ObsOptions
      * nothing was requested.
      */
     void writeManifest(RunManifest &manifest) const;
+
+    /**
+     * Record the observability sidecars (paths plus row/violation
+     * counts) and the process peak RSS into @p manifest. Pass nullptr
+     * for sinks that were not constructed.
+     */
+    void recordSidecars(RunManifest &manifest,
+                        TelemetryRecorder *telemetry = nullptr,
+                        const Profiler *profiler = nullptr,
+                        const Auditor *auditor = nullptr) const;
 };
 
 } // namespace solarcore::obs

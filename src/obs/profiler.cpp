@@ -1,0 +1,238 @@
+#include "profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+namespace {
+
+thread_local Profiler *t_current = nullptr;
+
+/** Histogram bucket of an elapsed time: floor(log2(ns)), clamped. */
+std::size_t
+bucketOf(std::int64_t ns)
+{
+    if (ns <= 1)
+        return 0;
+    std::size_t b = 0;
+    auto v = static_cast<std::uint64_t>(ns);
+    while (v > 1 && b + 1 < Profiler::kHistBuckets) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+std::int64_t
+profileNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+Profiler::Node::record(std::int64_t elapsed_ns)
+{
+    elapsed_ns = std::max<std::int64_t>(elapsed_ns, 0);
+    if (count == 0) {
+        minNs = elapsed_ns;
+        maxNs = elapsed_ns;
+    } else {
+        minNs = std::min(minNs, elapsed_ns);
+        maxNs = std::max(maxNs, elapsed_ns);
+    }
+    ++count;
+    totalNs += elapsed_ns;
+    ++hist[bucketOf(elapsed_ns)];
+}
+
+double
+Profiler::Node::quantileNs(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    double seen = 0.0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        if (hist[b] == 0)
+            continue;
+        seen += static_cast<double>(hist[b]);
+        if (seen >= target) {
+            // Geometric midpoint of the bucket [2^b, 2^(b+1)).
+            const double lo = std::exp2(static_cast<double>(b));
+            return lo * 1.5;
+        }
+    }
+    return static_cast<double>(maxNs);
+}
+
+Profiler::Profiler()
+{
+    root_.name = "";
+}
+
+void
+Profiler::enter(const char *name)
+{
+    auto it = current_->children.find(name);
+    if (it == current_->children.end()) {
+        auto node = std::make_unique<Node>();
+        node->name = name;
+        it = current_->children.emplace(node->name, std::move(node)).first;
+    }
+    // The parent link lives on a side stack implicit in exit(): nodes
+    // do not store parents; instead exit() walks back via the frame
+    // stack kept here.
+    frameStack_.push_back(current_);
+    current_ = it->second.get();
+}
+
+void
+Profiler::exit(std::int64_t elapsed_ns)
+{
+    SC_ASSERT(!frameStack_.empty(), "profiler: exit without enter");
+    current_->record(elapsed_ns);
+    current_ = frameStack_.back();
+    frameStack_.pop_back();
+}
+
+std::int64_t
+Profiler::totalNs() const
+{
+    std::int64_t total = 0;
+    for (const auto &[name, child] : root_.children)
+        total += child->totalNs;
+    return total;
+}
+
+namespace {
+
+void
+mergeNode(Profiler::Node &into, const Profiler::Node &from)
+{
+    if (from.count > 0) {
+        if (into.count == 0) {
+            into.minNs = from.minNs;
+            into.maxNs = from.maxNs;
+        } else {
+            into.minNs = std::min(into.minNs, from.minNs);
+            into.maxNs = std::max(into.maxNs, from.maxNs);
+        }
+        into.count += from.count;
+        into.totalNs += from.totalNs;
+        for (std::size_t b = 0; b < Profiler::kHistBuckets; ++b)
+            into.hist[b] += from.hist[b];
+    }
+    for (const auto &[name, child] : from.children) {
+        auto it = into.children.find(name);
+        if (it == into.children.end()) {
+            auto node = std::make_unique<Profiler::Node>();
+            node->name = name;
+            it = into.children.emplace(node->name, std::move(node)).first;
+        }
+        mergeNode(*it->second, *child);
+    }
+}
+
+void
+writeNodeJson(const Profiler::Node &node, std::ostream &os, int depth)
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    os << pad << "{\"name\": " << jsonString(node.name)
+       << ", \"count\": " << jsonNumber(node.count)
+       << ", \"total_us\": "
+       << jsonNumber(static_cast<double>(node.totalNs) * 1e-3)
+       << ", \"min_us\": "
+       << jsonNumber(static_cast<double>(node.minNs) * 1e-3)
+       << ", \"max_us\": "
+       << jsonNumber(static_cast<double>(node.maxNs) * 1e-3)
+       << ", \"p50_us\": " << jsonNumber(node.quantileNs(0.5) * 1e-3)
+       << ", \"p99_us\": " << jsonNumber(node.quantileNs(0.99) * 1e-3);
+    if (node.children.empty()) {
+        os << "}";
+        return;
+    }
+    os << ", \"children\": [\n";
+    std::size_t i = 0;
+    for (const auto &[name, child] : node.children) {
+        writeNodeJson(*child, os, depth + 1);
+        os << (++i < node.children.size() ? ",\n" : "\n");
+    }
+    os << pad << "]}";
+}
+
+void
+writeNodeCollapsed(const Profiler::Node &node, std::ostream &os,
+                   const std::string &prefix)
+{
+    const std::string path =
+        prefix.empty() ? node.name : prefix + ";" + node.name;
+    if (!path.empty() && node.count > 0) {
+        // Self time: total minus what the children account for, so the
+        // stack weights sum correctly in flamegraph.pl.
+        std::int64_t child_ns = 0;
+        for (const auto &[name, child] : node.children)
+            child_ns += child->totalNs;
+        const std::int64_t self_ns =
+            std::max<std::int64_t>(node.totalNs - child_ns, 0);
+        os << path << ' ' << (self_ns / 1000) << '\n';
+    }
+    for (const auto &[name, child] : node.children)
+        writeNodeCollapsed(*child, os, path);
+}
+
+} // namespace
+
+void
+Profiler::merge(const Profiler &other)
+{
+    mergeNode(root_, other.root_);
+}
+
+void
+Profiler::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\": \"solarcore-profile-v1\", \"total_us\": "
+       << jsonNumber(static_cast<double>(totalNs()) * 1e-3)
+       << ", \"phases\": [\n";
+    std::size_t i = 0;
+    for (const auto &[name, child] : root_.children) {
+        writeNodeJson(*child, os, 1);
+        os << (++i < root_.children.size() ? ",\n" : "\n");
+    }
+    os << "]}\n";
+}
+
+void
+Profiler::writeCollapsed(std::ostream &os) const
+{
+    for (const auto &[name, child] : root_.children)
+        writeNodeCollapsed(*child, os, "");
+}
+
+Profiler *
+Profiler::current()
+{
+    return t_current;
+}
+
+Profiler::Attach::Attach(Profiler *profiler) : previous_(t_current)
+{
+    t_current = profiler;
+}
+
+Profiler::Attach::~Attach()
+{
+    t_current = previous_;
+}
+
+} // namespace solarcore::obs

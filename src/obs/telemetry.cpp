@@ -1,0 +1,227 @@
+#include "telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** NaN-skipping min/max folds for the MinMax buckets. */
+double
+foldMin(double acc, double v)
+{
+    if (std::isnan(v))
+        return acc;
+    return std::isnan(acc) ? v : std::min(acc, v);
+}
+
+double
+foldMax(double acc, double v)
+{
+    if (std::isnan(v))
+        return acc;
+    return std::isnan(acc) ? v : std::max(acc, v);
+}
+
+} // namespace
+
+bool
+parseTelemetryMode(const std::string &token, TelemetryMode &out)
+{
+    if (token == "every") {
+        out = TelemetryMode::EveryN;
+        return true;
+    }
+    if (token == "minmax") {
+        out = TelemetryMode::MinMax;
+        return true;
+    }
+    return false;
+}
+
+TelemetryRecorder::TelemetryRecorder(std::size_t every, TelemetryMode mode)
+    : every_(every == 0 ? 1 : every), mode_(mode)
+{}
+
+TelemetryRecorder::ChannelId
+TelemetryRecorder::channel(const std::string &name, const std::string &unit)
+{
+    for (std::size_t i = 0; i < channels_.size(); ++i)
+        if (channels_[i].name == name)
+            return i;
+    SC_ASSERT(!frozen_,
+              "telemetry: channel '", name,
+              "' registered after sampling started");
+    channels_.push_back({name, unit});
+    current_.push_back(kNan);
+    bucketMin_.push_back(kNan);
+    bucketMax_.push_back(kNan);
+    return channels_.size() - 1;
+}
+
+const std::string &
+TelemetryRecorder::channelName(ChannelId id) const
+{
+    return channels_.at(id).name;
+}
+
+const std::string &
+TelemetryRecorder::channelUnit(ChannelId id) const
+{
+    return channels_.at(id).unit;
+}
+
+void
+TelemetryRecorder::beginStep(double time_min)
+{
+    SC_ASSERT(!inStep_, "telemetry: beginStep without endStep");
+    frozen_ = true;
+    inStep_ = true;
+    std::fill(current_.begin(), current_.end(), kNan);
+    if (bucketFill_ == 0)
+        bucketStartMin_ = time_min;
+    bucketEndMin_ = time_min;
+}
+
+void
+TelemetryRecorder::endStep()
+{
+    SC_ASSERT(inStep_, "telemetry: endStep without beginStep");
+    inStep_ = false;
+    ++steps_;
+    if (mode_ == TelemetryMode::EveryN) {
+        // Commit the first step of every N-step window, so the very
+        // first sample of a run is always retained.
+        if ((steps_ - 1) % every_ == 0)
+            commitRow(bucketEndMin_, current_);
+        bucketFill_ = 0;
+        return;
+    }
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        bucketMin_[i] = foldMin(bucketMin_[i], current_[i]);
+        bucketMax_[i] = foldMax(bucketMax_[i], current_[i]);
+    }
+    if (++bucketFill_ >= every_)
+        flush();
+}
+
+void
+TelemetryRecorder::flush()
+{
+    if (mode_ != TelemetryMode::MinMax || bucketFill_ == 0)
+        return;
+    // Two envelope rows per bucket: per-channel minima stamped at the
+    // bucket start, maxima at the bucket end. Extremes always survive.
+    commitRow(bucketStartMin_, bucketMin_);
+    commitRow(bucketEndMin_, bucketMax_);
+    std::fill(bucketMin_.begin(), bucketMin_.end(), kNan);
+    std::fill(bucketMax_.begin(), bucketMax_.end(), kNan);
+    bucketFill_ = 0;
+}
+
+double
+TelemetryRecorder::rowTime(std::size_t row) const
+{
+    return times_.at(row);
+}
+
+double
+TelemetryRecorder::value(std::size_t row, ChannelId id) const
+{
+    SC_ASSERT(row < times_.size() && id < channels_.size(),
+              "telemetry: value() out of range");
+    return data_[row * channels_.size() + id];
+}
+
+void
+TelemetryRecorder::commitRow(double time_min, const std::vector<double> &row)
+{
+    times_.push_back(time_min);
+    data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void
+TelemetryRecorder::writeHeader(std::ostream &os, bool unit_column) const
+{
+    if (unit_column)
+        os << "unit,";
+    os << "time_min";
+    for (const auto &c : channels_) {
+        os << ',' << c.name;
+        if (!c.unit.empty())
+            os << '[' << c.unit << ']';
+    }
+    os << '\n';
+}
+
+void
+TelemetryRecorder::writeRow(std::ostream &os, std::size_t row) const
+{
+    os << jsonNumber(times_[row]);
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        const double v = data_[row * channels_.size() + c];
+        os << ',';
+        if (!std::isnan(v))
+            os << jsonNumber(v);
+    }
+    os << '\n';
+}
+
+void
+TelemetryRecorder::writeCsv(std::ostream &os)
+{
+    flush();
+    writeHeader(os, false);
+    for (std::size_t r = 0; r < times_.size(); ++r)
+        writeRow(os, r);
+}
+
+void
+TelemetryRecorder::writeCsvConcat(
+    const std::vector<TelemetryRecorder *> &recorders, std::ostream &os)
+{
+    const TelemetryRecorder *schema = nullptr;
+    for (auto *rec : recorders)
+        if (rec) {
+            schema = rec;
+            break;
+        }
+    if (!schema)
+        return;
+    schema->writeHeader(os, true);
+    std::size_t unit = 0;
+    for (auto *rec : recorders) {
+        if (!rec) {
+            ++unit;
+            continue;
+        }
+        SC_ASSERT(rec->channelCount() == schema->channelCount(),
+                  "telemetry: concat with mismatched channel schemas");
+        rec->flush();
+        for (std::size_t r = 0; r < rec->times_.size(); ++r) {
+            os << unit << ',';
+            rec->writeRow(os, r);
+        }
+        ++unit;
+    }
+}
+
+void
+TelemetryRecorder::clear()
+{
+    times_.clear();
+    data_.clear();
+    steps_ = 0;
+    bucketFill_ = 0;
+    inStep_ = false;
+    std::fill(bucketMin_.begin(), bucketMin_.end(), kNan);
+    std::fill(bucketMax_.begin(), bucketMax_.end(), kNan);
+}
+
+} // namespace solarcore::obs

@@ -1,8 +1,11 @@
 #include "trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/auditor.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::obs {
@@ -20,6 +23,7 @@ eventKindName(EventKind kind)
       case EventKind::ThermalThrottle: return "thermal_throttle";
       case EventKind::ThreadMotion:    return "thread_motion";
       case EventKind::PeriodClose:     return "period_close";
+      case EventKind::AuditViolation:  return "audit_violation";
     }
     return "?";
 }
@@ -160,6 +164,13 @@ writePayload(JsonObjectWriter &w, const TraceEvent &e)
         w.field("budget_w", e.v0);
         w.field("consumed_w", e.v1);
         break;
+      case EventKind::AuditViolation:
+        w.field("check",
+                auditCheckName(static_cast<AuditCheck>(e.arg0)));
+        w.field("measured", e.v0);
+        w.field("limit", e.v1);
+        w.field("core", e.core);
+        break;
     }
 }
 
@@ -188,7 +199,8 @@ exportJsonl(const std::vector<TraceEvent> &events, std::ostream &os)
 
 void
 exportChromeTrace(const std::vector<TraceEvent> &events, std::ostream &os,
-                  const std::vector<std::string> &trackNames)
+                  const std::vector<std::string> &trackNames,
+                  TelemetryRecorder *telemetry)
 {
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
@@ -245,6 +257,26 @@ exportChromeTrace(const std::vector<TraceEvent> &events, std::ostream &os,
                << chromeTs(e.timeMin) << ",\"pid\":1,\"tid\":" << e.track
                << ",\"args\":{\"budget_w\":" << jsonNumber(e.v0)
                << ",\"consumed_w\":" << jsonNumber(e.v1) << "}}";
+        }
+    }
+
+    // Waveform channels as per-channel counter tracks: every committed
+    // telemetry row becomes one counter sample per non-NaN channel.
+    if (telemetry) {
+        telemetry->flush();
+        for (std::size_t r = 0; r < telemetry->rowCount(); ++r) {
+            const std::string ts = chromeTs(telemetry->rowTime(r));
+            for (std::size_t c = 0; c < telemetry->channelCount(); ++c) {
+                const double v = telemetry->value(r, c);
+                if (std::isnan(v))
+                    continue;
+                sep();
+                os << "{\"name\":"
+                   << jsonString(telemetry->channelName(c))
+                   << ",\"ph\":\"C\",\"ts\":" << ts
+                   << ",\"pid\":1,\"tid\":0,\"args\":{\"value\":"
+                   << jsonNumber(v) << "}}";
+            }
         }
     }
     os << "\n]}\n";

@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
     ThreadMotion,    //!< workload swap: core=first, i0=second
     PeriodClose,     //!< tracking-period boundary: v0=mean budget W,
                      //!< v1=mean consumed W
+    AuditViolation,  //!< invariant check failed: arg0=AuditCheck,
+                     //!< v0=measured, v1=limit, core when per-core
 };
 
 /** Why a re-track fired (Retrack arg0). */
@@ -143,15 +145,20 @@ mergeBuffers(const std::vector<const TraceBuffer *> &buffers);
 /** Export one event stream as JSONL (one JSON object per line). */
 void exportJsonl(const std::vector<TraceEvent> &events, std::ostream &os);
 
+class TelemetryRecorder;
+
 /**
  * Export as Chrome trace_event JSON (the Perfetto / about:tracing
  * format): instant events per record plus derived per-core DVFS-level
  * counter tracks. @p trackNames labels the tid lanes (defaults to
- * "track N"). Simulated time maps to trace microseconds.
+ * "track N"). Simulated time maps to trace microseconds. When
+ * @p telemetry is given, its committed waveform rows are woven in as
+ * one Perfetto counter track per channel.
  */
 void exportChromeTrace(const std::vector<TraceEvent> &events,
                        std::ostream &os,
-                       const std::vector<std::string> &trackNames = {});
+                       const std::vector<std::string> &trackNames = {},
+                       TelemetryRecorder *telemetry = nullptr);
 
 } // namespace solarcore::obs
 

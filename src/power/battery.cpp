@@ -39,6 +39,7 @@ Battery::charge(double power_w, double hours)
     const double storable = (capacityWh_ - storedWh_) / chargeEff_;
     const double absorbed = std::min(offered, storable);
     storedWh_ += absorbed * chargeEff_;
+    absorbedWh_ += absorbed;
     lostWh_ += absorbed * (1.0 - chargeEff_);
     if (trace_) {
         traceMode(static_cast<int>(absorbed > 0.0

@@ -79,6 +79,10 @@ class Battery
      */
     void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
 
+    /** Lifetime energy absorbed from the source while charging [Wh].
+     *  Ledger closure: absorbed == stored + delivered + lost. */
+    double absorbedWh() const { return absorbedWh_; }
+
     /** Lifetime energy throughput (delivered) [Wh]. */
     double deliveredWh() const { return deliveredWh_; }
 
@@ -96,6 +100,7 @@ class Battery
     double dischargeEff_;
     double selfDischargePerHour_;
     double storedWh_ = 0.0;
+    double absorbedWh_ = 0.0;
     double deliveredWh_ = 0.0;
     double lostWh_ = 0.0;
 };

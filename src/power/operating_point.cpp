@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profiler.hpp"
 #include "pv/mpp.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
@@ -52,6 +53,7 @@ pinRailVoltage(const pv::IvSource &source, DcDcConverter &conv,
 {
     SC_ASSERT(v_rail > 0.0 && demand_w > 0.0,
               "pinRailVoltage: non-positive inputs");
+    SC_PROFILE_SCOPE("network.pin");
     NetworkState st;
 
     const double voc = source.openCircuitVoltage();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/profiler.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
 
@@ -46,12 +47,14 @@ MppCache::keyFor(const Environment &env) const
 MppResult
 MppCache::mpp(const Environment &env)
 {
+    SC_PROFILE_SCOPE("mpp.lookup");
     if (env.irradiance <= 0.0)
         return MppResult{}; // dark: not worth an entry
 
     // Oracle mode bypasses the memo too: every lookup re-solves via the
     // seed path, so flagged runs measure/reproduce it faithfully.
     if (newtonIvSolve()) {
+        SC_PROFILE_SCOPE("mpp.solve");
         array_.setEnvironment(env);
         return findMpp(array_);
     }
@@ -63,6 +66,7 @@ MppCache::mpp(const Environment &env)
         return it->second;
     }
     ++stats_.misses;
+    SC_PROFILE_SCOPE("mpp.solve");
     // Quantized mode solves at the bucket center so every environment
     // in the bucket maps to one consistent result.
     Environment solved = env;

@@ -96,21 +96,31 @@ TEST(CampaignRunner, ResumedCampaignReproducesUninterruptedSummary)
     const std::string full = summaryFor(grid, options);
 
     // "Kill" the campaign after four units: keep the header plus four
-    // journal lines and drop the rest, leaving a torn half-line at the
-    // end as a crash would.
-    std::vector<std::string> lines;
+    // metric records and drop the rest, leaving a torn half-line at
+    // the end as a crash would. The journal also carries one heartbeat
+    // comment per unit; keep one so the reload's comment-skipping is
+    // exercised too.
+    std::string header, heartbeat;
+    std::vector<std::string> records;
     {
         std::ifstream in(journal_path);
         std::string line;
-        while (std::getline(in, line))
-            lines.push_back(line);
+        ASSERT_TRUE(std::getline(in, header));
+        while (std::getline(in, line)) {
+            if (!line.empty() && line[0] == '#')
+                heartbeat = line;
+            else
+                records.push_back(line);
+        }
     }
-    ASSERT_EQ(lines.size(), 1u + grid.unitCount());
+    ASSERT_EQ(records.size(), grid.unitCount());
+    ASSERT_FALSE(heartbeat.empty());
     {
         std::ofstream out(journal_path, std::ios::trunc);
-        for (std::size_t i = 0; i < 5; ++i)
-            out << lines[i] << '\n';
-        out << lines[5].substr(0, lines[5].size() / 2); // torn write
+        out << header << '\n' << heartbeat << '\n';
+        for (std::size_t i = 0; i < 4; ++i)
+            out << records[i] << '\n';
+        out << records[4].substr(0, records[4].size() / 2); // torn write
     }
 
     CampaignOptions resume = options;

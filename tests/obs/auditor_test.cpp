@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the runtime invariant auditor: true positives fire, values
+ * within tolerance do not (the false-positive guard the strict CI gate
+ * depends on), counters fold into stats, violations reach the trace,
+ * merge follows the task-order contract, and strict mode is fatal.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/auditor.hpp"
+#include "obs/stats_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TEST(Auditor, BudgetOvershootFiresAndKeepsContext)
+{
+    Auditor audit; // counting mode
+    audit.setNow(612.5);
+    EXPECT_FALSE(audit.checkBudget(100.0, 50.0, "solar period"));
+    EXPECT_EQ(audit.violationCount(), 1u);
+    EXPECT_EQ(audit.count(AuditCheck::BudgetOvershoot), 1u);
+    ASSERT_EQ(audit.details().size(), 1u);
+    const auto &d = audit.details().front();
+    EXPECT_EQ(d.check, AuditCheck::BudgetOvershoot);
+    EXPECT_DOUBLE_EQ(d.timeMin, 612.5);
+    EXPECT_DOUBLE_EQ(d.measured, 100.0);
+    EXPECT_EQ(d.context, "solar period");
+}
+
+TEST(Auditor, WithinToleranceDoesNotFire)
+{
+    // The false-positive guard: a draw just inside the 2% + 0.5 W
+    // headroom (controller overshoot within its enforcement margin)
+    // must not trip the audit, or --audit=strict would kill clean runs.
+    Auditor audit;
+    EXPECT_TRUE(audit.checkBudget(51.4, 50.0, "within headroom"));
+    EXPECT_FALSE(audit.checkBudget(51.6, 50.0, "past headroom"));
+    EXPECT_TRUE(audit.checkRailVoltage(12.5, 12.0, "4.2% off"));
+    EXPECT_FALSE(audit.checkRailVoltage(12.7, 12.0, "5.8% off"));
+    EXPECT_TRUE(audit.checkSocRange(0.0, "empty"));
+    EXPECT_TRUE(audit.checkSocRange(1.0, "full"));
+    EXPECT_FALSE(audit.checkSocRange(1.001, "overfull"));
+    EXPECT_EQ(audit.violationCount(), 3u);
+}
+
+TEST(Auditor, EnergyBalanceCatchesALeakyLedger)
+{
+    Auditor audit;
+    // Exact closure and tiny numeric residue pass...
+    EXPECT_TRUE(
+        audit.checkEnergyBalance(100.0, 40.0, 50.0, 10.0, "closed"));
+    EXPECT_TRUE(audit.checkEnergyBalance(100.0, 40.0, 50.0, 10.5,
+                                         "0.5% residue"));
+    // ...but a 5% leak (energy created or silently dropped) fires.
+    EXPECT_FALSE(
+        audit.checkEnergyBalance(100.0, 40.0, 50.0, 5.0, "leak"));
+    EXPECT_EQ(audit.count(AuditCheck::EnergyBalance), 1u);
+}
+
+TEST(Auditor, PanelPointComparesAgainstCurveAtScale)
+{
+    Auditor audit;
+    // 0.5% of Isc off the curve: fine. 5%: the solved operating point
+    // is not on the panel's I-V curve.
+    EXPECT_TRUE(audit.checkPanelPoint(4.02, 4.0, 5.0, "on curve"));
+    EXPECT_FALSE(audit.checkPanelPoint(4.25, 4.0, 5.0, "off curve"));
+    EXPECT_EQ(audit.count(AuditCheck::PanelOperatingPoint), 1u);
+}
+
+TEST(Auditor, DvfsLegalityCoversGatingAndLevelRange)
+{
+    Auditor audit;
+    EXPECT_TRUE(audit.checkDvfsLegality(0, 3, 0, 9, false, true, "ok"));
+    EXPECT_TRUE(
+        audit.checkDvfsLegality(1, 0, 0, 9, true, true, "gated ok"));
+    // A gated core while PCPG is disabled is illegal...
+    EXPECT_FALSE(audit.checkDvfsLegality(2, 0, 0, 9, true, false,
+                                         "gated w/o pcpg"));
+    // ...as is a level outside the DVFS table.
+    EXPECT_FALSE(
+        audit.checkDvfsLegality(3, 12, 0, 9, false, true, "level 12"));
+    EXPECT_EQ(audit.count(AuditCheck::DvfsLegality), 2u);
+    EXPECT_EQ(audit.details()[0].core, 2);
+    EXPECT_EQ(audit.details()[1].core, 3);
+}
+
+TEST(Auditor, FoldIntoEmitsAuditStats)
+{
+    Auditor audit;
+    audit.countStep();
+    audit.countStep();
+    audit.checkBudget(100.0, 50.0, "x");
+    StatsRegistry reg;
+    audit.foldInto(reg);
+    EXPECT_DOUBLE_EQ(reg.value("audit.violations"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("audit.stepsAudited"), 2.0);
+    EXPECT_DOUBLE_EQ(reg.value("audit.budgetOvershoot"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("audit.railVoltage"), 0.0);
+}
+
+TEST(Auditor, ViolationsEmitTraceEvents)
+{
+    TraceBuffer trace(16);
+    trace.setNow(430.0);
+    Auditor audit;
+    audit.setTrace(&trace);
+    audit.checkSocRange(-0.2, "drained below empty");
+    const auto events = trace.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, EventKind::AuditViolation);
+    EXPECT_EQ(events[0].arg0,
+              static_cast<std::uint8_t>(AuditCheck::SocRange));
+    EXPECT_DOUBLE_EQ(events[0].v0, -0.2);
+}
+
+TEST(Auditor, MergeAddsCountsAndCapsDetails)
+{
+    AuditorConfig cfg;
+    cfg.maxDetails = 3;
+    Auditor a(cfg), b(cfg);
+    a.countStep();
+    a.checkBudget(100.0, 50.0, "a0");
+    a.checkBudget(101.0, 50.0, "a1");
+    b.countStep();
+    b.checkRailVoltage(15.0, 12.0, "b0");
+    b.checkRailVoltage(16.0, 12.0, "b1");
+    a.merge(b);
+    EXPECT_EQ(a.violationCount(), 4u);
+    EXPECT_EQ(a.stepsAudited(), 2u);
+    EXPECT_EQ(a.count(AuditCheck::BudgetOvershoot), 2u);
+    EXPECT_EQ(a.count(AuditCheck::RailVoltage), 2u);
+    ASSERT_EQ(a.details().size(), 3u); // capped at maxDetails
+    EXPECT_EQ(a.details()[2].context, "b0");
+}
+
+TEST(Auditor, JsonReportListsChecksAndDetails)
+{
+    Auditor audit;
+    audit.countStep();
+    audit.setNow(615.0);
+    audit.checkBudget(80.0, 50.0, "overshoot");
+    std::ostringstream os;
+    audit.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"solarcore-audit-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"budgetOvershoot\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"context\": \"overshoot\""), std::string::npos);
+}
+
+TEST(AuditorDeath, StrictModeAbortsOnFirstViolation)
+{
+    AuditorConfig cfg;
+    cfg.mode = AuditMode::Strict;
+    Auditor audit(cfg);
+    EXPECT_TRUE(audit.checkBudget(50.0, 50.0, "fine"));
+    EXPECT_DEATH(audit.checkBudget(100.0, 50.0, "boom"),
+                 "audit\\[strict\\]: budgetOvershoot");
+}
+
+TEST(Auditor, ParseModeTokens)
+{
+    AuditMode mode = AuditMode::Off;
+    EXPECT_TRUE(parseAuditMode("count", mode));
+    EXPECT_EQ(mode, AuditMode::Count);
+    EXPECT_TRUE(parseAuditMode("strict", mode));
+    EXPECT_EQ(mode, AuditMode::Strict);
+    EXPECT_TRUE(parseAuditMode("off", mode));
+    EXPECT_EQ(mode, AuditMode::Off);
+    EXPECT_FALSE(parseAuditMode("lenient", mode));
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the scoped self-profiler: frame nesting, aggregation,
+ * detached no-op behavior, histogram quantiles, the task-order merge
+ * determinism contract, and the JSON/collapsed-stack dumps.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/profiler.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+/** Find a direct child node, or nullptr. */
+const Profiler::Node *
+child(const Profiler::Node &parent, const std::string &name)
+{
+    const auto it = parent.children.find(name);
+    return it == parent.children.end() ? nullptr : it->second.get();
+}
+
+TEST(Profiler, NestedScopesBuildATree)
+{
+    Profiler prof;
+    {
+        Profiler::Attach attach(&prof);
+        SC_PROFILE_SCOPE("day");
+        for (int i = 0; i < 3; ++i) {
+            SC_PROFILE_SCOPE("step");
+            SC_PROFILE_SCOPE("solve");
+        }
+    }
+    const auto *day = child(prof.root(), "day");
+    ASSERT_NE(day, nullptr);
+    EXPECT_EQ(day->count, 1u);
+    const auto *step = child(*day, "step");
+    ASSERT_NE(step, nullptr);
+    EXPECT_EQ(step->count, 3u);
+    const auto *solve = child(*step, "solve");
+    ASSERT_NE(solve, nullptr);
+    EXPECT_EQ(solve->count, 3u);
+    // The same name under a different parent is a different node.
+    EXPECT_EQ(child(prof.root(), "step"), nullptr);
+    EXPECT_GE(day->totalNs, step->totalNs);
+}
+
+TEST(Profiler, DetachedScopeIsANoOp)
+{
+    ASSERT_EQ(Profiler::current(), nullptr);
+    {
+        SC_PROFILE_SCOPE("nobody-listens");
+    }
+    Profiler prof;
+    EXPECT_EQ(prof.totalNs(), 0);
+    EXPECT_TRUE(prof.root().children.empty());
+}
+
+TEST(Profiler, AttachRestoresThePreviousBinding)
+{
+    Profiler outer, inner;
+    Profiler::Attach a(&outer);
+    EXPECT_EQ(Profiler::current(), &outer);
+    {
+        Profiler::Attach b(&inner);
+        EXPECT_EQ(Profiler::current(), &inner);
+    }
+    EXPECT_EQ(Profiler::current(), &outer);
+}
+
+TEST(Profiler, RecordAggregatesCountTotalMinMaxAndQuantiles)
+{
+    // Drive enter/exit directly with synthetic durations so the
+    // aggregates are exact.
+    Profiler prof;
+    for (const std::int64_t ns : {100, 200, 400, 800}) {
+        prof.enter("phase");
+        prof.exit(ns);
+    }
+    const auto *node = child(prof.root(), "phase");
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->count, 4u);
+    EXPECT_EQ(node->totalNs, 1500);
+    EXPECT_EQ(node->minNs, 100);
+    EXPECT_EQ(node->maxNs, 800);
+    EXPECT_EQ(prof.totalNs(), 1500);
+    const double p50 = node->quantileNs(0.5);
+    const double p99 = node->quantileNs(0.99);
+    EXPECT_LE(p50, p99);
+    EXPECT_GE(p50, 100.0);
+    EXPECT_LE(p99, 2.0 * 800.0); // log2 bucket upper edge
+}
+
+TEST(Profiler, MergeIsIndependentOfHowWorkWasSplit)
+{
+    // The campaign contract: one profiler seeing all tasks and three
+    // per-task profilers merged in task order describe the same tree.
+    auto run_task = [](Profiler &prof, int task) {
+        prof.enter("unit");
+        prof.enter("solve");
+        prof.exit(100 * (task + 1));
+        prof.exit(100 * (task + 1) + 50);
+    };
+
+    Profiler lone;
+    for (int task = 0; task < 3; ++task)
+        run_task(lone, task);
+
+    Profiler split[3];
+    for (int task = 0; task < 3; ++task)
+        run_task(split[task], task);
+    Profiler merged;
+    for (const auto &part : split)
+        merged.merge(part);
+
+    std::ostringstream a, b;
+    lone.writeJson(a);
+    merged.writeJson(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    std::ostringstream ca, cb;
+    lone.writeCollapsed(ca);
+    merged.writeCollapsed(cb);
+    EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(Profiler, DumpsContainThePhasePaths)
+{
+    Profiler prof;
+    prof.enter("day");
+    prof.enter("step");
+    prof.exit(2000);
+    prof.exit(3000);
+
+    std::ostringstream json;
+    prof.writeJson(json);
+    EXPECT_NE(json.str().find("\"day\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"step\""), std::string::npos);
+
+    // Collapsed stacks credit self time: day spent 3000-2000 = 1 us
+    // outside its child.
+    std::ostringstream folded;
+    prof.writeCollapsed(folded);
+    EXPECT_NE(folded.str().find("day;step 2"), std::string::npos);
+    EXPECT_NE(folded.str().find("day 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace solarcore::obs

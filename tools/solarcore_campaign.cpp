@@ -22,6 +22,12 @@
  *   --threads=N (0 = all hardware threads)
  *   --out=FILE (default stdout)  --journal=FILE  --resume  --verbose
  *   --stats-out= --trace-out= --trace-buffer= --manifest-out=
+ *   --telemetry-out= --telemetry-every= --telemetry-mode=
+ *   --profile-out= --audit= --audit-out=
+ *
+ * Campaigns audit invariants in counting mode by default (--audit=off
+ * to disable); each unit's violation count lands in the summary, so
+ * the golden gate also asserts "zero invariant violations".
  */
 
 #include <fstream>
@@ -49,7 +55,11 @@ usage(const char *complaint = nullptr)
            "[--period=MIN]\n"
            "  [--threads=N] [--out=FILE] [--journal=FILE] [--resume]\n"
            "  [--verbose] [--stats-out=F] [--trace-out=F] "
-           "[--trace-buffer=N] [--manifest-out=F]\n";
+           "[--trace-buffer=N] [--manifest-out=F]\n"
+           "  [--telemetry-out=F.csv] [--telemetry-every=N] "
+           "[--telemetry-mode=every|minmax]\n"
+           "  [--profile-out=F.json] [--audit=off|count|strict "
+           "(default count)] [--audit-out=F.json]\n";
     std::exit(2);
 }
 
@@ -76,6 +86,9 @@ main(int argc, char **argv)
     campaign::applyPreset("full", grid);
 
     campaign::CampaignOptions options;
+    // Campaigns are the regression gate, so invariants are counted by
+    // default; --audit=off restores the unaudited fast path.
+    options.obs.audit = obs::AuditMode::Count;
     std::string out_path;
 
     for (int i = 1; i < argc; ++i) {

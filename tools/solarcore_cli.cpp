@@ -18,8 +18,18 @@
  *          --dt <seconds>       --threshold <W>
  *
  * Observability (see src/obs/): --stats-out=FILE --trace-out=FILE
- * --trace-buffer=N --manifest-out=FILE. The trace is Chrome
- * trace_event JSON (Perfetto-loadable) unless FILE ends in .jsonl.
+ * --trace-buffer=N --manifest-out=FILE --telemetry-out=FILE
+ * --telemetry-every=N --telemetry-mode=every|minmax --profile-out=FILE
+ * --audit=off|count|strict --audit-out=FILE. The trace is Chrome
+ * trace_event JSON (Perfetto-loadable) unless FILE ends in .jsonl;
+ * when both a trace and telemetry are requested, the waveform channels
+ * are woven into the trace as Perfetto counter tracks. The command
+ * defaults to "summary" when argv[1] is already a flag, so
+ *
+ *   solarcore_cli --telemetry-out=t.csv --profile-out=p.json \
+ *       --audit=strict
+ *
+ * runs an audited, instrumented default day.
  */
 
 #include <cstring>
@@ -30,9 +40,12 @@
 
 #include "core/aggregate.hpp"
 #include "core/solarcore.hpp"
+#include "obs/auditor.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs_options.hpp"
+#include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -55,6 +68,8 @@ struct Options
     obs::ObsOptions obs;
     obs::StatsRegistry *stats = nullptr; //!< set by main when requested
     obs::TraceBuffer *trace = nullptr;   //!< set by main when requested
+    obs::TelemetryRecorder *telemetry = nullptr; //!< likewise
+    obs::Auditor *audit = nullptr;               //!< likewise
 };
 
 [[noreturn]] void
@@ -69,7 +84,11 @@ usage()
            "  --seed <n>  --days <n> (sweep)  --dt <s>  --threshold <W>\n"
            "  --stats-out=FILE (.json|.csv)  --trace-out=FILE (Chrome "
            "JSON, or JSONL for .jsonl)\n"
-           "  --trace-buffer=<events>  --manifest-out=FILE\n";
+           "  --trace-buffer=<events>  --manifest-out=FILE\n"
+           "  --telemetry-out=FILE.csv  --telemetry-every=<n>  "
+           "--telemetry-mode=every|minmax\n"
+           "  --profile-out=FILE.json  --audit=off|count|strict  "
+           "--audit-out=FILE.json\n";
     std::exit(2);
 }
 
@@ -79,17 +98,24 @@ parse(int argc, char **argv)
     Options opt;
     if (argc < 2)
         usage();
-    opt.command = argv[1];
-    if (opt.command != "summary" && opt.command != "timeline" &&
-        opt.command != "trace" && opt.command != "sweep")
-        usage();
+    // A flag in command position means "summary" was implied, so a
+    // bare `solarcore_cli --telemetry-out=t.csv ...` works.
+    int first_flag = 2;
+    if (std::strncmp(argv[1], "--", 2) == 0) {
+        first_flag = 1;
+    } else {
+        opt.command = argv[1];
+        if (opt.command != "summary" && opt.command != "timeline" &&
+            opt.command != "trace" && opt.command != "sweep")
+            usage();
+    }
 
     auto need = [&](int i) {
         if (i + 1 >= argc)
             usage();
         return std::string(argv[i + 1]);
     };
-    for (int i = 2; i < argc;) {
+    for (int i = first_flag; i < argc;) {
         if (opt.obs.consume(argv[i])) {
             ++i;
             continue;
@@ -166,6 +192,8 @@ toSimConfig(const Options &opt, bool timeline)
     cfg.recordTimeline = timeline;
     cfg.stats = opt.stats;
     cfg.trace = opt.trace;
+    cfg.telemetry = opt.telemetry;
+    cfg.audit = opt.audit;
     return cfg;
 }
 
@@ -257,10 +285,27 @@ main(int argc, char **argv)
     obs::RunManifest manifest(argc, argv);
     std::optional<obs::StatsRegistry> stats;
     std::optional<obs::TraceBuffer> trace;
+    std::optional<obs::TelemetryRecorder> telemetry;
+    std::optional<obs::Profiler> profiler;
+    std::optional<obs::Auditor> audit;
     if (opt.obs.statsRequested())
         opt.stats = &stats.emplace();
     if (opt.obs.traceRequested())
         opt.trace = &trace.emplace(opt.obs.traceBufferCap);
+    if (opt.obs.telemetryRequested())
+        opt.telemetry = &telemetry.emplace(opt.obs.telemetryEvery,
+                                           opt.obs.telemetryMode);
+    if (opt.obs.profileRequested())
+        profiler.emplace();
+    if (opt.obs.auditRequested()) {
+        obs::AuditorConfig audit_cfg;
+        if (opt.obs.audit != obs::AuditMode::Off)
+            audit_cfg.mode = opt.obs.audit;
+        opt.audit = &audit.emplace(audit_cfg);
+    }
+    std::optional<obs::Profiler::Attach> attach;
+    if (profiler)
+        attach.emplace(&*profiler);
 
     int rc;
     if (opt.command == "summary")
@@ -273,10 +318,23 @@ main(int argc, char **argv)
         rc = runSweep(opt);
 
     if (opt.obs.anyRequested()) {
+        attach.reset(); // close the profiler before dumping it
+        if (audit && stats)
+            audit->foldInto(*stats);
         if (stats)
             opt.obs.writeStats(*stats);
         if (trace)
-            opt.obs.writeTrace(obs::mergeBuffers({&*trace}), {"day"});
+            opt.obs.writeTrace(obs::mergeBuffers({&*trace}), {"day"},
+                               telemetry ? &*telemetry : nullptr);
+        if (telemetry)
+            opt.obs.writeTelemetry(*telemetry);
+        if (profiler)
+            opt.obs.writeProfile(*profiler);
+        if (audit)
+            opt.obs.writeAudit(*audit);
+        opt.obs.recordSidecars(manifest, telemetry ? &*telemetry : nullptr,
+                               profiler ? &*profiler : nullptr,
+                               audit ? &*audit : nullptr);
         manifest.set("command", opt.command);
         manifest.set("site", std::string(solar::siteName(opt.site)));
         manifest.set("month", std::string(solar::monthName(opt.month)));
