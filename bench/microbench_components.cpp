@@ -8,12 +8,14 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <iterator>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/bench_common.hpp"
+#include "pv/pv_kernel.hpp"
 #include "obs/auditor.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
@@ -122,6 +124,148 @@ BM_PinRailVoltage(benchmark::State &state)
 }
 BENCHMARK(BM_PinRailVoltage);
 
+// --- batched SoA kernels (scalar oracle vs portable vs AVX2) --------
+
+/** A varied light-lane trace for the batch benches. */
+std::vector<pv::Environment>
+batchEnvTrace(std::size_t n)
+{
+    std::vector<pv::Environment> envs(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double frac =
+            static_cast<double>(k % 97) / 96.0; // co-prime stride
+        envs[k] = {120.0 + 880.0 * frac, 18.0 + 32.0 * frac};
+    }
+    return envs;
+}
+
+void
+runFindMppBatch(benchmark::State &state, pv::PvKernel kernel)
+{
+    if (!pv::pvKernelSupported(kernel)) {
+        state.SkipWithError("kernel not supported on this machine");
+        return;
+    }
+    const auto &module = bench::standardModule();
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto envs = batchEnvTrace(n);
+    std::vector<pv::MppResult> out(n);
+    const pv::PvKernel prev = pv::selectedPvKernel();
+    pv::setPvKernel(kernel);
+    for (auto _ : state) {
+        pv::findMppBatch(module, 1, 1, envs, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    pv::setPvKernel(prev);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_FindMppBatchScalar(benchmark::State &state)
+{
+    runFindMppBatch(state, pv::PvKernel::Scalar);
+}
+BENCHMARK(BM_FindMppBatchScalar)->Arg(1024);
+
+void
+BM_FindMppBatchPortable(benchmark::State &state)
+{
+    runFindMppBatch(state, pv::PvKernel::Portable);
+}
+BENCHMARK(BM_FindMppBatchPortable)->Arg(1024);
+
+void
+BM_FindMppBatchAvx2(benchmark::State &state)
+{
+    runFindMppBatch(state, pv::PvKernel::Avx2);
+}
+BENCHMARK(BM_FindMppBatchAvx2)->Arg(1024);
+
+void
+runEvalIvBatch(benchmark::State &state, pv::PvKernel kernel)
+{
+    if (!pv::pvKernelSupported(kernel)) {
+        state.SkipWithError("kernel not supported on this machine");
+        return;
+    }
+    const auto &cell = bench::standardModule().cell();
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto envs = batchEnvTrace(n);
+    std::vector<double> volts(n);
+    for (std::size_t k = 0; k < n; ++k)
+        volts[k] = 0.30 + 0.25 * static_cast<double>(k % 11) / 10.0;
+    std::vector<pv::IvOut> out(n);
+    const pv::PvKernel prev = pv::selectedPvKernel();
+    pv::setPvKernel(kernel);
+    for (auto _ : state) {
+        pv::evalIv(cell, envs, volts, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    pv::setPvKernel(prev);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+void
+BM_EvalIvBatchScalar(benchmark::State &state)
+{
+    runEvalIvBatch(state, pv::PvKernel::Scalar);
+}
+BENCHMARK(BM_EvalIvBatchScalar)->Arg(1024);
+
+void
+BM_EvalIvBatchPortable(benchmark::State &state)
+{
+    runEvalIvBatch(state, pv::PvKernel::Portable);
+}
+BENCHMARK(BM_EvalIvBatchPortable)->Arg(1024);
+
+void
+BM_EvalIvBatchAvx2(benchmark::State &state)
+{
+    runEvalIvBatch(state, pv::PvKernel::Avx2);
+}
+BENCHMARK(BM_EvalIvBatchAvx2)->Arg(1024);
+
+void
+BM_MppCacheLookupBatch(benchmark::State &state)
+{
+    // Steady-state batched replay: the same 7 distinct conditions the
+    // scalar BM_FindMppCached cycles through, batched 64 at a time.
+    const auto &module = bench::standardModule();
+    pv::MppCache cache(module, 1, 1);
+    std::vector<pv::Environment> envs(64);
+    const auto trace = batchEnvTrace(7);
+    for (std::size_t k = 0; k < envs.size(); ++k)
+        envs[k] = trace[k % trace.size()];
+    std::vector<pv::MppResult> out(envs.size());
+    for (auto _ : state) {
+        cache.lookupBatch(envs, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(envs.size()));
+}
+BENCHMARK(BM_MppCacheLookupBatch);
+
+void
+BM_PinRailVoltagePrepared(benchmark::State &state)
+{
+    // The controller fast path: warm Newton on a prepared environment
+    // (compare against BM_PinRailVoltage, the findMpp + bisect path).
+    const auto &module = bench::standardModule();
+    pv::PreparedArray prepared(module, 1, 1);
+    prepared.setEnvironment({800.0, 40.0});
+    power::DcDcConverter conv;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            power::pinRailVoltage(prepared, conv, 12.0, 60.0));
+}
+BENCHMARK(BM_PinRailVoltagePrepared);
+
 void
 BM_PerfModelEvaluate(benchmark::State &state)
 {
@@ -225,6 +369,28 @@ BM_SimulatedDayCached(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulatedDayCached)
+    ->Arg(60)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatedDayScalarKernel(benchmark::State &state)
+{
+    // End-to-end day with the batch kernels disabled: everything the
+    // default BM_SimulatedDay gains over this row is the SoA batching
+    // plus SIMD dispatch plumbed through the day driver.
+    const pv::PvKernel prev = pv::selectedPvKernel();
+    pv::setPvKernel(pv::PvKernel::Scalar);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench::runDay(solar::SiteId::AZ, solar::Month::Apr,
+                          workload::WorkloadId::HM2,
+                          core::PolicyKind::MpptOpt, 75.0, false,
+                          static_cast<double>(state.range(0))));
+    }
+    pv::setPvKernel(prev);
+}
+BENCHMARK(BM_SimulatedDayScalarKernel)
     ->Arg(60)
     ->Arg(30)
     ->Unit(benchmark::kMillisecond);

@@ -20,7 +20,10 @@
 #include "obs/trace.hpp"
 #include "pv/bp3180n.hpp"
 #include "pv/mpp_cache.hpp"
+#include "pv/pv_kernel.hpp"
 #include "solar/trace.hpp"
+#include "util/cpuid.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace solarcore::campaign {
@@ -129,8 +132,27 @@ runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
 }
 
 CampaignOutcome
-runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
+runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
 {
+    // Select the PV kernel for the whole campaign and bake the
+    // *resolved* name into the grid signature: "auto" resolves
+    // differently across machines, and a journal must never be resumed
+    // under a different kernel than the one that produced it.
+    ScenarioGrid grid = grid_in;
+    pv::PvKernel kernel = pv::detectPvKernel();
+    if (grid.pvKernel != "auto") {
+        pv::PvKernel requested;
+        if (!pv::pvKernelFromToken(grid.pvKernel, requested))
+            SC_FATAL("campaign: unknown pv kernel '", grid.pvKernel, "'");
+        if (!pv::pvKernelSupported(requested))
+            SC_FATAL("campaign: pv kernel '", grid.pvKernel,
+                     "' not supported on this cpu (simd level: ",
+                     cpuSimdLevelName(), ")");
+        kernel = requested;
+    }
+    pv::setPvKernel(kernel);
+    grid.pvKernel = pv::pvKernelName(kernel);
+
     CampaignOutcome outcome;
     outcome.units = expandGrid(grid);
     const std::string signature = gridSignature(grid);
@@ -296,6 +318,8 @@ runCampaign(const ScenarioGrid &grid, const CampaignOptions &options)
                                    want_profile ? &merged_prof : nullptr,
                                    want_audit ? &merged_audit : nullptr);
         manifest.set("grid", signature);
+        manifest.set("pv_kernel", pv::pvKernelName(pv::selectedPvKernel()));
+        manifest.set("simd_level", cpuSimdLevelName());
         manifest.set("threads",
                      static_cast<std::uint64_t>(pool.threadCount()));
         manifest.set("units", static_cast<std::uint64_t>(n));

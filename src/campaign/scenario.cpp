@@ -146,7 +146,8 @@ gridSignature(const ScenarioGrid &grid)
         os << s << ',';
     os << " dt=" << grid.dtSeconds << " budget=" << grid.fixedBudgetW
        << " derating=" << grid.batteryDerating
-       << " period=" << grid.trackingPeriodMinutes;
+       << " period=" << grid.trackingPeriodMinutes
+       << " pvkernel=" << grid.pvKernel;
     return os.str();
 }
 
@@ -241,6 +242,10 @@ applyPreset(std::string_view name, ScenarioGrid &grid)
     } else {
         return false;
     }
+    // The kernel choice is orthogonal to the preset axes: keep
+    // whatever --pv-kernel already selected, regardless of option
+    // order on the command line.
+    g.pvKernel = grid.pvKernel;
     grid = g;
     return true;
 }

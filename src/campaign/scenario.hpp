@@ -61,6 +61,15 @@ struct ScenarioGrid
     double batteryDerating = power::kBatteryUpperBound;
     double trackingPeriodMinutes = 10.0;
 
+    /**
+     * PV kernel token: "auto" (runtime dispatch), "scalar", "portable"
+     * or "avx2". runCampaign resolves "auto" to the dispatched kernel
+     * and records the *resolved* name in the grid signature, so two
+     * runs whose journals/summaries are byte-compatible are guaranteed
+     * to have used the same kernel.
+     */
+    std::string pvKernel = "auto";
+
     /** Number of units the grid expands to. */
     std::size_t unitCount() const
     {

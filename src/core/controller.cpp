@@ -12,12 +12,34 @@ SolarCoreController::SolarCoreController(const pv::IvSource &panel,
                                          cpu::MultiCoreChip &chip,
                                          LoadAdapter &adapter,
                                          ControllerConfig config)
-    : panel_(&panel), chip_(&chip), adapter_(&adapter), config_(config),
+    : panel_(&panel), arrayPanel_(dynamic_cast<const pv::PvArray *>(&panel)),
+      chip_(&chip), adapter_(&adapter), config_(config),
       converter_(0.5, 8.0, config.converterEfficiency)
 {
     SC_ASSERT(config_.railNominalV > 0.0, "controller: bad rail voltage");
     SC_ASSERT(config_.marginFraction >= 0.0 && config_.marginFraction < 0.5,
               "controller: bad margin");
+}
+
+power::NetworkState
+SolarCoreController::pinRail(double demand_w)
+{
+    // Non-uniform panels (partial shading / composite strings) and the
+    // Scalar-kernel / Newton-oracle modes keep the legacy call
+    // sequence, which doubles as the measurable parity baseline.
+    if (arrayPanel_ && pv::selectedPvKernel() != pv::PvKernel::Scalar &&
+        !pv::newtonIvSolve()) {
+        if (!prepared_) {
+            prepared_.emplace(arrayPanel_->module(),
+                              arrayPanel_->modulesSeries(),
+                              arrayPanel_->modulesParallel());
+        }
+        prepared_->setEnvironment(arrayPanel_->environment());
+        return power::pinRailVoltage(*prepared_, converter_,
+                                     config_.railNominalV, demand_w);
+    }
+    return power::pinRailVoltage(*panel_, converter_, config_.railNominalV,
+                                 demand_w);
 }
 
 bool
@@ -26,9 +48,7 @@ SolarCoreController::sustainable(double demand_w)
     if (demand_w <= 0.0)
         return false;
     const double with_margin = demand_w * (1.0 + config_.marginFraction);
-    const auto st = power::pinRailVoltage(*panel_, converter_,
-                                          config_.railNominalV, with_margin);
-    return st.valid;
+    return pinRail(with_margin).valid;
 }
 
 int
@@ -189,9 +209,7 @@ SolarCoreController::track()
     }
 
     // Final settle: pin the rail for the demand we ended at.
-    result.net = power::pinRailVoltage(*panel_, converter_,
-                                       config_.railNominalV,
-                                       chip_->totalPower());
+    result.net = pinRail(chip_->totalPower());
     result.solarViable = result.net.valid;
 
     if (trace_) {
@@ -213,16 +231,12 @@ SolarCoreController::enforceRail()
     TrackResult result;
     if (sustainable(chip_->totalPower())) {
         result.solarViable = true;
-        result.net = power::pinRailVoltage(*panel_, converter_,
-                                           config_.railNominalV,
-                                           chip_->totalPower());
+        result.net = pinRail(chip_->totalPower());
         return result;
     }
     shedUntilSustainable(result);
     if (result.solarViable) {
-        result.net = power::pinRailVoltage(*panel_, converter_,
-                                           config_.railNominalV,
-                                           chip_->totalPower());
+        result.net = pinRail(chip_->totalPower());
         result.solarViable = result.net.valid;
     }
     return result;

@@ -26,6 +26,8 @@
 #ifndef SOLARCORE_CORE_CONTROLLER_HPP
 #define SOLARCORE_CORE_CONTROLLER_HPP
 
+#include <optional>
+
 #include "core/load_adapter.hpp"
 #include "cpu/chip.hpp"
 #include "power/converter.hpp"
@@ -124,6 +126,16 @@ class SolarCoreController
     /** Can the panel carry @p demand_w with the configured margin? */
     bool sustainable(double demand_w);
 
+    /**
+     * Pin the rail at nominal for @p demand_w. When the panel is a
+     * uniform PvArray and a batch PV kernel is selected (and the
+     * Newton oracle is off), this routes through the PreparedArray
+     * fast path -- the per-environment constants and the MPP are
+     * derived once per environment change instead of once per probe.
+     * Otherwise it is exactly the legacy pinRailVoltage call.
+     */
+    power::NetworkState pinRail(double demand_w);
+
     /** Shed load until sustainable; fills @p result. */
     void shedUntilSustainable(TrackResult &result);
 
@@ -140,6 +152,8 @@ class SolarCoreController
     void traceStep(const StepCandidate &step, int rank);
 
     const pv::IvSource *panel_;
+    const pv::PvArray *arrayPanel_; //!< non-null when panel_ is uniform
+    std::optional<pv::PreparedArray> prepared_;
     cpu::MultiCoreChip *chip_;
     LoadAdapter *adapter_;
     ControllerConfig config_;

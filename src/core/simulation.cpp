@@ -364,6 +364,24 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         static_cast<std::size_t>(chip.numCores()));
 
     const double dt_min = cfg.dtSeconds / 60.0;
+
+    // Batched MPP precompute: the per-step environment is a pure
+    // function of the trace (the minute accumulation below replicates
+    // the main loop exactly), so every per-step MPP lookup collapses
+    // into one batched call. Results and cache hit/miss counters are
+    // sequential-equivalent, and lookupBatch degrades to the legacy
+    // per-step path under the Scalar kernel or the Newton oracle.
+    std::vector<pv::Environment> step_envs;
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        step_envs.push_back({g, module.cellTempFromAmbient(ambient, g)});
+    }
+    std::vector<pv::MppResult> step_mpps(step_envs.size());
+    mpp_cache.lookupBatch(step_envs, step_mpps);
+    std::size_t step_index = 0;
+
     double last_track_minute = -1e9;
     double last_track_budget = 0.0;
     double last_track_demand = 0.0;
@@ -390,7 +408,7 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
             setDieTemps(chip, ambient);
         }
 
-        const auto mpp = mpp_cache.mpp(array.environment());
+        const pv::MppResult mpp = step_mpps[step_index++];
         result.mppEnergyWh += mpp.power * cfg.dtSeconds / 3600.0;
 
         ats.update(mpp.power, cfg.dtSeconds);
@@ -599,6 +617,19 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     std::vector<cpu::ThermalModel> thermal(
         static_cast<std::size_t>(chip.numCores()));
 
+    // Same batched MPP precompute as simulateDay (the minute loop below
+    // is replicated exactly, so indices line up one-to-one).
+    std::vector<pv::Environment> step_envs;
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        step_envs.push_back({g, module.cellTempFromAmbient(ambient, g)});
+    }
+    std::vector<pv::MppResult> step_mpps(step_envs.size());
+    mpp_cache.lookupBatch(step_envs, step_mpps);
+    std::size_t step_index = 0;
+
     chip.setAllLevels(chip.dvfs().maxLevel());
     for (double minute = trace.startMinute(); minute <= trace.endMinute();
          minute += dt_min) {
@@ -617,7 +648,7 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
                 stepRcThermal(chip, thermal, ambient, cfg);
         else
             setDieTemps(chip, ambient);
-        const auto mpp = mpp_cache.mpp(array.environment());
+        const pv::MppResult mpp = step_mpps[step_index++];
         day.mppEnergyWh += mpp.power * dt_h;
 
         ats.update(mpp.power, cfg.dtSeconds);
@@ -763,14 +794,21 @@ simulateBatteryDay(const pv::PvModule &module,
     pv::MppCache &mpp_cache = selectMppCache(local_cache, module, cfg);
     const pv::MppCache::Stats cache_start = mpp_cache.stats();
     const double dt_min = cfg.dtSeconds / 60.0;
-    for (double minute = trace.startMinute(); minute <= trace.endMinute();
-         minute += dt_min) {
-        const double g = trace.irradianceAt(minute);
-        const double ambient = trace.ambientAt(minute);
-        result.mppEnergyWh +=
-            mpp_cache.mpp({g, module.cellTempFromAmbient(ambient, g)})
-                .power *
-            cfg.dtSeconds / 3600.0;
+    {
+        // Pass 1 is a pure reduction over the trace: gather the step
+        // environments and fold the batched MPP powers.
+        std::vector<pv::Environment> step_envs;
+        for (double minute = trace.startMinute();
+             minute <= trace.endMinute(); minute += dt_min) {
+            const double g = trace.irradianceAt(minute);
+            const double ambient = trace.ambientAt(minute);
+            step_envs.push_back(
+                {g, module.cellTempFromAmbient(ambient, g)});
+        }
+        std::vector<pv::MppResult> step_mpps(step_envs.size());
+        mpp_cache.lookupBatch(step_envs, step_mpps);
+        for (const pv::MppResult &mpp : step_mpps)
+            result.mppEnergyWh += mpp.power * cfg.dtSeconds / 3600.0;
     }
 
     // Stable delivery level over the full daytime window.

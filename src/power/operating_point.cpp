@@ -91,4 +91,41 @@ pinRailVoltage(const pv::IvSource &source, DcDcConverter &conv,
     return st;
 }
 
+NetworkState
+pinRailVoltage(const pv::PreparedArray &array, DcDcConverter &conv,
+               double v_rail, double demand_w)
+{
+    SC_ASSERT(v_rail > 0.0 && demand_w > 0.0,
+              "pinRailVoltage: non-positive inputs");
+    SC_PROFILE_SCOPE("network.pinPrepared");
+    NetworkState st;
+
+    if (array.dark())
+        return st;
+
+    // Same decision sequence as the IvSource overload; the MPP is the
+    // cached legacy-identical value, so the feasibility boundary
+    // cannot shift between the two paths.
+    const double p_needed = demand_w / conv.efficiency();
+    if (p_needed > array.mpp().power)
+        return st; // rail would collapse
+
+    double v_panel = 0.0;
+    double i_panel = 0.0;
+    if (!array.solveStableBranch(p_needed, v_panel, i_panel))
+        return st;
+
+    const double k = v_panel / v_rail;
+    if (k < conv.kMin() || k > conv.kMax())
+        return st; // ratio out of the converter's range
+
+    conv.setRatio(k);
+    st.panel.voltage = v_panel;
+    st.panel.current = i_panel;
+    st.load.voltage = v_rail;
+    st.load.current = demand_w / v_rail;
+    st.valid = true;
+    return st;
+}
+
 } // namespace solarcore::power

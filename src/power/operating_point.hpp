@@ -17,6 +17,7 @@
 
 #include "power/converter.hpp"
 #include "pv/module.hpp"
+#include "pv/pv_kernel.hpp"
 
 namespace solarcore::power {
 
@@ -56,6 +57,18 @@ NetworkState solveNetwork(const pv::IvSource &source,
  */
 NetworkState pinRailVoltage(const pv::IvSource &source, DcDcConverter &conv,
                             double v_rail, double demand_w);
+
+/**
+ * Fast-path overload for a PreparedArray whose environment has already
+ * been set: the MPP feasibility check reads the cached (bitwise
+ * legacy-identical) MPP and the stable-branch solve runs a warm
+ * analytic Newton instead of findMpp + a 40-step bisect per call. The
+ * controller routes here when a batch kernel is selected; the IvSource
+ * overload above remains the scalar parity oracle.
+ */
+NetworkState pinRailVoltage(const pv::PreparedArray &array,
+                            DcDcConverter &conv, double v_rail,
+                            double demand_w);
 
 /** Load-line resistance presented by a chip demanding @p demand_w. */
 double loadResistance(double v_rail, double demand_w);

@@ -116,6 +116,9 @@ class SolarCell
     /** Thermal voltage n*k*T/q at the given cell temperature [V]. */
     double thermalVoltage(double cell_temp_c) const;
 
+    /** Calibrated dark saturation current at STC [A] (I0 reference). */
+    double saturationCurrentRef() const { return i0Ref_; }
+
   private:
     CellParams params_;
     double i0Ref_; //!< saturation current at STC, from Voc/Isc calibration

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/profiler.hpp"
+#include "pv/pv_kernel.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
 
@@ -78,6 +79,66 @@ MppCache::mpp(const Environment &env)
     const MppResult res = findMpp(array_);
     memo_.emplace(key, res);
     return res;
+}
+
+void
+MppCache::lookupBatch(std::span<const Environment> envs,
+                      std::span<MppResult> out)
+{
+    SC_ASSERT(envs.size() == out.size(),
+              "lookupBatch: span lengths differ");
+    SC_PROFILE_SCOPE("mpp.lookupBatch");
+    if (selectedPvKernel() == PvKernel::Scalar || newtonIvSolve()) {
+        // Legacy measurement path: per-element lookups with their
+        // original profiling scopes, stats ordering and solve routing.
+        for (std::size_t k = 0; k < envs.size(); ++k)
+            out[k] = mpp(envs[k]);
+        return;
+    }
+
+    // Pass 1: classify each environment against the memo. emplace()'s
+    // "inserted" bit distinguishes a genuine miss (first occurrence of
+    // a never-memoized key) from a hit (memoized earlier, or a repeat
+    // within this batch -- sequentially the repeat would have hit the
+    // entry the first occurrence inserted).
+    std::vector<Environment> solve_envs;
+    std::vector<Key> solve_keys;
+    for (const Environment &env : envs) {
+        if (env.irradiance <= 0.0)
+            continue; // dark: not worth an entry (as in mpp())
+        const Key key = keyFor(env);
+        const auto [it, inserted] = memo_.emplace(key, MppResult{});
+        if (!inserted) {
+            ++stats_.hits;
+            continue;
+        }
+        ++stats_.misses;
+        // Quantized mode solves at the bucket center, exactly as the
+        // scalar path does.
+        Environment solved = env;
+        if (gQuantum_ > 0.0)
+            solved.irradiance = static_cast<double>(key.g) * gQuantum_;
+        if (tQuantum_ > 0.0)
+            solved.cellTempC = static_cast<double>(key.t) * tQuantum_;
+        solve_envs.push_back(solved);
+        solve_keys.push_back(key);
+    }
+
+    if (!solve_envs.empty()) {
+        SC_PROFILE_SCOPE("mpp.solveBatch");
+        std::vector<MppResult> solved(solve_envs.size());
+        findMppBatch(array_.module(), array_.modulesSeries(),
+                     array_.modulesParallel(), solve_envs, solved);
+        for (std::size_t j = 0; j < solve_keys.size(); ++j)
+            memo_[solve_keys[j]] = solved[j];
+    }
+
+    for (std::size_t k = 0; k < envs.size(); ++k) {
+        if (envs[k].irradiance <= 0.0)
+            out[k] = MppResult{};
+        else
+            out[k] = memo_.find(keyFor(envs[k]))->second;
+    }
 }
 
 bool

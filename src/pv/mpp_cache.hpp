@@ -15,6 +15,7 @@
 #define SOLARCORE_PV_MPP_CACHE_HPP
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,19 @@ class MppCache
 
     /** The MPP at @p env: memo lookup, analytic solve on miss. */
     MppResult mpp(const Environment &env);
+
+    /**
+     * Batched lookup: out[k] = the MPP at envs[k], with every miss in
+     * the batch gathered and solved through one findMppBatch call on
+     * the selected lane kernel. Results and hit/miss counters are
+     * sequential-equivalent: identical to calling mpp() per element in
+     * order (first occurrence of a new key counts a miss, repeats
+     * count hits, dark environments bypass the memo and the counters).
+     * Under the Scalar kernel or the Newton oracle this literally is
+     * the per-element loop, preserving the legacy measurement path.
+     */
+    void lookupBatch(std::span<const Environment> envs,
+                     std::span<MppResult> out);
 
     /** True if the cache was built for this module and arrangement. */
     bool compatibleWith(const PvModule &module, int modules_series,

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The portable batch kernels: the shared lane templates instantiated
+ * at width 1 over plain doubles. The loop body is branch-free
+ * arithmetic (no libm), so the baseline-ISA autovectorizer is free to
+ * widen it to whatever the target offers.
+ *
+ * Separate translation unit so FP contraction can be disabled just
+ * here (see pv/CMakeLists.txt): with contraction on, the compiler may
+ * fuse a*b+c into FMA in the vectorized loop body but not in the
+ * scalar remainder, making a lane's result depend on its position in
+ * the batch -- which would break the kernel determinism contract
+ * (fixed kernel => results independent of batch size and lane
+ * position). The explicit AVX2 kernel needs no such guard: its tail
+ * is padded to a full 4-wide group, so every lane takes the identical
+ * instruction stream.
+ */
+
+#include "pv/pv_kernel_detail.hpp"
+
+namespace solarcore::pv::detail {
+
+void
+evalIvBatchPortable(const CellConsts &c, const double *g, const double *t,
+                    const double *v, std::size_t n, double *i_out,
+                    double *di_out)
+{
+    evalIvBatchImpl<VecScalar>(c, g, t, v, n, i_out, di_out);
+}
+
+void
+mppBatchPortable(const CellConsts &c, const double *g, const double *t,
+                 std::size_t n, double *v_out, double *i_out)
+{
+    mppBatchImpl<VecScalar>(c, g, t, n, v_out, i_out);
+}
+
+} // namespace solarcore::pv::detail

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cache-line / SIMD-register aligned storage for the batch kernels.
+ *
+ * The structure-of-arrays PV kernels load 4-wide double vectors; an
+ * AlignedVector guarantees the base pointer sits on a 64-byte boundary
+ * so every full lane group is a single aligned load on any current
+ * ISA (and never straddles a cache line).
+ */
+
+#ifndef SOLARCORE_UTIL_ALIGNED_HPP
+#define SOLARCORE_UTIL_ALIGNED_HPP
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace solarcore {
+
+/** Minimal C++17 allocator with a fixed over-alignment. */
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator
+{
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Alignment >= alignof(T),
+                  "alignment below the type's natural alignment");
+
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        void *p = ::operator new(n * sizeof(T),
+                                 std::align_val_t(Alignment));
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t(Alignment));
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    bool operator==(const AlignedAllocator &) const { return true; }
+};
+
+/** A std::vector whose data() is 64-byte aligned. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace solarcore
+
+#endif // SOLARCORE_UTIL_ALIGNED_HPP

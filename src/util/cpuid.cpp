@@ -1,0 +1,69 @@
+#include "cpuid.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define SOLARCORE_CPUID_X86 1
+#endif
+
+namespace solarcore {
+
+namespace {
+
+#ifdef SOLARCORE_CPUID_X86
+/**
+ * Read extended control register 0. The _xgetbv intrinsic requires
+ * compiling the whole translation unit with -mxsave, which would defeat
+ * the point of a baseline-ISA feature probe, so issue the instruction
+ * directly (it is unprivileged whenever CPUID reports OSXSAVE).
+ */
+unsigned long long
+readXcr0()
+{
+    unsigned int lo = 0, hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+    return (static_cast<unsigned long long>(hi) << 32) | lo;
+}
+#endif
+
+bool
+probeAvx2()
+{
+#ifdef SOLARCORE_CPUID_X86
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    // Leaf 1: OSXSAVE (the OS enabled XGETBV) + AVX + FMA.
+    if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx))
+        return false;
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    const bool fma = (ecx & (1u << 12)) != 0;
+    if (!osxsave || !avx || !fma)
+        return false;
+    // XGETBV: the OS must save XMM (bit 1) and YMM (bit 2) state.
+    const unsigned long long xcr0 = readXcr0();
+    if ((xcr0 & 0x6) != 0x6)
+        return false;
+    // Leaf 7 subleaf 0: the AVX2 bit itself.
+    if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+        return false;
+    return (ebx & (1u << 5)) != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+cpuHasAvx2()
+{
+    static const bool has = probeAvx2();
+    return has;
+}
+
+const char *
+cpuSimdLevelName()
+{
+    return cpuHasAvx2() ? "avx2" : "baseline";
+}
+
+} // namespace solarcore

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Runtime CPU feature detection for the SIMD kernel dispatch.
+ *
+ * The batch PV kernels (pv/pv_kernel.hpp) are compiled per ISA behind
+ * compile-time gates; this header answers the *runtime* question "may
+ * this binary execute AVX2 instructions on this machine?". The answer
+ * requires both the CPUID feature bit and OS support for saving the
+ * wide register state (XGETBV), so a plain feature-bit probe is not
+ * enough on its own.
+ */
+
+#ifndef SOLARCORE_UTIL_CPUID_HPP
+#define SOLARCORE_UTIL_CPUID_HPP
+
+namespace solarcore {
+
+/**
+ * True when the running CPU supports AVX2 + FMA *and* the OS saves the
+ * YMM register state across context switches. Always false on
+ * non-x86-64 builds. The probe runs once; subsequent calls return the
+ * cached answer.
+ */
+bool cpuHasAvx2();
+
+/** Short human-readable ISA summary for manifests ("avx2", "baseline"). */
+const char *cpuSimdLevelName();
+
+} // namespace solarcore
+
+#endif // SOLARCORE_UTIL_CPUID_HPP

@@ -19,6 +19,8 @@
  *   --preset=smoke|fig13|fig14|full   start from a named grid
  *   --sites= --months= --policies= --workloads= --seeds=  (comma lists)
  *   --dt=SECONDS --budget=W --derating=F --period=MINUTES
+ *   --pv-kernel=auto|scalar|portable|avx2 (batch PV kernel; "auto"
+ *     dispatches on the CPU, "scalar" is the legacy per-call path)
  *   --threads=N (0 = all hardware threads)
  *   --out=FILE (default stdout)  --journal=FILE  --resume  --verbose
  *   --stats-out= --trace-out= --trace-buffer= --manifest-out=
@@ -36,6 +38,7 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "pv/pv_kernel.hpp"
 
 using namespace solarcore;
 
@@ -53,6 +56,7 @@ usage(const char *complaint = nullptr)
            "  [--workloads=H1,...] [--seeds=1,2,...]\n"
            "  [--dt=SECONDS] [--budget=W] [--derating=F] "
            "[--period=MIN]\n"
+           "  [--pv-kernel=auto|scalar|portable|avx2]\n"
            "  [--threads=N] [--out=FILE] [--journal=FILE] [--resume]\n"
            "  [--verbose] [--stats-out=F] [--trace-out=F] "
            "[--trace-buffer=N] [--manifest-out=F]\n"
@@ -125,6 +129,12 @@ main(int argc, char **argv)
             grid.batteryDerating = parseDouble(key, value);
         } else if (key == "--period") {
             grid.trackingPeriodMinutes = parseDouble(key, value);
+        } else if (key == "--pv-kernel") {
+            pv::PvKernel parsed;
+            if (value != "auto" &&
+                !pv::pvKernelFromToken(value, parsed))
+                usage("bad --pv-kernel (want auto|scalar|portable|avx2)");
+            grid.pvKernel = value;
         } else if (key == "--threads") {
             options.threads =
                 static_cast<int>(parseDouble(key, value));

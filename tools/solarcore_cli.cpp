@@ -16,6 +16,7 @@
  *          --workload H1..ML2   --policy opt|rr|ic|icm|fixed
  *          --budget <W>         --seed <n>   --days <n>
  *          --dt <seconds>       --threshold <W>
+ *          --pv-kernel auto|scalar|portable|avx2 (batch PV kernel)
  *
  * Observability (see src/obs/): --stats-out=FILE --trace-out=FILE
  * --trace-buffer=N --manifest-out=FILE --telemetry-out=FILE
@@ -40,6 +41,7 @@
 
 #include "core/aggregate.hpp"
 #include "core/solarcore.hpp"
+#include "pv/pv_kernel.hpp"
 #include "obs/auditor.hpp"
 #include "obs/manifest.hpp"
 #include "obs/obs_options.hpp"
@@ -65,6 +67,7 @@ struct Options
     int days = 5;
     double dtSeconds = 15.0;
     double thresholdW = 25.0;
+    std::string pvKernel = "auto";
     obs::ObsOptions obs;
     obs::StatsRegistry *stats = nullptr; //!< set by main when requested
     obs::TraceBuffer *trace = nullptr;   //!< set by main when requested
@@ -82,6 +85,7 @@ usage()
            "  --workload H1|H2|M1|M2|L1|L2|HM1|HM2|ML1|ML2\n"
            "  --policy opt|rr|ic|icm|fixed  --budget <W> (fixed policy)\n"
            "  --seed <n>  --days <n> (sweep)  --dt <s>  --threshold <W>\n"
+           "  --pv-kernel auto|scalar|portable|avx2\n"
            "  --stats-out=FILE (.json|.csv)  --trace-out=FILE (Chrome "
            "JSON, or JSONL for .jsonl)\n"
            "  --trace-buffer=<events>  --manifest-out=FILE\n"
@@ -173,6 +177,11 @@ parse(int argc, char **argv)
             opt.dtSeconds = std::stod(val);
         } else if (key == "--threshold") {
             opt.thresholdW = std::stod(val);
+        } else if (key == "--pv-kernel") {
+            pv::PvKernel parsed;
+            if (val != "auto" && !pv::pvKernelFromToken(val, parsed))
+                usage();
+            opt.pvKernel = val;
         } else {
             usage();
         }
@@ -282,6 +291,21 @@ main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
 
+    // Pin the batch PV kernel for the whole process; "auto" lets the
+    // runtime dispatch pick the widest supported one.
+    if (opt.pvKernel == "auto") {
+        pv::setPvKernel(pv::detectPvKernel());
+    } else {
+        pv::PvKernel requested;
+        if (!pv::pvKernelFromToken(opt.pvKernel, requested) ||
+            !pv::pvKernelSupported(requested)) {
+            std::cerr << "solarcore_cli: pv kernel '" << opt.pvKernel
+                      << "' not supported on this cpu\n";
+            return 2;
+        }
+        pv::setPvKernel(requested);
+    }
+
     obs::RunManifest manifest(argc, argv);
     std::optional<obs::StatsRegistry> stats;
     std::optional<obs::TraceBuffer> trace;
@@ -344,6 +368,9 @@ main(int argc, char **argv)
         manifest.set("budget_w", opt.budgetW);
         manifest.set("threshold_w", opt.thresholdW);
         manifest.set("dt_seconds", opt.dtSeconds);
+        manifest.set("pv_kernel",
+                     std::string(
+                         pv::pvKernelName(pv::selectedPvKernel())));
         manifest.set("days",
                      static_cast<std::uint64_t>(opt.days));
         manifest.setSeed(opt.seed);
