@@ -17,10 +17,28 @@
 # The build directory must be a Release tree (enforced below) and every
 # output file is stamped with the build type that produced it.
 #
-# Usage: bench/run_microbench.sh [build-dir] [extra benchmark args...]
+# Usage: bench/run_microbench.sh [--append-history] [build-dir]
+#        [extra benchmark args...]
+#
+# --append-history additionally appends one JSONL entry per BENCH_*.json
+# to bench/history/<name>.jsonl (timestamp, build type, git describe,
+# metric map); tools/bench_diff gates the latest entry against the
+# committed baselines.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+append_history=0
+filtered=()
+for a in "$@"; do
+    if [[ "$a" == "--append-history" ]]; then
+        append_history=1
+    else
+        filtered+=("$a")
+    fi
+done
+set -- ${filtered[@]+"${filtered[@]}"}
+
 build_dir="${1:-"${repo_root}/build"}"
 shift || true
 
@@ -237,4 +255,56 @@ print(f"campaign fig13: {scalar:.1f} u/s scalar -> {auto:.1f} u/s "
 EOF
     rm -rf "${campaign_tmp}"
     echo "wrote ${campaign_out}"
+fi
+
+# --- perf history (--append-history) --------------------------------
+# One JSONL entry per BENCH_*.json: timestamp, build type, git
+# describe, and the metric map tools/bench_diff compares against the
+# committed baselines. Appending keeps the whole perf history of the
+# machine in-tree and diffable.
+if [[ "${append_history}" == "1" ]]; then
+    hist_dir="${repo_root}/bench/history"
+    mkdir -p "${hist_dir}"
+    git_desc="$(git -C "${repo_root}" describe --always --dirty --tags \
+        2>/dev/null || echo unknown)"
+    for name in BENCH_pv BENCH_obs BENCH_telemetry BENCH_campaign; do
+        src="${repo_root}/${name}.json"
+        [[ -f "${src}" ]] || continue
+        python3 - "${src}" "${hist_dir}/${name}.jsonl" \
+            "${build_type}" "${git_desc}" <<'EOF'
+import datetime
+import json
+import sys
+
+src, dst, build_type, git_desc = sys.argv[1:5]
+with open(src) as f:
+    doc = json.load(f)
+# Mirror tools/bench_diff extractMetrics(): google-benchmark files
+# contribute name -> real_time of plain iteration rows (first
+# occurrence wins); flat documents contribute every top-level number.
+if "benchmarks" in doc:
+    metrics = {}
+    for row in doc["benchmarks"]:
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        name = row.get("name")
+        if name and "real_time" in row and name not in metrics:
+            metrics[name] = row["real_time"]
+else:
+    metrics = {k: v for k, v in doc.items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)}
+entry = {
+    "schema": "solarcore-bench-history-v1",
+    "utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "build_type": build_type,
+    "git": git_desc,
+    "source": src.rsplit("/", 1)[-1],
+    "metrics": metrics,
+}
+with open(dst, "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+print(f"appended {dst}")
+EOF
+    done
 fi

@@ -10,10 +10,13 @@
 #include <ostream>
 
 #include "campaign/journal.hpp"
+#include "campaign/run_health.hpp"
 #include "core/simulation.hpp"
 #include "obs/auditor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics_export.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
 #include "obs/telemetry.hpp"
@@ -204,16 +207,50 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     std::vector<std::unique_ptr<obs::Profiler>> profs(pending.size());
     std::vector<std::unique_ptr<obs::Auditor>> audits(pending.size());
 
-    // Progress heartbeat state: the counter orders the "k/n" stamps,
-    // the clock feeds the --verbose ETA estimate. Heartbeats go to
-    // stderr and journal comment lines only, so the summary stays
-    // byte-identical at any thread count.
-    std::atomic<std::size_t> done_units{0};
-    const auto wall_start = std::chrono::steady_clock::now();
-
+    // Run-health surfaces. Legacy per-unit heartbeats (journal
+    // comments, --verbose stderr) and the new status.json / OpenMetrics
+    // publications all render from one RunHealthReporter snapshot, so
+    // every surface agrees on done/inflight/rate. Heartbeats never
+    // touch the summary, which stays byte-identical at any thread
+    // count; with no progress surface requested the reporter is not
+    // even constructed.
     ThreadPool pool(options.threads);
+    const bool want_metrics = options.obs.metricsRequested();
+    obs::MetricsEndpoint endpoint;
+    if (options.obs.metricsPort >= 0 &&
+        endpoint.start(options.obs.metricsPort)) {
+        // Announce the bound port (--metrics-port=0 is ephemeral) so
+        // scrapers can find it.
+        std::cerr << "campaign: serving metrics on 127.0.0.1:"
+                  << endpoint.port() << "\n";
+    }
+    std::optional<RunHealthReporter> health;
+    if (journal || options.verbose || want_metrics ||
+        !options.statusPath.empty()) {
+        RunHealthConfig health_cfg;
+        health_cfg.totalUnits = n;
+        health_cfg.pendingUnits = pending.size();
+        health_cfg.unitsResumed =
+            static_cast<std::size_t>(outcome.unitsResumed);
+        health_cfg.workers = pool.threadCount();
+        health_cfg.signature = signature;
+        health_cfg.statusPath = options.statusPath;
+        health_cfg.metricsPath = options.obs.metricsOut;
+        health_cfg.verbose = options.verbose;
+        health_cfg.journal = journal ? &*journal : nullptr;
+        health_cfg.endpoint =
+            options.obs.metricsPort >= 0 ? &endpoint : nullptr;
+        health.emplace(std::move(health_cfg));
+    }
+    if (options.obs.postmortemRequested()) {
+        obs::FlightRecorderConfig fr_cfg;
+        fr_cfg.outputPath = options.obs.postmortemOut;
+        obs::FlightRecorder::install(fr_cfg);
+    }
+
     pool.parallelFor(pending.size(), [&](std::size_t t) {
         const std::size_t i = pending[t];
+        const std::string key = unitKey(outcome.units[i]);
         if (want_stats)
             regs[t] = std::make_unique<obs::StatsRegistry>();
         if (want_trace)
@@ -226,6 +263,9 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             profs[t] = std::make_unique<obs::Profiler>();
         if (want_audit)
             audits[t] = std::make_unique<obs::Auditor>(audit_cfg);
+        if (health)
+            health->unitStarted(key);
+        obs::FlightRecorder::beginUnit(key.c_str(), tbufs[t].get());
         {
             std::optional<obs::Profiler::Attach> attach;
             if (profs[t])
@@ -235,44 +275,38 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
                 runUnit(outcome.units[i], grid, regs[t].get(),
                         tbufs[t].get(), telems[t].get(), audits[t].get());
         }
+        obs::FlightRecorder::endUnit();
         if (journal)
             journal->append(static_cast<int>(i), outcome.results[i]);
-
-        const std::size_t finished = 1 + done_units.fetch_add(1);
-        const std::string key = unitKey(outcome.units[i]);
-        if (journal)
-            journal->appendComment(
-                "heartbeat " + std::to_string(finished) + "/" +
-                std::to_string(pending.size()) + " " + key);
-        if (options.verbose) {
-            // One preformatted string per line so concurrent progress
-            // reports interleave whole, never mid-line.
-            const double secs =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
-            const double rate =
-                static_cast<double>(finished) / std::max(secs, 1e-9);
-            const double eta_s =
-                static_cast<double>(pending.size() - finished) /
-                std::max(rate, 1e-9);
-            char suffix[96];
-            std::snprintf(suffix, sizeof(suffix),
-                          " done [%zu/%zu, %.1f u/s, eta %.0fs]\n",
-                          finished, pending.size(), rate, eta_s);
-            std::cerr << (key + suffix);
-        }
+        if (health)
+            health->unitFinished(key);
     });
     outcome.unitsRun = static_cast<int>(pending.size());
+    if (health)
+        health->finish();
+
+    obs::StatsRegistry merged_stats;
+    if (want_stats) {
+        for (const auto &reg : regs)
+            if (reg)
+                merged_stats.merge(*reg);
+        options.obs.writeStats(merged_stats);
+    }
+
+    // Final scrape payload: campaign progress plus the merged stats
+    // registry (when collected), pushed to the endpoint and snapshotted
+    // to --metrics-out so post-run scrapes see the completed picture.
+    if (health && want_metrics) {
+        obs::OpenMetricsWriter w;
+        RunHealthReporter::appendMetrics(w, health->snapshot());
+        if (want_stats)
+            obs::appendRegistry(w, merged_stats);
+        endpoint.update(w.finish());
+        if (!options.obs.metricsOut.empty())
+            endpoint.writeSnapshot(options.obs.metricsOut);
+    }
 
     if (options.obs.anyRequested()) {
-        if (want_stats) {
-            obs::StatsRegistry merged;
-            for (const auto &reg : regs)
-                if (reg)
-                    merged.merge(*reg);
-            options.obs.writeStats(merged);
-        }
         if (want_trace) {
             std::vector<const obs::TraceBuffer *> raw;
             std::vector<std::string> names;

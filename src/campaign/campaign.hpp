@@ -34,6 +34,7 @@ struct CampaignOptions
     bool resume = false;      //!< reuse completed units from the journal
     obs::ObsOptions obs;      //!< --stats-out / --trace-out / manifest
     bool verbose = false;     //!< per-unit progress lines on stderr
+    std::string statusPath;   //!< run-health status.json; empty disables
 };
 
 /** What one campaign run produced. */

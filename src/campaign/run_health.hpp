@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Campaign run-health reporting: one snapshot source feeding every
+ * progress surface.
+ *
+ * runCampaign() used to hand-roll its progress outputs inline (a
+ * journal heartbeat comment and a --verbose stderr ETA line per
+ * completed unit). The RunHealthReporter centralizes that state --
+ * done counter, in-flight unit keys, monotonic wall clock -- and fans
+ * one consistent snapshot out to four surfaces:
+ *
+ *   - the journal heartbeat comment   (byte-identical legacy format)
+ *   - the --verbose stderr line       (byte-identical legacy format)
+ *   - a versioned status.json         (--status-out, atomic rename)
+ *   - the OpenMetrics endpoint        (--metrics-port/--metrics-out)
+ *
+ * The legacy per-unit surfaces fire on every completion exactly as
+ * before; the new file/endpoint publications are throttled on the
+ * monotonic clock (default 4 Hz) so a million-unit campaign does not
+ * spend its time rewriting status.json. All surfaces are off by
+ * default and the reporter is never constructed unless one of them is
+ * requested, keeping the disabled-path cost at zero.
+ */
+
+#ifndef SOLARCORE_CAMPAIGN_RUN_HEALTH_HPP
+#define SOLARCORE_CAMPAIGN_RUN_HEALTH_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace solarcore::obs {
+class MetricsEndpoint;
+class OpenMetricsWriter;
+}
+
+namespace solarcore::campaign {
+
+class JournalWriter;
+
+/** What the reporter publishes and where. */
+struct RunHealthConfig
+{
+    std::size_t totalUnits = 0;   //!< expanded grid size
+    std::size_t pendingUnits = 0; //!< units executing this invocation
+    std::size_t unitsResumed = 0; //!< restored from the journal
+    std::size_t workers = 0;      //!< thread-pool width
+    std::string signature;        //!< grid signature string
+    std::string statusPath;       //!< status.json path; empty disables
+    std::string metricsPath;      //!< OpenMetrics snapshot file path
+    bool verbose = false;         //!< legacy stderr progress lines
+    JournalWriter *journal = nullptr;       //!< heartbeat comments
+    obs::MetricsEndpoint *endpoint = nullptr; //!< scrape payloads
+    double minPublishSeconds = 0.25;        //!< file/endpoint throttle
+};
+
+/** One coherent view of campaign progress. */
+struct RunHealthSnapshot
+{
+    std::size_t totalUnits = 0;
+    std::size_t pendingUnits = 0;
+    std::size_t unitsResumed = 0;
+    std::size_t unitsDone = 0;
+    std::size_t unitsInflight = 0;
+    std::size_t queueDepth = 0; //!< not yet started
+    std::size_t workers = 0;
+    double elapsedSeconds = 0.0;
+    double unitsPerSecond = 0.0;
+    double etaSeconds = 0.0;
+    double workerUtilization = 0.0; //!< inflight / workers
+    std::vector<std::string> busyKeys; //!< in-flight unit keys
+};
+
+/** Thread-safe progress aggregator + publisher (see file header). */
+class RunHealthReporter
+{
+  public:
+    explicit RunHealthReporter(RunHealthConfig config);
+    ~RunHealthReporter();
+
+    RunHealthReporter(const RunHealthReporter &) = delete;
+    RunHealthReporter &operator=(const RunHealthReporter &) = delete;
+
+    /** A worker picked up the unit named @p key. */
+    void unitStarted(const std::string &key);
+
+    /**
+     * A worker finished the unit named @p key: emits the legacy
+     * journal heartbeat and --verbose line, and (throttled) republishes
+     * status.json and the metrics payload.
+     */
+    void unitFinished(const std::string &key);
+
+    /** Final unthrottled publication (campaign end). */
+    void finish();
+
+    /** The current progress view. */
+    RunHealthSnapshot snapshot() const;
+
+    /** Render @p snap as the status.json document. */
+    static std::string renderStatusJson(const RunHealthSnapshot &snap,
+                                        const std::string &signature);
+
+    /** Render @p snap as an OpenMetrics exposition document. */
+    static std::string renderMetrics(const RunHealthSnapshot &snap);
+
+    /** Append @p snap's campaign_* families to @p w (composing the
+     *  final payload with the merged stats registry). */
+    static void appendMetrics(obs::OpenMetricsWriter &w,
+                              const RunHealthSnapshot &snap);
+
+  private:
+    void publish(bool force);
+
+    RunHealthConfig config_;
+    mutable std::mutex mutex_;
+    std::size_t done_ = 0;
+    std::vector<std::string> busy_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPublish_;
+    bool published_ = false;
+};
+
+} // namespace solarcore::campaign
+
+#endif // SOLARCORE_CAMPAIGN_RUN_HEALTH_HPP

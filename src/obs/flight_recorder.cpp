@@ -1,0 +1,402 @@
+#include "flight_recorder.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+namespace {
+
+constexpr std::size_t kPathMax = 4096;
+constexpr std::size_t kKeyMax = 128;
+constexpr std::size_t kMaxSlots = 256;
+constexpr std::size_t kMaxTraceTail = 256;
+constexpr std::size_t kMaxScopes = 64;
+
+/** Per-thread in-flight unit context. A thread claims a slot once and
+ *  keeps it; `active` gates what the crash path reports. */
+struct UnitSlot
+{
+    std::atomic<bool> claimed{false};
+    std::atomic<bool> active{false};
+    char key[kKeyMax] = {};
+    const TraceBuffer *trace = nullptr;
+};
+
+struct State
+{
+    std::atomic<bool> installed{false};
+    std::atomic<bool> written{false};
+    char outPath[kPathMax] = {};
+    char tmpPath[kPathMax] = {};
+    char manifest[kPathMax] = {};
+    std::size_t traceTail = 64;
+    UnitSlot slots[kMaxSlots];
+    FatalHook previousHook = nullptr;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+thread_local int t_slot = -1;
+
+void
+copyBounded(char *dst, std::size_t cap, const char *src)
+{
+    std::size_t i = 0;
+    if (src)
+        for (; i + 1 < cap && src[i]; ++i)
+            dst[i] = src[i];
+    dst[i] = '\0';
+}
+
+// --------------------------------------------- signal-safe rendering
+
+/** Buffered write(2) sink; every method is async-signal-safe. */
+struct SigWriter
+{
+    int fd = -1;
+    char buf[512];
+    std::size_t len = 0;
+
+    void
+    flush()
+    {
+        std::size_t off = 0;
+        while (off < len) {
+            const ssize_t n = ::write(fd, buf + off, len - off);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        len = 0;
+    }
+
+    void
+    put(char c)
+    {
+        if (len == sizeof(buf))
+            flush();
+        buf[len++] = c;
+    }
+
+    void
+    raw(const char *s)
+    {
+        for (; s && *s; ++s)
+            put(*s);
+    }
+
+    /** A JSON string literal; unsafe bytes degrade to '_' rather than
+     *  growing an escape table in a signal handler. */
+    void
+    str(const char *s)
+    {
+        put('"');
+        for (; s && *s; ++s) {
+            const unsigned char c = static_cast<unsigned char>(*s);
+            if (c == '"' || c == '\\' || c < 0x20)
+                put('_');
+            else
+                put(static_cast<char>(c));
+        }
+        put('"');
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char digits[20];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v > 0);
+        while (n > 0)
+            put(digits[--n]);
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        if (v < 0) {
+            put('-');
+            u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+        } else {
+            u64(static_cast<std::uint64_t>(v));
+        }
+    }
+
+    /** Fixed 6-decimal rendering; non-finite and out-of-range values
+     *  become null to keep the document valid JSON. */
+    void
+    dbl(double v)
+    {
+        if (!std::isfinite(v) || std::fabs(v) >= 9.0e15) {
+            raw("null");
+            return;
+        }
+        if (v < 0) {
+            put('-');
+            v = -v;
+        }
+        const auto whole = static_cast<std::uint64_t>(v);
+        auto frac =
+            static_cast<std::uint64_t>((v - static_cast<double>(whole)) *
+                                           1e6 +
+                                       0.5);
+        std::uint64_t carry = whole;
+        if (frac >= 1000000) {
+            frac -= 1000000;
+            ++carry;
+        }
+        u64(carry);
+        put('.');
+        char digits[6];
+        for (int i = 5; i >= 0; --i) {
+            digits[i] = static_cast<char>('0' + frac % 10);
+            frac /= 10;
+        }
+        for (const char d : digits)
+            put(d);
+    }
+};
+
+// Signal-handler scratch: static so the handler allocates nothing.
+TraceEvent g_tail[kMaxTraceTail];
+const char *g_scopes[kMaxScopes];
+
+void
+writeEvent(SigWriter &w, const TraceEvent &e)
+{
+    w.raw("{\"t_min\":");
+    w.dbl(e.timeMin);
+    w.raw(",\"kind\":");
+    w.str(eventKindName(e.kind));
+    w.raw(",\"core\":");
+    w.i64(e.core);
+    w.raw(",\"i0\":");
+    w.i64(e.i0);
+    w.raw(",\"i1\":");
+    w.i64(e.i1);
+    w.raw(",\"arg0\":");
+    w.u64(e.arg0);
+    w.raw(",\"v0\":");
+    w.dbl(e.v0);
+    w.raw(",\"v1\":");
+    w.dbl(e.v1);
+    w.raw(",\"seq\":");
+    w.u64(e.seq);
+    w.put('}');
+}
+
+bool
+renderPostmortem(const char *reason, const char *detail)
+{
+    State &s = state();
+    const int fd = ::open(s.tmpPath, O_WRONLY | O_CREAT | O_TRUNC,
+                          0644);
+    if (fd < 0)
+        return false;
+
+    SigWriter w;
+    w.fd = fd;
+    w.raw("{\"schema\":\"solarcore-postmortem-v1\",\"reason\":");
+    w.str(reason);
+    w.raw(",\"detail\":");
+    w.str(detail);
+    w.raw(",\"manifest\":");
+    w.str(s.manifest);
+
+    // The crashing thread's open profiler scopes, outermost first.
+    w.raw(",\"profile_stack\":[");
+    if (const Profiler *prof = Profiler::current()) {
+        const std::size_t n = prof->openScopeNames(g_scopes, kMaxScopes);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i)
+                w.put(',');
+            w.str(g_scopes[i]);
+        }
+    }
+    w.put(']');
+
+    // Every in-flight unit, with the tail of its trace ring. Slots of
+    // other threads may be mid-update; bounded-torn reads are fine in
+    // a post-mortem.
+    w.raw(",\"units\":[");
+    bool first = true;
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+        UnitSlot &slot = s.slots[i];
+        if (!slot.active.load(std::memory_order_acquire))
+            continue;
+        if (!first)
+            w.put(',');
+        first = false;
+        w.raw("{\"key\":");
+        w.str(slot.key);
+        w.raw(",\"trace\":[");
+        if (slot.trace != nullptr) {
+            std::size_t max = s.traceTail;
+            if (max > kMaxTraceTail)
+                max = kMaxTraceTail;
+            const std::size_t n = slot.trace->snapshotTail(g_tail, max);
+            for (std::size_t e = 0; e < n; ++e) {
+                if (e)
+                    w.put(',');
+                writeEvent(w, g_tail[e]);
+            }
+        }
+        w.raw("]}");
+    }
+    w.raw("]}\n");
+    w.flush();
+    ::close(fd);
+    return ::rename(s.tmpPath, s.outPath) == 0;
+}
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGBUS:  return "SIGBUS";
+      case SIGILL:  return "SIGILL";
+      case SIGFPE:  return "SIGFPE";
+      case SIGABRT: return "SIGABRT";
+      default:      return "signal";
+    }
+}
+
+void
+crashHandler(int sig)
+{
+    FlightRecorder::writePostmortem("signal", signalName(sig));
+    // SA_RESETHAND restored the default disposition on entry; re-raise
+    // so the process still dies with the original signal.
+    ::raise(sig);
+}
+
+void
+fatalHook(LogLevel level, const char *msg)
+{
+    FlightRecorder::writePostmortem(
+        level == LogLevel::Panic ? "panic" : "fatal", msg);
+    if (const FatalHook prev = state().previousHook)
+        prev(level, msg);
+}
+
+constexpr int kSignals[] = {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT};
+
+} // namespace
+
+void
+FlightRecorder::install(const FlightRecorderConfig &config)
+{
+    State &s = state();
+    copyBounded(s.outPath, sizeof(s.outPath), config.outputPath.c_str());
+    const std::string tmp = config.outputPath + ".tmp";
+    copyBounded(s.tmpPath, sizeof(s.tmpPath), tmp.c_str());
+    s.traceTail = config.traceTail;
+    s.written.store(false);
+    if (s.installed.exchange(true))
+        return;
+
+    struct sigaction sa = {};
+    sa.sa_handler = crashHandler;
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    for (const int sig : kSignals)
+        sigaction(sig, &sa, nullptr);
+    s.previousHook = setFatalHook(fatalHook);
+}
+
+void
+FlightRecorder::uninstall()
+{
+    State &s = state();
+    if (!s.installed.exchange(false))
+        return;
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    for (const int sig : kSignals)
+        sigaction(sig, &sa, nullptr);
+    setFatalHook(s.previousHook);
+    s.previousHook = nullptr;
+}
+
+bool
+FlightRecorder::installed()
+{
+    return state().installed.load();
+}
+
+void
+FlightRecorder::setManifestPath(const std::string &path)
+{
+    copyBounded(state().manifest, sizeof(state().manifest),
+                path.c_str());
+}
+
+void
+FlightRecorder::beginUnit(const char *key, const TraceBuffer *trace)
+{
+    State &s = state();
+    if (!s.installed.load(std::memory_order_relaxed))
+        return;
+    if (t_slot < 0) {
+        for (std::size_t i = 0; i < kMaxSlots; ++i) {
+            bool expected = false;
+            if (s.slots[i].claimed.compare_exchange_strong(expected,
+                                                           true)) {
+                t_slot = static_cast<int>(i);
+                break;
+            }
+        }
+        if (t_slot < 0)
+            return; // more live threads than slots: drop context
+    }
+    UnitSlot &slot = s.slots[static_cast<std::size_t>(t_slot)];
+    slot.active.store(false, std::memory_order_release);
+    copyBounded(slot.key, sizeof(slot.key), key);
+    slot.trace = trace;
+    slot.active.store(true, std::memory_order_release);
+}
+
+void
+FlightRecorder::endUnit()
+{
+    State &s = state();
+    if (t_slot < 0)
+        return;
+    UnitSlot &slot = s.slots[static_cast<std::size_t>(t_slot)];
+    slot.active.store(false, std::memory_order_release);
+    slot.trace = nullptr;
+}
+
+bool
+FlightRecorder::writePostmortem(const char *reason, const char *detail)
+{
+    State &s = state();
+    if (s.outPath[0] == '\0')
+        return false;
+    if (s.written.exchange(true))
+        return false; // reentry / second fault: first report wins
+    return renderPostmortem(reason, detail);
+}
+
+} // namespace solarcore::obs

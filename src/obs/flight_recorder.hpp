@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Crash flight recorder: when the process dies -- a fatal signal
+ * (SIGSEGV/SIGABRT/...), a strict-audit SC_FATAL, or a library panic
+ * -- flush what the simulator was doing into a `postmortem.json` that
+ * names the failing invariant, the in-flight campaign units, the
+ * crashing thread's open profiler scopes and the tail of every active
+ * trace ring.
+ *
+ * Everything the signal path touches is pre-allocated at install()
+ * time: the output paths live in fixed buffers, per-thread unit
+ * context sits in a fixed slot table, events are snapshotted into a
+ * static array, and the JSON is rendered with local integer/double
+ * formatters straight into write(2) -- no malloc, no stdio, no
+ * iostreams. The document is written to `<path>.tmp` and published
+ * with rename(2), so a reader never sees a torn file. A reentry latch
+ * keeps a second fault (or a fault inside the handler) from
+ * corrupting the first report.
+ *
+ * The hook into SC_FATAL/SC_PANIC goes through util/logging's
+ * setFatalHook, so strict-audit violations (auditor.hpp) produce a
+ * post-mortem naming the violated check before the process exits.
+ *
+ * Off by default: nothing is installed until --postmortem-out is
+ * given, and install() is the only thing that touches process-global
+ * signal state.
+ */
+
+#ifndef SOLARCORE_OBS_FLIGHT_RECORDER_HPP
+#define SOLARCORE_OBS_FLIGHT_RECORDER_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace solarcore::obs {
+
+class TraceBuffer;
+
+/** Static configuration of the crash flight recorder. */
+struct FlightRecorderConfig
+{
+    std::string outputPath;     //!< postmortem.json destination
+    std::size_t traceTail = 64; //!< newest events kept per trace ring
+                                //!< (clamped to an internal maximum)
+};
+
+/**
+ * Process-wide crash reporter (static: signal dispositions are
+ * process-global, so there is exactly one).
+ */
+class FlightRecorder
+{
+  public:
+    /**
+     * Arm the recorder: pre-allocate buffers, install handlers for
+     * SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT and hook Fatal/Panic log
+     * records. Idempotent; a second call just updates the paths.
+     */
+    static void install(const FlightRecorderConfig &config);
+
+    /** Disarm: restore default dispositions and unhook logging. */
+    static void uninstall();
+
+    static bool installed();
+
+    /** Record the run manifest path for the post-mortem header. */
+    static void setManifestPath(const std::string &path);
+
+    /**
+     * Mark the calling thread as executing campaign unit @p key with
+     * trace ring @p trace (may be nullptr). The key is copied into
+     * the thread's pre-allocated slot; @p trace must outlive the unit.
+     * Cheap enough for per-unit use; a no-op until install().
+     */
+    static void beginUnit(const char *key, const TraceBuffer *trace);
+
+    /** Clear the calling thread's in-flight unit. */
+    static void endUnit();
+
+    /**
+     * Render and publish the post-mortem now (async-signal-safe).
+     * Invoked by the signal handlers and the fatal hook; exposed for
+     * tests and for explicit "dump state" paths. Only the first call
+     * wins -- later calls are dropped by the reentry latch.
+     * @return true when this call produced the file
+     */
+    static bool writePostmortem(const char *reason, const char *detail);
+};
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_FLIGHT_RECORDER_HPP

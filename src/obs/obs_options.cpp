@@ -48,8 +48,19 @@ ObsOptions::consume(std::string_view arg)
         takeValue(arg, "--manifest-out=", manifestOut) ||
         takeValue(arg, "--telemetry-out=", telemetryOut) ||
         takeValue(arg, "--profile-out=", profileOut) ||
-        takeValue(arg, "--audit-out=", auditOut))
+        takeValue(arg, "--audit-out=", auditOut) ||
+        takeValue(arg, "--metrics-out=", metricsOut) ||
+        takeValue(arg, "--postmortem-out=", postmortemOut))
         return true;
+    if (takeValue(arg, "--metrics-port=", buf)) {
+        char *end = nullptr;
+        const long n = std::strtol(buf.c_str(), &end, 10);
+        if (buf.empty() || (end && *end != '\0') || n < 0 || n > 65535)
+            SC_FATAL("--metrics-port: expected a port in [0, 65535], "
+                     "got '", buf, "'");
+        metricsPort = static_cast<int>(n);
+        return true;
+    }
     if (takeValue(arg, "--trace-buffer=", buf)) {
         const long n = std::strtol(buf.c_str(), nullptr, 10);
         if (n <= 0)

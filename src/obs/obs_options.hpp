@@ -17,6 +17,13 @@
  *                        `FILE.folded` flamegraph collapsed-stack dump
  *   --audit=MODE         invariant auditor: off / count / strict
  *   --audit-out=FILE     auditor JSON report (counts + contexts)
+ *   --metrics-out=FILE   OpenMetrics exposition snapshot (atomically
+ *                        replaced; point file-based scrapers here)
+ *   --metrics-port=N     serve the exposition on 127.0.0.1:N over
+ *                        HTTP (0 binds an ephemeral port)
+ *   --postmortem-out=FILE arm the crash flight recorder; a fatal
+ *                        signal / strict-audit abort writes this
+ *                        postmortem.json
  *
  * consume() recognizes one argv token at a time so callers can weave
  * it into their existing parsers.
@@ -55,6 +62,10 @@ struct ObsOptions
     std::string auditOut;
     AuditMode audit = AuditMode::Off;
 
+    std::string metricsOut;
+    int metricsPort = -1; //!< -1 disables; 0 binds an ephemeral port
+    std::string postmortemOut;
+
     /** @return true when @p arg was an observability flag (consumed). */
     bool consume(std::string_view arg);
 
@@ -66,6 +77,11 @@ struct ObsOptions
     {
         return audit != AuditMode::Off || !auditOut.empty();
     }
+    bool metricsRequested() const
+    {
+        return !metricsOut.empty() || metricsPort >= 0;
+    }
+    bool postmortemRequested() const { return !postmortemOut.empty(); }
     bool anyRequested() const
     {
         return statsRequested() || traceRequested() ||

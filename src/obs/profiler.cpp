@@ -105,6 +105,20 @@ Profiler::exit(std::int64_t elapsed_ns)
     frameStack_.pop_back();
 }
 
+std::size_t
+Profiler::openScopeNames(const char **out, std::size_t max) const noexcept
+{
+    // frameStack_ holds the parents of current_ (root first); the
+    // innermost open scope is current_ itself. Skip the synthetic
+    // root's empty name.
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < frameStack_.size() && n < max; ++i)
+        out[n++] = frameStack_[i]->name.c_str();
+    if (current_ != &root_ && n < max)
+        out[n++] = current_->name.c_str();
+    return n;
+}
+
 std::int64_t
 Profiler::totalNs() const
 {

@@ -76,6 +76,18 @@ class Profiler
     /** The synthetic root ("" name; holds top-level phases). */
     const Node &root() const { return root_; }
 
+    /**
+     * The currently open scope names, outermost first, written into
+     * @p out (up to @p max). Allocation-free and async-signal-safe
+     * when called on the owning thread (the crash flight recorder
+     * snapshots the crashing thread's own stack): the returned
+     * pointers alias live Node names, which the owning thread is not
+     * mutating while it sits inside a signal handler.
+     * @return the number of entries written
+     */
+    std::size_t openScopeNames(const char **out,
+                               std::size_t max) const noexcept;
+
     /** Total time credited to top-level phases [ns]. */
     std::int64_t totalNs() const;
 

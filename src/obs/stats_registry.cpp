@@ -86,6 +86,7 @@ HistogramStat::add(double x)
     const auto i = static_cast<std::size_t>(std::clamp(t, 0.0, last));
     ++counts_[i];
     ++total_;
+    sum_ += x;
 }
 
 void
@@ -107,6 +108,7 @@ HistogramStat::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    sum_ = 0.0;
 }
 
 std::string
@@ -225,6 +227,14 @@ StatsRegistry::value(std::string_view name) const
 }
 
 void
+StatsRegistry::forEach(
+    const std::function<void(const StatBase &)> &fn) const
+{
+    for (const auto &[name, stat] : stats_)
+        fn(*stat);
+}
+
+void
 StatsRegistry::resetAll()
 {
     for (auto &[name, stat] : stats_)
@@ -261,6 +271,7 @@ StatsRegistry::merge(const StatsRegistry &other)
                       "merge: histogram '", name, "' shape mismatch");
             for (std::size_t i = 0; i < h->bins(); ++i)
                 dst.addBinCount(i, h->bin(i));
+            dst.addSum(h->sum());
         } else if (const auto *f =
                        dynamic_cast<const FormulaStat *>(stat.get())) {
             formula(name, f->fn(), f->desc());

@@ -118,9 +118,13 @@ class HistogramStat : public StatBase
     void add(double x);
     /** Bulk-add @p n samples to bin @p i (registry merges). */
     void addBinCount(std::size_t i, std::uint64_t n);
+    /** Fold another histogram's value sum in (registry merges). */
+    void addSum(double sum) { sum_ += sum; }
     std::size_t bin(std::size_t i) const { return counts_.at(i); }
     std::size_t bins() const { return counts_.size(); }
     std::uint64_t total() const { return total_; }
+    /** Sum of all observed sample values (OpenMetrics `_sum`). */
+    double sum() const { return sum_; }
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     double binLow(std::size_t i) const;
@@ -136,6 +140,7 @@ class HistogramStat : public StatBase
     double hi_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    double sum_ = 0.0;
 };
 
 /**
@@ -199,6 +204,9 @@ class StatsRegistry
     double value(std::string_view name) const;
 
     std::size_t size() const { return stats_.size(); }
+
+    /** Visit every stat in name order (exporters). */
+    void forEach(const std::function<void(const StatBase &)> &fn) const;
 
     /** Zero every resettable stat (tracking-period epochs). */
     void resetAll();

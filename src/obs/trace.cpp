@@ -64,6 +64,21 @@ TraceBuffer::at(std::size_t i) const
     return ring_[(start + i) % ring_.size()];
 }
 
+std::size_t
+TraceBuffer::snapshotTail(TraceEvent *out, std::size_t max) const noexcept
+{
+    // Clamp every index against the (fixed) capacity: a concurrent
+    // writer may move head_/size_ under us, and the tail is allowed to
+    // be torn, but the reads must stay in bounds.
+    const std::size_t cap = ring_.size();
+    const std::size_t retained = size_ < cap ? size_ : cap;
+    const std::size_t n = retained < max ? retained : max;
+    const std::size_t start = retained == cap ? head_ % cap : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ring_[(start + (retained - n) + i) % cap];
+    return n;
+}
+
 std::vector<TraceEvent>
 TraceBuffer::events() const
 {

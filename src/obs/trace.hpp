@@ -119,6 +119,17 @@ class TraceBuffer
     /** The @p i-th retained event, oldest first. */
     const TraceEvent &at(std::size_t i) const;
 
+    /**
+     * Copy the newest events (oldest-of-the-tail first) into @p out,
+     * at most @p max. Allocation- and exception-free so the crash
+     * flight recorder can call it from a signal handler; reading a
+     * buffer another thread is appending to yields a torn-but-bounded
+     * best-effort tail, which is exactly what a post-mortem wants.
+     * @return the number of events written
+     */
+    std::size_t snapshotTail(TraceEvent *out,
+                             std::size_t max) const noexcept;
+
     /** Retained events, oldest first. */
     std::vector<TraceEvent> events() const;
 

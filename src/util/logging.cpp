@@ -36,6 +36,23 @@ thresholdRef()
 
 } // namespace
 
+namespace {
+
+std::atomic<FatalHook> &
+fatalHookRef()
+{
+    static std::atomic<FatalHook> hook{nullptr};
+    return hook;
+}
+
+} // namespace
+
+FatalHook
+setFatalHook(FatalHook hook)
+{
+    return fatalHookRef().exchange(hook, std::memory_order_acq_rel);
+}
+
 LogLevel
 logLevel()
 {
@@ -74,6 +91,11 @@ logMessage(LogLevel level, const char *file, int line, const std::string &msg)
         std::cerr << " (" << file << ":" << line << ")";
     std::cerr << std::endl;
 
+    if (terminal) {
+        if (FatalHook hook =
+                fatalHookRef().load(std::memory_order_acquire))
+            hook(level, msg.c_str());
+    }
     if (level == LogLevel::Panic)
         std::abort();
     if (level == LogLevel::Fatal)

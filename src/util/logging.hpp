@@ -30,6 +30,17 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
 /** Current threshold: messages below it are suppressed. */
 LogLevel logLevel();
 
+/**
+ * Last-gasp observer of terminal log records: invoked with the fully
+ * formatted message right before a Fatal exit()/Panic abort(), so a
+ * crash reporter (obs/flight_recorder) can persist a post-mortem. The
+ * hook must not throw and must tolerate being called from any thread.
+ */
+using FatalHook = void (*)(LogLevel level, const char *msg);
+
+/** Install @p hook (nullptr uninstalls). @return the previous hook. */
+FatalHook setFatalHook(FatalHook hook);
+
 /** Set the threshold at runtime (overrides SC_LOG_LEVEL). */
 void setLogLevel(LogLevel level);
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the crash flight recorder. The fatal paths run in forked
+ * children (a handler that exits the process cannot run in the test
+ * process): the child installs the recorder, marks an in-flight unit
+ * with a live trace ring, then dies -- via SC_FATAL (the strict-audit
+ * path) or abort() (the signal path). The parent reaps it and parses
+ * the published postmortem.json, checking the schema, the reason, the
+ * named invariant and the in-flight unit key. The direct API tests
+ * (explicit writePostmortem, reentry latch, uninstall) run in-process.
+ */
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/golden.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+/** Run @p act in a forked child with stderr silenced; reap it. */
+int
+runInChild(const std::function<void()> &act)
+{
+    fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        // No gtest asserts in the child: its exit status and the file
+        // it leaves behind are the only channels back to the parent.
+        const int null = ::open("/dev/null", O_WRONLY);
+        if (null >= 0) {
+            ::dup2(null, 2);
+            ::close(null);
+        }
+        act();
+        _exit(0); // the act is expected to not return
+    }
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    return status;
+}
+
+/** Arm the recorder and mark one in-flight unit with trace events. */
+void
+armWithUnit(const std::string &out, TraceBuffer &trace)
+{
+    trace.setNow(421.0);
+    TraceEvent e;
+    e.kind = EventKind::ThermalThrottle;
+    e.core = 2;
+    e.v0 = 97.5;
+    trace.emit(e);
+
+    FlightRecorderConfig config;
+    config.outputPath = out;
+    FlightRecorder::install(config);
+    FlightRecorder::setManifestPath("manifest-for-test.json");
+    FlightRecorder::beginUnit("AZ-Jan-opt-HM2-s7", &trace);
+}
+
+campaign::FlatJson
+parsePostmortem(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << "no postmortem at " << path;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    campaign::FlatJson doc;
+    std::string error;
+    EXPECT_TRUE(campaign::parseJsonFlat(ss.str(), doc, error)) << error;
+    return doc;
+}
+
+TEST(FlightRecorder, StrictAuditFatalPublishesPostmortem)
+{
+    const std::string out =
+        testing::TempDir() + "postmortem_fatal_test.json";
+    std::remove(out.c_str());
+
+    const int status = runInChild([&] {
+        static TraceBuffer trace(64);
+        armWithUnit(out, trace);
+        SC_FATAL("strict audit: power balance violated");
+    });
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 1); // SC_FATAL exits 1
+
+    const auto doc = parsePostmortem(out);
+    EXPECT_EQ(doc.at("schema").text, "solarcore-postmortem-v1");
+    EXPECT_EQ(doc.at("reason").text, "fatal");
+    // The failing invariant's message survives into the report.
+    EXPECT_NE(doc.at("detail").text.find("power balance violated"),
+              std::string::npos);
+    EXPECT_EQ(doc.at("manifest").text, "manifest-for-test.json");
+    EXPECT_EQ(doc.at("units.0.key").text, "AZ-Jan-opt-HM2-s7");
+    // The trace tail carries the emitted event.
+    EXPECT_DOUBLE_EQ(doc.at("units.0.trace.0.t_min").number, 421.0);
+    EXPECT_DOUBLE_EQ(doc.at("units.0.trace.0.core").number, 2.0);
+    std::remove(out.c_str());
+}
+
+TEST(FlightRecorder, AbortSignalPublishesPostmortem)
+{
+    const std::string out =
+        testing::TempDir() + "postmortem_abort_test.json";
+    std::remove(out.c_str());
+
+    const int status = runInChild([&] {
+        static TraceBuffer trace(64);
+        armWithUnit(out, trace);
+        std::abort();
+    });
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGABRT); // handler re-raises
+
+    const auto doc = parsePostmortem(out);
+    EXPECT_EQ(doc.at("schema").text, "solarcore-postmortem-v1");
+    EXPECT_EQ(doc.at("reason").text, "signal");
+    EXPECT_EQ(doc.at("detail").text, "SIGABRT");
+    EXPECT_EQ(doc.at("units.0.key").text, "AZ-Jan-opt-HM2-s7");
+    std::remove(out.c_str());
+}
+
+TEST(FlightRecorder, FinishedUnitsLeaveTheReport)
+{
+    const std::string out =
+        testing::TempDir() + "postmortem_endunit_test.json";
+    std::remove(out.c_str());
+
+    const int status = runInChild([&] {
+        static TraceBuffer trace(64);
+        armWithUnit(out, trace);
+        FlightRecorder::endUnit(); // the unit completed before the crash
+        SC_FATAL("late failure");
+    });
+    ASSERT_TRUE(WIFEXITED(status));
+
+    const auto doc = parsePostmortem(out);
+    EXPECT_EQ(doc.find("units.0.key"), doc.end());
+    std::remove(out.c_str());
+}
+
+TEST(FlightRecorder, ExplicitWriteAndReentryLatch)
+{
+    const std::string out =
+        testing::TempDir() + "postmortem_latch_test.json";
+    std::remove(out.c_str());
+
+    FlightRecorderConfig config;
+    config.outputPath = out;
+    FlightRecorder::install(config);
+    EXPECT_TRUE(FlightRecorder::installed());
+    EXPECT_TRUE(FlightRecorder::writePostmortem("test", "first"));
+    // Only the first writer wins; the latch drops the second report.
+    EXPECT_FALSE(FlightRecorder::writePostmortem("test", "second"));
+
+    const auto doc = parsePostmortem(out);
+    EXPECT_EQ(doc.at("reason").text, "test");
+    EXPECT_EQ(doc.at("detail").text, "first");
+
+    FlightRecorder::uninstall();
+    EXPECT_FALSE(FlightRecorder::installed());
+    std::remove(out.c_str());
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the shared JSON emission helpers (obs/json.hpp): number
+ * formatting round-trips, non-finite degradation to null, string
+ * escaping of control characters, UTF-8 passthrough, and the
+ * JsonObjectWriter comma discipline. Round-trip checks parse the
+ * rendered text back through campaign::parseJsonFlat, the same reader
+ * golden_check and solarcore_top use, so writer and reader stay
+ * mutually consistent.
+ */
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "campaign/golden.hpp"
+#include "obs/json.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+TEST(Json, NumberShortestFormRoundTrips)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(1.0), "1");
+    EXPECT_EQ(jsonNumber(-2.5), "-2.5");
+    EXPECT_EQ(jsonNumber(std::uint64_t{18446744073709551615ull}),
+              "18446744073709551615");
+    EXPECT_EQ(jsonNumber(std::int64_t{-42}), "-42");
+
+    // Shortest-form output must parse back to the identical double.
+    for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300,
+                           -123456.789, 3.14159265358979}) {
+        const std::string text = jsonNumber(v);
+        EXPECT_DOUBLE_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+    }
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Json, StringEscapesControlCharacters)
+{
+    EXPECT_EQ(jsonString("plain"), "\"plain\"");
+    EXPECT_EQ(jsonString("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonString("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonString("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+    // Other control characters take the \u00XX form.
+    EXPECT_EQ(jsonString(std::string_view("\x01\x1f", 2)),
+              "\"\\u0001\\u001f\"");
+}
+
+TEST(Json, Utf8PassesThroughUnmolested)
+{
+    // Multibyte sequences have no bytes < 0x20, so they must survive
+    // byte-for-byte ("\xc3\xa9" = e-acute, "\xe2\x98\x80" = sun).
+    const std::string utf8 = "caf\xc3\xa9 \xe2\x98\x80";
+    EXPECT_EQ(jsonString(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(Json, RenderedDocumentParsesBack)
+{
+    std::ostringstream os;
+    {
+        JsonObjectWriter w(os);
+        w.field("name", "unit \"A\"\n");
+        w.field("value", 0.125);
+        w.field("count", std::uint64_t{7});
+        w.field("bad", std::numeric_limits<double>::quiet_NaN());
+        w.field("utf8", "\xe2\x98\x80");
+        w.field("flag", true);
+    }
+    campaign::FlatJson doc;
+    std::string error;
+    ASSERT_TRUE(campaign::parseJsonFlat(os.str(), doc, error)) << error;
+
+    EXPECT_EQ(doc.at("name").text, "unit \"A\"\n");
+    EXPECT_DOUBLE_EQ(doc.at("value").number, 0.125);
+    EXPECT_DOUBLE_EQ(doc.at("count").number, 7.0);
+    EXPECT_EQ(doc.at("bad").kind, campaign::JsonLeaf::Kind::Null);
+    EXPECT_EQ(doc.at("utf8").text, "\xe2\x98\x80");
+    EXPECT_EQ(doc.at("flag").kind, campaign::JsonLeaf::Kind::Bool);
+}
+
+TEST(Json, ObjectWriterCommaDiscipline)
+{
+    std::ostringstream empty;
+    JsonObjectWriter(empty).close();
+    EXPECT_EQ(empty.str(), "{}");
+
+    std::ostringstream two;
+    {
+        JsonObjectWriter w(two);
+        w.field("a", 1.0);
+        w.raw("b", "[1,2]");
+    }
+    EXPECT_EQ(two.str(), "{\"a\":1,\"b\":[1,2]}");
+}
+
+} // namespace
+} // namespace solarcore::obs

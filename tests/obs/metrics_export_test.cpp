@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the OpenMetrics exposition layer: name/label sanitizing,
+ * writer output (HELP/TYPE, cumulative histogram buckets, _sum/_count,
+ * `# EOF`), the registry and profiler mappings, the structural linter
+ * (positive and negative cases), and the MetricsEndpoint scrape path
+ * over a real ephemeral socket plus the atomic file snapshot.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_export.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats_registry.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+std::vector<std::string>
+lintErrors(const std::string &text)
+{
+    std::vector<std::string> errors;
+    lintOpenMetrics(text, errors);
+    return errors;
+}
+
+TEST(OpenMetricsName, SanitizesDottedNames)
+{
+    EXPECT_EQ(openMetricsName("pv.mppCache.hitRate"),
+              "solarcore_pv_mppCache_hitRate");
+    EXPECT_EQ(openMetricsName("chip.core-0/util %"),
+              "solarcore_chip_core_0_util__");
+}
+
+TEST(OpenMetricsLabels, EscapeBackslashQuoteNewline)
+{
+    EXPECT_EQ(openMetricsEscapeLabel("a\\b\"c\nd"),
+              "a\\\\b\\\"c\\nd");
+    EXPECT_EQ(openMetricsEscapeHelp("line1\nline2\\x"),
+              "line1\\nline2\\\\x");
+}
+
+TEST(OpenMetricsWriter, RendersGaugeCounterInfo)
+{
+    OpenMetricsWriter w;
+    w.gauge("solarcore_x", "an x", 1.5);
+    w.counter("solarcore_events", "events seen", 12);
+    w.info("solarcore_build", "build info",
+           {{"version", "1"}, {"mode", "Release"}});
+    const std::string text = w.finish();
+
+    EXPECT_NE(text.find("# HELP solarcore_x an x\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE solarcore_x gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("solarcore_x 1.5\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE solarcore_events counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_events_total 12\n"), std::string::npos);
+    EXPECT_NE(text.find("solarcore_build_info{version=\"1\","
+                        "mode=\"Release\"} 1\n"),
+              std::string::npos);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+    EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
+}
+
+TEST(OpenMetricsWriter, HistogramBucketsAreCumulative)
+{
+    OpenMetricsWriter w;
+    // Per-bin counts 3,2,5 under edges 1,2,4 => cumulative 3,5,10.
+    w.histogram("solarcore_lat", "latency", {1.0, 2.0, 4.0}, {3, 2, 5},
+                10, 17.5);
+    const std::string text = w.finish();
+
+    EXPECT_NE(text.find("solarcore_lat_bucket{le=\"1\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_lat_bucket{le=\"2\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_lat_bucket{le=\"4\"} 10\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_lat_bucket{le=\"+Inf\"} 10\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_lat_sum 17.5\n"), std::string::npos);
+    EXPECT_NE(text.find("solarcore_lat_count 10\n"), std::string::npos);
+    EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
+}
+
+TEST(OpenMetricsWriter, RegistryMappingLintsClean)
+{
+    StatsRegistry reg;
+    reg.scalar("pv.solves", "MPP solves") += 41.0;
+    auto &v = reg.vector("chip.core.busy", 3, "per-core busy");
+    v.lane(1) += 2.0;
+    auto &h = reg.histogram("pv.iter", 0.0, 64.0, 8, "solver iterations");
+    h.add(3.0);
+    h.add(9.0);
+    h.add(1000.0); // clamps into the last bin => folded into +Inf
+    reg.formula(
+        "pv.rate", [](const StatsRegistry &r) { return r.value("pv.solves"); },
+        "derived");
+
+    OpenMetricsWriter w;
+    appendRegistry(w, reg);
+    const std::string text = w.finish();
+
+    EXPECT_NE(text.find("solarcore_pv_solves 41\n"), std::string::npos);
+    EXPECT_NE(text.find("solarcore_chip_core_busy{lane=\"1\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE solarcore_pv_iter histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("solarcore_pv_iter_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("solarcore_pv_rate 41\n"), std::string::npos);
+    EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
+}
+
+TEST(OpenMetricsWriter, ProfilerMappingLintsClean)
+{
+    Profiler profiler;
+    {
+        Profiler::Attach attach(&profiler);
+        ProfileScope day("day");
+        ProfileScope step("step");
+    }
+    OpenMetricsWriter w;
+    appendProfiler(w, profiler);
+    const std::string text = w.finish();
+
+    EXPECT_NE(text.find("solarcore_profile_scope_us"), std::string::npos);
+    EXPECT_NE(text.find("scope=\"day\""), std::string::npos);
+    EXPECT_NE(text.find("scope=\"day;step\""), std::string::npos);
+    EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
+}
+
+TEST(OpenMetricsLint, CatchesStructuralProblems)
+{
+    // Missing the terminating # EOF.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_x gauge\n"
+                            "solarcore_x 1\n")
+                     .empty());
+    // Counter samples must use the _total suffix.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_c counter\n"
+                            "solarcore_c 1\n"
+                            "# EOF\n")
+                     .empty());
+    // Histogram buckets must be monotone non-decreasing.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"1\"} 5\n"
+                            "solarcore_h_bucket{le=\"2\"} 3\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 5\n"
+                            "solarcore_h_sum 1\n"
+                            "solarcore_h_count 5\n"
+                            "# EOF\n")
+                     .empty());
+    // +Inf bucket must equal _count.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 5\n"
+                            "solarcore_h_sum 1\n"
+                            "solarcore_h_count 7\n"
+                            "# EOF\n")
+                     .empty());
+    // Duplicate TYPE for one family.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_x gauge\n"
+                            "solarcore_x 1\n"
+                            "# TYPE solarcore_x gauge\n"
+                            "solarcore_x 2\n"
+                            "# EOF\n")
+                     .empty());
+    // Bad metric name.
+    EXPECT_FALSE(lintErrors("9bad-name 1\n# EOF\n").empty());
+}
+
+/** One plain HTTP GET against 127.0.0.1:port; returns the response. */
+std::string
+httpGet(int port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    EXPECT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+    std::string response;
+    char buf[1024];
+    for (;;) {
+        const auto n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(MetricsEndpoint, ServesLatestPayloadOnEphemeralPort)
+{
+    MetricsEndpoint endpoint;
+    ASSERT_TRUE(endpoint.start(0));
+    ASSERT_GT(endpoint.port(), 0);
+
+    endpoint.update("# TYPE solarcore_x gauge\nsolarcore_x 1\n# EOF\n");
+    std::string response = httpGet(endpoint.port());
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/openmetrics-text"),
+              std::string::npos);
+    EXPECT_NE(response.find("solarcore_x 1\n"), std::string::npos);
+
+    // A later update is what the next scrape sees.
+    endpoint.update("# TYPE solarcore_x gauge\nsolarcore_x 2\n# EOF\n");
+    response = httpGet(endpoint.port());
+    EXPECT_NE(response.find("solarcore_x 2\n"), std::string::npos);
+    endpoint.stop();
+}
+
+TEST(MetricsEndpoint, WriteSnapshotIsAtomicAndComplete)
+{
+    MetricsEndpoint endpoint; // no server needed for the file path
+    const std::string payload =
+        "# TYPE solarcore_x gauge\nsolarcore_x 3\n# EOF\n";
+    endpoint.update(payload);
+
+    const std::string path =
+        testing::TempDir() + "metrics_snapshot_test.prom";
+    ASSERT_TRUE(endpoint.writeSnapshot(path));
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    EXPECT_EQ(ss.str(), payload);
+    // The temporary staging file must not linger.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * openmetrics_lint: structural validator for OpenMetrics exposition
+ * text, the CI gate behind the --metrics-port scrape.
+ *
+ *   curl -s http://127.0.0.1:9464/metrics | openmetrics_lint
+ *   openmetrics_lint metrics.prom
+ *
+ * Runs obs::lintOpenMetrics (HELP/TYPE presence, metric/label syntax,
+ * histogram bucket monotonicity and _sum/_count consistency, the
+ * terminating `# EOF`) over stdin or the named file. Exit 0 when
+ * clean; exit 1 with one error per line on stderr otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_export.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string text;
+    if (argc > 2 ||
+        (argc == 2 && std::string(argv[1]).rfind("--", 0) == 0)) {
+        std::cerr << "usage: openmetrics_lint [FILE]  "
+                     "(reads stdin without FILE)\n";
+        return 2;
+    }
+    if (argc == 2) {
+        std::ifstream is(argv[1]);
+        if (!is) {
+            std::cerr << "openmetrics_lint: cannot open '" << argv[1]
+                      << "'\n";
+            return 2;
+        }
+        std::stringstream ss;
+        ss << is.rdbuf();
+        text = ss.str();
+    } else {
+        std::stringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+    }
+    if (text.empty()) {
+        std::cerr << "openmetrics_lint: empty input\n";
+        return 1;
+    }
+
+    std::vector<std::string> errors;
+    if (!solarcore::obs::lintOpenMetrics(text, errors)) {
+        for (const auto &e : errors)
+            std::cerr << "openmetrics_lint: " << e << "\n";
+        std::cerr << "openmetrics_lint: FAIL (" << errors.size()
+                  << " problem" << (errors.size() == 1 ? "" : "s")
+                  << ")\n";
+        return 1;
+    }
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n';
+    std::cout << "openmetrics_lint: OK (" << lines << " lines)\n";
+    return 0;
+}

@@ -26,6 +26,11 @@
  *   --stats-out= --trace-out= --trace-buffer= --manifest-out=
  *   --telemetry-out= --telemetry-every= --telemetry-mode=
  *   --profile-out= --audit= --audit-out=
+ *   --status-out=FILE   run-health status.json heartbeat (watch it
+ *     live with tools/solarcore_top)
+ *   --metrics-out=FILE --metrics-port=N   OpenMetrics exposition
+ *     (file snapshot / embedded 127.0.0.1 scrape endpoint)
+ *   --postmortem-out=FILE   crash flight recorder (postmortem.json)
  *
  * Campaigns audit invariants in counting mode by default (--audit=off
  * to disable); each unit's violation count lands in the summary, so
@@ -63,7 +68,9 @@ usage(const char *complaint = nullptr)
            "  [--telemetry-out=F.csv] [--telemetry-every=N] "
            "[--telemetry-mode=every|minmax]\n"
            "  [--profile-out=F.json] [--audit=off|count|strict "
-           "(default count)] [--audit-out=F.json]\n";
+           "(default count)] [--audit-out=F.json]\n"
+           "  [--status-out=F.json] [--metrics-out=F] "
+           "[--metrics-port=N] [--postmortem-out=F.json]\n";
     std::exit(2);
 }
 
@@ -146,6 +153,8 @@ main(int argc, char **argv)
             options.resume = true;
         } else if (key == "--verbose") {
             options.verbose = true;
+        } else if (key == "--status-out") {
+            options.statusPath = value;
         } else {
             usage(("unknown option " + key).c_str());
         }

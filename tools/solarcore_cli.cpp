@@ -21,7 +21,12 @@
  * Observability (see src/obs/): --stats-out=FILE --trace-out=FILE
  * --trace-buffer=N --manifest-out=FILE --telemetry-out=FILE
  * --telemetry-every=N --telemetry-mode=every|minmax --profile-out=FILE
- * --audit=off|count|strict --audit-out=FILE. The trace is Chrome
+ * --audit=off|count|strict --audit-out=FILE --metrics-out=FILE
+ * --metrics-port=N --postmortem-out=FILE. --metrics-out renders the
+ * stats registry (and the profiler tree when profiled) as an
+ * OpenMetrics exposition at exit; --postmortem-out arms the crash
+ * flight recorder, so a fatal signal or strict-audit abort leaves a
+ * postmortem.json behind. The trace is Chrome
  * trace_event JSON (Perfetto-loadable) unless FILE ends in .jsonl;
  * when both a trace and telemetry are requested, the waveform channels
  * are woven into the trace as Perfetto counter tracks. The command
@@ -43,7 +48,9 @@
 #include "core/solarcore.hpp"
 #include "pv/pv_kernel.hpp"
 #include "obs/auditor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics_export.hpp"
 #include "obs/obs_options.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats_registry.hpp"
@@ -92,7 +99,9 @@ usage()
            "  --telemetry-out=FILE.csv  --telemetry-every=<n>  "
            "--telemetry-mode=every|minmax\n"
            "  --profile-out=FILE.json  --audit=off|count|strict  "
-           "--audit-out=FILE.json\n";
+           "--audit-out=FILE.json\n"
+           "  --metrics-out=FILE  --metrics-port=N  "
+           "--postmortem-out=FILE.json\n";
     std::exit(2);
 }
 
@@ -312,7 +321,9 @@ main(int argc, char **argv)
     std::optional<obs::TelemetryRecorder> telemetry;
     std::optional<obs::Profiler> profiler;
     std::optional<obs::Auditor> audit;
-    if (opt.obs.statsRequested())
+    // --metrics-out alone is enough to collect stats: the exposition
+    // is rendered from the registry even when no --stats-out is given.
+    if (opt.obs.statsRequested() || opt.obs.metricsRequested())
         opt.stats = &stats.emplace();
     if (opt.obs.traceRequested())
         opt.trace = &trace.emplace(opt.obs.traceBufferCap);
@@ -330,6 +341,22 @@ main(int argc, char **argv)
     std::optional<obs::Profiler::Attach> attach;
     if (profiler)
         attach.emplace(&*profiler);
+
+    if (opt.obs.postmortemRequested()) {
+        obs::FlightRecorderConfig fr_cfg;
+        fr_cfg.outputPath = opt.obs.postmortemOut;
+        obs::FlightRecorder::install(fr_cfg);
+        if (!opt.obs.manifestOut.empty())
+            obs::FlightRecorder::setManifestPath(opt.obs.manifestOut);
+        obs::FlightRecorder::beginUnit(opt.command.c_str(),
+                                       trace ? &*trace : nullptr);
+    }
+    obs::MetricsEndpoint metrics;
+    if (opt.obs.metricsPort >= 0 &&
+        metrics.start(opt.obs.metricsPort)) {
+        std::cerr << "solarcore_cli: serving metrics on 127.0.0.1:"
+                  << metrics.port() << "\n";
+    }
 
     int rc;
     if (opt.command == "summary")
@@ -377,6 +404,17 @@ main(int argc, char **argv)
         if (trace && trace->dropped() > 0)
             manifest.set("trace_dropped_events", trace->dropped());
         opt.obs.writeManifest(manifest);
+    }
+    if (opt.obs.metricsRequested()) {
+        attach.reset(); // close the profiler before rendering it
+        obs::OpenMetricsWriter w;
+        if (stats)
+            obs::appendRegistry(w, *stats);
+        if (profiler)
+            obs::appendProfiler(w, *profiler);
+        metrics.update(w.finish());
+        if (!opt.obs.metricsOut.empty())
+            metrics.writeSnapshot(opt.obs.metricsOut);
     }
     return rc;
 }

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * solarcore_top: a refreshing terminal dashboard over the campaign
+ * runner's --status-out heartbeat file.
+ *
+ *   solarcore_campaign --preset=fig13 --status-out=status.json ... &
+ *   solarcore_top --status=status.json
+ *
+ * Re-reads the atomically-replaced status.json on an interval and
+ * renders progress (bar, units/s, ETA), worker occupancy and the
+ * in-flight unit keys. Exits on its own once the campaign reports
+ * completion; --once prints a single frame without the ANSI refresh
+ * (scripts, CI logs).
+ *
+ * The reader tolerates a missing file (the campaign has not started
+ * yet) and a schema it does not recognize (it says so and keeps
+ * polling), so it can be started before the campaign.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/golden.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+struct Status
+{
+    std::string signature;
+    double total = 0, pending = 0, resumed = 0, done = 0;
+    double inflight = 0, queueDepth = 0, workers = 0;
+    double elapsed = 0, rate = 0, eta = 0, utilization = 0;
+    std::vector<std::string> busy;
+};
+
+[[noreturn]] void
+usage(const char *complaint = nullptr)
+{
+    if (complaint)
+        std::cerr << "solarcore_top: " << complaint << "\n";
+    std::cerr << "usage: solarcore_top --status=FILE [--interval=SECONDS]"
+                 " [--once]\n";
+    std::exit(2);
+}
+
+double
+num(const campaign::FlatJson &doc, const std::string &key)
+{
+    const auto it = doc.find(key);
+    return it == doc.end() ? 0.0 : it->second.number;
+}
+
+bool
+loadStatus(const std::string &path, Status &out, std::string &problem)
+{
+    std::ifstream is(path);
+    if (!is) {
+        problem = "waiting for " + path;
+        return false;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    campaign::FlatJson doc;
+    std::string error;
+    if (!campaign::parseJsonFlat(ss.str(), doc, error)) {
+        // A torn read cannot happen (the writer renames); a parse
+        // error means the file is something else entirely.
+        problem = "unparsable status file: " + error;
+        return false;
+    }
+    const auto schema = doc.find("schema");
+    if (schema == doc.end() ||
+        schema->second.text != "solarcore-campaign-status-v1") {
+        problem = "not a solarcore campaign status file";
+        return false;
+    }
+    const auto sig = doc.find("signature");
+    out.signature =
+        sig == doc.end() ? std::string() : sig->second.text;
+    out.total = num(doc, "units_total");
+    out.pending = num(doc, "units_pending");
+    out.resumed = num(doc, "units_resumed");
+    out.done = num(doc, "units_done");
+    out.inflight = num(doc, "units_inflight");
+    out.queueDepth = num(doc, "queue_depth");
+    out.workers = num(doc, "workers");
+    out.elapsed = num(doc, "elapsed_seconds");
+    out.rate = num(doc, "units_per_second");
+    out.eta = num(doc, "eta_seconds");
+    out.utilization = num(doc, "worker_utilization");
+    out.busy.clear();
+    for (std::size_t i = 0;; ++i) {
+        const auto it = doc.find("busy." + std::to_string(i));
+        if (it == doc.end())
+            break;
+        out.busy.push_back(it->second.text);
+    }
+    return true;
+}
+
+std::string
+fmtDuration(double seconds)
+{
+    if (!std::isfinite(seconds) || seconds < 0)
+        seconds = 0;
+    const auto s = static_cast<long>(seconds + 0.5);
+    char buf[32];
+    if (s >= 3600)
+        std::snprintf(buf, sizeof(buf), "%ldh%02ldm", s / 3600,
+                      (s % 3600) / 60);
+    else if (s >= 60)
+        std::snprintf(buf, sizeof(buf), "%ldm%02lds", s / 60, s % 60);
+    else
+        std::snprintf(buf, sizeof(buf), "%lds", s);
+    return buf;
+}
+
+void
+render(std::ostream &os, const Status &st)
+{
+    const double denom = st.pending > 0 ? st.pending : 1.0;
+    const double frac = std::min(st.done / denom, 1.0);
+    constexpr int kBarWidth = 40;
+    const int fill = static_cast<int>(frac * kBarWidth + 0.5);
+
+    os << "solarcore campaign\n";
+    if (!st.signature.empty())
+        os << "  grid     " << st.signature << "\n";
+    os << "  progress [";
+    for (int i = 0; i < kBarWidth; ++i)
+        os << (i < fill ? '#' : '-');
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%5.1f%%", frac * 100.0);
+    os << "] " << pct << "  " << static_cast<long>(st.done) << "/"
+       << static_cast<long>(st.pending);
+    if (st.resumed > 0)
+        os << " (+" << static_cast<long>(st.resumed) << " resumed)";
+    os << "\n";
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f", st.rate);
+    os << "  rate     " << rate << " units/s   elapsed "
+       << fmtDuration(st.elapsed) << "   eta "
+       << (st.done >= st.pending ? "done" : fmtDuration(st.eta)) << "\n";
+    char util[16];
+    std::snprintf(util, sizeof(util), "%.0f%%", st.utilization * 100.0);
+    os << "  workers  " << static_cast<long>(st.inflight) << "/"
+       << static_cast<long>(st.workers) << " busy (" << util
+       << ")   queue " << static_cast<long>(st.queueDepth) << "\n";
+    if (!st.busy.empty()) {
+        os << "  running ";
+        constexpr std::size_t kMaxShown = 8;
+        for (std::size_t i = 0; i < st.busy.size() && i < kMaxShown; ++i)
+            os << ' ' << st.busy[i];
+        if (st.busy.size() > kMaxShown)
+            os << " (+" << st.busy.size() - kMaxShown << " more)";
+        os << "\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string status_path;
+    double interval = 1.0;
+    bool once = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--status")
+            status_path = value;
+        else if (key == "--interval")
+            interval = std::strtod(value.c_str(), nullptr);
+        else if (key == "--once")
+            once = true;
+        else
+            usage(("unknown option " + key).c_str());
+    }
+    if (status_path.empty())
+        usage("--status=FILE is required");
+    if (!(interval > 0))
+        usage("--interval must be positive");
+
+    for (;;) {
+        Status st;
+        std::string problem;
+        const bool ok = loadStatus(status_path, st, problem);
+        if (once) {
+            if (!ok) {
+                std::cerr << "solarcore_top: " << problem << "\n";
+                return 1;
+            }
+            render(std::cout, st);
+            return 0;
+        }
+        // One frame per refresh: clear, home, draw.
+        std::ostringstream frame;
+        frame << "\x1b[H\x1b[2J";
+        if (ok)
+            render(frame, st);
+        else
+            frame << "solarcore_top: " << problem << "\n";
+        std::cout << frame.str() << std::flush;
+        if (ok && st.done >= st.pending && st.pending > 0) {
+            std::cout << "campaign complete\n";
+            return 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+    }
+}
