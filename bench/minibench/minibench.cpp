@@ -1,0 +1,507 @@
+#include "benchmark/benchmark.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace benchmark {
+
+namespace {
+
+double
+processCpuSeconds()
+{
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) +
+            static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+const char *
+timeUnitName(TimeUnit unit)
+{
+    switch (unit) {
+    case kNanosecond:
+        return "ns";
+    case kMicrosecond:
+        return "us";
+    case kMillisecond:
+        return "ms";
+    case kSecond:
+        return "s";
+    }
+    return "ns";
+}
+
+double
+timeUnitPerSecond(TimeUnit unit)
+{
+    switch (unit) {
+    case kNanosecond:
+        return 1e9;
+    case kMicrosecond:
+        return 1e6;
+    case kMillisecond:
+        return 1e3;
+    case kSecond:
+        return 1.0;
+    }
+    return 1e9;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    // %g can produce "1e+06"-style output, which is valid JSON.
+    return buf;
+}
+
+} // namespace
+
+void
+State::startLoop()
+{
+    if (started_)
+        return;
+    started_ = true;
+    cpuStart_ = processCpuSeconds();
+    realStart_ = std::chrono::steady_clock::now();
+}
+
+void
+State::finishLoop()
+{
+    if (!started_ || finished_)
+        return;
+    finished_ = true;
+    realSeconds_ = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - realStart_)
+                       .count();
+    cpuSeconds_ = processCpuSeconds() - cpuStart_;
+}
+
+namespace internal {
+
+namespace {
+
+std::vector<Benchmark *> &
+registry()
+{
+    static std::vector<Benchmark *> benchmarks;
+    return benchmarks;
+}
+
+/** One runnable (benchmark, argument list) pair. */
+struct Instance
+{
+    const Benchmark *family = nullptr;
+    std::vector<std::int64_t> args;
+
+    std::string name() const
+    {
+        std::string n = family->name();
+        for (const std::int64_t a : args) {
+            n += '/';
+            n += std::to_string(a);
+        }
+        return n;
+    }
+};
+
+/** One repetition's report row. */
+struct Row
+{
+    std::string name;
+    TimeUnit unit = kNanosecond;
+    std::int64_t iterations = 0;
+    double realTimePerIter = 0.0; //!< in `unit`
+    double cpuTimePerIter = 0.0;  //!< in `unit`
+    double itemsPerSecond = 0.0;  //!< 0 when not set
+    bool error = false;
+    std::string errorMessage;
+};
+
+struct Options
+{
+    std::string filter;
+    std::string format = "console";
+    std::string outPath;
+    std::string outFormat = "json";
+    int repetitions = 1;
+    double minTime = 0.25;
+};
+
+/** Run one instance at a fixed iteration count. */
+State
+runOnce(const Instance &inst, std::int64_t iters)
+{
+    State state(iters, inst.args);
+    inst.family->function()(state);
+    return state;
+}
+
+/**
+ * Grow the iteration count until the timing loop runs >= minTime (the
+ * google-benchmark calibration shape: multiply by the projected
+ * shortfall with head-room, clamped to [2x, 10x] per step).
+ */
+std::int64_t
+calibrate(const Instance &inst, double min_time, bool &error,
+          std::string &error_message)
+{
+    constexpr std::int64_t kMaxIters = 1000000000;
+    std::int64_t iters = 1;
+    for (;;) {
+        const State state = runOnce(inst, iters);
+        if (state.errorOccurred()) {
+            error = true;
+            error_message = state.errorMessage();
+            return iters;
+        }
+        const double t = state.realSeconds();
+        if (t >= min_time || iters >= kMaxIters)
+            return iters;
+        double mult = min_time / std::max(t, 1e-9) * 1.4;
+        mult = std::min(10.0, std::max(2.0, mult));
+        iters = std::min<double>(static_cast<double>(kMaxIters),
+                                 static_cast<double>(iters) * mult + 1.0);
+    }
+}
+
+std::string
+contextJson(const char *executable)
+{
+    std::ostringstream os;
+
+    char date[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+#if defined(__unix__) || defined(__APPLE__)
+    localtime_r(&now, &tm_buf);
+#else
+    tm_buf = *std::localtime(&now);
+#endif
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+
+    char host[256] = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (gethostname(host, sizeof(host)) != 0)
+        std::strcpy(host, "unknown");
+    host[sizeof(host) - 1] = '\0';
+#endif
+
+    double mhz = 0.0;
+    {
+        std::ifstream cpuinfo("/proc/cpuinfo");
+        std::string line;
+        while (std::getline(cpuinfo, line)) {
+            if (line.rfind("cpu MHz", 0) == 0) {
+                const auto colon = line.find(':');
+                if (colon != std::string::npos)
+                    mhz = std::strtod(line.c_str() + colon + 1, nullptr);
+                break;
+            }
+        }
+    }
+
+    bool scaling = false;
+    {
+        std::ifstream gov("/sys/devices/system/cpu/cpu0/cpufreq/"
+                          "scaling_governor");
+        std::string governor;
+        if (gov >> governor)
+            scaling = governor != "performance";
+    }
+
+    double load[3] = {0.0, 0.0, 0.0};
+#if defined(__unix__) || defined(__APPLE__)
+    if (getloadavg(load, 3) != 3)
+        load[0] = load[1] = load[2] = 0.0;
+#endif
+
+    os << "    \"date\": \"" << date << "\",\n";
+    os << "    \"host_name\": \"" << jsonEscape(host) << "\",\n";
+    os << "    \"executable\": \"" << jsonEscape(executable) << "\",\n";
+    os << "    \"num_cpus\": " << std::thread::hardware_concurrency()
+       << ",\n";
+    os << "    \"mhz_per_cpu\": " << jsonDouble(mhz) << ",\n";
+    os << "    \"cpu_scaling_enabled\": " << (scaling ? "true" : "false")
+       << ",\n";
+    os << "    \"caches\": [\n    ],\n";
+    os << "    \"load_avg\": [" << jsonDouble(load[0]) << ","
+       << jsonDouble(load[1]) << "," << jsonDouble(load[2]) << "],\n";
+    // The whole point of the in-tree shim: this stamp describes the
+    // flags the timing loop itself was compiled with.
+#ifdef NDEBUG
+    os << "    \"library_build_type\": \"release\"\n";
+#else
+    os << "    \"library_build_type\": \"debug\"\n";
+#endif
+    return os.str();
+}
+
+std::string
+reportJson(const std::vector<Row> &rows, const char *executable)
+{
+    std::ostringstream os;
+    os << "{\n  \"context\": {\n" << contextJson(executable) << "  },\n";
+    os << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        os << "    {\n";
+        os << "      \"name\": \"" << jsonEscape(r.name) << "\",\n";
+        os << "      \"run_name\": \"" << jsonEscape(r.name) << "\",\n";
+        os << "      \"run_type\": \"iteration\",\n";
+        os << "      \"repetitions\": 0,\n";
+        os << "      \"threads\": 1,\n";
+        if (r.error) {
+            os << "      \"error_occurred\": true,\n";
+            os << "      \"error_message\": \""
+               << jsonEscape(r.errorMessage) << "\"\n";
+        } else {
+            os << "      \"iterations\": " << r.iterations << ",\n";
+            os << "      \"real_time\": " << jsonDouble(r.realTimePerIter)
+               << ",\n";
+            os << "      \"cpu_time\": " << jsonDouble(r.cpuTimePerIter)
+               << ",\n";
+            if (r.itemsPerSecond > 0.0)
+                os << "      \"items_per_second\": "
+                   << jsonDouble(r.itemsPerSecond) << ",\n";
+            os << "      \"time_unit\": \"" << timeUnitName(r.unit)
+               << "\"\n";
+        }
+        os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+reportConsole(std::ostream &os, const std::vector<Row> &rows)
+{
+    os << "----------------------------------------------------------\n";
+    os << "Benchmark                        Time        Iterations\n";
+    os << "----------------------------------------------------------\n";
+    for (const Row &r : rows) {
+        if (r.error) {
+            os << r.name << "  ERROR: " << r.errorMessage << "\n";
+            continue;
+        }
+        char line[256];
+        std::snprintf(line, sizeof(line), "%-28s %10.3f %-3s %12lld\n",
+                      r.name.c_str(), r.realTimePerIter,
+                      timeUnitName(r.unit),
+                      static_cast<long long>(r.iterations));
+        os << line;
+    }
+}
+
+} // namespace
+
+Benchmark::Benchmark(std::string name, Function fn)
+    : name_(std::move(name)), fn_(fn)
+{}
+
+Benchmark *
+Benchmark::Arg(std::int64_t value)
+{
+    argLists_.push_back({value});
+    return this;
+}
+
+Benchmark *
+Benchmark::Unit(TimeUnit unit)
+{
+    unit_ = unit;
+    return this;
+}
+
+Benchmark *
+RegisterBenchmark(const char *name, Function fn)
+{
+    // Leaked by design: registrations live for the whole process, and
+    // the registry must survive static destruction order.
+    auto *bench = new Benchmark(name, fn);
+    registry().push_back(bench);
+    return bench;
+}
+
+int
+RunAllBenchmarks(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        const std::string key = arg.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (key == "--benchmark_filter") {
+            opt.filter = value;
+        } else if (key == "--benchmark_format") {
+            opt.format = value;
+        } else if (key == "--benchmark_out") {
+            opt.outPath = value;
+        } else if (key == "--benchmark_out_format") {
+            opt.outFormat = value;
+        } else if (key == "--benchmark_repetitions") {
+            opt.repetitions = std::max(1, std::atoi(value.c_str()));
+        } else if (key == "--benchmark_min_time") {
+            const double t = std::strtod(value.c_str(), nullptr);
+            if (t > 0.0)
+                opt.minTime = t;
+        } else if (key.rfind("--benchmark_", 0) == 0) {
+            std::cerr << "minibench: ignoring unsupported flag " << key
+                      << "\n";
+        } else {
+            std::cerr << "minibench: unknown argument " << arg << "\n";
+            return 2;
+        }
+    }
+
+    std::unique_ptr<std::regex> filter;
+    if (!opt.filter.empty()) {
+        try {
+            filter = std::make_unique<std::regex>(opt.filter);
+        } catch (const std::regex_error &e) {
+            std::cerr << "minibench: bad --benchmark_filter: " << e.what()
+                      << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<Instance> instances;
+    for (const Benchmark *family : registry()) {
+        if (family->argLists().empty()) {
+            Instance inst;
+            inst.family = family;
+            instances.push_back(std::move(inst));
+            continue;
+        }
+        for (const auto &args : family->argLists()) {
+            Instance inst;
+            inst.family = family;
+            inst.args = args;
+            instances.push_back(std::move(inst));
+        }
+    }
+
+    std::vector<Row> rows;
+    for (const Instance &inst : instances) {
+        const std::string name = inst.name();
+        if (filter && !std::regex_search(name, *filter))
+            continue;
+
+        bool error = false;
+        std::string error_message;
+        const std::int64_t iters =
+            calibrate(inst, opt.minTime, error, error_message);
+        if (error) {
+            Row row;
+            row.name = name;
+            row.unit = inst.family->unit();
+            row.error = true;
+            row.errorMessage = error_message;
+            rows.push_back(std::move(row));
+            continue;
+        }
+
+        const double scale = timeUnitPerSecond(inst.family->unit());
+        for (int rep = 0; rep < opt.repetitions; ++rep) {
+            const State state = runOnce(inst, iters);
+            Row row;
+            row.name = name;
+            row.unit = inst.family->unit();
+            if (state.errorOccurred()) {
+                row.error = true;
+                row.errorMessage = state.errorMessage();
+            } else {
+                row.iterations = iters;
+                row.realTimePerIter = state.realSeconds() /
+                    static_cast<double>(iters) * scale;
+                row.cpuTimePerIter = state.cpuSeconds() /
+                    static_cast<double>(iters) * scale;
+                if (state.itemsProcessed() > 0 &&
+                    state.realSeconds() > 0.0)
+                    row.itemsPerSecond =
+                        static_cast<double>(state.itemsProcessed()) /
+                        state.realSeconds();
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+
+    const char *executable = argc > 0 ? argv[0] : "unknown";
+    if (!opt.outPath.empty()) {
+        if (opt.outFormat != "json") {
+            std::cerr << "minibench: only --benchmark_out_format=json is "
+                         "supported\n";
+            return 2;
+        }
+        std::ofstream out(opt.outPath, std::ios::trunc);
+        if (!out) {
+            std::cerr << "minibench: cannot open '" << opt.outPath
+                      << "'\n";
+            return 1;
+        }
+        out << reportJson(rows, executable);
+    }
+    if (opt.format == "json")
+        std::cout << reportJson(rows, executable);
+    else
+        reportConsole(std::cout, rows);
+    return 0;
+}
+
+} // namespace internal
+
+} // namespace benchmark

@@ -76,19 +76,56 @@ if [[ ! -x "${bench_bin}" ]]; then
     exit 1
 fi
 
+# --- machine-load sanity check -------------------------------------
+# A 1-minute load average above the CPU count at bench start means the
+# numbers are being taken on a contended machine; warn loudly and
+# record the fact in every output file's context so a noisy baseline
+# is self-describing.
+num_cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+load_1min="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+load_high=0
+if python3 -c "import sys; sys.exit(0 if float('${load_1min}') > float('${num_cpus}') else 1)"; then
+    load_high=1
+    echo "warning: 1-minute load average ${load_1min} exceeds" \
+         "${num_cpus} cpus at bench start; numbers may be noisy" >&2
+fi
+
 # Stamp the build type (and kernel info) into a benchmark JSON file so
-# every recorded baseline says what produced it.
+# every recorded baseline says what produced it, plus the machine-load
+# state observed at bench start.
 stamp_json() {
-    python3 - "$1" "${build_type}" <<'EOF'
+    python3 - "$1" "${build_type}" "${load_1min}" "${load_high}" <<'EOF'
 import json, sys
-path, build_type = sys.argv[1], sys.argv[2]
+path, build_type, load_1min, load_high = sys.argv[1:5]
 with open(path) as f:
     doc = json.load(f)
-doc.setdefault("context", {})["solarcore_build_type"] = build_type
+ctx = doc.setdefault("context", {})
+ctx["solarcore_build_type"] = build_type
+ctx["load_avg_at_start"] = float(load_1min)
+ctx["load_avg_exceeded_cpus"] = load_high == "1"
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")
 EOF
+}
+
+# Refuse baselines measured through a debug benchmark library: the
+# harness (in-tree minibench) stamps the NDEBUG state it was compiled
+# with into context.library_build_type, and assert-laden timing loops
+# are not comparable to release ones. Same bypass knob as the Release
+# enforcement above.
+check_library_stamp() {
+    local stamp
+    stamp="$(python3 -c "import json,sys; \
+print(json.load(open(sys.argv[1])).get('context',{}) \
+.get('library_build_type','unknown'))" "$1")"
+    if [[ "${stamp}" != "release" &&
+          "${SOLARCORE_BENCH_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
+        echo "error: $1 was produced by a '${stamp}' benchmark" \
+             "library; baselines need a release-built harness." >&2
+        echo "(set SOLARCORE_BENCH_ALLOW_NON_RELEASE=1 to bypass)" >&2
+        exit 1
+    fi
 }
 
 out="${repo_root}/BENCH_pv.json"
@@ -97,6 +134,7 @@ out="${repo_root}/BENCH_pv.json"
     --benchmark_out="${out}" \
     --benchmark_out_format=json \
     "$@"
+check_library_stamp "${out}"
 stamp_json "${out}"
 echo "wrote ${out}"
 
@@ -233,12 +271,51 @@ if [[ -x "${campaign_bin}" && -x "${golden_bin}" ]]; then
     "${golden_bin}" --check "${campaign_tmp}/scalar.json" \
         "${campaign_tmp}/auto.json"
 
+    # Execution-engine modes on the same preset: a forked-worker cold
+    # run, then a warm unit-cache re-run (the cache dir was just
+    # populated by the cold run). Each must reproduce the in-process
+    # summary byte-for-byte, and the warm run's status.json carries
+    # the hit/miss counters recorded below.
+    run_fig13_mode() { # extra-args out-name -> units/sec
+        local t0 t1 log rate units
+        t0="$(date +%s.%N)"
+        log="$("${campaign_bin}" --preset=fig13 --pv-kernel=auto \
+            --out="${campaign_tmp}/$2.json" \
+            --status-out="${campaign_tmp}/$2.status.json" \
+            --verbose $1 2>&1)"
+        t1="$(date +%s.%N)"
+        rate="$(sed -n 's/.*, \([0-9.]*\) u\/s.*/\1/p' <<<"${log}" |
+            tail -1)"
+        if [[ -z "${rate}" ]]; then
+            # A fully-cached run finishes before the first progress
+            # line; fall back to wall-clock units/sec.
+            units="$(sed -n 's/^campaign: \([0-9]*\) units$/\1/p' \
+                <<<"${log}")"
+            rate="$(python3 -c "print(float('${units:-0}') /
+max(float('${t1}') - float('${t0}'), 1e-9))")"
+        fi
+        echo "${rate}"
+    }
+    workers_rate="$(run_fig13_mode "--workers=2" workers)"
+    cold_rate="$(run_fig13_mode \
+        "--unit-cache=${campaign_tmp}/ucache" cachecold)"
+    warm_rate="$(run_fig13_mode \
+        "--unit-cache=${campaign_tmp}/ucache" cachewarm)"
+    cmp "${campaign_tmp}/auto.json" "${campaign_tmp}/workers.json"
+    cmp "${campaign_tmp}/auto.json" "${campaign_tmp}/cachewarm.json"
+
     campaign_out="${repo_root}/BENCH_campaign.json"
     python3 - "${campaign_out}" "${build_type}" "${scalar_rate}" \
-        "${auto_rate}" "${dispatched}" <<'EOF'
+        "${auto_rate}" "${dispatched}" "${workers_rate}" \
+        "${cold_rate}" "${warm_rate}" \
+        "${campaign_tmp}/cachewarm.status.json" <<'EOF'
 import json, sys
-path, build_type, scalar, auto, dispatched = sys.argv[1:6]
+(path, build_type, scalar, auto, dispatched, workers, cold, warm,
+ warm_status) = sys.argv[1:10]
 scalar, auto = float(scalar), float(auto)
+workers, cold, warm = float(workers), float(cold), float(warm)
+with open(warm_status) as f:
+    cache = json.load(f).get("unit_cache", {})
 doc = {
     "preset": "fig13",
     "context": {"solarcore_build_type": build_type},
@@ -246,12 +323,28 @@ doc = {
     "dispatched_kernel": dispatched,
     "dispatched_units_per_second": auto,
     "speedup": auto / scalar if scalar else 0.0,
+    "workers2_units_per_second": workers,
+    "workers2_speedup": workers / auto if auto else 0.0,
+    "cache_cold_units_per_second": cold,
+    "cache_warm_units_per_second": warm,
+    "cache_warm_speedup": warm / cold if cold else 0.0,
+    "cache_hits": cache.get("hits", 0),
+    "cache_misses": cache.get("misses", 0),
+    "cache_stores": cache.get("stores", 0),
+    "cache_evictions": cache.get("evictions", 0),
 }
+if cache.get("misses", 0) != 0 or cache.get("hits", 0) == 0:
+    sys.exit(f"FAIL: warm cache re-run was not 100% hits: {cache}")
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")
 print(f"campaign fig13: {scalar:.1f} u/s scalar -> {auto:.1f} u/s "
       f"{dispatched} ({doc['speedup']:.2f}x), parity OK")
+print(f"campaign fig13: workers=2 {workers:.1f} u/s "
+      f"({doc['workers2_speedup']:.2f}x vs in-process), "
+      f"warm cache {warm:.1f} u/s vs cold {cold:.1f} u/s, "
+      f"{int(cache.get('hits', 0))}/"
+      f"{int(cache.get('hits', 0)) + int(cache.get('misses', 0))} hits")
 EOF
     rm -rf "${campaign_tmp}"
     echo "wrote ${campaign_out}"

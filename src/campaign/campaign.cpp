@@ -11,6 +11,8 @@
 
 #include "campaign/journal.hpp"
 #include "campaign/run_health.hpp"
+#include "campaign/shard_exec.hpp"
+#include "campaign/unit_cache.hpp"
 #include "core/simulation.hpp"
 #include "obs/auditor.hpp"
 #include "obs/flight_recorder.hpp"
@@ -98,7 +100,8 @@ const MetricField (&metricFields())[kNumMetricFields]
 UnitMetrics
 runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
         obs::StatsRegistry *stats, obs::TraceBuffer *trace,
-        obs::TelemetryRecorder *telemetry, obs::Auditor *audit)
+        obs::TelemetryRecorder *telemetry, obs::Auditor *audit,
+        core::SimWorkspace *workspace)
 {
     static const pv::PvModule module = pv::buildBp3180n();
     const auto day_trace =
@@ -113,6 +116,7 @@ runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
     cfg.trace = trace;
     cfg.telemetry = telemetry;
     cfg.audit = audit;
+    cfg.workspace = workspace;
 
     UnitMetrics m;
     if (unit.policy == CampaignPolicy::Battery) {
@@ -181,6 +185,34 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             }
         }
     }
+    // Persistent unit cache: completed units are served from disk
+    // before any scheduling. The audit mode salts every key because it
+    // changes the auditViolations metric.
+    std::optional<UnitResultCache> cache;
+    std::vector<std::size_t> cached_indices;
+    if (!options.unitCacheDir.empty()) {
+        const char *salt = options.obs.audit == obs::AuditMode::Off
+            ? "audit=off"
+            : options.obs.audit == obs::AuditMode::Count ? "audit=count"
+                                                         : "audit=strict";
+        cache.emplace(options.unitCacheDir, options.unitCacheCap, salt);
+        if (!cache->ok()) {
+            cache.reset();
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (done[i])
+                    continue;
+                UnitMetrics m;
+                if (cache->lookup(grid, outcome.units[i], m)) {
+                    outcome.results[i] = m;
+                    done[i] = 1;
+                    cached_indices.push_back(i);
+                }
+            }
+            outcome.unitsCached = static_cast<int>(cached_indices.size());
+        }
+    }
+
     std::vector<std::size_t> pending;
     pending.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -191,6 +223,11 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     if (!options.journalPath.empty())
         journal.emplace(options.journalPath, signature,
                         /*fresh=*/!recovery.headerValid);
+    // Cache hits are journaled like simulated units, so a later
+    // --resume reproduces them even without the cache directory.
+    if (journal)
+        for (const std::size_t i : cached_indices)
+            journal->append(static_cast<int>(i), outcome.results[i]);
 
     const bool want_stats = options.obs.statsRequested();
     const bool want_trace = options.obs.traceRequested();
@@ -200,12 +237,33 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     obs::AuditorConfig audit_cfg;
     if (options.obs.audit != obs::AuditMode::Off)
         audit_cfg.mode = options.obs.audit;
-    std::vector<std::unique_ptr<obs::StatsRegistry>> regs(pending.size());
-    std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs(pending.size());
-    std::vector<std::unique_ptr<obs::TelemetryRecorder>> telems(
-        pending.size());
-    std::vector<std::unique_ptr<obs::Profiler>> profs(pending.size());
-    std::vector<std::unique_ptr<obs::Auditor>> audits(pending.size());
+
+    // Heavy per-unit sinks stream objects (trace buffers, telemetry
+    // rows, profiler trees, audit violation records) that do not cross
+    // the worker pipe; they force the in-process path. Plain
+    // --audit=count still works under workers: the violation count
+    // rides in the unit metrics and audit.* counters in the stats wire.
+    const bool heavy = want_trace || want_telem || want_profile ||
+        !options.obs.auditOut.empty();
+    bool use_workers = options.workers > 1 && !pending.empty();
+    if (use_workers && heavy) {
+        SC_WARN("campaign: --workers needs per-process sinks "
+                "(trace/telemetry/profile/audit-out); running in-process");
+        use_workers = false;
+    }
+    if (use_workers && !processShardingSupported()) {
+        SC_WARN("campaign: process sharding unsupported on this "
+                "platform; running in-process");
+        use_workers = false;
+    }
+
+    // Fork the worker shards strictly before the first thread exists
+    // in this process (thread pool, metrics endpoint): fork() in a
+    // threaded process is where the dragons live.
+    std::unique_ptr<ProcessShardRun> shard;
+    if (use_workers)
+        shard = std::make_unique<ProcessShardRun>(
+            grid, options, outcome.units, pending, options.workers);
 
     // Run-health surfaces. Legacy per-unit heartbeats (journal
     // comments, --verbose stderr) and the new status.json / OpenMetrics
@@ -232,7 +290,10 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
         health_cfg.pendingUnits = pending.size();
         health_cfg.unitsResumed =
             static_cast<std::size_t>(outcome.unitsResumed);
-        health_cfg.workers = pool.threadCount();
+        health_cfg.workers =
+            use_workers ? shard->workerCount() : pool.threadCount();
+        health_cfg.processMode = use_workers;
+        health_cfg.cacheEnabled = cache.has_value();
         health_cfg.signature = signature;
         health_cfg.statusPath = options.statusPath;
         health_cfg.metricsPath = options.obs.metricsOut;
@@ -241,6 +302,9 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
         health_cfg.endpoint =
             options.obs.metricsPort >= 0 ? &endpoint : nullptr;
         health.emplace(std::move(health_cfg));
+        if (cache)
+            health->setCacheCounters(cached_indices.size(),
+                                     cache->counters());
     }
     if (options.obs.postmortemRequested()) {
         obs::FlightRecorderConfig fr_cfg;
@@ -248,9 +312,79 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
         obs::FlightRecorder::install(fr_cfg);
     }
 
-    pool.parallelFor(pending.size(), [&](std::size_t t) {
-        const std::size_t i = pending[t];
+    obs::StatsRegistry merged_stats;
+
+    // Once a unit's result has been journaled/cached/counted it must
+    // not be acted on again -- a crashed worker's shard is re-run in
+    // full when stats are on (the re-run regenerates the lost stats
+    // contributions), and those units' identical results would
+    // otherwise double-publish.
+    std::vector<char> reported(n, 0);
+
+    // Drain the worker pipes first; whatever they did not finish
+    // (fork failure, crash re-queue) falls through to the in-process
+    // path below.
+    std::vector<std::size_t> inproc;
+    if (use_workers) {
+        shard->drain(
+            [&](std::size_t i, const UnitMetrics &m) {
+                if (reported[i])
+                    return;
+                reported[i] = 1;
+                outcome.results[i] = m;
+                const std::string key = unitKey(outcome.units[i]);
+                if (health)
+                    health->unitStarted(key);
+                if (journal)
+                    journal->append(static_cast<int>(i), m);
+                if (cache)
+                    cache->store(grid, outcome.units[i], m);
+                if (health) {
+                    if (cache)
+                        health->setCacheCounters(cached_indices.size(),
+                                                 cache->counters());
+                    health->unitFinished(key);
+                }
+            },
+            [&](const ShardWorkerState &w) {
+                if (!health)
+                    return;
+                WorkerHealthRow row;
+                row.id = w.id;
+                row.pid = w.pid;
+                row.done = w.received;
+                row.total = w.shardEnd - w.shardBegin;
+                row.lastKey = w.lastKey;
+                row.alive = w.alive;
+                row.crashed = w.crashed;
+                health->workerUpdated(row);
+            });
+        outcome.workerCrashes = static_cast<int>(shard->crashes());
+        inproc = shard->unfinished();
+        if (want_stats) {
+            // Worker registries come first (worker-id order), then the
+            // in-process leftovers below in task order.
+            merged_stats.merge(shard->stats());
+            if (!shard->statsValid())
+                SC_WARN("campaign: some worker stats were lost; the "
+                        "stats dump may be incomplete (unit results and "
+                        "the summary are unaffected)");
+        }
+    } else {
+        inproc = pending;
+    }
+
+    std::vector<std::unique_ptr<obs::StatsRegistry>> regs(inproc.size());
+    std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs(inproc.size());
+    std::vector<std::unique_ptr<obs::TelemetryRecorder>> telems(
+        inproc.size());
+    std::vector<std::unique_ptr<obs::Profiler>> profs(inproc.size());
+    std::vector<std::unique_ptr<obs::Auditor>> audits(inproc.size());
+
+    pool.parallelFor(inproc.size(), [&](std::size_t t) {
+        const std::size_t i = inproc[t];
         const std::string key = unitKey(outcome.units[i]);
+        const bool fresh = !reported[i];
         if (want_stats)
             regs[t] = std::make_unique<obs::StatsRegistry>();
         if (want_trace)
@@ -263,7 +397,7 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             profs[t] = std::make_unique<obs::Profiler>();
         if (want_audit)
             audits[t] = std::make_unique<obs::Auditor>(audit_cfg);
-        if (health)
+        if (health && fresh)
             health->unitStarted(key);
         obs::FlightRecorder::beginUnit(key.c_str(), tbufs[t].get());
         {
@@ -271,25 +405,56 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             if (profs[t])
                 attach.emplace(profs[t].get());
             SC_PROFILE_SCOPE("campaign.unit");
+            // One workspace per pool thread: per-day step buffers keep
+            // their capacity across every unit this thread simulates.
+            static thread_local core::SimWorkspace workspace;
             outcome.results[i] =
                 runUnit(outcome.units[i], grid, regs[t].get(),
-                        tbufs[t].get(), telems[t].get(), audits[t].get());
+                        tbufs[t].get(), telems[t].get(), audits[t].get(),
+                        &workspace);
         }
         obs::FlightRecorder::endUnit();
-        if (journal)
-            journal->append(static_cast<int>(i), outcome.results[i]);
-        if (health)
-            health->unitFinished(key);
+        if (fresh) {
+            reported[i] = 1;
+            if (journal)
+                journal->append(static_cast<int>(i), outcome.results[i]);
+            if (cache)
+                cache->store(grid, outcome.units[i], outcome.results[i]);
+            if (health) {
+                if (cache)
+                    health->setCacheCounters(cached_indices.size(),
+                                             cache->counters());
+                health->unitFinished(key);
+            }
+        }
     });
     outcome.unitsRun = static_cast<int>(pending.size());
-    if (health)
+    if (health) {
+        if (cache)
+            health->setCacheCounters(cached_indices.size(),
+                                     cache->counters());
         health->finish();
+    }
 
-    obs::StatsRegistry merged_stats;
     if (want_stats) {
         for (const auto &reg : regs)
             if (reg)
                 merged_stats.merge(*reg);
+        if (cache) {
+            const UnitCacheCounters c = cache->counters();
+            merged_stats.scalar("campaign.unitCache.hits",
+                                "persistent unit-cache lookup hits") +=
+                static_cast<double>(c.hits);
+            merged_stats.scalar("campaign.unitCache.misses",
+                                "persistent unit-cache lookup misses") +=
+                static_cast<double>(c.misses);
+            merged_stats.scalar("campaign.unitCache.stores",
+                                "persistent unit-cache entries written") +=
+                static_cast<double>(c.stores);
+            merged_stats.scalar("campaign.unitCache.evictions",
+                                "persistent unit-cache LRU evictions") +=
+                static_cast<double>(c.evictions);
+        }
         options.obs.writeStats(merged_stats);
     }
 
@@ -314,7 +479,7 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             for (std::size_t t = 0; t < tbufs.size(); ++t) {
                 if (tbufs[t]) {
                     raw.push_back(tbufs[t].get());
-                    names.push_back(unitKey(outcome.units[pending[t]]));
+                    names.push_back(unitKey(outcome.units[inproc[t]]));
                 }
             }
             options.obs.writeTrace(obs::mergeBuffers(raw), names);
@@ -338,8 +503,8 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             // the CSV "unit" column names the unit even on resumed
             // campaigns (restored units contribute no rows).
             std::vector<obs::TelemetryRecorder *> by_unit(n, nullptr);
-            for (std::size_t t = 0; t < pending.size(); ++t)
-                by_unit[pending[t]] = telems[t].get();
+            for (std::size_t t = 0; t < inproc.size(); ++t)
+                by_unit[inproc[t]] = telems[t].get();
             options.obs.writeTelemetryConcat(by_unit);
             std::uint64_t rows = 0;
             for (const auto &telem : telems)
@@ -348,19 +513,43 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             manifest.set("telemetry_out", options.obs.telemetryOut);
             manifest.set("telemetry_rows", rows);
         }
-        options.obs.recordSidecars(manifest, nullptr,
-                                   want_profile ? &merged_prof : nullptr,
-                                   want_audit ? &merged_audit : nullptr);
+        // In worker mode the per-task auditors above only saw the
+        // in-process leftovers; the true totals live in the unit
+        // metrics (violations) and the stats wire (steps audited).
+        options.obs.recordSidecars(
+            manifest, nullptr, want_profile ? &merged_prof : nullptr,
+            want_audit && !use_workers ? &merged_audit : nullptr);
+        if (want_audit && use_workers) {
+            double violations = 0.0;
+            for (const std::size_t i : pending)
+                violations += outcome.results[i].auditViolations;
+            manifest.set("audit_violations",
+                         static_cast<std::uint64_t>(violations));
+            if (want_stats)
+                manifest.set(
+                    "audit_steps",
+                    static_cast<std::uint64_t>(
+                        merged_stats.value("audit.stepsAudited")));
+        }
         manifest.set("grid", signature);
         manifest.set("pv_kernel", pv::pvKernelName(pv::selectedPvKernel()));
         manifest.set("simd_level", cpuSimdLevelName());
         manifest.set("threads",
                      static_cast<std::uint64_t>(pool.threadCount()));
+        manifest.set("worker_processes",
+                     static_cast<std::uint64_t>(
+                         use_workers ? shard->workerCount() : 0));
         manifest.set("units", static_cast<std::uint64_t>(n));
         manifest.set("units_resumed",
                      static_cast<std::uint64_t>(outcome.unitsResumed));
         manifest.set("units_run",
                      static_cast<std::uint64_t>(outcome.unitsRun));
+        manifest.set("units_cached",
+                     static_cast<std::uint64_t>(outcome.unitsCached));
+        manifest.set("worker_crashes",
+                     static_cast<std::uint64_t>(outcome.workerCrashes));
+        if (cache)
+            manifest.set("unit_cache_dir", options.unitCacheDir);
         if (!options.journalPath.empty())
             manifest.set("journal", options.journalPath);
         options.obs.writeManifest(manifest);

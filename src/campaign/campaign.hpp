@@ -24,14 +24,24 @@
 #include "campaign/unit_metrics.hpp"
 #include "obs/obs_options.hpp"
 
+namespace solarcore::core {
+struct SimWorkspace;
+}
+
 namespace solarcore::campaign {
 
 /** Execution knobs of one campaign invocation. */
 struct CampaignOptions
 {
-    int threads = 0;          //!< worker count; 0 auto-detects
+    int threads = 0;          //!< thread count per process; 0 auto-detects
+    int workers = 1;          //!< forked worker processes; <=1 runs
+                              //!< in-process over the thread pool
     std::string journalPath;  //!< progress journal; empty disables
     bool resume = false;      //!< reuse completed units from the journal
+    std::string unitCacheDir; //!< persistent unit-result cache; empty
+                              //!< disables
+    std::size_t unitCacheCap = 4096; //!< cache LRU cap [entries]; 0 =
+                              //!< unlimited
     obs::ObsOptions obs;      //!< --stats-out / --trace-out / manifest
     bool verbose = false;     //!< per-unit progress lines on stderr
     std::string statusPath;   //!< run-health status.json; empty disables
@@ -44,19 +54,25 @@ struct CampaignOutcome
     std::vector<UnitMetrics> results;  //!< parallel to units
     int unitsResumed = 0;              //!< restored from the journal
     int unitsRun = 0;                  //!< simulated in this invocation
+    int unitsCached = 0;               //!< served from the unit cache
+    int workerCrashes = 0;             //!< forked workers that died
+                                       //!< (their shards were re-run)
 };
 
 /**
  * Simulate one unit of @p grid. Exposed for tests; the runner calls
  * this from worker threads. All sinks may be null. A non-null
  * @p audit contributes the unit's violation count to the returned
- * metrics and folds audit.* counters into @p stats.
+ * metrics and folds audit.* counters into @p stats. A non-null
+ * @p workspace supplies reusable per-step buffers (one per worker
+ * thread) so steady-state unit simulation is allocation-free.
  */
 UnitMetrics runUnit(const ScenarioUnit &unit, const ScenarioGrid &grid,
                     obs::StatsRegistry *stats = nullptr,
                     obs::TraceBuffer *trace = nullptr,
                     obs::TelemetryRecorder *telemetry = nullptr,
-                    obs::Auditor *audit = nullptr);
+                    obs::Auditor *audit = nullptr,
+                    core::SimWorkspace *workspace = nullptr);
 
 /** Expand, shard, execute (resuming if asked) and aggregate @p grid. */
 CampaignOutcome runCampaign(const ScenarioGrid &grid,

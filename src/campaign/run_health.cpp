@@ -18,7 +18,9 @@ namespace {
 void
 deriveRates(RunHealthSnapshot &s)
 {
-    s.queueDepth = s.pendingUnits - s.unitsDone - s.unitsInflight;
+    const std::size_t accounted = s.unitsDone + s.unitsInflight;
+    s.queueDepth =
+        s.pendingUnits > accounted ? s.pendingUnits - accounted : 0;
     s.unitsPerSecond = static_cast<double>(s.unitsDone) /
         std::max(s.elapsedSeconds, 1e-9);
     s.etaSeconds = static_cast<double>(s.pendingUnits - s.unitsDone) /
@@ -92,6 +94,31 @@ RunHealthReporter::unitFinished(const std::string &key)
 }
 
 void
+RunHealthReporter::workerUpdated(const WorkerHealthRow &row)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = std::find_if(
+            workerRows_.begin(), workerRows_.end(),
+            [&](const WorkerHealthRow &r) { return r.id == row.id; });
+        if (it == workerRows_.end())
+            workerRows_.push_back(row);
+        else
+            *it = row;
+    }
+    publish(/*force=*/false);
+}
+
+void
+RunHealthReporter::setCacheCounters(std::size_t units_cached,
+                                    const UnitCacheCounters &counters)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    unitsCached_ = units_cached;
+    cache_ = counters;
+}
+
+void
 RunHealthReporter::finish()
 {
     publish(/*force=*/true);
@@ -105,10 +132,15 @@ RunHealthReporter::snapshot() const
     s.pendingUnits = config_.pendingUnits;
     s.unitsResumed = config_.unitsResumed;
     s.workers = config_.workers;
+    s.processMode = config_.processMode;
+    s.cacheEnabled = config_.cacheEnabled;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s.unitsDone = done_;
         s.busyKeys = busy_;
+        s.workerRows = workerRows_;
+        s.unitsCached = unitsCached_;
+        s.cache = cache_;
         s.elapsedSeconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start_)
                                .count();
@@ -150,7 +182,42 @@ RunHealthReporter::renderStatusJson(const RunHealthSnapshot &snap,
             out += ',';
         out += jsonString(snap.busyKeys[i]);
     }
-    out += "]}\n";
+    out += ']';
+    out += ",\"process_mode\":";
+    out += snap.processMode ? "true" : "false";
+    if (snap.processMode) {
+        out += ",\"worker_rows\":[";
+        for (std::size_t i = 0; i < snap.workerRows.size(); ++i) {
+            const WorkerHealthRow &r = snap.workerRows[i];
+            if (i)
+                out += ',';
+            out += "{\"id\":" +
+                jsonNumber(static_cast<std::int64_t>(r.id));
+            out += ",\"pid\":" +
+                jsonNumber(static_cast<std::int64_t>(r.pid));
+            out += ",\"done\":" +
+                jsonNumber(static_cast<std::uint64_t>(r.done));
+            out += ",\"total\":" +
+                jsonNumber(static_cast<std::uint64_t>(r.total));
+            out += ",\"last_key\":" + jsonString(r.lastKey);
+            out += ",\"alive\":";
+            out += r.alive ? "true" : "false";
+            out += ",\"crashed\":";
+            out += r.crashed ? "true" : "false";
+            out += '}';
+        }
+        out += ']';
+    }
+    if (snap.cacheEnabled) {
+        out += ",\"unit_cache\":{\"units_cached\":" +
+            jsonNumber(static_cast<std::uint64_t>(snap.unitsCached));
+        out += ",\"hits\":" + jsonNumber(snap.cache.hits);
+        out += ",\"misses\":" + jsonNumber(snap.cache.misses);
+        out += ",\"stores\":" + jsonNumber(snap.cache.stores);
+        out += ",\"evictions\":" + jsonNumber(snap.cache.evictions);
+        out += '}';
+    }
+    out += "}\n";
     return out;
 }
 
@@ -195,6 +262,39 @@ RunHealthReporter::appendMetrics(obs::OpenMetricsWriter &w,
             "estimated time to completion [s]", snap.etaSeconds);
     w.gauge("solarcore_campaign_worker_utilization",
             "in-flight units / workers", snap.workerUtilization);
+    if (snap.processMode) {
+        w.gauge("solarcore_campaign_worker_processes",
+                "forked worker processes",
+                static_cast<double>(snap.workerRows.size()));
+        double crashed = 0.0;
+        for (const WorkerHealthRow &r : snap.workerRows)
+            crashed += r.crashed ? 1.0 : 0.0;
+        w.counter("solarcore_campaign_worker_crashes",
+                  "workers that died before completing their shard",
+                  crashed);
+        w.family("solarcore_campaign_worker_units_done", "gauge",
+                 "unit results received per forked worker");
+        for (const WorkerHealthRow &r : snap.workerRows)
+            w.sample("", {{"worker", std::to_string(r.id)}},
+                     static_cast<double>(r.done));
+    }
+    if (snap.cacheEnabled) {
+        w.counter("solarcore_campaign_unit_cache_hits",
+                  "persistent unit-cache lookup hits",
+                  static_cast<double>(snap.cache.hits));
+        w.counter("solarcore_campaign_unit_cache_misses",
+                  "persistent unit-cache lookup misses",
+                  static_cast<double>(snap.cache.misses));
+        w.counter("solarcore_campaign_unit_cache_stores",
+                  "persistent unit-cache entries written",
+                  static_cast<double>(snap.cache.stores));
+        w.counter("solarcore_campaign_unit_cache_evictions",
+                  "persistent unit-cache LRU evictions",
+                  static_cast<double>(snap.cache.evictions));
+        w.gauge("solarcore_campaign_units_cached",
+                "units served from the persistent cache this run",
+                static_cast<double>(snap.unitsCached));
+    }
 }
 
 void

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/unit_cache.hpp"
+
 namespace solarcore::obs {
 class MetricsEndpoint;
 class OpenMetricsWriter;
@@ -40,13 +42,28 @@ namespace solarcore::campaign {
 
 class JournalWriter;
 
+/** One forked worker's progress, as shown on the health surfaces. */
+struct WorkerHealthRow
+{
+    int id = -1;
+    long pid = -1;
+    std::size_t done = 0;  //!< unit results received from this worker
+    std::size_t total = 0; //!< its shard size
+    std::string lastKey;   //!< most recent unit key it completed
+    bool alive = true;
+    bool crashed = false;
+};
+
 /** What the reporter publishes and where. */
 struct RunHealthConfig
 {
     std::size_t totalUnits = 0;   //!< expanded grid size
     std::size_t pendingUnits = 0; //!< units executing this invocation
     std::size_t unitsResumed = 0; //!< restored from the journal
-    std::size_t workers = 0;      //!< thread-pool width
+    std::size_t workers = 0;      //!< thread-pool width (or process
+                                  //!< count in --workers mode)
+    bool processMode = false;     //!< forked-worker execution
+    bool cacheEnabled = false;    //!< --unit-cache in effect
     std::string signature;        //!< grid signature string
     std::string statusPath;       //!< status.json path; empty disables
     std::string metricsPath;      //!< OpenMetrics snapshot file path
@@ -71,6 +88,11 @@ struct RunHealthSnapshot
     double etaSeconds = 0.0;
     double workerUtilization = 0.0; //!< inflight / workers
     std::vector<std::string> busyKeys; //!< in-flight unit keys
+    bool processMode = false;          //!< forked-worker execution
+    std::vector<WorkerHealthRow> workerRows; //!< per forked worker
+    bool cacheEnabled = false;     //!< --unit-cache in effect
+    std::size_t unitsCached = 0;   //!< served from the unit cache
+    UnitCacheCounters cache;       //!< this run's cache activity
 };
 
 /** Thread-safe progress aggregator + publisher (see file header). */
@@ -92,6 +114,16 @@ class RunHealthReporter
      * status.json and the metrics payload.
      */
     void unitFinished(const std::string &key);
+
+    /**
+     * Upsert (by id) one forked worker's progress row and republish
+     * (throttled). Only the --workers parent calls this.
+     */
+    void workerUpdated(const WorkerHealthRow &row);
+
+    /** Refresh the unit-cache counters shown on the surfaces. */
+    void setCacheCounters(std::size_t units_cached,
+                          const UnitCacheCounters &counters);
 
     /** Final unthrottled publication (campaign end). */
     void finish();
@@ -118,6 +150,9 @@ class RunHealthReporter
     mutable std::mutex mutex_;
     std::size_t done_ = 0;
     std::vector<std::string> busy_;
+    std::vector<WorkerHealthRow> workerRows_;
+    std::size_t unitsCached_ = 0;
+    UnitCacheCounters cache_;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point lastPublish_;
     bool published_ = false;

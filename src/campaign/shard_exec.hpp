@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Multi-process campaign sharding: fork one worker process per
+ * contiguous shard of the pending unit list and stream results back
+ * over length-prefixed pipes (util/pipe_channel).
+ *
+ * Protocol (worker -> parent; the parent never writes):
+ *
+ *   frame 'U': u8 tag, u32 unit index, kNumMetricFields raw doubles
+ *              -- one completed unit's metrics, bit-exact (same
+ *              machine, same binary), so the parent-side summary is
+ *              byte-identical to an in-process run.
+ *   frame 'S': u8 tag, serialized stats registry (obs/stats_wire)
+ *              -- the worker's shard-merged registry, sent once after
+ *              its last unit; the parent folds worker registries in
+ *              worker-id order.
+ *
+ * A worker that exits without completing its shard (crash, nonzero
+ * exit, torn frame) is detected by EOF + waitpid; its incomplete
+ * units are re-queued for the parent to run in-process. When stats
+ * are being collected the *entire* shard of a crashed worker is
+ * re-queued -- results already received would be kept, but their
+ * stats contributions died with the worker, and a re-run restores
+ * both consistently.
+ *
+ * Fork-safety contract: construct (= fork) strictly before any thread
+ * exists in the parent -- before the ThreadPool, the metrics
+ * endpoint, and the flight recorder are set up. Workers inherit the
+ * resolved PV kernel (set pre-fork) and --threads for nested
+ * parallelism; they run no observability surfaces of their own beyond
+ * stats/audit counter collection.
+ */
+
+#ifndef SOLARCORE_CAMPAIGN_SHARD_EXEC_HPP
+#define SOLARCORE_CAMPAIGN_SHARD_EXEC_HPP
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "obs/stats_registry.hpp"
+
+namespace solarcore::campaign {
+
+/** True when fork()-based sharding works on this platform. */
+bool processShardingSupported();
+
+/** One forked worker, as the parent sees it. */
+struct ShardWorkerState
+{
+    int id = -1;              //!< 0-based worker index
+    long pid = -1;            //!< child process id
+    std::size_t shardBegin = 0; //!< first pending[] slot (inclusive)
+    std::size_t shardEnd = 0;   //!< last pending[] slot (exclusive)
+    std::size_t received = 0;   //!< unit results streamed back so far
+    std::string lastKey;        //!< most recent unit key received
+    bool alive = true;
+    bool crashed = false;       //!< nonzero exit or incomplete shard
+};
+
+/** Forks workers over a pending shard; parent-side result merger. */
+class ProcessShardRun
+{
+  public:
+    /**
+     * Fork @p workers children (clamped to pending.size()), each
+     * owning a contiguous shard of @p pending. Call only while the
+     * parent is single-threaded. @p units and @p pending must outlive
+     * drain().
+     */
+    ProcessShardRun(const ScenarioGrid &grid,
+                    const CampaignOptions &options,
+                    const std::vector<ScenarioUnit> &units,
+                    const std::vector<std::size_t> &pending, int workers);
+
+    std::size_t workerCount() const { return workers_.size(); }
+    const std::vector<ShardWorkerState> &workers() const
+    {
+        return workers_;
+    }
+
+    using UnitCallback =
+        std::function<void(std::size_t unitIndex, const UnitMetrics &)>;
+    using WorkerCallback = std::function<void(const ShardWorkerState &)>;
+
+    /**
+     * Parent event loop: poll worker pipes, invoke @p onUnit per
+     * arriving result (arbitrary arrival order; slot by index) and
+     * @p onWorker after each worker's state changes. Returns when
+     * every worker has exited and been reaped.
+     */
+    void drain(const UnitCallback &onUnit, const WorkerCallback &onWorker);
+
+    /** Pending indices that still need an in-process run. */
+    const std::vector<std::size_t> &unfinished() const
+    {
+        return unfinished_;
+    }
+
+    /** Workers that died before completing their shard. */
+    std::size_t crashes() const { return crashes_; }
+
+    /** Worker registries merged in worker-id order (post-drain);
+     *  valid only when stats collection was requested and every
+     *  surviving worker delivered its registry. */
+    const obs::StatsRegistry &stats() const { return stats_; }
+    bool statsValid() const { return statsValid_; }
+
+  private:
+    const ScenarioGrid *grid_;
+    const std::vector<ScenarioUnit> *units_;
+    const std::vector<std::size_t> *pending_;
+    bool wantStats_ = false;
+
+    std::vector<ShardWorkerState> workers_;
+    std::vector<int> fds_;                 //!< read ends, parallel
+    std::vector<std::string> statsBlobs_;  //!< per worker, maybe empty
+    std::vector<std::vector<char>> got_;   //!< per worker, per shard slot
+    std::vector<std::size_t> unfinished_;
+    obs::StatsRegistry stats_;
+    bool statsValid_ = false;
+    std::size_t crashes_ = 0;
+};
+
+} // namespace solarcore::campaign
+
+#endif // SOLARCORE_CAMPAIGN_SHARD_EXEC_HPP

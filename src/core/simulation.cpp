@@ -124,12 +124,7 @@ foldDayStats(obs::StatsRegistry &reg, const DayResult &day,
                "DVFS notches moved by the controller") +=
         static_cast<double>(day.controllerSteps);
     reg.formula("sim.solarUtilization",
-                [](const obs::StatsRegistry &r) {
-                    const double mpp = r.value("sim.mppEnergyWh");
-                    return mpp > 0.0
-                        ? r.value("sim.solarEnergyWh") / mpp
-                        : 0.0;
-                },
+                dayFormulaByName("sim.solarUtilization"),
                 "solar energy / MPP energy over all folded days");
 
     const auto cores = static_cast<std::size_t>(chip.numCores());
@@ -154,11 +149,7 @@ foldDayStats(obs::StatsRegistry &reg, const DayResult &day,
     reg.scalar("pv.mppCache.misses", "MPP memo misses (full solves)") +=
         static_cast<double>(cache_now.misses - cache_start.misses);
     reg.formula("pv.mppCache.hitRate",
-                [](const obs::StatsRegistry &r) {
-                    const double hits = r.value("pv.mppCache.hits");
-                    const double n = hits + r.value("pv.mppCache.misses");
-                    return n > 0.0 ? hits / n : 0.0;
-                },
+                dayFormulaByName("pv.mppCache.hitRate"),
                 "hit fraction of MPP memo lookups");
 }
 
@@ -177,6 +168,39 @@ selectMppCache(std::optional<pv::MppCache> &local,
         return *cfg.mppCache;
     local.emplace(module, cfg.modulesSeries, cfg.modulesParallel);
     return *local;
+}
+
+/** Caller-owned workspace when provided, else a per-call local one. */
+SimWorkspace &
+selectWorkspace(std::optional<SimWorkspace> &local, const SimConfig &cfg)
+{
+    if (cfg.workspace)
+        return *cfg.workspace;
+    local.emplace();
+    return *local;
+}
+
+/**
+ * Stage the per-step environments for @p trace into @p ws and resolve
+ * their MPPs in one batched lookup. The minute walk replicates the
+ * drivers' main loops exactly, so step indices line up one-to-one.
+ * assign()/clear() reset contents but keep capacity: with a reused
+ * workspace this allocates only when the trace grows.
+ */
+void
+stageStepMpps(SimWorkspace &ws, const pv::PvModule &module,
+              const solar::SolarTrace &trace, double dt_min,
+              pv::MppCache &mpp_cache)
+{
+    ws.stepEnvs.clear();
+    for (double minute = trace.startMinute(); minute <= trace.endMinute();
+         minute += dt_min) {
+        const double g = trace.irradianceAt(minute);
+        const double ambient = trace.ambientAt(minute);
+        ws.stepEnvs.push_back({g, module.cellTempFromAmbient(ambient, g)});
+    }
+    ws.stepMpps.assign(ws.stepEnvs.size(), pv::MppResult{});
+    mpp_cache.lookupBatch(ws.stepEnvs, ws.stepMpps);
 }
 
 /**
@@ -360,26 +384,21 @@ simulateDay(const pv::PvModule &module, const solar::SolarTrace &trace,
         period_consumed = RunningStats();
     };
 
-    std::vector<cpu::ThermalModel> thermal(
-        static_cast<std::size_t>(chip.numCores()));
+    std::optional<SimWorkspace> local_ws;
+    SimWorkspace &ws = selectWorkspace(local_ws, cfg);
+    ws.thermal.assign(static_cast<std::size_t>(chip.numCores()),
+                      cpu::ThermalModel());
+    std::vector<cpu::ThermalModel> &thermal = ws.thermal;
 
     const double dt_min = cfg.dtSeconds / 60.0;
 
     // Batched MPP precompute: the per-step environment is a pure
-    // function of the trace (the minute accumulation below replicates
-    // the main loop exactly), so every per-step MPP lookup collapses
+    // function of the trace, so every per-step MPP lookup collapses
     // into one batched call. Results and cache hit/miss counters are
     // sequential-equivalent, and lookupBatch degrades to the legacy
     // per-step path under the Scalar kernel or the Newton oracle.
-    std::vector<pv::Environment> step_envs;
-    for (double minute = trace.startMinute(); minute <= trace.endMinute();
-         minute += dt_min) {
-        const double g = trace.irradianceAt(minute);
-        const double ambient = trace.ambientAt(minute);
-        step_envs.push_back({g, module.cellTempFromAmbient(ambient, g)});
-    }
-    std::vector<pv::MppResult> step_mpps(step_envs.size());
-    mpp_cache.lookupBatch(step_envs, step_mpps);
+    stageStepMpps(ws, module, trace, dt_min, mpp_cache);
+    const std::vector<pv::MppResult> &step_mpps = ws.stepMpps;
     std::size_t step_index = 0;
 
     double last_track_minute = -1e9;
@@ -614,20 +633,15 @@ simulateHybridDay(const pv::PvModule &module, const solar::SolarTrace &trace,
     const double dt_h = cfg.dtSeconds / 3600.0;
     double last_track_minute = -1e9;
     bool was_on_solar = false;
-    std::vector<cpu::ThermalModel> thermal(
-        static_cast<std::size_t>(chip.numCores()));
+    std::optional<SimWorkspace> local_ws;
+    SimWorkspace &ws = selectWorkspace(local_ws, cfg);
+    ws.thermal.assign(static_cast<std::size_t>(chip.numCores()),
+                      cpu::ThermalModel());
+    std::vector<cpu::ThermalModel> &thermal = ws.thermal;
 
-    // Same batched MPP precompute as simulateDay (the minute loop below
-    // is replicated exactly, so indices line up one-to-one).
-    std::vector<pv::Environment> step_envs;
-    for (double minute = trace.startMinute(); minute <= trace.endMinute();
-         minute += dt_min) {
-        const double g = trace.irradianceAt(minute);
-        const double ambient = trace.ambientAt(minute);
-        step_envs.push_back({g, module.cellTempFromAmbient(ambient, g)});
-    }
-    std::vector<pv::MppResult> step_mpps(step_envs.size());
-    mpp_cache.lookupBatch(step_envs, step_mpps);
+    // Same batched MPP precompute as simulateDay.
+    stageStepMpps(ws, module, trace, dt_min, mpp_cache);
+    const std::vector<pv::MppResult> &step_mpps = ws.stepMpps;
     std::size_t step_index = 0;
 
     chip.setAllLevels(chip.dvfs().maxLevel());
@@ -797,17 +811,10 @@ simulateBatteryDay(const pv::PvModule &module,
     {
         // Pass 1 is a pure reduction over the trace: gather the step
         // environments and fold the batched MPP powers.
-        std::vector<pv::Environment> step_envs;
-        for (double minute = trace.startMinute();
-             minute <= trace.endMinute(); minute += dt_min) {
-            const double g = trace.irradianceAt(minute);
-            const double ambient = trace.ambientAt(minute);
-            step_envs.push_back(
-                {g, module.cellTempFromAmbient(ambient, g)});
-        }
-        std::vector<pv::MppResult> step_mpps(step_envs.size());
-        mpp_cache.lookupBatch(step_envs, step_mpps);
-        for (const pv::MppResult &mpp : step_mpps)
+        std::optional<SimWorkspace> local_ws;
+        SimWorkspace &ws = selectWorkspace(local_ws, cfg);
+        stageStepMpps(ws, module, trace, dt_min, mpp_cache);
+        for (const pv::MppResult &mpp : ws.stepMpps)
             result.mppEnergyWh += mpp.power * cfg.dtSeconds / 3600.0;
     }
 
@@ -886,15 +893,29 @@ simulateBatteryDay(const pv::PvModule &module,
                    "MPP memo misses (full solves)") +=
             static_cast<double>(cache_now.misses - cache_start.misses);
         reg.formula("pv.mppCache.hitRate",
-                    [](const obs::StatsRegistry &r) {
-                        const double hits = r.value("pv.mppCache.hits");
-                        const double n =
-                            hits + r.value("pv.mppCache.misses");
-                        return n > 0.0 ? hits / n : 0.0;
-                    },
+                    dayFormulaByName("pv.mppCache.hitRate"),
                     "hit fraction of MPP memo lookups");
     }
     return result;
+}
+
+obs::FormulaStat::Fn
+dayFormulaByName(std::string_view name)
+{
+    if (name == "sim.solarUtilization") {
+        return [](const obs::StatsRegistry &r) {
+            const double mpp = r.value("sim.mppEnergyWh");
+            return mpp > 0.0 ? r.value("sim.solarEnergyWh") / mpp : 0.0;
+        };
+    }
+    if (name == "pv.mppCache.hitRate") {
+        return [](const obs::StatsRegistry &r) {
+            const double hits = r.value("pv.mppCache.hits");
+            const double n = hits + r.value("pv.mppCache.misses");
+            return n > 0.0 ? hits / n : 0.0;
+        };
+    }
+    return {};
 }
 
 } // namespace solarcore::core

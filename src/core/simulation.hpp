@@ -13,10 +13,13 @@
 #define SOLARCORE_CORE_SIMULATION_HPP
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/controller.hpp"
 #include "core/load_adapter.hpp"
+#include "cpu/thermal.hpp"
+#include "obs/stats_registry.hpp"
 #include "pv/bp3180n.hpp"
 #include "pv/mpp_cache.hpp"
 #include "solar/trace.hpp"
@@ -24,12 +27,29 @@
 
 namespace solarcore::obs {
 class Auditor;
-class StatsRegistry;
 class TelemetryRecorder;
 class TraceBuffer;
 } // namespace solarcore::obs
 
 namespace solarcore::core {
+
+/**
+ * Reusable scratch buffers for the day drivers. Each simulateDay /
+ * simulateHybridDay / simulateBatteryDay call needs a per-step
+ * environment/MPP staging area and one thermal model per core; with a
+ * caller-owned workspace those buffers keep their capacity across
+ * days, so a sweep over many units allocates only on its first day
+ * (and on trace-length growth). The drivers reset the *contents*
+ * every call -- a workspace carries no state between days, only
+ * capacity -- which is what keeps results bit-identical with and
+ * without one. Not thread-safe: one per worker, like MppCache.
+ */
+struct SimWorkspace
+{
+    std::vector<pv::Environment> stepEnvs;
+    std::vector<pv::MppResult> stepMpps;
+    std::vector<cpu::ThermalModel> thermal;
+};
 
 /** Configuration of one simulated day. */
 struct SimConfig
@@ -79,6 +99,13 @@ struct SimConfig
                                        //!< this temperature are forced
                                        //!< down one DVFS notch per step
     bool recordTimeline = false;       //!< keep the per-minute trace
+    SimWorkspace *workspace = nullptr; //!< borrowed per-step scratch
+                                       //!< buffers; sweep drivers pass
+                                       //!< one so steady-state day
+                                       //!< simulation is allocation-
+                                       //!< free. A local workspace is
+                                       //!< used when null. Not
+                                       //!< thread-safe: one per worker.
     pv::MppCache *mppCache = nullptr;  //!< borrowed cross-day MPP memo;
                                        //!< sweep drivers replaying one
                                        //!< trace for many workloads /
@@ -212,6 +239,15 @@ BatteryDayResult simulateBatteryDay(const pv::PvModule &module,
                                     workload::WorkloadId workload,
                                     double derating_factor,
                                     const SimConfig &cfg);
+
+/**
+ * The dump-time formula a day driver registers under @p name
+ * ("sim.solarUtilization", "pv.mppCache.hitRate"), or an empty
+ * function for an unknown name. The single source of truth for the
+ * drivers' own registrations, and the resolver a cross-process stats
+ * merge uses to reconstruct a worker's formulas from their wire names.
+ */
+obs::FormulaStat::Fn dayFormulaByName(std::string_view name);
 
 } // namespace solarcore::core
 

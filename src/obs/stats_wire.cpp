@@ -1,0 +1,227 @@
+#include "stats_wire.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace solarcore::obs {
+
+namespace {
+
+constexpr unsigned char kWireVersion = 1;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, sizeof(v));
+    out.append(buf, sizeof(buf));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, sizeof(v));
+    out.append(buf, sizeof(buf));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, sizeof(v));
+    out.append(buf, sizeof(buf));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/** Bounds-checked forward reader over the wire blob. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view data) : data_(data) {}
+
+    bool failed() const { return failed_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    double
+    f64()
+    {
+        double v = 0.0;
+        raw(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (failed_ || data_.size() - pos_ < n) {
+            failed_ = true;
+            return {};
+        }
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+  private:
+    void
+    raw(void *dst, std::size_t n)
+    {
+        if (failed_ || data_.size() - pos_ < n) {
+            failed_ = true;
+            std::memset(dst, 0, n);
+            return;
+        }
+        std::memcpy(dst, data_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace
+
+std::string
+serializeRegistry(const StatsRegistry &reg)
+{
+    std::string out;
+    out.push_back(static_cast<char>(kWireVersion));
+    putU32(out, static_cast<std::uint32_t>(reg.size()));
+    reg.forEach([&out](const StatBase &stat) {
+        if (const auto *sc = dynamic_cast<const ScalarStat *>(&stat)) {
+            out.push_back('s');
+            putString(out, stat.name());
+            putString(out, stat.desc());
+            putF64(out, sc->value());
+        } else if (const auto *v =
+                       dynamic_cast<const VectorStat *>(&stat)) {
+            out.push_back('v');
+            putString(out, stat.name());
+            putString(out, stat.desc());
+            putU32(out, static_cast<std::uint32_t>(v->lanes()));
+            for (std::size_t i = 0; i < v->lanes(); ++i)
+                putF64(out, v->lane(i));
+        } else if (const auto *h =
+                       dynamic_cast<const HistogramStat *>(&stat)) {
+            out.push_back('h');
+            putString(out, stat.name());
+            putString(out, stat.desc());
+            putF64(out, h->lo());
+            putF64(out, h->hi());
+            putU32(out, static_cast<std::uint32_t>(h->bins()));
+            for (std::size_t i = 0; i < h->bins(); ++i)
+                putU64(out, h->bin(i));
+            putF64(out, h->sum());
+        } else if (dynamic_cast<const FormulaStat *>(&stat) != nullptr) {
+            out.push_back('f');
+            putString(out, stat.name());
+            putString(out, stat.desc());
+        }
+    });
+    return out;
+}
+
+bool
+mergeSerializedRegistry(std::string_view blob, StatsRegistry &into,
+                        const FormulaResolver &resolve, std::string &error)
+{
+    Cursor c(blob);
+    if (c.u8() != kWireVersion) {
+        error = "stats wire: unsupported version";
+        return false;
+    }
+    const std::uint32_t count = c.u32();
+    for (std::uint32_t n = 0; n < count; ++n) {
+        const char type = static_cast<char>(c.u8());
+        const std::string name = c.str();
+        const std::string desc = c.str();
+        if (c.failed())
+            break;
+        switch (type) {
+        case 's':
+            into.scalar(name, desc) += c.f64();
+            break;
+        case 'v': {
+            const std::uint32_t lanes = c.u32();
+            auto &dst = into.vector(name, lanes, desc);
+            dst.ensureLanes(lanes);
+            for (std::uint32_t i = 0; i < lanes && !c.failed(); ++i)
+                dst.lane(i) += c.f64();
+            break;
+        }
+        case 'h': {
+            const double lo = c.f64();
+            const double hi = c.f64();
+            const std::uint32_t bins = c.u32();
+            if (c.failed())
+                break;
+            auto &dst = into.histogram(name, lo, hi, bins, desc);
+            if (dst.bins() != bins || dst.lo() != lo || dst.hi() != hi) {
+                error = "stats wire: histogram '" + name +
+                    "' shape mismatch";
+                return false;
+            }
+            for (std::uint32_t i = 0; i < bins && !c.failed(); ++i)
+                dst.addBinCount(i, c.u64());
+            dst.addSum(c.f64());
+            break;
+        }
+        case 'f': {
+            FormulaStat::Fn fn = resolve ? resolve(name) : nullptr;
+            if (fn)
+                into.formula(name, std::move(fn), desc);
+            else
+                SC_WARN_ONCE("stats wire: no resolver for formula '",
+                             name, "'; dropped from merged registry");
+            break;
+        }
+        default:
+            error = "stats wire: unknown stat type";
+            return false;
+        }
+        if (c.failed())
+            break;
+    }
+    if (c.failed() || !c.atEnd()) {
+        error = "stats wire: truncated or trailing payload";
+        return false;
+    }
+    return true;
+}
+
+} // namespace solarcore::obs

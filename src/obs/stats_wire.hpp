@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Binary serialization of a StatsRegistry for cross-process merges.
+ *
+ * The multi-process campaign runner forks worker processes; each
+ * worker accumulates its shard's counters into its own registry and
+ * streams the serialized form back over a pipe, where the parent folds
+ * it into the merged registry with the same semantics as
+ * StatsRegistry::merge(). Scalars, vectors and histograms carry their
+ * values verbatim (doubles as raw little-endian bytes, so the decoded
+ * value is bit-identical); formulas cannot carry their lambdas across
+ * a process boundary, so the wire records only name + description and
+ * the receiver reconstructs the function through a caller-supplied
+ * resolver (the day drivers expose core::dayFormulaByName). Unknown
+ * formula names are skipped with a warning rather than failing the
+ * merge -- a missing derived stat is recoverable, a lost counter is
+ * not.
+ *
+ * The format is same-machine, same-build IPC (parent and child are
+ * the same binary); it makes no attempt at cross-architecture
+ * portability, and a leading version byte rejects mixed-build decode.
+ */
+
+#ifndef SOLARCORE_OBS_STATS_WIRE_HPP
+#define SOLARCORE_OBS_STATS_WIRE_HPP
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "obs/stats_registry.hpp"
+
+namespace solarcore::obs {
+
+/** Maps a formula stat's wire name to its function; empty = unknown. */
+using FormulaResolver =
+    std::function<FormulaStat::Fn(std::string_view name)>;
+
+/** Serialize every stat of @p reg (name order) into a byte string. */
+std::string serializeRegistry(const StatsRegistry &reg);
+
+/**
+ * Decode @p blob and fold it into @p into with merge() semantics:
+ * same-name scalars/vectors/histograms add, missing stats are created,
+ * formulas are resolved by name through @p resolve (may be null).
+ * @return false with @p error set on a malformed or mismatched blob
+ * (in which case @p into may have been partially updated).
+ */
+bool mergeSerializedRegistry(std::string_view blob, StatsRegistry &into,
+                             const FormulaResolver &resolve,
+                             std::string &error);
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_STATS_WIRE_HPP

@@ -1,0 +1,106 @@
+#include "pipe_channel.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SC_HAVE_PIPES 1
+#include <cerrno>
+#include <unistd.h>
+#else
+#define SC_HAVE_PIPES 0
+#endif
+
+namespace solarcore::util {
+
+bool
+pipeChannelSupported()
+{
+    return SC_HAVE_PIPES != 0;
+}
+
+#if SC_HAVE_PIPES
+
+namespace {
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const void *data, std::size_t size)
+{
+    const std::uint32_t len = static_cast<std::uint32_t>(size);
+    char prefix[sizeof(len)];
+    std::memcpy(prefix, &len, sizeof(len));
+    return writeAll(fd, prefix, sizeof(prefix)) &&
+        writeAll(fd, static_cast<const char *>(data), size);
+}
+
+FrameReader::Status
+FrameReader::drain(int fd, std::vector<std::string> &frames)
+{
+    Status status = Status::Open;
+    char chunk[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            status = Status::Closed;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        status = Status::Error;
+        break;
+    }
+
+    std::size_t pos = 0;
+    while (buffer_.size() - pos >= sizeof(std::uint32_t)) {
+        std::uint32_t len = 0;
+        std::memcpy(&len, buffer_.data() + pos, sizeof(len));
+        if (buffer_.size() - pos - sizeof(len) < len)
+            break;
+        frames.emplace_back(buffer_, pos + sizeof(len), len);
+        pos += sizeof(len) + len;
+    }
+    buffer_.erase(0, pos);
+    return status;
+}
+
+#else // !SC_HAVE_PIPES
+
+bool
+writeFrame(int, const void *, std::size_t)
+{
+    return false;
+}
+
+FrameReader::Status
+FrameReader::drain(int, std::vector<std::string> &)
+{
+    return Status::Error;
+}
+
+#endif
+
+} // namespace solarcore::util

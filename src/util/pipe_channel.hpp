@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Length-prefixed frame IO over POSIX pipes.
+ *
+ * The multi-process campaign runner streams unit results and stats
+ * payloads from forked workers back to the parent. Each frame is a
+ * 32-bit native-endian length followed by that many payload bytes;
+ * writers emit whole frames under EINTR/partial-write retry, and the
+ * reader accumulates nonblocking reads into an internal buffer and
+ * yields only complete frames -- a frame is either delivered whole or
+ * (on a mid-frame crash) discarded with the connection.
+ *
+ * POSIX-only: on platforms without fork()/pipe() the campaign falls
+ * back to the in-process thread pool (pipeChannelSupported() reports
+ * which world we are in).
+ */
+
+#ifndef SOLARCORE_UTIL_PIPE_CHANNEL_HPP
+#define SOLARCORE_UTIL_PIPE_CHANNEL_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace solarcore::util {
+
+/** True when fork()/pipe() process sharding is available. */
+bool pipeChannelSupported();
+
+/**
+ * Write one [u32 length][payload] frame to @p fd, retrying partial
+ * writes. @return false on a write error (e.g. the reader died).
+ */
+bool writeFrame(int fd, const void *data, std::size_t size);
+
+/** Incremental frame reassembly for one nonblocking pipe fd. */
+class FrameReader
+{
+  public:
+    FrameReader() = default;
+
+    /** What drain() observed on the fd. */
+    enum class Status
+    {
+        Open,    //!< fd still open; zero or more frames extracted
+        Closed,  //!< EOF (writer exited); remaining frames extracted
+        Error,   //!< read error; treat like a crash
+    };
+
+    /**
+     * Pull all currently-available bytes from @p fd (which must be
+     * O_NONBLOCK) and append every completed frame to @p frames.
+     */
+    Status drain(int fd, std::vector<std::string> &frames);
+
+    /** Bytes of an incomplete trailing frame (crash diagnostics). */
+    std::size_t pendingBytes() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+};
+
+} // namespace solarcore::util
+
+#endif // SOLARCORE_UTIL_PIPE_CHANNEL_HPP

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the binary stats-registry wire format the forked campaign
+ * workers stream back to the parent: values survive bit-exactly,
+ * decode has merge() semantics, formulas are reattached by name, and
+ * malformed blobs fail instead of corrupting the registry.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/stats_wire.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+StatsRegistry &
+populate(StatsRegistry &reg)
+{
+    reg.scalar("day.steps", "steps simulated") += 1234.0;
+    // A value with no short decimal form must cross the wire
+    // bit-identically.
+    reg.scalar("energy.solarWh").set(0.1 + 0.2);
+    auto &lanes = reg.vector("chip.coreBusy", 4, "per-core busy");
+    for (std::size_t i = 0; i < lanes.lanes(); ++i)
+        lanes.lane(i) = 10.0 * static_cast<double>(i) + 0.5;
+    auto &hist = reg.histogram("mpp.power", 0.0, 200.0, 8, "MPP watts");
+    for (double x : {5.0, 42.0, 42.0, 199.0, 1000.0 /* clamps */})
+        hist.add(x);
+    reg.formula(
+        "derived.sum",
+        [](const StatsRegistry &r) {
+            return r.value("day.steps") + r.value("energy.solarWh");
+        },
+        "example derived stat");
+    return reg;
+}
+
+std::string
+dumped(const StatsRegistry &reg)
+{
+    std::ostringstream os;
+    reg.dumpJson(os);
+    return os.str();
+}
+
+FormulaResolver
+testResolver()
+{
+    return [](std::string_view name) -> FormulaStat::Fn {
+        if (name == "derived.sum")
+            return [](const StatsRegistry &r) {
+                return r.value("day.steps") + r.value("energy.solarWh");
+            };
+        return nullptr;
+    };
+}
+
+TEST(StatsWire, RoundTripIntoEmptyRegistryIsByteIdentical)
+{
+    StatsRegistry source;
+    populate(source);
+
+    StatsRegistry decoded;
+    std::string error;
+    ASSERT_TRUE(mergeSerializedRegistry(serializeRegistry(source),
+                                        decoded, testResolver(), error))
+        << error;
+    // The JSON dump renders every stat with shortest-round-trip
+    // formatting, so byte equality here means bit equality of every
+    // scalar, lane, bin and the reattached formula's evaluation.
+    EXPECT_EQ(dumped(decoded), dumped(source));
+}
+
+TEST(StatsWire, DecodeHasMergeSemantics)
+{
+    StatsRegistry worker;
+    populate(worker);
+    const std::string blob = serializeRegistry(worker);
+
+    // Parent already holds its own shard's numbers.
+    StatsRegistry parent;
+    populate(parent);
+    std::string error;
+    ASSERT_TRUE(
+        mergeSerializedRegistry(blob, parent, testResolver(), error))
+        << error;
+
+    // Reference: the same fold through the in-process merge().
+    StatsRegistry a, b;
+    populate(a);
+    populate(b);
+    a.merge(b);
+    EXPECT_EQ(dumped(parent), dumped(a));
+}
+
+TEST(StatsWire, UnknownFormulaIsSkippedNotFatal)
+{
+    StatsRegistry source;
+    populate(source);
+
+    StatsRegistry decoded;
+    std::string error;
+    ASSERT_TRUE(mergeSerializedRegistry(serializeRegistry(source),
+                                        decoded, nullptr, error))
+        << error;
+    EXPECT_EQ(decoded.find("derived.sum"), nullptr);
+    // The carried counters still landed.
+    EXPECT_EQ(decoded.value("day.steps"), 1234.0);
+}
+
+TEST(StatsWire, MalformedBlobsAreRejected)
+{
+    StatsRegistry source;
+    populate(source);
+    const std::string blob = serializeRegistry(source);
+
+    StatsRegistry sink;
+    std::string error;
+    EXPECT_FALSE(mergeSerializedRegistry("", sink, nullptr, error));
+    EXPECT_FALSE(error.empty());
+
+    // Wrong version byte.
+    std::string wrong_version = blob;
+    wrong_version[0] = static_cast<char>(wrong_version[0] + 1);
+    error.clear();
+    EXPECT_FALSE(
+        mergeSerializedRegistry(wrong_version, sink, nullptr, error));
+    EXPECT_FALSE(error.empty());
+
+    // Truncated mid-payload.
+    error.clear();
+    EXPECT_FALSE(mergeSerializedRegistry(
+        std::string_view(blob).substr(0, blob.size() / 2), sink, nullptr,
+        error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(StatsWire, VectorLaneWidthsGrowOnMerge)
+{
+    StatsRegistry narrow;
+    narrow.vector("chip.coreBusy", 2).lane(1) = 7.0;
+
+    StatsRegistry wide;
+    auto &lanes = wide.vector("chip.coreBusy", 4);
+    lanes.lane(3) = 3.0;
+
+    std::string error;
+    ASSERT_TRUE(mergeSerializedRegistry(serializeRegistry(wide), narrow,
+                                        nullptr, error))
+        << error;
+    const auto &merged = narrow.vector("chip.coreBusy", 2);
+    ASSERT_EQ(merged.lanes(), 4u);
+    EXPECT_EQ(merged.lane(1), 7.0);
+    EXPECT_EQ(merged.lane(3), 3.0);
+}
+
+} // namespace
+} // namespace solarcore::obs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the length-prefixed pipe framing the multi-process
+ * campaign runner uses: frames survive arbitrary kernel-side
+ * fragmentation, a torn trailing frame is discarded with the
+ * connection, and EOF is reported once the writer is gone.
+ */
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/pipe_channel.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace solarcore::util {
+namespace {
+
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+
+    Pipe()
+    {
+        EXPECT_EQ(::pipe(fds), 0);
+        // The reader contract requires O_NONBLOCK.
+        ::fcntl(fds[0], F_SETFL,
+                ::fcntl(fds[0], F_GETFL, 0) | O_NONBLOCK);
+    }
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+    void closeRead()
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        fds[0] = -1;
+    }
+    void closeWrite()
+    {
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+TEST(PipeChannel, SupportedOnPosix)
+{
+    EXPECT_TRUE(pipeChannelSupported());
+}
+
+TEST(PipeChannel, RoundTripsFramesInOrder)
+{
+    Pipe p;
+    const std::vector<std::string> sent = {
+        "alpha", std::string(1, '\0') + std::string("binary\x01\xff"),
+        "", std::string(70000, 'x'), "tail"};
+
+    // The 70000-byte frame exceeds the default pipe capacity, so the
+    // writer must run concurrently (as the worker process does) while
+    // this side drains.
+    std::thread writer([&] {
+        for (const auto &frame : sent)
+            EXPECT_TRUE(
+                writeFrame(p.fds[1], frame.data(), frame.size()));
+        p.closeWrite();
+    });
+    std::vector<std::string> got;
+    FrameReader reader;
+    FrameReader::Status status = FrameReader::Status::Open;
+    while (status == FrameReader::Status::Open)
+        status = reader.drain(p.fds[0], got);
+    writer.join();
+    EXPECT_EQ(status, FrameReader::Status::Closed);
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(PipeChannel, ReassemblesAcrossFragmentedReads)
+{
+    // Write a frame byte-by-byte: the reader must buffer partial
+    // prefixes/payloads and only surface the completed frame.
+    Pipe p;
+    const std::string payload = "fragmented-frame-payload";
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    std::string wire(reinterpret_cast<const char *>(&size),
+                     sizeof(size));
+    wire += payload;
+
+    FrameReader reader;
+    std::vector<std::string> got;
+    for (char byte : wire) {
+        ASSERT_EQ(::write(p.fds[1], &byte, 1), 1);
+        ASSERT_EQ(reader.drain(p.fds[0], got),
+                  FrameReader::Status::Open);
+    }
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], payload);
+}
+
+TEST(PipeChannel, TornTrailingFrameIsDiscardedAtEof)
+{
+    // A writer that dies mid-frame (campaign worker crash) leaves a
+    // length prefix with a short payload; the reader reports Closed,
+    // delivers every whole frame, and exposes the torn bytes only as
+    // diagnostics.
+    Pipe p;
+    const std::string whole = "complete";
+    ASSERT_TRUE(writeFrame(p.fds[1], whole.data(), whole.size()));
+
+    const std::uint32_t lie = 100;
+    ASSERT_EQ(::write(p.fds[1], &lie, sizeof(lie)),
+              static_cast<ssize_t>(sizeof(lie)));
+    ASSERT_EQ(::write(p.fds[1], "abc", 3), 3);
+    p.closeWrite();
+
+    FrameReader reader;
+    std::vector<std::string> got;
+    EXPECT_EQ(reader.drain(p.fds[0], got), FrameReader::Status::Closed);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], whole);
+    EXPECT_EQ(reader.pendingBytes(), sizeof(lie) + 3);
+}
+
+TEST(PipeChannel, WriteToClosedReaderFails)
+{
+    // Campaign workers ignore SIGPIPE so a dead parent turns into a
+    // failed write (worker exit 3), not a signal death. Mirror that
+    // here or the default handler would kill the test binary.
+    auto *previous = ::signal(SIGPIPE, SIG_IGN);
+    Pipe p;
+    p.closeRead();
+    const std::string payload = "nobody-listening";
+    EXPECT_FALSE(writeFrame(p.fds[1], payload.data(), payload.size()));
+    ::signal(SIGPIPE, previous);
+}
+
+} // namespace
+} // namespace solarcore::util
+
+#endif // POSIX

@@ -22,6 +22,11 @@
  *   --pv-kernel=auto|scalar|portable|avx2 (batch PV kernel; "auto"
  *     dispatches on the CPU, "scalar" is the legacy per-call path)
  *   --threads=N (0 = all hardware threads)
+ *   --workers=N  fork N worker processes, each running a contiguous
+ *     shard of the unit list over its own --threads pool; the summary
+ *     stays byte-identical to --workers=1
+ *   --unit-cache=DIR --unit-cache-cap=N   persistent on-disk LRU of
+ *     unit results; warm re-runs and overlapping grids skip simulation
  *   --out=FILE (default stdout)  --journal=FILE  --resume  --verbose
  *   --stats-out= --trace-out= --trace-buffer= --manifest-out=
  *   --telemetry-out= --telemetry-every= --telemetry-mode=
@@ -62,7 +67,9 @@ usage(const char *complaint = nullptr)
            "  [--dt=SECONDS] [--budget=W] [--derating=F] "
            "[--period=MIN]\n"
            "  [--pv-kernel=auto|scalar|portable|avx2]\n"
-           "  [--threads=N] [--out=FILE] [--journal=FILE] [--resume]\n"
+           "  [--threads=N] [--workers=N] [--out=FILE]\n"
+           "  [--unit-cache=DIR] [--unit-cache-cap=N]\n"
+           "  [--journal=FILE] [--resume]\n"
            "  [--verbose] [--stats-out=F] [--trace-out=F] "
            "[--trace-buffer=N] [--manifest-out=F]\n"
            "  [--telemetry-out=F.csv] [--telemetry-every=N] "
@@ -145,6 +152,16 @@ main(int argc, char **argv)
         } else if (key == "--threads") {
             options.threads =
                 static_cast<int>(parseDouble(key, value));
+        } else if (key == "--workers") {
+            options.workers =
+                static_cast<int>(parseDouble(key, value));
+        } else if (key == "--unit-cache") {
+            options.unitCacheDir = value;
+        } else if (key == "--unit-cache-cap") {
+            const double cap = parseDouble(key, value);
+            if (cap < 0.0)
+                usage("--unit-cache-cap must be >= 0");
+            options.unitCacheCap = static_cast<std::size_t>(cap);
         } else if (key == "--out") {
             out_path = value;
         } else if (key == "--journal") {
@@ -167,7 +184,11 @@ main(int argc, char **argv)
     std::cerr << "campaign: " << grid.unitCount() << " units\n";
     const auto outcome = campaign::runCampaign(grid, options);
     std::cerr << "campaign: " << outcome.unitsRun << " run, "
-              << outcome.unitsResumed << " resumed from journal\n";
+              << outcome.unitsResumed << " resumed from journal, "
+              << outcome.unitsCached << " cached\n";
+    if (outcome.workerCrashes > 0)
+        std::cerr << "campaign: " << outcome.workerCrashes
+                  << " worker crash(es); shards were re-run\n";
 
     if (out_path.empty()) {
         campaign::writeSummaryJson(std::cout, grid, outcome);

@@ -33,6 +33,13 @@ using namespace solarcore;
 
 namespace {
 
+struct WorkerRow
+{
+    long id = -1, pid = -1, done = 0, total = 0;
+    std::string lastKey;
+    bool alive = true, crashed = false;
+};
+
 struct Status
 {
     std::string signature;
@@ -40,6 +47,11 @@ struct Status
     double inflight = 0, queueDepth = 0, workers = 0;
     double elapsed = 0, rate = 0, eta = 0, utilization = 0;
     std::vector<std::string> busy;
+    bool processMode = false;
+    std::vector<WorkerRow> workerRows;
+    bool cacheEnabled = false;
+    double cacheHits = 0, cacheMisses = 0, cacheStores = 0;
+    double cacheEvictions = 0, unitsCached = 0;
 };
 
 [[noreturn]] void
@@ -104,6 +116,34 @@ loadStatus(const std::string &path, Status &out, std::string &problem)
             break;
         out.busy.push_back(it->second.text);
     }
+    const auto pm = doc.find("process_mode");
+    out.processMode = pm != doc.end() && pm->second.boolean;
+    out.workerRows.clear();
+    for (std::size_t i = 0;; ++i) {
+        const std::string prefix = "worker_rows." + std::to_string(i);
+        const auto id = doc.find(prefix + ".id");
+        if (id == doc.end())
+            break;
+        WorkerRow row;
+        row.id = static_cast<long>(id->second.number);
+        row.pid = static_cast<long>(num(doc, prefix + ".pid"));
+        row.done = static_cast<long>(num(doc, prefix + ".done"));
+        row.total = static_cast<long>(num(doc, prefix + ".total"));
+        const auto key = doc.find(prefix + ".last_key");
+        if (key != doc.end())
+            row.lastKey = key->second.text;
+        const auto alive = doc.find(prefix + ".alive");
+        row.alive = alive != doc.end() && alive->second.boolean;
+        const auto crashed = doc.find(prefix + ".crashed");
+        row.crashed = crashed != doc.end() && crashed->second.boolean;
+        out.workerRows.push_back(row);
+    }
+    out.cacheEnabled = doc.find("unit_cache.hits") != doc.end();
+    out.cacheHits = num(doc, "unit_cache.hits");
+    out.cacheMisses = num(doc, "unit_cache.misses");
+    out.cacheStores = num(doc, "unit_cache.stores");
+    out.cacheEvictions = num(doc, "unit_cache.evictions");
+    out.unitsCached = num(doc, "unit_cache.units_cached");
     return true;
 }
 
@@ -162,6 +202,35 @@ render(std::ostream &os, const Status &st)
             os << ' ' << st.busy[i];
         if (st.busy.size() > kMaxShown)
             os << " (+" << st.busy.size() - kMaxShown << " more)";
+        os << "\n";
+    }
+    if (st.processMode && !st.workerRows.empty()) {
+        os << "  shards\n";
+        for (const WorkerRow &row : st.workerRows) {
+            os << "    w" << row.id << " [pid " << row.pid << "] "
+               << row.done << "/" << row.total;
+            if (row.crashed)
+                os << "  CRASHED";
+            else if (!row.alive)
+                os << "  done";
+            if (!row.lastKey.empty())
+                os << "  " << row.lastKey;
+            os << "\n";
+        }
+    }
+    if (st.cacheEnabled) {
+        const double lookups = st.cacheHits + st.cacheMisses;
+        char hitrate[16];
+        std::snprintf(hitrate, sizeof(hitrate), "%.0f%%",
+                      lookups > 0 ? st.cacheHits / lookups * 100.0 : 0.0);
+        os << "  cache    " << static_cast<long>(st.cacheHits) << " hit/"
+           << static_cast<long>(st.cacheMisses) << " miss (" << hitrate
+           << ")   " << static_cast<long>(st.unitsCached)
+           << " units served   " << static_cast<long>(st.cacheStores)
+           << " stored";
+        if (st.cacheEvictions > 0)
+            os << "   " << static_cast<long>(st.cacheEvictions)
+               << " evicted";
         os << "\n";
     }
 }
