@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::campaign {
@@ -26,21 +27,14 @@ journalHash(const std::string &grid_signature)
 {
     // FNV-1a over the signature plus the metric schema, so a metric
     // added or renamed invalidates old journals too.
-    std::uint64_t h = 1469598103934665603ull;
-    auto fold = [&h](const char c) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ull;
-    };
-    for (const char c : grid_signature)
-        fold(c);
+    std::uint64_t h = util::fnv1a(grid_signature);
     for (const auto &field : kFields) {
-        for (const char *p = field.name; *p; ++p)
-            fold(*p);
-        fold(';');
+        h = util::fnv1a(field.name, h);
+        h = util::fnv1aByte(h, ';');
     }
-    std::ostringstream os;
-    os << std::hex << h;
-    return os.str();
+    char buf[17];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), h, 16);
+    return std::string(buf, r.ptr);
 }
 
 JournalRecovery

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace solarcore::campaign {
@@ -17,23 +18,10 @@ constexpr const char *kEntryMagic = "# solarcore-unit-cache-v1";
 
 const MetricField (&kFields)[kNumMetricFields] = metricFields();
 
-std::uint64_t
-fnv1a(const std::string &text)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (const char c : text) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
 std::string
 hashHex(const std::string &text)
 {
-    std::ostringstream os;
-    os << std::hex << fnv1a(text);
-    return os.str();
+    return util::fnv1aHex(text);
 }
 
 std::int64_t

@@ -9,11 +9,17 @@ namespace solarcore::core {
 CarbonReport
 assessDay(const DayResult &day, const GridContext &grid)
 {
+    return assessEnergy(day.solarEnergyWh, day.gridEnergyWh, grid);
+}
+
+CarbonReport
+assessEnergy(double solar_wh, double grid_wh, const GridContext &grid)
+{
     SC_ASSERT(grid.co2KgPerKwh >= 0.0 && grid.gridUsdPerKwh >= 0.0,
-              "assessDay: negative grid context");
+              "assessEnergy: negative grid context");
     CarbonReport report;
-    report.solarKwhPerDay = day.solarEnergyWh / 1000.0;
-    report.gridKwhPerDay = day.gridEnergyWh / 1000.0;
+    report.solarKwhPerDay = solar_wh / 1000.0;
+    report.gridKwhPerDay = grid_wh / 1000.0;
 
     const double solar_kwh_year = report.solarKwhPerDay * 365.0;
     report.co2AvoidedKgPerYear = solar_kwh_year * grid.co2KgPerKwh;

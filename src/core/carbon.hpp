@@ -50,6 +50,16 @@ struct CarbonReport
 CarbonReport assessDay(const DayResult &day,
                        const GridContext &grid = GridContext());
 
+/**
+ * The same projection from bare daily energy ledgers — the form the
+ * planning service uses on fleet aggregates (assessDay delegates
+ * here). @p solar_wh and @p grid_wh are one day's energies in Wh;
+ * they may describe a whole fleet, in which case panelUsd/batteryUsd
+ * in @p grid must be the fleet-level installed costs.
+ */
+CarbonReport assessEnergy(double solar_wh, double grid_wh,
+                          const GridContext &grid = GridContext());
+
 } // namespace solarcore::core
 
 #endif // SOLARCORE_CORE_CARBON_HPP

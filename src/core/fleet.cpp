@@ -7,6 +7,26 @@
 
 namespace solarcore::core {
 
+FleetTotals
+aggregateFleet(const std::vector<FleetGroupEnergy> &groups)
+{
+    FleetTotals t;
+    for (const auto &g : groups) {
+        t.nodes += g.nodeCount;
+        t.mppEnergyWh += g.nodeCount * g.mppEnergyWh;
+        t.solarEnergyWh += g.nodeCount * g.solarEnergyWh;
+        t.gridEnergyWh += g.nodeCount * g.gridEnergyWh;
+        t.chipEnergyWh += g.nodeCount * g.chipEnergyWh;
+        t.solarInstructions += g.nodeCount * g.solarInstructions;
+        t.totalInstructions += g.nodeCount * g.totalInstructions;
+    }
+    t.fleetUtilization =
+        t.mppEnergyWh > 0.0 ? t.solarEnergyWh / t.mppEnergyWh : 0.0;
+    const double total = t.solarEnergyWh + t.gridEnergyWh;
+    t.greenFraction = total > 0.0 ? t.solarEnergyWh / total : 0.0;
+    return t;
+}
+
 FleetResult
 simulateFleetDay(const pv::PvModule &module,
                  const std::vector<NodeSpec> &specs)
@@ -15,7 +35,8 @@ simulateFleetDay(const pv::PvModule &module,
     FleetResult fleet;
     fleet.nodes.reserve(specs.size());
 
-    double total_mpp_wh = 0.0;
+    std::vector<FleetGroupEnergy> groups;
+    groups.reserve(specs.size());
     for (const auto &spec : specs) {
         const auto trace = solar::generateDayTrace(spec.site, spec.month,
                                                    spec.weatherSeed);
@@ -23,17 +44,23 @@ simulateFleetDay(const pv::PvModule &module,
         cfg.recordTimeline = true;
         const auto r = simulateDay(module, trace, spec.workload, cfg);
 
-        fleet.totalSolarWh += r.solarEnergyWh;
-        fleet.totalGridWh += r.gridEnergyWh;
-        fleet.totalGreenInstructions += r.solarInstructions;
-        total_mpp_wh += r.mppEnergyWh;
+        FleetGroupEnergy g;
+        g.mppEnergyWh = r.mppEnergyWh;
+        g.solarEnergyWh = r.solarEnergyWh;
+        g.gridEnergyWh = r.gridEnergyWh;
+        g.chipEnergyWh = r.chipEnergyWh;
+        g.solarInstructions = r.solarInstructions;
+        g.totalInstructions = r.totalInstructions;
+        groups.push_back(g);
         fleet.nodes.push_back(r);
     }
 
-    fleet.fleetUtilization =
-        total_mpp_wh > 0.0 ? fleet.totalSolarWh / total_mpp_wh : 0.0;
-    const double total = fleet.totalSolarWh + fleet.totalGridWh;
-    fleet.greenFraction = total > 0.0 ? fleet.totalSolarWh / total : 0.0;
+    const FleetTotals totals = aggregateFleet(groups);
+    fleet.totalSolarWh = totals.solarEnergyWh;
+    fleet.totalGridWh = totals.gridEnergyWh;
+    fleet.totalGreenInstructions = totals.solarInstructions;
+    fleet.fleetUtilization = totals.fleetUtilization;
+    fleet.greenFraction = totals.greenFraction;
 
     // Smoothing statistics over the common timeline span.
     std::size_t n = fleet.nodes.front().timeline.size();

@@ -21,6 +21,47 @@
 
 namespace solarcore::core {
 
+/**
+ * Energy ledger of one *group* of identical fleet nodes. Nodes with
+ * the same (site, month, seed, workload, config) produce identical
+ * days, so a 10k-node fleet collapses to a handful of groups with
+ * counts -- the representation the planning service aggregates over.
+ */
+struct FleetGroupEnergy
+{
+    double nodeCount = 1.0;
+    double mppEnergyWh = 0.0;
+    double solarEnergyWh = 0.0;
+    double gridEnergyWh = 0.0;
+    double chipEnergyWh = 0.0;
+    double solarInstructions = 0.0;
+    double totalInstructions = 0.0;
+};
+
+/** Group-count-weighted fleet aggregate. */
+struct FleetTotals
+{
+    double nodes = 0.0;            //!< total node count across groups
+    double mppEnergyWh = 0.0;
+    double solarEnergyWh = 0.0;
+    double gridEnergyWh = 0.0;
+    double chipEnergyWh = 0.0;
+    double solarInstructions = 0.0;
+    double totalInstructions = 0.0;
+    double fleetUtilization = 0.0; //!< sum solar / sum MPP energy
+    double greenFraction = 0.0;    //!< solar / (solar + grid) energy
+};
+
+/**
+ * Aggregate group ledgers into fleet totals, weighting each group by
+ * its node count, in group order (deterministic summation order).
+ * simulateFleetDay() feeds per-node ledgers with count 1 through this
+ * same function, so the identity
+ *   aggregateFleet(per-node groups).X == simulateFleetDay(...).totalX
+ * holds exactly.
+ */
+FleetTotals aggregateFleet(const std::vector<FleetGroupEnergy> &groups);
+
 /** One node of the fleet. */
 struct NodeSpec
 {

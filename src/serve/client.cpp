@@ -1,0 +1,177 @@
+#include "client.hpp"
+
+#include <chrono>
+
+#if !defined(_WIN32)
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace solarcore::serve {
+
+bool
+Client::connect(const std::string &socket_path)
+{
+#if defined(_WIN32)
+    (void)socket_path;
+    return false;
+#else
+    close();
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path)
+        return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return false;
+    }
+    // Reads go through FrameReader::drain, which requires O_NONBLOCK;
+    // writes poll-wait on EAGAIN inside sendFrame.
+    ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    fd_ = fd;
+    reader_ = util::FrameReader();
+    reader_.setMaxFrameBytes(kMaxFrameBytes);
+    pending_.clear();
+    return true;
+#endif
+}
+
+void
+Client::close()
+{
+#if !defined(_WIN32)
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+#endif
+    pending_.clear();
+}
+
+bool
+Client::sendFramePayload(std::string_view payload)
+{
+    if (fd_ < 0)
+        return false;
+    return sendFrame(fd_, payload);
+}
+
+bool
+Client::sendBytes(std::string_view bytes)
+{
+#if defined(_WIN32)
+    (void)bytes;
+    return false;
+#else
+    if (fd_ < 0)
+        return false;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            struct pollfd pfd;
+            pfd.fd = fd_;
+            pfd.events = POLLOUT;
+            pfd.revents = 0;
+            ::poll(&pfd, 1, 100);
+            continue;
+        }
+        return false;
+    }
+    return true;
+#endif
+}
+
+bool
+Client::receiveFrame(std::string &frame, int timeout_millis)
+{
+#if defined(_WIN32)
+    (void)frame;
+    (void)timeout_millis;
+    return false;
+#else
+    if (fd_ < 0)
+        return false;
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_millis);
+    for (;;) {
+        if (!pending_.empty()) {
+            frame = std::move(pending_.front());
+            pending_.pop_front();
+            return true;
+        }
+        int wait = -1;
+        if (timeout_millis > 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0)
+                return false;
+            wait = static_cast<int>(left);
+        }
+        struct pollfd pfd;
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int rc = ::poll(&pfd, 1, wait);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (rc == 0)
+            return false; // timeout
+        std::vector<std::string> frames;
+        const auto status = reader_.drain(fd_, frames);
+        for (std::string &f : frames)
+            pending_.push_back(std::move(f));
+        if (pending_.empty() &&
+            status != util::FrameReader::Status::Open)
+            return false;
+    }
+#endif
+}
+
+bool
+Client::call(const PlanQuery &query, PlanReply &reply,
+             int timeout_millis, std::string &error)
+{
+    if (!sendFramePayload(encodeQuery(query))) {
+        error = "send failed";
+        return false;
+    }
+    std::string frame;
+    if (!receiveFrame(frame, timeout_millis)) {
+        error = "no reply (timeout or disconnect)";
+        return false;
+    }
+    if (!decodeReply(frame, reply, error))
+        return false;
+    if (reply.requestId != query.requestId) {
+        error = "reply for a different request id";
+        return false;
+    }
+    return true;
+}
+
+} // namespace solarcore::serve

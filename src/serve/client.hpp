@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Blocking client for the solarcore_serve socket protocol.
+ *
+ * A thin synchronous wrapper used by solarcore_query, the serve test
+ * battery and the CI smoke job: connect to the daemon's AF_UNIX
+ * socket, send PlanQuery frames, await PlanReply frames with a poll
+ * timeout. The raw-byte escape hatches (sendBytes / sendFramePayload)
+ * exist for the protocol fuzz tests, which need to put torn frames,
+ * oversized declared lengths and garbage payloads on the wire --
+ * something the typed call() path refuses to produce.
+ */
+
+#ifndef SOLARCORE_SERVE_CLIENT_HPP
+#define SOLARCORE_SERVE_CLIENT_HPP
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "util/pipe_channel.hpp"
+
+namespace solarcore::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to @p socket_path. @return false on failure. */
+    bool connect(const std::string &socket_path);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /**
+     * Send @p query and await its reply for up to @p timeout_millis
+     * (<= 0 waits indefinitely). @return false on transport failure,
+     * timeout or an undecodable reply, with a one-line @p error.
+     */
+    bool call(const PlanQuery &query, PlanReply &reply,
+              int timeout_millis, std::string &error);
+
+    /** Frame @p payload and send it verbatim (fuzz tests). */
+    bool sendFramePayload(std::string_view payload);
+
+    /** Send raw bytes with no framing at all (fuzz tests). */
+    bool sendBytes(std::string_view bytes);
+
+    /**
+     * Await one complete frame for up to @p timeout_millis (<= 0
+     * waits indefinitely). @return false on timeout, disconnect or
+     * protocol error.
+     */
+    bool receiveFrame(std::string &frame, int timeout_millis);
+
+  private:
+    int fd_ = -1;
+    util::FrameReader reader_;
+    std::deque<std::string> pending_; //!< drained but unconsumed frames
+};
+
+} // namespace solarcore::serve
+
+#endif // SOLARCORE_SERVE_CLIENT_HPP

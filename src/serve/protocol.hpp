@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Wire protocol of the solarcore_serve planning daemon.
+ *
+ * Transport: length-prefixed frames ([u32 length][payload], the
+ * util/pipe_channel framing) over a local AF_UNIX stream socket.
+ * Payloads are native-endian packed fields -- same-machine IPC, the
+ * same contract as the campaign worker pipes; doubles travel as raw
+ * bits so a cached answer replays the simulated bytes exactly.
+ *
+ * One request frame ('Q') carries a planning query: the scenario axes
+ * (sites x months x policies x workloads x seeds), the shared
+ * simulation knobs, a fleet multiplier (nodes per expanded unit), the
+ * economic context, and a per-request deadline. One reply frame ('R')
+ * carries a typed status plus -- on Ok -- the fleet-aggregated
+ * energy/carbon/payback answer. Every reply echoes the client's
+ * request id; a server that cannot even parse the id echoes 0.
+ *
+ * Robustness contract: decodeQuery()/decodeReply() never trust a
+ * length field, never allocate towards unvalidated sizes, reject
+ * trailing bytes, and validate every enum token and numeric range, so
+ * a fuzzer can hand them arbitrary bytes. The deterministic part of
+ * an Ok reply (everything after the request id) is a pure function of
+ * the query and the server's resolved PV kernel -- the LRU result
+ * cache stores exactly those bytes.
+ */
+
+#ifndef SOLARCORE_SERVE_PROTOCOL_HPP
+#define SOLARCORE_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "campaign/scenario.hpp"
+#include "core/carbon.hpp"
+
+namespace solarcore::serve {
+
+/** Bumped on any wire-format change; mismatches get BadRequest. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Hard cap on any frame the server will buffer for one client. */
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/** Hard cap on each axis list in a query. */
+inline constexpr std::size_t kMaxAxisEntries = 4096;
+
+/** Frame tags (first payload byte). */
+inline constexpr std::uint8_t kFrameQuery = 'Q';
+inline constexpr std::uint8_t kFrameReply = 'R';
+
+/** Typed outcome of one request. */
+enum class ReplyStatus : std::uint8_t
+{
+    Ok = 0,
+    ShedCapacity = 1, //!< admission refused: request queue full
+    ShedDeadline = 2, //!< admission refused: grid too large for the
+                      //!< deadline at the current per-unit estimate
+    Expired = 3,      //!< deadline passed before the answer was ready
+    BadRequest = 4,   //!< malformed frame / invalid field values
+    ServerError = 5,  //!< internal failure
+    ShuttingDown = 6, //!< server stopped with the request queued
+};
+
+/** Human token of a status ("ok", "shed-capacity", ...). */
+const char *replyStatusName(ReplyStatus status);
+
+/** One planning query. */
+struct PlanQuery
+{
+    std::uint64_t requestId = 0;   //!< echoed verbatim in the reply
+    std::uint32_t deadlineMillis = 0; //!< 0 = no deadline
+    std::uint32_t nodesPerUnit = 1;   //!< fleet nodes per expanded unit
+    /** Axes + shared knobs; pvKernel is server-side and not on the
+     *  wire. */
+    campaign::ScenarioGrid grid;
+    core::GridContext econ;        //!< fleet-level economic context
+};
+
+/** The deterministic Ok answer. */
+struct PlanAnswer
+{
+    std::uint32_t unitCount = 0;   //!< expanded grid size
+    std::uint32_t nodesPerUnit = 1;
+    double nodes = 0.0;            //!< unitCount * nodesPerUnit
+    // Fleet energy totals (node-count weighted, one day).
+    double mppEnergyWh = 0.0;
+    double solarEnergyWh = 0.0;
+    double gridEnergyWh = 0.0;
+    double chipEnergyWh = 0.0;
+    double solarInstructions = 0.0;
+    double totalInstructions = 0.0;
+    double fleetUtilization = 0.0;
+    double greenFraction = 0.0;
+    // Carbon/cost projection of those totals (core::assessEnergy).
+    double solarKwhPerDay = 0.0;
+    double gridKwhPerDay = 0.0;
+    double co2AvoidedKgPerYear = 0.0;
+    double savingsUsdPerYear = 0.0;
+    double panelPaybackYears = 0.0;
+    double batteryAvoidedUsdPerYear = 0.0;
+};
+
+/** One reply frame. */
+struct PlanReply
+{
+    std::uint64_t requestId = 0;
+    ReplyStatus status = ReplyStatus::Ok;
+    std::string message;  //!< non-Ok diagnostics (bounded, one line)
+    PlanAnswer answer;    //!< meaningful only when status == Ok
+};
+
+/** Encode @p query as one frame payload (tag included). */
+std::string encodeQuery(const PlanQuery &query);
+
+/**
+ * Decode a query frame. On failure returns false with a one-line
+ * @p error; @p out.requestId is still filled when the prefix up to
+ * the id parsed, so the server can address its BadRequest reply.
+ */
+bool decodeQuery(std::string_view frame, PlanQuery &out,
+                 std::string &error);
+
+/**
+ * Encode @p reply as one frame payload. The bytes after the request
+ * id are deterministic for a given (query, resolved kernel); see
+ * encodeAnswerBody().
+ */
+std::string encodeReply(const PlanReply &reply);
+
+/** Decode a reply frame (client side). */
+bool decodeReply(std::string_view frame, PlanReply &out,
+                 std::string &error);
+
+/**
+ * The deterministic tail of an Ok reply -- status byte, empty
+ * message, answer fields. The server's LRU result cache stores these
+ * bytes; encodeReplyFromBody() prepends tag/version/request id.
+ */
+std::string encodeAnswerBody(const PlanAnswer &answer);
+
+/** Assemble a full reply frame from a cached answer body. */
+std::string encodeReplyFromBody(std::uint64_t request_id,
+                                std::string_view body);
+
+/**
+ * Clear-text cache-key material of @p query under @p resolved_kernel:
+ * the campaign grid signature (which names the kernel), the fleet
+ * multiplier, the economic context and the serve schema version.
+ * Everything that can change the answer, nothing that cannot.
+ */
+std::string queryKeyMaterial(const PlanQuery &query,
+                             std::string_view resolved_kernel);
+
+/**
+ * Validate the semantic ranges of a decoded query (non-empty axes
+ * within caps, positive dt/period, finite knobs, non-negative
+ * economics). @return empty string when valid, else the complaint.
+ */
+std::string validateQuery(const PlanQuery &query);
+
+/**
+ * Write @p payload as one [u32 length][payload] frame to socket
+ * @p fd, suppressing SIGPIPE and retrying EINTR/EAGAIN (poll-waiting
+ * on a full send buffer). @return false on a hard write error or on
+ * non-POSIX platforms.
+ */
+bool sendFrame(int fd, std::string_view payload);
+
+} // namespace solarcore::serve
+
+#endif // SOLARCORE_SERVE_PROTOCOL_HPP

@@ -1,0 +1,48 @@
+#include "result_cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace solarcore::serve {
+
+bool
+ResultCache::lookup(const std::string &material, std::string &body)
+{
+    const std::uint64_t key = util::fnv1a(material);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second->second.material != material) {
+        ++misses_;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    body = it->second->second.body;
+    ++hits_;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &material, std::string_view body)
+{
+    if (capacity_ == 0)
+        return;
+    const std::uint64_t key = util::fnv1a(material);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        // Refresh; on a genuine collision the newer answer wins, which
+        // is safe because lookup() re-checks the material.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        it->second->second.material = material;
+        it->second->second.body.assign(body);
+        ++insertions_;
+        return;
+    }
+    lru_.emplace_front(key, Entry{material, std::string(body)});
+    entries_.emplace(key, lru_.begin());
+    ++insertions_;
+    while (entries_.size() > capacity_) {
+        entries_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+} // namespace solarcore::serve

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-memory LRU cache of serve answers, keyed by the FNV-1a hash of
+ * the query's clear-text key material (queryKeyMaterial()).
+ *
+ * This is the hot layer above the campaign's persistent on-disk
+ * UnitResultCache: the disk cache memoizes *units* across processes,
+ * this cache memoizes whole *query answers* within one server. Each
+ * entry stores the full key material alongside the encoded answer
+ * body, so a hash collision reads as a miss instead of serving the
+ * wrong plan -- the same honesty rule as the disk cache.
+ *
+ * Not thread-safe; the server guards it with its own mutex.
+ */
+
+#ifndef SOLARCORE_SERVE_RESULT_CACHE_HPP
+#define SOLARCORE_SERVE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace solarcore::serve {
+
+class ResultCache
+{
+public:
+    /** @p capacity 0 disables the cache (every lookup misses). */
+    explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Look up @p material. On hit copies the stored answer body into
+     * @p body, promotes the entry to most-recently-used and returns
+     * true. A hash collision (same hash, different material) counts
+     * as a miss.
+     */
+    bool lookup(const std::string &material, std::string &body);
+
+    /**
+     * Insert @p body under @p material, evicting least-recently-used
+     * entries beyond capacity. Re-inserting an existing key refreshes
+     * its recency and overwrites the body.
+     */
+    void insert(const std::string &material, std::string_view body);
+
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t insertions() const { return insertions_; }
+    std::uint64_t evictions() const { return evictions_; }
+
+private:
+    struct Entry
+    {
+        std::string material; //!< full key text (collision check)
+        std::string body;     //!< encoded deterministic answer body
+    };
+
+    /// LRU list, most-recent first; map points into it by key hash.
+    std::list<std::pair<std::uint64_t, Entry>> lru_;
+    std::unordered_map<std::uint64_t, decltype(lru_)::iterator> entries_;
+    std::size_t capacity_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace solarcore::serve
+
+#endif // SOLARCORE_SERVE_RESULT_CACHE_HPP

@@ -78,6 +78,12 @@ FrameReader::drain(int fd, std::vector<std::string> &frames)
     while (buffer_.size() - pos >= sizeof(std::uint32_t)) {
         std::uint32_t len = 0;
         std::memcpy(&len, buffer_.data() + pos, sizeof(len));
+        if (maxFrameBytes_ != 0 && len > maxFrameBytes_) {
+            // A hostile/corrupt length prefix: never accumulate
+            // towards it, surface the connection as broken.
+            buffer_.erase(0, pos);
+            return Status::Error;
+        }
         if (buffer_.size() - pos - sizeof(len) < len)
             break;
         frames.emplace_back(buffer_, pos + sizeof(len), len);

@@ -56,8 +56,17 @@ class FrameReader
     /** Bytes of an incomplete trailing frame (crash diagnostics). */
     std::size_t pendingBytes() const { return buffer_.size(); }
 
+    /**
+     * Reject frames whose declared length exceeds @p bytes: drain()
+     * reports Error instead of buffering towards a 4 GiB allocation.
+     * The campaign pipes trust their forked writers and leave this
+     * unlimited (0); the serve codec caps every client connection.
+     */
+    void setMaxFrameBytes(std::size_t bytes) { maxFrameBytes_ = bytes; }
+
   private:
     std::string buffer_;
+    std::size_t maxFrameBytes_ = 0; //!< 0 = unlimited
 };
 
 } // namespace solarcore::util

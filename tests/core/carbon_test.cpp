@@ -54,6 +54,77 @@ TEST(Carbon, ContextScalesLinearly)
                 2.0 * clean.co2AvoidedKgPerYear, 1e-9);
 }
 
+TEST(Carbon, AssessDayDelegatesToAssessEnergy)
+{
+    // assessDay is documented as a thin wrapper over assessEnergy;
+    // the two must agree bit-for-bit (serve aggregates use the
+    // energy form directly).
+    GridContext grid;
+    grid.co2KgPerKwh = 0.63;
+    grid.panelUsd = 1234.0;
+    const auto a = assessDay(syntheticDay(417.25, 93.5), grid);
+    const auto b = assessEnergy(417.25, 93.5, grid);
+    EXPECT_DOUBLE_EQ(a.solarKwhPerDay, b.solarKwhPerDay);
+    EXPECT_DOUBLE_EQ(a.gridKwhPerDay, b.gridKwhPerDay);
+    EXPECT_DOUBLE_EQ(a.co2AvoidedKgPerYear, b.co2AvoidedKgPerYear);
+    EXPECT_DOUBLE_EQ(a.savingsUsdPerYear, b.savingsUsdPerYear);
+    EXPECT_DOUBLE_EQ(a.panelPaybackYears, b.panelPaybackYears);
+    EXPECT_DOUBLE_EQ(a.batteryAvoidedUsdPerYear,
+                     b.batteryAvoidedUsdPerYear);
+}
+
+TEST(Carbon, ZeroCarbonGridStillSavesMoney)
+{
+    // A fully decarbonized grid: nothing to avoid, but the tariff
+    // savings (and therefore a finite payback) remain.
+    GridContext grid;
+    grid.co2KgPerKwh = 0.0;
+    const auto report = assessEnergy(500.0, 250.0, grid);
+    EXPECT_DOUBLE_EQ(report.co2AvoidedKgPerYear, 0.0);
+    EXPECT_NEAR(report.savingsUsdPerYear, 21.9, 1e-9);
+    EXPECT_TRUE(std::isfinite(report.panelPaybackYears));
+}
+
+TEST(Carbon, ZeroCostFleetPaysBackImmediately)
+{
+    GridContext grid;
+    grid.panelUsd = 0.0;
+    const auto report = assessEnergy(500.0, 0.0, grid);
+    EXPECT_DOUBLE_EQ(report.panelPaybackYears, 0.0);
+
+    // ...but with no harvest either, payback stays "never", not NaN.
+    const auto dark = assessEnergy(0.0, 500.0, grid);
+    EXPECT_TRUE(std::isinf(dark.panelPaybackYears));
+    EXPECT_FALSE(std::isnan(dark.panelPaybackYears));
+}
+
+TEST(Carbon, ZeroBatteryLifeAvoidsDivisionByZero)
+{
+    GridContext grid;
+    grid.batteryLifeYears = 0.0;
+    const auto report = assessEnergy(500.0, 250.0, grid);
+    EXPECT_DOUBLE_EQ(report.batteryAvoidedUsdPerYear, 0.0);
+    EXPECT_FALSE(std::isnan(report.batteryAvoidedUsdPerYear));
+}
+
+TEST(Carbon, FleetScaleIsLinear)
+{
+    // A 1024-node fleet ledger projects exactly 1024x the per-node
+    // rates (payback scales with the fleet-level panel cost instead).
+    // A power-of-two node count commutes exactly with rounding, so
+    // the comparison can be bit-exact.
+    const auto unit = assessEnergy(500.0, 250.0);
+    GridContext fleet_grid;
+    fleet_grid.panelUsd = 450.0 * 1024.0;
+    const auto fleet = assessEnergy(500.0 * 1024.0, 250.0 * 1024.0,
+                                    fleet_grid);
+    EXPECT_DOUBLE_EQ(fleet.co2AvoidedKgPerYear,
+                     1024.0 * unit.co2AvoidedKgPerYear);
+    EXPECT_DOUBLE_EQ(fleet.savingsUsdPerYear,
+                     1024.0 * unit.savingsUsdPerYear);
+    EXPECT_DOUBLE_EQ(fleet.panelPaybackYears, unit.panelPaybackYears);
+}
+
 TEST(YearRound, AnchorsReproduceExactly)
 {
     using solar::Month;

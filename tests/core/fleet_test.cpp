@@ -3,8 +3,11 @@
  * Tests for the fleet-level simulation.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "core/carbon.hpp"
 #include "core/fleet.hpp"
 
 namespace solarcore::core {
@@ -70,6 +73,147 @@ TEST(Fleet, SingleNodeFleetDegeneratesToDay)
     SimConfig cfg = spec.config;
     const auto day = simulateDay(module, trace, spec.workload, cfg);
     EXPECT_NEAR(fleet.nodes[0].solarEnergyWh, day.solarEnergyWh, 1e-9);
+}
+
+FleetGroupEnergy
+group(double count, double mpp, double solar, double grid, double chip,
+      double solar_instr, double total_instr)
+{
+    FleetGroupEnergy g;
+    g.nodeCount = count;
+    g.mppEnergyWh = mpp;
+    g.solarEnergyWh = solar;
+    g.gridEnergyWh = grid;
+    g.chipEnergyWh = chip;
+    g.solarInstructions = solar_instr;
+    g.totalInstructions = total_instr;
+    return g;
+}
+
+TEST(FleetAggregate, WeightedHandSumIdentity)
+{
+    const std::vector<FleetGroupEnergy> groups = {
+        group(100.0, 900.0, 800.0, 120.0, 920.0, 2.0e12, 2.5e12),
+        group(40.0, 700.0, 300.0, 400.0, 700.0, 0.9e12, 2.1e12),
+        group(1.0, 0.125, 0.0625, 0.03125, 0.09375, 1.0e9, 3.0e9)};
+    const auto t = aggregateFleet(groups);
+
+    // Same group order, same expression, so the sums are exact.
+    EXPECT_DOUBLE_EQ(t.nodes, 141.0);
+    EXPECT_DOUBLE_EQ(t.mppEnergyWh,
+                     100.0 * 900.0 + 40.0 * 700.0 + 0.125);
+    EXPECT_DOUBLE_EQ(t.solarEnergyWh,
+                     100.0 * 800.0 + 40.0 * 300.0 + 0.0625);
+    EXPECT_DOUBLE_EQ(t.gridEnergyWh,
+                     100.0 * 120.0 + 40.0 * 400.0 + 0.03125);
+    EXPECT_DOUBLE_EQ(t.chipEnergyWh,
+                     100.0 * 920.0 + 40.0 * 700.0 + 0.09375);
+    EXPECT_DOUBLE_EQ(t.solarInstructions,
+                     100.0 * 2.0e12 + 40.0 * 0.9e12 + 1.0e9);
+    EXPECT_DOUBLE_EQ(t.totalInstructions,
+                     100.0 * 2.5e12 + 40.0 * 2.1e12 + 3.0e9);
+    EXPECT_DOUBLE_EQ(t.fleetUtilization,
+                     t.solarEnergyWh / t.mppEnergyWh);
+    EXPECT_DOUBLE_EQ(t.greenFraction,
+                     t.solarEnergyWh / (t.solarEnergyWh + t.gridEnergyWh));
+}
+
+TEST(FleetAggregate, GroupCountCollapsesDuplicates)
+{
+    // One group of N identical nodes must equal N count-1 groups:
+    // the collapsed representation the planning service relies on.
+    const auto g = group(1.0, 903.7, 811.3, 97.1, 842.9, 1.9e12, 2.4e12);
+    auto collapsed = g;
+    collapsed.nodeCount = 3.0;
+
+    const auto one = aggregateFleet({collapsed});
+    const auto many = aggregateFleet({g, g, g});
+    EXPECT_DOUBLE_EQ(one.nodes, many.nodes);
+    EXPECT_DOUBLE_EQ(one.mppEnergyWh, many.mppEnergyWh);
+    EXPECT_DOUBLE_EQ(one.solarEnergyWh, many.solarEnergyWh);
+    EXPECT_DOUBLE_EQ(one.gridEnergyWh, many.gridEnergyWh);
+    EXPECT_DOUBLE_EQ(one.chipEnergyWh, many.chipEnergyWh);
+    EXPECT_DOUBLE_EQ(one.fleetUtilization, many.fleetUtilization);
+    EXPECT_DOUBLE_EQ(one.greenFraction, many.greenFraction);
+}
+
+TEST(FleetAggregate, EmptyAndDarkFleetsAreSafe)
+{
+    const auto empty = aggregateFleet({});
+    EXPECT_DOUBLE_EQ(empty.nodes, 0.0);
+    EXPECT_DOUBLE_EQ(empty.fleetUtilization, 0.0);
+    EXPECT_DOUBLE_EQ(empty.greenFraction, 0.0);
+
+    // All-grid group: no MPP energy, no solar -> both ratios must
+    // come out 0 instead of dividing by zero.
+    const auto dark =
+        aggregateFleet({group(10.0, 0.0, 0.0, 500.0, 500.0, 0.0, 1e12)});
+    EXPECT_DOUBLE_EQ(dark.fleetUtilization, 0.0);
+    EXPECT_DOUBLE_EQ(dark.greenFraction, 0.0);
+    EXPECT_DOUBLE_EQ(dark.gridEnergyWh, 5000.0);
+}
+
+TEST(FleetAggregate, MatchesSimulateFleetDayExactly)
+{
+    // The documented identity: per-node ledgers (count 1) through
+    // aggregateFleet reproduce simulateFleetDay's totals bit-exactly.
+    const auto module = pv::buildBp3180n();
+    const std::vector<NodeSpec> specs = {node(solar::SiteId::AZ, 1),
+                                         node(solar::SiteId::CO, 2),
+                                         node(solar::SiteId::TN, 3)};
+    const auto fleet = simulateFleetDay(module, specs);
+
+    std::vector<FleetGroupEnergy> groups;
+    for (const auto &r : fleet.nodes) {
+        FleetGroupEnergy g;
+        g.nodeCount = 1.0;
+        g.mppEnergyWh = r.mppEnergyWh;
+        g.solarEnergyWh = r.solarEnergyWh;
+        g.gridEnergyWh = r.gridEnergyWh;
+        g.chipEnergyWh = r.chipEnergyWh;
+        g.solarInstructions = r.solarInstructions;
+        g.totalInstructions = r.totalInstructions;
+        groups.push_back(g);
+    }
+    const auto t = aggregateFleet(groups);
+    EXPECT_DOUBLE_EQ(t.solarEnergyWh, fleet.totalSolarWh);
+    EXPECT_DOUBLE_EQ(t.gridEnergyWh, fleet.totalGridWh);
+    EXPECT_DOUBLE_EQ(t.fleetUtilization, fleet.fleetUtilization);
+    EXPECT_DOUBLE_EQ(t.greenFraction, fleet.greenFraction);
+}
+
+TEST(FleetAggregate, GoldenFleetDayAnswer)
+{
+    // Committed end-to-end numbers for a 2-node AZ/Jul HM2 fleet at
+    // dt=60 under the default economic context -- the serve daemon's
+    // canonical demo query. A drift beyond 0.1% means the physics,
+    // the aggregation or the accounting changed and every cached
+    // serve answer with it.
+    const auto module = pv::buildBp3180n();
+    std::vector<NodeSpec> specs;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        NodeSpec spec;
+        spec.site = solar::SiteId::AZ;
+        spec.month = solar::Month::Jul;
+        spec.weatherSeed = seed;
+        spec.workload = workload::WorkloadId::HM2;
+        spec.config.dtSeconds = 60.0;
+        specs.push_back(spec);
+    }
+    const auto fleet = simulateFleetDay(module, specs);
+    const auto report =
+        assessEnergy(fleet.totalSolarWh, fleet.totalGridWh);
+
+    auto near = [](double actual, double golden) {
+        EXPECT_NEAR(actual, golden, std::abs(golden) * 1e-3);
+    };
+    near(fleet.totalSolarWh, 1441.7279076056002);
+    near(fleet.totalGridWh, 313.28375290853364);
+    near(fleet.fleetUtilization, 0.86934048231420058);
+    near(fleet.greenFraction, 0.82149192512102365);
+    near(report.co2AvoidedKgPerYear, 210.49227451041762);
+    near(report.savingsUsdPerYear, 63.147682353125283);
+    near(report.panelPaybackYears, 7.1261522708557292);
 }
 
 TEST(Fleet, MixedPoliciesPerNode)

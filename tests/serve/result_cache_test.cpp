@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the in-memory LRU answer cache: hit/miss semantics, LRU
+ * promotion and eviction order, refresh-on-reinsert, the capacity-0
+ * disable switch, and counter accounting.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/result_cache.hpp"
+
+namespace solarcore::serve {
+namespace {
+
+TEST(ResultCache, HitReturnsStoredBytes)
+{
+    ResultCache cache(4);
+    cache.insert("key-a", "body-a");
+
+    std::string body;
+    ASSERT_TRUE(cache.lookup("key-a", body));
+    EXPECT_EQ(body, "body-a");
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, MissOnUnknownKey)
+{
+    ResultCache cache(4);
+    std::string body = "sentinel";
+    EXPECT_FALSE(cache.lookup("absent", body));
+    EXPECT_EQ(body, "sentinel"); // untouched on miss
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, LruEvictionRespectsPromotion)
+{
+    ResultCache cache(2);
+    cache.insert("a", "A");
+    cache.insert("b", "B");
+
+    // Touch "a" so "b" becomes least-recently-used, then overflow.
+    std::string body;
+    ASSERT_TRUE(cache.lookup("a", body));
+    cache.insert("c", "C");
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.lookup("b", body)); // evicted
+    ASSERT_TRUE(cache.lookup("a", body));
+    EXPECT_EQ(body, "A");
+    ASSERT_TRUE(cache.lookup("c", body));
+    EXPECT_EQ(body, "C");
+}
+
+TEST(ResultCache, ReinsertRefreshesRecencyAndBody)
+{
+    ResultCache cache(2);
+    cache.insert("a", "A1");
+    cache.insert("b", "B");
+    cache.insert("a", "A2"); // refresh: "b" is now LRU
+    cache.insert("c", "C");  // evicts "b", not "a"
+
+    std::string body;
+    EXPECT_FALSE(cache.lookup("b", body));
+    ASSERT_TRUE(cache.lookup("a", body));
+    EXPECT_EQ(body, "A2");
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, CapacityZeroDisables)
+{
+    ResultCache cache(0);
+    cache.insert("a", "A");
+    std::string body;
+    EXPECT_FALSE(cache.lookup("a", body));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, CapacityOneKeepsNewest)
+{
+    ResultCache cache(1);
+    cache.insert("a", "A");
+    cache.insert("b", "B");
+    std::string body;
+    EXPECT_FALSE(cache.lookup("a", body));
+    ASSERT_TRUE(cache.lookup("b", body));
+    EXPECT_EQ(body, "B");
+}
+
+TEST(ResultCache, CountersAccumulate)
+{
+    ResultCache cache(8);
+    std::string body;
+    for (int i = 0; i < 3; ++i)
+        cache.lookup("missing", body);
+    cache.insert("k", "v");
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(cache.lookup("k", body));
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 5u);
+    EXPECT_EQ(cache.insertions(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+} // namespace
+} // namespace solarcore::serve

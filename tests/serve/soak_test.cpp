@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Concurrency soak for the serve daemon: many client threads hammer
+ * one server with a mixed batch of queries and every reply must be
+ * byte-identical to the single-threaded warm-up answer for the same
+ * query -- the determinism acceptance bar at full concurrency. The
+ * warm-up also pins the cache accounting: after it, the storm phase
+ * must be 100% result-cache hits (the >=95% criterion with margin).
+ */
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+#ifndef _WIN32
+#include <stdlib.h>
+#endif
+
+#include <filesystem>
+
+namespace solarcore::serve {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kCallsPerThread = 30;
+
+// Reply frame: tag u8 + version u32 + request id u64; everything
+// after is the deterministic answer body.
+constexpr std::size_t kReplyHeaderBytes = 13;
+
+PlanQuery
+soakQuery(int variant, std::uint64_t request_id)
+{
+    static const solar::SiteId sites[] = {
+        solar::SiteId::AZ, solar::SiteId::CO, solar::SiteId::NC,
+        solar::SiteId::TN, solar::SiteId::AZ, solar::SiteId::CO};
+    PlanQuery q;
+    q.requestId = request_id;
+    q.nodesPerUnit = 50;
+    q.grid.sites = {sites[variant % 6]};
+    q.grid.months = {solar::Month::Jul};
+    q.grid.policies = {campaign::CampaignPolicy::MpptOpt};
+    q.grid.workloads = {workload::WorkloadId::HM2};
+    q.grid.seeds = {1 + static_cast<std::uint64_t>(variant / 4)};
+    q.grid.dtSeconds = 480.0;
+    return q;
+}
+
+constexpr int kVariants = 6;
+
+TEST(ServeSoak, ConcurrentClientsGetByteIdenticalAnswers)
+{
+    if (!serveSupported())
+        GTEST_SKIP() << "AF_UNIX serving not supported here";
+
+    char tmpl[] = "/tmp/scsoakXXXXXX";
+    ASSERT_NE(mkdtemp(tmpl), nullptr);
+    const std::string dir = tmpl;
+
+    ServeConfig cfg;
+    cfg.socketPath = dir + "/soak.sock";
+    cfg.workers = 4;
+    cfg.maxQueueDepth = 256;
+    Server server(cfg);
+    ASSERT_TRUE(server.start());
+
+    // Warm-up: one client, one pass over every distinct query. These
+    // replies are the reference bodies.
+    std::vector<std::string> reference(kVariants);
+    {
+        Client client;
+        ASSERT_TRUE(client.connect(cfg.socketPath));
+        for (int v = 0; v < kVariants; ++v) {
+            const auto query = soakQuery(v, 1000 + v);
+            ASSERT_TRUE(client.sendFramePayload(encodeQuery(query)));
+            std::string frame;
+            ASSERT_TRUE(client.receiveFrame(frame, 60000));
+            PlanReply reply;
+            std::string error;
+            ASSERT_TRUE(decodeReply(frame, reply, error)) << error;
+            ASSERT_EQ(reply.status, ReplyStatus::Ok);
+            ASSERT_GT(frame.size(), kReplyHeaderBytes);
+            reference[v] = frame.substr(kReplyHeaderBytes);
+        }
+        const auto warm = server.snapshot();
+        EXPECT_EQ(warm.resultCacheMisses,
+                  static_cast<std::uint64_t>(kVariants));
+        EXPECT_EQ(warm.resultCacheHits, 0u);
+    }
+
+    // Storm: every thread rotates through the variants on its own
+    // connection and byte-compares each answer body.
+    std::vector<std::thread> threads;
+    std::vector<std::vector<std::string>> failures(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto &fail = failures[t];
+            Client client;
+            if (!client.connect(cfg.socketPath)) {
+                fail.push_back("connect failed");
+                return;
+            }
+            for (int i = 0; i < kCallsPerThread; ++i) {
+                const int v = (t + i) % kVariants;
+                const std::uint64_t id =
+                    10000 + static_cast<std::uint64_t>(t) * 1000 + i;
+                const auto query = soakQuery(v, id);
+                if (!client.sendFramePayload(encodeQuery(query))) {
+                    fail.push_back("send failed");
+                    return;
+                }
+                std::string frame;
+                if (!client.receiveFrame(frame, 60000)) {
+                    fail.push_back("receive timed out");
+                    return;
+                }
+                PlanReply reply;
+                std::string error;
+                if (!decodeReply(frame, reply, error)) {
+                    fail.push_back("undecodable reply: " + error);
+                    continue;
+                }
+                if (reply.status != ReplyStatus::Ok) {
+                    fail.push_back(std::string("status ") +
+                                   replyStatusName(reply.status));
+                    continue;
+                }
+                if (reply.requestId != id) {
+                    fail.push_back("request id mismatch");
+                    continue;
+                }
+                if (frame.substr(kReplyHeaderBytes) != reference[v])
+                    fail.push_back("answer bytes diverged, variant " +
+                                   std::to_string(v));
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_TRUE(failures[t].empty())
+            << "thread " << t << ": " << failures[t].front() << " ("
+            << failures[t].size() << " failures)";
+
+    const auto snap = server.snapshot();
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kVariants) +
+        static_cast<std::uint64_t>(kThreads) * kCallsPerThread;
+    EXPECT_EQ(snap.requests, total);
+    EXPECT_EQ(snap.ok, total);
+    // The storm phase ran entirely out of the answer cache: every
+    // lookup after warm-up hit (the >=95% bar, met at 100%).
+    EXPECT_EQ(snap.resultCacheMisses,
+              static_cast<std::uint64_t>(kVariants));
+    EXPECT_EQ(snap.resultCacheHits,
+              static_cast<std::uint64_t>(kThreads) * kCallsPerThread);
+    EXPECT_EQ(snap.unitsSimulated,
+              static_cast<std::uint64_t>(kVariants));
+    EXPECT_EQ(snap.connections,
+              static_cast<std::uint64_t>(kThreads) + 1);
+
+    server.stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+}
+
+} // namespace
+} // namespace solarcore::serve

@@ -131,6 +131,47 @@ TEST(PipeChannel, TornTrailingFrameIsDiscardedAtEof)
     EXPECT_EQ(reader.pendingBytes(), sizeof(lie) + 3);
 }
 
+TEST(PipeChannel, OversizedDeclaredLengthIsAnError)
+{
+    // A hostile length prefix (the serve codec's threat model) must
+    // not make the reader buffer towards gigabytes: with a cap set,
+    // drain() reports Error as soon as the prefix is visible.
+    Pipe p;
+    const std::string small = "ok";
+    ASSERT_TRUE(writeFrame(p.fds[1], small.data(), small.size()));
+    const std::uint32_t huge = 0xffffffffu;
+    ASSERT_EQ(::write(p.fds[1], &huge, sizeof(huge)),
+              static_cast<ssize_t>(sizeof(huge)));
+
+    FrameReader reader;
+    reader.setMaxFrameBytes(1 << 16);
+    std::vector<std::string> got;
+    EXPECT_EQ(reader.drain(p.fds[0], got), FrameReader::Status::Error);
+    // The frame ahead of the lie is still delivered whole.
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], small);
+}
+
+TEST(PipeChannel, CapAdmitsFramesUpToTheLimit)
+{
+    Pipe p;
+    const std::string payload(1 << 10, 'y');
+    std::thread writer([&] {
+        EXPECT_TRUE(writeFrame(p.fds[1], payload.data(), payload.size()));
+        p.closeWrite();
+    });
+    FrameReader reader;
+    reader.setMaxFrameBytes(payload.size());
+    std::vector<std::string> got;
+    FrameReader::Status status = FrameReader::Status::Open;
+    while (status == FrameReader::Status::Open)
+        status = reader.drain(p.fds[0], got);
+    writer.join();
+    EXPECT_EQ(status, FrameReader::Status::Closed);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], payload);
+}
+
 TEST(PipeChannel, WriteToClosedReaderFails)
 {
     // Campaign workers ignore SIGPIPE so a dead parent turns into a

@@ -42,6 +42,7 @@ struct WorkerRow
 
 struct Status
 {
+    bool serve = false; //!< solarcore-serve-status-v1 document
     std::string signature;
     double total = 0, pending = 0, resumed = 0, done = 0;
     double inflight = 0, queueDepth = 0, workers = 0;
@@ -52,6 +53,14 @@ struct Status
     bool cacheEnabled = false;
     double cacheHits = 0, cacheMisses = 0, cacheStores = 0;
     double cacheEvictions = 0, unitsCached = 0;
+    // Serve-mode fields.
+    std::string socket, kernel;
+    double requests = 0, ok = 0, shedCapacity = 0, shedDeadline = 0;
+    double expired = 0, badRequest = 0, protocolErrors = 0;
+    double connections = 0, disconnects = 0;
+    double unitsSimulated = 0, unitsFromUnitCache = 0;
+    double queueP50 = 0, queueP99 = 0, serviceP50 = 0, serviceP99 = 0;
+    double resultHits = 0, resultMisses = 0, resultSize = 0;
 };
 
 [[noreturn]] void
@@ -90,9 +99,47 @@ loadStatus(const std::string &path, Status &out, std::string &problem)
         return false;
     }
     const auto schema = doc.find("schema");
+    if (schema != doc.end() &&
+        schema->second.text == "solarcore-serve-status-v1") {
+        out.serve = true;
+        const auto socket = doc.find("socket");
+        out.socket = socket == doc.end() ? std::string()
+                                         : socket->second.text;
+        const auto kernel = doc.find("pv_kernel");
+        out.kernel = kernel == doc.end() ? std::string()
+                                         : kernel->second.text;
+        out.elapsed = num(doc, "uptime_seconds");
+        out.workers = num(doc, "workers");
+        out.queueDepth = num(doc, "queue_depth");
+        out.inflight = num(doc, "inflight");
+        out.connections = num(doc, "connections");
+        out.disconnects = num(doc, "disconnects");
+        out.protocolErrors = num(doc, "protocol_errors");
+        out.requests = num(doc, "requests");
+        out.ok = num(doc, "ok");
+        out.shedCapacity = num(doc, "shed_capacity");
+        out.shedDeadline = num(doc, "shed_deadline");
+        out.expired = num(doc, "expired");
+        out.badRequest = num(doc, "bad_request");
+        out.unitsSimulated = num(doc, "units_simulated");
+        out.unitsFromUnitCache = num(doc, "units_from_unit_cache");
+        out.queueP50 = num(doc, "latency_ms.queue_p50");
+        out.queueP99 = num(doc, "latency_ms.queue_p99");
+        out.serviceP50 = num(doc, "latency_ms.service_p50");
+        out.serviceP99 = num(doc, "latency_ms.service_p99");
+        out.resultHits = num(doc, "result_cache.hits");
+        out.resultMisses = num(doc, "result_cache.misses");
+        out.resultSize = num(doc, "result_cache.size");
+        out.cacheEnabled = doc.find("unit_cache.hits") != doc.end();
+        out.cacheHits = num(doc, "unit_cache.hits");
+        out.cacheMisses = num(doc, "unit_cache.misses");
+        out.cacheStores = num(doc, "unit_cache.stores");
+        out.cacheEvictions = num(doc, "unit_cache.evictions");
+        return true;
+    }
     if (schema == doc.end() ||
         schema->second.text != "solarcore-campaign-status-v1") {
-        problem = "not a solarcore campaign status file";
+        problem = "not a solarcore status file";
         return false;
     }
     const auto sig = doc.find("signature");
@@ -165,8 +212,66 @@ fmtDuration(double seconds)
 }
 
 void
+renderServe(std::ostream &os, const Status &st)
+{
+    os << "solarcore serve";
+    if (!st.socket.empty())
+        os << "  (" << st.socket << ")";
+    os << "\n";
+    os << "  uptime   " << fmtDuration(st.elapsed);
+    if (!st.kernel.empty())
+        os << "   pv kernel " << st.kernel;
+    os << "\n";
+    os << "  load     " << static_cast<long>(st.inflight) << "/"
+       << static_cast<long>(st.workers) << " busy   queue "
+       << static_cast<long>(st.queueDepth) << "   conns "
+       << static_cast<long>(st.connections - st.disconnects) << " open/"
+       << static_cast<long>(st.connections) << " total\n";
+    os << "  requests " << static_cast<long>(st.ok) << " ok";
+    const long shed =
+        static_cast<long>(st.shedCapacity + st.shedDeadline);
+    if (shed > 0)
+        os << "   " << shed << " shed ("
+           << static_cast<long>(st.shedCapacity) << " capacity, "
+           << static_cast<long>(st.shedDeadline) << " deadline)";
+    if (st.expired > 0)
+        os << "   " << static_cast<long>(st.expired) << " expired";
+    if (st.badRequest > 0)
+        os << "   " << static_cast<long>(st.badRequest) << " bad";
+    if (st.protocolErrors > 0)
+        os << "   " << static_cast<long>(st.protocolErrors)
+           << " protocol errors";
+    os << "\n";
+    char lat[96];
+    std::snprintf(lat, sizeof(lat),
+                  "  latency  queue p50 %.2fms p99 %.2fms   service"
+                  " p50 %.2fms p99 %.2fms\n",
+                  st.queueP50, st.queueP99, st.serviceP50, st.serviceP99);
+    os << lat;
+    const double lookups = st.resultHits + st.resultMisses;
+    char hitrate[16];
+    std::snprintf(hitrate, sizeof(hitrate), "%.0f%%",
+                  lookups > 0 ? st.resultHits / lookups * 100.0 : 0.0);
+    os << "  answers  " << static_cast<long>(st.resultHits) << " hit/"
+       << static_cast<long>(st.resultMisses) << " miss (" << hitrate
+       << ")   " << static_cast<long>(st.resultSize) << " cached\n";
+    os << "  units    " << static_cast<long>(st.unitsSimulated)
+       << " simulated";
+    if (st.cacheEnabled) {
+        os << "   " << static_cast<long>(st.unitsFromUnitCache)
+           << " from unit cache (" << static_cast<long>(st.cacheHits)
+           << " hit/" << static_cast<long>(st.cacheMisses) << " miss)";
+    }
+    os << "\n";
+}
+
+void
 render(std::ostream &os, const Status &st)
 {
+    if (st.serve) {
+        renderServe(os, st);
+        return;
+    }
     const double denom = st.pending > 0 ? st.pending : 1.0;
     const double frac = std::min(st.done / denom, 1.0);
     constexpr int kBarWidth = 40;
@@ -284,7 +389,9 @@ main(int argc, char **argv)
         else
             frame << "solarcore_top: " << problem << "\n";
         std::cout << frame.str() << std::flush;
-        if (ok && st.done >= st.pending && st.pending > 0) {
+        // A serve status never "completes": keep watching until the
+        // user quits or the daemon removes the file.
+        if (ok && !st.serve && st.done >= st.pending && st.pending > 0) {
             std::cout << "campaign complete\n";
             return 0;
         }
