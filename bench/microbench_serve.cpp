@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Sustained-load microbenchmark for the solarcore_serve daemon: N
+ * concurrent clients drive a worker-pool server over a real AF_UNIX
+ * socket, first with all-miss queries (cold: every request simulates
+ * its units) and then re-sending the same queries (warm: result-cache
+ * hits, the latency floor of the service). The warm pass repeats
+ * several times and keeps the best pass per configuration -- on a
+ * shared machine contention only ever adds time, so the minimum is
+ * the least-disturbed sample.
+ *
+ * Two daemons run side by side: one with tracing disabled and one
+ * with the span layer armed (--trace-out set, head sampling off)
+ * while the clients stay untraced; passes alternate between them so
+ * machine-load drift hits both equally. The relative difference of
+ * the best all-miss (simulating) pass medians is the "tracing-off
+ * overhead" that bench/run_microbench.sh gates at <1%: arming the
+ * span layer must not tax a real planning request that does not
+ * keep a trace. (The cache-hit floor is also recorded for both
+ * configurations, informationally -- at ~20 us a reply, the fixed
+ * span-staging cost is a visible relative slice there.)
+ *
+ * Output is a flat JSON document (stdout and optionally --json-out)
+ * recorded by run_microbench.sh as BENCH_serve.json; every top-level
+ * number feeds the bench/history trajectory for the phase-2
+ * sustained-load p99 target.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+#ifndef _WIN32
+#include <stdlib.h>
+#endif
+
+namespace {
+
+using namespace solarcore;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * One cheap single-unit query; @p ordinal picks a distinct seed and
+ * @p salt shifts the whole seed range so a pass can be forced to
+ * miss the result cache (salt 0 is the warm working set).
+ */
+serve::PlanQuery
+benchQuery(std::uint64_t request_id, std::uint32_t ordinal,
+           std::uint32_t salt = 0)
+{
+    serve::PlanQuery q;
+    q.requestId = request_id;
+    q.nodesPerUnit = 100;
+    q.grid.sites = {solar::SiteId::AZ};
+    q.grid.months = {solar::Month::Jul};
+    q.grid.policies = {campaign::CampaignPolicy::MpptOpt};
+    q.grid.workloads = {workload::WorkloadId::HM2};
+    q.grid.seeds = {salt + ordinal + 1};
+    q.grid.dtSeconds = 480.0;
+    return q;
+}
+
+/** Times the query set is re-sent per warm pass (see runLoad). */
+constexpr int kWarmIterations = 25;
+
+double
+percentileMs(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[std::min(idx, values.size() - 1)];
+}
+
+/** One live server plus its client fleet. */
+struct LoadTarget
+{
+    explicit LoadTarget(const serve::ServeConfig &cfg)
+        : server(cfg), socketPath(cfg.socketPath)
+    {
+    }
+
+    bool
+    start(int clients)
+    {
+        if (!server.start()) {
+            std::cerr << "microbench_serve: cannot start server on "
+                      << socketPath << "\n";
+            return false;
+        }
+        for (int c = 0; c < clients; ++c) {
+            conns.push_back(std::make_unique<serve::Client>());
+            if (!conns.back()->connect(socketPath)) {
+                std::cerr << "microbench_serve: connect failed\n";
+                return false;
+            }
+        }
+        return true;
+    }
+
+    serve::Server server;
+    std::string socketPath;
+    std::vector<std::unique_ptr<serve::Client>> conns;
+    double coldSeconds = 0.0;
+    double warmBestSeconds = 0.0;
+    double warmBestP50Ms = 0.0; //!< min over passes of the pass median
+    double simBestP50Ms = 0.0;  //!< median over all-miss pass medians
+    double simOverheadPct = 0.0; //!< armed-vs-off gate result (off only)
+    std::vector<double> warmLatencyMs; //!< per-request, best pass
+};
+
+/**
+ * One pass over @p target: every client thread loops @p iters times
+ * over its share of the query set (warm passes iterate so the
+ * measured window amortises thread spawn/join). @return elapsed
+ * seconds, or a negative value when any request failed.
+ */
+double
+runPass(LoadTarget &target, int clients, int requests, int iters,
+        std::uint32_t salt, std::vector<double> *lat_ms)
+{
+    std::atomic<bool> failed{false};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (int loop = 0; loop < iters; ++loop) {
+                for (int i = 0; i < requests; ++i) {
+                    const auto ordinal = static_cast<std::uint32_t>(
+                        c * requests + i);
+                    const serve::PlanQuery q =
+                        benchQuery(ordinal + 1, ordinal, salt);
+                    serve::PlanReply reply;
+                    std::string error;
+                    const auto rt0 = Clock::now();
+                    if (!target.conns[static_cast<std::size_t>(c)]
+                             ->call(q, reply, 60000, error) ||
+                        reply.status != serve::ReplyStatus::Ok) {
+                        failed.store(true);
+                        return;
+                    }
+                    if (lat_ms != nullptr)
+                        (*lat_ms)[static_cast<std::size_t>(
+                            (loop * clients + c) * requests + i)] =
+                            secondsSince(rt0) * 1e3;
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double elapsed = secondsSince(t0);
+    return failed.load() ? -1.0 : elapsed;
+}
+
+/**
+ * Cold pass on both targets, then @p reps warm (cache-hit) passes
+ * ALTERNATING between the two targets so slow machine-load drift
+ * hits both configurations equally; each target keeps its best
+ * (least-disturbed) pass.
+ */
+bool
+runInterleaved(LoadTarget &off, LoadTarget &armed, int clients,
+               int requests, int reps)
+{
+    off.coldSeconds = runPass(off, clients, requests, 1, 0, nullptr);
+    armed.coldSeconds =
+        runPass(armed, clients, requests, 1, 0, nullptr);
+    if (off.coldSeconds < 0.0 || armed.coldSeconds < 0.0)
+        return false;
+
+    const auto per_pass =
+        static_cast<std::size_t>(clients) *
+        static_cast<std::size_t>(requests) *
+        static_cast<std::size_t>(kWarmIterations);
+    for (int r = 0; r < reps; ++r) {
+        for (LoadTarget *target : {&off, &armed}) {
+            std::vector<double> rep_lat(per_pass, 0.0);
+            const double elapsed =
+                runPass(*target, clients, requests, kWarmIterations,
+                        0, &rep_lat);
+            if (elapsed < 0.0)
+                return false;
+            // Pass MEDIANS are robust to preemption outliers on a
+            // loaded machine; minimise them over the repetitions
+            // like the pass wall time.
+            const double p50 = percentileMs(rep_lat, 0.50);
+            if (r == 0 || p50 < target->warmBestP50Ms)
+                target->warmBestP50Ms = p50;
+            if (r == 0 || elapsed < target->warmBestSeconds) {
+                target->warmBestSeconds = elapsed;
+                target->warmLatencyMs = std::move(rep_lat);
+            }
+        }
+    }
+
+    return true;
+}
+
+/**
+ * The tracing-off overhead gate. @p gate_off and @p gate_armed run
+ * with the answer cache DISABLED so the same fixed query set
+ * simulates its unit on every pass: the measured work is a real
+ * planning request (not the cache-hit floor, where socket scheduling
+ * dominates and the fixed span-staging cost is a huge relative
+ * slice) and is identical across passes and daemons. A SINGLE client
+ * runs serially -- concurrency on a small machine adds queue-wait
+ * jitter that swamps a sub-percent delta -- with passes alternating
+ * between the daemons; each side keeps its best (least-disturbed)
+ * pass median, mirroring the BM_SimulatedDayObsOff gate.
+ */
+bool
+runGate(LoadTarget &gate_off, LoadTarget &gate_armed, int total_requests,
+        int reps)
+{
+    for (int r = 0; r < reps; ++r) {
+        for (LoadTarget *target : {&gate_off, &gate_armed}) {
+            std::vector<double> rep_lat(
+                static_cast<std::size_t>(total_requests), 0.0);
+            const double elapsed =
+                runPass(*target, 1, total_requests, 1, 0, &rep_lat);
+            if (elapsed < 0.0)
+                return false;
+            const double p50 = percentileMs(rep_lat, 0.50);
+            if (r == 0 || p50 < target->simBestP50Ms)
+                target->simBestP50Ms = p50;
+        }
+    }
+    gate_off.simOverheadPct =
+        (gate_armed.simBestP50Ms - gate_off.simBestP50Ms) /
+        gate_off.simBestP50Ms * 100.0;
+    return true;
+}
+
+long
+parseFlag(const std::string &arg, const char *name, long fallback)
+{
+    const std::string prefix = std::string(name) + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return fallback;
+    return std::strtol(arg.c_str() + prefix.size(), nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 4;
+    int requests = 8;
+    int reps = 15;
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        clients = static_cast<int>(
+            parseFlag(arg, "--clients", clients));
+        requests = static_cast<int>(
+            parseFlag(arg, "--requests", requests));
+        reps = static_cast<int>(parseFlag(arg, "--reps", reps));
+        if (arg.rfind("--json-out=", 0) == 0)
+            json_out = arg.substr(std::string("--json-out=").size());
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: microbench_serve [--clients=N] "
+                         "[--requests=M] [--reps=R] "
+                         "[--json-out=PATH]\n";
+            return 0;
+        }
+    }
+    if (!serve::serveSupported()) {
+        std::cerr << "microbench_serve: AF_UNIX serving not "
+                     "supported here\n";
+        return 77;
+    }
+
+#ifndef _WIN32
+    char tmpl[] = "/tmp/scservebenchXXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+        std::cerr << "microbench_serve: mkdtemp failed\n";
+        return 1;
+    }
+    const std::string dir = tmpl;
+#else
+    const std::string dir = ".";
+#endif
+
+    serve::ServeConfig base;
+    base.socketPath = dir + "/off.sock";
+    base.workers = 2;
+    base.minPublishSeconds = 0.0;
+    serve::ServeConfig armed_cfg = base;
+    armed_cfg.socketPath = dir + "/armed.sock";
+    armed_cfg.traceOut = dir + "/spans.jsonl";
+    armed_cfg.traceSample = 0; // only client-stamped / tail kept
+
+    serve::ServeConfig gate_off_cfg = base;
+    gate_off_cfg.socketPath = dir + "/gateoff.sock";
+    gate_off_cfg.resultCacheCap = 0;
+    serve::ServeConfig gate_armed_cfg = armed_cfg;
+    gate_armed_cfg.socketPath = dir + "/gatearmed.sock";
+    gate_armed_cfg.resultCacheCap = 0;
+    gate_armed_cfg.traceOut = dir + "/gate_spans.jsonl";
+
+    bool ok = false;
+    LoadTarget off(base);
+    LoadTarget traced(armed_cfg);
+    if (off.start(clients) && traced.start(clients))
+        ok = runInterleaved(off, traced, clients, requests, reps);
+    off.server.stop();
+    traced.server.stop();
+
+    LoadTarget gate_off(gate_off_cfg);
+    LoadTarget gate_armed(gate_armed_cfg);
+    if (ok) {
+        ok = false;
+        if (gate_off.start(1) && gate_armed.start(1))
+            ok = runGate(gate_off, gate_armed, clients * requests,
+                         reps);
+        gate_off.server.stop();
+        gate_armed.server.stop();
+    }
+
+#ifndef _WIN32
+    std::remove((dir + "/spans.jsonl").c_str());
+    std::remove((dir + "/gate_spans.jsonl").c_str());
+    std::remove(tmpl);
+#endif
+    if (!ok) {
+        std::cerr << "microbench_serve: load generation failed\n";
+        return 1;
+    }
+
+    const double total =
+        static_cast<double>(clients) * static_cast<double>(requests);
+    const double warm_total = total * kWarmIterations;
+    const double overhead_pct = gate_off.simOverheadPct;
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\n"
+       << " \"schema\": \"solarcore-bench-serve-v1\",\n"
+       << " \"clients\": " << clients << ",\n"
+       << " \"requests_per_client\": " << requests << ",\n"
+       << " \"warm_repetitions\": " << reps << ",\n"
+       << " \"cold_requests_per_second\": "
+       << total / off.coldSeconds << ",\n"
+       << " \"warm_requests_per_second\": "
+       << warm_total / off.warmBestSeconds << ",\n"
+       << " \"warm_p50_ms\": "
+       << percentileMs(off.warmLatencyMs, 0.50) << ",\n"
+       << " \"warm_p99_ms\": "
+       << percentileMs(off.warmLatencyMs, 0.99) << ",\n"
+       << " \"traced_warm_requests_per_second\": "
+       << warm_total / traced.warmBestSeconds << ",\n"
+       << " \"warm_best_p50_ms\": " << off.warmBestP50Ms << ",\n"
+       << " \"traced_warm_best_p50_ms\": " << traced.warmBestP50Ms
+       << ",\n"
+       << " \"sim_p50_ms\": " << gate_off.simBestP50Ms << ",\n"
+       << " \"traced_sim_p50_ms\": " << gate_armed.simBestP50Ms
+       << ",\n"
+       << " \"tracing_off_overhead_pct\": " << overhead_pct << "\n"
+       << "}\n";
+    std::cout << os.str();
+    if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        out << os.str();
+        if (!out.good()) {
+            std::cerr << "microbench_serve: cannot write " << json_out
+                      << "\n";
+            return 1;
+        }
+    }
+    return 0;
+}

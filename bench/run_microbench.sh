@@ -12,7 +12,10 @@
 # BM_FindMppBatch* / BM_EvalIvBatch* / BM_SimulatedDayScalarKernel
 # bracket the batched SoA kernels against the scalar oracle, and the
 # final section records the end-to-end fig13 scalar-vs-dispatched
-# campaign speedup (with a golden parity check) in BENCH_campaign.json.
+# campaign speedup (with a golden parity check) in BENCH_campaign.json
+# and the sustained-load serve daemon numbers (cold/warm throughput,
+# cache-hit latency floor, tracing-off overhead gate) in
+# BENCH_serve.json.
 #
 # The build directory must be a Release tree (enforced below) and every
 # output file is stamped with the build type that produced it.
@@ -350,6 +353,46 @@ EOF
     echo "wrote ${campaign_out}"
 fi
 
+# --- sustained-load serve bench (BENCH_serve.json) ------------------
+# N concurrent clients against two live daemons (tracing disabled vs
+# span layer armed): cold/warm throughput and the cache-hit latency
+# floor for the phase-2 sustained-load p99 trajectory, plus the
+# tracing-off overhead gate -- arming the span layer must add <1% to
+# the median of a real (simulating) planning request.
+serve_bench_bin="${build_dir}/bench/microbench_serve"
+cmake --build "${build_dir}" -j --target microbench_serve > /dev/null
+if [[ -x "${serve_bench_bin}" ]]; then
+    serve_out="${repo_root}/BENCH_serve.json"
+    serve_rc=0
+    "${serve_bench_bin}" --json-out="${serve_out}" > /dev/null ||
+        serve_rc=$?
+    if [[ "${serve_rc}" == "77" ]]; then
+        echo "serve bench skipped (AF_UNIX serving unsupported)"
+    elif [[ "${serve_rc}" != "0" ]]; then
+        echo "error: microbench_serve failed (rc=${serve_rc})" >&2
+        exit "${serve_rc}"
+    else
+        stamp_json "${serve_out}"
+        python3 - "${serve_out}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+overhead = doc["tracing_off_overhead_pct"]
+print(f"serve: cold {doc['cold_requests_per_second']:.0f} req/s, "
+      f"warm {doc['warm_requests_per_second']:.0f} req/s "
+      f"(p50 {doc['warm_p50_ms'] * 1e3:.1f} us, "
+      f"p99 {doc['warm_p99_ms'] * 1e3:.1f} us)")
+print(f"serve tracing-off overhead: {overhead:+.2f}% "
+      f"(sim p50 {doc['traced_sim_p50_ms']:.3f} ms armed vs "
+      f"{doc['sim_p50_ms']:.3f} ms off)")
+if overhead > 1.0:
+    sys.exit(f"FAIL: serve tracing-off overhead {overhead:.2f}% > 1%")
+EOF
+        echo "wrote ${serve_out}"
+    fi
+fi
+
 # --- perf history (--append-history) --------------------------------
 # One JSONL entry per BENCH_*.json: timestamp, build type, git
 # describe, and the metric map tools/bench_diff compares against the
@@ -360,7 +403,8 @@ if [[ "${append_history}" == "1" ]]; then
     mkdir -p "${hist_dir}"
     git_desc="$(git -C "${repo_root}" describe --always --dirty --tags \
         2>/dev/null || echo unknown)"
-    for name in BENCH_pv BENCH_obs BENCH_telemetry BENCH_campaign; do
+    for name in BENCH_pv BENCH_obs BENCH_telemetry BENCH_campaign \
+                BENCH_serve; do
         src="${repo_root}/${name}.json"
         [[ -f "${src}" ]] || continue
         python3 - "${src}" "${hist_dir}/${name}.jsonl" \

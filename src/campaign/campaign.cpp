@@ -20,6 +20,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/stats_registry.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -160,8 +161,32 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     pv::setPvKernel(kernel);
     grid.pvKernel = pv::pvKernelName(kernel);
 
+    // Request spans: one trace covering grid expansion, journal
+    // resume, the cache scan, the worker drain and every simulated
+    // unit. Forked shard workers stitch in over 'T' pipe frames (one
+    // CLOCK_MONOTONIC timebase across fork). Span collection never
+    // touches unit results, merged stats, or the summary bytes.
+    const bool want_spans =
+        !options.spanOut.empty() || !options.spanPerfettoOut.empty();
+    obs::SpanSink span_sink(1u << 16);
+    obs::RequestTrace rtrace;
+    std::size_t root_span = obs::RequestTrace::kNoSpan;
+    std::uint64_t trace_id = 0;
+    if (want_spans) {
+        trace_id =
+            options.traceId != 0 ? options.traceId : obs::newTraceId();
+        rtrace.begin(trace_id);
+        root_span = rtrace.openSpan("campaign");
+    }
+    const std::uint64_t root_id = rtrace.spanId(root_span);
+
     CampaignOutcome outcome;
-    outcome.units = expandGrid(grid);
+    {
+        obs::SpanScope expand_span(&rtrace, "expand", root_id);
+        outcome.units = expandGrid(grid);
+        expand_span.attr(
+            "units", static_cast<std::int64_t>(outcome.units.size()));
+    }
     const std::string signature = gridSignature(grid);
     const std::size_t n = outcome.units.size();
     outcome.results.resize(n);
@@ -175,6 +200,7 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     std::vector<char> done(n, 0);
     JournalRecovery recovery;
     if (options.resume && !options.journalPath.empty()) {
+        obs::SpanScope resume_span(&rtrace, "resume", root_id);
         recovery = loadJournal(options.journalPath, signature);
         for (const auto &[index, metrics] : recovery.completed) {
             if (index >= 0 && static_cast<std::size_t>(index) < n &&
@@ -184,6 +210,8 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
                 ++outcome.unitsResumed;
             }
         }
+        resume_span.attr("restored",
+                         static_cast<std::int64_t>(outcome.unitsResumed));
     }
     // Persistent unit cache: completed units are served from disk
     // before any scheduling. The audit mode salts every key because it
@@ -199,6 +227,7 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
         if (!cache->ok()) {
             cache.reset();
         } else {
+            obs::SpanScope scan_span(&rtrace, "cache.scan", root_id);
             for (std::size_t i = 0; i < n; ++i) {
                 if (done[i])
                     continue;
@@ -210,6 +239,8 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
                 }
             }
             outcome.unitsCached = static_cast<int>(cached_indices.size());
+            scan_span.attr("hits", static_cast<std::int64_t>(
+                                       cached_indices.size()));
         }
     }
 
@@ -260,10 +291,21 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     // Fork the worker shards strictly before the first thread exists
     // in this process (thread pool, metrics endpoint): fork() in a
     // threaded process is where the dragons live.
+    // The shard.drain span opens at fork time (workers start living
+    // here, not at drain()) and its id parents the worker shard
+    // spans; spanParentId != 0 is what switches on their 'T' frames.
     std::unique_ptr<ProcessShardRun> shard;
-    if (use_workers)
+    std::size_t drain_span = obs::RequestTrace::kNoSpan;
+    if (use_workers) {
+        drain_span = rtrace.openSpan("shard.drain", root_id);
+        CampaignOptions worker_opts = options;
+        if (want_spans) {
+            worker_opts.traceId = trace_id;
+            worker_opts.spanParentId = rtrace.spanId(drain_span);
+        }
         shard = std::make_unique<ProcessShardRun>(
-            grid, options, outcome.units, pending, options.workers);
+            grid, worker_opts, outcome.units, pending, options.workers);
+    }
 
     // Run-health surfaces. Legacy per-unit heartbeats (journal
     // comments, --verbose stderr) and the new status.json / OpenMetrics
@@ -359,6 +401,16 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
                 row.crashed = w.crashed;
                 health->workerUpdated(row);
             });
+        if (obs::SpanRecord *s = rtrace.span(drain_span)) {
+            s->attr("workers",
+                    static_cast<std::int64_t>(shard->workerCount()));
+            s->attr("crashes",
+                    static_cast<std::int64_t>(shard->crashes()));
+        }
+        rtrace.closeSpan(drain_span);
+        if (!shard->spans().empty())
+            span_sink.commit(shard->spans().data(),
+                             shard->spans().size());
         outcome.workerCrashes = static_cast<int>(shard->crashes());
         inproc = shard->unfinished();
         if (want_stats) {
@@ -373,6 +425,15 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
     } else {
         inproc = pending;
     }
+
+    // Phase span over the in-process leftovers. The per-unit records
+    // are built flat and committed straight into the thread-safe sink:
+    // RequestTrace is single-threaded by design and stays on this
+    // thread.
+    const std::size_t inproc_span = inproc.empty()
+        ? obs::RequestTrace::kNoSpan
+        : rtrace.openSpan("inproc", root_id);
+    const std::uint64_t inproc_id = rtrace.spanId(inproc_span);
 
     std::vector<std::unique_ptr<obs::StatsRegistry>> regs(inproc.size());
     std::vector<std::unique_ptr<obs::TraceBuffer>> tbufs(inproc.size());
@@ -399,6 +460,7 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             audits[t] = std::make_unique<obs::Auditor>(audit_cfg);
         if (health && fresh)
             health->unitStarted(key);
+        const std::int64_t unit_t0 = want_spans ? obs::spanNowNs() : 0;
         obs::FlightRecorder::beginUnit(key.c_str(), tbufs[t].get());
         {
             std::optional<obs::Profiler::Attach> attach;
@@ -414,6 +476,20 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
                         &workspace);
         }
         obs::FlightRecorder::endUnit();
+        if (want_spans) {
+            // Salt 1 separates a parent-side re-run (crashed worker)
+            // from the worker's own salt-0 span for the same unit.
+            obs::SpanRecord rec;
+            rec.traceId = trace_id;
+            rec.spanId = campaignUnitSpanId(trace_id, i, /*salt=*/1);
+            rec.parentId = inproc_id;
+            rec.startNs = unit_t0;
+            rec.endNs = obs::spanNowNs();
+            rec.setName("unit");
+            rec.attr("unit", static_cast<std::int64_t>(i));
+            rec.attr("key", std::string_view(key));
+            span_sink.commit(&rec, 1);
+        }
         if (fresh) {
             reported[i] = 1;
             if (journal)
@@ -428,6 +504,11 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
             }
         }
     });
+    if (inproc_span != obs::RequestTrace::kNoSpan) {
+        if (obs::SpanRecord *s = rtrace.span(inproc_span))
+            s->attr("units", static_cast<std::int64_t>(inproc.size()));
+        rtrace.closeSpan(inproc_span);
+    }
     outcome.unitsRun = static_cast<int>(pending.size());
     if (health) {
         if (cache)
@@ -553,6 +634,26 @@ runCampaign(const ScenarioGrid &grid_in, const CampaignOptions &options)
         if (!options.journalPath.empty())
             manifest.set("journal", options.journalPath);
         options.obs.writeManifest(manifest);
+    }
+
+    if (want_spans) {
+        if (obs::SpanRecord *root = rtrace.span(root_span)) {
+            root->attr("units", static_cast<std::int64_t>(n));
+            root->attr("workers",
+                       static_cast<std::int64_t>(
+                           use_workers ? shard->workerCount() : 0));
+            root->attr("kernel", std::string_view(grid.pvKernel));
+        }
+        rtrace.closeSpan(root_span);
+        span_sink.commit(rtrace);
+        std::string span_error;
+        if (!obs::writeSpanExports(span_sink.snapshot(), options.spanOut,
+                                   options.spanPerfettoOut, span_error))
+            SC_WARN("campaign: span export failed: ", span_error);
+        else
+            std::cerr << "campaign: trace " << obs::spanIdHex(trace_id)
+                      << " (" << span_sink.counters().committedSpans
+                      << " spans)\n";
     }
     return outcome;
 }

@@ -45,6 +45,22 @@ struct CampaignOptions
     obs::ObsOptions obs;      //!< --stats-out / --trace-out / manifest
     bool verbose = false;     //!< per-unit progress lines on stderr
     std::string statusPath;   //!< run-health status.json; empty disables
+    /**
+     * Request-span exports: when either path is set the campaign
+     * records one trace (a root span, phase spans, and one span per
+     * simulated unit). Forked shard workers stream their spans back
+     * over the worker pipes ('T' frames) and stitch into the same
+     * trace id -- CLOCK_MONOTONIC is shared across fork. Off by
+     * default; span collection never touches unit results, merged
+     * stats, or the summary bytes.
+     */
+    std::string spanOut;          //!< span JSONL path; empty disables
+    std::string spanPerfettoOut;  //!< Chrome/Perfetto path; empty off
+    std::uint64_t traceId = 0;    //!< stitch into this id (0 = fresh)
+    /** Internal: campaign root span id, set by runCampaign on the
+     *  options copy handed to shard workers so their spans parent
+     *  correctly. Zero disables worker span emission. */
+    std::uint64_t spanParentId = 0;
 };
 
 /** What one campaign run produced. */

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 
 #include "core/simulation.hpp"
 #include "obs/auditor.hpp"
@@ -32,12 +33,48 @@ processShardingSupported()
     return SC_HAVE_FORK != 0 && util::pipeChannelSupported();
 }
 
+std::uint64_t
+campaignUnitSpanId(std::uint64_t trace_id, std::size_t index,
+                   std::uint64_t salt)
+{
+    // The golden-ratio constant keeps this input domain disjoint from
+    // RequestTrace's sequential ids (trace ^ small-seq), so a unit
+    // span can never collide with a parent-side phase span.
+    return obs::mixId(trace_id ^ 0x9e3779b97f4a7c15ULL ^
+                      (salt << 56) ^
+                      static_cast<std::uint64_t>(index + 1));
+}
+
 #if SC_HAVE_FORK
 
 namespace {
 
 constexpr char kTagUnit = 'U';
 constexpr char kTagStats = 'S';
+constexpr char kTagSpan = 'T';
+
+std::string
+packSpanFrame(const obs::SpanRecord &record)
+{
+    // Raw POD bytes: same machine, same binary, native endianness --
+    // the same contract the 'U' metric frames rely on.
+    static_assert(std::is_trivially_copyable_v<obs::SpanRecord>);
+    std::string payload;
+    payload.reserve(1 + sizeof record);
+    payload.push_back(kTagSpan);
+    payload.append(reinterpret_cast<const char *>(&record),
+                   sizeof record);
+    return payload;
+}
+
+bool
+unpackSpanFrame(const std::string &payload, obs::SpanRecord &record)
+{
+    if (payload.size() != 1 + sizeof record || payload[0] != kTagSpan)
+        return false;
+    std::memcpy(&record, payload.data() + 1, sizeof record);
+    return true;
+}
 
 std::string
 packUnitFrame(std::uint32_t unit_index, const UnitMetrics &metrics)
@@ -88,7 +125,7 @@ unpackUnitFrame(const std::string &payload, std::uint32_t &unit_index,
  * streams, atexit hooks) is never touched from the child.
  */
 [[noreturn]] void
-runWorkerShard(int fd, const ScenarioGrid &grid,
+runWorkerShard(int fd, int worker_id, const ScenarioGrid &grid,
                const CampaignOptions &options,
                const std::vector<ScenarioUnit> &units,
                const std::vector<std::size_t> &pending, std::size_t begin,
@@ -102,6 +139,19 @@ runWorkerShard(int fd, const ScenarioGrid &grid,
     try {
         const bool want_stats = options.obs.statsRequested();
         const bool want_audit = options.obs.auditRequested();
+        // Span stitching: the parent only sets spanParentId when it is
+        // collecting request spans; each completed unit streams one
+        // 'T' frame as it finishes, so a crashed worker still leaves
+        // its partial spans in the parent's trace.
+        const bool want_spans =
+            options.spanParentId != 0 && options.traceId != 0;
+        const std::int64_t shard_start_ns =
+            want_spans ? obs::spanNowNs() : 0;
+        const std::uint64_t shard_span_id = want_spans
+            ? obs::mixId(options.traceId ^
+                         (static_cast<std::uint64_t>(worker_id + 1)
+                          << 32))
+            : 0;
         obs::AuditorConfig audit_cfg;
         if (options.obs.audit != obs::AuditMode::Off)
             audit_cfg.mode = options.obs.audit;
@@ -122,15 +172,53 @@ runWorkerShard(int fd, const ScenarioGrid &grid,
             // One reusable workspace per pool thread: buffers keep
             // their capacity across the whole shard.
             static thread_local core::SimWorkspace workspace;
+            const std::int64_t t0 = want_spans ? obs::spanNowNs() : 0;
             const UnitMetrics m =
                 runUnit(units[i], grid, regs[t].get(), nullptr, nullptr,
                         audits[t].get(), &workspace);
             const std::string frame =
                 packUnitFrame(static_cast<std::uint32_t>(i), m);
+            std::string span_frame;
+            if (want_spans) {
+                obs::SpanRecord rec;
+                rec.traceId = options.traceId;
+                rec.spanId =
+                    campaignUnitSpanId(options.traceId, i, /*salt=*/0);
+                rec.parentId = shard_span_id;
+                rec.startNs = t0;
+                rec.endNs = obs::spanNowNs();
+                rec.lane = static_cast<std::uint32_t>(worker_id) + 1;
+                rec.setName("unit");
+                rec.attr("unit", static_cast<std::int64_t>(i));
+                rec.attr("key", std::string_view(unitKey(units[i])));
+                rec.attr("proc",
+                         static_cast<std::int64_t>(worker_id));
+                span_frame = packSpanFrame(rec);
+            }
             std::lock_guard<std::mutex> lock(write_mutex);
             if (!util::writeFrame(fd, frame.data(), frame.size()))
                 write_failed = true;
+            if (!span_frame.empty() &&
+                !util::writeFrame(fd, span_frame.data(),
+                                  span_frame.size()))
+                write_failed = true;
         });
+
+        if (want_spans) {
+            obs::SpanRecord rec;
+            rec.traceId = options.traceId;
+            rec.spanId = shard_span_id;
+            rec.parentId = options.spanParentId;
+            rec.startNs = shard_start_ns;
+            rec.endNs = obs::spanNowNs();
+            rec.lane = static_cast<std::uint32_t>(worker_id) + 1;
+            rec.setName("shard");
+            rec.attr("proc", static_cast<std::int64_t>(worker_id));
+            rec.attr("units", static_cast<std::int64_t>(n));
+            const std::string frame = packSpanFrame(rec);
+            if (!util::writeFrame(fd, frame.data(), frame.size()))
+                write_failed = true;
+        }
 
         if (want_stats) {
             // Shard order, matching the in-process task-order merge.
@@ -201,8 +289,8 @@ ProcessShardRun::ProcessShardRun(const ScenarioGrid &grid,
             ::close(pipe_fds[0]);
             for (const int fd : fds_)
                 ::close(fd);
-            runWorkerShard(pipe_fds[1], grid, options, units, pending,
-                           begin, end);
+            runWorkerShard(pipe_fds[1], static_cast<int>(w), grid,
+                           options, units, pending, begin, end);
         }
         ::close(pipe_fds[1]);
         const int flags = ::fcntl(pipe_fds[0], F_GETFL, 0);
@@ -292,6 +380,10 @@ ProcessShardRun::drain(const UnitCallback &onUnit,
                         onUnit(index, m);
                 } else if (frame[0] == kTagStats) {
                     statsBlobs_[w] = frame.substr(1);
+                } else if (frame[0] == kTagSpan) {
+                    obs::SpanRecord rec;
+                    if (unpackSpanFrame(frame, rec))
+                        spans_.push_back(rec);
                 }
             }
             if (status != util::FrameReader::Status::Open) {

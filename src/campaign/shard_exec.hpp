@@ -14,6 +14,12 @@
  *              -- the worker's shard-merged registry, sent once after
  *              its last unit; the parent folds worker registries in
  *              worker-id order.
+ *   frame 'T': u8 tag, one raw obs::SpanRecord (flat POD, same
+ *              native-endian same-binary contract as 'U') -- emitted
+ *              only when the campaign is collecting request spans:
+ *              one span per simulated unit as it completes plus one
+ *              shard-lifetime span at exit, all stitched into the
+ *              parent's trace id (CLOCK_MONOTONIC survives fork).
  *
  * A worker that exits without completing its shard (crash, nonzero
  * exit, torn frame) is detected by EOF + waitpid; its incomplete
@@ -40,12 +46,22 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "obs/span.hpp"
 #include "obs/stats_registry.hpp"
 
 namespace solarcore::campaign {
 
 /** True when fork()-based sharding works on this platform. */
 bool processShardingSupported();
+
+/**
+ * Deterministic span id of unit @p index within @p trace_id; the
+ * @p salt separates a worker-run unit span from a parent-side re-run
+ * of the same unit after a worker crash (workers use salt 0, the
+ * in-process path salt 1).
+ */
+std::uint64_t campaignUnitSpanId(std::uint64_t trace_id,
+                                 std::size_t index, std::uint64_t salt);
 
 /** One forked worker, as the parent sees it. */
 struct ShardWorkerState
@@ -108,6 +124,11 @@ class ProcessShardRun
     const obs::StatsRegistry &stats() const { return stats_; }
     bool statsValid() const { return statsValid_; }
 
+    /** Span records streamed back by workers ('T' frames, post-drain);
+     *  non-empty only when the options carried a span parent id. A
+     *  crashed worker contributes whatever it sent before dying. */
+    const std::vector<obs::SpanRecord> &spans() const { return spans_; }
+
   private:
     const ScenarioGrid *grid_;
     const std::vector<ScenarioUnit> *units_;
@@ -119,6 +140,7 @@ class ProcessShardRun
     std::vector<std::string> statsBlobs_;  //!< per worker, maybe empty
     std::vector<std::vector<char>> got_;   //!< per worker, per shard slot
     std::vector<std::size_t> unfinished_;
+    std::vector<obs::SpanRecord> spans_;
     obs::StatsRegistry stats_;
     bool statsValid_ = false;
     std::size_t crashes_ = 0;

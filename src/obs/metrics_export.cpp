@@ -118,22 +118,42 @@ void
 OpenMetricsWriter::sample(std::string_view suffix, const Labels &labels,
                           double value)
 {
-    text_ += familyName_;
-    text_ += suffix;
-    if (!labels.empty()) {
+    sample(suffix, labels, value, MetricExemplar{});
+}
+
+void
+OpenMetricsWriter::sample(std::string_view suffix, const Labels &labels,
+                          double value, const MetricExemplar &exemplar)
+{
+    auto labelSet = [this](const Labels &set) {
         text_ += '{';
-        for (std::size_t i = 0; i < labels.size(); ++i) {
+        for (std::size_t i = 0; i < set.size(); ++i) {
             if (i)
                 text_ += ',';
-            text_ += labels[i].first;
+            text_ += set[i].first;
             text_ += "=\"";
-            text_ += openMetricsEscapeLabel(labels[i].second);
+            text_ += openMetricsEscapeLabel(set[i].second);
             text_ += '"';
         }
         text_ += '}';
-    }
+    };
+    text_ += familyName_;
+    text_ += suffix;
+    if (!labels.empty())
+        labelSet(labels);
     text_ += ' ';
     text_ += metricNumber(value);
+    if (exemplar.valid) {
+        // `value # {trace_id="..."} exemplar_value timestamp`
+        text_ += " # ";
+        labelSet(exemplar.labels);
+        text_ += ' ';
+        text_ += metricNumber(exemplar.value);
+        if (exemplar.timestampSeconds > 0.0) {
+            text_ += ' ';
+            text_ += metricNumber(exemplar.timestampSeconds);
+        }
+    }
     text_ += '\n';
 }
 
@@ -159,17 +179,31 @@ OpenMetricsWriter::histogram(std::string_view name, std::string_view help,
                              const std::vector<std::uint64_t> &counts,
                              std::uint64_t total, double sum)
 {
+    histogram(name, help, upperBounds, counts, total, sum, {});
+}
+
+void
+OpenMetricsWriter::histogram(std::string_view name, std::string_view help,
+                             const std::vector<double> &upperBounds,
+                             const std::vector<std::uint64_t> &counts,
+                             std::uint64_t total, double sum,
+                             const std::vector<MetricExemplar> &exemplars)
+{
     family(name, "histogram", help);
+    auto exemplarAt = [&exemplars](std::size_t i) {
+        return i < exemplars.size() ? exemplars[i] : MetricExemplar{};
+    };
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < upperBounds.size(); ++i) {
         cumulative += i < counts.size() ? counts[i] : 0;
         sample("_bucket", {{"le", metricNumber(upperBounds[i])}},
-               static_cast<double>(cumulative));
+               static_cast<double>(cumulative), exemplarAt(i));
     }
     // Everything past the last finite bound (the registry's clamped
     // top bin, the profiler's tail) lands in +Inf, which must equal
     // _count exactly.
-    sample("_bucket", {{"le", "+Inf"}}, static_cast<double>(total));
+    sample("_bucket", {{"le", "+Inf"}}, static_cast<double>(total),
+           exemplarAt(upperBounds.size()));
     sample("_sum", {}, sum);
     sample("_count", {}, static_cast<double>(total));
 }
@@ -411,6 +445,76 @@ labelValue(std::string_view labels, std::string_view key,
     return false; // not found, but structurally fine
 }
 
+/**
+ * Validate one exemplar section (everything after `value # `):
+ * `{labelset} value [timestamp]` with a structurally sound label set
+ * no longer than the spec's 128-character budget.
+ */
+bool
+parseExemplar(std::string_view text, std::string &error)
+{
+    if (text.empty() || text[0] != '{') {
+        error = "exemplar must start with a label set";
+        return false;
+    }
+    std::size_t j = 1;
+    bool inString = false;
+    while (j < text.size()) {
+        const char c = text[j];
+        if (inString) {
+            if (c == '\\')
+                ++j;
+            else if (c == '"')
+                inString = false;
+        } else if (c == '"') {
+            inString = true;
+        } else if (c == '}') {
+            break;
+        }
+        ++j;
+    }
+    if (j >= text.size()) {
+        error = "unterminated exemplar label set";
+        return false;
+    }
+    const std::string_view body = text.substr(1, j - 1);
+    if (!body.empty()) {
+        std::string dummy, err;
+        labelValue(body, "\x01", dummy, err);
+        if (!err.empty()) {
+            error = "exemplar " + err;
+            return false;
+        }
+    }
+    if (body.size() > 128) {
+        error = "exemplar label set exceeds 128 characters";
+        return false;
+    }
+    std::size_t i = j + 1;
+    if (i >= text.size() || text[i] != ' ' || i + 1 >= text.size()) {
+        error = "exemplar missing value";
+        return false;
+    }
+    ++i;
+    const std::size_t sp = text.find(' ', i);
+    double v = 0.0;
+    const std::string_view value_tok = text.substr(
+        i, sp == std::string_view::npos ? std::string_view::npos : sp - i);
+    if (!parseSampleValue(value_tok, v)) {
+        error = "bad exemplar value '" + std::string(value_tok) + "'";
+        return false;
+    }
+    if (sp != std::string_view::npos) {
+        double ts = 0.0;
+        const std::string_view ts_tok = text.substr(sp + 1);
+        if (!parseSampleValue(ts_tok, ts)) {
+            error = "bad exemplar timestamp '" + std::string(ts_tok) + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 bool
@@ -495,6 +599,17 @@ lintOpenMetrics(std::string_view text, std::vector<std::string> &errors)
             fail("bad metric name '" + std::string(name) + "'");
             continue;
         }
+        // An exemplar rides after the value: `value # {...} v [ts]`.
+        std::string_view exemplarText;
+        bool hasExemplar = false;
+        {
+            const std::size_t hash = valueText.find(" # ");
+            if (hash != std::string_view::npos) {
+                exemplarText = valueText.substr(hash + 3);
+                valueText = valueText.substr(0, hash);
+                hasExemplar = true;
+            }
+        }
         double value = 0.0;
         if (!parseSampleValue(valueText, value)) {
             fail("bad sample value '" + std::string(valueText) + "'");
@@ -529,6 +644,18 @@ lintOpenMetrics(std::string_view text, std::vector<std::string> &errors)
         fam.sawSample = true;
         if (!fam.sawHelp)
             fail("family '" + base + "' has no # HELP");
+
+        if (hasExemplar) {
+            // Exemplars are only legal on histogram bucket samples.
+            if (fam.type != "histogram" || suffix != "_bucket") {
+                fail("exemplar on non-histogram-bucket sample '" +
+                     std::string(name) + "'");
+            } else {
+                std::string err;
+                if (!parseExemplar(exemplarText, err))
+                    fail(err);
+            }
+        }
 
         if (fam.type == "counter") {
             if (suffix != "_total")

@@ -55,6 +55,20 @@ std::string openMetricsEscapeLabel(std::string_view value);
 /** Escape a HELP/info text per OpenMetrics (backslash, newline). */
 std::string openMetricsEscapeHelp(std::string_view text);
 
+/**
+ * One OpenMetrics exemplar: a reference (typically a trace id) pinned
+ * to a histogram bucket sample, rendered as
+ * `... # {trace_id="<id>"} value timestamp`. Only meaningful on
+ * `_bucket` samples of histogram families; the lint enforces that.
+ */
+struct MetricExemplar
+{
+    bool valid = false;
+    std::vector<std::pair<std::string, std::string>> labels;
+    double value = 0.0;
+    double timestampSeconds = 0.0; //!< unix seconds; <= 0 omits it
+};
+
 /** Incremental builder of one exposition document. */
 class OpenMetricsWriter
 {
@@ -70,6 +84,10 @@ class OpenMetricsWriter
      *  name ("_total", "_bucket", ...). */
     void sample(std::string_view suffix, const Labels &labels,
                 double value);
+
+    /** A sample carrying an exemplar (histogram `_bucket` lines). */
+    void sample(std::string_view suffix, const Labels &labels,
+                double value, const MetricExemplar &exemplar);
 
     /** Convenience: a one-sample gauge family. */
     void gauge(std::string_view name, std::string_view help, double value);
@@ -88,6 +106,17 @@ class OpenMetricsWriter
                    const std::vector<double> &upperBounds,
                    const std::vector<std::uint64_t> &counts,
                    std::uint64_t total, double sum);
+
+    /**
+     * histogram() with per-bucket exemplars: @p exemplars aligns with
+     * @p upperBounds plus one trailing entry for the +Inf bucket;
+     * invalid entries render a plain bucket line.
+     */
+    void histogram(std::string_view name, std::string_view help,
+                   const std::vector<double> &upperBounds,
+                   const std::vector<std::uint64_t> &counts,
+                   std::uint64_t total, double sum,
+                   const std::vector<MetricExemplar> &exemplars);
 
     /** An info family (`name_info{labels} 1`). */
     void info(std::string_view name, std::string_view help,

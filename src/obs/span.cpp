@@ -1,0 +1,455 @@
+#include "span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace solarcore::obs {
+namespace {
+
+void
+copyBounded(char *dst, std::size_t cap, std::string_view src)
+{
+    const std::size_t n = std::min(src.size(), cap - 1);
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+/** Stable export order: commit order depends on thread timing, file
+ *  bytes must not. */
+void
+sortSpans(std::vector<SpanRecord> &spans)
+{
+    std::sort(spans.begin(), spans.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  if (a.traceId != b.traceId)
+                      return a.traceId < b.traceId;
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.spanId < b.spanId;
+              });
+}
+
+void
+appendAttrsJson(std::string &out, const SpanRecord &s)
+{
+    out += '{';
+    for (std::uint32_t i = 0; i < s.attrCount; ++i) {
+        const SpanAttr &a = s.attrs[i];
+        if (i != 0)
+            out += ',';
+        out += jsonString(a.key);
+        out += ':';
+        switch (a.kind) {
+        case SpanAttr::Kind::Int:
+            out += jsonNumber(a.i);
+            break;
+        case SpanAttr::Kind::Double:
+            out += jsonNumber(a.d);
+            break;
+        case SpanAttr::Kind::Bool:
+            out += a.i != 0 ? "true" : "false";
+            break;
+        case SpanAttr::Kind::Text:
+        case SpanAttr::Kind::None:
+            out += jsonString(a.text);
+            break;
+        }
+    }
+    out += '}';
+}
+
+} // namespace
+
+void
+SpanRecord::setName(std::string_view name_text)
+{
+    copyBounded(name, sizeof name, name_text);
+}
+
+SpanAttr *
+SpanRecord::nextAttr(const char *key)
+{
+    if (attrCount >= kSpanMaxAttrs)
+        return nullptr;
+    SpanAttr &a = attrs[attrCount++];
+    copyBounded(a.key, sizeof a.key, key);
+    return &a;
+}
+
+void
+SpanRecord::attr(const char *key, std::int64_t value)
+{
+    if (SpanAttr *a = nextAttr(key)) {
+        a->kind = SpanAttr::Kind::Int;
+        a->i = value;
+    }
+}
+
+void
+SpanRecord::attr(const char *key, double value)
+{
+    if (SpanAttr *a = nextAttr(key)) {
+        a->kind = SpanAttr::Kind::Double;
+        a->d = value;
+    }
+}
+
+void
+SpanRecord::attr(const char *key, bool value)
+{
+    if (SpanAttr *a = nextAttr(key)) {
+        a->kind = SpanAttr::Kind::Bool;
+        a->i = value ? 1 : 0;
+    }
+}
+
+void
+SpanRecord::attr(const char *key, std::string_view value)
+{
+    if (SpanAttr *a = nextAttr(key)) {
+        a->kind = SpanAttr::Kind::Text;
+        copyBounded(a->text, sizeof a->text, value);
+    }
+}
+
+std::int64_t
+spanNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+mixId(std::uint64_t v)
+{
+    // splitmix64 finalizer (Steele/Lea/Flood).
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+std::uint64_t
+newTraceId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    const auto wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    const auto seq = counter.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t id = mixId(wall ^ (seq << 48) ^
+                             static_cast<std::uint64_t>(spanNowNs()));
+    if (id == 0)
+        id = 1;
+    return id;
+}
+
+std::string
+spanIdHex(std::uint64_t id)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[id & 0xf];
+        id >>= 4;
+    }
+    return out;
+}
+
+bool
+parseSpanIdHex(std::string_view text, std::uint64_t &out)
+{
+    if (text.empty() || text.size() > 16)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = v;
+    return true;
+}
+
+namespace {
+/** First lazy chunk of a RequestTrace span buffer (see begin()). */
+constexpr std::size_t kInitialReserve = 16;
+} // namespace
+
+RequestTrace::RequestTrace(std::size_t max_spans)
+    : maxSpans_(max_spans == 0 ? 1 : max_spans)
+{
+}
+
+void
+RequestTrace::begin(std::uint64_t trace_id)
+{
+    spans_.clear();
+    dropped_ = 0;
+    seq_ = 0;
+    traceId_ = trace_id;
+    // Reserve only a small first chunk: a RequestTrace is built per
+    // request on the serve hot path, and eagerly sizing for maxSpans_
+    // (~90 KB at the default 256) taxed every cache-hit reply. The
+    // buffer grows geometrically on demand; span() pointers are
+    // documented as invalidated by openSpan()/push().
+    if (traceId_ != 0 && spans_.capacity() < kInitialReserve)
+        spans_.reserve(std::min(kInitialReserve, maxSpans_));
+}
+
+void
+RequestTrace::reset()
+{
+    spans_.clear();
+    dropped_ = 0;
+    seq_ = 0;
+    traceId_ = 0;
+}
+
+std::uint64_t
+RequestTrace::nextSpanId()
+{
+    std::uint64_t id = mixId(traceId_ ^ salt_ ^ ++seq_);
+    if (id == 0)
+        id = 1;
+    return id;
+}
+
+std::size_t
+RequestTrace::openSpan(const char *name, std::uint64_t parent_id)
+{
+    if (traceId_ == 0)
+        return kNoSpan;
+    if (spans_.size() >= maxSpans_) {
+        ++dropped_;
+        return kNoSpan;
+    }
+    spans_.emplace_back();
+    SpanRecord &s = spans_.back();
+    s.traceId = traceId_;
+    s.spanId = nextSpanId();
+    s.parentId = parent_id;
+    s.startNs = spanNowNs();
+    s.lane = lane_;
+    s.setName(name);
+    return spans_.size() - 1;
+}
+
+SpanRecord *
+RequestTrace::span(std::size_t index)
+{
+    return index < spans_.size() ? &spans_[index] : nullptr;
+}
+
+void
+RequestTrace::closeSpan(std::size_t index)
+{
+    if (SpanRecord *s = span(index))
+        if (s->endNs == 0)
+            s->endNs = spanNowNs();
+}
+
+std::uint64_t
+RequestTrace::spanId(std::size_t index)
+{
+    const SpanRecord *s = span(index);
+    return s ? s->spanId : 0;
+}
+
+void
+RequestTrace::push(const SpanRecord &record)
+{
+    if (traceId_ == 0)
+        return;
+    if (spans_.size() >= maxSpans_) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back(record);
+}
+
+SpanSink::SpanSink(std::size_t max_spans)
+    : maxSpans_(max_spans == 0 ? 1 : max_spans)
+{
+}
+
+void
+SpanSink::commit(RequestTrace &trace)
+{
+    if (trace.active() && !trace.spans().empty())
+        commit(trace.spans().data(), trace.spans().size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.droppedSpans += trace.droppedSpans();
+    trace.reset();
+}
+
+void
+SpanSink::commit(const SpanRecord *records, std::size_t count)
+{
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.committedTraces;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (spans_.size() >= maxSpans_) {
+            counters_.droppedSpans += count - i;
+            break;
+        }
+        spans_.push_back(records[i]);
+        ++counters_.committedSpans;
+    }
+    counters_.spans = spans_.size();
+}
+
+std::vector<SpanRecord>
+SpanSink::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+SpanSinkCounters
+SpanSink::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+exportSpansJsonl(std::vector<SpanRecord> spans, std::ostream &os)
+{
+    sortSpans(spans);
+    std::string line;
+    for (const SpanRecord &s : spans) {
+        line.clear();
+        line += "{\"schema\":\"solarcore-span-v1\",\"trace\":\"";
+        line += spanIdHex(s.traceId);
+        line += "\",\"span\":\"";
+        line += spanIdHex(s.spanId);
+        line += "\",\"parent\":\"";
+        line += spanIdHex(s.parentId);
+        line += "\",\"name\":";
+        line += jsonString(s.name);
+        line += ",\"start_ns\":";
+        line += jsonNumber(s.startNs);
+        line += ",\"end_ns\":";
+        line += jsonNumber(s.endNs);
+        line += ",\"lane\":";
+        line += jsonNumber(static_cast<std::uint64_t>(s.lane));
+        line += ",\"attrs\":";
+        appendAttrsJson(line, s);
+        line += "}\n";
+        os << line;
+    }
+}
+
+void
+exportSpansChromeTrace(std::vector<SpanRecord> spans, std::ostream &os)
+{
+    sortSpans(spans);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Track-per-request: one "process" per trace id, one thread lane
+    // per span lane. Sorted span order makes pid assignment stable.
+    std::vector<std::uint64_t> traces;
+    for (const SpanRecord &s : spans)
+        if (traces.empty() || traces.back() != s.traceId)
+            traces.push_back(s.traceId);
+    auto pidOf = [&](std::uint64_t trace_id) {
+        const auto it =
+            std::lower_bound(traces.begin(), traces.end(), trace_id);
+        return static_cast<int>(it - traces.begin()) + 1;
+    };
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << i + 1
+           << ",\"args\":{\"name\":\"trace " << spanIdHex(traces[i])
+           << "\"}}";
+    }
+
+    for (const SpanRecord &s : spans) {
+        sep();
+        os << "{\"name\":" << jsonString(s.name)
+           << ",\"ph\":\"X\",\"pid\":" << pidOf(s.traceId)
+           << ",\"tid\":" << s.lane + 1
+           << ",\"ts\":" << jsonNumber(s.startNs / 1000.0)
+           << ",\"dur\":" << jsonNumber((s.endNs - s.startNs) / 1000.0)
+           << ",\"args\":{\"span\":\"" << spanIdHex(s.spanId)
+           << "\",\"parent\":\"" << spanIdHex(s.parentId) << '"';
+        for (std::uint32_t i = 0; i < s.attrCount; ++i) {
+            const SpanAttr &a = s.attrs[i];
+            os << ',' << jsonString(a.key) << ':';
+            switch (a.kind) {
+            case SpanAttr::Kind::Int:
+                os << jsonNumber(a.i);
+                break;
+            case SpanAttr::Kind::Double:
+                os << jsonNumber(a.d);
+                break;
+            case SpanAttr::Kind::Bool:
+                os << (a.i != 0 ? "true" : "false");
+                break;
+            case SpanAttr::Kind::Text:
+            case SpanAttr::Kind::None:
+                os << jsonString(a.text);
+                break;
+            }
+        }
+        os << "}}";
+    }
+    os << "\n]}\n";
+}
+
+bool
+writeSpanExports(const std::vector<SpanRecord> &spans,
+                 const std::string &jsonl_path,
+                 const std::string &perfetto_path, std::string &error)
+{
+    if (!jsonl_path.empty()) {
+        std::ofstream os(jsonl_path, std::ios::trunc);
+        if (!os) {
+            error = "cannot open " + jsonl_path;
+            return false;
+        }
+        exportSpansJsonl(spans, os);
+        if (!os.good()) {
+            error = "write failed: " + jsonl_path;
+            return false;
+        }
+    }
+    if (!perfetto_path.empty()) {
+        std::ofstream os(perfetto_path, std::ios::trunc);
+        if (!os) {
+            error = "cannot open " + perfetto_path;
+            return false;
+        }
+        exportSpansChromeTrace(spans, os);
+        if (!os.good()) {
+            error = "write failed: " + perfetto_path;
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace solarcore::obs

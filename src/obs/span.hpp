@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Request-scoped distributed spans: the per-request counterpart of the
+ * PR 2 event tracer.
+ *
+ * A *trace* is one request's life across threads and processes: a
+ * 64-bit trace id stamped by the client (or head-sampled by the
+ * server), a tree of spans (span id + parent id) named after the
+ * stages the request passes through (io-read, admission, queue-wait,
+ * service, per-unit simulation, aggregation, reply), each with a
+ * monotonic [startNs, endNs) interval and a handful of typed
+ * attributes (unit-cache hit/miss, resolved PV kernel, shed reason).
+ *
+ * Layering:
+ *
+ *   RequestTrace -- a bounded, reallocation-free staging buffer owned
+ *     by one request. Spans are opened/closed while the request moves
+ *     between the IO thread and a worker; at request end the buffer is
+ *     either committed or discarded, which is what makes tail-biased
+ *     sampling ("always keep slow/shed/error requests") free: the
+ *     decision happens when the outcome is known.
+ *
+ *   SpanSink -- the process-wide bounded collector. commit() appends
+ *     under a mutex and counts drops once full; exporters snapshot it.
+ *     Forked campaign workers serialize SpanRecords over the worker
+ *     pipe (the records are flat PODs) and the parent commits them
+ *     into its own sink, so a multi-process shard stitches into one
+ *     trace: CLOCK_MONOTONIC is shared across fork on Linux.
+ *
+ * Exports: JSONL ("solarcore-span-v1", one span per line, ids as
+ * 16-hex strings because u64 does not survive JSON doubles) and a
+ * Perfetto/Chrome trace with one process track per trace id and one
+ * thread lane per span lane (worker index). Both exporters sort spans
+ * by (trace, start, id) so file bytes do not depend on commit order.
+ *
+ * With no trace active every hook is a null-pointer check; the serve
+ * and campaign hot paths stay inside the <1% tracing-off bench gate.
+ */
+
+#ifndef SOLARCORE_OBS_SPAN_HPP
+#define SOLARCORE_OBS_SPAN_HPP
+
+#include <cstdint>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace solarcore::obs {
+
+inline constexpr std::size_t kSpanNameBytes = 32;
+inline constexpr std::size_t kSpanAttrKeyBytes = 16;
+inline constexpr std::size_t kSpanAttrTextBytes = 40;
+inline constexpr std::size_t kSpanMaxAttrs = 4;
+
+/** One typed span attribute (fixed-size: records stay flat PODs). */
+struct SpanAttr
+{
+    enum class Kind : std::uint8_t
+    {
+        None = 0,
+        Int,
+        Double,
+        Bool,
+        Text,
+    };
+
+    Kind kind = Kind::None;
+    char key[kSpanAttrKeyBytes] = {};
+    std::int64_t i = 0;
+    double d = 0.0;
+    char text[kSpanAttrTextBytes] = {};
+};
+
+/**
+ * One completed (or in-flight) span. Flat POD: forked campaign
+ * workers ship these raw over the worker pipe ('T' frames) and the
+ * same-machine native-endian contract of the pipe protocol applies.
+ */
+struct SpanRecord
+{
+    std::uint64_t traceId = 0;
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0; //!< 0 = root span of the trace
+    std::int64_t startNs = 0;   //!< CLOCK_MONOTONIC
+    std::int64_t endNs = 0;     //!< 0 while still open
+    std::uint32_t lane = 0;     //!< render lane (worker index)
+    std::uint32_t attrCount = 0;
+    char name[kSpanNameBytes] = {};
+
+    SpanAttr attrs[kSpanMaxAttrs];
+
+    void setName(std::string_view name_text);
+
+    /** Typed attribute setters; silently drop past kSpanMaxAttrs. */
+    void attr(const char *key, std::int64_t value);
+    void attr(const char *key, double value);
+    void attr(const char *key, bool value);
+    void attr(const char *key, std::string_view value);
+
+    // A string literal would otherwise prefer the bool overload (a
+    // standard conversion beats the string_view constructor).
+    void
+    attr(const char *key, const char *value)
+    {
+        attr(key, std::string_view(value));
+    }
+
+    double durationNs() const
+    {
+        return static_cast<double>(endNs - startNs);
+    }
+
+  private:
+    SpanAttr *nextAttr(const char *key);
+};
+
+/** Monotonic span timestamp [ns]; one timebase across fork(). */
+std::int64_t spanNowNs();
+
+/** splitmix64 finalizer: uniform non-sequential ids from a counter. */
+std::uint64_t mixId(std::uint64_t v);
+
+/** A fresh non-zero trace id (clock + process-wide counter, mixed). */
+std::uint64_t newTraceId();
+
+/** @p id as fixed-width 16-digit lowercase hex. */
+std::string spanIdHex(std::uint64_t id);
+
+/** Parse a spanIdHex()-style id (1..16 hex digits). */
+bool parseSpanIdHex(std::string_view text, std::uint64_t &out);
+
+/**
+ * Bounded per-request span staging buffer. Not thread-safe: a request
+ * is handled by one thread at a time (IO thread, then a worker), and
+ * the buffer moves with it. Capacity is reserved up front so
+ * SpanRecord pointers stay stable while spans are open.
+ */
+class RequestTrace
+{
+  public:
+    static constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+    explicit RequestTrace(std::size_t max_spans = 256);
+
+    /** Activate for @p trace_id (0 deactivates); clears prior spans. */
+    void begin(std::uint64_t trace_id);
+
+    /** Deactivate and discard any staged spans. */
+    void reset();
+
+    bool active() const { return traceId_ != 0; }
+    std::uint64_t traceId() const { return traceId_; }
+
+    /** Salt folded into span-id generation (forked workers pass their
+     *  worker index so ids cannot collide across processes). */
+    void setIdSalt(std::uint64_t salt) { salt_ = salt; }
+
+    /** Default lane stamped on spans opened here. */
+    void setLane(std::uint32_t lane) { lane_ = lane; }
+
+    /**
+     * Open a span (start = now). @return its index, or kNoSpan when
+     * inactive or full (full buffers count dropped spans).
+     */
+    std::size_t openSpan(const char *name, std::uint64_t parent_id = 0);
+
+    /**
+     * The staged span at @p index (nullptr for kNoSpan). The pointer
+     * is invalidated by the next openSpan()/push() (the buffer grows
+     * lazily) -- fetch, write, and drop it.
+     */
+    SpanRecord *span(std::size_t index);
+
+    /** Stamp endNs = now on a still-open span. */
+    void closeSpan(std::size_t index);
+
+    /** Span id of the staged span at @p index (0 for kNoSpan). */
+    std::uint64_t spanId(std::size_t index);
+
+    /** Append an externally-built record (cross-process import). */
+    void push(const SpanRecord &record);
+
+    const std::vector<SpanRecord> &spans() const { return spans_; }
+    std::uint64_t droppedSpans() const { return dropped_; }
+
+  private:
+    std::uint64_t nextSpanId();
+
+    std::vector<SpanRecord> spans_;
+    std::size_t maxSpans_;
+    std::uint64_t traceId_ = 0;
+    std::uint64_t salt_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint32_t lane_ = 0;
+};
+
+/**
+ * RAII span over a RequestTrace. Inactive traces (or a full buffer)
+ * degrade to a no-op: one pointer test per call.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(RequestTrace *trace, const char *name,
+              std::uint64_t parent_id = 0)
+        : trace_(trace),
+          index_(trace ? trace->openSpan(name, parent_id)
+                       : RequestTrace::kNoSpan)
+    {
+    }
+
+    ~SpanScope() { close(); }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Span id for parenting children (0 when inactive). */
+    std::uint64_t id() const
+    {
+        return trace_ ? trace_->spanId(index_) : 0;
+    }
+
+    template <typename V>
+    void
+    attr(const char *key, V value)
+    {
+        if (SpanRecord *s = trace_ ? trace_->span(index_) : nullptr)
+            s->attr(key, value);
+    }
+
+    void
+    close()
+    {
+        if (trace_) {
+            trace_->closeSpan(index_);
+            trace_ = nullptr;
+        }
+    }
+
+  private:
+    RequestTrace *trace_;
+    std::size_t index_;
+};
+
+/** Aggregate counters of one SpanSink. */
+struct SpanSinkCounters
+{
+    std::uint64_t spans = 0;          //!< currently buffered
+    std::uint64_t committedTraces = 0;
+    std::uint64_t committedSpans = 0;
+    std::uint64_t droppedSpans = 0;   //!< sink-full + staging drops
+};
+
+/** Process-wide bounded, thread-safe span collector. */
+class SpanSink
+{
+  public:
+    explicit SpanSink(std::size_t max_spans = 1u << 16);
+
+    /** Append @p trace's staged spans (and its drop count); clears
+     *  the staging buffer either way. */
+    void commit(RequestTrace &trace);
+
+    /** Append raw records (cross-process import path). */
+    void commit(const SpanRecord *records, std::size_t count);
+
+    std::vector<SpanRecord> snapshot() const;
+    SpanSinkCounters counters() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> spans_;
+    std::size_t maxSpans_;
+    SpanSinkCounters counters_;
+};
+
+/**
+ * JSONL export, one "solarcore-span-v1" object per line, sorted by
+ * (trace, start, id) for byte-stable output.
+ */
+void exportSpansJsonl(std::vector<SpanRecord> spans, std::ostream &os);
+
+/**
+ * Perfetto/Chrome trace export: one process track per trace id
+ * ("trace <hex>"), one thread lane per span lane, complete ('X')
+ * events carrying span/parent ids and attributes as args.
+ */
+void exportSpansChromeTrace(std::vector<SpanRecord> spans,
+                            std::ostream &os);
+
+/**
+ * Write @p spans to @p jsonl_path and/or @p perfetto_path (empty
+ * paths skipped). @return false with @p error on the first failing
+ * file.
+ */
+bool writeSpanExports(const std::vector<SpanRecord> &spans,
+                      const std::string &jsonl_path,
+                      const std::string &perfetto_path,
+                      std::string &error);
+
+} // namespace solarcore::obs
+
+#endif // SOLARCORE_OBS_SPAN_HPP

@@ -251,8 +251,11 @@ encodeQuery(const PlanQuery &query)
 {
     std::string out;
     appendU8(out, kFrameQuery);
-    appendU32(out, kProtocolVersion);
+    appendU32(out, query.traceId != 0 ? kProtocolVersionTraced
+                                      : kProtocolVersion);
     appendU64(out, query.requestId);
+    if (query.traceId != 0)
+        appendU64(out, query.traceId);
     appendU32(out, query.deadlineMillis);
     appendU32(out, query.nodesPerUnit);
 
@@ -297,9 +300,20 @@ decodeQuery(std::string_view frame, PlanQuery &out, std::string &error)
     }
     // From here on the request id is known, so BadRequest replies can
     // echo it.
-    if (version != kProtocolVersion) {
+    if (version != kProtocolVersion && version != kProtocolVersionTraced) {
         error = "protocol version mismatch";
         return false;
+    }
+    out.traceId = 0;
+    if (version == kProtocolVersionTraced) {
+        if (!r.takeU64(out.traceId)) {
+            error = "truncated trace id";
+            return false;
+        }
+        if (out.traceId == 0) {
+            error = "traced frame with zero trace id";
+            return false;
+        }
     }
     if (!r.takeU32(out.deadlineMillis) || !r.takeU32(out.nodesPerUnit)) {
         error = "truncated request header";

@@ -37,8 +37,22 @@
 
 namespace solarcore::serve {
 
-/** Bumped on any wire-format change; mismatches get BadRequest. */
+/**
+ * Base wire version; unknown versions get BadRequest. Replies are
+ * always encoded at this version: the deterministic reply bytes (and
+ * with them the result-cache contract) are independent of whether the
+ * client asked for tracing.
+ */
 inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/**
+ * Query-frame version that carries a trace id (u64, directly after
+ * the request id). encodeQuery() only emits it when a trace id is
+ * set, so an untraced client still produces byte-identical version-1
+ * frames and a pre-trace server still understands it; decodeQuery()
+ * accepts both versions, so a pre-trace client frame is still served.
+ */
+inline constexpr std::uint32_t kProtocolVersionTraced = 2;
 
 /** Hard cap on any frame the server will buffer for one client. */
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
@@ -70,6 +84,10 @@ const char *replyStatusName(ReplyStatus status);
 struct PlanQuery
 {
     std::uint64_t requestId = 0;   //!< echoed verbatim in the reply
+    /** 0 = untraced (frame encodes as version 1). Non-zero asks the
+     *  server to record spans for this request; never part of the
+     *  cache key or the reply bytes. */
+    std::uint64_t traceId = 0;
     std::uint32_t deadlineMillis = 0; //!< 0 = no deadline
     std::uint32_t nodesPerUnit = 1;   //!< fleet nodes per expanded unit
     /** Axes + shared knobs; pvKernel is server-side and not on the

@@ -62,13 +62,72 @@ struct Server::Request
     std::chrono::steady_clock::time_point arrival;
     bool hasDeadline = false;
     std::chrono::steady_clock::time_point deadline;
+    // Tracing: the staged span buffer travels with the request from
+    // the IO thread to its worker (null when tracing is off).
+    std::unique_ptr<obs::RequestTrace> trace;
+    std::size_t rootSpan = obs::RequestTrace::kNoSpan;
+    std::size_t queueSpan = obs::RequestTrace::kNoSpan;
+    std::size_t serviceSpan = obs::RequestTrace::kNoSpan;
+    bool clientTraced = false;
+    bool headSampled = false;
 };
+
+namespace {
+
+/** Latency histogram bucket upper edges [ms] (+Inf is implicit). */
+const std::vector<double> &
+latencyBoundsMs()
+{
+    static const std::vector<double> bounds = {1.0,  2.0,   5.0,
+                                               10.0, 25.0,  50.0,
+                                               100.0, 250.0, 1000.0};
+    return bounds;
+}
+
+} // namespace
+
+/** Count @p ms into @p hist; a non-zero @p trace_id pins an exemplar
+ *  on the bucket it lands in (only ids of committed traces, so every
+ *  exemplar resolves in the span export). */
+void
+Server::addLatency(LatencyHist &hist, double ms, std::uint64_t trace_id)
+{
+    const auto &bounds = latencyBoundsMs();
+    if (hist.counts.empty()) {
+        hist.counts.assign(bounds.size(), 0);
+        hist.exemplars.assign(bounds.size() + 1, obs::MetricExemplar{});
+    }
+    std::size_t bin = bounds.size(); // +Inf
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (ms <= bounds[i]) {
+            bin = i;
+            break;
+        }
+    }
+    if (bin < hist.counts.size())
+        hist.counts[bin] += 1;
+    hist.total += 1;
+    hist.sumMs += ms;
+    if (trace_id != 0) {
+        obs::MetricExemplar &ex = hist.exemplars[bin];
+        ex.valid = true;
+        ex.labels = {{"trace_id", obs::spanIdHex(trace_id)}};
+        ex.value = ms;
+        ex.timestampSeconds =
+            std::chrono::duration<double>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+    }
+}
 
 Server::Server(ServeConfig config)
     : config_(std::move(config)), resultCache_(config_.resultCacheCap),
       unitMicrosEwma_(config_.estimateInitUnitMicros),
+      spanSink_(std::max<std::size_t>(1, config_.traceBufferSpans)),
       start_(std::chrono::steady_clock::now()), lastPublish_(start_)
 {
+    tracingEnabled_ =
+        !config_.traceOut.empty() || !config_.tracePerfettoOut.empty();
 }
 
 Server::~Server()
@@ -192,6 +251,13 @@ Server::stop()
     }
     ::unlink(config_.socketPath.c_str());
     publish(/*force=*/true);
+    if (tracingEnabled_) {
+        std::string error;
+        if (!obs::writeSpanExports(spanSink_.snapshot(),
+                                   config_.traceOut,
+                                   config_.tracePerfettoOut, error))
+            SC_WARN("serve: span export failed: ", error);
+    }
     endpoint_.stop();
     started_ = false;
 #endif
@@ -295,12 +361,15 @@ Server::handleFrame(const std::shared_ptr<Conn> &conn,
                     const std::string &frame)
 {
     requests_.fetch_add(1);
+    const std::int64_t arrival_ns = obs::spanNowNs();
     Request req;
     req.conn = conn;
     req.arrival = std::chrono::steady_clock::now();
 
     std::string error;
     if (!decodeQuery(frame, req.query, error)) {
+        // No trace for undecodable frames: the trace id (if any) is
+        // part of what failed to parse.
         badRequest_.fetch_add(1);
         replyError(conn, req.query.requestId, ReplyStatus::BadRequest,
                    error);
@@ -308,8 +377,56 @@ Server::handleFrame(const std::shared_ptr<Conn> &conn,
         return;
     }
     const std::size_t units = req.query.grid.unitCount();
+
+    if (tracingEnabled_) {
+        // Stage spans speculatively for every request; the commit /
+        // discard decision happens in finishRequest() when the
+        // outcome (slow? shed? expired?) is known. Backdate the root
+        // and io.read spans to frame arrival so decode time is
+        // covered.
+        req.clientTraced = req.query.traceId != 0;
+        const std::uint64_t seq = traceSeq_.fetch_add(1) + 1;
+        req.headSampled = config_.traceSample > 0 &&
+            seq % config_.traceSample == 0;
+        req.trace = std::make_unique<obs::RequestTrace>();
+        req.trace->begin(req.clientTraced ? req.query.traceId
+                                          : obs::newTraceId());
+        req.rootSpan = req.trace->openSpan("request");
+        const std::uint64_t root_id = req.trace->spanId(req.rootSpan);
+        if (obs::SpanRecord *root = req.trace->span(req.rootSpan)) {
+            root->startNs = arrival_ns;
+            root->attr("request_id",
+                       static_cast<std::int64_t>(req.query.requestId));
+            root->attr("client_traced", req.clientTraced);
+            root->attr("units", static_cast<std::int64_t>(units));
+        }
+        const std::size_t io_span =
+            req.trace->openSpan("io.read", root_id);
+        if (obs::SpanRecord *io = req.trace->span(io_span))
+            io->startNs = arrival_ns;
+        req.trace->closeSpan(io_span);
+    }
+    const std::uint64_t root_id =
+        req.trace ? req.trace->spanId(req.rootSpan) : 0;
+    const std::size_t admit_span =
+        req.trace ? req.trace->openSpan("admit", root_id)
+                  : obs::RequestTrace::kNoSpan;
+    auto admitted = [&](const char *decision) {
+        if (req.trace) {
+            if (obs::SpanRecord *s = req.trace->span(admit_span))
+                s->attr("decision", decision);
+            req.trace->closeSpan(admit_span);
+        }
+    };
+
     if (units > config_.maxUnitsPerQuery) {
         badRequest_.fetch_add(1);
+        admitted("unit-cap");
+        // As in the worker loop: bookkeeping lands before the reply
+        // frame so a serial client never observes a reply whose
+        // request is missing from the slow log or histograms.
+        finishRequest(req, ReplyStatus::BadRequest, -1.0, -1.0,
+                      static_cast<std::uint32_t>(units));
         replyError(conn, req.query.requestId, ReplyStatus::BadRequest,
                    "grid exceeds the server's unit cap");
         publish(/*force=*/false);
@@ -317,6 +434,9 @@ Server::handleFrame(const std::shared_ptr<Conn> &conn,
     }
     if (!running_.load()) {
         shuttingDown_.fetch_add(1);
+        admitted("shutting-down");
+        finishRequest(req, ReplyStatus::ShuttingDown, -1.0, -1.0,
+                      static_cast<std::uint32_t>(units));
         replyError(conn, req.query.requestId, ReplyStatus::ShuttingDown,
                    "server is shutting down");
         return;
@@ -333,6 +453,9 @@ Server::handleFrame(const std::shared_ptr<Conn> &conn,
             est * static_cast<double>(units) >
                 1000.0 * static_cast<double>(req.query.deadlineMillis)) {
             shedDeadline_.fetch_add(1);
+            admitted("shed-deadline");
+            finishRequest(req, ReplyStatus::ShedDeadline, -1.0, -1.0,
+                          static_cast<std::uint32_t>(units));
             replyError(conn, req.query.requestId,
                        ReplyStatus::ShedDeadline,
                        "deadline shorter than the predicted service time");
@@ -344,11 +467,17 @@ Server::handleFrame(const std::shared_ptr<Conn> &conn,
         std::lock_guard<std::mutex> lock(queueMutex_);
         if (queue_.size() >= config_.maxQueueDepth) {
             shedCapacity_.fetch_add(1);
+            admitted("shed-capacity");
+            finishRequest(req, ReplyStatus::ShedCapacity, -1.0, -1.0,
+                          static_cast<std::uint32_t>(units));
             replyError(conn, req.query.requestId,
                        ReplyStatus::ShedCapacity, "request queue full");
             publish(/*force=*/false);
             return;
         }
+        admitted("ok");
+        if (req.trace)
+            req.queueSpan = req.trace->openSpan("queue.wait", root_id);
         queue_.push_back(std::move(req));
     }
     queueCv_.notify_one();
@@ -395,13 +524,29 @@ Server::workerLoop(int worker_index)
         }
         inflight_.fetch_add(1);
         const auto dequeued = std::chrono::steady_clock::now();
+        const double queue_ms =
+            std::chrono::duration<double, std::milli>(dequeued -
+                                                      req.arrival)
+                .count();
         recordLatency("queue", std::chrono::duration_cast<
                                    std::chrono::nanoseconds>(
                                    dequeued - req.arrival)
                                    .count());
+        const std::uint32_t units =
+            static_cast<std::uint32_t>(req.query.grid.unitCount());
+        obs::RequestTrace *trace = req.trace.get();
+        const std::uint64_t root_id =
+            trace ? trace->spanId(req.rootSpan) : 0;
+        if (trace) {
+            trace->closeSpan(req.queueSpan);
+            // Spans opened from here render on this worker's lane.
+            trace->setLane(static_cast<std::uint32_t>(worker_index) + 1);
+        }
 
         if (!running_.load()) {
             shuttingDown_.fetch_add(1);
+            finishRequest(req, ReplyStatus::ShuttingDown, queue_ms, -1.0,
+                          units);
             replyError(req.conn, req.query.requestId,
                        ReplyStatus::ShuttingDown,
                        "server is shutting down");
@@ -410,6 +555,8 @@ Server::workerLoop(int worker_index)
         }
         if (req.hasDeadline && dequeued > req.deadline) {
             expired_.fetch_add(1);
+            finishRequest(req, ReplyStatus::Expired, queue_ms, -1.0,
+                          units);
             replyError(req.conn, req.query.requestId, ReplyStatus::Expired,
                        "deadline passed while queued");
             inflight_.fetch_sub(1);
@@ -420,29 +567,59 @@ Server::workerLoop(int worker_index)
         std::string body;
         bool expired = false;
         bool ok = false;
+        double service_ms = 0.0;
         {
             // The workspace travels via the profiler-less fast path;
             // latency is recorded manually under the shared profiler.
+            if (trace) {
+                req.serviceSpan = trace->openSpan("service", root_id);
+                if (obs::SpanRecord *s = trace->span(req.serviceSpan)) {
+                    s->attr("kernel", resolvedKernel_.c_str());
+                    s->attr("worker",
+                            static_cast<std::int64_t>(worker_index));
+                }
+            }
             const auto t0 = std::chrono::steady_clock::now();
             ok = executeQueryWith(req, body, expired, workspace);
             const auto t1 = std::chrono::steady_clock::now();
+            if (trace)
+                trace->closeSpan(req.serviceSpan);
+            service_ms =
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count();
             recordLatency("service",
                           std::chrono::duration_cast<
                               std::chrono::nanoseconds>(t1 - t0)
                               .count());
         }
+        ReplyStatus status = ReplyStatus::Ok;
+        std::string payload;
         if (expired) {
+            status = ReplyStatus::Expired;
             expired_.fetch_add(1);
+        } else if (!ok) {
+            status = ReplyStatus::ServerError;
+            serverError_.fetch_add(1);
+        } else {
+            ok_.fetch_add(1);
+            obs::SpanScope reply_span(trace, "reply", root_id);
+            payload = encodeReplyFromBody(req.query.requestId, body);
+            reply_span.attr("bytes",
+                            static_cast<std::int64_t>(payload.size()));
+        }
+        // Bookkeeping must land before the reply frame leaves: a
+        // client that has read reply N and then issues N+1 is
+        // guaranteed to find N already in the slow-query log and
+        // histograms, so the log order matches a serial client's
+        // issue order.
+        finishRequest(req, status, queue_ms, service_ms, units);
+        if (status == ReplyStatus::Expired) {
             replyError(req.conn, req.query.requestId, ReplyStatus::Expired,
                        "deadline passed during simulation");
-        } else if (!ok) {
-            serverError_.fetch_add(1);
+        } else if (status == ReplyStatus::ServerError) {
             replyError(req.conn, req.query.requestId,
                        ReplyStatus::ServerError, "internal error");
         } else {
-            ok_.fetch_add(1);
-            const std::string payload =
-                encodeReplyFromBody(req.query.requestId, body);
             std::lock_guard<std::mutex> lock(req.conn->writeMutex);
             if (req.conn->open.load() &&
                 !sendFrame(req.conn->fd, payload))
@@ -463,13 +640,23 @@ bool
 Server::executeQueryWith(const Request &req, std::string &body,
                          bool &expired, core::SimWorkspace &workspace)
 {
+    obs::RequestTrace *trace = req.trace.get();
+    const std::uint64_t service_id =
+        trace ? trace->spanId(req.serviceSpan) : 0;
     const std::string material =
         queryKeyMaterial(req.query, resolvedKernel_);
     {
         std::lock_guard<std::mutex> lock(resultCacheMutex_);
-        if (resultCache_.lookup(material, body))
+        if (resultCache_.lookup(material, body)) {
+            if (obs::SpanRecord *s =
+                    trace ? trace->span(req.serviceSpan) : nullptr)
+                s->attr("result_cache", "hit");
             return true;
+        }
     }
+    if (obs::SpanRecord *s =
+            trace ? trace->span(req.serviceSpan) : nullptr)
+        s->attr("result_cache", "miss");
 
     campaign::ScenarioGrid grid = req.query.grid;
     grid.pvKernel = resolvedKernel_;
@@ -480,12 +667,16 @@ Server::executeQueryWith(const Request &req, std::string &body,
     groups.reserve(units.size());
     std::uint64_t simulated = 0;
     const auto service_start = std::chrono::steady_clock::now();
+    std::size_t unit_index = 0;
     for (const campaign::ScenarioUnit &unit : units) {
         if (req.hasDeadline &&
             std::chrono::steady_clock::now() > req.deadline) {
             expired = true;
             return false;
         }
+        obs::SpanScope unit_span(trace, "unit", service_id);
+        unit_span.attr("unit",
+                       static_cast<std::int64_t>(unit_index++));
         campaign::UnitMetrics m;
         bool cached = false;
         if (unitCache_ && unitCache_->lookup(grid, unit, m)) {
@@ -500,6 +691,9 @@ Server::executeQueryWith(const Request &req, std::string &body,
             if (unitCache_)
                 unitCache_->store(grid, unit, m);
         }
+        unit_span.attr("cache", cached ? "hit" : "miss");
+        unit_span.attr("kernel", resolvedKernel_.c_str());
+        unit_span.close();
         core::FleetGroupEnergy g;
         g.nodeCount = static_cast<double>(req.query.nodesPerUnit);
         g.mppEnergyWh = m.mppEnergyWh;
@@ -511,6 +705,8 @@ Server::executeQueryWith(const Request &req, std::string &body,
         groups.push_back(g);
     }
 
+    obs::SpanScope agg_span(trace, "aggregate", service_id);
+    agg_span.attr("groups", static_cast<std::int64_t>(groups.size()));
     const core::FleetTotals totals = core::aggregateFleet(groups);
     const core::CarbonReport carbon = core::assessEnergy(
         totals.solarEnergyWh, totals.gridEnergyWh, req.query.econ);
@@ -534,6 +730,7 @@ Server::executeQueryWith(const Request &req, std::string &body,
     answer.panelPaybackYears = carbon.panelPaybackYears;
     answer.batteryAvoidedUsdPerYear = carbon.batteryAvoidedUsdPerYear;
     body = encodeAnswerBody(answer);
+    agg_span.close();
 
     {
         std::lock_guard<std::mutex> lock(resultCacheMutex_);
@@ -557,6 +754,66 @@ Server::recordLatency(const char *scope, std::int64_t ns)
     std::lock_guard<std::mutex> lock(profMutex_);
     prof_.enter(scope);
     prof_.exit(ns);
+}
+
+void
+Server::finishRequest(Request &req, ReplyStatus status, double queue_ms,
+                      double service_ms, std::uint32_t units)
+{
+    const char *token = replyStatusName(status);
+    // Tail bias: shed/expired/error outcomes and slow completions are
+    // always interesting. BadRequest and ShuttingDown are excluded --
+    // a fuzzing client or a shutdown burst would flood the log with
+    // requests that never touched the planner.
+    const bool tail_worthy = status == ReplyStatus::ShedCapacity ||
+        status == ReplyStatus::ShedDeadline ||
+        status == ReplyStatus::Expired ||
+        status == ReplyStatus::ServerError;
+    const double total_ms = (queue_ms > 0.0 ? queue_ms : 0.0) +
+        (service_ms > 0.0 ? service_ms : 0.0);
+    const bool slow = total_ms >= config_.slowMillis;
+
+    std::uint64_t kept_trace = 0;
+    if (req.trace) {
+        if (obs::SpanRecord *root = req.trace->span(req.rootSpan))
+            root->attr("status", token);
+        req.trace->closeSpan(req.rootSpan);
+        const bool keep = req.clientTraced || req.headSampled ||
+            tail_worthy || slow;
+        if (keep) {
+            kept_trace = req.trace->traceId();
+            if (req.clientTraced)
+                tracesClientStamped_.fetch_add(1);
+            else if (req.headSampled)
+                tracesHeadSampled_.fetch_add(1);
+            else
+                tracesTailKept_.fetch_add(1);
+            spanSink_.commit(*req.trace);
+        } else {
+            req.trace->reset();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(histMutex_);
+        if (queue_ms >= 0.0)
+            addLatency(queueHist_, queue_ms, kept_trace);
+        if (service_ms >= 0.0)
+            addLatency(serviceHist_, service_ms, kept_trace);
+    }
+    if (slow || tail_worthy) {
+        SlowQueryEntry entry;
+        entry.requestId = req.query.requestId;
+        entry.traceId = kept_trace;
+        entry.status = token;
+        entry.queueMs = queue_ms > 0.0 ? queue_ms : 0.0;
+        entry.serviceMs = service_ms > 0.0 ? service_ms : 0.0;
+        entry.units = units;
+        std::lock_guard<std::mutex> lock(slowMutex_);
+        slowQueries_.push_back(std::move(entry));
+        while (slowQueries_.size() > config_.slowLogCap &&
+               !slowQueries_.empty())
+            slowQueries_.pop_front();
+    }
 }
 
 double
@@ -631,6 +888,15 @@ Server::snapshot() const
         }
     }
     s.estimateUnitMicros = estimateUnitMicros();
+    s.tracingEnabled = tracingEnabled_;
+    s.trace = spanSink_.counters();
+    s.tracesClientStamped = tracesClientStamped_.load();
+    s.tracesHeadSampled = tracesHeadSampled_.load();
+    s.tracesTailKept = tracesTailKept_.load();
+    {
+        std::lock_guard<std::mutex> lock(slowMutex_);
+        s.slowQueries.assign(slowQueries_.begin(), slowQueries_.end());
+    }
     return s;
 }
 
@@ -688,6 +954,35 @@ Server::renderStatusJson(const ServeSnapshot &snap,
         out += ",\"evictions\":" + jsonNumber(snap.unitCache.evictions);
         out += '}';
     }
+    out += ",\"tracing\":{\"enabled\":";
+    out += snap.tracingEnabled ? "true" : "false";
+    out += ",\"buffered_spans\":" + jsonNumber(snap.trace.spans);
+    out += ",\"committed_traces\":" +
+        jsonNumber(snap.trace.committedTraces);
+    out += ",\"committed_spans\":" +
+        jsonNumber(snap.trace.committedSpans);
+    out += ",\"dropped_spans\":" + jsonNumber(snap.trace.droppedSpans);
+    out += ",\"client_stamped\":" + jsonNumber(snap.tracesClientStamped);
+    out += ",\"head_sampled\":" + jsonNumber(snap.tracesHeadSampled);
+    out += ",\"tail_kept\":" + jsonNumber(snap.tracesTailKept);
+    out += '}';
+    out += ",\"slow_queries\":[";
+    for (std::size_t i = 0; i < snap.slowQueries.size(); ++i) {
+        const SlowQueryEntry &e = snap.slowQueries[i];
+        if (i > 0)
+            out += ',';
+        out += "{\"request_id\":" + jsonNumber(e.requestId);
+        out += ",\"trace_id\":" +
+            jsonString(e.traceId != 0 ? obs::spanIdHex(e.traceId)
+                                      : std::string());
+        out += ",\"status\":" + jsonString(e.status);
+        out += ",\"queue_ms\":" + jsonNumber(e.queueMs);
+        out += ",\"service_ms\":" + jsonNumber(e.serviceMs);
+        out += ",\"units\":" +
+            jsonNumber(static_cast<std::uint64_t>(e.units));
+        out += '}';
+    }
+    out += ']';
     out += "}\n";
     return out;
 }
@@ -744,6 +1039,27 @@ Server::fillRegistry(const ServeSnapshot &snap)
     set("serve.resultCache.size",
         static_cast<double>(snap.resultCacheSize),
         "answer-cache entries resident");
+    set("serve.trace.committedTraces",
+        static_cast<double>(snap.trace.committedTraces),
+        "request traces committed to the span sink");
+    set("serve.trace.committedSpans",
+        static_cast<double>(snap.trace.committedSpans),
+        "spans committed to the span sink");
+    set("serve.trace.droppedSpans",
+        static_cast<double>(snap.trace.droppedSpans),
+        "spans dropped (staging or sink capacity)");
+    set("serve.trace.clientStamped",
+        static_cast<double>(snap.tracesClientStamped),
+        "kept traces with a client-stamped trace id");
+    set("serve.trace.headSampled",
+        static_cast<double>(snap.tracesHeadSampled),
+        "kept traces selected by head sampling");
+    set("serve.trace.tailKept",
+        static_cast<double>(snap.tracesTailKept),
+        "kept traces selected by the slow/shed/error tail bias");
+    set("serve.slowQueries",
+        static_cast<double>(snap.slowQueries.size()),
+        "entries in the bounded slow-query log");
     if (snap.unitCacheEnabled) {
         set("serve.unitCache.hits",
             static_cast<double>(snap.unitCache.hits),
@@ -777,6 +1093,23 @@ Server::renderMetrics(const ServeSnapshot &snap)
             "median service time [ms]", snap.serviceP50Ms);
     w.gauge("solarcore_serve_latency_service_p99_ms",
             "p99 service time [ms]", snap.serviceP99Ms);
+    {
+        // Explicit ms-bucket histograms carrying trace-id exemplars:
+        // a scrape that flags a latency bucket links straight to a
+        // committed trace in the span export.
+        std::lock_guard<std::mutex> lock(histMutex_);
+        if (queueHist_.total > 0)
+            w.histogram("solarcore_serve_queue_wait_ms",
+                        "queue wait per request [ms]", latencyBoundsMs(),
+                        queueHist_.counts, queueHist_.total,
+                        queueHist_.sumMs, queueHist_.exemplars);
+        if (serviceHist_.total > 0)
+            w.histogram("solarcore_serve_service_time_ms",
+                        "service time per request [ms]",
+                        latencyBoundsMs(), serviceHist_.counts,
+                        serviceHist_.total, serviceHist_.sumMs,
+                        serviceHist_.exemplars);
+    }
     obs::appendRegistry(w, stats_);
     {
         std::lock_guard<std::mutex> lock(profMutex_);

@@ -53,6 +53,7 @@
 #include "campaign/unit_cache.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/stats_registry.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_cache.hpp"
@@ -90,6 +91,34 @@ struct ServeConfig
     int metricsPort = -1;          //!< /metrics HTTP; -1 off, 0 ephemeral
     double minPublishSeconds = 0.25; //!< publisher throttle
     bool verbose = false;          //!< per-request stderr lines
+    /**
+     * Request tracing. Tracing is enabled when either export path is
+     * set; otherwise every span hook degrades to one null check and
+     * the reply bytes are untouched (the <1% bench gate covers this).
+     * With tracing on, every request stages spans speculatively and
+     * the keep/discard decision happens at request end, which is what
+     * makes the tail bias (always keep slow/shed/expired/error
+     * requests) free; head sampling keeps every Nth request on top,
+     * and a client-stamped trace id is always kept.
+     */
+    std::string traceOut;          //!< span JSONL path; "" off
+    std::string tracePerfettoOut;  //!< Chrome/Perfetto path; "" off
+    std::uint64_t traceSample = 0; //!< head-sample every Nth request;
+                                   //!< 0 = only client-traced + tail
+    std::size_t traceBufferSpans = 1u << 16; //!< span sink capacity
+    double slowMillis = 250.0;     //!< queue+service ms deemed "slow"
+    std::size_t slowLogCap = 16;   //!< slow-query log entries kept
+};
+
+/** One entry of the bounded slow-query log (status.json). */
+struct SlowQueryEntry
+{
+    std::uint64_t requestId = 0;
+    std::uint64_t traceId = 0; //!< 0 = trace not kept / tracing off
+    std::string status;        //!< replyStatusName() token
+    double queueMs = 0.0;
+    double serviceMs = 0.0;
+    std::uint32_t units = 0;
 };
 
 /** One coherent view of server health (status.json / tests). */
@@ -128,6 +157,13 @@ struct ServeSnapshot
     double serviceP50Ms = 0.0;
     double serviceP99Ms = 0.0;
     double estimateUnitMicros = 0.0;
+    // Request tracing (spans) + the always-on slow-query log.
+    bool tracingEnabled = false;
+    obs::SpanSinkCounters trace;
+    std::uint64_t tracesClientStamped = 0;
+    std::uint64_t tracesHeadSampled = 0;
+    std::uint64_t tracesTailKept = 0;
+    std::vector<SlowQueryEntry> slowQueries; //!< oldest first
 };
 
 /** The daemon (see file header). */
@@ -184,6 +220,19 @@ class Server
     struct Conn;
     struct Request;
 
+    /** Per-bin latency histogram with one exemplar slot per bucket
+     *  (bounds in latencyBoundsMs(); last slot = +Inf). */
+    struct LatencyHist
+    {
+        std::vector<std::uint64_t> counts;
+        std::vector<obs::MetricExemplar> exemplars;
+        std::uint64_t total = 0;
+        double sumMs = 0.0;
+    };
+
+    static void addLatency(LatencyHist &hist, double ms,
+                           std::uint64_t trace_id);
+
     void ioLoop();
     void workerLoop(int worker_index);
     void acceptClients();
@@ -197,6 +246,17 @@ class Server
                           bool &expired,
                           core::SimWorkspace &workspace);
     void recordLatency(const char *scope, std::int64_t ns);
+    /**
+     * End-of-request bookkeeping shared by every outcome path: closes
+     * and commits/discards the staged trace (client-stamped and
+     * head-sampled traces always commit; slow/shed/expired/error ones
+     * tail-commit), feeds the exemplar-bearing latency histograms
+     * (negative ms = stage never ran), and appends to the bounded
+     * slow-query log. @p units is the expanded grid size when known.
+     */
+    void finishRequest(Request &req, ReplyStatus status,
+                       double queue_ms, double service_ms,
+                       std::uint32_t units);
     void fillRegistry(const ServeSnapshot &snap);
     std::string renderMetrics(const ServeSnapshot &snap);
     void publish(bool force);
@@ -243,6 +303,22 @@ class Server
 
     mutable std::mutex estimateMutex_;
     double unitMicrosEwma_ = 0.0;
+
+    // Tracing: the process-wide span sink plus sampling counters.
+    bool tracingEnabled_ = false;
+    obs::SpanSink spanSink_;
+    std::atomic<std::uint64_t> traceSeq_{0};
+    std::atomic<std::uint64_t> tracesClientStamped_{0};
+    std::atomic<std::uint64_t> tracesHeadSampled_{0};
+    std::atomic<std::uint64_t> tracesTailKept_{0};
+
+    // Slow-query log + latency histograms (always on; cheap:
+    // once-per-request under their own mutex).
+    mutable std::mutex slowMutex_;
+    std::deque<SlowQueryEntry> slowQueries_;
+    mutable std::mutex histMutex_;
+    LatencyHist queueHist_;
+    LatencyHist serviceHist_;
 
     std::mutex publishMutex_; //!< also guards stats_
     obs::StatsRegistry stats_;

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "campaign/campaign.hpp"
+#include "campaign/golden.hpp"
 #include "campaign/unit_cache.hpp"
 #include "core/simulation.hpp"
 #include "util/pipe_channel.hpp"
@@ -192,6 +193,68 @@ TEST(ShardExec, WorkersComposeWithJournalResume)
     EXPECT_EQ(outcome.unitsResumed,
               static_cast<int>(grid.unitCount()));
     EXPECT_EQ(outcome.unitsRun, 0);
+}
+
+TEST(ShardExec, WorkerSpansStitchIntoOneTraceWithoutChangingSummary)
+{
+    if (!util::pipeChannelSupported())
+        GTEST_SKIP() << "no fork/pipe on this platform";
+    const auto grid = testGrid();
+
+    CampaignOptions plain;
+    plain.threads = 1;
+    plain.workers = 2;
+    const std::string ref = summaryFor(grid, plain);
+
+    TempDir dir("spans");
+    fs::create_directories(dir.path);
+    CampaignOptions traced = plain;
+    traced.spanOut = dir.path + "/spans.jsonl";
+    traced.traceId = 0xfeed01;
+
+    // Span emission must not perturb a single summary byte.
+    EXPECT_EQ(summaryFor(grid, traced), ref);
+
+    // Worker spans cross the pipe and stitch into the requested
+    // trace: one campaign root, one shard span per worker (each on
+    // its own lane), and one unit span per scenario unit.
+    std::ifstream in(traced.spanOut);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t roots = 0;
+    std::size_t shards = 0;
+    std::size_t units = 0;
+    std::size_t lanes_seen = 0;
+    bool lane_flags[64] = {false};
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        FlatJson doc;
+        std::string error;
+        ASSERT_TRUE(parseJsonFlat(line, doc, error)) << error;
+        EXPECT_EQ(doc["schema"].text, "solarcore-span-v1");
+        EXPECT_EQ(doc["trace"].text, "0000000000feed01");
+        if (doc["parent"].text == "0000000000000000") {
+            ++roots;
+            EXPECT_EQ(doc["name"].text, "campaign");
+        }
+        if (doc["name"].text == "shard")
+            ++shards;
+        if (doc["name"].text == "unit") {
+            ++units;
+            const auto lane = static_cast<int>(doc["lane"].number);
+            ASSERT_GE(lane, 1);
+            ASSERT_LT(lane, 64);
+            if (!lane_flags[lane]) {
+                lane_flags[lane] = true;
+                ++lanes_seen;
+            }
+        }
+    }
+    EXPECT_EQ(roots, 1u);
+    EXPECT_EQ(shards, 2u);
+    EXPECT_EQ(units, grid.unitCount());
+    EXPECT_EQ(lanes_seen, 2u); // both workers contributed units
 }
 
 } // namespace

@@ -94,6 +94,99 @@ TEST(OpenMetricsWriter, HistogramBucketsAreCumulative)
     EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
 }
 
+TEST(OpenMetricsWriter, HistogramExemplarsRenderAndLintClean)
+{
+    MetricExemplar ex;
+    ex.valid = true;
+    ex.labels = {{"trace_id", "00000000deadbeef"}};
+    ex.value = 1.5;
+    ex.timestampSeconds = 1700000000.25;
+
+    OpenMetricsWriter w;
+    // Exemplars align with the bounds plus the trailing +Inf bucket;
+    // invalid entries render a plain bucket line.
+    w.histogram("solarcore_lat", "latency", {1.0, 2.0}, {3, 2}, 5, 6.5,
+                {MetricExemplar{}, ex, MetricExemplar{}});
+    const std::string text = w.finish();
+
+    EXPECT_NE(text.find("solarcore_lat_bucket{le=\"1\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("solarcore_lat_bucket{le=\"2\"} 5 "
+                  "# {trace_id=\"00000000deadbeef\"} 1.5 1700000000.25\n"),
+        std::string::npos);
+    EXPECT_TRUE(lintErrors(text).empty()) << lintErrors(text).front();
+
+    // Timestamp <= 0 renders without the trailing timestamp field.
+    ex.timestampSeconds = 0.0;
+    OpenMetricsWriter w2;
+    w2.histogram("solarcore_lat", "latency", {1.0}, {3}, 3, 1.0,
+                 {ex, MetricExemplar{}});
+    const std::string text2 = w2.finish();
+    EXPECT_NE(
+        text2.find("solarcore_lat_bucket{le=\"1\"} 3 "
+                    "# {trace_id=\"00000000deadbeef\"} 1.5\n"),
+        std::string::npos);
+    EXPECT_TRUE(lintErrors(text2).empty()) << lintErrors(text2).front();
+}
+
+TEST(OpenMetricsLint, RejectsMalformedOrMisplacedExemplars)
+{
+    // Exemplar on a gauge sample: only histogram _bucket lines may
+    // carry one.
+    const auto onGauge = lintErrors("# HELP solarcore_x x\n"
+                                    "# TYPE solarcore_x gauge\n"
+                                    "solarcore_x 1 "
+                                    "# {trace_id=\"ab\"} 1\n"
+                                    "# EOF\n");
+    ASSERT_FALSE(onGauge.empty());
+    EXPECT_NE(onGauge.front().find("non-histogram"), std::string::npos);
+
+    // Exemplar on a histogram _sum (still not a _bucket sample).
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 1\n"
+                            "solarcore_h_sum 1 # {trace_id=\"ab\"} 1\n"
+                            "solarcore_h_count 1\n"
+                            "# EOF\n")
+                     .empty());
+
+    // Structural breakage inside the exemplar body.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 1 "
+                            "# {trace_id=} 1\n"
+                            "solarcore_h_sum 1\n"
+                            "solarcore_h_count 1\n"
+                            "# EOF\n")
+                     .empty());
+    // Missing exemplar value after the label set.
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 1 "
+                            "# {trace_id=\"ab\"}\n"
+                            "solarcore_h_sum 1\n"
+                            "solarcore_h_count 1\n"
+                            "# EOF\n")
+                     .empty());
+    // Exemplar label set over the 128-char spec cap.
+    const std::string longValue(150, 'x');
+    EXPECT_FALSE(lintErrors("# TYPE solarcore_h histogram\n"
+                            "solarcore_h_bucket{le=\"+Inf\"} 1 "
+                            "# {trace_id=\"" + longValue + "\"} 1\n"
+                            "solarcore_h_sum 1\n"
+                            "solarcore_h_count 1\n"
+                            "# EOF\n")
+                     .empty());
+
+    // A well-formed bucket exemplar is accepted.
+    EXPECT_TRUE(lintErrors("# HELP solarcore_h h\n"
+                           "# TYPE solarcore_h histogram\n"
+                           "solarcore_h_bucket{le=\"+Inf\"} 1 "
+                           "# {trace_id=\"ab\"} 0.5 1700000000\n"
+                           "solarcore_h_sum 1\n"
+                           "solarcore_h_count 1\n"
+                           "# EOF\n")
+                    .empty());
+}
+
 TEST(OpenMetricsWriter, RegistryMappingLintsClean)
 {
     StatsRegistry reg;

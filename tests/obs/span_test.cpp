@@ -1,0 +1,271 @@
+// Request-scoped span layer: staging buffers, the bounded sink,
+// id generation and the JSONL/Perfetto exporters.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/span.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+TEST(SpanIds, HexRoundTrip)
+{
+    for (const std::uint64_t id :
+         {0ull, 1ull, 0xdeadbeefull, ~0ull, 0x0123456789abcdefull}) {
+        const std::string hex = obs::spanIdHex(id);
+        EXPECT_EQ(hex.size(), 16u);
+        std::uint64_t back = 0;
+        ASSERT_TRUE(obs::parseSpanIdHex(hex, back)) << hex;
+        EXPECT_EQ(back, id);
+    }
+    std::uint64_t v = 0;
+    EXPECT_TRUE(obs::parseSpanIdHex("ff", v));
+    EXPECT_EQ(v, 0xffu);
+    EXPECT_TRUE(obs::parseSpanIdHex("DEAD", v));
+    EXPECT_EQ(v, 0xdeadu);
+    EXPECT_FALSE(obs::parseSpanIdHex("", v));
+    EXPECT_FALSE(obs::parseSpanIdHex("xyz", v));
+    EXPECT_FALSE(obs::parseSpanIdHex("00112233445566778", v)); // 17
+}
+
+TEST(SpanIds, NewTraceIdsAreNonZeroAndDistinct)
+{
+    const std::uint64_t a = obs::newTraceId();
+    const std::uint64_t b = obs::newTraceId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(RequestTrace, InactiveIsNoOp)
+{
+    obs::RequestTrace rt;
+    EXPECT_FALSE(rt.active());
+    EXPECT_EQ(rt.openSpan("io.read"), obs::RequestTrace::kNoSpan);
+    obs::SpanScope scope(&rt, "queue");
+    EXPECT_EQ(scope.id(), 0u);
+    scope.attr("k", std::int64_t{7}); // must not crash
+    EXPECT_TRUE(rt.spans().empty());
+
+    obs::SpanScope null_scope(nullptr, "x");
+    EXPECT_EQ(null_scope.id(), 0u);
+}
+
+TEST(RequestTrace, SpanTreeAndAttrs)
+{
+    obs::RequestTrace rt;
+    rt.begin(0x42);
+    ASSERT_TRUE(rt.active());
+
+    const std::size_t root = rt.openSpan("request");
+    ASSERT_NE(root, obs::RequestTrace::kNoSpan);
+    const std::uint64_t root_id = rt.spanId(root);
+    EXPECT_NE(root_id, 0u);
+    {
+        obs::SpanScope unit(&rt, "unit", root_id);
+        unit.attr("cache", "hit");
+        unit.attr("nodes", std::int64_t{100});
+        unit.attr("warm", true);
+        unit.attr("score", 1.5);
+        EXPECT_NE(unit.id(), 0u);
+        EXPECT_NE(unit.id(), root_id);
+    }
+    rt.closeSpan(root);
+
+    ASSERT_EQ(rt.spans().size(), 2u);
+    const obs::SpanRecord &r = rt.spans()[0];
+    const obs::SpanRecord &u = rt.spans()[1];
+    EXPECT_STREQ(r.name, "request");
+    EXPECT_EQ(r.parentId, 0u);
+    EXPECT_EQ(u.parentId, root_id);
+    EXPECT_EQ(u.traceId, 0x42u);
+    EXPECT_GE(u.startNs, r.startNs);
+    EXPECT_GT(r.endNs, 0);
+    EXPECT_GE(r.endNs, u.endNs);
+    ASSERT_EQ(u.attrCount, 4u);
+    EXPECT_STREQ(u.attrs[0].key, "cache");
+    EXPECT_STREQ(u.attrs[0].text, "hit");
+    EXPECT_EQ(u.attrs[1].i, 100);
+    EXPECT_EQ(u.attrs[2].kind, obs::SpanAttr::Kind::Bool);
+    EXPECT_DOUBLE_EQ(u.attrs[3].d, 1.5);
+}
+
+TEST(RequestTrace, AttrOverflowIsDropped)
+{
+    obs::RequestTrace rt;
+    rt.begin(1);
+    const std::size_t idx = rt.openSpan("s");
+    obs::SpanRecord *s = rt.span(idx);
+    ASSERT_NE(s, nullptr);
+    for (int i = 0; i < 10; ++i)
+        s->attr("k", std::int64_t{i});
+    EXPECT_EQ(s->attrCount, obs::kSpanMaxAttrs);
+}
+
+TEST(RequestTrace, BoundedBufferCountsDrops)
+{
+    obs::RequestTrace rt(2);
+    rt.begin(7);
+    EXPECT_NE(rt.openSpan("a"), obs::RequestTrace::kNoSpan);
+    EXPECT_NE(rt.openSpan("b"), obs::RequestTrace::kNoSpan);
+    EXPECT_EQ(rt.openSpan("c"), obs::RequestTrace::kNoSpan);
+    EXPECT_EQ(rt.droppedSpans(), 1u);
+    EXPECT_EQ(rt.spans().size(), 2u);
+}
+
+TEST(RequestTrace, NamesAndTextsAreTruncatedSafely)
+{
+    obs::RequestTrace rt;
+    rt.begin(1);
+    const std::string long_name(200, 'n');
+    const std::size_t idx = rt.openSpan(long_name.c_str());
+    obs::SpanRecord *s = rt.span(idx);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(std::string(s->name).size(), obs::kSpanNameBytes - 1);
+    s->attr("key-that-is-far-too-long-for-the-slot",
+            std::string_view(std::string(200, 't')));
+    EXPECT_EQ(std::string(s->attrs[0].key).size(),
+              obs::kSpanAttrKeyBytes - 1);
+    EXPECT_EQ(std::string(s->attrs[0].text).size(),
+              obs::kSpanAttrTextBytes - 1);
+}
+
+TEST(RequestTrace, SaltSeparatesSpanIdsAcrossLanes)
+{
+    obs::RequestTrace a, b;
+    a.begin(9);
+    b.begin(9);
+    b.setIdSalt(1);
+    const std::size_t ia = a.openSpan("x");
+    const std::size_t ib = b.openSpan("x");
+    EXPECT_NE(a.spanId(ia), b.spanId(ib));
+}
+
+TEST(SpanSink, CommitMovesSpansAndCountsDrops)
+{
+    obs::SpanSink sink(3);
+    obs::RequestTrace rt(8);
+    rt.begin(5);
+    rt.openSpan("a");
+    rt.openSpan("b");
+    sink.commit(rt);
+    EXPECT_FALSE(rt.active());
+    EXPECT_TRUE(rt.spans().empty());
+
+    rt.begin(6);
+    rt.openSpan("c");
+    rt.openSpan("d");
+    sink.commit(rt); // only one slot left: one span dropped
+    const obs::SpanSinkCounters c = sink.counters();
+    EXPECT_EQ(c.spans, 3u);
+    EXPECT_EQ(c.committedTraces, 2u);
+    EXPECT_EQ(c.committedSpans, 3u);
+    EXPECT_EQ(c.droppedSpans, 1u);
+    EXPECT_EQ(sink.snapshot().size(), 3u);
+}
+
+TEST(SpanSink, DiscardedRequestCommitsNothing)
+{
+    obs::SpanSink sink;
+    obs::RequestTrace rt;
+    rt.begin(5);
+    rt.openSpan("a");
+    rt.reset(); // sampling decision: drop
+    sink.commit(rt);
+    EXPECT_EQ(sink.counters().committedSpans, 0u);
+}
+
+TEST(SpanSink, ConcurrentCommitsAreSafe)
+{
+    obs::SpanSink sink(1u << 12);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&sink, t]() {
+            for (int i = 0; i < 64; ++i) {
+                obs::RequestTrace rt;
+                rt.begin(static_cast<std::uint64_t>(t * 1000 + i + 1));
+                rt.openSpan("request");
+                rt.openSpan("unit");
+                sink.commit(rt);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(sink.counters().committedSpans, 4u * 64u * 2u);
+}
+
+std::vector<obs::SpanRecord>
+sampleSpans()
+{
+    obs::RequestTrace rt;
+    rt.begin(0xabc);
+    const std::size_t root = rt.openSpan("request");
+    const std::uint64_t root_id = rt.spanId(root);
+    {
+        obs::SpanScope unit(&rt, "unit", root_id);
+        unit.attr("cache", "miss");
+        unit.attr("nodes", std::int64_t{42});
+    }
+    rt.closeSpan(root);
+    return rt.spans();
+}
+
+TEST(SpanExport, JsonlHasSchemaAndSortedStableBytes)
+{
+    const auto spans = sampleSpans();
+    std::ostringstream a, b;
+    obs::exportSpansJsonl(spans, a);
+    // Reversed input must produce identical bytes (sorted export).
+    std::vector<obs::SpanRecord> reversed(spans.rbegin(), spans.rend());
+    obs::exportSpansJsonl(reversed, b);
+    EXPECT_EQ(a.str(), b.str());
+
+    const std::string text = a.str();
+    EXPECT_NE(text.find("\"schema\":\"solarcore-span-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"trace\":\"0000000000000abc\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"unit\""), std::string::npos);
+    EXPECT_NE(text.find("\"cache\":\"miss\""), std::string::npos);
+    EXPECT_NE(text.find("\"nodes\":42"), std::string::npos);
+    // Two lines, each a complete object.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(SpanExport, ChromeTraceHasTrackPerRequest)
+{
+    auto spans = sampleSpans();
+    obs::RequestTrace rt;
+    rt.begin(0xdef);
+    rt.setLane(3);
+    rt.openSpan("request");
+    rt.closeSpan(0);
+    spans.insert(spans.end(), rt.spans().begin(), rt.spans().end());
+
+    std::ostringstream os;
+    obs::exportSpansChromeTrace(spans, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\"name\":\"trace 0000000000000abc\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"trace 0000000000000def\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"tid\":4"), std::string::npos); // lane 3
+    EXPECT_NE(text.find("\"cache\":\"miss\""), std::string::npos);
+}
+
+TEST(SpanExport, WriteSpanExportsReportsBadPaths)
+{
+    std::string error;
+    EXPECT_TRUE(obs::writeSpanExports(sampleSpans(), "", "", error));
+    EXPECT_FALSE(obs::writeSpanExports(
+        sampleSpans(), "/nonexistent-dir/spans.jsonl", "", error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace

@@ -380,6 +380,113 @@ TEST(ServeProtocol, KeyMaterialSeparatesAnswerInputs)
     }
 }
 
+// ---- traced (v2) query frames -------------------------------------
+
+TEST(ServeProtocol, TracedQueryRoundTrip)
+{
+    PlanQuery q = sampleQuery();
+    q.traceId = 0xabcdef0123456789ull;
+    const std::string frame = encodeQuery(q);
+
+    std::uint32_t version = 0;
+    std::memcpy(&version, frame.data() + kOffVersion, sizeof(version));
+    EXPECT_EQ(version, kProtocolVersionTraced);
+
+    PlanQuery d;
+    std::string error;
+    ASSERT_TRUE(decodeQuery(frame, d, error)) << error;
+    EXPECT_EQ(d.traceId, q.traceId);
+    EXPECT_EQ(d.requestId, q.requestId);
+    EXPECT_EQ(d.grid.seeds, q.grid.seeds);
+}
+
+TEST(ServeProtocol, UntracedQueryStillEncodesV1Bytes)
+{
+    // Backward compatibility both ways: a client without a trace id
+    // emits the exact pre-trace frame (a pre-trace server keeps
+    // working), and that frame still decodes here with traceId == 0.
+    PlanQuery q = sampleQuery();
+    q.traceId = 0;
+    const std::string frame = encodeQuery(q);
+
+    std::uint32_t version = 0;
+    std::memcpy(&version, frame.data() + kOffVersion, sizeof(version));
+    EXPECT_EQ(version, kProtocolVersion);
+
+    PlanQuery traced = q;
+    traced.traceId = 0x77;
+    EXPECT_EQ(encodeQuery(traced).size(), frame.size() + 8);
+
+    PlanQuery d;
+    std::string error;
+    ASSERT_TRUE(decodeQuery(frame, d, error)) << error;
+    EXPECT_EQ(d.traceId, 0u);
+}
+
+TEST(ServeProtocol, ZeroTraceIdInTracedFrameRejected)
+{
+    // A v2 frame whose trace field is zero is malformed: zero encodes
+    // "no trace" and must use the v1 layout.
+    PlanQuery q = sampleQuery();
+    q.traceId = 0x55;
+    std::string frame = encodeQuery(q);
+    std::memset(frame.data() + kOffVersion + 12, 0, 8);
+    PlanQuery d;
+    std::string error;
+    EXPECT_FALSE(decodeQuery(frame, d, error));
+    EXPECT_EQ(d.requestId, sampleQuery().requestId);
+}
+
+TEST(ServeProtocol, EveryTracedQueryTruncationFailsCleanly)
+{
+    PlanQuery q = sampleQuery();
+    q.traceId = 0xfeedfacecafebeefull;
+    const std::string frame = encodeQuery(q);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+        PlanQuery d;
+        std::string error;
+        EXPECT_FALSE(decodeQuery(frame.substr(0, len), d, error))
+            << "decode accepted a " << len << "-byte prefix";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(ServeProtocol, MutatedTracedFramesNeverCrash)
+{
+    PlanQuery base_query = sampleQuery();
+    base_query.traceId = 0x1234abcd5678ef01ull;
+    const std::string base = encodeQuery(base_query);
+    // Every byte position x several corruption values: decode must
+    // either reject with an error or produce a validatable query.
+    for (std::size_t pos = 0; pos < base.size(); ++pos) {
+        for (const unsigned char value : {0x00, 0x01, 0x7f, 0xff}) {
+            std::string frame = base;
+            if (static_cast<unsigned char>(frame[pos]) == value)
+                continue;
+            frame[pos] = static_cast<char>(value);
+            PlanQuery q;
+            std::string error;
+            if (decodeQuery(frame, q, error)) {
+                // The decoder runs validateQuery() itself, so anything
+                // that decodes must also be semantically valid.
+                EXPECT_TRUE(validateQuery(q).empty());
+            } else {
+                EXPECT_FALSE(error.empty());
+            }
+        }
+    }
+}
+
+TEST(ServeProtocol, TraceIdExcludedFromKeyMaterial)
+{
+    // The trace id annotates the request; it must never separate the
+    // answer-cache key, or traced queries would always miss.
+    PlanQuery q = sampleQuery();
+    const std::string k0 = queryKeyMaterial(q, "portable");
+    q.traceId = 0xdeadbeefull;
+    EXPECT_EQ(queryKeyMaterial(q, "portable"), k0);
+}
+
 TEST(ServeProtocol, StatusNamesAreStable)
 {
     EXPECT_STREQ(replyStatusName(ReplyStatus::Ok), "ok");

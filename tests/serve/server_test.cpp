@@ -506,6 +506,162 @@ TEST_F(ServeTest, StatusJsonAndMetricsSnapshotAreWellFormed)
     server.stop();
 }
 
+TEST_F(ServeTest, TracedQueryYieldsStitchedSpanExport)
+{
+    auto cfg = baseConfig("t.sock");
+    cfg.traceOut = path("spans.jsonl");
+    cfg.tracePerfettoOut = path("spans.perfetto.json");
+    cfg.metricsOut = path("metrics.prom");
+    Server server(cfg);
+    ASSERT_TRUE(server.start());
+    {
+        Client client;
+        ASSERT_TRUE(client.connect(cfg.socketPath));
+        PlanQuery q = smallQuery(61);
+        q.traceId = 0xabc123;
+        std::string frame;
+        ASSERT_TRUE(rawCall(client, q, frame));
+        PlanReply reply;
+        std::string error;
+        ASSERT_TRUE(decodeReply(frame, reply, error)) << error;
+        EXPECT_EQ(reply.status, ReplyStatus::Ok);
+    }
+    server.publishNow();
+    server.stop(); // span exports are written at stop()
+
+    // Every span belongs to the client-stamped trace; the stages of
+    // the request lifecycle are all present and stitch to one root.
+    std::ifstream in(cfg.traceOut);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<std::string> names;
+    std::size_t roots = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        campaign::FlatJson doc;
+        std::string error;
+        ASSERT_TRUE(campaign::parseJsonFlat(line, doc, error)) << error;
+        EXPECT_EQ(doc["schema"].text, "solarcore-span-v1");
+        EXPECT_EQ(doc["trace"].text, "0000000000abc123");
+        names.push_back(doc["name"].text);
+        if (doc["parent"].text == "0000000000000000")
+            ++roots;
+    }
+    EXPECT_EQ(roots, 1u);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    EXPECT_GE(names.size(), 6u);
+    for (const char *stage :
+         {"request", "io.read", "admit", "queue.wait", "service",
+          "unit", "aggregate", "reply"})
+        EXPECT_TRUE(std::find(names.begin(), names.end(), stage) !=
+                    names.end())
+            << "missing stage " << stage;
+
+    // The kept trace surfaces as an exemplar on the latency
+    // histograms, and the snapshot still lints clean.
+    std::ifstream min(cfg.metricsOut);
+    ASSERT_TRUE(min.good());
+    std::stringstream mbuf;
+    mbuf << min.rdbuf();
+    EXPECT_NE(mbuf.str().find("# {trace_id=\"0000000000abc123\"}"),
+              std::string::npos);
+    std::vector<std::string> problems;
+    EXPECT_TRUE(obs::lintOpenMetrics(mbuf.str(), problems))
+        << (problems.empty() ? "" : problems.front());
+
+    // The Perfetto artifact exists and is non-trivial JSON.
+    std::ifstream pin(cfg.tracePerfettoOut);
+    ASSERT_TRUE(pin.good());
+    std::stringstream pbuf;
+    pbuf << pin.rdbuf();
+    EXPECT_NE(pbuf.str().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ServeTest, TraceReadyRepliesByteIdenticalToTracingDisabled)
+{
+    // Same untraced query against a tracing-armed daemon (head
+    // sampling off) and a tracing-disabled daemon: the reply frames
+    // must match byte for byte.
+    auto traced_cfg = baseConfig("ta.sock");
+    traced_cfg.traceOut = path("off_spans.jsonl");
+    traced_cfg.traceSample = 0;
+    auto plain_cfg = baseConfig("tb.sock");
+
+    std::string traced_frame;
+    std::string plain_frame;
+    {
+        Server server(traced_cfg);
+        ASSERT_TRUE(server.start());
+        Client client;
+        ASSERT_TRUE(client.connect(traced_cfg.socketPath));
+        ASSERT_TRUE(rawCall(client, smallQuery(65), traced_frame));
+        server.stop();
+    }
+    {
+        Server server(plain_cfg);
+        ASSERT_TRUE(server.start());
+        Client client;
+        ASSERT_TRUE(client.connect(plain_cfg.socketPath));
+        ASSERT_TRUE(rawCall(client, smallQuery(65), plain_frame));
+        server.stop();
+    }
+    ASSERT_FALSE(traced_frame.empty());
+    EXPECT_EQ(traced_frame, plain_frame);
+}
+
+TEST_F(ServeTest, SlowQueryLogRoundTripsThroughStatusJson)
+{
+    // The slow-query log is always on (no tracing configured here):
+    // a tiny slow threshold makes every request slow, and the cap
+    // keeps only the most recent two.
+    auto cfg = baseConfig("s.sock");
+    cfg.statusPath = path("status.json");
+    cfg.slowMillis = 0.001;
+    cfg.slowLogCap = 2;
+    Server server(cfg);
+    ASSERT_TRUE(server.start());
+    {
+        Client client;
+        ASSERT_TRUE(client.connect(cfg.socketPath));
+        std::string frame;
+        ASSERT_TRUE(rawCall(client, smallQuery(71), frame));
+        ASSERT_TRUE(rawCall(client, smallQuery(72), frame));
+        ASSERT_TRUE(rawCall(client, smallQuery(73), frame));
+    }
+    server.publishNow();
+
+    const ServeSnapshot snap = server.snapshot();
+    ASSERT_EQ(snap.slowQueries.size(), 2u);
+    EXPECT_EQ(snap.slowQueries[0].requestId, 72u); // 71 evicted FIFO
+    EXPECT_EQ(snap.slowQueries[1].requestId, 73u);
+    EXPECT_EQ(snap.slowQueries[1].status, "ok");
+    EXPECT_EQ(snap.slowQueries[1].traceId, 0u); // tracing off
+    EXPECT_FALSE(snap.tracingEnabled);
+
+    std::ifstream in(cfg.statusPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    campaign::FlatJson doc;
+    std::string error;
+    ASSERT_TRUE(campaign::parseJsonFlat(buf.str(), doc, error)) << error;
+    EXPECT_EQ(doc["tracing.enabled"].kind,
+              campaign::JsonLeaf::Kind::Bool);
+    EXPECT_FALSE(doc["tracing.enabled"].boolean);
+    ASSERT_TRUE(doc.count("slow_queries.0.request_id"));
+    ASSERT_TRUE(doc.count("slow_queries.1.request_id"));
+    EXPECT_FALSE(doc.count("slow_queries.2.request_id"));
+    EXPECT_DOUBLE_EQ(doc["slow_queries.0.request_id"].number, 72.0);
+    EXPECT_DOUBLE_EQ(doc["slow_queries.1.request_id"].number, 73.0);
+    EXPECT_EQ(doc["slow_queries.1.status"].text, "ok");
+    EXPECT_EQ(doc["slow_queries.1.trace_id"].text, "");
+    EXPECT_GT(doc["slow_queries.1.service_ms"].number, 0.0);
+    EXPECT_DOUBLE_EQ(doc["slow_queries.1.units"].number, 2.0);
+    server.stop();
+}
+
 TEST_F(ServeTest, StopAnswersQueuedRequestsAndUnlinksSocket)
 {
     auto cfg = baseConfig("n.sock");

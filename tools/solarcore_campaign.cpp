@@ -48,6 +48,7 @@
 #include <string>
 
 #include "campaign/campaign.hpp"
+#include "obs/span.hpp"
 #include "pv/pv_kernel.hpp"
 
 using namespace solarcore;
@@ -77,7 +78,9 @@ usage(const char *complaint = nullptr)
            "  [--profile-out=F.json] [--audit=off|count|strict "
            "(default count)] [--audit-out=F.json]\n"
            "  [--status-out=F.json] [--metrics-out=F] "
-           "[--metrics-port=N] [--postmortem-out=F.json]\n";
+           "[--metrics-port=N] [--postmortem-out=F.json]\n"
+           "  [--span-out=F.jsonl] [--span-perfetto=F.json] "
+           "[--trace-id=HEXID]\n";
     std::exit(2);
 }
 
@@ -172,6 +175,14 @@ main(int argc, char **argv)
             options.verbose = true;
         } else if (key == "--status-out") {
             options.statusPath = value;
+        } else if (key == "--span-out") {
+            options.spanOut = value;
+        } else if (key == "--span-perfetto") {
+            options.spanPerfettoOut = value;
+        } else if (key == "--trace-id") {
+            if (!obs::parseSpanIdHex(value, options.traceId) ||
+                options.traceId == 0)
+                usage("bad --trace-id (expected 1..16 hex digits)");
         } else {
             usage(("unknown option " + key).c_str());
         }

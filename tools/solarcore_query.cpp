@@ -21,6 +21,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 
 using namespace solarcore;
@@ -51,7 +52,10 @@ usage(const char *complaint = nullptr)
         "  --battery-life=Y     battery replacement period [years]\n"
         "  --repeat=N           send the query N times (default 1)\n"
         "  --timeout-ms=N       reply wait (default 30000)\n"
-        "  --id=N               base request id (default 1)\n";
+        "  --id=N               base request id (default 1)\n"
+        "  --trace[=HEXID]      stamp a trace id (fresh when omitted)\n"
+        "                       so the daemon records request spans;\n"
+        "                       the id prints on stderr\n";
     std::exit(2);
 }
 
@@ -151,6 +155,13 @@ main(int argc, char **argv)
                 std::strtol(value.c_str(), nullptr, 10));
         else if (key == "--id")
             query.requestId = std::strtoull(value.c_str(), nullptr, 10);
+        else if (key == "--trace") {
+            if (value.empty())
+                query.traceId = obs::newTraceId();
+            else if (!obs::parseSpanIdHex(value, query.traceId) ||
+                     query.traceId == 0)
+                usage("bad --trace id (expected 1..16 hex digits)");
+        }
         else if (key == "--help" || key == "-h")
             usage();
         else
@@ -160,6 +171,12 @@ main(int argc, char **argv)
         usage("--socket=PATH is required");
     if (repeat < 1)
         usage("--repeat must be at least 1");
+
+    // Stdout stays byte-identical across repeats (and with/without
+    // tracing): the trace id goes to stderr.
+    if (query.traceId != 0)
+        std::cerr << "solarcore_query: trace "
+                  << obs::spanIdHex(query.traceId) << "\n";
 
     serve::Client client;
     if (!client.connect(socket_path)) {

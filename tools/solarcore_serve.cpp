@@ -62,6 +62,14 @@ usage(const char *complaint = nullptr)
         "  --metrics-out=FILE       OpenMetrics snapshot file\n"
         "  --metrics-port=N         /metrics HTTP port (0 = ephemeral)\n"
         "  --publish-interval=S     publisher throttle (default 0.25)\n"
+        "  --trace-out=FILE         span JSONL written at shutdown\n"
+        "  --trace-perfetto=FILE    Chrome/Perfetto trace at shutdown\n"
+        "  --trace-sample=N         head-sample every Nth request\n"
+        "                           (0 = only client-traced + tail-kept\n"
+        "                           slow/shed/error requests)\n"
+        "  --slow-ms=X              slow-query threshold [ms]\n"
+        "                           (default 250)\n"
+        "  --slow-log-cap=N         slow-query log entries (default 16)\n"
         "  --verbose                per-request stderr lines\n";
     std::exit(2);
 }
@@ -120,6 +128,18 @@ main(int argc, char **argv)
                 static_cast<int>(parseCount(value, key.c_str()));
         else if (key == "--publish-interval")
             config.minPublishSeconds = std::strtod(value.c_str(), nullptr);
+        else if (key == "--trace-out")
+            config.traceOut = value;
+        else if (key == "--trace-perfetto")
+            config.tracePerfettoOut = value;
+        else if (key == "--trace-sample")
+            config.traceSample = static_cast<std::uint64_t>(
+                parseCount(value, key.c_str()));
+        else if (key == "--slow-ms")
+            config.slowMillis = std::strtod(value.c_str(), nullptr);
+        else if (key == "--slow-log-cap")
+            config.slowLogCap =
+                static_cast<std::size_t>(parseCount(value, key.c_str()));
         else if (key == "--verbose")
             config.verbose = true;
         else if (key == "--help" || key == "-h")

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * solarcore_spans: analyzer for the span JSONL exports written by
+ * solarcore_serve (--trace-out) and solarcore_campaign (--span-out).
+ *
+ *   solarcore_spans spans.jsonl             # breakdown + critical paths
+ *   solarcore_spans --lint spans.jsonl      # schema gate (CI)
+ *   solarcore_spans --trace=HEXID spans.jsonl
+ *
+ * Default mode prints a per-stage latency breakdown (count, total,
+ * mean, max, share) over every span name, then the critical path of
+ * each trace: starting at the root, repeatedly descend into the
+ * longest child span. --lint validates the "solarcore-span-v1" schema
+ * instead: ids are 16-hex and non-zero, intervals are ordered, span
+ * ids are unique within a trace, every parent resolves inside its
+ * trace, and each trace has exactly one root. Exit 0 clean, 1 with
+ * one error per line on stderr otherwise.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/golden.hpp"
+#include "obs/span.hpp"
+
+using namespace solarcore;
+
+namespace {
+
+struct Span
+{
+    std::uint64_t trace = 0;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    double startNs = 0.0;
+    double endNs = 0.0;
+    long lane = 0;
+    std::string name;
+
+    double durationMs() const { return (endNs - startNs) / 1e6; }
+};
+
+[[noreturn]] void
+usage(const char *complaint = nullptr)
+{
+    if (complaint)
+        std::cerr << "solarcore_spans: " << complaint << "\n";
+    std::cerr << "usage: solarcore_spans [--lint] [--trace=HEXID] "
+                 "FILE.jsonl\n"
+                 "  --lint         validate the solarcore-span-v1 schema\n"
+                 "                 (exit 1 on any problem)\n"
+                 "  --trace=HEXID  restrict the analysis to one trace\n";
+    std::exit(2);
+}
+
+std::string
+fmtMs(double ms)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    return buf;
+}
+
+/**
+ * Parse one JSONL line. @return false with @p error on malformed
+ * JSON or schema violations detectable from a single record.
+ */
+bool
+parseSpanLine(const std::string &line, Span &out, std::string &error)
+{
+    campaign::FlatJson flat;
+    if (!campaign::parseJsonFlat(line, flat, error))
+        return false;
+
+    const auto text = [&](const char *key, std::string &value) {
+        const auto it = flat.find(key);
+        if (it == flat.end() ||
+            it->second.kind != campaign::JsonLeaf::Kind::String) {
+            error = std::string("missing string field '") + key + "'";
+            return false;
+        }
+        value = it->second.text;
+        return true;
+    };
+    const auto number = [&](const char *key, double &value) {
+        const auto it = flat.find(key);
+        if (it == flat.end() ||
+            it->second.kind != campaign::JsonLeaf::Kind::Number) {
+            error = std::string("missing number field '") + key + "'";
+            return false;
+        }
+        value = it->second.number;
+        return true;
+    };
+
+    std::string schema;
+    if (!text("schema", schema))
+        return false;
+    if (schema != "solarcore-span-v1") {
+        error = "unknown schema '" + schema + "'";
+        return false;
+    }
+    std::string trace_hex, span_hex, parent_hex;
+    if (!text("trace", trace_hex) || !text("span", span_hex) ||
+        !text("parent", parent_hex) || !text("name", out.name))
+        return false;
+    if (!obs::parseSpanIdHex(trace_hex, out.trace) || out.trace == 0) {
+        error = "bad trace id '" + trace_hex + "'";
+        return false;
+    }
+    if (!obs::parseSpanIdHex(span_hex, out.id) || out.id == 0) {
+        error = "bad span id '" + span_hex + "'";
+        return false;
+    }
+    if (!obs::parseSpanIdHex(parent_hex, out.parent)) {
+        error = "bad parent id '" + parent_hex + "'";
+        return false;
+    }
+    if (out.name.empty()) {
+        error = "empty span name";
+        return false;
+    }
+    double lane = 0.0;
+    if (!number("start_ns", out.startNs) ||
+        !number("end_ns", out.endNs) || !number("lane", lane))
+        return false;
+    out.lane = static_cast<long>(lane);
+    if (out.endNs < out.startNs) {
+        error = "end_ns precedes start_ns";
+        return false;
+    }
+    return true;
+}
+
+/** Cross-record checks: unique ids, resolvable parents, one root. */
+void
+lintStructure(const std::vector<Span> &spans,
+              std::vector<std::string> &errors)
+{
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> ids;
+    for (const Span &s : spans) {
+        const auto key = std::make_pair(s.trace, s.id);
+        if (++ids[key] == 2)
+            errors.push_back("trace " + obs::spanIdHex(s.trace) +
+                             ": duplicate span id " +
+                             obs::spanIdHex(s.id));
+    }
+    std::map<std::uint64_t, std::size_t> roots;
+    for (const Span &s : spans) {
+        if (s.parent == 0) {
+            ++roots[s.trace];
+            continue;
+        }
+        if (ids.find(std::make_pair(s.trace, s.parent)) == ids.end())
+            errors.push_back("trace " + obs::spanIdHex(s.trace) +
+                             ": span " + obs::spanIdHex(s.id) + " ('" +
+                             s.name + "') has unresolved parent " +
+                             obs::spanIdHex(s.parent));
+    }
+    for (const Span &s : spans)
+        if (roots[s.trace] != 1) {
+            errors.push_back("trace " + obs::spanIdHex(s.trace) +
+                             " has " + std::to_string(roots[s.trace]) +
+                             " root spans (want exactly 1)");
+            roots[s.trace] = 1; // report once
+        }
+}
+
+void
+printBreakdown(const std::vector<Span> &spans)
+{
+    struct Stage
+    {
+        std::size_t count = 0;
+        double totalMs = 0.0;
+        double maxMs = 0.0;
+    };
+    std::map<std::string, Stage> stages;
+    double grand = 0.0;
+    for (const Span &s : spans) {
+        Stage &st = stages[s.name];
+        ++st.count;
+        st.totalMs += s.durationMs();
+        st.maxMs = std::max(st.maxMs, s.durationMs());
+        grand += s.durationMs();
+    }
+    std::vector<std::pair<std::string, Stage>> rows(stages.begin(),
+                                                    stages.end());
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        return a.second.totalMs > b.second.totalMs;
+    });
+    std::printf("%-16s %8s %12s %12s %12s %7s\n", "stage", "count",
+                "total_ms", "mean_ms", "max_ms", "share");
+    for (const auto &[name, st] : rows)
+        std::printf("%-16s %8zu %12s %12s %12s %6.1f%%\n", name.c_str(),
+                    st.count, fmtMs(st.totalMs).c_str(),
+                    fmtMs(st.totalMs / static_cast<double>(st.count))
+                        .c_str(),
+                    fmtMs(st.maxMs).c_str(),
+                    grand > 0.0 ? 100.0 * st.totalMs / grand : 0.0);
+}
+
+void
+printCriticalPaths(const std::vector<Span> &spans)
+{
+    std::map<std::uint64_t, std::vector<const Span *>> traces;
+    for (const Span &s : spans)
+        traces[s.trace].push_back(&s);
+
+    // Largest traces first; cap the listing so huge exports stay
+    // readable.
+    std::vector<std::pair<std::uint64_t, std::vector<const Span *>>>
+        ordered(traces.begin(), traces.end());
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  double wa = 0.0, wb = 0.0;
+                  for (const Span *s : a.second)
+                      if (s->parent == 0)
+                          wa = s->durationMs();
+                  for (const Span *s : b.second)
+                      if (s->parent == 0)
+                          wb = s->durationMs();
+                  if (wa != wb)
+                      return wa > wb;
+                  return a.first < b.first;
+              });
+    constexpr std::size_t kMaxTraces = 10;
+
+    std::size_t shown = 0;
+    for (const auto &[trace_id, list] : ordered) {
+        if (shown == kMaxTraces) {
+            std::printf("... %zu more trace(s) not shown\n",
+                        ordered.size() - shown);
+            break;
+        }
+        ++shown;
+        const Span *root = nullptr;
+        for (const Span *s : list)
+            if (s->parent == 0)
+                root = s;
+        std::printf("trace %s: %zu span(s)",
+                    obs::spanIdHex(trace_id).c_str(), list.size());
+        if (!root) {
+            std::printf(", no root span\n");
+            continue;
+        }
+        std::printf(", wall %s ms\n", fmtMs(root->durationMs()).c_str());
+        // Critical path: descend into the longest child at every hop.
+        const Span *node = root;
+        std::printf("  critical path: %s (%s ms)", node->name.c_str(),
+                    fmtMs(node->durationMs()).c_str());
+        for (;;) {
+            const Span *widest = nullptr;
+            for (const Span *s : list)
+                if (s->parent == node->id &&
+                    (!widest ||
+                     s->durationMs() > widest->durationMs()))
+                    widest = s;
+            if (!widest)
+                break;
+            node = widest;
+            std::printf(" -> %s (%s ms)", node->name.c_str(),
+                        fmtMs(node->durationMs()).c_str());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool lint = false;
+    std::uint64_t only_trace = 0;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--lint")
+            lint = true;
+        else if (arg.rfind("--trace=", 0) == 0) {
+            if (!obs::parseSpanIdHex(arg.substr(8), only_trace) ||
+                only_trace == 0)
+                usage("bad --trace id (expected 1..16 hex digits)");
+        } else if (arg == "--help" || arg == "-h")
+            usage();
+        else if (arg.rfind("--", 0) == 0)
+            usage(("unknown option " + arg).c_str());
+        else if (path.empty())
+            path = arg;
+        else
+            usage("more than one input file");
+    }
+    if (path.empty())
+        usage("an input FILE.jsonl is required");
+
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "solarcore_spans: cannot open '" << path << "'\n";
+        return 2;
+    }
+
+    std::vector<Span> spans;
+    std::vector<std::string> errors;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        Span s;
+        std::string error;
+        if (!parseSpanLine(line, s, error)) {
+            errors.push_back("line " + std::to_string(line_no) + ": " +
+                             error);
+            continue;
+        }
+        if (only_trace == 0 || s.trace == only_trace)
+            spans.push_back(std::move(s));
+    }
+    lintStructure(spans, errors);
+
+    if (lint) {
+        for (const auto &e : errors)
+            std::cerr << "solarcore_spans: " << e << "\n";
+        if (!errors.empty()) {
+            std::cerr << "solarcore_spans: FAIL (" << errors.size()
+                      << " problem" << (errors.size() == 1 ? "" : "s")
+                      << ")\n";
+            return 1;
+        }
+        if (spans.empty()) {
+            std::cerr << "solarcore_spans: FAIL (no spans)\n";
+            return 1;
+        }
+        std::map<std::uint64_t, bool> traces;
+        for (const Span &s : spans)
+            traces[s.trace] = true;
+        std::cout << "solarcore_spans: OK (" << spans.size()
+                  << " spans, " << traces.size() << " traces)\n";
+        return 0;
+    }
+
+    for (const auto &e : errors)
+        std::cerr << "solarcore_spans: warning: " << e << "\n";
+    if (spans.empty()) {
+        std::cerr << "solarcore_spans: no spans in '" << path << "'\n";
+        return 1;
+    }
+    printBreakdown(spans);
+    std::printf("\n");
+    printCriticalPaths(spans);
+    return 0;
+}

@@ -40,6 +40,15 @@ struct WorkerRow
     bool alive = true, crashed = false;
 };
 
+struct SlowQueryRow
+{
+    long requestId = 0;
+    std::string traceId; //!< 16-hex, empty when the trace was dropped
+    std::string status;
+    double queueMs = 0, serviceMs = 0;
+    long units = 0;
+};
+
 struct Status
 {
     bool serve = false; //!< solarcore-serve-status-v1 document
@@ -61,6 +70,10 @@ struct Status
     double unitsSimulated = 0, unitsFromUnitCache = 0;
     double queueP50 = 0, queueP99 = 0, serviceP50 = 0, serviceP99 = 0;
     double resultHits = 0, resultMisses = 0, resultSize = 0;
+    bool tracing = false;
+    double committedTraces = 0, committedSpans = 0, droppedSpans = 0;
+    double clientStamped = 0, headSampled = 0, tailKept = 0;
+    std::vector<SlowQueryRow> slowQueries;
 };
 
 [[noreturn]] void
@@ -135,6 +148,34 @@ loadStatus(const std::string &path, Status &out, std::string &problem)
         out.cacheMisses = num(doc, "unit_cache.misses");
         out.cacheStores = num(doc, "unit_cache.stores");
         out.cacheEvictions = num(doc, "unit_cache.evictions");
+        const auto tracing = doc.find("tracing.enabled");
+        out.tracing = tracing != doc.end() && tracing->second.boolean;
+        out.committedTraces = num(doc, "tracing.committed_traces");
+        out.committedSpans = num(doc, "tracing.committed_spans");
+        out.droppedSpans = num(doc, "tracing.dropped_spans");
+        out.clientStamped = num(doc, "tracing.client_stamped");
+        out.headSampled = num(doc, "tracing.head_sampled");
+        out.tailKept = num(doc, "tracing.tail_kept");
+        out.slowQueries.clear();
+        for (std::size_t i = 0;; ++i) {
+            const std::string prefix =
+                "slow_queries." + std::to_string(i);
+            const auto rid = doc.find(prefix + ".request_id");
+            if (rid == doc.end())
+                break;
+            SlowQueryRow row;
+            row.requestId = static_cast<long>(rid->second.number);
+            const auto tid = doc.find(prefix + ".trace_id");
+            if (tid != doc.end())
+                row.traceId = tid->second.text;
+            const auto status = doc.find(prefix + ".status");
+            if (status != doc.end())
+                row.status = status->second.text;
+            row.queueMs = num(doc, prefix + ".queue_ms");
+            row.serviceMs = num(doc, prefix + ".service_ms");
+            row.units = static_cast<long>(num(doc, prefix + ".units"));
+            out.slowQueries.push_back(row);
+        }
         return true;
     }
     if (schema == doc.end() ||
@@ -263,6 +304,34 @@ renderServe(std::ostream &os, const Status &st)
            << " hit/" << static_cast<long>(st.cacheMisses) << " miss)";
     }
     os << "\n";
+    if (st.tracing) {
+        os << "  tracing  " << static_cast<long>(st.committedTraces)
+           << " traces (" << static_cast<long>(st.committedSpans)
+           << " spans)   " << static_cast<long>(st.clientStamped)
+           << " client / " << static_cast<long>(st.headSampled)
+           << " sampled / " << static_cast<long>(st.tailKept)
+           << " tail-kept";
+        if (st.droppedSpans > 0)
+            os << "   " << static_cast<long>(st.droppedSpans)
+               << " dropped";
+        os << "\n";
+    }
+    if (!st.slowQueries.empty()) {
+        os << "  slow queries (most recent last)\n";
+        for (const SlowQueryRow &row : st.slowQueries) {
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "    #%-6ld %-13s queue %8.2fms  service"
+                          " %8.2fms  %ld units",
+                          row.requestId, row.status.c_str(),
+                          std::max(row.queueMs, 0.0),
+                          std::max(row.serviceMs, 0.0), row.units);
+            os << line;
+            if (!row.traceId.empty())
+                os << "  trace " << row.traceId;
+            os << "\n";
+        }
+    }
 }
 
 void
